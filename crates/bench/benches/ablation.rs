@@ -1,0 +1,96 @@
+//! Ablations over the paper's design choices:
+//!
+//! * §4.1 dominance-ordered iteration with subtree skipping, on vs off
+//!   (Theorem 2's practical payoff);
+//! * bitset versus sorted-array storage for `R`/`T` (§6.1/§8);
+//! * the loop-nesting-forest checker (§8 outlook) versus the `T` matrix;
+//! * Cooper–Harvey–Kennedy versus Lengauer–Tarjan dominators (a §2
+//!   prerequisite both engines share).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastlive_cfg::{lengauer_tarjan, DfsTree, DomTree};
+use fastlive_core::{LivenessChecker, LoopForestChecker, SortedLivenessChecker};
+use fastlive_ir::Function;
+use fastlive_workload::{generate_function, GenParams};
+
+fn test_function() -> Function {
+    let params =
+        GenParams { target_blocks: 64, max_depth: 6, ..GenParams::default() };
+    generate_function("ablate", params, 0xab1a7e).1
+}
+
+/// A deterministic batch of (def, use, q) probes over the CFG.
+fn probes(func: &Function) -> Vec<(u32, u32, u32)> {
+    let n = func.num_blocks() as u32;
+    let mut out = Vec::new();
+    let mut x = 0x12345678u32;
+    for _ in 0..512 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        let d = x % n;
+        let u = (x >> 8) % n;
+        let q = (x >> 16) % n;
+        out.push((d, u, q));
+    }
+    out
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let func = test_function();
+    let probes = probes(&func);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(30);
+
+    // Subtree skipping on/off.
+    let mut skipping = LivenessChecker::compute(&func);
+    skipping.set_subtree_skipping(true);
+    let mut linear = LivenessChecker::compute(&func);
+    linear.set_subtree_skipping(false);
+    group.bench_function("queries/subtree_skipping", |b| {
+        b.iter(|| run_probes(&skipping, &probes))
+    });
+    group.bench_function("queries/no_skipping", |b| b.iter(|| run_probes(&linear, &probes)));
+
+    // Bitset vs sorted-array vs loop-forest query engines.
+    let sorted = SortedLivenessChecker::compute(&func);
+    group.bench_function("queries/sorted_arrays", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(d, u, q) in &probes {
+                hits += sorted.is_live_in(d, &[u], q) as usize;
+            }
+            hits
+        })
+    });
+    if let Some(forest) = LoopForestChecker::compute(&func) {
+        group.bench_function("queries/loop_forest", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(d, u, q) in &probes {
+                    hits += forest.is_live_in(d, &[u], q) as usize;
+                }
+                hits
+            })
+        });
+    }
+
+    // Dominator construction: CHK vs LT.
+    let dfs = DfsTree::compute(&func);
+    group.bench_with_input(BenchmarkId::new("dominators", "chk"), &func, |b, f| {
+        b.iter(|| DomTree::compute(f, &dfs))
+    });
+    group.bench_with_input(BenchmarkId::new("dominators", "lengauer_tarjan"), &func, |b, f| {
+        b.iter(|| lengauer_tarjan::immediate_dominators(f, &dfs))
+    });
+    group.finish();
+}
+
+fn run_probes(live: &LivenessChecker, probes: &[(u32, u32, u32)]) -> usize {
+    let mut hits = 0usize;
+    for &(d, u, q) in probes {
+        hits += live.is_live_in(d, &[u], q) as usize;
+    }
+    hits
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Precomputation cost of every liveness engine across procedure sizes
+//! — the left half of Table 2, generalized into a Criterion sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastlive_core::{FunctionLiveness, SortedLivenessChecker};
+use fastlive_dataflow::{AppelLiveness, IterativeLiveness, LaoLiveness, VarUniverse};
+use fastlive_ir::Function;
+use fastlive_workload::{generate_function, GenParams};
+
+fn function_of_size(target: usize) -> Function {
+    let params = GenParams {
+        target_blocks: target,
+        max_depth: 3 + (target / 16).min(6) as u32,
+        ..GenParams::default()
+    };
+    generate_function(&format!("p{target}"), params, 0x9000 + target as u64).1
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precompute");
+    group.sample_size(20);
+    for target in [10usize, 36, 128, 512] {
+        let func = function_of_size(target);
+        let blocks = func.num_blocks();
+        group.bench_with_input(BenchmarkId::new("new_checker", blocks), &func, |b, f| {
+            b.iter(|| FunctionLiveness::compute(f))
+        });
+        group.bench_with_input(BenchmarkId::new("native_lao_phi", blocks), &func, |b, f| {
+            let u = VarUniverse::phi_related(f);
+            b.iter(|| LaoLiveness::compute(f, &u))
+        });
+        group.bench_with_input(BenchmarkId::new("native_lao_full", blocks), &func, |b, f| {
+            let u = VarUniverse::all(f);
+            b.iter(|| LaoLiveness::compute(f, &u))
+        });
+        group.bench_with_input(BenchmarkId::new("bitvector_full", blocks), &func, |b, f| {
+            let u = VarUniverse::all(f);
+            b.iter(|| IterativeLiveness::compute(f, &u))
+        });
+        group.bench_with_input(BenchmarkId::new("appel_full", blocks), &func, |b, f| {
+            let u = VarUniverse::all(f);
+            b.iter(|| AppelLiveness::compute(f, &u))
+        });
+        group.bench_with_input(BenchmarkId::new("sorted_checker", blocks), &func, |b, f| {
+            b.iter(|| SortedLivenessChecker::compute(f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precompute);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Query cost — the right half of Table 2: the recorded SSA-destruction
+//! query stream replayed against the checker (Algorithm 3) and the
+//! LAO-style binary-search lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastlive_bench::{prepare_suite, replay_checker, replay_native, PreparedProc};
+use fastlive_core::FunctionLiveness;
+use fastlive_dataflow::{LaoLiveness, VarUniverse};
+use fastlive_workload::{generate_suite, SPEC2000_INT};
+
+fn prepared() -> Vec<PreparedProc> {
+    // 256.bzip2 at small scale: a handful of mid-size procedures.
+    let suite = generate_suite(&SPEC2000_INT[8], 40, 0xbe9c);
+    prepare_suite(&suite)
+}
+
+fn bench_query(c: &mut Criterion) {
+    let procs = prepared();
+    let mut group = c.benchmark_group("query");
+    group.sample_size(30);
+
+    let with_queries: Vec<&PreparedProc> =
+        procs.iter().filter(|p| !p.queries.is_empty()).collect();
+    for (i, p) in with_queries.iter().take(3).enumerate() {
+        let checker = FunctionLiveness::compute(&p.func);
+        let lao = LaoLiveness::compute(&p.func, &VarUniverse::phi_related(&p.func));
+        group.throughput(Throughput::Elements(p.queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("new_checker", i), p, |b, p| {
+            b.iter(|| replay_checker(&checker, &p.func, &p.queries))
+        });
+        group.bench_with_input(BenchmarkId::new("native_lookup", i), p, |b, p| {
+            b.iter(|| replay_native(&lao, &p.queries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Scaling of the checker's precomputation with procedure size — the
+//! quadratic behaviour §6.1/§8 warn about for "procedures with some
+//! thousand blocks", measured rather than asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastlive_core::LivenessChecker;
+use fastlive_graph::Cfg as _;
+use fastlive_workload::{generate_function, GenParams};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for target in [32usize, 128, 512, 2048] {
+        let params = GenParams {
+            target_blocks: target,
+            max_depth: 3 + (target / 16).min(8) as u32,
+            ..GenParams::default()
+        };
+        let (_, func) = generate_function(&format!("s{target}"), params, target as u64);
+        let blocks = func.num_blocks();
+        group.throughput(Throughput::Elements(func.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("checker_precompute", blocks), &func, |b, f| {
+            b.iter(|| LivenessChecker::compute(f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,284 @@
+//! Shared harness code for the `fastlive` benchmark suite: everything
+//! the table-regeneration binaries and the Criterion benches have in
+//! common.
+//!
+//! The measurement methodology follows §6.2 of the paper:
+//!
+//! * **Precomputation time** — per procedure: for the "native" engine,
+//!   solving the data-flow equations over the φ-related universe (and,
+//!   for the §6.2 side claim, the full universe); for the "new" engine,
+//!   computing the `R`/`T` matrices (plus DFS and dominators).
+//! * **Query time** — per query: the exact query stream recorded while
+//!   Sreedhar III SSA destruction ran is replayed against each engine
+//!   on the post-destruction function, so both engines answer the same
+//!   questions about the same program.
+//! * Times come from [`std::time::Instant`]; the paper used rdtsc
+//!   cycles on a 1.4 GHz Pentium M (1000 cycles = 714 ns). We report
+//!   nanoseconds; all of the paper's *claims* are ratios, which are
+//!   unit-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use fastlive_core::FunctionLiveness;
+use fastlive_dataflow::{LaoLiveness, VarUniverse};
+use fastlive_destruct::{destruct_ssa, CheckerEngine, DestructResult, QueryKind, QueryRecord};
+use fastlive_ir::Function;
+use fastlive_workload::{generate_suite, BenchProfile, Suite};
+
+/// Scale (percent of the paper's procedure counts) read from
+/// `FASTLIVE_SCALE`, defaulting to `dflt`.
+pub fn scale_from_env(dflt: u32) -> u32 {
+    std::env::var("FASTLIVE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(dflt)
+        .clamp(1, 400)
+}
+
+/// Generates all ten suites at the given scale.
+pub fn all_suites(scale: u32, seed: u64) -> Vec<Suite> {
+    fastlive_workload::SPEC2000_INT
+        .iter()
+        .map(|p| generate_suite(p, scale, seed))
+        .collect()
+}
+
+/// One prepared procedure: the post-destruction function plus the query
+/// stream its destruction issued.
+pub struct PreparedProc {
+    /// The function after edge splitting and copy insertion.
+    pub func: Function,
+    /// The recorded liveness queries of the destruction pass.
+    pub queries: Vec<QueryRecord>,
+}
+
+/// Runs SSA destruction (with the checker engine) on every function of
+/// a suite, collecting the per-procedure query streams.
+pub fn prepare_suite(suite: &Suite) -> Vec<PreparedProc> {
+    suite
+        .functions
+        .iter()
+        .map(|f| {
+            let DestructResult { func, stats, .. } =
+                destruct_ssa(f.clone(), CheckerEngine::compute);
+            PreparedProc { func, queries: stats.queries }
+        })
+        .collect()
+}
+
+/// Median-of-`reps` wall time of `work`, in nanoseconds. A `black_box`
+/// on the closure result keeps the optimizer honest.
+pub fn time_ns<T>(reps: usize, mut work: impl FnMut() -> T) -> f64 {
+    assert!(reps >= 1);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = work();
+        samples.push(t0.elapsed().as_nanos() as f64);
+        std::hint::black_box(out);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Replays a query stream against the paper's checker; returns the
+/// number of positive answers (and keeps the loop from being optimized
+/// away).
+pub fn replay_checker(live: &FunctionLiveness, func: &Function, queries: &[QueryRecord]) -> usize {
+    let mut hits = 0;
+    for q in queries {
+        let ans = match q.kind {
+            QueryKind::LiveIn => live.is_live_in(func, q.value, q.block),
+            QueryKind::LiveOut => live.is_live_out(func, q.value, q.block),
+        };
+        hits += ans as usize;
+    }
+    hits
+}
+
+/// Replays a query stream against the LAO-style baseline (binary-search
+/// lookups in sorted arrays).
+pub fn replay_native(live: &LaoLiveness, queries: &[QueryRecord]) -> usize {
+    let mut hits = 0;
+    for q in queries {
+        let ans = match q.kind {
+            QueryKind::LiveIn => live.is_live_in(q.value, q.block),
+            QueryKind::LiveOut => live.is_live_out(q.value, q.block),
+        };
+        hits += ans as usize;
+    }
+    hits
+}
+
+/// The per-benchmark measurements backing one Table 2 row.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Procedures measured.
+    pub procs: usize,
+    /// Mean native (LAO φ-related) precompute ns per procedure.
+    pub native_pre_ns: f64,
+    /// Mean checker precompute ns per procedure.
+    pub new_pre_ns: f64,
+    /// Total queries replayed.
+    pub queries: usize,
+    /// Mean native ns per query.
+    pub native_query_ns: f64,
+    /// Mean checker ns per query.
+    pub new_query_ns: f64,
+    /// Mean full-universe data-flow precompute ns per procedure
+    /// (the §6.2 "full liveness" variant).
+    pub full_pre_ns: f64,
+    /// Mean φ-related live-in set cardinality (paper: 3.16).
+    pub fill_phi: f64,
+    /// Mean full-universe live-in set cardinality (paper: 18.52).
+    pub fill_full: f64,
+}
+
+impl Table2Row {
+    /// Precomputation speedup (native / new), Table 2 "Spdup".
+    pub fn pre_speedup(&self) -> f64 {
+        self.native_pre_ns / self.new_pre_ns
+    }
+    /// Query speedup (native / new; below 1 means the checker's query
+    /// is slower, as the paper reports).
+    pub fn query_speedup(&self) -> f64 {
+        self.native_query_ns / self.new_query_ns
+    }
+    /// Combined speedup per the paper's formula:
+    /// `#proc×pre + #queries×query` for each engine, then the ratio.
+    pub fn both_speedup(&self) -> f64 {
+        let native = self.procs as f64 * self.native_pre_ns + self.queries as f64 * self.native_query_ns;
+        let new = self.procs as f64 * self.new_pre_ns + self.queries as f64 * self.new_query_ns;
+        native / new
+    }
+}
+
+/// Measures one suite into a [`Table2Row`]. `reps` controls the
+/// median-of-N timing.
+pub fn measure_suite(profile: &BenchProfile, prepared: &[PreparedProc], reps: usize) -> Table2Row {
+    let mut native_pre = 0.0;
+    let mut new_pre = 0.0;
+    let mut full_pre = 0.0;
+    let mut native_q = 0.0;
+    let mut new_q = 0.0;
+    let mut queries = 0usize;
+    let mut fill_phi = 0.0;
+    let mut fill_full = 0.0;
+
+    for p in prepared {
+        let phi = VarUniverse::phi_related(&p.func);
+        let all = VarUniverse::all(&p.func);
+        native_pre += time_ns(reps, || LaoLiveness::compute(&p.func, &phi));
+        new_pre += time_ns(reps, || FunctionLiveness::compute(&p.func));
+        full_pre += time_ns(reps, || LaoLiveness::compute(&p.func, &all));
+
+        let lao = LaoLiveness::compute(&p.func, &phi);
+        let checker = FunctionLiveness::compute(&p.func);
+        fill_phi += lao.average_fill();
+        fill_full += LaoLiveness::compute(&p.func, &all).average_fill();
+        if !p.queries.is_empty() {
+            queries += p.queries.len();
+            native_q += time_ns(reps, || replay_native(&lao, &p.queries));
+            new_q += time_ns(reps, || replay_checker(&checker, &p.func, &p.queries));
+        }
+    }
+
+    let n = prepared.len().max(1) as f64;
+    Table2Row {
+        name: profile.name.to_string(),
+        procs: prepared.len(),
+        native_pre_ns: native_pre / n,
+        new_pre_ns: new_pre / n,
+        queries,
+        native_query_ns: if queries == 0 { 0.0 } else { native_q / queries as f64 },
+        new_query_ns: if queries == 0 { 0.0 } else { new_q / queries as f64 },
+        full_pre_ns: full_pre / n,
+        fill_phi: fill_phi / n,
+        fill_full: fill_full / n,
+    }
+}
+
+/// Aggregates rows into the paper's "Total" line (procedure- and
+/// query-weighted means).
+pub fn total_row(rows: &[Table2Row]) -> Table2Row {
+    let procs: usize = rows.iter().map(|r| r.procs).sum();
+    let queries: usize = rows.iter().map(|r| r.queries).sum();
+    let wavg_p = |f: &dyn Fn(&Table2Row) -> f64| {
+        rows.iter().map(|r| f(r) * r.procs as f64).sum::<f64>() / procs.max(1) as f64
+    };
+    let wavg_q = |f: &dyn Fn(&Table2Row) -> f64| {
+        rows.iter().map(|r| f(r) * r.queries as f64).sum::<f64>() / queries.max(1) as f64
+    };
+    Table2Row {
+        name: "Total".to_string(),
+        procs,
+        native_pre_ns: wavg_p(&|r| r.native_pre_ns),
+        new_pre_ns: wavg_p(&|r| r.new_pre_ns),
+        queries,
+        native_query_ns: wavg_q(&|r| r.native_query_ns),
+        new_query_ns: wavg_q(&|r| r.new_query_ns),
+        full_pre_ns: wavg_p(&|r| r.full_pre_ns),
+        fill_phi: wavg_p(&|r| r.fill_phi),
+        fill_full: wavg_p(&|r| r.fill_full),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_suite_has_queries() {
+        let suite = generate_suite(&fastlive_workload::SPEC2000_INT[3], 20, 5);
+        let prepared = prepare_suite(&suite);
+        assert_eq!(prepared.len(), suite.functions.len());
+        let total: usize = prepared.iter().map(|p| p.queries.len()).sum();
+        assert!(total > 0, "destruction must issue queries");
+    }
+
+    #[test]
+    fn replay_engines_agree_on_answers() {
+        let suite = generate_suite(&fastlive_workload::SPEC2000_INT[3], 20, 6);
+        for p in prepare_suite(&suite) {
+            let phi = VarUniverse::phi_related(&p.func);
+            let lao = LaoLiveness::compute(&p.func, &phi);
+            let checker = FunctionLiveness::compute(&p.func);
+            for q in &p.queries {
+                // Replay only φ-universe values: the destruct stream may
+                // mention non-φ class members, which LAO cannot answer.
+                if phi.index_of(q.value).is_none() {
+                    continue;
+                }
+                let (a, b) = match q.kind {
+                    QueryKind::LiveIn => (
+                        checker.is_live_in(&p.func, q.value, q.block),
+                        lao.is_live_in(q.value, q.block),
+                    ),
+                    QueryKind::LiveOut => (
+                        checker.is_live_out(&p.func, q.value, q.block),
+                        lao.is_live_out(q.value, q.block),
+                    ),
+                };
+                assert_eq!(a, b, "{:?} on {}", q, p.func.name);
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_produces_sane_ratios() {
+        let suite = generate_suite(&fastlive_workload::SPEC2000_INT[8], 30, 7);
+        let prepared = prepare_suite(&suite);
+        let row = measure_suite(&suite.profile, &prepared, 3);
+        assert!(row.native_pre_ns > 0.0);
+        assert!(row.new_pre_ns > 0.0);
+        assert!(row.pre_speedup() > 0.0);
+        assert!(row.both_speedup() > 0.0);
+        let total = total_row(&[row.clone(), row]);
+        assert_eq!(total.procs, 2 * suite.functions.len());
+    }
+}

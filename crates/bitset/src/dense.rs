@@ -1,0 +1,361 @@
+use crate::{next_set_bit_in, words_for, BitIter, WORD_BITS};
+
+/// A fixed-capacity set of `u32` values stored as a bit vector.
+///
+/// This is the representation §5.1 of the paper chooses for the
+/// per-node sets `R_v` and `T_v`: with the common case of fewer than 64
+/// basic blocks a set is one or two machine words, and the
+/// [`next_set_bit`](DenseBitSet::next_set_bit) primitive implements the
+/// `bitset_next_set` function of Algorithm 3.
+///
+/// The capacity (the *universe* `0..len`) is fixed at construction; all
+/// binary operations require both operands to share the same universe.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_bitset::DenseBitSet;
+///
+/// let mut s = DenseBitSet::new(100);
+/// assert!(s.insert(42));
+/// assert!(!s.insert(42)); // already present
+/// assert!(s.contains(42));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// Creates an empty set over the universe `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        DenseBitSet { words: vec![0; words_for(universe)], len: universe }
+    }
+
+    /// Creates a set over `0..universe` containing the given elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is `>= universe`.
+    pub fn from_elems(universe: usize, elems: impl IntoIterator<Item = u32>) -> Self {
+        let mut s = DenseBitSet::new(universe);
+        for e in elems {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// The universe size (exclusive upper bound on elements).
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Inserts `elem`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem >= universe`.
+    pub fn insert(&mut self, elem: u32) -> bool {
+        assert!((elem as usize) < self.len, "element {elem} outside universe {}", self.len);
+        let (wi, mask) = (elem as usize / WORD_BITS, 1u64 << (elem as usize % WORD_BITS));
+        let fresh = self.words[wi] & mask == 0;
+        self.words[wi] |= mask;
+        fresh
+    }
+
+    /// Removes `elem`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem >= universe`.
+    pub fn remove(&mut self, elem: u32) -> bool {
+        assert!((elem as usize) < self.len, "element {elem} outside universe {}", self.len);
+        let (wi, mask) = (elem as usize / WORD_BITS, 1u64 << (elem as usize % WORD_BITS));
+        let present = self.words[wi] & mask != 0;
+        self.words[wi] &= !mask;
+        present
+    }
+
+    /// Membership test. Out-of-universe values are simply absent.
+    pub fn contains(&self, elem: u32) -> bool {
+        let (wi, bit) = (elem as usize / WORD_BITS, elem as usize % WORD_BITS);
+        (elem as usize) < self.len && self.words[wi] & (1u64 << bit) != 0
+    }
+
+    /// Removes all elements, keeping the universe.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Position of the first set bit `>= from`, i.e. the paper's
+    /// `bitset_next_set` (Algorithm 3). Returns `None` when exhausted where
+    /// the paper returns `MAX_INT`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastlive_bitset::DenseBitSet;
+    ///
+    /// let s = DenseBitSet::from_elems(10, [2, 7]);
+    /// assert_eq!(s.next_set_bit(0), Some(2));
+    /// assert_eq!(s.next_set_bit(3), Some(7));
+    /// assert_eq!(s.next_set_bit(8), None);
+    /// ```
+    pub fn next_set_bit(&self, from: u32) -> Option<u32> {
+        next_set_bit_in(&self.words, self.len, from)
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch in union");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// In-place intersection; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch in intersection");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// In-place set difference (`self \ other`); returns `true` if `self`
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_with(&mut self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch in difference");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Returns `true` if the intersection with `other` is non-empty. This
+    /// is the `R_t ∩ uses(a) ≠ ∅` test at the heart of Algorithm 1 when
+    /// uses are also kept as a bitset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersects(&self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch in intersects");
+        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset_of(&self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch in subset test");
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter::new(&self.words, self.len)
+    }
+
+    /// Heap memory used by the set, in bytes (for the §6.1 memory
+    /// comparison).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// The raw backing words (low bit of word 0 is element 0).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl std::fmt::Debug for DenseBitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u32> for DenseBitSet {
+    /// Collects into a set whose universe is one past the maximum element
+    /// (or empty universe for an empty iterator).
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let elems: Vec<u32> = iter.into_iter().collect();
+        let universe = elems.iter().max().map_or(0, |&m| m as usize + 1);
+        DenseBitSet::from_elems(universe, elems)
+    }
+}
+
+impl Extend<u32> for DenseBitSet {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DenseBitSet {
+    type Item = u32;
+    type IntoIter = BitIter<'a>;
+    fn into_iter(self) -> BitIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = DenseBitSet::new(130);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(129));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_universe_panics() {
+        DenseBitSet::new(8).insert(8);
+    }
+
+    #[test]
+    fn contains_out_of_universe_is_false() {
+        let s = DenseBitSet::new(8);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn next_set_bit_walks_words() {
+        let s = DenseBitSet::from_elems(200, [0, 63, 64, 65, 190]);
+        assert_eq!(s.next_set_bit(0), Some(0));
+        assert_eq!(s.next_set_bit(1), Some(63));
+        assert_eq!(s.next_set_bit(64), Some(64));
+        assert_eq!(s.next_set_bit(66), Some(190));
+        assert_eq!(s.next_set_bit(191), None);
+        assert_eq!(s.next_set_bit(10_000), None);
+    }
+
+    #[test]
+    fn next_set_bit_on_empty() {
+        let s = DenseBitSet::new(0);
+        assert_eq!(s.next_set_bit(0), None);
+        let s = DenseBitSet::new(65);
+        assert_eq!(s.next_set_bit(0), None);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let mut a = DenseBitSet::from_elems(70, [1, 2, 65]);
+        let b = DenseBitSet::from_elems(70, [2, 3, 69]);
+        assert!(a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 65, 69]);
+        assert!(!a.union_with(&b)); // idempotent
+
+        let mut c = a.clone();
+        assert!(c.intersect_with(&b));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 3, 69]);
+
+        let mut d = a.clone();
+        assert!(d.difference_with(&b));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 65]);
+    }
+
+    #[test]
+    fn intersects_and_subset() {
+        let a = DenseBitSet::from_elems(70, [1, 65]);
+        let b = DenseBitSet::from_elems(70, [65]);
+        let c = DenseBitSet::from_elems(70, [2]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(DenseBitSet::new(70).is_subset_of(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let mut a = DenseBitSet::new(10);
+        let b = DenseBitSet::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn debug_shows_elements() {
+        let s = DenseBitSet::from_elems(10, [1, 4]);
+        assert_eq!(format!("{s:?}"), "{1, 4}");
+        let empty = DenseBitSet::new(10);
+        assert_eq!(format!("{empty:?}"), "{}");
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: DenseBitSet = [5u32, 2, 9].into_iter().collect();
+        assert_eq!(s.universe(), 10);
+        assert!(s.contains(9));
+        let e: DenseBitSet = std::iter::empty().collect();
+        assert_eq!(e.universe(), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = DenseBitSet::from_elems(10, [1, 2]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 10);
+    }
+
+    #[test]
+    fn heap_bytes_counts_words() {
+        assert_eq!(DenseBitSet::new(64).heap_bytes(), 8);
+        assert_eq!(DenseBitSet::new(65).heap_bytes(), 16);
+        // ~36 blocks (the paper's average) needs "two machine words per
+        // block" on 32-bit; one u64 word here.
+        assert_eq!(DenseBitSet::new(36).heap_bytes(), 8);
+    }
+}

@@ -1,0 +1,97 @@
+//! Set data structures used by the `fastlive` liveness engines.
+//!
+//! The paper's practical sections prescribe specific representations and
+//! this crate provides all of them:
+//!
+//! * [`DenseBitSet`] — fixed-capacity bitset with the `next_set_bit`
+//!   primitive that drives the bitset liveness check (Algorithm 3, §5.1).
+//! * [`BitMatrix`] — one bitset row per CFG node; the transitive closures
+//!   `R_v` and the back-edge-target sets `T_v` are stored this way.
+//! * [`SparseSet`] — the Briggs–Torczon sparse set used by the LAO
+//!   baseline's local (per-block) liveness analysis (§6.2).
+//! * [`SortedSet`] — a sorted dense array with binary-search membership,
+//!   the LAO baseline's global live-set representation (§6.2) and the
+//!   memory-lean alternative for `T_v`/`R_v` discussed in §6.1 and §8.
+//!
+//! All structures hold `u32` elements below a fixed *universe* size, which
+//! is how compiler analyses index blocks and variables.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastlive_bitset::DenseBitSet;
+//!
+//! let mut live = DenseBitSet::new(128);
+//! live.insert(3);
+//! live.insert(64);
+//! assert_eq!(live.next_set_bit(4), Some(64));
+//! assert_eq!(live.iter().collect::<Vec<_>>(), vec![3, 64]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod matrix;
+mod sorted;
+mod sparse;
+
+pub use dense::DenseBitSet;
+pub use matrix::BitMatrix;
+pub use sorted::SortedSet;
+pub use sparse::SparseSet;
+
+/// Number of bits per storage word.
+pub(crate) const WORD_BITS: usize = u64::BITS as usize;
+
+/// Number of `u64` words needed to hold `bits` bits.
+pub(crate) fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Scans `words` for the first set bit at position `>= from`, where `words`
+/// conceptually holds `len` bits. Shared by [`DenseBitSet`] and
+/// [`BitMatrix`] rows.
+pub(crate) fn next_set_bit_in(words: &[u64], len: usize, from: u32) -> Option<u32> {
+    let from = from as usize;
+    if from >= len {
+        return None;
+    }
+    let mut wi = from / WORD_BITS;
+    let mut word = words[wi] & (!0u64 << (from % WORD_BITS));
+    loop {
+        if word != 0 {
+            let bit = wi * WORD_BITS + word.trailing_zeros() as usize;
+            return if bit < len { Some(bit as u32) } else { None };
+        }
+        wi += 1;
+        if wi >= words.len() {
+            return None;
+        }
+        word = words[wi];
+    }
+}
+
+/// Iterator over the set bits of a word slice (ascending order).
+#[derive(Clone, Debug)]
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    len: usize,
+    next: u32,
+}
+
+impl<'a> BitIter<'a> {
+    pub(crate) fn new(words: &'a [u64], len: usize) -> Self {
+        BitIter { words, len, next: 0 }
+    }
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let bit = next_set_bit_in(self.words, self.len, self.next)?;
+        self.next = bit + 1;
+        Some(bit)
+    }
+}

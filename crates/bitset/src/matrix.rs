@@ -1,0 +1,382 @@
+use crate::{next_set_bit_in, words_for, BitIter, DenseBitSet, WORD_BITS};
+
+/// A dense 2-D bit matrix: `rows` bitsets over a shared universe of
+/// `cols` elements, stored contiguously.
+///
+/// The liveness precomputation stores both closures this way: row `v` of
+/// the *R*-matrix is `R_v` (blocks reduced-reachable from `v`,
+/// Definition 4) and row `q` of the *T*-matrix is `T_q` (relevant
+/// back-edge targets, Definition 5). Contiguous storage keeps the
+/// propagation loops cache-friendly and makes whole-row unions cheap.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_bitset::BitMatrix;
+///
+/// let mut m = BitMatrix::new(3, 10);
+/// m.set(0, 4);
+/// m.set(1, 9);
+/// m.union_rows(0, 1); // row0 |= row1
+/// assert!(m.contains(0, 9));
+/// assert_eq!(m.row_iter(0).collect::<Vec<_>>(), vec![4, 9]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    data: Vec<u64>,
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix with `rows` rows over universe
+    /// `0..cols`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let words_per_row = words_for(cols);
+        BitMatrix { data: vec![0; rows * words_per_row], rows, cols, words_per_row }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Universe size shared by all rows.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn row_range(&self, r: u32) -> std::ops::Range<usize> {
+        let r = r as usize;
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        r * self.words_per_row..(r + 1) * self.words_per_row
+    }
+
+    /// Sets bit `(r, c)`; returns `true` if it was previously clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn set(&mut self, r: u32, c: u32) -> bool {
+        assert!((c as usize) < self.cols, "column {c} out of range ({} cols)", self.cols);
+        let range = self.row_range(r);
+        let word = &mut self.data[range][c as usize / WORD_BITS];
+        let mask = 1u64 << (c as usize % WORD_BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Tests bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range. Out-of-range columns read as clear.
+    pub fn contains(&self, r: u32, c: u32) -> bool {
+        if c as usize >= self.cols {
+            return false;
+        }
+        let range = self.row_range(r);
+        self.data[range][c as usize / WORD_BITS] & (1u64 << (c as usize % WORD_BITS)) != 0
+    }
+
+    /// Row `r` as a word slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: u32) -> &[u64] {
+        let range = self.row_range(r);
+        &self.data[range]
+    }
+
+    /// `dst |= src` on whole rows; returns `true` if `dst` changed.
+    /// `dst == src` is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range.
+    pub fn union_rows(&mut self, dst: u32, src: u32) -> bool {
+        if dst == src {
+            return false;
+        }
+        let dst_range = self.row_range(dst);
+        let src_range = self.row_range(src);
+        let mut changed = false;
+        // Split the borrow: rows never overlap because dst != src.
+        let (lo, hi, dst_first) = if dst_range.start < src_range.start {
+            (dst_range, src_range, true)
+        } else {
+            (src_range, dst_range, false)
+        };
+        let (head, tail) = self.data.split_at_mut(hi.start);
+        let lo_slice = &mut head[lo];
+        let hi_slice = &mut tail[..lo_slice.len()];
+        let (d, s): (&mut [u64], &[u64]) =
+            if dst_first { (lo_slice, hi_slice) } else { (hi_slice, lo_slice) };
+        for (a, &b) in d.iter_mut().zip(s) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `row |= set` for a [`DenseBitSet`] over the same universe; returns
+    /// `true` if the row changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range or the universes differ.
+    pub fn union_row_with_set(&mut self, r: u32, set: &DenseBitSet) -> bool {
+        assert_eq!(set.universe(), self.cols, "universe mismatch in union_row_with_set");
+        let range = self.row_range(r);
+        let mut changed = false;
+        for (a, &b) in self.data[range].iter_mut().zip(set.as_words()) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self.row(r) |= other.row(other_row)` — whole-row union across
+    /// two matrices over the same universe. Returns `true` if the row
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range or the universes differ.
+    pub fn union_row_from(&mut self, r: u32, other: &BitMatrix, other_row: u32) -> bool {
+        assert_eq!(self.cols, other.cols, "universe mismatch in union_row_from");
+        let dst = self.row_range(r);
+        let src = other.row_range(other_row);
+        let mut changed = false;
+        for (a, &b) in self.data[dst].iter_mut().zip(&other.data[src]) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self.row(r) &= !other.row(other_row)` — removes from row `r`
+    /// every column set in `other`'s row. Returns `true` if the row
+    /// changed. Used for the global `T_v \ R_v` filter of the liveness
+    /// precomputation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range or the universes differ.
+    pub fn difference_row_from(&mut self, r: u32, other: &BitMatrix, other_row: u32) -> bool {
+        assert_eq!(self.cols, other.cols, "universe mismatch in difference_row_from");
+        let dst = self.row_range(r);
+        let src = other.row_range(other_row);
+        let mut changed = false;
+        for (a, &b) in self.data[dst].iter_mut().zip(&other.data[src]) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// First set column `>= from` in row `r` (Algorithm 3's
+    /// `bitset_next_set` over `T[q]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn next_set_in_row(&self, r: u32, from: u32) -> Option<u32> {
+        let range = self.row_range(r);
+        next_set_bit_in(&self.data[range], self.cols, from)
+    }
+
+    /// Returns `true` if row `r` and `set` share an element — the
+    /// `R_t ∩ uses(a) ≠ ∅` test of Algorithm 1 for bitset use-sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or universes differ.
+    pub fn row_intersects_set(&self, r: u32, set: &DenseBitSet) -> bool {
+        assert_eq!(set.universe(), self.cols, "universe mismatch in row_intersects_set");
+        let range = self.row_range(r);
+        self.data[range].iter().zip(set.as_words()).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Iterates the set columns of row `r` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_iter(&self, r: u32) -> BitIter<'_> {
+        let range = self.row_range(r);
+        BitIter::new(&self.data[range], self.cols)
+    }
+
+    /// Number of set bits in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_len(&self, r: u32) -> usize {
+        let range = self.row_range(r);
+        self.data[range].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Copies row `r` out into an owned [`DenseBitSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_to_set(&self, r: u32) -> DenseBitSet {
+        DenseBitSet::from_elems(self.cols, self.row_iter(r))
+    }
+
+    /// Heap memory used by the matrix in bytes — the quantity behind the
+    /// paper's §6.1 break-even discussion ("quadratic behavior of the
+    /// precomputation ... especially its memory consumption").
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    /// Writes each row as a list of set columns, e.g. `row0: [1, 2]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitMatrix {}x{} {{", self.rows, self.cols)?;
+        for r in 0..self.rows as u32 {
+            writeln!(f, "  row{r}: {:?}", self.row_iter(r).collect::<Vec<_>>())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_contains() {
+        let mut m = BitMatrix::new(4, 70);
+        assert!(m.set(0, 0));
+        assert!(m.set(3, 69));
+        assert!(!m.set(3, 69));
+        assert!(m.contains(0, 0));
+        assert!(m.contains(3, 69));
+        assert!(!m.contains(1, 0));
+        assert!(!m.contains(0, 1000)); // out-of-range column reads false
+    }
+
+    #[test]
+    #[should_panic(expected = "row 4 out of range")]
+    fn bad_row_panics() {
+        BitMatrix::new(4, 8).set(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column 8 out of range")]
+    fn bad_col_panics() {
+        BitMatrix::new(4, 8).set(0, 8);
+    }
+
+    #[test]
+    fn union_rows_both_directions() {
+        let mut m = BitMatrix::new(3, 130);
+        m.set(0, 5);
+        m.set(2, 129);
+        assert!(m.union_rows(0, 2)); // dst before src
+        assert!(m.contains(0, 129));
+        assert!(m.contains(0, 5));
+        assert!(m.union_rows(2, 0)); // src before dst
+        assert!(m.contains(2, 5));
+        assert!(!m.union_rows(2, 0)); // fixed point
+        assert!(!m.union_rows(1, 1)); // self-union is a no-op
+    }
+
+    #[test]
+    fn union_row_with_set() {
+        let mut m = BitMatrix::new(2, 70);
+        let s = DenseBitSet::from_elems(70, [3, 68]);
+        assert!(m.union_row_with_set(1, &s));
+        assert!(!m.union_row_with_set(1, &s));
+        assert_eq!(m.row_iter(1).collect::<Vec<_>>(), vec![3, 68]);
+        assert!(!m.contains(0, 3));
+    }
+
+    #[test]
+    fn next_set_in_row_and_iter() {
+        let mut m = BitMatrix::new(2, 200);
+        for c in [1u32, 64, 130] {
+            m.set(1, c);
+        }
+        assert_eq!(m.next_set_in_row(1, 0), Some(1));
+        assert_eq!(m.next_set_in_row(1, 2), Some(64));
+        assert_eq!(m.next_set_in_row(1, 131), None);
+        assert_eq!(m.next_set_in_row(0, 0), None);
+        assert_eq!(m.row_iter(1).collect::<Vec<_>>(), vec![1, 64, 130]);
+        assert_eq!(m.row_len(1), 3);
+    }
+
+    #[test]
+    fn row_intersects_set() {
+        let mut m = BitMatrix::new(1, 70);
+        m.set(0, 65);
+        let hit = DenseBitSet::from_elems(70, [65]);
+        let miss = DenseBitSet::from_elems(70, [2]);
+        assert!(m.row_intersects_set(0, &hit));
+        assert!(!m.row_intersects_set(0, &miss));
+    }
+
+    #[test]
+    fn cross_matrix_row_ops() {
+        let mut a = BitMatrix::new(2, 130);
+        let mut b = BitMatrix::new(3, 130);
+        b.set(2, 5);
+        b.set(2, 129);
+        assert!(a.union_row_from(0, &b, 2));
+        assert!(!a.union_row_from(0, &b, 2));
+        assert_eq!(a.row_iter(0).collect::<Vec<_>>(), vec![5, 129]);
+
+        a.set(0, 7);
+        assert!(a.difference_row_from(0, &b, 2));
+        assert_eq!(a.row_iter(0).collect::<Vec<_>>(), vec![7]);
+        assert!(!a.difference_row_from(0, &b, 1)); // empty row removes nothing
+        assert!(a.row_iter(1).next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_matrix_universe_mismatch_panics() {
+        let mut a = BitMatrix::new(1, 8);
+        let b = BitMatrix::new(1, 9);
+        a.union_row_from(0, &b, 0);
+    }
+
+    #[test]
+    fn row_to_set_round_trips() {
+        let mut m = BitMatrix::new(2, 40);
+        m.set(0, 7);
+        m.set(0, 39);
+        let s = m.row_to_set(0);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![7, 39]);
+        assert_eq!(s.universe(), 40);
+    }
+
+    #[test]
+    fn heap_bytes_is_quadraticish() {
+        // n blocks -> n rows of ceil(n/64) words: the §6.1 memory model.
+        let m = BitMatrix::new(100, 100);
+        assert_eq!(m.heap_bytes(), 100 * 2 * 8);
+    }
+
+    #[test]
+    fn debug_render() {
+        let mut m = BitMatrix::new(2, 8);
+        m.set(0, 1);
+        let s = format!("{m:?}");
+        assert!(s.contains("row0: [1]"));
+        assert!(s.contains("row1: []"));
+    }
+}

@@ -1,0 +1,267 @@
+/// A set of `u32` values stored as a sorted dense array with binary-search
+/// membership.
+///
+/// This is the representation the paper attributes to LAO's production
+/// liveness analysis (§6.2: "sets represented as sorted dense arrays of
+/// pointers ... testing set membership only requires a binary search,
+/// which takes logarithmic time in the set cardinality") and the
+/// space-saving alternative for `T_v`/`R_v` suggested in §6.1 and §8
+/// ("future implementations could use sorted arrays instead of bitsets").
+///
+/// Memory is proportional to the number of *elements*, not the universe,
+/// which is what moves the §6.1 break-even point.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_bitset::SortedSet;
+///
+/// let s = SortedSet::from_unsorted(vec![9, 3, 3, 7]);
+/// assert_eq!(s.as_slice(), &[3, 7, 9]);
+/// assert!(s.contains(7));
+/// assert!(!s.contains(4));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct SortedSet {
+    elems: Vec<u32>,
+}
+
+impl SortedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SortedSet::default()
+    }
+
+    /// Builds a set from arbitrary input, sorting and deduplicating.
+    pub fn from_unsorted(mut elems: Vec<u32>) -> Self {
+        elems.sort_unstable();
+        elems.dedup();
+        SortedSet { elems }
+    }
+
+    /// Wraps a slice that is already strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the input is not strictly increasing.
+    pub fn from_sorted(elems: Vec<u32>) -> Self {
+        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]), "input not strictly increasing");
+        SortedSet { elems }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Returns `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Binary-search membership test — the query operation of the LAO
+    /// baseline.
+    pub fn contains(&self, elem: u32) -> bool {
+        self.elems.binary_search(&elem).is_ok()
+    }
+
+    /// Inserts `elem` keeping order; returns `true` if it was absent.
+    /// O(n) worst case — LAO builds sets once and queries many times.
+    pub fn insert(&mut self, elem: u32) -> bool {
+        match self.elems.binary_search(&elem) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.elems.insert(pos, elem);
+                true
+            }
+        }
+    }
+
+    /// Removes `elem`; returns `true` if it was present.
+    pub fn remove(&mut self, elem: u32) -> bool {
+        match self.elems.binary_search(&elem) {
+            Ok(pos) => {
+                self.elems.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// First element `>= from`, mirroring
+    /// [`DenseBitSet::next_set_bit`](crate::DenseBitSet::next_set_bit) so
+    /// the sorted-array liveness engine can share the Algorithm 3 loop
+    /// structure.
+    pub fn next_at_least(&self, from: u32) -> Option<u32> {
+        let pos = self.elems.partition_point(|&e| e < from);
+        self.elems.get(pos).copied()
+    }
+
+    /// Returns `true` if `self` and `other` share an element, by linear
+    /// merge (both sets sorted).
+    pub fn intersects(&self, other: &SortedSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Merges `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &SortedSet) -> bool {
+        if other.elems.is_empty() {
+            return false;
+        }
+        let mut merged = Vec::with_capacity(self.elems.len() + other.elems.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.elems[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.elems[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.elems[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.elems[i..]);
+        merged.extend_from_slice(&other.elems[j..]);
+        let changed = merged.len() != self.elems.len();
+        self.elems = merged;
+        changed
+    }
+
+    /// The elements in increasing order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.elems
+    }
+
+    /// Iterates elements in increasing order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, u32>> {
+        self.elems.iter().copied()
+    }
+
+    /// Heap bytes used — proportional to cardinality, unlike a bitset
+    /// (§6.1's memory comparison).
+    pub fn heap_bytes(&self) -> usize {
+        self.elems.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Shrinks capacity to fit, making [`heap_bytes`](Self::heap_bytes)
+    /// reflect cardinality exactly.
+    pub fn shrink_to_fit(&mut self) {
+        self.elems.shrink_to_fit();
+    }
+}
+
+impl FromIterator<u32> for SortedSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        SortedSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+impl std::fmt::Debug for SortedSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let s = SortedSet::from_unsorted(vec![5, 1, 5, 3, 1]);
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_via_binary_search() {
+        let s: SortedSet = (0..100).step_by(3).collect();
+        assert!(s.contains(0));
+        assert!(s.contains(99));
+        assert!(!s.contains(98));
+        assert!(!SortedSet::new().contains(0));
+    }
+
+    #[test]
+    fn insert_keeps_order() {
+        let mut s = SortedSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s = SortedSet::from_unsorted(vec![1, 2, 3]);
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert_eq!(s.as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn next_at_least_mirrors_next_set_bit() {
+        let s = SortedSet::from_unsorted(vec![2, 7, 40]);
+        assert_eq!(s.next_at_least(0), Some(2));
+        assert_eq!(s.next_at_least(2), Some(2));
+        assert_eq!(s.next_at_least(3), Some(7));
+        assert_eq!(s.next_at_least(41), None);
+    }
+
+    #[test]
+    fn intersects_by_merge() {
+        let a = SortedSet::from_unsorted(vec![1, 5, 9]);
+        let b = SortedSet::from_unsorted(vec![2, 5]);
+        let c = SortedSet::from_unsorted(vec![0, 2, 4]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&SortedSet::new()));
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = SortedSet::from_unsorted(vec![1, 5]);
+        let b = SortedSet::from_unsorted(vec![2, 5, 9]);
+        assert!(a.union_with(&b));
+        assert_eq!(a.as_slice(), &[1, 2, 5, 9]);
+        assert!(!a.union_with(&b));
+        assert!(!a.union_with(&SortedSet::new()));
+    }
+
+    #[test]
+    fn agrees_with_dense_bitset() {
+        use crate::DenseBitSet;
+        let elems = [3u32, 17, 64, 65, 127];
+        let sorted: SortedSet = elems.iter().copied().collect();
+        let dense = DenseBitSet::from_elems(128, elems);
+        for e in 0..128u32 {
+            assert_eq!(sorted.contains(e), dense.contains(e), "disagree on {e}");
+        }
+        for from in 0..128u32 {
+            assert_eq!(sorted.next_at_least(from), dense.next_set_bit(from), "from {from}");
+        }
+    }
+
+    #[test]
+    fn heap_bytes_tracks_cardinality() {
+        let mut s: SortedSet = (0..32u32).collect();
+        s.shrink_to_fit();
+        assert_eq!(s.heap_bytes(), 32 * 4);
+    }
+}

@@ -1,0 +1,209 @@
+/// The sparse set of Briggs & Torczon ("An Efficient Representation for
+/// Sparse Sets", LOPLAS 1993).
+///
+/// Offers O(1) insert / remove / membership / clear *without* initializing
+/// the backing storage per clear, plus iteration in insertion order over
+/// only the present elements. §6.2 of the paper notes that LAO's baseline
+/// liveness performs its local (per-block) analysis with exactly this
+/// structure, so the [`lao` engine](https://docs.rs/fastlive-dataflow)
+/// uses this implementation.
+///
+/// Unlike the classic formulation, the backing arrays *are* zero-initialized
+/// here (safe Rust), but the O(1) `clear` — the property that matters when
+/// the same scratch set is reused for every block — is preserved.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_bitset::SparseSet;
+///
+/// let mut s = SparseSet::new(100);
+/// s.insert(42);
+/// s.insert(7);
+/// assert!(s.contains(42));
+/// s.clear(); // O(1)
+/// assert!(!s.contains(42));
+/// ```
+#[derive(Clone)]
+pub struct SparseSet {
+    /// Elements currently in the set, densely packed.
+    dense: Vec<u32>,
+    /// `sparse[e]` is the index of `e` in `dense`, if `e` is present.
+    sparse: Vec<u32>,
+}
+
+impl SparseSet {
+    /// Creates an empty set over the universe `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        SparseSet { dense: Vec::new(), sparse: vec![0; universe] }
+    }
+
+    /// The universe size (exclusive upper bound on elements).
+    pub fn universe(&self) -> usize {
+        self.sparse.len()
+    }
+
+    /// Number of elements currently present.
+    pub fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Returns `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+
+    /// Membership test in O(1).
+    pub fn contains(&self, elem: u32) -> bool {
+        (elem as usize) < self.sparse.len() && {
+            let slot = self.sparse[elem as usize] as usize;
+            slot < self.dense.len() && self.dense[slot] == elem
+        }
+    }
+
+    /// Inserts `elem` in O(1); returns `true` if it was absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem >= universe`.
+    pub fn insert(&mut self, elem: u32) -> bool {
+        assert!(
+            (elem as usize) < self.sparse.len(),
+            "element {elem} outside universe {}",
+            self.sparse.len()
+        );
+        if self.contains(elem) {
+            return false;
+        }
+        self.sparse[elem as usize] = self.dense.len() as u32;
+        self.dense.push(elem);
+        true
+    }
+
+    /// Removes `elem` in O(1) (swap-remove); returns `true` if present.
+    pub fn remove(&mut self, elem: u32) -> bool {
+        if !self.contains(elem) {
+            return false;
+        }
+        let slot = self.sparse[elem as usize] as usize;
+        let last = *self.dense.last().expect("non-empty: contains() held");
+        self.dense.swap_remove(slot);
+        if slot < self.dense.len() {
+            self.sparse[last as usize] = slot as u32;
+        }
+        true
+    }
+
+    /// Empties the set in O(1).
+    pub fn clear(&mut self) {
+        self.dense.clear();
+    }
+
+    /// Iterates present elements in insertion order (unordered values).
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, u32>> {
+        self.dense.iter().copied()
+    }
+
+    /// The packed element slice (insertion order).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.dense
+    }
+}
+
+impl std::fmt::Debug for SparseSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains() {
+        let mut s = SparseSet::new(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn contains_handles_stale_sparse_entries() {
+        // The classic sparse-set trick: sparse[] may contain garbage for
+        // absent elements; contains() must cross-check via dense[].
+        let mut s = SparseSet::new(10);
+        s.insert(5);
+        s.clear();
+        assert!(!s.contains(5)); // sparse[5] is stale but dense is empty
+        s.insert(7);
+        assert!(!s.contains(5)); // sparse[5]==0 points at dense[0]==7
+        assert!(s.contains(7));
+    }
+
+    #[test]
+    fn remove_swaps_last() {
+        let mut s = SparseSet::new(10);
+        for e in [1, 2, 3] {
+            s.insert(e);
+        }
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert!(s.contains(2));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 2);
+        // removing the final element also works
+        assert!(s.remove(3));
+        assert!(s.remove(2));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut s = SparseSet::new(4);
+        assert!(!s.remove(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_universe_panics() {
+        SparseSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn contains_out_of_universe_is_false() {
+        let s = SparseSet::new(4);
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    fn iteration_in_insertion_order() {
+        let mut s = SparseSet::new(100);
+        for e in [42, 7, 99] {
+            s.insert(e);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![42, 7, 99]);
+        assert_eq!(s.as_slice(), &[42, 7, 99]);
+    }
+
+    #[test]
+    fn clear_is_reusable() {
+        let mut s = SparseSet::new(50);
+        for round in 0..3u32 {
+            s.insert(round);
+            s.insert(round + 10);
+            assert_eq!(s.len(), 2);
+            s.clear();
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn debug_shows_elements() {
+        let mut s = SparseSet::new(10);
+        s.insert(9);
+        assert_eq!(format!("{s:?}"), "{9}");
+    }
+}

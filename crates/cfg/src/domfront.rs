@@ -1,0 +1,237 @@
+use fastlive_graph::{Cfg, NodeId};
+
+use crate::DomTree;
+
+/// Dominance frontiers of every node, computed with the algorithm of
+/// Cytron et al. (TOPLAS 1991) as refined by Cooper–Harvey–Kennedy:
+/// for each join node `b`, walk each predecessor's dominator chain up to
+/// (but excluding) `idom(b)`, adding `b` to the frontier of every node on
+/// the way.
+///
+/// The *iterated* dominance frontier ([`DominanceFrontiers::iterated`]) of
+/// a variable's definition blocks is exactly the set of blocks that need a
+/// φ-function (Figure 2 of the paper); SSA construction in
+/// `fastlive-construct` is built on it.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_cfg::{DfsTree, DomTree, DominanceFrontiers};
+/// use fastlive_graph::DiGraph;
+///
+/// // Diamond: the join node 3 is in the frontier of both branches.
+/// let g = DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+/// let dfs = DfsTree::compute(&g);
+/// let dom = DomTree::compute(&g, &dfs);
+/// let df = DominanceFrontiers::compute(&g, &dom);
+/// assert_eq!(df.of(1), &[3]);
+/// assert_eq!(df.of(2), &[3]);
+/// assert_eq!(df.of(0), &[] as &[u32]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DominanceFrontiers {
+    /// `df[v]` sorted ascending, deduplicated.
+    df: Vec<Vec<NodeId>>,
+}
+
+impl DominanceFrontiers {
+    /// Computes all dominance frontiers. Unreachable nodes get empty
+    /// frontiers and are skipped as predecessors.
+    pub fn compute<G: Cfg>(g: &G, dom: &DomTree) -> Self {
+        let n = g.num_nodes();
+        let mut df: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for b in 0..n as NodeId {
+            if !dom.is_reachable(b) || g.preds(b).is_empty() {
+                continue;
+            }
+            match dom.idom(b) {
+                // The entry node with predecessors (back edges into the
+                // entry): nothing strictly dominates the entry, so *every*
+                // dominator of a predecessor has the entry in its
+                // frontier; the walk runs through the root inclusive.
+                None => {
+                    for &p in g.preds(b) {
+                        if !dom.is_reachable(p) {
+                            continue;
+                        }
+                        let mut runner = p;
+                        loop {
+                            push_unique(&mut df[runner as usize], b);
+                            match dom.idom(runner) {
+                                Some(next) => runner = next,
+                                None => break,
+                            }
+                        }
+                    }
+                }
+                Some(idom_b) => {
+                    // With a single predecessor the walk is empty (the
+                    // pred *is* the idom); the ≥2-predecessor check of
+                    // the textbook version is just this short-circuit.
+                    if g.preds(b).len() < 2 {
+                        continue;
+                    }
+                    for &p in g.preds(b) {
+                        if !dom.is_reachable(p) {
+                            continue;
+                        }
+                        let mut runner = p;
+                        while runner != idom_b {
+                            push_unique(&mut df[runner as usize], b);
+                            runner = dom.idom(runner).expect(
+                                "walk from a predecessor must reach idom(b) before the root",
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for row in &mut df {
+            row.sort_unstable();
+        }
+        DominanceFrontiers { df }
+    }
+
+    /// The dominance frontier of `v`, sorted ascending.
+    pub fn of(&self, v: NodeId) -> &[NodeId] {
+        &self.df[v as usize]
+    }
+
+    /// The iterated dominance frontier `DF⁺(defs)`: the least set `S` with
+    /// `DF(defs ∪ S) ⊆ S`, computed with a worklist. This is the
+    /// φ-placement set of Cytron et al.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastlive_cfg::{DfsTree, DomTree, DominanceFrontiers};
+    /// use fastlive_graph::DiGraph;
+    ///
+    /// // Two defs in the branches of a diamond need one φ at the join.
+    /// let g = DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    /// let dfs = DfsTree::compute(&g);
+    /// let dom = DomTree::compute(&g, &dfs);
+    /// let df = DominanceFrontiers::compute(&g, &dom);
+    /// assert_eq!(df.iterated(&[1, 2]), vec![3]);
+    /// ```
+    pub fn iterated(&self, defs: &[NodeId]) -> Vec<NodeId> {
+        let mut in_set = vec![false; self.df.len()];
+        let mut out = Vec::new();
+        let mut work: Vec<NodeId> = defs.to_vec();
+        let mut queued = vec![false; self.df.len()];
+        for &d in defs {
+            queued[d as usize] = true;
+        }
+        while let Some(v) = work.pop() {
+            for &f in self.of(v) {
+                if !in_set[f as usize] {
+                    in_set[f as usize] = true;
+                    out.push(f);
+                    if !queued[f as usize] {
+                        queued[f as usize] = true;
+                        work.push(f);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+fn push_unique(v: &mut Vec<NodeId>, x: NodeId) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfsTree;
+    use fastlive_graph::DiGraph;
+
+    fn frontiers(g: &DiGraph) -> DominanceFrontiers {
+        let dfs = DfsTree::compute(g);
+        let dom = DomTree::compute(g, &dfs);
+        DominanceFrontiers::compute(g, &dom)
+    }
+
+    #[test]
+    fn straight_line_has_empty_frontiers() {
+        let df = frontiers(&DiGraph::from_edges(3, 0, &[(0, 1), (1, 2)]));
+        for v in 0..3 {
+            assert!(df.of(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn loop_header_is_its_own_frontier() {
+        // 0 -> 1 -> 2 -> 1; 2 -> 3. The header 1 has two preds, and the
+        // body 2 (and header itself, via the back edge walk) get DF {1}.
+        let g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let df = frontiers(&g);
+        assert_eq!(df.of(2), &[1]);
+        assert_eq!(df.of(1), &[1]); // a loop header is in its own DF
+        assert!(df.of(0).is_empty());
+        assert!(df.of(3).is_empty());
+    }
+
+    #[test]
+    fn cytron_definition_holds() {
+        // DF(x) = { y : x dominates a pred of y, but not strictly y }.
+        let g = DiGraph::from_edges(
+            8,
+            0,
+            &[(0, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (5, 1), (5, 6), (0, 7), (7, 6)],
+        );
+        let dfs = DfsTree::compute(&g);
+        let dom = DomTree::compute(&g, &dfs);
+        let df = DominanceFrontiers::compute(&g, &dom);
+        use fastlive_graph::Cfg as _;
+        for x in 0..8u32 {
+            let mut expect: Vec<u32> = (0..8u32)
+                .filter(|&y| {
+                    g.preds(y).iter().any(|&p| dom.dominates(x, p))
+                        && !dom.strictly_dominates(x, y)
+                })
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(df.of(x), expect.as_slice(), "DF({x})");
+        }
+    }
+
+    #[test]
+    fn iterated_frontier_reaches_fixpoint() {
+        // Nested loops: defs inside the inner loop propagate φs to both
+        // headers.
+        let g = DiGraph::from_edges(
+            6,
+            0,
+            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (4, 5)],
+        );
+        let df = frontiers(&g);
+        let idf = df.iterated(&[3]);
+        assert_eq!(idf, vec![1, 2]);
+        // A def at the entry alone never needs φs.
+        assert!(df.iterated(&[0]).is_empty());
+        assert!(df.iterated(&[]).is_empty());
+    }
+
+    #[test]
+    fn diamond_needs_phi_only_at_join() {
+        let g = DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let df = frontiers(&g);
+        assert_eq!(df.iterated(&[1]), vec![3]);
+        assert_eq!(df.iterated(&[1, 2]), vec![3]);
+        assert_eq!(df.iterated(&[0]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn unreachable_preds_ignored() {
+        let g = DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 3)]);
+        // Node 3 has a self-loop: its own frontier contains itself.
+        let df = frontiers(&g);
+        assert_eq!(df.of(3), &[3]);
+    }
+}

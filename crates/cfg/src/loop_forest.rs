@@ -1,0 +1,436 @@
+use fastlive_graph::{Cfg, NodeId};
+
+use crate::DfsTree;
+
+/// Identifier of a loop in a [`LoopForest`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+/// A single loop discovered by Havlak's analysis.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (target of the loop's back edges).
+    pub header: NodeId,
+    /// The enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// `false` if the loop has an entry besides its header (irreducible).
+    pub reducible: bool,
+    /// Nodes whose *innermost* loop this is (the header included).
+    /// Nodes of nested loops are not repeated here.
+    pub nodes: Vec<NodeId>,
+    /// Nesting depth: outermost loops have depth 1.
+    pub depth: u32,
+}
+
+/// The loop nesting forest of a CFG, computed with Havlak's algorithm
+/// ("Nesting of Reducible and Irreducible Loops", TOPLAS 1997) — one of
+/// the two loop-forest constructions the paper's outlook (§8) cites as
+/// the structure its algorithm "could take advantage of".
+///
+/// The forest maps every node to its innermost enclosing loop; loops form
+/// a tree via [`Loop::parent`]. Loop headers count as members of the loop
+/// they head. On reducible CFGs the headers are exactly the back-edge
+/// targets, which is what connects this structure to the sets `T_q`
+/// (Definition 5): for a node `q` of a reducible CFG, `T_q` is `{q}` plus
+/// the headers of the loops containing `q` — the property the
+/// `fastlive-core` loop-forest checker exploits and the test suite
+/// verifies.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_cfg::{DfsTree, LoopForest};
+/// use fastlive_graph::DiGraph;
+///
+/// // 0 -> 1 -> 2 -> 1 (loop), 2 -> 3.
+/// let g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+/// let dfs = DfsTree::compute(&g);
+/// let forest = LoopForest::compute(&g, &dfs);
+/// let l = forest.innermost(1).unwrap();
+/// assert_eq!(forest.loop_ref(l).header, 1);
+/// assert_eq!(forest.innermost(1), forest.innermost(2));
+/// assert_eq!(forest.innermost(3), None);
+/// assert_eq!(forest.loop_depth(2), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// Innermost loop containing each node (headers map to the loop they
+    /// head); `None` for nodes outside all loops or unreachable.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Runs Havlak's loop analysis over `g`.
+    pub fn compute<G: Cfg>(g: &G, dfs: &DfsTree) -> Self {
+        Havlak::new(g, dfs).run()
+    }
+
+    /// The innermost loop containing `v` (for a header: the loop it
+    /// heads); `None` if `v` is in no loop.
+    pub fn innermost(&self, v: NodeId) -> Option<LoopId> {
+        self.innermost[v as usize]
+    }
+
+    /// Loop data for `id`.
+    pub fn loop_ref(&self, id: LoopId) -> &Loop {
+        &self.loops[id.0 as usize]
+    }
+
+    /// All loops, in discovery order (inner loops before the loops that
+    /// enclose them).
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Number of loops in the forest.
+    pub fn num_loops(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// If `v` heads a loop, that loop.
+    pub fn loop_headed_by(&self, v: NodeId) -> Option<LoopId> {
+        self.innermost(v).filter(|&l| self.loop_ref(l).header == v)
+    }
+
+    /// Nesting depth of `v`: 0 outside loops, 1 in an outermost loop, ...
+    pub fn loop_depth(&self, v: NodeId) -> u32 {
+        self.innermost(v).map_or(0, |l| self.loop_ref(l).depth)
+    }
+
+    /// Iterates the loops containing `v`, innermost first.
+    pub fn containing_loops(&self, v: NodeId) -> ContainingLoops<'_> {
+        ContainingLoops { forest: self, cur: self.innermost(v) }
+    }
+
+    /// `true` if loop `id` (transitively) contains node `v`.
+    pub fn loop_contains(&self, id: LoopId, v: NodeId) -> bool {
+        self.containing_loops(v).any(|l| l == id)
+    }
+}
+
+/// Iterator over the loops enclosing a node, innermost first. Created by
+/// [`LoopForest::containing_loops`].
+#[derive(Clone, Debug)]
+pub struct ContainingLoops<'a> {
+    forest: &'a LoopForest,
+    cur: Option<LoopId>,
+}
+
+impl Iterator for ContainingLoops<'_> {
+    type Item = LoopId;
+    fn next(&mut self) -> Option<LoopId> {
+        let l = self.cur?;
+        self.cur = self.forest.loop_ref(l).parent;
+        Some(l)
+    }
+}
+
+/// Internal state of Havlak's algorithm. Works in DFS-preorder index
+/// space (`w` below is a preorder number).
+struct Havlak<'a, G: Cfg> {
+    g: &'a G,
+    dfs: &'a DfsTree,
+    n: usize,
+    /// Union-find parent for collapsing discovered loop bodies.
+    uf: Vec<u32>,
+    /// Extra non-back predecessors added for irreducible regions.
+    extra_non_back: Vec<Vec<u32>>,
+    /// Loop (if any) currently headed by each preorder index.
+    loop_of_header: Vec<Option<LoopId>>,
+    /// Innermost loop assignment per preorder index.
+    innermost: Vec<Option<LoopId>>,
+    loops: Vec<Loop>,
+}
+
+impl<'a, G: Cfg> Havlak<'a, G> {
+    fn new(g: &'a G, dfs: &'a DfsTree) -> Self {
+        let n = dfs.num_reached();
+        Havlak {
+            g,
+            dfs,
+            n,
+            uf: (0..n as u32).collect(),
+            extra_non_back: vec![Vec::new(); n],
+            loop_of_header: vec![None; n],
+            innermost: vec![None; n],
+            loops: Vec::new(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        if self.uf[x as usize] != x {
+            let root = self.find(self.uf[x as usize]);
+            self.uf[x as usize] = root;
+            root
+        } else {
+            x
+        }
+    }
+
+    fn run(mut self) -> LoopForest {
+        let preorder = self.dfs.preorder().to_vec();
+        // Process headers from the deepest preorder number upwards so
+        // inner loops are discovered before outer ones.
+        for w in (0..self.n as u32).rev() {
+            let node_w = preorder[w as usize];
+
+            // Partition incoming edges (in preorder space).
+            let mut body_seeds: Vec<u32> = Vec::new(); // FIND of back-edge sources
+            let mut self_loop = false;
+            for &p in self.g.preds(node_w) {
+                if !self.dfs.is_reachable(p) {
+                    continue;
+                }
+                let vp = self.dfs.pre(p);
+                if self.dfs.is_ancestor(node_w, p) {
+                    // (p, node_w) is a back edge.
+                    if vp == w {
+                        self_loop = true;
+                    } else {
+                        let f = self.find(vp);
+                        if f != w && !body_seeds.contains(&f) {
+                            body_seeds.push(f);
+                        }
+                    }
+                }
+            }
+
+            if body_seeds.is_empty() && !self_loop {
+                continue;
+            }
+
+            // Grow the body: walk non-back predecessors of body members.
+            let mut reducible = true;
+            let mut body = body_seeds.clone();
+            let mut worklist = body_seeds;
+            while let Some(x) = worklist.pop() {
+                let node_x = preorder[x as usize];
+                let mut incoming: Vec<u32> = Vec::new();
+                for &p in self.g.preds(node_x) {
+                    if !self.dfs.is_reachable(p) {
+                        continue;
+                    }
+                    // Only non-back predecessors grow the body.
+                    if !self.dfs.is_ancestor(node_x, p) {
+                        incoming.push(self.dfs.pre(p));
+                    }
+                }
+                incoming.extend(self.extra_non_back[x as usize].iter().copied());
+                for vp in incoming {
+                    let y = self.find(vp);
+                    if !self.dfs.is_ancestor(node_w, preorder[y as usize]) {
+                        // Entry into the loop that bypasses the header:
+                        // the region is irreducible. Defer the offending
+                        // predecessor to the enclosing header, as Havlak
+                        // does, so outer loops still see it.
+                        reducible = false;
+                        self.extra_non_back[w as usize].push(y);
+                    } else if y != w && !body.contains(&y) {
+                        body.push(y);
+                        worklist.push(y);
+                    }
+                }
+            }
+
+            // Materialize the loop.
+            let id = LoopId(self.loops.len() as u32);
+            let mut nodes = vec![node_w];
+            for &x in &body {
+                self.uf[x as usize] = w;
+                if let Some(inner) = self.loop_of_header[x as usize] {
+                    // x is the (collapsed) header of an inner loop.
+                    self.loops[inner.0 as usize].parent = Some(id);
+                } else {
+                    nodes.push(preorder[x as usize]);
+                    self.innermost[x as usize] = Some(id);
+                }
+            }
+            self.innermost[w as usize] = Some(id);
+            self.loop_of_header[w as usize] = Some(id);
+            self.loops.push(Loop { header: node_w, parent: None, reducible, nodes, depth: 0 });
+        }
+
+        self.finish(&preorder)
+    }
+
+    fn finish(mut self, preorder: &[NodeId]) -> LoopForest {
+        // Depths: loops were created inner-first, so parents come later;
+        // walk in reverse creation order to set depths top-down.
+        for i in (0..self.loops.len()).rev() {
+            let depth = match self.loops[i].parent {
+                Some(p) => self.loops[p.0 as usize].depth + 1,
+                None => 1,
+            };
+            self.loops[i].depth = depth;
+        }
+
+        // Translate the innermost table from preorder space to node space.
+        let num_nodes = self.g.num_nodes();
+        let mut innermost = vec![None; num_nodes];
+        for (w, l) in self.innermost.iter().enumerate() {
+            innermost[preorder[w] as usize] = *l;
+        }
+        LoopForest { loops: self.loops, innermost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_graph::DiGraph;
+
+    fn forest(g: &DiGraph) -> LoopForest {
+        LoopForest::compute(g, &DfsTree::compute(g))
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_loops() {
+        let f = forest(&DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+        assert_eq!(f.num_loops(), 0);
+        for v in 0..4 {
+            assert_eq!(f.innermost(v), None);
+            assert_eq!(f.loop_depth(v), 0);
+        }
+    }
+
+    #[test]
+    fn single_natural_loop() {
+        let g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let f = forest(&g);
+        assert_eq!(f.num_loops(), 1);
+        let l = f.loops()[0].clone();
+        assert_eq!(l.header, 1);
+        assert!(l.reducible);
+        let mut nodes = l.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2]);
+        assert_eq!(f.loop_depth(1), 1);
+        assert_eq!(f.loop_depth(3), 0);
+        assert_eq!(f.loop_headed_by(1), Some(LoopId(0)));
+        assert_eq!(f.loop_headed_by(2), None);
+    }
+
+    #[test]
+    fn self_loop() {
+        let g = DiGraph::from_edges(3, 0, &[(0, 1), (1, 1), (1, 2)]);
+        let f = forest(&g);
+        assert_eq!(f.num_loops(), 1);
+        assert_eq!(f.loops()[0].header, 1);
+        assert!(f.loops()[0].reducible);
+        assert_eq!(f.loops()[0].nodes, vec![1]);
+    }
+
+    #[test]
+    fn nested_loops() {
+        // outer: 1..4 (back edge 4->1); inner: 2..3 (back edge 3->2).
+        let g = DiGraph::from_edges(
+            6,
+            0,
+            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (4, 5)],
+        );
+        let f = forest(&g);
+        assert_eq!(f.num_loops(), 2);
+        let inner = f.loop_headed_by(2).expect("inner loop at 2");
+        let outer = f.loop_headed_by(1).expect("outer loop at 1");
+        assert_eq!(f.loop_ref(inner).parent, Some(outer));
+        assert_eq!(f.loop_ref(outer).parent, None);
+        assert_eq!(f.loop_ref(inner).depth, 2);
+        assert_eq!(f.loop_ref(outer).depth, 1);
+        assert_eq!(f.loop_depth(3), 2);
+        assert_eq!(f.loop_depth(4), 1);
+        assert!(f.loop_contains(outer, 3));
+        assert!(!f.loop_contains(inner, 4));
+        let chain: Vec<_> = f.containing_loops(3).collect();
+        assert_eq!(chain, vec![inner, outer]);
+    }
+
+    #[test]
+    fn irreducible_region_flagged() {
+        // Entry reaches both 1 and 2; cycle 1<->2 has two entries.
+        let g = DiGraph::from_edges(3, 0, &[(0, 1), (0, 2), (1, 2), (2, 1)]);
+        let f = forest(&g);
+        assert_eq!(f.num_loops(), 1);
+        assert!(!f.loops()[0].reducible);
+    }
+
+    #[test]
+    fn two_sibling_loops() {
+        let g = DiGraph::from_edges(
+            5,
+            0,
+            &[(0, 1), (1, 1), (1, 2), (2, 3), (3, 2), (3, 4)],
+        );
+        let f = forest(&g);
+        assert_eq!(f.num_loops(), 2);
+        let a = f.loop_headed_by(1).unwrap();
+        let b = f.loop_headed_by(2).unwrap();
+        assert_eq!(f.loop_ref(a).parent, None);
+        assert_eq!(f.loop_ref(b).parent, None);
+        assert_eq!(f.loop_depth(3), 1);
+    }
+
+    #[test]
+    fn reducible_headers_are_back_edge_targets() {
+        // On a reducible CFG the loop headers and the back-edge targets
+        // coincide — the bridge between loop forests and the sets T_q.
+        let g = DiGraph::from_edges(
+            8,
+            0,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 1),
+                (1, 4),
+                (4, 5),
+                (5, 4),
+                (5, 6),
+                (6, 1),
+                (1, 7),
+            ],
+        );
+        let dfs = DfsTree::compute(&g);
+        let f = LoopForest::compute(&g, &dfs);
+        let mut headers: Vec<NodeId> = f.loops().iter().map(|l| l.header).collect();
+        headers.sort_unstable();
+        headers.dedup();
+        let mut targets: Vec<NodeId> = dfs.back_edges().iter().map(|&(_, t)| t).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(headers, targets);
+    }
+
+    #[test]
+    fn figure3_loop_structure() {
+        // The paper's Figure 3 (0-based). Three back-edge targets: 1, 4, 7.
+        let g = DiGraph::from_edges(
+            11,
+            0,
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 10),
+                (2, 3),
+                (2, 7),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (5, 4),
+                (6, 1),
+                (7, 8),
+                (8, 9),
+                (8, 5),
+                (9, 7),
+                (9, 10),
+            ],
+        );
+        let f = forest(&g);
+        let mut headers: Vec<NodeId> = f.loops().iter().map(|l| l.header).collect();
+        headers.sort_unstable();
+        assert_eq!(headers, vec![1, 4, 7]);
+        // The {4,5} loop is entered from 8 without passing 4: irreducible.
+        let l4 = f.loop_headed_by(4).unwrap();
+        assert!(!f.loop_ref(l4).reducible);
+    }
+}

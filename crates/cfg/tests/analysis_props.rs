@@ -1,0 +1,124 @@
+//! Property tests over the CFG analyses: randomized graphs, shrunk
+//! counterexamples.
+
+use fastlive_cfg::{lengauer_tarjan, DfsTree, DomTree, DominanceFrontiers, LoopForest, Reducibility};
+use fastlive_graph::{Cfg as _, DiGraph};
+use proptest::prelude::*;
+
+fn digraphs() -> impl Strategy<Value = DiGraph> {
+    (2usize..14).prop_flat_map(|n| {
+        let backbone = proptest::collection::vec(0u32..(n as u32), n - 1);
+        let extras = proptest::collection::vec((0u32..(n as u32), 0u32..(n as u32)), 0..2 * n);
+        (Just(n), backbone, extras).prop_map(|(n, parents, extras)| {
+            let mut g = DiGraph::new(n, 0);
+            for (i, &p) in parents.iter().enumerate() {
+                let v = (i + 1) as u32;
+                g.add_edge(p % v, v);
+            }
+            for (u, v) in extras {
+                g.add_edge(u, v);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The two dominator algorithms agree on every node.
+    #[test]
+    fn chk_equals_lengauer_tarjan(g in digraphs()) {
+        let dfs = DfsTree::compute(&g);
+        let chk = DomTree::compute(&g, &dfs);
+        let lt = lengauer_tarjan::immediate_dominators(&g, &dfs);
+        for v in 0..g.num_nodes() as u32 {
+            let a = if chk.is_reachable(v) { chk.idom(v) } else { None };
+            prop_assert_eq!(a, lt[v as usize], "node {}", v);
+        }
+    }
+
+    /// Cytron's characterisation of dominance frontiers holds exactly.
+    #[test]
+    fn dominance_frontier_characterisation(g in digraphs()) {
+        let dfs = DfsTree::compute(&g);
+        let dom = DomTree::compute(&g, &dfs);
+        let df = DominanceFrontiers::compute(&g, &dom);
+        let n = g.num_nodes() as u32;
+        for x in 0..n {
+            if !dfs.is_reachable(x) {
+                continue;
+            }
+            for y in 0..n {
+                if !dfs.is_reachable(y) {
+                    continue;
+                }
+                let expect = g
+                    .preds(y)
+                    .iter()
+                    .any(|&p| dfs.is_reachable(p) && dom.dominates(x, p))
+                    && !dom.strictly_dominates(x, y);
+                prop_assert_eq!(
+                    df.of(x).contains(&y),
+                    expect,
+                    "DF({}) vs {}", x, y
+                );
+            }
+        }
+    }
+
+    /// Loop-forest sanity: headers are exactly the back-edge targets,
+    /// nesting depths are consistent, and on reducible graphs every
+    /// header dominates its loop's nodes.
+    #[test]
+    fn loop_forest_invariants(g in digraphs()) {
+        let dfs = DfsTree::compute(&g);
+        let dom = DomTree::compute(&g, &dfs);
+        let forest = LoopForest::compute(&g, &dfs);
+        let red = Reducibility::compute(&dfs, &dom);
+
+        let mut headers: Vec<u32> = forest.loops().iter().map(|l| l.header).collect();
+        headers.sort_unstable();
+        headers.dedup();
+        let mut targets: Vec<u32> = dfs.back_edges().iter().map(|&(_, t)| t).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        prop_assert_eq!(headers, targets);
+
+        for (i, l) in forest.loops().iter().enumerate() {
+            match l.parent {
+                Some(p) => {
+                    prop_assert_eq!(l.depth, forest.loop_ref(p).depth + 1);
+                    // A loop is inside its parent.
+                    prop_assert!(forest.loop_contains(p, l.header));
+                }
+                None => prop_assert_eq!(l.depth, 1),
+            }
+            if red.is_reducible() {
+                for &n in &l.nodes {
+                    prop_assert!(
+                        dom.dominates(l.header, n),
+                        "loop {} header {} vs node {}", i, l.header, n
+                    );
+                }
+            }
+        }
+    }
+
+    /// The reducibility flag agrees between the dominance criterion and
+    /// Havlak's per-loop marking.
+    #[test]
+    fn reducibility_flags_agree(g in digraphs()) {
+        let dfs = DfsTree::compute(&g);
+        let dom = DomTree::compute(&g, &dfs);
+        let forest = LoopForest::compute(&g, &dfs);
+        let red = Reducibility::compute(&dfs, &dom);
+        let havlak_irreducible = forest.loops().iter().any(|l| !l.reducible);
+        // Dominance-irreducible implies Havlak finds an irreducible
+        // loop; (the converse can differ on exotic shapes, so only this
+        // direction is asserted).
+        if !red.is_reducible() {
+            prop_assert!(havlak_irreducible, "dominance says irreducible, Havlak disagrees");
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Pruned SSA construction (Cytron et al. φ placement at iterated
+//! dominance frontiers, restricted to blocks where the variable is
+//! live-in, plus the Briggs et al. "global name" pre-filter).
+
+use std::fmt;
+
+use fastlive_cfg::{DfsTree, DomTree, DominanceFrontiers};
+use fastlive_graph::{Cfg, NodeId};
+use fastlive_ir::{Block, Function, InstData, Value};
+
+use crate::pre_ir::{verify_definite_assignment, PreFunction, PreRvalue, PreTerm, Var};
+
+/// Why SSA construction refused an input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstructError {
+    /// Description (unterminated block, unreachable block, or a
+    /// definite-assignment violation).
+    pub message: String,
+}
+
+impl fmt::Display for ConstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SSA construction failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConstructError {}
+
+/// Converts a [`PreFunction`] into strict SSA form.
+///
+/// The pipeline is the textbook one (and the one Figure 2 of the paper
+/// sketches):
+///
+/// 1. **φ placement.** For every *global* variable (used across blocks,
+///    per Briggs' criterion), a φ — here: a block parameter — is placed
+///    at every block of the iterated dominance frontier of its
+///    definition blocks **where the variable is live-in** (pruned SSA).
+///    The liveness restriction is not just an optimization: a φ for a
+///    dead variable would demand arguments on paths where the variable
+///    was never assigned.
+/// 2. **Renaming.** A preorder walk of the dominator tree rewrites
+///    every use to the closest dominating definition, pushes fresh SSA
+///    values for assignments, and fills branch arguments (the φ
+///    operands) at the predecessors.
+///
+/// The result satisfies [`fastlive_core`-style strictness]: every use
+/// is dominated by its definition, which `tests` verify together with
+/// semantic equivalence against the pre-IR interpreter.
+///
+/// # Errors
+///
+/// Rejects inputs with unterminated or unreachable blocks, and inputs
+/// where some variable may be used before assignment (strictness would
+/// fail).
+pub fn construct_ssa(pre: &PreFunction) -> Result<Function, ConstructError> {
+    // -- Validate the input.
+    for b in 0..pre.num_blocks() as NodeId {
+        if pre.term(b).is_none() {
+            return Err(ConstructError { message: format!("block {b} has no terminator") });
+        }
+    }
+    let dfs = DfsTree::compute(pre);
+    if !dfs.all_reachable() {
+        let dead = (0..pre.num_blocks() as NodeId).find(|&b| !dfs.is_reachable(b));
+        return Err(ConstructError {
+            message: format!("block {} is unreachable", dead.expect("found above")),
+        });
+    }
+    verify_definite_assignment(pre).map_err(|message| ConstructError { message })?;
+
+    let dom = DomTree::compute(pre, &dfs);
+    let df = DominanceFrontiers::compute(pre, &dom);
+
+    // -- Identify globals (semi-pruning) and definition sites.
+    let nv = pre.num_vars() as usize;
+    let mut is_global = vec![false; nv];
+    for b in 0..pre.num_blocks() as NodeId {
+        let mut defined_here = vec![false; nv];
+        for p in 0..pre.num_params() {
+            if b == 0 {
+                defined_here[p as usize] = true;
+            }
+        }
+        let mark = |v: Var, defined_here: &[bool], is_global: &mut [bool]| {
+            if !defined_here[v.0 as usize] {
+                is_global[v.0 as usize] = true;
+            }
+        };
+        for s in pre.stmts(b) {
+            match s.rv {
+                PreRvalue::Const(_) => {}
+                PreRvalue::Unary(_, a) => mark(a, &defined_here, &mut is_global),
+                PreRvalue::Binary(_, a, c) => {
+                    mark(a, &defined_here, &mut is_global);
+                    mark(c, &defined_here, &mut is_global);
+                }
+            }
+            defined_here[s.dst.0 as usize] = true;
+        }
+        match pre.term(b).expect("validated") {
+            PreTerm::Brif { cond, .. } => mark(*cond, &defined_here, &mut is_global),
+            PreTerm::Return(vars) => {
+                for v in vars {
+                    mark(*v, &defined_here, &mut is_global);
+                }
+            }
+            PreTerm::Jump(_) => {}
+        }
+    }
+    let defs = pre.def_blocks();
+    let live_in = pre_live_in(pre);
+
+    // -- φ placement: block parameters at iterated dominance frontiers,
+    //    pruned to blocks where the variable is live-in.
+    let mut func = Function::new(pre.name.clone());
+    let blocks: Vec<Block> = (0..pre.num_blocks()).map(|_| func.add_block()).collect();
+    // phi_vars[b]: the source variable of each parameter of block b.
+    let mut phi_vars: Vec<Vec<Var>> = vec![Vec::new(); pre.num_blocks()];
+    // Entry parameters mirror the function parameters.
+    for p in 0..pre.num_params() {
+        func.append_block_param(blocks[0]);
+        phi_vars[0].push(Var(p));
+    }
+    for v in 0..nv as u32 {
+        if !is_global[v as usize] {
+            continue;
+        }
+        for &b in &df.iterated(&defs[v as usize]) {
+            if live_in[b as usize].contains(v) {
+                func.append_block_param(blocks[b as usize]);
+                phi_vars[b as usize].push(Var(v));
+            }
+        }
+    }
+
+    // -- Renaming: dominator-tree preorder walk with definition stacks.
+    let mut stacks: Vec<Vec<Value>> = vec![Vec::new(); nv];
+    // Explicit walk frames: (block, next child index). When a frame is
+    // first visited we translate its statements; when it is popped we
+    // pop its definitions.
+    enum Frame {
+        Enter(NodeId),
+        Exit { pushed: Vec<Var> },
+    }
+    let mut work = vec![Frame::Enter(0)];
+    while let Some(frame) = work.pop() {
+        match frame {
+            Frame::Exit { pushed } => {
+                for v in pushed {
+                    stacks[v.0 as usize].pop();
+                }
+            }
+            Frame::Enter(b) => {
+                let block = blocks[b as usize];
+                let mut pushed: Vec<Var> = Vec::new();
+
+                // φ / parameter definitions first.
+                for (i, &v) in phi_vars[b as usize].iter().enumerate() {
+                    let val = func.block_params(block)[i];
+                    stacks[v.0 as usize].push(val);
+                    pushed.push(v);
+                }
+
+                // Statements.
+                let top = |stacks: &Vec<Vec<Value>>, v: Var| -> Value {
+                    *stacks[v.0 as usize]
+                        .last()
+                        .expect("definite assignment guarantees a reaching definition")
+                };
+                for s in pre.stmts(b) {
+                    let data = match s.rv {
+                        PreRvalue::Const(k) => InstData::IntConst { imm: k },
+                        PreRvalue::Unary(op, a) => {
+                            InstData::Unary { op, arg: top(&stacks, a) }
+                        }
+                        PreRvalue::Binary(op, a, c) => InstData::Binary {
+                            op,
+                            args: [top(&stacks, a), top(&stacks, c)],
+                        },
+                    };
+                    let inst = func.append_inst(block, data);
+                    let result = func.inst_result(inst).expect("value instruction");
+                    stacks[s.dst.0 as usize].push(result);
+                    pushed.push(s.dst);
+                }
+
+                // Terminator with φ arguments for each successor.
+                let call = |stacks: &Vec<Vec<Value>>, dest: NodeId| {
+                    let args =
+                        phi_vars[dest as usize].iter().map(|&v| top(stacks, v)).collect();
+                    fastlive_ir::BlockCall::with_args(blocks[dest as usize], args)
+                };
+                let data = match pre.term(b).expect("validated") {
+                    PreTerm::Jump(d) => InstData::Jump { dest: call(&stacks, *d) },
+                    PreTerm::Brif { cond, then_dest, else_dest } => InstData::Brif {
+                        cond: top(&stacks, *cond),
+                        then_dest: call(&stacks, *then_dest),
+                        else_dest: call(&stacks, *else_dest),
+                    },
+                    PreTerm::Return(vars) => InstData::Return {
+                        args: vars.iter().map(|&v| top(&stacks, v)).collect(),
+                    },
+                };
+                func.append_inst(block, data);
+
+                // Recurse into dominator-tree children.
+                work.push(Frame::Exit { pushed });
+                for &c in dom.children(b).iter().rev() {
+                    work.push(Frame::Enter(c));
+                }
+            }
+        }
+    }
+
+    Ok(func)
+}
+
+/// Per-block live-in variable sets of the pre-IR (classic backward
+/// data-flow over the mutable variables): the pruning input.
+fn pre_live_in(pre: &PreFunction) -> Vec<fastlive_bitset::DenseBitSet> {
+    use fastlive_bitset::DenseBitSet;
+    let n = pre.num_blocks();
+    let nv = pre.num_vars() as usize;
+    let mut gen: Vec<DenseBitSet> = (0..n).map(|_| DenseBitSet::new(nv)).collect();
+    let mut kill: Vec<DenseBitSet> = (0..n).map(|_| DenseBitSet::new(nv)).collect();
+    for b in 0..n as NodeId {
+        let bi = b as usize;
+        let use_var = |v: Var, gen: &mut Vec<DenseBitSet>, kill: &Vec<DenseBitSet>| {
+            if !kill[bi].contains(v.0) {
+                gen[bi].insert(v.0);
+            }
+        };
+        for s in pre.stmts(b) {
+            match s.rv {
+                PreRvalue::Const(_) => {}
+                PreRvalue::Unary(_, a) => use_var(a, &mut gen, &kill),
+                PreRvalue::Binary(_, a, c) => {
+                    use_var(a, &mut gen, &kill);
+                    use_var(c, &mut gen, &kill);
+                }
+            }
+            kill[bi].insert(s.dst.0);
+        }
+        match pre.term(b).expect("validated") {
+            PreTerm::Brif { cond, .. } => use_var(*cond, &mut gen, &kill),
+            PreTerm::Return(vars) => {
+                for v in vars {
+                    use_var(*v, &mut gen, &kill);
+                }
+            }
+            PreTerm::Jump(_) => {}
+        }
+    }
+    let mut live_in: Vec<DenseBitSet> = (0..n).map(|_| DenseBitSet::new(nv)).collect();
+    let mut changed = true;
+    let mut scratch = DenseBitSet::new(nv);
+    while changed {
+        changed = false;
+        for b in (0..n as NodeId).rev() {
+            scratch.clear();
+            for &s in pre.succs(b) {
+                scratch.union_with(&live_in[s as usize]);
+            }
+            scratch.difference_with(&kill[b as usize]);
+            scratch.union_with(&gen[b as usize]);
+            if scratch != live_in[b as usize] {
+                std::mem::swap(&mut live_in[b as usize], &mut scratch);
+                changed = true;
+            }
+        }
+    }
+    live_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pre_ir::run_pre;
+    use fastlive_ir::{interp, BinaryOp};
+
+    fn counting_loop() -> PreFunction {
+        let mut p = PreFunction::new("count", 1);
+        let n = p.param(0);
+        let x = p.fresh_var();
+        let one = p.fresh_var();
+        let c = p.fresh_var();
+        let b0 = p.entry();
+        let header = p.add_block();
+        let body = p.add_block();
+        let exit = p.add_block();
+        p.assign(b0, x, PreRvalue::Const(0));
+        p.set_term(b0, PreTerm::Jump(header));
+        p.assign(header, c, PreRvalue::Binary(BinaryOp::IcmpSlt, x, n));
+        p.set_term(header, PreTerm::Brif { cond: c, then_dest: body, else_dest: exit });
+        p.assign(body, one, PreRvalue::Const(1));
+        p.assign(body, x, PreRvalue::Binary(BinaryOp::Iadd, x, one));
+        p.set_term(body, PreTerm::Jump(header));
+        p.set_term(exit, PreTerm::Return(vec![x]));
+        p
+    }
+
+    #[test]
+    fn loop_gets_phi_at_header() {
+        let p = counting_loop();
+        let f = construct_ssa(&p).expect("constructs");
+        // The header needs a φ for x (assigned at entry and in the body).
+        let header = f.block_by_index(1);
+        assert_eq!(f.block_params(header).len(), 1);
+        // Exit and body need none (x's reaching def at exit is the φ).
+        assert_eq!(f.block_params(f.block_by_index(2)).len(), 0);
+        assert_eq!(f.block_params(f.block_by_index(3)).len(), 0);
+    }
+
+    #[test]
+    fn constructed_ssa_is_strict_and_equivalent() {
+        let p = counting_loop();
+        let f = construct_ssa(&p).expect("constructs");
+        fastlive_ir::verify_structure(&f).expect("well-formed");
+        for n in [-5i64, 0, 1, 7, 40] {
+            let want = run_pre(&p, &[n], 10_000).expect("pre runs");
+            let got = interp::run(&f, &[n], 10_000).expect("ssa runs");
+            assert_eq!(got.returned, want.returned, "input {n}");
+        }
+    }
+
+    #[test]
+    fn figure2_diamond_phi() {
+        // Figure 2 of the paper: x assigned in both arms, used at join.
+        let mut p = PreFunction::new("fig2", 2);
+        let cond = p.param(0);
+        let y = p.param(1);
+        let x = p.fresh_var();
+        let z = p.fresh_var();
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        let b2 = p.add_block();
+        let b3 = p.add_block();
+        p.set_term(b0, PreTerm::Brif { cond, then_dest: b1, else_dest: b2 });
+        p.assign(b1, x, PreRvalue::Const(10));
+        p.set_term(b1, PreTerm::Jump(b3));
+        p.assign(b2, x, PreRvalue::Const(20));
+        p.set_term(b2, PreTerm::Jump(b3));
+        p.assign(b3, z, PreRvalue::Binary(BinaryOp::Iadd, x, y));
+        p.set_term(b3, PreTerm::Return(vec![z]));
+
+        let f = construct_ssa(&p).expect("constructs");
+        // Exactly one φ: x3 ← φ(x1, x2) at the join, as in the figure.
+        let join = f.block_by_index(3);
+        assert_eq!(f.block_params(join).len(), 1);
+        assert_eq!(interp::run(&f, &[1, 5], 100).unwrap().returned, vec![15]);
+        assert_eq!(interp::run(&f, &[0, 5], 100).unwrap().returned, vec![25]);
+    }
+
+    #[test]
+    fn local_variables_get_no_phis() {
+        // A temp defined and used within each block (non-global by the
+        // Briggs criterion) must not receive φs even with many defs.
+        let mut p = PreFunction::new("local", 1);
+        let c = p.param(0);
+        let t = p.fresh_var();
+        let r = p.fresh_var();
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        let b2 = p.add_block();
+        let b3 = p.add_block();
+        p.set_term(b0, PreTerm::Brif { cond: c, then_dest: b1, else_dest: b2 });
+        for (b, k) in [(b1, 1i64), (b2, 2)] {
+            p.assign(b, t, PreRvalue::Const(k));
+            p.assign(b, r, PreRvalue::Unary(fastlive_ir::UnaryOp::Ineg, t));
+            p.set_term(b, PreTerm::Jump(b3));
+        }
+        p.set_term(b3, PreTerm::Return(vec![r]));
+        let f = construct_ssa(&p).expect("constructs");
+        // r is global (used at b3) -> 1 φ; t is local -> none.
+        assert_eq!(f.block_params(f.block_by_index(3)).len(), 1);
+        assert_eq!(interp::run(&f, &[1], 100).unwrap().returned, vec![-1]);
+        assert_eq!(interp::run(&f, &[0], 100).unwrap().returned, vec![-2]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        // Unterminated block.
+        let p = PreFunction::new("open", 0);
+        assert!(construct_ssa(&p).unwrap_err().message.contains("no terminator"));
+
+        // Unreachable block.
+        let mut p = PreFunction::new("dead", 0);
+        let d = p.add_block();
+        p.set_term(p.entry(), PreTerm::Return(vec![]));
+        p.set_term(d, PreTerm::Return(vec![]));
+        assert!(construct_ssa(&p).unwrap_err().message.contains("unreachable"));
+
+        // Maybe-uninitialized variable.
+        let mut p = PreFunction::new("uninit", 1);
+        let c = p.param(0);
+        let x = p.fresh_var();
+        let b1 = p.add_block();
+        let b2 = p.add_block();
+        p.set_term(p.entry(), PreTerm::Brif { cond: c, then_dest: b1, else_dest: b2 });
+        p.assign(b1, x, PreRvalue::Const(1));
+        p.set_term(b1, PreTerm::Jump(b2));
+        p.set_term(b2, PreTerm::Return(vec![x]));
+        assert!(construct_ssa(&p).unwrap_err().message.contains("uninitialized"));
+    }
+
+    #[test]
+    fn nested_loops_round_trip() {
+        // for (i = 0; i < n; i++) for (j = 0; j < i; j++) acc += j
+        let mut p = PreFunction::new("nest", 1);
+        let n = p.param(0);
+        let i = p.fresh_var();
+        let j = p.fresh_var();
+        let acc = p.fresh_var();
+        let one = p.fresh_var();
+        let c = p.fresh_var();
+        let b0 = p.entry();
+        let oh = p.add_block(); // outer header
+        let ih = p.add_block(); // inner header
+        let ib = p.add_block(); // inner body
+        let oi = p.add_block(); // outer increment
+        let ex = p.add_block();
+        p.assign(b0, i, PreRvalue::Const(0));
+        p.assign(b0, acc, PreRvalue::Const(0));
+        p.assign(b0, one, PreRvalue::Const(1));
+        p.set_term(b0, PreTerm::Jump(oh));
+        p.assign(oh, c, PreRvalue::Binary(BinaryOp::IcmpSlt, i, n));
+        p.assign(oh, j, PreRvalue::Const(0));
+        p.set_term(oh, PreTerm::Brif { cond: c, then_dest: ih, else_dest: ex });
+        p.assign(ih, c, PreRvalue::Binary(BinaryOp::IcmpSlt, j, i));
+        p.set_term(ih, PreTerm::Brif { cond: c, then_dest: ib, else_dest: oi });
+        p.assign(ib, acc, PreRvalue::Binary(BinaryOp::Iadd, acc, j));
+        p.assign(ib, j, PreRvalue::Binary(BinaryOp::Iadd, j, one));
+        p.set_term(ib, PreTerm::Jump(ih));
+        p.assign(oi, i, PreRvalue::Binary(BinaryOp::Iadd, i, one));
+        p.set_term(oi, PreTerm::Jump(oh));
+        p.set_term(ex, PreTerm::Return(vec![acc]));
+
+        let f = construct_ssa(&p).expect("constructs");
+        for input in [0i64, 1, 2, 5, 8] {
+            let want = run_pre(&p, &[input], 100_000).unwrap().returned;
+            let got = interp::run(&f, &[input], 100_000).unwrap().returned;
+            assert_eq!(got, want, "input {input}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! SSA construction for the `fastlive` workspace: a mutable-variable
+//! pre-IR and the classic algorithm of Cytron et al. (TOPLAS 1991).
+//!
+//! The paper's input language is strict SSA (§2.2, Figure 2); real
+//! programs start with mutable variables. This crate provides:
+//!
+//! * [`PreFunction`] — a non-SSA program over mutable [`Var`]s with the
+//!   same block structure and instruction set as `fastlive-ir`,
+//!   including its own interpreter (ground truth for the construction
+//!   pass) and a definite-assignment checker (strictness is a
+//!   precondition of SSA construction and of the whole paper).
+//! * [`construct_ssa`] — semi-pruned SSA construction: φ-functions
+//!   (block parameters) are placed at the iterated dominance frontiers
+//!   of each global variable's definition blocks, then a dominator-tree
+//!   walk renames every use to the reaching definition. The output is
+//!   verified strict SSA computing the same results as the input.
+//!
+//! # Examples
+//!
+//! Build Figure 2 of the paper (a diamond assigning `x` on both arms)
+//! and watch the φ appear at the join:
+//!
+//! ```
+//! use fastlive_construct::{construct_ssa, PreFunction, PreRvalue, PreTerm};
+//!
+//! let mut pre = PreFunction::new("fig2", 1); // param: the condition
+//! let cond = pre.param(0);
+//! let x = pre.fresh_var();
+//! let b0 = pre.entry();
+//! let b1 = pre.add_block();
+//! let b2 = pre.add_block();
+//! let b3 = pre.add_block();
+//! pre.set_term(b0, PreTerm::Brif { cond, then_dest: b1, else_dest: b2 });
+//! pre.assign(b1, x, PreRvalue::Const(1));
+//! pre.set_term(b1, PreTerm::Jump(b3));
+//! pre.assign(b2, x, PreRvalue::Const(2));
+//! pre.set_term(b2, PreTerm::Jump(b3));
+//! pre.set_term(b3, PreTerm::Return(vec![x]));
+//!
+//! let ssa = construct_ssa(&pre)?;
+//! // The join block got exactly one parameter: the φ for x.
+//! let join = ssa.block_by_index(3);
+//! assert_eq!(ssa.block_params(join).len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cytron;
+mod pre_ir;
+
+pub use cytron::{construct_ssa, ConstructError};
+pub use pre_ir::{
+    definite_assignment, run_pre, verify_definite_assignment, DefiniteAssignment, PreFunction,
+    PreOutcome, PreRvalue, PreStmt, PreTerm, Var,
+};

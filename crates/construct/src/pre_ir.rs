@@ -1,0 +1,570 @@
+//! The non-SSA pre-IR: blocks of assignments to mutable variables.
+
+use fastlive_graph::{Cfg, NodeId};
+use fastlive_ir::{BinaryOp, UnaryOp};
+
+/// A mutable variable of a [`PreFunction`] (assignable many times —
+/// precisely what SSA construction eliminates).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Right-hand side of an assignment.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PreRvalue {
+    /// `x = constant`.
+    Const(i64),
+    /// `x = op y`.
+    Unary(UnaryOp, Var),
+    /// `x = y op z`.
+    Binary(BinaryOp, Var, Var),
+}
+
+/// Block terminator of the pre-IR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PreTerm {
+    /// Unconditional jump.
+    Jump(NodeId),
+    /// Two-way branch on `cond != 0`.
+    Brif {
+        /// Condition variable.
+        cond: Var,
+        /// Target when non-zero.
+        then_dest: NodeId,
+        /// Target when zero.
+        else_dest: NodeId,
+    },
+    /// Return the variables' current values.
+    Return(Vec<Var>),
+}
+
+/// An assignment statement `dst = rvalue`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PreStmt {
+    /// Assigned variable.
+    pub dst: Var,
+    /// Computed value.
+    pub rv: PreRvalue,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PreBlock {
+    stmts: Vec<PreStmt>,
+    term: Option<PreTerm>,
+}
+
+/// A program over mutable variables: the input of SSA construction.
+///
+/// Function parameters are the variables `0..num_params`, assigned at
+/// entry. Block 0 is the entry block. The CFG view ([`Cfg`]) is derived
+/// from the terminators.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_construct::{run_pre, PreFunction, PreRvalue, PreTerm};
+/// use fastlive_ir::BinaryOp;
+///
+/// let mut p = PreFunction::new("sq", 1);
+/// let x = p.param(0);
+/// let y = p.fresh_var();
+/// p.assign(p.entry(), y, PreRvalue::Binary(BinaryOp::Imul, x, x));
+/// p.set_term(p.entry(), PreTerm::Return(vec![y]));
+/// assert_eq!(run_pre(&p, &[7], 100).unwrap().returned, vec![49]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PreFunction {
+    /// Symbolic name.
+    pub name: String,
+    num_params: u32,
+    num_vars: u32,
+    blocks: Vec<PreBlock>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+}
+
+impl PreFunction {
+    /// Creates a function with `num_params` parameters and an empty
+    /// entry block.
+    pub fn new(name: impl Into<String>, num_params: u32) -> Self {
+        PreFunction {
+            name: name.into(),
+            num_params,
+            num_vars: num_params,
+            blocks: vec![PreBlock::default()],
+            succs: vec![Vec::new()],
+            preds: vec![Vec::new()],
+        }
+    }
+
+    /// The entry block (always node 0).
+    pub fn entry(&self) -> NodeId {
+        0
+    }
+
+    /// The `i`-th parameter variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_params`.
+    pub fn param(&self, i: u32) -> Var {
+        assert!(i < self.num_params, "parameter {i} out of range");
+        Var(i)
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> u32 {
+        self.num_params
+    }
+
+    /// Allocates a fresh mutable variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Total number of variables (parameters included).
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Appends a new empty block.
+    pub fn add_block(&mut self) -> NodeId {
+        self.blocks.push(PreBlock::default());
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        (self.blocks.len() - 1) as NodeId
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Appends `dst = rv` to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already terminated or entities are out of
+    /// range.
+    pub fn assign(&mut self, block: NodeId, dst: Var, rv: PreRvalue) {
+        assert!(self.blocks[block as usize].term.is_none(), "block {block} is terminated");
+        self.check_var(dst);
+        match rv {
+            PreRvalue::Const(_) => {}
+            PreRvalue::Unary(_, a) => self.check_var(a),
+            PreRvalue::Binary(_, a, b) => {
+                self.check_var(a);
+                self.check_var(b);
+            }
+        }
+        self.blocks[block as usize].stmts.push(PreStmt { dst, rv });
+    }
+
+    /// Sets the terminator of `block` (once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block already has a terminator or a target is out
+    /// of range.
+    pub fn set_term(&mut self, block: NodeId, term: PreTerm) {
+        assert!(self.blocks[block as usize].term.is_none(), "block {block} is terminated");
+        let targets: Vec<NodeId> = match &term {
+            PreTerm::Jump(d) => vec![*d],
+            PreTerm::Brif { cond, then_dest, else_dest } => {
+                self.check_var(*cond);
+                vec![*then_dest, *else_dest]
+            }
+            PreTerm::Return(vars) => {
+                for v in vars {
+                    self.check_var(*v);
+                }
+                vec![]
+            }
+        };
+        for &d in &targets {
+            assert!((d as usize) < self.blocks.len(), "branch target {d} out of range");
+            self.succs[block as usize].push(d);
+            self.preds[d as usize].push(block);
+        }
+        self.blocks[block as usize].term = Some(term);
+    }
+
+    /// Removes and returns the terminator of `block`, detaching its CFG
+    /// edges. The block can then receive further statements and a new
+    /// terminator — how the goto-injection of `fastlive-workload`
+    /// rewires control flow.
+    pub fn clear_term(&mut self, block: NodeId) -> Option<PreTerm> {
+        let term = self.blocks[block as usize].term.take()?;
+        let removed: Vec<NodeId> = match &term {
+            PreTerm::Jump(d) => vec![*d],
+            PreTerm::Brif { then_dest, else_dest, .. } => vec![*then_dest, *else_dest],
+            PreTerm::Return(_) => Vec::new(),
+        };
+        for d in removed {
+            remove_one(&mut self.succs[block as usize], d);
+            remove_one(&mut self.preds[d as usize], block);
+        }
+        Some(term)
+    }
+
+    /// The statements of `block`.
+    pub fn stmts(&self, block: NodeId) -> &[PreStmt] {
+        &self.blocks[block as usize].stmts
+    }
+
+    /// The terminator of `block`, if set.
+    pub fn term(&self, block: NodeId) -> Option<&PreTerm> {
+        self.blocks[block as usize].term.as_ref()
+    }
+
+    fn check_var(&self, v: Var) {
+        assert!(v.0 < self.num_vars, "variable {v} out of range");
+    }
+
+    /// The blocks assigning each variable (entry counts as assigning
+    /// the parameters) — the `defs` input of φ-placement.
+    pub fn def_blocks(&self) -> Vec<Vec<NodeId>> {
+        let mut defs: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_vars as usize];
+        for p in 0..self.num_params {
+            defs[p as usize].push(0);
+        }
+        for (b, data) in self.blocks.iter().enumerate() {
+            for s in &data.stmts {
+                let d = &mut defs[s.dst.0 as usize];
+                if d.last() != Some(&(b as NodeId)) {
+                    d.push(b as NodeId);
+                }
+            }
+        }
+        for d in &mut defs {
+            d.sort_unstable();
+            d.dedup();
+        }
+        defs
+    }
+}
+
+fn remove_one(v: &mut Vec<NodeId>, x: NodeId) {
+    let pos = v.iter().position(|&e| e == x).expect("edge to remove is present");
+    v.swap_remove(pos);
+}
+
+impl Cfg for PreFunction {
+    fn num_nodes(&self) -> usize {
+        self.blocks.len()
+    }
+    fn entry(&self) -> NodeId {
+        0
+    }
+    fn succs(&self, n: NodeId) -> &[NodeId] {
+        &self.succs[n as usize]
+    }
+    fn preds(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n as usize]
+    }
+}
+
+/// Result of running a [`PreFunction`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreOutcome {
+    /// Returned values.
+    pub returned: Vec<i64>,
+    /// Executed statements + terminators.
+    pub steps: u64,
+}
+
+/// Interprets `pre` on `args` with a step budget — the ground truth
+/// that [`construct_ssa`](crate::construct_ssa) must preserve.
+///
+/// # Errors
+///
+/// `Err(())`-like string on fuel exhaustion or arity mismatch.
+pub fn run_pre(pre: &PreFunction, args: &[i64], fuel: u64) -> Result<PreOutcome, String> {
+    if args.len() != pre.num_params as usize {
+        return Err(format!("expected {} arguments, got {}", pre.num_params, args.len()));
+    }
+    let mut env = vec![0i64; pre.num_vars as usize];
+    env[..args.len()].copy_from_slice(args);
+    let mut block = pre.entry();
+    let mut steps = 0u64;
+    loop {
+        for s in pre.stmts(block) {
+            steps += 1;
+            if steps > fuel {
+                return Err("out of fuel".into());
+            }
+            env[s.dst.0 as usize] = match s.rv {
+                PreRvalue::Const(k) => k,
+                PreRvalue::Unary(op, a) => op.eval(env[a.0 as usize]),
+                PreRvalue::Binary(op, a, b) => op.eval(env[a.0 as usize], env[b.0 as usize]),
+            };
+        }
+        steps += 1;
+        if steps > fuel {
+            return Err("out of fuel".into());
+        }
+        match pre.term(block).expect("every block terminated before running") {
+            PreTerm::Jump(d) => block = *d,
+            PreTerm::Brif { cond, then_dest, else_dest } => {
+                block = if env[cond.0 as usize] != 0 { *then_dest } else { *else_dest };
+            }
+            PreTerm::Return(vars) => {
+                return Ok(PreOutcome {
+                    returned: vars.iter().map(|v| env[v.0 as usize]).collect(),
+                    steps,
+                });
+            }
+        }
+    }
+}
+
+/// The definitely-assigned variable sets of a [`PreFunction`]: per
+/// block, which variables are assigned on **every** path from the entry
+/// (to the block's entry and to its exit). Computed by the classic
+/// forward must-analysis.
+#[derive(Clone, Debug)]
+pub struct DefiniteAssignment {
+    /// `entry[b][v]`: `v` assigned on every path reaching block `b`.
+    pub entry: Vec<Vec<bool>>,
+    /// `exit[b][v]`: `v` assigned on every path through the end of `b`.
+    pub exit: Vec<Vec<bool>>,
+}
+
+/// Runs the definite-assignment analysis (see [`DefiniteAssignment`]).
+pub fn definite_assignment(pre: &PreFunction) -> DefiniteAssignment {
+    let n = pre.num_blocks();
+    let nv = pre.num_vars as usize;
+    // exit[b]: vars assigned on every path reaching the end of b.
+    // Initialized to "everything" (top) except the entry.
+    let full: Vec<bool> = vec![true; nv];
+    let mut out: Vec<Vec<bool>> = vec![full; n];
+    let mut entry_out = vec![false; nv];
+    for p in 0..pre.num_params {
+        entry_out[p as usize] = true;
+    }
+    for s in pre.stmts(0) {
+        entry_out[s.dst.0 as usize] = true;
+    }
+    out[0] = entry_out;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n as NodeId {
+            if b == 0 {
+                continue;
+            }
+            let mut inn = vec![true; nv];
+            let mut any_pred = false;
+            for &p in pre.preds(b) {
+                any_pred = true;
+                for (i, flag) in inn.iter_mut().enumerate() {
+                    *flag &= out[p as usize][i];
+                }
+            }
+            if !any_pred {
+                inn = vec![false; nv]; // unreachable: nothing assigned
+            }
+            for s in pre.stmts(b) {
+                inn[s.dst.0 as usize] = true;
+            }
+            if inn != out[b as usize] {
+                out[b as usize] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Entry sets from the fixpoint exits.
+    let mut entry: Vec<Vec<bool>> = Vec::with_capacity(n);
+    for b in 0..n as NodeId {
+        let inn = if b == 0 {
+            let mut v = vec![false; nv];
+            for p in 0..pre.num_params {
+                v[p as usize] = true;
+            }
+            v
+        } else {
+            let mut v = vec![true; nv];
+            let mut any = false;
+            for &p in pre.preds(b) {
+                any = true;
+                for (i, flag) in v.iter_mut().enumerate() {
+                    *flag &= out[p as usize][i];
+                }
+            }
+            if !any {
+                v = vec![false; nv];
+            }
+            v
+        };
+        entry.push(inn);
+    }
+    DefiniteAssignment { entry, exit: out }
+}
+
+/// Checks that every variable is definitely assigned before each use —
+/// the *strictness* precondition (§2.2).
+///
+/// # Errors
+///
+/// Describes the first use of a potentially-undefined variable — what a
+/// compiler would report as "use of possibly-uninitialized variable".
+pub fn verify_definite_assignment(pre: &PreFunction) -> Result<(), String> {
+    let n = pre.num_blocks();
+    let da = definite_assignment(pre);
+
+    // Check uses block-locally against the incoming set.
+    for b in 0..n as NodeId {
+        let mut ok = da.entry[b as usize].clone();
+        let check = |ok: &[bool], v: Var, what: &str| -> Result<(), String> {
+            if !ok[v.0 as usize] {
+                Err(format!("{v} may be used uninitialized in block {b} ({what})"))
+            } else {
+                Ok(())
+            }
+        };
+        for s in pre.stmts(b) {
+            match s.rv {
+                PreRvalue::Const(_) => {}
+                PreRvalue::Unary(_, a) => check(&ok, a, "operand")?,
+                PreRvalue::Binary(_, a, c) => {
+                    check(&ok, a, "operand")?;
+                    check(&ok, c, "operand")?;
+                }
+            }
+            ok[s.dst.0 as usize] = true;
+        }
+        match pre.term(b) {
+            Some(PreTerm::Brif { cond, .. }) => check(&ok, *cond, "branch condition")?,
+            Some(PreTerm::Return(vars)) => {
+                for v in vars {
+                    check(&ok, *v, "return value")?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_ir::BinaryOp;
+
+    fn counting_loop() -> PreFunction {
+        // x = 0; while (x < n) x = x + 1; return x
+        let mut p = PreFunction::new("count", 1);
+        let n = p.param(0);
+        let x = p.fresh_var();
+        let one = p.fresh_var();
+        let c = p.fresh_var();
+        let b0 = p.entry();
+        let header = p.add_block();
+        let body = p.add_block();
+        let exit = p.add_block();
+        p.assign(b0, x, PreRvalue::Const(0));
+        p.set_term(b0, PreTerm::Jump(header));
+        p.assign(header, c, PreRvalue::Binary(BinaryOp::IcmpSlt, x, n));
+        p.set_term(header, PreTerm::Brif { cond: c, then_dest: body, else_dest: exit });
+        p.assign(body, one, PreRvalue::Const(1));
+        p.assign(body, x, PreRvalue::Binary(BinaryOp::Iadd, x, one));
+        p.set_term(body, PreTerm::Jump(header));
+        p.set_term(exit, PreTerm::Return(vec![x]));
+        p
+    }
+
+    #[test]
+    fn interpreter_runs_loops() {
+        let p = counting_loop();
+        assert_eq!(run_pre(&p, &[5], 1000).unwrap().returned, vec![5]);
+        assert_eq!(run_pre(&p, &[0], 1000).unwrap().returned, vec![0]);
+        assert_eq!(run_pre(&p, &[-3], 1000).unwrap().returned, vec![0]);
+    }
+
+    #[test]
+    fn fuel_and_arity_checks() {
+        let p = counting_loop();
+        assert!(run_pre(&p, &[1_000_000], 10).unwrap_err().contains("fuel"));
+        assert!(run_pre(&p, &[], 10).unwrap_err().contains("arguments"));
+    }
+
+    #[test]
+    fn definite_assignment_accepts_strict_programs() {
+        verify_definite_assignment(&counting_loop()).expect("strict");
+    }
+
+    #[test]
+    fn definite_assignment_rejects_one_armed_init() {
+        // if (p) x = 1; return x  -- x maybe uninitialized.
+        let mut p = PreFunction::new("bad", 1);
+        let cond = p.param(0);
+        let x = p.fresh_var();
+        let b0 = p.entry();
+        let then = p.add_block();
+        let join = p.add_block();
+        p.set_term(b0, PreTerm::Brif { cond, then_dest: then, else_dest: join });
+        p.assign(then, x, PreRvalue::Const(1));
+        p.set_term(then, PreTerm::Jump(join));
+        p.set_term(join, PreTerm::Return(vec![x]));
+        let e = verify_definite_assignment(&p).unwrap_err();
+        assert!(e.contains("uninitialized"), "{e}");
+    }
+
+    #[test]
+    fn definite_assignment_handles_loops_conservatively() {
+        // x assigned only in the loop body; used after the loop: the
+        // loop may run zero times => error.
+        let mut p = PreFunction::new("zero_trip", 1);
+        let n = p.param(0);
+        let x = p.fresh_var();
+        let b0 = p.entry();
+        let body = p.add_block();
+        let exit = p.add_block();
+        p.set_term(b0, PreTerm::Brif { cond: n, then_dest: body, else_dest: exit });
+        p.assign(body, x, PreRvalue::Const(1));
+        p.set_term(body, PreTerm::Brif { cond: x, then_dest: body, else_dest: exit });
+        p.set_term(exit, PreTerm::Return(vec![x]));
+        assert!(verify_definite_assignment(&p).is_err());
+    }
+
+    #[test]
+    fn def_blocks_collects_assignments() {
+        let p = counting_loop();
+        let defs = p.def_blocks();
+        // x (var 1) assigned at entry and in the body.
+        assert_eq!(defs[1], vec![0, 2]);
+        // the parameter is "assigned" at the entry.
+        assert_eq!(defs[0], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is terminated")]
+    fn assign_after_terminator_panics() {
+        let mut p = PreFunction::new("t", 0);
+        let x = p.fresh_var();
+        p.set_term(p.entry(), PreTerm::Return(vec![]));
+        p.assign(p.entry(), x, PreRvalue::Const(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_branch_target_panics() {
+        let mut p = PreFunction::new("t", 0);
+        p.set_term(p.entry(), PreTerm::Jump(7));
+    }
+}

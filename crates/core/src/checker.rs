@@ -1,0 +1,565 @@
+//! The liveness checker: Algorithms 1–3 of the paper.
+
+use fastlive_cfg::{DfsTree, DomTree, Reducibility};
+use fastlive_graph::{Cfg, NodeId};
+
+use crate::precompute::Precomputation;
+
+/// Fast SSA liveness checking over an arbitrary CFG.
+///
+/// This is the paper's contribution as a reusable object. Construction
+/// runs the *variable-independent* precomputation (DFS tree, dominator
+/// tree, the reduced-reachability matrix `R` and the back-edge-target
+/// matrix `T`); afterwards [`is_live_in`](Self::is_live_in) and
+/// [`is_live_out`](Self::is_live_out) answer queries for **any**
+/// variable, given only its definition block and its def-use chain —
+/// no per-variable state exists, so adding or removing variables,
+/// instructions or uses never invalidates a `LivenessChecker`. Only
+/// CFG edits (new blocks or edges) require recomputation.
+///
+/// The query loop is the bitset implementation of §5.1 (Algorithm 3):
+/// `T_q ∩ sdom(def)` is the interval `[num(def)+1, maxnum(def)]` of
+/// `T_q`'s bit row, candidates are visited in dominance-preorder
+/// order (most-dominating first), each tested candidate's entire
+/// dominance subtree is skipped, and on reducible CFGs the loop exits
+/// after the first candidate (Theorem 2).
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_core::LivenessChecker;
+/// use fastlive_graph::DiGraph;
+///
+/// // 0 -> 1 -> 2 -> 1 (loop), 2 -> 3. A variable defined in 0 and
+/// // used in 2 is live around the whole loop.
+/// let g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+/// let live = LivenessChecker::compute(&g);
+/// assert!(live.is_live_in(0, &[2], 1));
+/// assert!(live.is_live_in(0, &[2], 2));
+/// assert!(live.is_live_out(0, &[2], 2)); // back to the header
+/// assert!(!live.is_live_in(0, &[2], 3)); // dead after the loop
+/// ```
+#[derive(Clone, Debug)]
+pub struct LivenessChecker {
+    dfs: DfsTree,
+    dom: DomTree,
+    pre: Precomputation,
+    /// `maxnum` indexed by dominance-preorder *number* (for subtree
+    /// skipping without going back to node ids).
+    maxnum_by_num: Vec<u32>,
+    /// Dominance-preorder number per node id (`u32::MAX` when
+    /// unreachable) — the query hot path avoids the panicking
+    /// [`DomTree::num`] accessor.
+    num_by_node: Vec<u32>,
+    is_back_target: Vec<bool>,
+    reducible: bool,
+    /// §4.1 dominance-subtree skipping in the candidate loop. Always
+    /// sound; disabled only by the ablation benchmark.
+    skip_subtrees: bool,
+}
+
+impl LivenessChecker {
+    /// Runs all precomputations for `g`.
+    pub fn compute<G: Cfg>(g: &G) -> Self {
+        let dfs = DfsTree::compute(g);
+        let dom = DomTree::compute(g, &dfs);
+        Self::with_parts(g, dfs, dom)
+    }
+
+    /// Builds a checker reusing an existing DFS and dominator tree
+    /// (which many compilers keep around anyway — §2 lists them as
+    /// prerequisites that are "often available").
+    pub fn with_parts<G: Cfg>(g: &G, dfs: DfsTree, dom: DomTree) -> Self {
+        let pre = Precomputation::compute(g, &dfs, &dom);
+        let mut maxnum_by_num = vec![0u32; dom.num_reachable()];
+        for i in 0..dom.num_reachable() as u32 {
+            maxnum_by_num[i as usize] = dom.maxnum(dom.node_at_num(i));
+        }
+        let mut num_by_node = vec![u32::MAX; g.num_nodes()];
+        for (n, &v) in dom.preorder().iter().enumerate() {
+            num_by_node[v as usize] = n as u32;
+        }
+        let mut is_back_target = vec![false; g.num_nodes()];
+        for &(_, t) in dfs.back_edges() {
+            is_back_target[t as usize] = true;
+        }
+        let reducible = Reducibility::compute(&dfs, &dom).is_reducible();
+        LivenessChecker {
+            dfs,
+            dom,
+            pre,
+            maxnum_by_num,
+            num_by_node,
+            is_back_target,
+            reducible,
+            skip_subtrees: true,
+        }
+    }
+
+    /// Dominance-preorder number of `v`, or `None` when unreachable —
+    /// the non-panicking lookup the query loops use.
+    #[inline]
+    fn num_of(&self, v: NodeId) -> Option<u32> {
+        match self.num_by_node.get(v as usize) {
+            Some(&n) if n != u32::MAX => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Enables or disables the §4.1 subtree skipping in the candidate
+    /// loop (on by default). Skipping is what makes Theorem 2 concrete:
+    /// on a reducible CFG the surviving candidates form a dominance
+    /// chain, so the most-dominating one is tested and the rest of the
+    /// chain — its subtree — is skipped, leaving exactly one iteration.
+    /// Disabling it (ablation benchmark) visits every element of
+    /// `T_q ∩ sdom(def)` and must return the same answers, only slower.
+    pub fn set_subtree_skipping(&mut self, enabled: bool) {
+        self.skip_subtrees = enabled;
+    }
+
+    /// `true` if the CFG is reducible (every back-edge target dominates
+    /// its source).
+    pub fn is_reducible(&self) -> bool {
+        self.reducible
+    }
+
+    /// The dominator tree the checker computed.
+    pub fn dom(&self) -> &DomTree {
+        &self.dom
+    }
+
+    /// The DFS tree the checker computed.
+    pub fn dfs(&self) -> &DfsTree {
+        &self.dfs
+    }
+
+    /// `true` if `v` is the target of a DFS back edge.
+    pub fn is_back_edge_target(&self, v: NodeId) -> bool {
+        self.is_back_target[v as usize]
+    }
+
+    /// `w ∈ R_v`: is `w` reachable from `v` in the reduced graph
+    /// (no back edges)? Both must be reachable from the entry.
+    #[inline]
+    pub fn reduced_reachable(&self, v: NodeId, w: NodeId) -> bool {
+        match (self.num_of(v), self.num_of(w)) {
+            (Some(vn), Some(wn)) => self.pre.r.contains(vn, wn),
+            _ => false,
+        }
+    }
+
+    /// The set `R_v` as node ids (primarily for tests and diagnostics).
+    pub fn r_set(&self, v: NodeId) -> Vec<NodeId> {
+        self.pre
+            .r
+            .row_iter(self.dom.num(v))
+            .map(|n| self.dom.node_at_num(n))
+            .collect()
+    }
+
+    /// The set `T_q` as node ids (primarily for tests and diagnostics).
+    pub fn t_set(&self, q: NodeId) -> Vec<NodeId> {
+        self.pre
+            .t
+            .row_iter(self.dom.num(q))
+            .map(|n| self.dom.node_at_num(n))
+            .collect()
+    }
+
+    /// The candidate back-edge targets for a query `(def, q)`:
+    /// `T_q ∩ sdom(def)`, most-dominating first, with each candidate's
+    /// dominance subtree skipped (the Algorithm 3 loop). Honors the
+    /// Theorem 2 fast path. Empty when `q ∉ sdom(def)` or either block
+    /// is unreachable.
+    pub fn candidates(&self, def: NodeId, q: NodeId) -> Candidates<'_> {
+        let (Some(defn), Some(qn)) = (self.num_of(def), self.num_of(q)) else {
+            return Candidates::empty(self);
+        };
+        let max_dom = self.maxnum_by_num[defn as usize];
+        // `if (q <= def || max_dom < q) return false;` of Algorithm 3.
+        if qn <= defn || max_dom < qn {
+            return Candidates::empty(self);
+        }
+        Candidates {
+            checker: self,
+            row: qn,
+            next_from: defn + 1,
+            max_dom,
+            skip_subtrees: self.skip_subtrees,
+        }
+    }
+
+    /// Algorithm 1 / Algorithm 3: is a variable defined at block `def`
+    /// with uses at blocks `uses` live-in at block `q`?
+    ///
+    /// `uses` are blocks in the sense of Definition 1: a φ-argument
+    /// counts as a use at the corresponding *predecessor* block.
+    /// Duplicate or unreachable entries are allowed (unreachable uses
+    /// can never witness liveness).
+    pub fn is_live_in(&self, def: NodeId, uses: &[NodeId], q: NodeId) -> bool {
+        for t in self.candidates(def, q) {
+            let tn = self.num_by_node[t as usize];
+            for &u in uses {
+                if let Some(un) = self.num_of(u) {
+                    if self.pre.r.contains(tn, un) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// [`is_live_in`](Self::is_live_in) with the uses given as a bitset
+    /// over dominance-preorder *numbers* — the exact set formulation of
+    /// Algorithm 1 (`R_t ∩ uses(a) ≠ ∅` as one vectorized intersection
+    /// test). Useful when a pass keeps per-variable use sets materialized.
+    ///
+    /// Build the set with [`use_num_set`](Self::use_num_set).
+    pub fn is_live_in_set(
+        &self,
+        def: NodeId,
+        uses: &fastlive_bitset::DenseBitSet,
+        q: NodeId,
+    ) -> bool {
+        for t in self.candidates(def, q) {
+            let tn = self.num_by_node[t as usize];
+            if self.pre.r.row_intersects_set(tn, uses) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Converts use blocks into the bitset representation (dominance
+    /// preorder numbers) consumed by
+    /// [`is_live_in_set`](Self::is_live_in_set). Unreachable blocks are
+    /// dropped (they can never witness liveness).
+    pub fn use_num_set(&self, uses: &[NodeId]) -> fastlive_bitset::DenseBitSet {
+        let mut set = fastlive_bitset::DenseBitSet::new(self.dom.num_reachable());
+        for &u in uses {
+            if let Some(un) = self.num_of(u) {
+                set.insert(un);
+            }
+        }
+        set
+    }
+
+    /// Algorithm 2: is the variable live-out at block `q`?
+    ///
+    /// The two special cases of §4.2 apply: when `q` *is* the
+    /// definition block, the variable is live-out iff it has a use
+    /// outside `q`; and the trivial candidate `t = q` may only count a
+    /// use at `q` itself when `q` is a back-edge target (which proves a
+    /// non-trivial cycle through `q`).
+    pub fn is_live_out(&self, def: NodeId, uses: &[NodeId], q: NodeId) -> bool {
+        if def == q {
+            // Live-out of the defining block iff some use is elsewhere.
+            return uses.iter().any(|&u| u != q);
+        }
+        for t in self.candidates(def, q) {
+            let tn = self.num_by_node[t as usize];
+            let drop_q_use = t == q && !self.is_back_target[q as usize];
+            for &u in uses {
+                if drop_q_use && u == q {
+                    continue; // U \ {q} of Algorithm 2, line 8
+                }
+                if let Some(un) = self.num_of(u) {
+                    if self.pre.r.contains(tn, un) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Heap bytes consumed by the two matrices — the §6.1 memory cost.
+    pub fn matrix_heap_bytes(&self) -> usize {
+        self.pre.r.heap_bytes() + self.pre.t.heap_bytes()
+    }
+}
+
+/// Iterator over the Algorithm 3 candidate loop; see
+/// [`LivenessChecker::candidates`].
+#[derive(Clone, Debug)]
+pub struct Candidates<'a> {
+    checker: &'a LivenessChecker,
+    row: u32,
+    next_from: u32,
+    max_dom: u32,
+    skip_subtrees: bool,
+}
+
+impl<'a> Candidates<'a> {
+    fn empty(checker: &'a LivenessChecker) -> Self {
+        Candidates { checker, row: 0, next_from: 1, max_dom: 0, skip_subtrees: true }
+    }
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let tn = self.checker.pre.t.next_set_in_row(self.row, self.next_from)?;
+        if tn > self.max_dom {
+            return None;
+        }
+        // Skip t's whole dominance subtree: R of dominated candidates is
+        // a subset of R_t (§4.1), so testing them is pointless.
+        self.next_from = if self.skip_subtrees {
+            self.checker.maxnum_by_num[tn as usize] + 1
+        } else {
+            tn + 1
+        };
+        Some(self.checker.dom.node_at_num(tn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_graph::DiGraph;
+
+    /// The paper's Figure 3, 0-based (paper node k = node k-1).
+    /// Variables of the narration: w defined at 1 (paper 2) used at 3
+    /// (paper 4); x defined at 2 (paper 3) used at 8 (paper 9);
+    /// y defined at 2 used at 4 (paper 5).
+    fn figure3() -> DiGraph {
+        DiGraph::from_edges(
+            11,
+            0,
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 10),
+                (2, 3),
+                (2, 7),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (5, 4),
+                (6, 1),
+                (7, 8),
+                (8, 9),
+                (8, 5),
+                (9, 7),
+                (9, 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure3_t_set_of_node_10_paper() {
+        // §3.2: from (paper) node 10, the relevant back-edge targets are
+        // 10 itself plus 8, 5, 2 -> 0-based {9, 7, 4, 1}.
+        let live = LivenessChecker::compute(&figure3());
+        let mut t = live.t_set(9);
+        t.sort_unstable();
+        assert_eq!(t, vec![1, 4, 7, 9]);
+    }
+
+    #[test]
+    fn figure3_narrated_queries() {
+        let live = LivenessChecker::compute(&figure3());
+        assert!(!live.is_reducible(), "the paper's example is irreducible");
+
+        // "is x live-in at node 10?" -- yes (use at 9 reduced-reachable
+        // from back-edge target 8). Paper nodes -> 0-based.
+        assert!(live.is_live_in(2, &[8], 9));
+        // "is y live-in at 10?" -- yes, needs two back-edge hops.
+        assert!(live.is_live_in(2, &[4], 9));
+        // "is w live at 10?" -- no: 2 (paper) is not strictly dominated
+        // by def(w), so it is excluded and no use is reachable.
+        assert!(!live.is_live_in(1, &[3], 9));
+        // "is x live-in at 4 (paper)?" -- no: reaching the back-edge
+        // target 8 (paper) from 4 leaves and re-enters def(x)'s subtree.
+        assert!(!live.is_live_in(2, &[8], 3));
+    }
+
+    #[test]
+    fn figure3_r_sets_spot_checks() {
+        let live = LivenessChecker::compute(&figure3());
+        // R of (paper) 10 = {10, 11}: only the forward continuation.
+        let mut r9 = live.r_set(9);
+        r9.sort_unstable();
+        assert_eq!(r9, vec![9, 10]);
+        // (paper) 8 reaches 9, 10, 6, 7, 11 without back edges
+        // (0-based: {8, 9, 5, 6, 10} plus itself).
+        let mut r7 = live.r_set(7);
+        r7.sort_unstable();
+        assert_eq!(r7, vec![5, 6, 7, 8, 9, 10]);
+        assert!(live.reduced_reachable(7, 8));
+        assert!(!live.reduced_reachable(9, 7));
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let g = DiGraph::from_edges(3, 0, &[(0, 1), (1, 2)]);
+        let live = LivenessChecker::compute(&g);
+        // def at 0, use at 2: live-in at 1 and 2, live-out at 0 and 1.
+        assert!(live.is_live_in(0, &[2], 1));
+        assert!(live.is_live_in(0, &[2], 2));
+        assert!(!live.is_live_in(0, &[2], 0)); // never live-in at its def
+        assert!(live.is_live_out(0, &[2], 0));
+        assert!(live.is_live_out(0, &[2], 1));
+        assert!(!live.is_live_out(0, &[2], 2));
+    }
+
+    #[test]
+    fn use_in_def_block_only() {
+        let g = DiGraph::from_edges(3, 0, &[(0, 1), (1, 2)]);
+        let live = LivenessChecker::compute(&g);
+        // def at 1, used only at 1: dead everywhere else.
+        assert!(!live.is_live_in(1, &[1], 2));
+        assert!(!live.is_live_out(1, &[1], 1)); // Algorithm 2 line 2-3
+        assert!(!live.is_live_out(1, &[1], 0));
+        // But with a second use at 2 it is live-out of 1.
+        assert!(live.is_live_out(1, &[1, 2], 1));
+    }
+
+    #[test]
+    fn loop_keeps_values_alive_around_back_edge() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3: use at 1, def at 0.
+        let g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let live = LivenessChecker::compute(&g);
+        assert!(live.is_reducible());
+        // Used at the header: live-out of the body (wraps around).
+        assert!(live.is_live_out(0, &[1], 2));
+        assert!(live.is_live_in(0, &[1], 2));
+        assert!(live.is_live_in(0, &[1], 1));
+        assert!(!live.is_live_in(0, &[1], 3));
+        // Used only in the body: still live through the header re-entry.
+        assert!(live.is_live_out(0, &[2], 2));
+    }
+
+    #[test]
+    fn self_loop_block_is_its_own_witness() {
+        // 0 -> 1, 1 -> 1, 1 -> 2. A variable defined at 0 and used at 1
+        // is live-out at 1 (the self-loop re-reaches the use).
+        let g = DiGraph::from_edges(3, 0, &[(0, 1), (1, 1), (1, 2)]);
+        let live = LivenessChecker::compute(&g);
+        assert!(live.is_back_edge_target(1));
+        assert!(live.is_live_out(0, &[1], 1));
+        // Without the self loop it would be dead-out:
+        let g2 = DiGraph::from_edges(3, 0, &[(0, 1), (1, 2)]);
+        let live2 = LivenessChecker::compute(&g2);
+        assert!(!live2.is_live_out(0, &[1], 1));
+    }
+
+    #[test]
+    fn unreachable_blocks_answer_false() {
+        let g = DiGraph::from_edges(4, 0, &[(0, 1), (2, 1), (2, 3)]);
+        let live = LivenessChecker::compute(&g);
+        assert!(!live.is_live_in(0, &[1], 2)); // q unreachable
+        assert!(!live.is_live_in(2, &[1], 1)); // def unreachable
+        assert!(!live.is_live_in(0, &[3], 1)); // use unreachable
+        assert!(!live.is_live_out(0, &[1], 2));
+    }
+
+    #[test]
+    fn candidates_are_dominance_ordered_and_skip_subtrees() {
+        let g = figure3();
+        let live = LivenessChecker::compute(&g);
+        // Query (def=1, q=9): T_9 = {1,4,7,9}; sdom(1) excludes 1 itself.
+        let cands: Vec<NodeId> = live.candidates(1, 9).collect();
+        // num order = dominance preorder: each candidate's num increases
+        // and no candidate dominates a later one (subtree skipping).
+        for w in cands.windows(2) {
+            assert!(live.dom().num(w[0]) < live.dom().num(w[1]));
+            assert!(!live.dom().strictly_dominates(w[0], w[1]));
+        }
+        // Every element of T_q ∩ sdom(def) — q in particular — is
+        // dominated by some yielded candidate (subtree skipping only
+        // drops elements whose R-set a dominator subsumes).
+        assert!(cands.iter().any(|&c| live.dom().dominates(c, 9)));
+        assert!(cands.len() >= 2, "irreducible example needs several tests: {cands:?}");
+    }
+
+    #[test]
+    fn theorem2_single_candidate_on_reducible() {
+        // Nested loops: without subtree skipping, a query deep inside
+        // sees the whole header chain; with skipping (Theorem 2), the
+        // most-dominating candidate subsumes the rest and the loop body
+        // executes exactly once.
+        let g = DiGraph::from_edges(
+            5,
+            0,
+            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)],
+        );
+        let mut live = LivenessChecker::compute(&g);
+        assert!(live.is_reducible());
+        live.set_subtree_skipping(false);
+        let all: Vec<NodeId> = live.candidates(0, 3).collect();
+        live.set_subtree_skipping(true);
+        let fast: Vec<NodeId> = live.candidates(0, 3).collect();
+        assert!(all.len() >= 2, "deep loop nest should give several candidates: {all:?}");
+        assert_eq!(fast.len(), 1, "Theorem 2: a single test suffices on reducible CFGs");
+        assert_eq!(fast[0], all[0]);
+        // The single candidate dominates all the others (Theorem 2).
+        for &t in &all[1..] {
+            assert!(live.dom().dominates(fast[0], t));
+        }
+    }
+
+    #[test]
+    fn nested_loops_t_sets_are_header_chains() {
+        // Reducible: T_q = {q} + headers of enclosing loops (the loop
+        // forest connection the precompute filter guarantees).
+        let g = DiGraph::from_edges(
+            6,
+            0,
+            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (4, 5)],
+        );
+        let live = LivenessChecker::compute(&g);
+        let mut t3 = live.t_set(3);
+        t3.sort_unstable();
+        assert_eq!(t3, vec![1, 2, 3]); // itself + inner header 2 + outer 1
+        let mut t4 = live.t_set(4);
+        t4.sort_unstable();
+        assert_eq!(t4, vec![1, 4]);
+        let mut t5 = live.t_set(5);
+        t5.sort_unstable();
+        assert_eq!(t5, vec![5]);
+    }
+
+    #[test]
+    fn query_against_def_that_dominates_nothing() {
+        let g = DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let live = LivenessChecker::compute(&g);
+        // def at 1 (a leaf of the dominance tree except for itself):
+        // q = 3 is not strictly dominated by 1 => false regardless.
+        assert!(!live.is_live_in(1, &[3], 3));
+        assert_eq!(live.candidates(1, 3).count(), 0);
+    }
+
+    #[test]
+    fn bitset_use_queries_match_slice_queries() {
+        let g = figure3();
+        let live = LivenessChecker::compute(&g);
+        let n = 11u32;
+        // Multi-use sets across all (def, q) pairs.
+        for def in 0..n {
+            for seed in 0..8u32 {
+                let uses: Vec<u32> =
+                    (0..3).map(|i| (seed * 3 + i * 5 + def) % n).collect();
+                let set = live.use_num_set(&uses);
+                for q in 0..n {
+                    assert_eq!(
+                        live.is_live_in(def, &uses, q),
+                        live.is_live_in_set(def, &set, q),
+                        "def={def} q={q} uses={uses:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_memory_reporting() {
+        let g = DiGraph::from_edges(3, 0, &[(0, 1), (1, 2)]);
+        let live = LivenessChecker::compute(&g);
+        // 3 reachable nodes -> two 3x3 matrices of one word per row.
+        assert_eq!(live.matrix_heap_bytes(), 2 * 3 * 8);
+    }
+}

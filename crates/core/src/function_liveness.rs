@@ -1,0 +1,355 @@
+//! [`FunctionLiveness`]: the liveness checker bound to an
+//! [`fastlive_ir::Function`], plus instruction-granularity queries.
+
+use fastlive_ir::{Block, Function, Inst, Value, ValueDef};
+
+use crate::checker::LivenessChecker;
+
+/// Liveness queries for the SSA values of a [`Function`].
+///
+/// Construction runs the paper's variable-independent precomputation on
+/// the function's CFG. Queries read the function's *current* def-use
+/// chains, so the `FunctionLiveness` stays valid while instructions,
+/// values and uses are added or removed — the paper's headline property.
+/// Only CFG edits (adding blocks or changing terminator targets)
+/// invalidate it; [`is_current_for`](Self::is_current_for) detects the
+/// block-count part of that cheaply and queries debug-assert it.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_core::FunctionLiveness;
+/// use fastlive_ir::parse_function;
+///
+/// let mut f = parse_function(
+///     "function %loop { block0(v0):
+///          v1 = iconst 0
+///          jump block1(v1)
+///      block1(v2):
+///          v3 = iconst 1
+///          v4 = iadd v2, v3
+///          v5 = icmp_slt v4, v0
+///          brif v5, block1(v4), block2
+///      block2:
+///          return v4 }",
+/// )?;
+/// let live = FunctionLiveness::compute(&f);
+/// let v0 = f.params()[0];
+/// let block1 = f.blocks().nth(1).unwrap();
+///
+/// // The loop bound v0 is live around the whole loop...
+/// assert!(live.is_live_in(&f, v0, block1));
+/// assert!(live.is_live_out(&f, v0, block1));
+///
+/// // ... and stays correctly tracked after inserting an instruction,
+/// // without recomputing anything.
+/// let block2 = f.blocks().nth(2).unwrap();
+/// let v4 = f.value("v4").unwrap();
+/// f.insert_inst(
+///     block2,
+///     0,
+///     fastlive_ir::InstData::Unary { op: fastlive_ir::UnaryOp::Ineg, arg: v4 },
+/// );
+/// assert!(live.is_live_in(&f, v4, block2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FunctionLiveness {
+    checker: LivenessChecker,
+}
+
+impl FunctionLiveness {
+    /// Runs the precomputation on the function's CFG.
+    pub fn compute(func: &Function) -> Self {
+        FunctionLiveness { checker: LivenessChecker::compute(func) }
+    }
+
+    /// The underlying graph-level checker.
+    pub fn checker(&self) -> &LivenessChecker {
+        &self.checker
+    }
+
+    /// `true` while the function still has the block count the
+    /// precomputation saw. (Necessary but not sufficient: rewiring
+    /// terminators without adding blocks also invalidates the checker.)
+    pub fn is_current_for(&self, func: &Function) -> bool {
+        func.num_blocks() == self.checker.dfs().num_nodes()
+    }
+
+    /// Is `v` live-in at block `q` (Definition 2 / Algorithm 3)?
+    ///
+    /// Uses are taken from the live def-use chain: every instruction
+    /// currently using `v`, attributed to its block (which, for branch
+    /// arguments, is the predecessor — Definition 1).
+    pub fn is_live_in(&self, func: &Function, v: Value, q: Block) -> bool {
+        debug_assert!(self.is_current_for(func), "stale checker: the CFG changed");
+        let def = func.def_block(v).as_u32();
+        for t in self.checker.candidates(def, q.as_u32()) {
+            for &inst in func.uses(v) {
+                let ub = func.inst_block(inst).expect("use site removed").as_u32();
+                if self.checker.reduced_reachable(t, ub) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Is `v` live-out at block `q` (Algorithm 2)?
+    pub fn is_live_out(&self, func: &Function, v: Value, q: Block) -> bool {
+        debug_assert!(self.is_current_for(func), "stale checker: the CFG changed");
+        let def = func.def_block(v);
+        if def == q {
+            // Live-out of the defining block iff some use is elsewhere.
+            return func
+                .uses(v)
+                .iter()
+                .any(|&i| func.inst_block(i).expect("use site removed") != q);
+        }
+        for t in self.checker.candidates(def.as_u32(), q.as_u32()) {
+            let drop_q_use =
+                t == q.as_u32() && !self.checker.is_back_edge_target(q.as_u32());
+            for &inst in func.uses(v) {
+                let ub = func.inst_block(inst).expect("use site removed");
+                if drop_q_use && ub == q {
+                    continue;
+                }
+                if self.checker.reduced_reachable(t, ub.as_u32()) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Materializes classic per-block live-in/live-out *sets* by
+    /// querying every value at every block — for consumers that want
+    /// data-flow-shaped results with checker-backed freshness. Costs
+    /// `O(values × blocks)` queries; per the paper's trade-off, only
+    /// worth it when sets are genuinely needed.
+    ///
+    /// Returns `(live_in, live_out)`, indexed by block, each a sorted
+    /// list of values.
+    pub fn live_sets(&self, func: &Function) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+        let n = func.num_blocks();
+        let mut live_in = vec![Vec::new(); n];
+        let mut live_out = vec![Vec::new(); n];
+        for v in func.values() {
+            for b in func.blocks() {
+                if self.is_live_in(func, v, b) {
+                    live_in[b.index()].push(v);
+                }
+                if self.is_live_out(func, v, b) {
+                    live_out[b.index()].push(v);
+                }
+            }
+        }
+        (live_in, live_out)
+    }
+
+    /// Is `v` live at the program point *just after* `inst`?
+    ///
+    /// This is the primitive the Budimlić interference test needs
+    /// ("whether one variable is live directly after the instruction
+    /// that defines the other one"). At instruction granularity:
+    /// `v` is live after `inst` iff `v` is (already) defined at that
+    /// point and either some use of `v` sits later in the same block,
+    /// or `v` is live-out of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` has been removed from its block.
+    pub fn is_live_after(&self, func: &Function, v: Value, inst: Inst) -> bool {
+        let b = func.inst_block(inst).expect("instruction removed");
+        let pos = func.inst_position(inst) as isize;
+        if let Some((db, dpos)) = def_position(func, v) {
+            if db == b && dpos > pos {
+                return false; // not yet defined at this point
+            }
+        }
+        if has_use_in_block_after(func, v, b, pos) {
+            return true;
+        }
+        self.is_live_out(func, v, b)
+    }
+
+    /// Is `v` live at the program point *just before* `inst`?
+    ///
+    /// A use by `inst` itself counts; `v` is not live before its own
+    /// definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` has been removed from its block.
+    pub fn is_live_before(&self, func: &Function, v: Value, inst: Inst) -> bool {
+        let b = func.inst_block(inst).expect("instruction removed");
+        let pos = func.inst_position(inst) as isize;
+        if let Some((db, dpos)) = def_position(func, v) {
+            if db == b && dpos >= pos {
+                return false; // defined at or after this point
+            }
+        }
+        if has_use_in_block_after(func, v, b, pos - 1) {
+            return true;
+        }
+        self.is_live_out(func, v, b)
+    }
+}
+
+/// The definition point of `v` as `(block, position)`; block parameters
+/// sit at position −1 (before every instruction).
+fn def_position(func: &Function, v: Value) -> Option<(Block, isize)> {
+    match func.value_def(v) {
+        ValueDef::Param { block, .. } => Some((block, -1)),
+        ValueDef::Inst(i) => {
+            let b = func.inst_block(i)?;
+            Some((b, func.inst_position(i) as isize))
+        }
+    }
+}
+
+/// Does `v` have a use in `b` strictly after position `pos`?
+fn has_use_in_block_after(func: &Function, v: Value, b: Block, pos: isize) -> bool {
+    func.uses(v).iter().any(|&i| {
+        func.inst_block(i) == Some(b) && func.inst_position(i) as isize > pos
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_ir::parse_function;
+
+    fn loop_func() -> Function {
+        parse_function(
+            "function %loop { block0(v0):
+                v1 = iconst 0
+                jump block1(v1)
+            block1(v2):
+                v3 = iconst 1
+                v4 = iadd v2, v3
+                v5 = icmp_slt v4, v0
+                brif v5, block1(v4), block2
+            block2:
+                return v4 }",
+        )
+        .expect("parses")
+    }
+
+    fn nth_block(f: &Function, i: usize) -> Block {
+        f.blocks().nth(i).expect("block exists")
+    }
+
+    #[test]
+    fn loop_bound_is_live_through_the_loop() {
+        let f = loop_func();
+        let live = FunctionLiveness::compute(&f);
+        let v0 = f.params()[0];
+        let b0 = nth_block(&f, 0);
+        let b1 = nth_block(&f, 1);
+        let b2 = nth_block(&f, 2);
+        assert!(!live.is_live_in(&f, v0, b0)); // never live-in at its def
+        assert!(live.is_live_out(&f, v0, b0));
+        assert!(live.is_live_in(&f, v0, b1));
+        assert!(live.is_live_out(&f, v0, b1)); // needed by next iteration
+        assert!(!live.is_live_in(&f, v0, b2));
+        assert!(!live.is_live_out(&f, v0, b2));
+    }
+
+    #[test]
+    fn phi_argument_liveness_follows_definition1() {
+        let f = loop_func();
+        let live = FunctionLiveness::compute(&f);
+        let b0 = nth_block(&f, 0);
+        let b1 = nth_block(&f, 1);
+        // v1 (initial counter) is used only as a branch argument in
+        // block0 — per Definition 1 that use happens *at block0*, the
+        // block that also defines v1. Algorithm 2's def-block case
+        // (uses(a) \ {def} = ∅) therefore reports it dead-out: the value
+        // is consumed by the edge copy, exactly the paper's convention.
+        let v1 = f.value("v1").expect("v1 exists");
+        assert!(!live.is_live_out(&f, v1, b0));
+        assert!(!live.is_live_in(&f, v1, b1));
+        // But the φ-arg *is* live at the branch instruction itself.
+        let jump = *f.block_insts(b0).last().unwrap();
+        assert!(live.is_live_before(&f, v1, jump));
+        // v4 (next counter) is passed around the back edge: live-out of
+        // block1 and live-in at block1? v4 is *defined* in block1, so
+        // live-in is false; live-out is true (the branch arg use is in
+        // block1 itself, but v4 is also used by return in block2).
+        let v4 = f.value("v4").expect("v4 exists");
+        assert!(live.is_live_out(&f, v4, b1));
+        assert!(!live.is_live_in(&f, v4, b1));
+    }
+
+    #[test]
+    fn point_queries_inside_a_block() {
+        let f = loop_func();
+        let live = FunctionLiveness::compute(&f);
+        let b1 = nth_block(&f, 1);
+        let insts = f.block_insts(b1).to_vec();
+        let v2 = f.value("v2").unwrap(); // block param
+        let v4 = f.value("v4").unwrap(); // iadd result
+        let iconst = insts[0];
+        let iadd = insts[1];
+        let icmp = insts[2];
+
+        // v2 (param) is live before/after the iconst (used by the iadd)
+        // and dead after the iadd (its last use).
+        assert!(live.is_live_before(&f, v2, iconst));
+        assert!(live.is_live_after(&f, v2, iconst));
+        assert!(live.is_live_before(&f, v2, iadd));
+        assert!(!live.is_live_after(&f, v2, iadd));
+
+        // v4 is not live before its own definition, live after it.
+        assert!(!live.is_live_before(&f, v4, iadd));
+        assert!(live.is_live_after(&f, v4, iadd));
+        assert!(live.is_live_before(&f, v4, icmp));
+        assert!(live.is_live_after(&f, v4, icmp)); // used by brif + block2
+    }
+
+    #[test]
+    fn queries_survive_instruction_edits() {
+        let mut f = loop_func();
+        let live = FunctionLiveness::compute(&f);
+        let b2 = nth_block(&f, 2);
+        let v0 = f.params()[0];
+        assert!(!live.is_live_in(&f, v0, b2));
+
+        // Add a use of v0 in block2: the same checker now answers true,
+        // with zero recomputation (the paper's motivating property).
+        f.insert_inst(
+            b2,
+            0,
+            fastlive_ir::InstData::Unary { op: fastlive_ir::UnaryOp::Ineg, arg: v0 },
+        );
+        assert!(live.is_live_in(&f, v0, b2));
+        assert!(live.is_live_out(&f, v0, nth_block(&f, 1)));
+
+        // Remove it again: liveness reverts.
+        let added = f.block_insts(b2)[0];
+        f.remove_inst(added);
+        assert!(!live.is_live_in(&f, v0, b2));
+        assert!(live.is_current_for(&f));
+    }
+
+    #[test]
+    fn new_values_are_queryable_without_recompute() {
+        let mut f = loop_func();
+        let live = FunctionLiveness::compute(&f);
+        let b0 = nth_block(&f, 0);
+        let b1 = nth_block(&f, 1);
+        let b2 = nth_block(&f, 2);
+        // Create a fresh value in block0 and a use in block2.
+        let k = f.insert_inst(b0, 0, fastlive_ir::InstData::IntConst { imm: 9 });
+        let kv = f.inst_result(k).unwrap();
+        f.insert_inst(
+            b2,
+            0,
+            fastlive_ir::InstData::Unary { op: fastlive_ir::UnaryOp::Bnot, arg: kv },
+        );
+        assert!(live.is_live_in(&f, kv, b1)); // crosses the loop
+        assert!(live.is_live_in(&f, kv, b2));
+        assert!(live.is_live_out(&f, kv, b0));
+    }
+}

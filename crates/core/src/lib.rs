@@ -1,0 +1,83 @@
+//! Fast liveness checking for SSA-form programs — the algorithm of
+//! Boissinot, Hack, Grund, Dupont de Dinechin & Rastello (CGO 2008).
+//!
+//! # The idea
+//!
+//! Instead of solving backward data-flow equations for live *sets*, the
+//! paper answers point queries — *"is variable `a` live-in/live-out at
+//! block `q`?"* — from two ingredients:
+//!
+//! 1. A **variable-independent precomputation** over the CFG: for every
+//!    block `v`, the set `R_v` of blocks reachable without traversing
+//!    DFS back edges (Definition 4), and the set `T_v` of back-edge
+//!    targets relevant to paths leaving `v` (Definition 5). Both are
+//!    bitsets indexed by a dominance-tree preorder numbering (§5.1).
+//! 2. The **def-use chain** of the queried variable, read at query time.
+//!
+//! A live-in query (Algorithm 1/3) intersects `T_q` with the dominance
+//! subtree of `def(a)` — a contiguous bit interval thanks to the
+//! numbering — and reports liveness iff some use of `a` is
+//! reduced-reachable from a surviving candidate. Because step 1 never
+//! looks at variables, the precomputation survives *all* program edits
+//! except CFG changes: insert instructions, clone values, delete uses —
+//! every query stays exact with zero recomputation. That is the
+//! property that makes the approach attractive for passes like SSA
+//! destruction, register allocation and JIT pipelines.
+//!
+//! # Entry points
+//!
+//! * [`LivenessChecker`] — the graph-level engine (any
+//!   [`Cfg`](fastlive_graph::Cfg)): precomputation + Algorithm 1/2/3
+//!   queries with subtree skipping and the Theorem 2 reducible fast
+//!   path.
+//! * [`FunctionLiveness`] — the same engine bound to an
+//!   [`fastlive_ir::Function`], reading live def-use chains, plus the
+//!   instruction-granularity queries
+//!   ([`is_live_after`](FunctionLiveness::is_live_after)) that the
+//!   Budimlić interference test of SSA destruction needs.
+//! * [`reference::ReferenceChecker`] — a deliberately literal
+//!   implementation of Definitions 4/5 and Algorithms 1/2, used as an
+//!   executable specification in tests.
+//! * [`verify_strict_ssa`] — checks the paper's §2.2 prerequisite.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastlive_core::LivenessChecker;
+//! use fastlive_graph::DiGraph;
+//!
+//! // The paper's Figure 3 (nodes 0-based). One precomputation ...
+//! let g = DiGraph::from_edges(
+//!     11,
+//!     0,
+//!     &[
+//!         (0, 1), (1, 2), (1, 10), (2, 3), (2, 7), (3, 4), (4, 5),
+//!         (5, 6), (5, 4), (6, 1), (7, 8), (8, 9), (8, 5), (9, 7), (9, 10),
+//!     ],
+//! );
+//! let live = LivenessChecker::compute(&g);
+//!
+//! // ... answers every query of §3.2 (paper node k is k-1 here):
+//! assert!(live.is_live_in(2, &[8], 9));  // x live-in at 10? yes
+//! assert!(live.is_live_in(2, &[4], 9));  // y live-in at 10? yes
+//! assert!(!live.is_live_in(1, &[3], 9)); // w live at 10? no
+//! assert!(!live.is_live_in(2, &[8], 3)); // x live-in at 4? no
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod function_liveness;
+mod loop_forest_check;
+mod precompute;
+pub mod reference;
+mod sorted;
+mod verify;
+
+pub use checker::{Candidates, LivenessChecker};
+pub use function_liveness::FunctionLiveness;
+pub use loop_forest_check::LoopForestChecker;
+pub use precompute::Precomputation;
+pub use sorted::SortedLivenessChecker;
+pub use verify::{verify_strict_ssa, SsaError};

@@ -1,0 +1,178 @@
+//! Core-crate integration tests against the Definition-2 oracle of
+//! `fastlive-dataflow` (a dev-dependency to keep the layering acyclic).
+
+use fastlive_cfg::{DfsTree, DomTree};
+use fastlive_core::{FunctionLiveness, LivenessChecker};
+use fastlive_dataflow::{oracle, IterativeLiveness, VarUniverse};
+use fastlive_graph::DiGraph;
+use fastlive_ir::parse_function;
+
+/// Deterministic xorshift for the random-graph sweeps.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn checker_matches_oracle_on_random_graphs_with_ssa_precondition() {
+    let mut state = 0x0ddba11u64;
+    for case in 0..150 {
+        let n = 2 + (xorshift(&mut state) % 14) as usize;
+        let mut g = DiGraph::new(n, 0);
+        for v in 1..n as u32 {
+            g.add_edge((xorshift(&mut state) % v as u64) as u32, v);
+        }
+        for _ in 0..(xorshift(&mut state) % (2 * n as u64 + 1)) {
+            let u = (xorshift(&mut state) % n as u64) as u32;
+            let v = (xorshift(&mut state) % n as u64) as u32;
+            g.add_edge(u, v);
+        }
+        let dfs = DfsTree::compute(&g);
+        let dom = DomTree::compute(&g, &dfs);
+        let live = LivenessChecker::compute(&g);
+        for def in 0..n as u32 {
+            for u in 0..n as u32 {
+                // Strict SSA: definitions dominate uses.
+                if !dfs.is_reachable(def) || !dfs.is_reachable(u) || !dom.dominates(def, u) {
+                    continue;
+                }
+                for q in 0..n as u32 {
+                    if !dfs.is_reachable(q) {
+                        continue;
+                    }
+                    let uses = [u];
+                    assert_eq!(
+                        live.is_live_in(def, &uses, q),
+                        oracle::live_in(&g, def, &uses, q),
+                        "case {case}: live-in def={def} use={u} q={q}\n{g:?}"
+                    );
+                    assert_eq!(
+                        live.is_live_out(def, &uses, q),
+                        oracle::live_out(&g, def, &uses, q),
+                        "case {case}: live-out def={def} use={u} q={q}\n{g:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_use_queries_match_the_union_of_single_use_queries() {
+    // Algorithm 1 iterates the def-use chain: a query with several uses
+    // must equal the OR over single-use queries.
+    let mut state = 0xabcd_ef12u64;
+    for _ in 0..60 {
+        let n = 3 + (xorshift(&mut state) % 10) as usize;
+        let mut g = DiGraph::new(n, 0);
+        for v in 1..n as u32 {
+            g.add_edge((xorshift(&mut state) % v as u64) as u32, v);
+        }
+        for _ in 0..(xorshift(&mut state) % (n as u64)) {
+            let u = (xorshift(&mut state) % n as u64) as u32;
+            let v = (xorshift(&mut state) % n as u64) as u32;
+            g.add_edge(u, v);
+        }
+        let live = LivenessChecker::compute(&g);
+        let uses: Vec<u32> = (0..3)
+            .map(|_| (xorshift(&mut state) % n as u64) as u32)
+            .collect();
+        for def in 0..n as u32 {
+            for q in 0..n as u32 {
+                let combined = live.is_live_in(def, &uses, q);
+                let union = uses.iter().any(|&u| live.is_live_in(def, &[u], q));
+                assert_eq!(combined, union, "def={def} q={q} uses={uses:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn live_sets_match_the_dataflow_solver() {
+    let f = parse_function(
+        "function %mix { block0(v0, v1):
+            v2 = iadd v0, v1
+            brif v2, block1, block2
+        block1:
+            v3 = ineg v0
+            jump block3(v3)
+        block2:
+            v4 = bnot v1
+            jump block3(v4)
+        block3(v5):
+            v6 = imul v5, v0
+            return v6 }",
+    )
+    .unwrap();
+    let live = FunctionLiveness::compute(&f);
+    let solver = IterativeLiveness::compute(&f, &VarUniverse::all(&f));
+    let (ins, outs) = live.live_sets(&f);
+    for b in f.blocks() {
+        let mut from_solver_in = solver.live_in_set(b);
+        let mut from_solver_out = solver.live_out_set(b);
+        from_solver_in.sort();
+        from_solver_out.sort();
+        assert_eq!(ins[b.index()], from_solver_in, "live-in at {b}");
+        assert_eq!(outs[b.index()], from_solver_out, "live-out at {b}");
+    }
+}
+
+#[test]
+fn point_queries_match_a_naive_instruction_walk() {
+    // Cross-check is_live_after against a direct definition: v is live
+    // after position p in block b iff some use is reachable from that
+    // point without re-crossing the definition.
+    let f = parse_function(
+        "function %pt { block0(v0):
+            v1 = iconst 1
+            v2 = iadd v0, v1
+            v3 = iadd v2, v1
+            brif v3, block1, block2
+        block1:
+            v4 = ineg v2
+            return v4
+        block2:
+            return v1 }",
+    )
+    .unwrap();
+    let live = FunctionLiveness::compute(&f);
+    for b in f.blocks() {
+        let insts = f.block_insts(b).to_vec();
+        for (pos, &inst) in insts.iter().enumerate() {
+            for v in f.values() {
+                let expect = naive_live_after(&f, v, b, pos);
+                assert_eq!(
+                    live.is_live_after(&f, v, inst),
+                    expect,
+                    "{v} after {inst} (pos {pos} of {b})"
+                );
+            }
+        }
+    }
+}
+
+/// Ground truth for point liveness: uses later in the block (if the
+/// def is at or before the point), else block-level live-out via the
+/// oracle.
+fn naive_live_after(
+    f: &fastlive_ir::Function,
+    v: fastlive_ir::Value,
+    b: fastlive_ir::Block,
+    pos: usize,
+) -> bool {
+    use fastlive_ir::ValueDef;
+    let (db, dpos) = match f.value_def(v) {
+        ValueDef::Param { block, .. } => (block, -1i64),
+        ValueDef::Inst(i) => (f.inst_block(i).unwrap(), f.inst_position(i) as i64),
+    };
+    if db == b && dpos > pos as i64 {
+        return false;
+    }
+    let later_use = f
+        .uses(v)
+        .iter()
+        .any(|&i| f.inst_block(i) == Some(b) && f.inst_position(i) as i64 > pos as i64);
+    later_use || oracle::live_out_value(f, v, b)
+}

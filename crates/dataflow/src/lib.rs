@@ -1,0 +1,41 @@
+//! Baseline liveness engines and test oracles for the `fastlive`
+//! workspace.
+//!
+//! The paper's evaluation (§6.2) compares its checker against the
+//! production liveness analysis of the LAO code generator. This crate
+//! re-implements that baseline from the paper's description, plus two
+//! more reference points:
+//!
+//! * [`IterativeLiveness`] — a classic iterative data-flow solver with
+//!   a stack worklist (Cooper, Harvey & Kennedy, "Iterative Data-Flow
+//!   Analysis, Revisited"), bit-vector sets over a variable universe.
+//! * [`LaoLiveness`] — the LAO engine as described in §6.2: a variable
+//!   universe table with dense indices, Briggs–Torczon sparse sets for
+//!   the local (per-block) analysis, global live sets stored as sorted
+//!   dense arrays, and binary-search membership queries. Supports the
+//!   φ-related-variable filtering LAO applies during SSA destruction.
+//! * [`AppelLiveness`] — the per-variable SSA algorithm the related
+//!   work (§7) attributes to Appel & Palsberg: walk backwards from each
+//!   use through the predecessor graph, marking blocks until the
+//!   definition is reached.
+//! * [`oracle`] — a brute-force implementation of Definition 2 (path
+//!   search avoiding the definition), the ground truth every engine in
+//!   the workspace is tested against.
+//!
+//! All engines implement the same block-granularity semantics as
+//! `fastlive-core` (φ-uses attributed to predecessor blocks per
+//! Definition 1), so answers are comparable bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod appel;
+mod iterative;
+mod lao;
+pub mod oracle;
+mod universe;
+
+pub use appel::AppelLiveness;
+pub use iterative::IterativeLiveness;
+pub use lao::LaoLiveness;
+pub use universe::VarUniverse;

@@ -1,0 +1,164 @@
+use fastlive_ir::{Function, InstData, Value};
+
+/// The set of variables a data-flow liveness analysis tracks, with
+/// dense indices.
+///
+/// §6.2 of the paper: "the universe of the variables to consider is
+/// collected in a table prior to liveness analysis. While doing so,
+/// variables are assigned dense indices." LAO's SSA-destruction
+/// configuration only tracks *φ-related* variables (results and
+/// arguments of φ-functions); the full configuration tracks everything.
+/// The paper measures both — φ-only live sets average 3.16 elements,
+/// full-universe 18.52 — so both constructors exist here.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_dataflow::VarUniverse;
+/// use fastlive_ir::parse_function;
+///
+/// let f = parse_function(
+///     "function %f { block0(v0):
+///          v1 = iconst 1
+///          jump block1(v1)
+///      block1(v2):
+///          return v2 }",
+/// )?;
+/// let all = VarUniverse::all(&f);
+/// assert_eq!(all.len(), 3);
+/// let phi = VarUniverse::phi_related(&f);
+/// // v1 (argument) and v2 (result) are φ-related; v0 is not: entry
+/// // parameters are function parameters, not φs.
+/// assert_eq!(phi.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct VarUniverse {
+    values: Vec<Value>,
+    /// Dense index per value (`u32::MAX` = not tracked).
+    index: Vec<u32>,
+}
+
+impl VarUniverse {
+    const UNTRACKED: u32 = u32::MAX;
+
+    fn from_values(func: &Function, values: Vec<Value>) -> Self {
+        let mut index = vec![Self::UNTRACKED; func.num_values()];
+        for (i, v) in values.iter().enumerate() {
+            index[v.index()] = i as u32;
+        }
+        VarUniverse { values, index }
+    }
+
+    /// Every value of the function.
+    pub fn all(func: &Function) -> Self {
+        Self::from_values(func, func.values().collect())
+    }
+
+    /// Only the φ-related values: parameters of non-entry blocks (the
+    /// φ results) and the branch arguments feeding them (the φ
+    /// arguments). This is the universe LAO's SSA destruction uses.
+    pub fn phi_related(func: &Function) -> Self {
+        let mut related = vec![false; func.num_values()];
+        let entry = func.entry_block();
+        for b in func.blocks() {
+            if b != entry {
+                for &p in func.block_params(b) {
+                    related[p.index()] = true;
+                }
+            }
+            if let Some(t) = func.terminator(b) {
+                if let InstData::Jump { .. } | InstData::Brif { .. } = func.inst_data(t) {
+                    for call in func.inst_data(t).branch_targets() {
+                        for &a in &call.args {
+                            related[a.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let values =
+            func.values().filter(|v| related[v.index()]).collect();
+        Self::from_values(func, values)
+    }
+
+    /// Number of tracked variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Dense index of `v`, or `None` if untracked.
+    pub fn index_of(&self, v: Value) -> Option<u32> {
+        match self.index.get(v.index()) {
+            Some(&i) if i != Self::UNTRACKED => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The value with dense index `i`.
+    pub fn value_at(&self, i: u32) -> Value {
+        self.values[i as usize]
+    }
+
+    /// All tracked values in index order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_ir::parse_function;
+
+    #[test]
+    fn all_assigns_dense_indices() {
+        let f = parse_function(
+            "function %f { block0(v0): v1 = iadd v0, v0  return v1 }",
+        )
+        .unwrap();
+        let u = VarUniverse::all(&f);
+        assert_eq!(u.len(), 2);
+        for (i, &v) in u.values().iter().enumerate() {
+            assert_eq!(u.index_of(v), Some(i as u32));
+            assert_eq!(u.value_at(i as u32), v);
+        }
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn phi_related_covers_args_and_results() {
+        let f = parse_function(
+            "function %loop { block0(v0):
+                v1 = iconst 0
+                jump block1(v1)
+            block1(v2):
+                v3 = iconst 1
+                v4 = iadd v2, v3
+                v5 = icmp_slt v4, v0
+                brif v5, block1(v4), block2
+            block2:
+                return v4 }",
+        )
+        .unwrap();
+        let u = VarUniverse::phi_related(&f);
+        let tracked: Vec<String> =
+            u.values().iter().map(|v| v.to_string()).collect();
+        // v1 and v4 are φ arguments, v2 the φ result.
+        assert_eq!(tracked, vec!["v1", "v2", "v4"]);
+        assert_eq!(u.index_of(f.value("v0").unwrap()), None);
+        assert_eq!(u.index_of(f.value("v3").unwrap()), None);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let f = parse_function("function %f { block0: return }").unwrap();
+        let u = VarUniverse::phi_related(&f);
+        assert!(u.is_empty());
+    }
+}

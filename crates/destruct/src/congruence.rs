@@ -1,0 +1,172 @@
+use fastlive_ir::Value;
+
+/// φ-congruence classes: a union-find over SSA values with member
+/// lists at the roots.
+///
+/// Sreedhar et al.: "the phi congruence class of a resource represents
+/// all resources that must be assigned the same location" — after the
+/// pass, every class maps to one variable of the out-of-SSA program.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_destruct::Congruence;
+/// use fastlive_ir::Value;
+///
+/// let mut c = Congruence::new(4);
+/// let v = |i| Value::from_index(i);
+/// c.union(v(0), v(2));
+/// assert_eq!(c.find(v(0)), c.find(v(2)));
+/// assert_ne!(c.find(v(0)), c.find(v(1)));
+/// let root = c.find(v(0));
+/// assert_eq!(c.members(root).len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Congruence {
+    parent: Vec<u32>,
+    /// Member lists, meaningful at roots only.
+    members: Vec<Vec<Value>>,
+}
+
+impl Congruence {
+    /// Creates singleton classes for values `0..n`.
+    pub fn new(n: usize) -> Self {
+        Congruence {
+            parent: (0..n as u32).collect(),
+            members: (0..n).map(|i| vec![Value::from_index(i)]).collect(),
+        }
+    }
+
+    /// Makes sure values up to index `n - 1` exist (new values created
+    /// by copy insertion join as singletons).
+    pub fn ensure(&mut self, n: usize) {
+        while self.parent.len() < n {
+            let i = self.parent.len() as u32;
+            self.parent.push(i);
+            self.members.push(vec![Value::from_index(i as usize)]);
+        }
+    }
+
+    /// Root of `v`'s class (path-compressing).
+    pub fn find(&mut self, v: Value) -> Value {
+        let mut x = v.index() as u32;
+        // Find the root.
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Compress.
+        while self.parent[x as usize] != root {
+            let next = self.parent[x as usize];
+            self.parent[x as usize] = root;
+            x = next;
+        }
+        Value::from_index(root as usize)
+    }
+
+    /// Non-mutating root lookup (no compression).
+    pub fn find_const(&self, v: Value) -> Value {
+        let mut x = v.index() as u32;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        Value::from_index(x as usize)
+    }
+
+    /// Merges the classes of `a` and `b`; returns the new root.
+    pub fn union(&mut self, a: Value, b: Value) -> Value {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        // Union by size keeps member moves cheap.
+        let (big, small) = if self.members[ra.index()].len() >= self.members[rb.index()].len() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small.index()] = big.index() as u32;
+        let moved = std::mem::take(&mut self.members[small.index()]);
+        self.members[big.index()].extend(moved);
+        big
+    }
+
+    /// Members of the class rooted at `root` (call [`find`](Self::find)
+    /// first).
+    pub fn members(&self, root: Value) -> &[Value] {
+        &self.members[root.index()]
+    }
+
+    /// Iterates all distinct class roots with at least `min` members.
+    pub fn roots(&self, min: usize) -> impl Iterator<Item = Value> + '_ {
+        self.parent.iter().enumerate().filter_map(move |(i, &p)| {
+            (p == i as u32 && self.members[i].len() >= min).then(|| Value::from_index(i))
+        })
+    }
+
+    /// Number of tracked values.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if no values are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Value {
+        Value::from_index(i)
+    }
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut c = Congruence::new(5);
+        assert_eq!(c.find(v(3)), v(3));
+        let r = c.union(v(1), v(3));
+        assert_eq!(c.find(v(1)), r);
+        assert_eq!(c.find(v(3)), r);
+        let mut m = c.members(r).to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![v(1), v(3)]);
+        // Other classes untouched.
+        let r0 = c.find(v(0));
+        assert_eq!(c.members(r0), &[v(0)]);
+    }
+
+    #[test]
+    fn union_is_idempotent_and_transitive() {
+        let mut c = Congruence::new(4);
+        c.union(v(0), v(1));
+        c.union(v(1), v(2));
+        let r = c.union(v(0), v(2)); // already same class
+        assert_eq!(c.members(r).len(), 3);
+        assert_eq!(c.find_const(v(2)), r);
+    }
+
+    #[test]
+    fn ensure_grows_with_singletons() {
+        let mut c = Congruence::new(2);
+        c.ensure(5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.find(v(4)), v(4));
+        c.ensure(3); // shrinking is a no-op
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn roots_filters_by_size() {
+        let mut c = Congruence::new(4);
+        c.union(v(0), v(1));
+        let big: Vec<Value> = c.roots(2).collect();
+        assert_eq!(big.len(), 1);
+        let all: Vec<Value> = c.roots(1).collect();
+        assert_eq!(all.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

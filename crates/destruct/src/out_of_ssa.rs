@@ -1,0 +1,190 @@
+//! The final out-of-SSA translation: every φ-congruence class becomes
+//! one mutable variable; φs and branch arguments disappear.
+
+use std::collections::HashMap;
+
+use fastlive_construct::{PreFunction, PreRvalue, PreTerm, Var};
+use fastlive_ir::{Function, InstData, UnaryOp, Value};
+
+use crate::congruence::Congruence;
+use crate::sreedhar::DestructStats;
+
+/// Translates a copy-repaired SSA function into a [`PreFunction`] over
+/// mutable variables, mapping every congruence class to one variable.
+///
+/// Because the destruction pass guarantees interference-free classes,
+/// dropping the φs (block parameters) and branch arguments is safe: at
+/// any moment at most one member of a class is live, so the shared
+/// variable always carries the right value. Copies whose source and
+/// destination land in the same class render as `x = x` and are elided
+/// (counted in [`DestructStats::copies_coalesced`]).
+///
+/// # Panics
+///
+/// Panics if two entry parameters ended up in one congruence class
+/// (the interference test forbids it) or the function is structurally
+/// incomplete.
+pub fn out_of_ssa(
+    func: &Function,
+    classes: &mut Congruence,
+    stats: &mut DestructStats,
+) -> PreFunction {
+    let entry = func.entry_block();
+    let n_params = func.block_params(entry).len() as u32;
+    let mut pre = PreFunction::new(func.name.clone(), n_params);
+    for _ in 1..func.num_blocks() {
+        pre.add_block();
+    }
+
+    // Congruence-class roots to variables; entry parameters claim their
+    // positional slots first.
+    let mut var_of: HashMap<Value, Var> = HashMap::new();
+    for (i, &p) in func.block_params(entry).iter().enumerate() {
+        let root = classes.find(p);
+        let prev = var_of.insert(root, pre.param(i as u32));
+        assert!(
+            prev.is_none(),
+            "entry parameters {p} and another ended up in one congruence class"
+        );
+    }
+
+    fn lookup(
+        pre: &mut PreFunction,
+        var_of: &mut HashMap<Value, Var>,
+        classes: &mut Congruence,
+        v: Value,
+    ) -> Var {
+        let root = classes.find(v);
+        *var_of.entry(root).or_insert_with(|| pre.fresh_var())
+    }
+
+    for b in func.blocks() {
+        let node = b.as_u32();
+        for &inst in func.block_insts(b) {
+            let result_var = func
+                .inst_result(inst)
+                .map(|r| lookup(&mut pre, &mut var_of, classes, r));
+            match func.inst_data(inst).clone() {
+                InstData::IntConst { imm } => {
+                    pre.assign(node, result_var.expect("const result"), PreRvalue::Const(imm));
+                }
+                InstData::Unary { op, arg } => {
+                    let dst = result_var.expect("unary result");
+                    let src = lookup(&mut pre, &mut var_of, classes, arg);
+                    if op == UnaryOp::Copy && dst == src {
+                        stats.copies_coalesced += 1;
+                    } else {
+                        pre.assign(node, dst, PreRvalue::Unary(op, src));
+                    }
+                }
+                InstData::Binary { op, args } => {
+                    let a = lookup(&mut pre, &mut var_of, classes, args[0]);
+                    let c = lookup(&mut pre, &mut var_of, classes, args[1]);
+                    pre.assign(node, result_var.expect("binary result"), PreRvalue::Binary(op, a, c));
+                }
+                InstData::Jump { dest } => {
+                    // Branch arguments vanish: the class variable already
+                    // carries the value.
+                    pre.set_term(node, PreTerm::Jump(dest.block.as_u32()));
+                }
+                InstData::Brif { cond, then_dest, else_dest } => {
+                    let c = lookup(&mut pre, &mut var_of, classes, cond);
+                    pre.set_term(
+                        node,
+                        PreTerm::Brif {
+                            cond: c,
+                            then_dest: then_dest.block.as_u32(),
+                            else_dest: else_dest.block.as_u32(),
+                        },
+                    );
+                }
+                InstData::Return { args } => {
+                    let vars =
+                        args.iter().map(|&a| lookup(&mut pre, &mut var_of, classes, a)).collect();
+                    pre.set_term(node, PreTerm::Return(vars));
+                }
+            }
+        }
+    }
+    pre
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_construct::run_pre;
+    use fastlive_ir::parse_function;
+
+    #[test]
+    fn singleton_classes_translate_one_to_one() {
+        let f = parse_function(
+            "function %f { block0(v0):
+                v1 = iconst 2
+                v2 = imul v0, v1
+                return v2 }",
+        )
+        .unwrap();
+        let mut classes = Congruence::new(f.num_values());
+        let mut stats = DestructStats::default();
+        let pre = out_of_ssa(&f, &mut classes, &mut stats);
+        assert_eq!(run_pre(&pre, &[21], 100).unwrap().returned, vec![42]);
+        assert_eq!(stats.copies_coalesced, 0);
+    }
+
+    #[test]
+    fn coalesced_copy_is_elided() {
+        let f = parse_function(
+            "function %f { block0(v0):
+                v1 = copy v0
+                return v1 }",
+        )
+        .unwrap();
+        let mut classes = Congruence::new(f.num_values());
+        // Put v0 and v1 in one class: the copy becomes x = x.
+        classes.union(f.value("v0").unwrap(), f.value("v1").unwrap());
+        let mut stats = DestructStats::default();
+        let pre = out_of_ssa(&f, &mut classes, &mut stats);
+        assert_eq!(stats.copies_coalesced, 1);
+        assert_eq!(run_pre(&pre, &[7], 100).unwrap().returned, vec![7]);
+        assert!(pre.stmts(0).is_empty(), "self-copy must vanish");
+    }
+
+    #[test]
+    fn phi_class_shares_one_variable() {
+        let f = parse_function(
+            "function %loop { block0(v0):
+                v1 = iconst 0
+                jump block1(v1)
+            block1(v2):
+                v3 = iconst 1
+                v4 = iadd v2, v3
+                v5 = icmp_slt v4, v0
+                brif v5, block1(v4), block2
+            block2:
+                return v4 }",
+        )
+        .unwrap();
+        let mut classes = Congruence::new(f.num_values());
+        for name in ["v1", "v4"] {
+            classes.union(f.value("v2").unwrap(), f.value(name).unwrap());
+        }
+        let mut stats = DestructStats::default();
+        let pre = out_of_ssa(&f, &mut classes, &mut stats);
+        // Semantics must match the SSA interpreter (the loop increments
+        // at least once, so n = 0 returns 1).
+        for n in [5i64, 0, -3, 9] {
+            let want = fastlive_ir::interp::run(&f, &[n], 1_000).unwrap().returned;
+            assert_eq!(run_pre(&pre, &[n], 1_000).unwrap().returned, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one congruence class")]
+    fn merged_entry_params_rejected() {
+        let f = parse_function("function %f { block0(v0, v1): return v0 }").unwrap();
+        let mut classes = Congruence::new(f.num_values());
+        classes.union(f.value("v0").unwrap(), f.value("v1").unwrap());
+        let mut stats = DestructStats::default();
+        let _ = out_of_ssa(&f, &mut classes, &mut stats);
+    }
+}

@@ -1,0 +1,71 @@
+use crate::NodeId;
+
+/// A directed control-flow graph with a distinguished entry node.
+///
+/// This is the interface required by every structural analysis in the
+/// `fastlive` workspace (depth-first search, dominators, the liveness
+/// precomputation). It matches the paper's model of §2.1: a directed graph
+/// `G = (V, E, r)` where `r` has a distinguished role (the analyses assume
+/// nothing else about it; `r` may have incoming edges, although classical
+/// CFGs do not produce any).
+///
+/// # Contract
+///
+/// * Nodes are the dense indices `0..num_nodes()`.
+/// * `succs`/`preds` must be consistent: `v ∈ succs(u)` with multiplicity
+///   `k` iff `u ∈ preds(v)` with multiplicity `k`. Parallel edges and
+///   self-loops are allowed (a conditional branch may target the same block
+///   twice; a single-block loop is a self-loop).
+/// * The graph must not change while an analysis result computed from it is
+///   in use; analyses copy nothing and index side tables by [`NodeId`].
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_graph::{Cfg, DiGraph};
+///
+/// let g = DiGraph::from_edges(3, 0, &[(0, 1), (1, 2), (2, 1)]);
+/// assert_eq!(g.entry(), 0);
+/// assert_eq!(g.num_edges(), 3);
+/// assert!(g.succs(2).contains(&1));
+/// ```
+pub trait Cfg {
+    /// Number of nodes; valid node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// The entry node `r` from which every reachable node is explored.
+    fn entry(&self) -> NodeId;
+
+    /// Successor nodes of `n`, in a deterministic order.
+    ///
+    /// For an IR function this is the order of the terminator's targets,
+    /// which makes depth-first search (and everything derived from it)
+    /// deterministic.
+    fn succs(&self, n: NodeId) -> &[NodeId];
+
+    /// Predecessor nodes of `n`, in a deterministic order.
+    fn preds(&self, n: NodeId) -> &[NodeId];
+
+    /// Total number of edges (counting parallel edges separately).
+    fn num_edges(&self) -> usize {
+        (0..self.num_nodes() as NodeId).map(|n| self.succs(n).len()).sum()
+    }
+}
+
+impl<T: Cfg + ?Sized> Cfg for &T {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn entry(&self) -> NodeId {
+        (**self).entry()
+    }
+    fn succs(&self, n: NodeId) -> &[NodeId] {
+        (**self).succs(n)
+    }
+    fn preds(&self, n: NodeId) -> &[NodeId] {
+        (**self).preds(n)
+    }
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+}

@@ -1,0 +1,44 @@
+//! Control-flow-graph abstractions for the `fastlive` liveness library.
+//!
+//! Everything in the paper — depth-first search trees, dominators, the
+//! reduced-reachability sets `R_v` and the back-edge-target sets `T_v` —
+//! depends only on the *structure* of the control-flow graph, never on the
+//! instructions inside the blocks. This crate captures that structure behind
+//! the [`Cfg`] trait so the analyses in `fastlive-cfg` and the liveness
+//! checker in `fastlive-core` can run unchanged on:
+//!
+//! * [`DiGraph`], a plain adjacency-list digraph used by tests, the workload
+//!   generators, and the paper's Figure 3 example, and
+//! * `fastlive_ir::Function`, the SSA intermediate representation.
+//!
+//! The crate also provides [Graphviz export](dot) used to regenerate the
+//! paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastlive_graph::{Cfg, DiGraph};
+//!
+//! // The diamond from Figure 2 of the paper: entry, two branches, a join.
+//! let g = DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.succs(0), &[1, 2]);
+//! assert_eq!(g.preds(3), &[1, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg_trait;
+mod digraph;
+pub mod dot;
+
+pub use cfg_trait::Cfg;
+pub use digraph::DiGraph;
+
+/// Identifier of a CFG node. Nodes of a [`Cfg`] are dense indices
+/// `0..num_nodes()`; analyses index their side tables directly with this.
+pub type NodeId = u32;
+
+/// Sentinel used by analyses for "no node" (e.g. the DFS parent of the root).
+pub const NO_NODE: NodeId = u32::MAX;

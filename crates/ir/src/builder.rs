@@ -1,0 +1,181 @@
+//! Ergonomic instruction construction: [`InsBuilder`], returned by
+//! [`Function::ins`].
+
+use crate::entities::{Block, Inst, Value};
+use crate::function::Function;
+use crate::instr::{BinaryOp, BlockCall, InstData, UnaryOp};
+
+/// Appends instructions to the end of one block.
+///
+/// Value-producing methods return the result [`Value`]; terminators
+/// return the [`Inst`]. Created by [`Function::ins`].
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_ir::Function;
+///
+/// let mut f = Function::new("max0");
+/// let b0 = f.add_block();
+/// let b1 = f.add_block();
+/// let b2 = f.add_block();
+/// let x = f.append_block_param(b0);
+///
+/// let zero = f.ins(b0).iconst(0);
+/// let neg = f.ins(b0).icmp_slt(x, zero);
+/// f.ins(b0).brif(neg, b1, vec![], b2, vec![]);
+/// f.ins(b1).ret(vec![zero]);
+/// f.ins(b2).ret(vec![x]);
+/// ```
+#[derive(Debug)]
+pub struct InsBuilder<'a> {
+    func: &'a mut Function,
+    block: Block,
+}
+
+impl<'a> InsBuilder<'a> {
+    pub(crate) fn new(func: &'a mut Function, block: Block) -> Self {
+        InsBuilder { func, block }
+    }
+
+    fn value_inst(self, data: InstData) -> Value {
+        let inst = self.func.append_inst(self.block, data);
+        self.func.inst_result(inst).expect("value instruction has a result")
+    }
+
+    /// `v = iconst imm`.
+    pub fn iconst(self, imm: i64) -> Value {
+        self.value_inst(InstData::IntConst { imm })
+    }
+
+    /// `v = <op> a` for any unary opcode.
+    pub fn unary(self, op: UnaryOp, arg: Value) -> Value {
+        self.value_inst(InstData::Unary { op, arg })
+    }
+
+    /// `v = copy a` — the move SSA destruction inserts.
+    pub fn copy(self, arg: Value) -> Value {
+        self.unary(UnaryOp::Copy, arg)
+    }
+
+    /// `v = ineg a`.
+    pub fn ineg(self, arg: Value) -> Value {
+        self.unary(UnaryOp::Ineg, arg)
+    }
+
+    /// `v = bnot a`.
+    pub fn bnot(self, arg: Value) -> Value {
+        self.unary(UnaryOp::Bnot, arg)
+    }
+
+    /// `v = <op> a, b` for any binary opcode.
+    pub fn binary(self, op: BinaryOp, a: Value, b: Value) -> Value {
+        self.value_inst(InstData::Binary { op, args: [a, b] })
+    }
+
+    /// `v = iadd a, b`.
+    pub fn iadd(self, a: Value, b: Value) -> Value {
+        self.binary(BinaryOp::Iadd, a, b)
+    }
+
+    /// `v = isub a, b`.
+    pub fn isub(self, a: Value, b: Value) -> Value {
+        self.binary(BinaryOp::Isub, a, b)
+    }
+
+    /// `v = imul a, b`.
+    pub fn imul(self, a: Value, b: Value) -> Value {
+        self.binary(BinaryOp::Imul, a, b)
+    }
+
+    /// `v = icmp_eq a, b` (1 if equal else 0).
+    pub fn icmp_eq(self, a: Value, b: Value) -> Value {
+        self.binary(BinaryOp::IcmpEq, a, b)
+    }
+
+    /// `v = icmp_slt a, b` (1 if `a < b` signed, else 0).
+    pub fn icmp_slt(self, a: Value, b: Value) -> Value {
+        self.binary(BinaryOp::IcmpSlt, a, b)
+    }
+
+    /// `jump dest(args)`.
+    pub fn jump(self, dest: Block, args: Vec<Value>) -> Inst {
+        self.func.append_inst(self.block, InstData::Jump { dest: BlockCall::with_args(dest, args) })
+    }
+
+    /// `brif cond, then_dest(then_args), else_dest(else_args)`.
+    pub fn brif(
+        self,
+        cond: Value,
+        then_dest: Block,
+        then_args: Vec<Value>,
+        else_dest: Block,
+        else_args: Vec<Value>,
+    ) -> Inst {
+        self.func.append_inst(
+            self.block,
+            InstData::Brif {
+                cond,
+                then_dest: BlockCall::with_args(then_dest, then_args),
+                else_dest: BlockCall::with_args(else_dest, else_args),
+            },
+        )
+    }
+
+    /// `return args`.
+    pub fn ret(self, args: Vec<Value>) -> Inst {
+        self.func.append_inst(self.block, InstData::Return { args })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shapes_a_loop() {
+        // block0(n): jump block1(0)
+        // block1(i): i2 = iadd i, 1; c = icmp_slt i2, n; brif c, block1(i2), block2
+        // block2: return i2  -- wait: i2 defined in block1 dominates block2.
+        let mut f = Function::new("loop");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let n = f.append_block_param(b0);
+        let i = f.append_block_param(b1);
+        let zero = f.ins(b0).iconst(0);
+        f.ins(b0).jump(b1, vec![zero]);
+        let one = f.ins(b1).iconst(1);
+        let i2 = f.ins(b1).iadd(i, one);
+        let c = f.ins(b1).icmp_slt(i2, n);
+        f.ins(b1).brif(c, b1, vec![i2], b2, vec![]);
+        f.ins(b2).ret(vec![i2]);
+
+        use fastlive_graph::Cfg as _;
+        assert_eq!(f.succs(1), &[1, 2]);
+        assert_eq!(f.uses(i2).len(), 3); // icmp, branch arg, return
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn all_value_ops_produce_results() {
+        let mut f = Function::new("ops");
+        let b = f.add_block();
+        let x = f.append_block_param(b);
+        let y = f.ins(b).iconst(2);
+        let ops = [
+            f.ins(b).iadd(x, y),
+            f.ins(b).isub(x, y),
+            f.ins(b).imul(x, y),
+            f.ins(b).icmp_eq(x, y),
+            f.ins(b).icmp_slt(x, y),
+            f.ins(b).copy(x),
+            f.ins(b).ineg(x),
+            f.ins(b).bnot(x),
+            f.ins(b).binary(BinaryOp::Bxor, x, y),
+            f.ins(b).unary(UnaryOp::Copy, x),
+        ];
+        f.ins(b).ret(vec![ops[0]]);
+        assert_eq!(f.num_values(), 2 + ops.len());
+    }
+}

@@ -1,0 +1,789 @@
+//! The [`Function`]: blocks, instructions, SSA values and their def-use
+//! chains.
+
+use fastlive_graph::{Cfg, NodeId};
+
+use crate::entities::{Block, Inst, PrimaryMap, Value};
+use crate::instr::InstData;
+
+/// Where an SSA value is defined.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ValueDef {
+    /// The `index`-th parameter of `block` — the IR's φ-functions.
+    /// Entry-block parameters are the function's parameters.
+    Param {
+        /// Owning block.
+        block: Block,
+        /// Position among the block's parameters.
+        index: u32,
+    },
+    /// The result of an instruction.
+    Inst(Inst),
+}
+
+/// Per-block storage: parameters and the instruction list.
+#[derive(Clone, Debug, Default)]
+struct BlockData {
+    params: Vec<Value>,
+    insts: Vec<Inst>,
+}
+
+/// An SSA function over a single integer type, with maintained def-use
+/// chains and predecessor/successor lists.
+///
+/// # Shape invariants
+///
+/// * The first created block is the entry; its parameters are the
+///   function parameters.
+/// * Every block ends with exactly one terminator (`jump`, `brif`,
+///   `return`); appending past a terminator panics.
+/// * φ-functions are *block parameters*: a branch to `blockN(a, b)`
+///   passes `a, b` to `blockN`'s parameters. Per Definition 1 of the
+///   paper, those branch arguments are uses *at the predecessor block* —
+///   which is automatic here, because the branch instruction lives in the
+///   predecessor.
+/// * Def-use chains ([`Function::uses`]) are maintained by every mutator.
+///   This is the cheap-to-maintain structure the paper's queries walk
+///   ("updating the def-use chain when adding or removing uses of a
+///   variable incurs virtually no costs").
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_ir::{Function, BinaryOp};
+///
+/// let mut f = Function::new("add1");
+/// let b0 = f.add_block();
+/// let x = f.append_block_param(b0);
+/// let one = f.ins(b0).iconst(1);
+/// let sum = f.ins(b0).iadd(x, one);
+/// f.ins(b0).ret(vec![sum]);
+/// assert_eq!(f.params(), &[x]);
+/// assert_eq!(f.uses(x).len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Symbolic name (printed as `function %name`).
+    pub name: String,
+    blocks: PrimaryMap<Block, BlockData>,
+    insts: PrimaryMap<Inst, InstData>,
+    /// Block owning each instruction; `None` after removal.
+    inst_block: Vec<Option<Block>>,
+    /// Result value of each instruction (terminators have none).
+    results: Vec<Option<Value>>,
+    values: PrimaryMap<Value, ValueDef>,
+    /// Def-use chains: instructions using each value (with multiplicity).
+    uses: Vec<Vec<Inst>>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+}
+
+impl Function {
+    /// Creates an empty function. Add an entry block before anything else.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            blocks: PrimaryMap::new(),
+            insts: PrimaryMap::new(),
+            inst_block: Vec::new(),
+            results: Vec::new(),
+            values: PrimaryMap::new(),
+            uses: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        }
+    }
+
+    // ---------------------------------------------------------- blocks
+
+    /// Appends a new empty block. The first block becomes the entry.
+    pub fn add_block(&mut self) -> Block {
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.blocks.push(BlockData::default())
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been created yet.
+    pub fn entry_block(&self) -> Block {
+        assert!(!self.blocks.is_empty(), "function has no blocks");
+        Block::from_index(0)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates all blocks in creation (layout) order.
+    pub fn blocks(&self) -> impl Iterator<Item = Block> + use<> {
+        (0..self.blocks.len()).map(Block::from_index)
+    }
+
+    /// The `i`-th created block (`block_by_index(0)` is the entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_blocks()`.
+    pub fn block_by_index(&self, i: usize) -> Block {
+        assert!(i < self.blocks.len(), "block index {i} out of range");
+        Block::from_index(i)
+    }
+
+    /// Looks up a value by its printed name `vN` (the `N`-th created
+    /// value). This matches the textual name whenever the source numbers
+    /// values densely in definition order — which the printer always
+    /// produces and all in-tree test sources follow.
+    ///
+    /// Returns `None` for malformed names or out-of-range indices.
+    pub fn value(&self, name: &str) -> Option<Value> {
+        let i: usize = name.strip_prefix('v')?.parse().ok()?;
+        (i < self.values.len()).then(|| Value::from_index(i))
+    }
+
+    /// Appends a parameter to `block` and returns the new value.
+    pub fn append_block_param(&mut self, block: Block) -> Value {
+        let index = self.blocks[block].params.len() as u32;
+        let v = self.values.push(ValueDef::Param { block, index });
+        self.uses.push(Vec::new());
+        self.blocks[block].params.push(v);
+        v
+    }
+
+    /// The parameters of `block`.
+    pub fn block_params(&self, block: Block) -> &[Value] {
+        &self.blocks[block].params
+    }
+
+    /// The function parameters (= entry block parameters).
+    pub fn params(&self) -> &[Value] {
+        self.block_params(self.entry_block())
+    }
+
+    /// The instructions of `block` in order.
+    pub fn block_insts(&self, block: Block) -> &[Inst] {
+        &self.blocks[block].insts
+    }
+
+    /// The terminator of `block`, if the block is complete.
+    pub fn terminator(&self, block: Block) -> Option<Inst> {
+        let last = *self.blocks[block].insts.last()?;
+        self.insts[last].is_terminator().then_some(last)
+    }
+
+    /// `true` once `block` ends in a terminator.
+    pub fn is_terminated(&self, block: Block) -> bool {
+        self.terminator(block).is_some()
+    }
+
+    // ------------------------------------------------------ instructions
+
+    /// Appends an instruction to `block`, maintaining def-use chains and
+    /// (for terminators) the CFG edges. Returns the instruction; its
+    /// result value, if any, is available via [`Function::inst_result`].
+    ///
+    /// Prefer the [`ins`](Function::ins) builder for readable call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already terminated or an operand value does
+    /// not exist.
+    pub fn append_inst(&mut self, block: Block, data: InstData) -> Inst {
+        let pos = self.blocks[block].insts.len();
+        self.insert_inst(block, pos, data)
+    }
+
+    /// Inserts an instruction at position `pos` of `block` (0 = first).
+    /// Only terminators may occupy the final position of a terminated
+    /// block's layout; inserting a terminator into a terminated block or
+    /// a non-terminator after the terminator panics.
+    ///
+    /// # Panics
+    ///
+    /// See above; also panics on out-of-range `pos` or unknown operands.
+    pub fn insert_inst(&mut self, block: Block, pos: usize, data: InstData) -> Inst {
+        let n_insts = self.blocks[block].insts.len();
+        assert!(pos <= n_insts, "insert position {pos} out of range");
+        if data.is_terminator() {
+            assert!(
+                pos == n_insts && !self.is_terminated(block),
+                "{block} already has a terminator"
+            );
+        } else {
+            let limit = if self.is_terminated(block) { n_insts - 1 } else { n_insts };
+            assert!(pos <= limit, "cannot insert instruction after the terminator of {block}");
+        }
+        data.for_each_operand(|v| {
+            assert!(v.index() < self.values.len(), "operand {v} does not exist");
+        });
+
+        let inst = self.insts.push(data);
+        self.inst_block.push(Some(block));
+        // Register uses.
+        let data_ref = &self.insts[inst];
+        let mut used: Vec<Value> = Vec::new();
+        data_ref.for_each_operand(|v| used.push(v));
+        for v in used {
+            self.uses[v.index()].push(inst);
+        }
+        // Result value.
+        let result = if self.insts[inst].has_result() {
+            let v = self.values.push(ValueDef::Inst(inst));
+            self.uses.push(Vec::new());
+            Some(v)
+        } else {
+            None
+        };
+        self.results.push(result);
+        // CFG edges.
+        if self.insts[inst].is_terminator() {
+            for t in self.insts[inst].branch_targets() {
+                let dest = t.block;
+                assert!(dest.index() < self.blocks.len(), "branch to unknown {dest}");
+            }
+            let targets: Vec<Block> =
+                self.insts[inst].branch_targets().iter().map(|t| t.block).collect();
+            for dest in targets {
+                self.succs[block.index()].push(dest.as_u32());
+                self.preds[dest.index()].push(block.as_u32());
+            }
+        }
+        self.blocks[block].insts.insert(pos, inst);
+        inst
+    }
+
+    /// Removes a non-terminator instruction whose result is unused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is a terminator, already removed, or its
+    /// result still has uses.
+    pub fn remove_inst(&mut self, inst: Inst) {
+        let block = self.inst_block[inst.index()].expect("instruction already removed");
+        assert!(!self.insts[inst].is_terminator(), "cannot remove a terminator");
+        if let Some(r) = self.results[inst.index()] {
+            assert!(self.uses[r.index()].is_empty(), "result {r} of removed {inst} still used");
+        }
+        let mut used: Vec<Value> = Vec::new();
+        self.insts[inst].for_each_operand(|v| used.push(v));
+        for v in used {
+            remove_one(&mut self.uses[v.index()], inst);
+        }
+        let insts = &mut self.blocks[block].insts;
+        let pos = insts.iter().position(|&i| i == inst).expect("inst in its block list");
+        insts.remove(pos);
+        self.inst_block[inst.index()] = None;
+    }
+
+    /// The payload of `inst`.
+    pub fn inst_data(&self, inst: Inst) -> &InstData {
+        &self.insts[inst]
+    }
+
+    /// The result value of `inst` (`None` for terminators).
+    pub fn inst_result(&self, inst: Inst) -> Option<Value> {
+        self.results[inst.index()]
+    }
+
+    /// The block containing `inst` (`None` if removed).
+    pub fn inst_block(&self, inst: Inst) -> Option<Block> {
+        self.inst_block[inst.index()]
+    }
+
+    /// Position of `inst` within its block (0-based). O(block length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction was removed.
+    pub fn inst_position(&self, inst: Inst) -> usize {
+        let block = self.inst_block(inst).expect("instruction was removed");
+        self.blocks[block]
+            .insts
+            .iter()
+            .position(|&i| i == inst)
+            .expect("inst in its block list")
+    }
+
+    /// Number of instructions ever created (including removed ones).
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    // ----------------------------------------------------------- values
+
+    /// Where `v` is defined.
+    pub fn value_def(&self, v: Value) -> ValueDef {
+        self.values[v]
+    }
+
+    /// The block defining `v` — the paper's `def(a)`.
+    pub fn def_block(&self, v: Value) -> Block {
+        match self.values[v] {
+            ValueDef::Param { block, .. } => block,
+            ValueDef::Inst(inst) => self.inst_block(inst).expect("definition was removed"),
+        }
+    }
+
+    /// The def-use chain of `v`: every instruction using it, with
+    /// multiplicity, in no particular order.
+    pub fn uses(&self, v: Value) -> &[Inst] {
+        &self.uses[v.index()]
+    }
+
+    /// The blocks where `v` is used in the sense of Definition 1: the
+    /// block of each using instruction. Branch arguments are uses at the
+    /// predecessor block (where the branch lives), exactly as the paper
+    /// requires for φ-uses. Duplicates possible.
+    pub fn use_blocks(&self, v: Value) -> impl Iterator<Item = Block> + '_ {
+        self.uses[v.index()]
+            .iter()
+            .map(|&i| self.inst_block(i).expect("use site was removed"))
+    }
+
+    /// Number of values.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates all values.
+    pub fn values(&self) -> impl Iterator<Item = Value> + use<> {
+        (0..self.values.len()).map(Value::from_index)
+    }
+
+    // -------------------------------------------------------- mutation
+
+    /// Replaces every use of `old` with `new`, updating def-use chains.
+    pub fn replace_all_uses(&mut self, old: Value, new: Value) {
+        self.replace_uses_where(old, new, |_| true);
+    }
+
+    /// Replaces every use of `old` with `new` except those inside
+    /// `except` (used when inserting `new = copy old`).
+    pub fn replace_uses_except(&mut self, old: Value, new: Value, except: Inst) {
+        self.replace_uses_where(old, new, |i| i != except);
+    }
+
+    /// Replaces uses of `old` with `new` in instructions satisfying
+    /// `keep`.
+    pub fn replace_uses_where(&mut self, old: Value, new: Value, keep: impl Fn(Inst) -> bool) {
+        assert_ne!(old, new, "cannot replace a value with itself");
+        let sites = std::mem::take(&mut self.uses[old.index()]);
+        let mut kept = Vec::new();
+        for inst in sites {
+            if keep(inst) {
+                self.insts[inst].map_operands(|v| if v == old { new } else { v });
+                self.uses[new.index()].push(inst);
+            } else {
+                kept.push(inst);
+            }
+        }
+        self.uses[old.index()] = kept;
+    }
+
+    /// Replaces the `arg_index`-th argument of the `target_index`-th
+    /// branch target of `inst` (a terminator) with `new`, updating use
+    /// chains. This is how SSA destruction swaps a φ-argument for a
+    /// freshly inserted copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set_branch_arg(&mut self, inst: Inst, target_index: usize, arg_index: usize, new: Value) {
+        assert!(new.index() < self.values.len(), "operand {new} does not exist");
+        let old = {
+            let mut targets = self.insts[inst].branch_targets_mut();
+            let call = targets.get_mut(target_index).expect("target index out of range");
+            let slot = call.args.get_mut(arg_index).expect("arg index out of range");
+            let old = *slot;
+            *slot = new;
+            old
+        };
+        if old != new {
+            remove_one(&mut self.uses[old.index()], inst);
+            self.uses[new.index()].push(inst);
+        }
+    }
+
+    /// Redirects the `target_index`-th branch target of terminator `inst`
+    /// to `new_block`, passing `new_args`, and fixes CFG edges and use
+    /// chains. Used by critical-edge splitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bad indices or unknown values/blocks.
+    pub fn redirect_branch_target(
+        &mut self,
+        inst: Inst,
+        target_index: usize,
+        new_block: Block,
+        new_args: Vec<Value>,
+    ) {
+        assert!(new_block.index() < self.blocks.len(), "branch to unknown {new_block}");
+        for &a in &new_args {
+            assert!(a.index() < self.values.len(), "operand {a} does not exist");
+        }
+        let from = self.inst_block(inst).expect("terminator was removed");
+        let (old_block, old_args) = {
+            let mut targets = self.insts[inst].branch_targets_mut();
+            let call = targets.get_mut(target_index).expect("target index out of range");
+            let old_block = call.block;
+            let old_args = std::mem::replace(&mut call.args, new_args.clone());
+            call.block = new_block;
+            (old_block, old_args)
+        };
+        for a in old_args {
+            remove_one(&mut self.uses[a.index()], inst);
+        }
+        for a in new_args {
+            self.uses[a.index()].push(inst);
+        }
+        remove_one(&mut self.succs[from.index()], old_block.as_u32());
+        remove_one(&mut self.preds[old_block.index()], from.as_u32());
+        self.succs[from.index()].push(new_block.as_u32());
+        self.preds[new_block.index()].push(from.as_u32());
+    }
+
+    /// Removes the `index`-th parameter of `block` together with the
+    /// corresponding branch argument of every predecessor terminator.
+    /// The parameter value must be unused; it stays allocated but
+    /// detached (no uses, not listed among the block's parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is the entry block (its parameters are the
+    /// function signature), `index` is out of range, or the parameter
+    /// still has uses.
+    pub fn remove_block_param(&mut self, block: Block, index: usize) {
+        assert_ne!(block, self.entry_block(), "entry parameters are the function signature");
+        let params = &self.blocks[block].params;
+        assert!(index < params.len(), "parameter index {index} out of range");
+        let param = params[index];
+        assert!(
+            self.uses[param.index()].is_empty(),
+            "cannot remove {param}: it still has uses"
+        );
+        self.blocks[block].params.remove(index);
+        // Re-index the parameters that shifted down.
+        let shifted: Vec<Value> = self.blocks[block].params[index..].to_vec();
+        for (off, v) in shifted.into_iter().enumerate() {
+            self.values[v] = ValueDef::Param { block, index: (index + off) as u32 };
+        }
+        // Drop the matching argument from every predecessor branch.
+        let preds: Vec<NodeId> = {
+            let mut p = self.preds[block.index()].clone();
+            p.sort_unstable();
+            p.dedup();
+            p
+        };
+        for p in preds {
+            let pb = Block::from_index(p as usize);
+            let term = self.terminator(pb).expect("predecessor is terminated");
+            let mut removed_args = Vec::new();
+            {
+                let mut targets = self.insts[term].branch_targets_mut();
+                for call in targets.iter_mut() {
+                    if call.block == block {
+                        removed_args.push(call.args.remove(index));
+                    }
+                }
+            }
+            for a in removed_args {
+                remove_one(&mut self.uses[a.index()], term);
+            }
+        }
+    }
+
+    /// Convenience instruction builder positioned at the end of `block`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastlive_ir::Function;
+    ///
+    /// let mut f = Function::new("f");
+    /// let b = f.add_block();
+    /// let k = f.ins(b).iconst(7);
+    /// f.ins(b).ret(vec![k]);
+    /// ```
+    pub fn ins(&mut self, block: Block) -> crate::builder::InsBuilder<'_> {
+        crate::builder::InsBuilder::new(self, block)
+    }
+
+    /// Rebuilds the def-use chains from scratch and compares with the
+    /// maintained ones — a consistency oracle for tests.
+    ///
+    /// Returns `Err` with a description on the first mismatch.
+    pub fn check_use_chains(&self) -> Result<(), String> {
+        let mut expect: Vec<Vec<Inst>> = vec![Vec::new(); self.values.len()];
+        for b in self.blocks() {
+            for &inst in self.block_insts(b) {
+                self.insts[inst].for_each_operand(|v| expect[v.index()].push(inst));
+            }
+        }
+        for v in self.values() {
+            let mut a = self.uses[v.index()].clone();
+            let mut b = expect[v.index()].clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            if a != b {
+                return Err(format!("use chain of {v} is {a:?}, expected {b:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The CFG view of a function: nodes are block indices. Edges carry the
+/// multiplicity of branch targets (a two-way branch to the same block
+/// contributes two edges), matching [`fastlive_graph::DiGraph`] semantics.
+impl Cfg for Function {
+    fn num_nodes(&self) -> usize {
+        self.blocks.len()
+    }
+    fn entry(&self) -> NodeId {
+        self.entry_block().as_u32()
+    }
+    fn succs(&self, n: NodeId) -> &[NodeId] {
+        &self.succs[n as usize]
+    }
+    fn preds(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n as usize]
+    }
+}
+
+fn remove_one<T: PartialEq>(v: &mut Vec<T>, x: T) {
+    let pos = v.iter().position(|e| *e == x).expect("element to remove is present");
+    v.swap_remove(pos);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinaryOp, BlockCall, UnaryOp};
+
+    fn sample() -> (Function, Block, Block, Block) {
+        // block0(x): brif x, block1, block2
+        // block1: v = x+x; jump block2
+        // block2: return x
+        let mut f = Function::new("sample");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let x = f.append_block_param(b0);
+        f.append_inst(
+            b0,
+            InstData::Brif {
+                cond: x,
+                then_dest: BlockCall::no_args(b1),
+                else_dest: BlockCall::no_args(b2),
+            },
+        );
+        f.append_inst(b1, InstData::Binary { op: BinaryOp::Iadd, args: [x, x] });
+        f.append_inst(b1, InstData::Jump { dest: BlockCall::no_args(b2) });
+        f.append_inst(b2, InstData::Return { args: vec![x] });
+        (f, b0, b1, b2)
+    }
+
+    #[test]
+    fn entry_is_first_block() {
+        let (f, b0, ..) = sample();
+        assert_eq!(f.entry_block(), b0);
+        assert_eq!(f.num_blocks(), 3);
+    }
+
+    #[test]
+    fn cfg_edges_follow_terminators() {
+        let (f, b0, b1, b2) = sample();
+        assert_eq!(f.succs(b0.as_u32()), &[b1.as_u32(), b2.as_u32()]);
+        assert_eq!(f.succs(b1.as_u32()), &[b2.as_u32()]);
+        assert!(f.succs(b2.as_u32()).is_empty());
+        let mut p2 = f.preds(b2.as_u32()).to_vec();
+        p2.sort_unstable();
+        assert_eq!(p2, vec![0, 1]);
+        assert_eq!(f.num_edges(), 3);
+    }
+
+    #[test]
+    fn def_use_chains_track_operands() {
+        let (f, b0, b1, b2) = sample();
+        let x = f.params()[0];
+        // x used by: brif (b0), iadd twice (b1), return (b2).
+        assert_eq!(f.uses(x).len(), 4);
+        let mut blocks: Vec<_> = f.use_blocks(x).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![b0, b1, b1, b2]);
+        assert_eq!(f.def_block(x), b0);
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn inst_results_and_positions() {
+        let (f, _, b1, _) = sample();
+        let add = f.block_insts(b1)[0];
+        let r = f.inst_result(add).expect("iadd has a result");
+        assert_eq!(f.value_def(r), ValueDef::Inst(add));
+        assert_eq!(f.def_block(r), b1);
+        assert_eq!(f.inst_position(add), 0);
+        let jump = f.block_insts(b1)[1];
+        assert_eq!(f.inst_result(jump), None);
+        assert_eq!(f.inst_position(jump), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a terminator")]
+    fn double_terminator_rejected() {
+        let (mut f, b0, _, _) = sample();
+        f.append_inst(b0, InstData::Return { args: vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "after the terminator")]
+    fn insert_after_terminator_rejected() {
+        let (mut f, b0, ..) = sample();
+        let pos = f.block_insts(b0).len();
+        f.insert_inst(b0, pos, InstData::IntConst { imm: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn unknown_operand_rejected() {
+        let mut f = Function::new("f");
+        let b = f.add_block();
+        f.append_inst(b, InstData::Unary { op: UnaryOp::Copy, arg: Value::from_index(99) });
+    }
+
+    #[test]
+    fn insert_before_terminator() {
+        let (mut f, b0, ..) = sample();
+        let pos = f.block_insts(b0).len() - 1;
+        let inst = f.insert_inst(b0, pos, InstData::IntConst { imm: 5 });
+        assert_eq!(f.block_insts(b0)[pos], inst);
+        assert_eq!(f.inst_position(inst), 0);
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn remove_inst_unregisters_uses() {
+        let mut f = Function::new("f");
+        let b = f.add_block();
+        let x = f.append_block_param(b);
+        let dead = f.append_inst(b, InstData::Unary { op: UnaryOp::Ineg, arg: x });
+        f.append_inst(b, InstData::Return { args: vec![x] });
+        assert_eq!(f.uses(x).len(), 2);
+        f.remove_inst(dead);
+        assert_eq!(f.uses(x).len(), 1);
+        assert_eq!(f.inst_block(dead), None);
+        assert_eq!(f.block_insts(b).len(), 1);
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    #[should_panic(expected = "still used")]
+    fn remove_inst_with_live_result_rejected() {
+        let mut f = Function::new("f");
+        let b = f.add_block();
+        let k = f.append_inst(b, InstData::IntConst { imm: 3 });
+        let kv = f.inst_result(k).unwrap();
+        f.append_inst(b, InstData::Return { args: vec![kv] });
+        f.remove_inst(k);
+    }
+
+    #[test]
+    fn replace_all_uses_moves_chains() {
+        let (mut f, _, b1, _) = sample();
+        let x = f.params()[0];
+        let add = f.block_insts(b1)[0];
+        let r = f.inst_result(add).unwrap();
+        let n_x = f.uses(x).len();
+        f.replace_all_uses(x, r);
+        assert!(f.uses(x).is_empty());
+        assert_eq!(f.uses(r).len(), n_x);
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn replace_uses_except_keeps_one_site() {
+        let (mut f, b0, b1, _) = sample();
+        let x = f.params()[0];
+        let add = f.block_insts(b1)[0];
+        let r = f.inst_result(add).unwrap();
+        f.replace_uses_except(x, r, add);
+        // The iadd still uses x twice, everything else uses r.
+        assert_eq!(f.uses(x).len(), 2);
+        assert!(f.uses(x).iter().all(|&i| i == add));
+        let brif = f.block_insts(b0)[0];
+        match f.inst_data(brif) {
+            InstData::Brif { cond, .. } => assert_eq!(*cond, r),
+            other => panic!("unexpected {other:?}"),
+        }
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn branch_args_are_uses_at_pred_block() {
+        // block0(x): jump block1(x); block1(p): return p
+        let mut f = Function::new("phi");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let x = f.append_block_param(b0);
+        let p = f.append_block_param(b1);
+        f.append_inst(b0, InstData::Jump { dest: BlockCall::with_args(b1, vec![x]) });
+        f.append_inst(b1, InstData::Return { args: vec![p] });
+        // Definition 1: the φ-use of x happens at block0 (the predecessor).
+        let blocks: Vec<_> = f.use_blocks(x).collect();
+        assert_eq!(blocks, vec![b0]);
+        assert_eq!(f.def_block(p), b1);
+    }
+
+    #[test]
+    fn set_branch_arg_updates_chains() {
+        let mut f = Function::new("f");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let x = f.append_block_param(b0);
+        let y = f.append_block_param(b0);
+        f.append_block_param(b1);
+        let j = f.append_inst(b0, InstData::Jump { dest: BlockCall::with_args(b1, vec![x]) });
+        assert_eq!(f.uses(x).len(), 1);
+        f.set_branch_arg(j, 0, 0, y);
+        assert!(f.uses(x).is_empty());
+        assert_eq!(f.uses(y), &[j]);
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn redirect_branch_target_rewires_cfg() {
+        let (mut f, b0, b1, b2) = sample();
+        let mid = f.add_block();
+        f.append_inst(mid, InstData::Jump { dest: BlockCall::no_args(b1) });
+        let brif = f.block_insts(b0)[0];
+        f.redirect_branch_target(brif, 0, mid, vec![]);
+        assert_eq!(f.succs(b0.as_u32()), &[b2.as_u32(), mid.as_u32()]);
+        assert!(f.preds(b1.as_u32()).contains(&mid.as_u32()));
+        assert!(!f.preds(b1.as_u32()).contains(&b0.as_u32()));
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn parallel_edges_from_brif_to_same_block() {
+        let mut f = Function::new("f");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let c = f.append_inst(b0, InstData::IntConst { imm: 1 });
+        let cv = f.inst_result(c).unwrap();
+        f.append_inst(
+            b0,
+            InstData::Brif {
+                cond: cv,
+                then_dest: BlockCall::no_args(b1),
+                else_dest: BlockCall::no_args(b1),
+            },
+        );
+        f.append_inst(b1, InstData::Return { args: vec![] });
+        assert_eq!(f.succs(0), &[1, 1]);
+        assert_eq!(f.preds(1), &[0, 0]);
+    }
+}

@@ -1,0 +1,272 @@
+//! A reference interpreter for [`Function`]s.
+//!
+//! The interpreter gives every function a deterministic, total semantics
+//! (wrapping arithmetic, defined division by zero, an explicit fuel
+//! budget for non-terminating loops). It is the ground truth for the
+//! semantic-preservation tests of SSA construction and destruction: a
+//! pass is correct if the function computes the same results before and
+//! after, on a battery of random inputs.
+
+use crate::entities::{Block, Value};
+use crate::function::Function;
+use crate::instr::{BlockCall, InstData};
+
+/// Why evaluation stopped without returning normally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// The step budget ran out (probably an infinite loop).
+    OutOfFuel,
+    /// The entry block expects more arguments than were supplied.
+    ArityMismatch {
+        /// Parameters of the entry block.
+        expected: usize,
+        /// Arguments supplied to [`run`].
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: function takes {expected} arguments, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// The result of a completed run: returned values plus a trace summary
+/// usable as a cheap semantic fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Values of the executed `return`.
+    pub returned: Vec<i64>,
+    /// Number of instructions executed.
+    pub steps: u64,
+    /// Blocks visited, in order (entry first).
+    pub block_trace: Vec<Block>,
+}
+
+/// Executes `func` on `args` with a step budget of `fuel`.
+///
+/// Block-parameter binding uses parallel-copy semantics: all branch
+/// arguments are evaluated in the predecessor before any destination
+/// parameter is written — the same semantics SSA destruction must
+/// preserve when it lowers block arguments to copies.
+///
+/// # Errors
+///
+/// [`Trap::OutOfFuel`] when more than `fuel` instructions execute;
+/// [`Trap::ArityMismatch`] when `args.len() != func.params().len()`.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_ir::{interp, parse_function};
+///
+/// let f = parse_function(
+///     "function %double { block0(v0): v1 = iadd v0, v0  return v1 }",
+/// )?;
+/// let out = interp::run(&f, &[21], 1_000).unwrap();
+/// assert_eq!(out.returned, vec![42]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(func: &Function, args: &[i64], fuel: u64) -> Result<Outcome, Trap> {
+    let entry = func.entry_block();
+    let params = func.block_params(entry);
+    if params.len() != args.len() {
+        return Err(Trap::ArityMismatch { expected: params.len(), got: args.len() });
+    }
+
+    let mut env: Vec<i64> = vec![0; func.num_values()];
+    let get = |env: &[i64], v: Value| env[v.index()];
+    for (p, &a) in params.iter().zip(args) {
+        env[p.index()] = a;
+    }
+
+    let mut block = entry;
+    let mut steps = 0u64;
+    let mut block_trace = vec![entry];
+    loop {
+        let mut next: Option<(Block, Vec<i64>)> = None;
+        for &inst in func.block_insts(block) {
+            steps += 1;
+            if steps > fuel {
+                return Err(Trap::OutOfFuel);
+            }
+            let bind = |call: &BlockCall, env: &[i64]| {
+                (call.block, call.args.iter().map(|&a| get(env, a)).collect::<Vec<i64>>())
+            };
+            match func.inst_data(inst) {
+                InstData::IntConst { imm } => {
+                    let r = func.inst_result(inst).expect("const result");
+                    env[r.index()] = *imm;
+                }
+                InstData::Unary { op, arg } => {
+                    let r = func.inst_result(inst).expect("unary result");
+                    env[r.index()] = op.eval(get(&env, *arg));
+                }
+                InstData::Binary { op, args } => {
+                    let r = func.inst_result(inst).expect("binary result");
+                    env[r.index()] = op.eval(get(&env, args[0]), get(&env, args[1]));
+                }
+                InstData::Jump { dest } => next = Some(bind(dest, &env)),
+                InstData::Brif { cond, then_dest, else_dest } => {
+                    let taken = get(&env, *cond) != 0;
+                    next = Some(bind(if taken { then_dest } else { else_dest }, &env));
+                }
+                InstData::Return { args } => {
+                    let returned = args.iter().map(|&a| get(&env, a)).collect();
+                    return Ok(Outcome { returned, steps, block_trace });
+                }
+            }
+        }
+        let (dest, values) =
+            next.expect("every block ends in a terminator; return already handled");
+        // Parallel copy: all argument values were read above, before any
+        // parameter is written.
+        for (p, v) in func.block_params(dest).iter().zip(values) {
+            env[p.index()] = v;
+        }
+        block = dest;
+        block_trace.push(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let f = parse_function(
+            "function %f { block0(v0, v1):
+                v2 = imul v0, v1
+                v3 = isub v2, v0
+                return v3 }",
+        )
+        .unwrap();
+        let out = run(&f, &[6, 7], 100).unwrap();
+        assert_eq!(out.returned, vec![36]);
+        assert_eq!(out.steps, 3);
+        assert_eq!(out.block_trace.len(), 1);
+    }
+
+    #[test]
+    fn loop_counts_to_n() {
+        let f = parse_function(
+            "function %count { block0(v0):
+                v1 = iconst 0
+                jump block1(v1)
+            block1(v2):
+                v3 = iconst 1
+                v4 = iadd v2, v3
+                v5 = icmp_slt v4, v0
+                brif v5, block1(v4), block2
+            block2:
+                return v4 }",
+        )
+        .unwrap();
+        let out = run(&f, &[5], 1_000).unwrap();
+        assert_eq!(out.returned, vec![5]);
+        // entry + 5 loop iterations + exit
+        assert_eq!(out.block_trace.len(), 7);
+    }
+
+    #[test]
+    fn brif_selects_correct_arm() {
+        let f = parse_function(
+            "function %sel { block0(v0):
+                brif v0, block1, block2
+            block1:
+                v1 = iconst 10
+                return v1
+            block2:
+                v2 = iconst 20
+                return v2 }",
+        )
+        .unwrap();
+        assert_eq!(run(&f, &[1], 100).unwrap().returned, vec![10]);
+        assert_eq!(run(&f, &[0], 100).unwrap().returned, vec![20]);
+        assert_eq!(run(&f, &[-7], 100).unwrap().returned, vec![10]); // non-zero
+    }
+
+    #[test]
+    fn parallel_copy_semantics_of_block_args() {
+        // Swap two values through block parameters: block1(a, b) receives
+        // (b, a). A sequential copy would clobber one of them.
+        let f = parse_function(
+            "function %swap { block0(v0, v1):
+                jump block1(v1, v0)
+            block1(v2, v3):
+                return v2, v3 }",
+        )
+        .unwrap();
+        let out = run(&f, &[1, 2], 100).unwrap();
+        assert_eq!(out.returned, vec![2, 1]);
+    }
+
+    #[test]
+    fn self_referential_block_args_swap_each_iteration() {
+        // block1(a, b) jumps to block1(b, a) twice: after 2 iterations the
+        // original order is restored.
+        let f = parse_function(
+            "function %swaploop { block0(v0, v1):
+                v9 = iconst 0
+                jump block1(v0, v1, v9)
+            block1(v2, v3, v4):
+                v5 = iconst 1
+                v6 = iadd v4, v5
+                v7 = icmp_slt v6, v5
+                brif v7, block2, block3
+            block2:
+                return v2, v3
+            block3:
+                v8 = icmp_slt v6, v5
+                brif v8, block2, block4
+            block4:
+                return v3, v2 }",
+        )
+        .unwrap();
+        let out = run(&f, &[10, 20], 100).unwrap();
+        assert_eq!(out.returned, vec![20, 10]);
+    }
+
+    #[test]
+    fn out_of_fuel_on_infinite_loop() {
+        let f = parse_function("function %spin { block0: jump block1 block1: jump block1 }")
+            .unwrap();
+        assert_eq!(run(&f, &[], 50), Err(Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let f = parse_function("function %f { block0(v0): return v0 }").unwrap();
+        assert_eq!(run(&f, &[], 10), Err(Trap::ArityMismatch { expected: 1, got: 0 }));
+        assert!(run(&f, &[1, 2], 10).is_err());
+        let msg = Trap::ArityMismatch { expected: 1, got: 0 }.to_string();
+        assert!(msg.contains("takes 1"));
+    }
+
+    #[test]
+    fn division_semantics_are_total() {
+        let f = parse_function(
+            "function %d { block0(v0, v1):
+                v2 = sdiv v0, v1
+                v3 = srem v0, v1
+                v4 = iadd v2, v3
+                return v4 }",
+        )
+        .unwrap();
+        assert_eq!(run(&f, &[7, 0], 100).unwrap().returned, vec![7]); // 0 + 7
+        assert_eq!(run(&f, &[7, 2], 100).unwrap().returned, vec![4]); // 3 + 1
+        assert_eq!(
+            run(&f, &[i64::MIN, -1], 100).unwrap().returned,
+            vec![i64::MIN] // MIN + 0
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! A Cranelift-style SSA intermediate representation for the `fastlive`
+//! liveness library.
+//!
+//! This crate provides the program representation the paper assumes
+//! (§2.2): a control-flow graph of basic blocks holding instructions in
+//! **strict SSA form**, with φ-functions and maintained def-use chains.
+//! Design choices:
+//!
+//! * **Block parameters instead of φ-instructions.** A φ-function
+//!   `z ← φ(x, y)` is expressed as a parameter `z` of the join block,
+//!   with `x`/`y` passed as branch arguments by the predecessors. This
+//!   realises Definition 1 of the paper *structurally*: the i-th φ-use
+//!   happens at the i-th predecessor, because that is where the branch
+//!   instruction carrying the argument lives.
+//! * **Def-use chains are maintained by construction** — every mutator
+//!   updates them, so the liveness checker's query-time walk over
+//!   `uses(a)` is always available, and updating them "incurs virtually
+//!   no costs" exactly as §2 argues.
+//! * **One integer type.** Liveness is type-agnostic; a single `i64`
+//!   type keeps the interpreter and generators simple without losing any
+//!   generality relevant to the paper.
+//!
+//! The crate also ships a [parser](parse_function) and printer for a
+//! stable textual format, a reference [interpreter](interp) (the ground
+//! truth for the SSA construction/destruction semantics tests), a
+//! structural [verifier](verify_structure), and
+//! [critical-edge splitting](split_critical_edges).
+//!
+//! # Examples
+//!
+//! ```
+//! use fastlive_graph::Cfg as _;
+//! use fastlive_ir::{interp, parse_function};
+//!
+//! let f = parse_function(
+//!     "function %abs { block0(v0):
+//!          v1 = iconst 0
+//!          v2 = icmp_slt v0, v1
+//!          brif v2, block1, block2
+//!      block1:
+//!          v3 = ineg v0
+//!          return v3
+//!      block2:
+//!          return v0 }",
+//! )?;
+//! assert_eq!(f.num_blocks(), 3);
+//! assert_eq!(f.succs(0), &[1, 2]); // the IR is a Cfg
+//! assert_eq!(interp::run(&f, &[-5], 100)?.returned, vec![5]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod entities;
+mod function;
+pub mod instr;
+pub mod interp;
+mod parser;
+mod printer;
+mod transform;
+mod verify;
+
+pub use entities::{Block, Inst, Value};
+pub use function::{Function, ValueDef};
+pub use instr::{BinaryOp, BlockCall, InstData, UnaryOp};
+pub use parser::{parse_function, ParseError};
+pub use transform::{remove_dead_block_params, split_critical_edges};
+pub use verify::{verify_structure, VerifyError};

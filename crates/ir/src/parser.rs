@@ -1,0 +1,670 @@
+//! A parser for the textual IR format produced by the printer.
+//!
+//! The grammar (whitespace-insensitive, `;` starts a line comment):
+//!
+//! ```text
+//! function  ::= "function" "%" NAME [paramlist] "{" block* "}"
+//! block     ::= BLOCKREF [paramlist] ":" inst*
+//! paramlist ::= "(" [VALUEREF ("," VALUEREF)*] ")"
+//! inst      ::= VALUEREF "=" op | terminator
+//! op        ::= "iconst" INT | UNOP VALUEREF | BINOP VALUEREF "," VALUEREF
+//! terminator::= "jump" call | "brif" VALUEREF "," call "," call
+//!             | "return" [VALUEREF ("," VALUEREF)*]
+//! call      ::= BLOCKREF [arglist]
+//! ```
+//!
+//! Source names (`v7`, `block3`) are arbitrary non-negative numbers; they
+//! are mapped to freshly numbered entities in order of first definition.
+//! Blocks may be referenced before their definition; **values must be
+//! defined textually before use** (the printer always emits functions in
+//! creation order, where this holds for every function this workspace
+//! builds).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::entities::{Block, Value};
+use crate::function::Function;
+use crate::instr::{BinaryOp, BlockCall, InstData, UnaryOp};
+
+/// A parse error with 1-based line/column and a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one function from `src`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with position) for syntax errors, undefined
+/// or redefined values, branches to undeclared blocks, or trailing input.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_ir::parse_function;
+///
+/// let f = parse_function(
+///     "function %f { block0(v0): v1 = iadd v0, v0  return v1 }",
+/// )?;
+/// assert_eq!(f.name, "f");
+/// assert_eq!(f.num_blocks(), 1);
+/// # Ok::<(), fastlive_ir::ParseError>(())
+/// ```
+pub fn parse_function(src: &str) -> Result<Function, ParseError> {
+    Parser::new(src).parse()
+}
+
+// ------------------------------------------------------------- lexer
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),  // iadd, function, v3, block0, ...
+    Int(i64),       // possibly negative
+    Percent,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Eq,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        loop {
+            // Skip whitespace and comments.
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some(';') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (line, col) = (self.line, self.col);
+        let Some(&c) = self.chars.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match c {
+            '%' => {
+                self.bump();
+                Tok::Percent
+            }
+            '{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            '}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            '(' => {
+                self.bump();
+                Tok::LParen
+            }
+            ')' => {
+                self.bump();
+                Tok::RParen
+            }
+            ',' => {
+                self.bump();
+                Tok::Comma
+            }
+            ':' => {
+                self.bump();
+                Tok::Colon
+            }
+            '=' => {
+                self.bump();
+                Tok::Eq
+            }
+            '-' | '0'..='9' => {
+                let mut s = String::new();
+                s.push(self.bump().expect("peeked"));
+                while let Some(&d) = self.chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(self.bump().expect("peeked"));
+                    } else {
+                        break;
+                    }
+                }
+                let value = s.parse::<i64>().map_err(|_| ParseError {
+                    line,
+                    col,
+                    message: format!("invalid integer literal `{s}`"),
+                })?;
+                Tok::Int(value)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = self.chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        s.push(self.bump().expect("peeked"));
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(s)
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    col,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        };
+        Ok((tok, line, col))
+    }
+}
+
+// ------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    src: &'a str,
+    lexer: Lexer<'a>,
+    tok: Tok,
+    line: usize,
+    col: usize,
+    /// One-token lookahead buffer beyond `tok`.
+    pending: Option<(Tok, usize, usize)>,
+    /// Source block number -> entity. Headers are pre-registered in
+    /// definition order so that block numbering is stable under
+    /// print/parse round trips regardless of forward references.
+    blocks: HashMap<u64, Block>,
+    /// Source value number -> entity (created at definition).
+    values: HashMap<u64, Value>,
+    func: Function,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src,
+            lexer: Lexer::new(src),
+            tok: Tok::Eof,
+            line: 1,
+            col: 1,
+            pending: None,
+            blocks: HashMap::new(),
+            values: HashMap::new(),
+            func: Function::new(""),
+        }
+    }
+
+    /// Pre-pass: register every block *header* (an identifier `blockN`
+    /// followed by `:` or by `( ... ) :`) in textual order, so blocks
+    /// are numbered by definition rather than first mention.
+    fn preregister_blocks(&mut self) -> Result<(), ParseError> {
+        let mut lexer = Lexer::new(self.src);
+        let mut toks: Vec<Tok> = Vec::new();
+        loop {
+            let (t, ..) = lexer.next_token()?;
+            let done = t == Tok::Eof;
+            toks.push(t);
+            if done {
+                break;
+            }
+        }
+        let mut i = 0;
+        while i < toks.len() {
+            if let Tok::Ident(name) = &toks[i] {
+                if Self::entity_num(name, "block").is_some() {
+                    let mut j = i + 1;
+                    if toks.get(j) == Some(&Tok::LParen) {
+                        while j < toks.len() && toks[j] != Tok::RParen {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    if toks.get(j) == Some(&Tok::Colon) {
+                        let name = name.clone();
+                        self.block_ref(&name)?;
+                    }
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn advance(&mut self) -> Result<(), ParseError> {
+        let (tok, line, col) = match self.pending.take() {
+            Some(buffered) => buffered,
+            None => self.lexer.next_token()?,
+        };
+        self.tok = tok;
+        self.line = line;
+        self.col = col;
+        Ok(())
+    }
+
+    /// Peeks one token past `self.tok` without consuming anything.
+    fn peek_next(&mut self) -> Result<&Tok, ParseError> {
+        if self.pending.is_none() {
+            self.pending = Some(self.lexer.next_token()?);
+        }
+        Ok(&self.pending.as_ref().expect("just filled").0)
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if self.tok == tok {
+            self.advance()
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.tok)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match std::mem::replace(&mut self.tok, Tok::Eof) {
+            Tok::Ident(s) => {
+                self.advance()?;
+                Ok(s)
+            }
+            other => {
+                self.tok = other;
+                Err(self.err(format!("expected identifier, found {}", self.tok)))
+            }
+        }
+    }
+
+    /// Parses `v<NUM>` or `block<NUM>` identifiers.
+    fn entity_num(name: &str, prefix: &str) -> Option<u64> {
+        name.strip_prefix(prefix)?.parse().ok()
+    }
+
+    fn parse(mut self) -> Result<Function, ParseError> {
+        self.advance()?;
+        match &self.tok {
+            Tok::Ident(k) if k == "function" => self.advance()?,
+            _ => return Err(self.err(format!("expected `function`, found {}", self.tok))),
+        }
+        self.expect(Tok::Percent)?;
+        self.func.name = self.expect_ident()?;
+
+        // Optional (and ignored) parameter list echoing block0's params.
+        if self.tok == Tok::LParen {
+            while self.tok != Tok::RParen {
+                self.advance()?;
+            }
+            self.advance()?;
+        }
+        self.expect(Tok::LBrace)?;
+        self.preregister_blocks()?;
+
+        while self.tok != Tok::RBrace {
+            self.parse_block()?;
+        }
+        self.expect(Tok::RBrace)?;
+        if self.tok != Tok::Eof {
+            return Err(self.err(format!("trailing input: {}", self.tok)));
+        }
+
+        // Every referenced block must have been defined with a header.
+        for b in self.func.blocks() {
+            if !self.func.is_terminated(b) {
+                return Err(ParseError {
+                    line: self.line,
+                    col: self.col,
+                    message: format!("{b} has no terminator (or was referenced but never defined)"),
+                });
+            }
+        }
+        Ok(self.func)
+    }
+
+    fn block_ref(&mut self, name: &str) -> Result<Block, ParseError> {
+        let n = Self::entity_num(name, "block")
+            .ok_or_else(|| self.err(format!("expected block reference, found `{name}`")))?;
+        if let Some(&b) = self.blocks.get(&n) {
+            return Ok(b);
+        }
+        let b = self.func.add_block();
+        self.blocks.insert(n, b);
+        Ok(b)
+    }
+
+    fn value_use(&mut self, name: &str) -> Result<Value, ParseError> {
+        let n = Self::entity_num(name, "v")
+            .ok_or_else(|| self.err(format!("expected value reference, found `{name}`")))?;
+        self.values
+            .get(&n)
+            .copied()
+            .ok_or_else(|| self.err(format!("use of undefined value `v{n}` (defs must precede uses textually)")))
+    }
+
+    fn define_value(&mut self, name: &str, v: Value) -> Result<(), ParseError> {
+        let n = Self::entity_num(name, "v")
+            .ok_or_else(|| self.err(format!("expected value name, found `{name}`")))?;
+        if self.values.insert(n, v).is_some() {
+            return Err(self.err(format!("value `v{n}` defined twice")));
+        }
+        Ok(())
+    }
+
+    /// `true` iff the current token opens a block definition:
+    /// a `blockN` identifier followed by `(` or `:`.
+    fn at_block_header(&mut self) -> Result<bool, ParseError> {
+        let is_block_name = matches!(&self.tok, Tok::Ident(name)
+            if Self::entity_num(name, "block").is_some());
+        if !is_block_name {
+            return Ok(false);
+        }
+        Ok(matches!(self.peek_next()?, Tok::LParen | Tok::Colon))
+    }
+
+    fn parse_block(&mut self) -> Result<(), ParseError> {
+        let name = self.expect_ident()?;
+        let block = self.block_ref(&name)?;
+        if self.func.is_terminated(block) || !self.func.block_insts(block).is_empty() {
+            return Err(self.err(format!("{block} defined twice")));
+        }
+        if self.tok == Tok::LParen {
+            self.advance()?;
+            while self.tok != Tok::RParen {
+                let pname = self.expect_ident()?;
+                let v = self.func.append_block_param(block);
+                self.define_value(&pname, v)?;
+                if self.tok == Tok::Comma {
+                    self.advance()?;
+                }
+            }
+            self.advance()?;
+        }
+        self.expect(Tok::Colon)?;
+
+        loop {
+            if self.tok == Tok::RBrace || self.at_block_header()? {
+                if !self.func.is_terminated(block) {
+                    return Err(self.err(format!("{block} has no terminator")));
+                }
+                return Ok(());
+            }
+            match &self.tok {
+                Tok::Ident(_) => {
+                    let ident = self.expect_ident()?;
+                    self.parse_inst(block, ident)?;
+                }
+                other => return Err(self.err(format!("expected instruction, found {other}"))),
+            }
+        }
+    }
+
+    fn parse_call(&mut self) -> Result<BlockCall, ParseError> {
+        let name = self.expect_ident()?;
+        let block = self.block_ref(&name)?;
+        let mut args = Vec::new();
+        if self.tok == Tok::LParen {
+            self.advance()?;
+            while self.tok != Tok::RParen {
+                let a = self.expect_ident()?;
+                args.push(self.value_use(&a)?);
+                if self.tok == Tok::Comma {
+                    self.advance()?;
+                }
+            }
+            self.advance()?;
+        }
+        Ok(BlockCall::with_args(block, args))
+    }
+
+    /// Parses one instruction whose first identifier is already consumed.
+    fn parse_inst(&mut self, block: Block, first: String) -> Result<(), ParseError> {
+        if self.func.is_terminated(block) {
+            return Err(self.err(format!("instruction after terminator of {block}")));
+        }
+        match first.as_str() {
+            "jump" => {
+                let dest = self.parse_call()?;
+                self.func.append_inst(block, InstData::Jump { dest });
+            }
+            "brif" => {
+                let c = self.expect_ident()?;
+                let cond = self.value_use(&c)?;
+                self.expect(Tok::Comma)?;
+                let then_dest = self.parse_call()?;
+                self.expect(Tok::Comma)?;
+                let else_dest = self.parse_call()?;
+                self.func.append_inst(block, InstData::Brif { cond, then_dest, else_dest });
+            }
+            "return" => {
+                let mut args = Vec::new();
+                while let Tok::Ident(name) = &self.tok {
+                    if !name.starts_with('v') || Self::entity_num(name, "v").is_none() {
+                        break;
+                    }
+                    let name = self.expect_ident()?;
+                    args.push(self.value_use(&name)?);
+                    if self.tok == Tok::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+                self.func.append_inst(block, InstData::Return { args });
+            }
+            _ => {
+                // `vN = op ...`
+                self.expect(Tok::Eq)
+                    .map_err(|_| self.err(format!("unknown instruction `{first}`")))?;
+                let op = self.expect_ident()?;
+                let data = self.parse_value_op(&op)?;
+                let inst = self.func.append_inst(block, data);
+                let result = self.func.inst_result(inst).expect("value op has result");
+                self.define_value(&first, result)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_value_op(&mut self, op: &str) -> Result<InstData, ParseError> {
+        if op == "iconst" {
+            let imm = match self.tok {
+                Tok::Int(i) => i,
+                _ => return Err(self.err(format!("expected integer, found {}", self.tok))),
+            };
+            self.advance()?;
+            return Ok(InstData::IntConst { imm });
+        }
+        if let Some(u) = UnaryOp::ALL.iter().find(|u| u.mnemonic() == op) {
+            let a = self.expect_ident()?;
+            let arg = self.value_use(&a)?;
+            return Ok(InstData::Unary { op: *u, arg });
+        }
+        if let Some(b) = BinaryOp::ALL.iter().find(|b| b.mnemonic() == op) {
+            let a0 = self.expect_ident()?;
+            let x = self.value_use(&a0)?;
+            self.expect(Tok::Comma)?;
+            let a1 = self.expect_ident()?;
+            let y = self.value_use(&a1)?;
+            return Ok(InstData::Binary { op: *b, args: [x, y] });
+        }
+        Err(self.err(format!("unknown opcode `{op}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let src = "\
+function %demo {
+block0(v0):
+    v2 = iconst 7
+    v3 = iadd v0, v2
+    brif v3, block1(v3), block2
+block1(v1):
+    jump block2
+block2:
+    return v1
+}";
+        let f = parse_function(src).expect("parses");
+        // Entities are renumbered densely; re-print and re-parse must be a
+        // fixed point.
+        let printed = f.to_string();
+        let f2 = parse_function(&printed).expect("reparses");
+        assert_eq!(printed, f2.to_string());
+        assert_eq!(f.num_blocks(), 3);
+        assert_eq!(f.block_params(f.entry_block()).len(), 1);
+        f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn accepts_header_params_and_comments() {
+        let src = "
+; leading comment
+function %f(v0) { ; trailing comment
+block0(v0):
+    return v0 ; done
+}";
+        let f = parse_function(src).expect("parses");
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params().len(), 1);
+    }
+
+    #[test]
+    fn negative_constants() {
+        let f = parse_function("function %f { block0: v0 = iconst -42\n return v0 }").unwrap();
+        let k = f.block_insts(f.entry_block())[0];
+        assert_eq!(f.inst_data(k), &InstData::IntConst { imm: -42 });
+    }
+
+    #[test]
+    fn forward_block_references_work() {
+        let src = "function %f { block0: jump block5 block5: return }";
+        let f = parse_function(src).expect("parses");
+        assert_eq!(f.num_blocks(), 2);
+    }
+
+    #[test]
+    fn return_without_values_then_next_block() {
+        let src = "function %f { block0: brif v0, block1, block2 block1: return block2: return }";
+        // v0 undefined -> error, but the shape we care about is tested via
+        // a defined value:
+        assert!(parse_function(src).is_err());
+        let src = "function %f {
+            block0(v9): brif v9, block1, block2
+            block1: return
+            block2: return v9
+        }";
+        let f = parse_function(src).expect("parses");
+        assert_eq!(f.num_blocks(), 3);
+    }
+
+    #[test]
+    fn error_on_undefined_value() {
+        let e = parse_function("function %f { block0: return v3 }").unwrap_err();
+        assert!(e.message.contains("undefined value"), "{e}");
+        assert!(e.line >= 1);
+    }
+
+    #[test]
+    fn error_on_double_definition() {
+        let e = parse_function(
+            "function %f { block0: v1 = iconst 1 v1 = iconst 2\n return }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("defined twice"), "{e}");
+    }
+
+    #[test]
+    fn error_on_missing_terminator() {
+        let e = parse_function("function %f { block0: v1 = iconst 1 }").unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn error_on_unknown_opcode() {
+        let e = parse_function("function %f { block0: v1 = frobnicate 3\n return }").unwrap_err();
+        assert!(e.message.contains("unknown opcode"), "{e}");
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_function("").is_err());
+        assert!(parse_function("function f {}").is_err());
+        assert!(parse_function("function %f { block0: return } extra").is_err());
+        assert!(parse_function("function %f { block0: @ }").is_err());
+    }
+
+    #[test]
+    fn referenced_but_undefined_block_is_an_error() {
+        let e = parse_function("function %f { block0: jump block9 }").unwrap_err();
+        assert!(e.message.contains("never defined") || e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let e = parse_function("function %f {\nblock0:\n    v1 = iconst x\n return\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.col > 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Textual rendering of functions. The format round-trips through
+//! [`parse_function`](crate::parse_function).
+//!
+//! ```text
+//! function %name {
+//! block0(v0, v1):
+//!     v2 = iconst 7
+//!     v3 = iadd v0, v2
+//!     brif v3, block1(v3), block2
+//! block1(v4):
+//!     jump block2
+//! block2:
+//!     return v4
+//! }
+//! ```
+
+use std::fmt;
+
+use crate::entities::{Block, Inst};
+use crate::function::Function;
+use crate::instr::{BlockCall, InstData};
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "function %{} {{", self.name)?;
+        for block in self.blocks() {
+            write_block_header(f, self, block)?;
+            for &inst in self.block_insts(block) {
+                write!(f, "    ")?;
+                write_inst(f, self, inst)?;
+                writeln!(f)?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+fn write_block_header(f: &mut fmt::Formatter<'_>, func: &Function, block: Block) -> fmt::Result {
+    write!(f, "{block}")?;
+    let params = func.block_params(block);
+    if !params.is_empty() {
+        write!(f, "(")?;
+        for (i, p) in params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")?;
+    }
+    writeln!(f, ":")
+}
+
+fn write_call(f: &mut fmt::Formatter<'_>, call: &BlockCall) -> fmt::Result {
+    write!(f, "{}", call.block)?;
+    if !call.args.is_empty() {
+        write!(f, "(")?;
+        for (i, a) in call.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+fn write_inst(f: &mut fmt::Formatter<'_>, func: &Function, inst: Inst) -> fmt::Result {
+    if let Some(r) = func.inst_result(inst) {
+        write!(f, "{r} = ")?;
+    }
+    match func.inst_data(inst) {
+        InstData::IntConst { imm } => write!(f, "iconst {imm}"),
+        InstData::Unary { op, arg } => write!(f, "{} {arg}", op.mnemonic()),
+        InstData::Binary { op, args } => {
+            write!(f, "{} {}, {}", op.mnemonic(), args[0], args[1])
+        }
+        InstData::Jump { dest } => {
+            write!(f, "jump ")?;
+            write_call(f, dest)
+        }
+        InstData::Brif { cond, then_dest, else_dest } => {
+            write!(f, "brif {cond}, ")?;
+            write_call(f, then_dest)?;
+            write!(f, ", ")?;
+            write_call(f, else_dest)
+        }
+        InstData::Return { args } => {
+            write!(f, "return")?;
+            for (i, a) in args.iter().enumerate() {
+                write!(f, "{}{a}", if i == 0 { " " } else { ", " })?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_documented_shape() {
+        let mut f = Function::new("demo");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let x = f.append_block_param(b0);
+        let p = f.append_block_param(b1);
+        let k = f.ins(b0).iconst(7);
+        let s = f.ins(b0).iadd(x, k);
+        f.ins(b0).brif(s, b1, vec![s], b2, vec![]);
+        f.ins(b1).jump(b2, vec![]);
+        f.ins(b2).ret(vec![p]);
+
+        let text = f.to_string();
+        let expect = "\
+function %demo {
+block0(v0):
+    v2 = iconst 7
+    v3 = iadd v0, v2
+    brif v3, block1(v3), block2
+block1(v1):
+    jump block2
+block2:
+    return v1
+}";
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn return_with_multiple_values_and_empty() {
+        let mut f = Function::new("r");
+        let b = f.add_block();
+        let a = f.ins(b).iconst(1);
+        let c = f.ins(b).iconst(2);
+        f.ins(b).ret(vec![a, c]);
+        assert!(f.to_string().contains("return v0, v1"));
+
+        let mut g = Function::new("void");
+        let b = g.add_block();
+        g.ins(b).ret(vec![]);
+        assert!(g.to_string().contains("    return\n"));
+    }
+
+    #[test]
+    fn copy_and_unary_render() {
+        let mut f = Function::new("u");
+        let b = f.add_block();
+        let x = f.ins(b).iconst(3);
+        let c = f.ins(b).copy(x);
+        let n = f.ins(b).ineg(c);
+        f.ins(b).ret(vec![n]);
+        let s = f.to_string();
+        assert!(s.contains("v1 = copy v0"));
+        assert!(s.contains("v2 = ineg v1"));
+    }
+}

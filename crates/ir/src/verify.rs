@@ -1,0 +1,186 @@
+//! Structural verification of functions.
+//!
+//! [`verify_structure`] checks everything that can be checked without a
+//! dominator tree: block/terminator shape, operand existence, branch
+//! argument arity, def-use chain consistency, and reachability of an
+//! entry block. The *dominance property* of strict SSA (every use
+//! dominated by its definition — the paper's §2.2 prerequisite) needs a
+//! dominator tree and therefore lives upstack in
+//! `fastlive_core::verify_strict_ssa`.
+
+use std::fmt;
+
+use fastlive_graph::Cfg as _;
+
+use crate::entities::Block;
+use crate::function::Function;
+
+/// A structural defect found by [`verify_structure`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Offending block, when attributable.
+    pub block: Option<Block>,
+    /// Description of the defect.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "{b}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks the structural invariants of `func`.
+///
+/// # Errors
+///
+/// Returns the first defect found:
+/// * no blocks / empty blocks / missing or misplaced terminators,
+/// * branch argument count differing from the target's parameter count,
+/// * inconsistent def-use chains (should be impossible via the public
+///   API; guards against internal bugs),
+/// * CFG successor/predecessor tables that disagree with terminators.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_ir::{parse_function, verify_structure};
+///
+/// let f = parse_function("function %ok { block0: return }")?;
+/// verify_structure(&f)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify_structure(func: &Function) -> Result<(), VerifyError> {
+    if func.num_blocks() == 0 {
+        return Err(VerifyError { block: None, message: "function has no blocks".into() });
+    }
+    for block in func.blocks() {
+        let insts = func.block_insts(block);
+        if insts.is_empty() {
+            return Err(VerifyError { block: Some(block), message: "block is empty".into() });
+        }
+        for (i, &inst) in insts.iter().enumerate() {
+            let data = func.inst_data(inst);
+            let last = i + 1 == insts.len();
+            if last != data.is_terminator() {
+                return Err(VerifyError {
+                    block: Some(block),
+                    message: if last {
+                        format!("last instruction {inst} is not a terminator")
+                    } else {
+                        format!("terminator {inst} in the middle of the block")
+                    },
+                });
+            }
+            if func.inst_block(inst) != Some(block) {
+                return Err(VerifyError {
+                    block: Some(block),
+                    message: format!("{inst} does not know it lives in {block}"),
+                });
+            }
+            // Branch argument arity.
+            for call in data.branch_targets() {
+                let want = func.block_params(call.block).len();
+                if call.args.len() != want {
+                    return Err(VerifyError {
+                        block: Some(block),
+                        message: format!(
+                            "branch to {} passes {} args, parameters expect {want}",
+                            call.block,
+                            call.args.len()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // CFG tables must mirror the terminators exactly (with multiplicity).
+    for block in func.blocks() {
+        let mut expect: Vec<u32> = Vec::new();
+        if let Some(t) = func.terminator(block) {
+            for c in func.inst_data(t).branch_targets() {
+                expect.push(c.block.as_u32());
+            }
+        }
+        let mut got = func.succs(block.as_u32()).to_vec();
+        expect.sort_unstable();
+        got.sort_unstable();
+        if expect != got {
+            return Err(VerifyError {
+                block: Some(block),
+                message: format!("successor table {got:?} disagrees with terminator {expect:?}"),
+            });
+        }
+    }
+
+    func.check_use_chains().map_err(|message| VerifyError { block: None, message })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BlockCall, InstData};
+    use crate::parser::parse_function;
+
+    #[test]
+    fn accepts_well_formed_functions() {
+        let f = parse_function(
+            "function %f { block0(v0):
+                v1 = iconst 3
+                brif v0, block1(v1), block2
+            block1(v2):
+                jump block2
+            block2:
+                return }",
+        )
+        .unwrap();
+        verify_structure(&f).expect("valid");
+    }
+
+    #[test]
+    fn rejects_empty_function() {
+        let f = Function::new("empty");
+        let e = verify_structure(&f).unwrap_err();
+        assert!(e.message.contains("no blocks"));
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        let mut f = Function::new("f");
+        let b = f.add_block();
+        f.ins(b).iconst(1);
+        let e = verify_structure(&f).unwrap_err();
+        assert!(e.to_string().contains("not a terminator"), "{e}");
+        assert_eq!(e.block, Some(b));
+    }
+
+    #[test]
+    fn rejects_empty_block() {
+        let mut f = Function::new("f");
+        let b0 = f.add_block();
+        f.add_block(); // never filled
+        f.ins(b0).ret(vec![]);
+        let e = verify_structure(&f).unwrap_err();
+        assert!(e.message.contains("empty"));
+    }
+
+    #[test]
+    fn rejects_branch_arity_mismatch() {
+        let mut f = Function::new("f");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        // block1 takes one param but jump passes none.
+        f.append_inst(b0, InstData::Jump { dest: BlockCall::no_args(b1) });
+        f.append_block_param(b1);
+        f.ins(b1).ret(vec![]);
+        let e = verify_structure(&f).unwrap_err();
+        assert!(e.message.contains("passes 0 args"), "{e}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Structural profiles of the ten SPEC2000-int benchmarks from Table 1
+//! of the paper, and the machinery to sample procedure sizes matching
+//! them.
+
+use crate::rng::SplitMix64;
+
+/// The Table 1 row of one benchmark: everything the paper reports
+/// about a program's procedures.
+#[derive(Copy, Clone, Debug)]
+pub struct BenchProfile {
+    /// Benchmark name (e.g. `"164.gzip"`).
+    pub name: &'static str,
+    /// Number of compiled procedures (Table 2, "# Proc.").
+    pub procedures: usize,
+    /// Average basic blocks per procedure.
+    pub avg_blocks: f64,
+    /// Percentage of procedures with ≤ 32 blocks.
+    pub pct_le_32: f64,
+    /// Percentage of procedures with ≤ 64 blocks.
+    pub pct_le_64: f64,
+    /// Largest block count observed.
+    pub max_blocks: usize,
+    /// Percentage of variables with ≤ 1 use (Table 1, "# Uses").
+    pub pct_uses_le_1: f64,
+    /// Percentage of variables with ≤ 4 uses.
+    pub pct_uses_le_4: f64,
+}
+
+/// The ten benchmarks of Table 1 (252.eon and 253.perlbmk were not
+/// compilable in the paper's environment either).
+pub const SPEC2000_INT: [BenchProfile; 10] = [
+    BenchProfile { name: "164.gzip", procedures: 82, avg_blocks: 33.35, pct_le_32: 69.51, pct_le_64: 85.36, max_blocks: 51, pct_uses_le_1: 65.64, pct_uses_le_4: 95.94 },
+    BenchProfile { name: "175.vpr", procedures: 225, avg_blocks: 34.45, pct_le_32: 68.88, pct_le_64: 84.44, max_blocks: 75, pct_uses_le_1: 70.36, pct_uses_le_4: 96.28 },
+    BenchProfile { name: "176.gcc", procedures: 2019, avg_blocks: 38.96, pct_le_32: 72.85, pct_le_64: 86.03, max_blocks: 422, pct_uses_le_1: 73.99, pct_uses_le_4: 94.84 },
+    BenchProfile { name: "181.mcf", procedures: 26, avg_blocks: 20.31, pct_le_32: 84.61, pct_le_64: 100.0, max_blocks: 46, pct_uses_le_1: 66.91, pct_uses_le_4: 94.46 },
+    BenchProfile { name: "186.crafty", procedures: 109, avg_blocks: 69.28, pct_le_32: 59.63, pct_le_64: 76.14, max_blocks: 620, pct_uses_le_1: 72.98, pct_uses_le_4: 95.75 },
+    BenchProfile { name: "197.parser", procedures: 323, avg_blocks: 23.60, pct_le_32: 84.82, pct_le_64: 93.49, max_blocks: 96, pct_uses_le_1: 65.12, pct_uses_le_4: 96.62 },
+    BenchProfile { name: "254.gap", procedures: 852, avg_blocks: 32.89, pct_le_32: 67.60, pct_le_64: 87.44, max_blocks: 156, pct_uses_le_1: 70.46, pct_uses_le_4: 94.54 },
+    BenchProfile { name: "255.vortex", procedures: 923, avg_blocks: 26.46, pct_le_32: 77.57, pct_le_64: 90.68, max_blocks: 254, pct_uses_le_1: 65.99, pct_uses_le_4: 96.97 },
+    BenchProfile { name: "256.bzip2", procedures: 74, avg_blocks: 22.97, pct_le_32: 78.37, pct_le_64: 91.89, max_blocks: 36, pct_uses_le_1: 69.89, pct_uses_le_4: 96.17 },
+    BenchProfile { name: "300.twolf", procedures: 190, avg_blocks: 56.97, pct_le_32: 59.47, pct_le_64: 77.36, max_blocks: 165, pct_uses_le_1: 69.71, pct_uses_le_4: 95.92 },
+];
+
+impl BenchProfile {
+    /// Fits a log-normal to this profile (matching the mean and the
+    /// `P(blocks ≤ 32)` quantile) and returns a sampler of per-procedure
+    /// block-count targets, clamped to `[3, max_blocks]`.
+    pub fn block_count_sampler(&self) -> BlockCountSampler {
+        // Solve  Φ((ln 32 − μ)/σ) = q  and  exp(μ + σ²/2) = mean:
+        //   σ²/2 − zσ + (ln 32 − ln mean) = 0,  z = Φ⁻¹(q).
+        let q = (self.pct_le_32 / 100.0).clamp(0.02, 0.98);
+        let z = inverse_normal_cdf(q);
+        let c = 32.0f64.ln() - self.avg_blocks.ln();
+        let disc = (z * z - 2.0 * c).max(0.0);
+        // The smaller positive root keeps the tail sane.
+        let sigma = {
+            let r1 = z - disc.sqrt();
+            let r2 = z + disc.sqrt();
+            let candidates = [r1, r2];
+            let valid: Vec<f64> =
+                candidates.into_iter().filter(|s| *s > 0.05 && *s < 3.0).collect();
+            if valid.is_empty() {
+                0.8
+            } else {
+                valid[0]
+            }
+        };
+        let mu = self.avg_blocks.ln() - sigma * sigma / 2.0;
+        BlockCountSampler { mu, sigma, max: self.max_blocks }
+    }
+}
+
+/// Samples per-procedure block counts from a clamped log-normal; see
+/// [`BenchProfile::block_count_sampler`].
+#[derive(Copy, Clone, Debug)]
+pub struct BlockCountSampler {
+    mu: f64,
+    sigma: f64,
+    max: usize,
+}
+
+impl BlockCountSampler {
+    /// One block-count target.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let x = (self.mu + self.sigma * rng.normal()).exp();
+        (x.round() as usize).clamp(3, self.max)
+    }
+}
+
+/// Φ⁻¹: the inverse of the standard normal CDF (Acklam's rational
+/// approximation, |relative error| < 1.15e-9 on (0, 1)).
+pub(crate) fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability {p} out of (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_profiles_matching_table1_totals() {
+        assert_eq!(SPEC2000_INT.len(), 10);
+        let total: usize = SPEC2000_INT.iter().map(|p| p.procedures).sum();
+        assert_eq!(total, 4823, "Table 2 reports 4823 procedures in total");
+        let max = SPEC2000_INT.iter().map(|p| p.max_blocks).max().unwrap();
+        assert_eq!(max, 620, "186.crafty holds the maximum");
+    }
+
+    #[test]
+    fn inverse_normal_cdf_known_values() {
+        // Φ⁻¹(0.5) = 0, Φ⁻¹(0.975) ≈ 1.959964, Φ⁻¹(0.84134) ≈ 1.0.
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.841344746) - 1.0).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.158655254) + 1.0).abs() < 1e-4);
+        // Tails are finite and monotone.
+        assert!(inverse_normal_cdf(1e-6) < inverse_normal_cdf(1e-3));
+        assert!(inverse_normal_cdf(0.999999) > 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1)")]
+    fn inverse_normal_cdf_rejects_bounds() {
+        inverse_normal_cdf(0.0);
+    }
+
+    #[test]
+    fn samplers_land_near_profile_statistics() {
+        let mut rng = SplitMix64::new(2024);
+        for p in &SPEC2000_INT {
+            let sampler = p.block_count_sampler();
+            let n = 4000;
+            let samples: Vec<usize> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+            let mean = samples.iter().sum::<usize>() as f64 / n as f64;
+            let le32 = samples.iter().filter(|&&s| s <= 32).count() as f64 / n as f64 * 100.0;
+            // Clamping distorts the tails, so tolerances are loose; the
+            // point is landing in the right regime, not digit-matching.
+            assert!(
+                (mean - p.avg_blocks).abs() / p.avg_blocks < 0.45,
+                "{}: mean {mean:.1} vs profile {:.1}",
+                p.name,
+                p.avg_blocks
+            );
+            assert!(
+                (le32 - p.pct_le_32).abs() < 18.0,
+                "{}: ≤32 {le32:.1}% vs profile {:.1}%",
+                p.name,
+                p.pct_le_32
+            );
+            assert!(samples.iter().all(|&s| s <= p.max_blocks && s >= 3));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+/// A tiny, fast, seedable PRNG (Vigna's SplitMix64).
+///
+/// Used instead of the `rand` crate so that generated workloads are
+/// bit-stable across platforms and dependency upgrades — EXPERIMENTS.md
+/// quotes concrete numbers measured on these exact suites.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_workload::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.range(10);
+/// assert!(x < 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` 0 yields 0).
+    pub fn range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift; bias is negligible for our bounds (« 2^32).
+        ((self.next_u64() >> 32).wrapping_mul(bound)) >> 32
+    }
+
+    /// Uniform `usize` below `bound`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.range(bound as u64) as usize
+    }
+
+    /// Bernoulli draw: `true` with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.range(100) < percent
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A standard-normal sample (Box–Muller on two uniforms).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.f64().max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Picks a random element of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.index(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(124);
+        assert_ne!(SplitMix64::new(123).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SplitMix64::new(9);
+        for bound in [1u64, 2, 7, 100, 1 << 20] {
+            for _ in 0..200 {
+                assert!(r.range(bound) < bound);
+            }
+        }
+        assert_eq!(r.range(0), 0);
+    }
+
+    #[test]
+    fn uniformish_distribution() {
+        let mut r = SplitMix64::new(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.index(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SplitMix64::new(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(5);
+        assert!(!(0..100).any(|_| r.chance(0)));
+        assert!((0..100).all(|_| r.chance(100)));
+    }
+}

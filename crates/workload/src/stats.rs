@@ -1,0 +1,189 @@
+//! Structural statistics: everything Table 1 (and the §6.1 prose)
+//! reports about a procedure suite.
+
+use fastlive_cfg::{DfsTree, DomTree, Reducibility};
+use fastlive_graph::Cfg as _;
+use fastlive_ir::Function;
+
+/// Statistics of a single function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionStats {
+    /// Basic blocks.
+    pub blocks: usize,
+    /// CFG edges (with multiplicity).
+    pub edges: usize,
+    /// DFS back edges.
+    pub back_edges: usize,
+    /// Back edges whose target does not dominate their source.
+    pub irreducible_back_edges: usize,
+    /// SSA values.
+    pub values: usize,
+    /// Use-chain length of every value.
+    pub use_counts: Vec<usize>,
+}
+
+impl FunctionStats {
+    /// Measures `func`.
+    pub fn measure(func: &Function) -> Self {
+        let dfs = DfsTree::compute(func);
+        let dom = DomTree::compute(func, &dfs);
+        let red = Reducibility::compute(&dfs, &dom);
+        FunctionStats {
+            blocks: func.num_blocks(),
+            edges: func.num_edges(),
+            back_edges: dfs.back_edges().len(),
+            irreducible_back_edges: red.irreducible_back_edges().len(),
+            values: func.num_values(),
+            use_counts: func.values().map(|v| func.uses(v).len()).collect(),
+        }
+    }
+
+    /// `true` if every back-edge target dominates its source.
+    pub fn is_reducible(&self) -> bool {
+        self.irreducible_back_edges == 0
+    }
+}
+
+/// Aggregated statistics of a suite of functions — one Table 1 row.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteStats {
+    /// Suite name (benchmark).
+    pub name: String,
+    /// Functions measured.
+    pub procedures: usize,
+    /// Total basic blocks (Table 1 "Sum").
+    pub sum_blocks: usize,
+    /// Average blocks per procedure.
+    pub avg_blocks: f64,
+    /// Largest procedure.
+    pub max_blocks: usize,
+    /// % of procedures with ≤ 32 blocks.
+    pub pct_le_32: f64,
+    /// % of procedures with ≤ 64 blocks.
+    pub pct_le_64: f64,
+    /// % of variables with ≤ k uses, k = 1..=4 (Table 1 right half).
+    pub pct_uses_le: [f64; 4],
+    /// Largest use-chain length.
+    pub max_uses: usize,
+    /// Total CFG edges (§6.1: 238427 for SPEC2000-int).
+    pub total_edges: usize,
+    /// Total back edges (§6.1: 8701).
+    pub total_back_edges: usize,
+    /// Back edges not dominated by their target (§6.1: 60).
+    pub irreducible_back_edges: usize,
+    /// Functions containing irreducible control flow (§6.1: 7).
+    pub irreducible_functions: usize,
+    /// Total variables.
+    pub total_values: usize,
+}
+
+impl SuiteStats {
+    /// Aggregates per-function statistics.
+    pub fn aggregate(name: impl Into<String>, stats: &[FunctionStats]) -> Self {
+        let n = stats.len().max(1) as f64;
+        let sum_blocks: usize = stats.iter().map(|s| s.blocks).sum();
+        let le = |k: usize| stats.iter().filter(|s| s.blocks <= k).count() as f64 / n * 100.0;
+        let mut use_counts: Vec<usize> = Vec::new();
+        for s in stats {
+            use_counts.extend_from_slice(&s.use_counts);
+        }
+        let nu = use_counts.len().max(1) as f64;
+        let ule =
+            |k: usize| use_counts.iter().filter(|&&u| u <= k).count() as f64 / nu * 100.0;
+        SuiteStats {
+            name: name.into(),
+            procedures: stats.len(),
+            sum_blocks,
+            avg_blocks: sum_blocks as f64 / n,
+            max_blocks: stats.iter().map(|s| s.blocks).max().unwrap_or(0),
+            pct_le_32: le(32),
+            pct_le_64: le(64),
+            pct_uses_le: [ule(1), ule(2), ule(3), ule(4)],
+            max_uses: use_counts.iter().copied().max().unwrap_or(0),
+            total_edges: stats.iter().map(|s| s.edges).sum(),
+            total_back_edges: stats.iter().map(|s| s.back_edges).sum(),
+            irreducible_back_edges: stats.iter().map(|s| s.irreducible_back_edges).sum(),
+            irreducible_functions: stats.iter().filter(|s| !s.is_reducible()).count(),
+            total_values: stats.iter().map(|s| s.values).sum(),
+        }
+    }
+
+    /// Edges per block (§6.1 reports 1.3 on average, max 1.9).
+    pub fn edges_per_block(&self) -> f64 {
+        self.total_edges as f64 / self.sum_blocks.max(1) as f64
+    }
+
+    /// Back edges as a share of all edges (§6.1: about 3.6%).
+    pub fn back_edge_pct(&self) -> f64 {
+        self.total_back_edges as f64 / self.total_edges.max(1) as f64 * 100.0
+    }
+
+    /// One row in the layout of Table 1.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<12} {:>7.2} {:>7} {:>7.2} {:>7.2} {:>8} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            self.name,
+            self.avg_blocks,
+            self.sum_blocks,
+            self.pct_le_32,
+            self.pct_le_64,
+            self.max_blocks,
+            self.pct_uses_le[0],
+            self.pct_uses_le[1],
+            self.pct_uses_le[2],
+            self.pct_uses_le[3],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_ir::parse_function;
+
+    #[test]
+    fn measures_a_loop_function() {
+        let f = parse_function(
+            "function %loop { block0(v0):
+                v1 = iconst 0
+                jump block1(v1)
+            block1(v2):
+                v3 = iconst 1
+                v4 = iadd v2, v3
+                v5 = icmp_slt v4, v0
+                brif v5, block1(v4), block2
+            block2:
+                return v4 }",
+        )
+        .unwrap();
+        let s = FunctionStats::measure(&f);
+        assert_eq!(s.blocks, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.back_edges, 1);
+        assert!(s.is_reducible());
+        assert_eq!(s.values, 6);
+        // v0 used once, v3 once, v2 once, v4 thrice, v1 once, v5 once.
+        assert_eq!(s.use_counts.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn aggregation_computes_percentages() {
+        let f1 = parse_function("function %a { block0: return }").unwrap();
+        let f2 = parse_function(
+            "function %b { block0(v0): jump block1 block1: return v0 }",
+        )
+        .unwrap();
+        let stats = [FunctionStats::measure(&f1), FunctionStats::measure(&f2)];
+        let agg = SuiteStats::aggregate("tiny", &stats);
+        assert_eq!(agg.procedures, 2);
+        assert_eq!(agg.sum_blocks, 3);
+        assert_eq!(agg.max_blocks, 2);
+        assert_eq!(agg.pct_le_32, 100.0);
+        assert_eq!(agg.pct_le_64, 100.0);
+        assert_eq!(agg.pct_uses_le[0], 100.0); // the single value has 1 use
+        assert_eq!(agg.irreducible_functions, 0);
+        assert!(agg.table1_row().contains("tiny"));
+        assert!(agg.edges_per_block() > 0.0);
+        assert_eq!(agg.back_edge_pct(), 0.0);
+    }
+}

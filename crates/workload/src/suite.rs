@@ -1,0 +1,124 @@
+//! Suite generation: one synthetic "benchmark" per Table 1 profile.
+
+use fastlive_construct::{construct_ssa, PreFunction};
+use fastlive_ir::Function;
+
+use crate::profiles::BenchProfile;
+use crate::rng::SplitMix64;
+use crate::stats::{FunctionStats, SuiteStats};
+use crate::structured::{generate_pre, GenParams};
+use crate::inject_gotos;
+
+/// A generated benchmark: the SPEC-profile it imitates plus its
+/// procedures in both representations.
+#[derive(Clone, Debug)]
+pub struct Suite {
+    /// The profile this suite was calibrated to.
+    pub profile: BenchProfile,
+    /// Non-SSA originals.
+    pub pres: Vec<PreFunction>,
+    /// Strict-SSA functions (inputs of liveness and destruction).
+    pub functions: Vec<Function>,
+}
+
+impl Suite {
+    /// Table 1 statistics of the generated functions.
+    pub fn stats(&self) -> SuiteStats {
+        let per: Vec<FunctionStats> =
+            self.functions.iter().map(FunctionStats::measure).collect();
+        SuiteStats::aggregate(self.profile.name, &per)
+    }
+}
+
+/// Generates one suite for `profile`, with `scale` procedures per
+/// hundred of the original count (`scale = 100` reproduces the paper's
+/// procedure counts; smaller values make quick runs).
+///
+/// A small fraction of procedures receives goto injection so the suite
+/// contains occasional irreducible control flow, like SPEC2000 does
+/// (§6.1: 7 of 4823 procedures).
+pub fn generate_suite(profile: &BenchProfile, scale: u32, seed: u64) -> Suite {
+    let mut rng = SplitMix64::new(seed ^ fnv(profile.name));
+    let sampler = profile.block_count_sampler();
+    let count = ((profile.procedures as u64 * scale as u64) / 100).max(1) as usize;
+
+    let mut pres = Vec::with_capacity(count);
+    let mut functions = Vec::with_capacity(count);
+    for i in 0..count {
+        let target = sampler.sample(&mut rng);
+        let params = GenParams {
+            target_blocks: target,
+            max_depth: 3 + (target / 20).min(4) as u32,
+            num_params: 1 + rng.range(4) as u32,
+            ..GenParams::default()
+        };
+        let name = format!("{}_{i}", profile.name.replace('.', "_"));
+        let fseed = rng.next_u64();
+        let mut pre = generate_pre(&name, params, fseed);
+        // Roughly 8 in 1000 procedures get gotos, of which about half
+        // end up truly irreducible — rare, as in SPEC2000 (§6.1 reports
+        // 7 of 4823) — and kept only if the program stays strict.
+        if rng.range(1000) < 8 {
+            let mut dirty = pre.clone();
+            inject_gotos(&mut dirty, 2 + rng.range(3) as usize, fseed);
+            if construct_ssa(&dirty).is_ok() {
+                pre = dirty;
+            }
+        }
+        let ssa = construct_ssa(&pre).expect("generated programs are strict");
+        pres.push(pre);
+        functions.push(ssa);
+    }
+    Suite { profile: *profile, pres, functions }
+}
+
+/// Stable tiny hash so each profile gets an independent stream.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::SPEC2000_INT;
+
+    #[test]
+    fn small_scale_suite_generates_and_measures() {
+        let suite = generate_suite(&SPEC2000_INT[3], 50, 1); // 181.mcf: 13 funcs
+        assert_eq!(suite.functions.len(), 13);
+        assert_eq!(suite.pres.len(), 13);
+        let stats = suite.stats();
+        assert_eq!(stats.procedures, 13);
+        assert!(stats.avg_blocks > 3.0);
+        assert!(stats.max_blocks <= suite.profile.max_blocks * 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_suite(&SPEC2000_INT[0], 10, 7);
+        let b = generate_suite(&SPEC2000_INT[0], 10, 7);
+        assert_eq!(a.functions.len(), b.functions.len());
+        for (fa, fb) in a.functions.iter().zip(&b.functions) {
+            assert_eq!(fa.to_string(), fb.to_string());
+        }
+    }
+
+    #[test]
+    fn shape_lands_in_the_spec_regime() {
+        // Aggregate a mid-size sample of one benchmark and check the
+        // qualitative Table 1 properties hold.
+        let suite = generate_suite(&SPEC2000_INT[5], 30, 3); // 197.parser
+        let s = suite.stats();
+        assert!(s.pct_le_32 > 50.0, "small procedures dominate: {s:?}");
+        assert!(s.pct_uses_le[3] > 85.0, "short def-use chains: {s:?}");
+        assert!(s.pct_uses_le[0] > 40.0, "single-use majority: {s:?}");
+        let epb = s.edges_per_block();
+        assert!((1.0..2.0).contains(&epb), "edges per block {epb}");
+        assert!(s.back_edge_pct() < 25.0, "back edges are rare: {}", s.back_edge_pct());
+    }
+}

@@ -1,0 +1,85 @@
+//! A guided tour of §3.2 of the paper on its own Figure 3 example:
+//! the sets `R_v` and `T_q`, and why each of the four narrated queries
+//! answers the way it does.
+//!
+//! ```text
+//! cargo run --example figure3_walkthrough
+//! ```
+
+use fastlive::core::LivenessChecker;
+use fastlive::graph::DiGraph;
+
+fn main() {
+    // The example CFG, nodes 0-based (paper node k = k-1).
+    let g = DiGraph::from_edges(
+        11,
+        0,
+        &[
+            (0, 1),
+            (1, 2),
+            (1, 10),
+            (2, 3),
+            (2, 7),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (5, 4),
+            (6, 1),
+            (7, 8),
+            (8, 9),
+            (8, 5),
+            (9, 7),
+            (9, 10),
+        ],
+    );
+    let live = LivenessChecker::compute(&g);
+    let paper = |n: u32| n + 1;
+
+    println!("Figure 3 of Boissinot et al. (nodes shown in paper numbering)\n");
+    println!(
+        "back edges E^ = {:?}   (paper: (7,2), (6,5), (10,8))",
+        live.dfs()
+            .back_edges()
+            .iter()
+            .map(|&(s, t)| (paper(s), paper(t)))
+            .collect::<Vec<_>>()
+    );
+    println!("reducible: {} (the {{5,6}} loop has two entries)\n", live.is_reducible());
+
+    for q in [9u32, 3] {
+        let t: Vec<u32> = live.t_set(q).iter().map(|&x| paper(x)).collect();
+        let r: Vec<u32> = live.r_set(q).iter().map(|&x| paper(x)).collect();
+        println!("T_{:<2} = {t:?}", paper(q));
+        println!("R_{:<2} = {r:?}", paper(q));
+    }
+
+    // The three variables of the narration: (name, def, use).
+    let vars = [("w", 1u32, 3u32), ("x", 2, 8), ("y", 2, 4)];
+    println!("\nqueries (paper numbering):");
+    for (name, def, usage) in vars {
+        for q in [9u32] {
+            let ans = live.is_live_in(def, &[usage], q);
+            println!(
+                "  is {name} (def {}, use {}) live-in at {:>2}?  {ans}",
+                paper(def),
+                paper(usage),
+                paper(q),
+            );
+        }
+    }
+    let x_at_4 = live.is_live_in(2, &[8], 3);
+    println!("  is x (def 3, use 9) live-in at  4?  {x_at_4}");
+
+    println!("\nwhy:");
+    println!("  x at 10: use 9 is reduced-reachable from back-edge target 8;");
+    println!("  y at 10: two hops, 10 -> 8 -> (cross to 6) -> 5 reaches the use;");
+    println!("  w at 10: candidate 2 is def(w) itself - excluded by sdom(def);");
+    println!("  x at  4: reaching 8 from 4 would leave and re-enter def(x)'s");
+    println!("           dominance subtree, so 8 is not in T_4.");
+
+    assert!(live.is_live_in(2, &[8], 9));
+    assert!(live.is_live_in(2, &[4], 9));
+    assert!(!live.is_live_in(1, &[3], 9));
+    assert!(!x_at_4);
+    println!("\nok: all answers match the paper's narration");
+}

@@ -1,0 +1,79 @@
+//! The paper's motivating property, §1: "the analysis result survives
+//! all program transformations except for changes in the control-flow
+//! graph."
+//!
+//! This example precomputes liveness *once*, then keeps editing the
+//! function — inserting instructions, adding and removing uses,
+//! creating fresh values — and shows that every answer stays exact
+//! (validated against a brute-force path-search oracle after each
+//! edit), while a set-based data-flow result computed at the start
+//! silently goes stale.
+//!
+//! ```text
+//! cargo run --example jit_invalidation
+//! ```
+
+use fastlive::core::FunctionLiveness;
+use fastlive::dataflow::{oracle, IterativeLiveness, VarUniverse};
+use fastlive::ir::{parse_function, InstData, UnaryOp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut func = parse_function(
+        "function %jit {
+         block0(v0):
+             v1 = iconst 0
+             jump block1(v1)
+         block1(v2):
+             v3 = iconst 1
+             v4 = iadd v2, v3
+             v5 = icmp_slt v4, v0
+             brif v5, block1(v4), block2
+         block2:
+             return v4
+         }",
+    )?;
+
+    // Both analyses run once, before any edit.
+    let live = FunctionLiveness::compute(&func);
+    let stale_sets = IterativeLiveness::compute(&func, &VarUniverse::all(&func));
+
+    let v0 = func.value("v0").unwrap();
+    let block2 = func.block_by_index(2);
+    println!("initially: v0 live-in at block2?");
+    println!("  checker: {}", live.is_live_in(&func, v0, block2));
+    println!("  sets:    {}", stale_sets.is_live_in(v0, block2));
+    assert!(!live.is_live_in(&func, v0, block2));
+
+    // --- Edit 1: a JIT pass sinks a use of v0 into block2. ---
+    let neg = func.insert_inst(block2, 0, InstData::Unary { op: UnaryOp::Ineg, arg: v0 });
+    println!("\nafter inserting `ineg v0` into block2:");
+    let now = live.is_live_in(&func, v0, block2);
+    println!("  checker: {now}   (no recomputation!)");
+    println!("  sets:    {}   (STALE - still the old answer)", stale_sets.is_live_in(v0, block2));
+    assert!(now);
+    assert_eq!(now, oracle::live_in_value(&func, v0, block2), "checker matches ground truth");
+    assert!(!stale_sets.is_live_in(v0, block2), "the set-based result is now wrong");
+
+    // --- Edit 2: create a brand-new value and use it across the loop. ---
+    let k = func.insert_inst(func.entry_block(), 0, InstData::IntConst { imm: 42 });
+    let kv = func.inst_result(k).unwrap();
+    func.insert_inst(block2, 0, InstData::Unary { op: UnaryOp::Bnot, arg: kv });
+    let block1 = func.block_by_index(1);
+    println!("\nafter creating v{} in block0 and using it in block2:", kv.as_u32());
+    let through_loop = live.is_live_in(&func, kv, block1);
+    println!("  checker: new value live through the loop header? {through_loop}");
+    assert!(through_loop);
+    assert_eq!(through_loop, oracle::live_in_value(&func, kv, block1));
+    println!("  sets:    cannot answer at all (value not in the universe)");
+
+    // --- Edit 3: remove the sunk use again; liveness reverts. ---
+    func.remove_inst(neg);
+    println!("\nafter removing the `ineg` again:");
+    let back = live.is_live_in(&func, v0, block2);
+    println!("  checker: {back}");
+    assert!(!back);
+    assert_eq!(back, oracle::live_in_value(&func, v0, block2));
+
+    println!("\nok: every checker answer stayed exact across all edits");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! The paper's evaluation workload end to end: generate a program,
+//! construct SSA, run Sreedhar Method III SSA destruction with the
+//! liveness checker answering the interference queries, and execute
+//! both versions to confirm they agree.
+//!
+//! ```text
+//! cargo run --example ssa_destruction
+//! ```
+
+use fastlive::construct::run_pre;
+use fastlive::destruct::{destruct_ssa, CheckerEngine};
+use fastlive::ir::interp;
+use fastlive::workload::{generate_function, GenParams};
+
+fn main() {
+    let params = GenParams { target_blocks: 14, num_params: 2, ..GenParams::default() };
+    let (_, ssa) = generate_function("demo", params, 2008);
+    println!("=== SSA input ===\n{ssa}\n");
+
+    let result = destruct_ssa(ssa.clone(), CheckerEngine::compute);
+    println!("=== after copy insertion (φs still present) ===\n{}\n", result.func);
+
+    println!("=== destruction statistics ===");
+    println!("  φs processed:        {}", result.stats.phis_processed);
+    println!("  critical edges split: {}", result.stats.split_edges);
+    println!("  liveness queries:    {}", result.stats.queries.len());
+    println!("  interference tests:  {}", result.stats.interference_tests);
+    println!("  copies inserted:     {}", result.stats.copies_inserted);
+    println!("  copies coalesced:    {}", result.stats.copies_coalesced);
+    println!("  Method-I fallbacks:  {}", result.stats.fallback_phis);
+
+    // Semantic check: SSA and the out-of-SSA program must agree.
+    println!("\n=== semantics (SSA vs out-of-SSA) ===");
+    for args in [[3i64, 5], [0, 0], [-7, 2], [40, -1]] {
+        let a = interp::run(&ssa, &args, 1_000_000).expect("ssa runs");
+        let b = run_pre(&result.pre, &args, 1_000_000).expect("pre runs");
+        assert_eq!(a.returned, b.returned, "mismatch on {args:?}");
+        println!("  f({args:?}) = {:?}  (both)", a.returned);
+    }
+    println!("\nok: identical results on all probes");
+}

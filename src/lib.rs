@@ -1,0 +1,75 @@
+//! # fastlive — fast liveness checking for SSA-form programs
+//!
+//! An implementation of *Boissinot, Hack, Grund, Dupont de Dinechin,
+//! Rastello: "Fast Liveness Checking for SSA-Form Programs" (CGO 2008)*,
+//! together with everything needed to reproduce its evaluation: a
+//! Cranelift-style SSA intermediate representation, CFG analyses, baseline
+//! data-flow liveness engines (including a reimplementation of the LAO
+//! comparator described in §6.2), SSA construction and destruction passes,
+//! and SPEC2000-calibrated workload generators.
+//!
+//! This crate is an umbrella that re-exports the workspace members under
+//! stable module names. Depend on it to get the whole system, or depend on
+//! individual `fastlive-*` crates for a narrower footprint.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastlive::core::FunctionLiveness;
+//! use fastlive::ir::parse_function;
+//!
+//! // A counting loop: the bound `v0` stays live around the back edge.
+//! let func = parse_function(
+//!     r#"
+//!     function %count {
+//!     block0(v0):
+//!         v1 = iconst 0
+//!         jump block1(v1)
+//!     block1(v2):
+//!         v3 = iconst 1
+//!         v4 = iadd v2, v3
+//!         v5 = icmp_slt v4, v0
+//!         brif v5, block1(v4), block2
+//!     block2:
+//!         return v4
+//!     }
+//!     "#,
+//! )?;
+//!
+//! // One variable-independent precomputation ...
+//! let live = FunctionLiveness::compute(&func);
+//!
+//! // ... then O(uses) queries for any value at any block, reading the
+//! // function's live def-use chains.
+//! let v0 = func.value("v0").unwrap();
+//! let block1 = func.block_by_index(1);
+//! assert!(live.is_live_in(&func, v0, block1));
+//! assert!(live.is_live_out(&func, v0, block1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`graph`] | [`Cfg`](graph::Cfg) trait, plain digraphs, Graphviz export |
+//! | [`bitset`] | dense bitsets, bit matrices, sparse & sorted sets |
+//! | [`cfg`] | DFS trees, dominators, dominance frontiers, loop forests |
+//! | [`ir`] | SSA IR: functions, builder, parser, printer, interpreter |
+//! | [`core`] | the paper's algorithm: precomputation + live-in/live-out checks |
+//! | [`dataflow`] | baseline engines and the brute-force oracle |
+//! | [`construct`] | SSA construction (Cytron et al.) |
+//! | [`destruct`] | SSA destruction (Sreedhar et al. Method III) |
+//! | [`workload`] | deterministic program generators and SPEC2000 profiles |
+
+#![forbid(unsafe_code)]
+
+pub use fastlive_bitset as bitset;
+pub use fastlive_cfg as cfg;
+pub use fastlive_construct as construct;
+pub use fastlive_core as core;
+pub use fastlive_dataflow as dataflow;
+pub use fastlive_destruct as destruct;
+pub use fastlive_graph as graph;
+pub use fastlive_ir as ir;
+pub use fastlive_workload as workload;

@@ -1,0 +1,73 @@
+//! Printer/parser round-trips on generated functions, plus verifier
+//! integration.
+
+use fastlive::core::verify_strict_ssa;
+use fastlive::ir::{interp, parse_function, verify_structure, Function};
+use fastlive::workload::{generate_function, GenParams, SplitMix64};
+
+/// Parsing renumbers entities densely in textual order, so the first
+/// print∘parse normalizes; from then on it must be a fixed point, and
+/// the program's behaviour must never change.
+fn assert_round_trips(f: &Function, seed: u64) {
+    let printed = f.to_string();
+    let once =
+        parse_function(&printed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+    verify_structure(&once).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    verify_strict_ssa(&once).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    let normalized = once.to_string();
+    let twice = parse_function(&normalized)
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{normalized}"));
+    assert_eq!(twice.to_string(), normalized, "seed {seed}: not a fixed point");
+
+    // Semantics survive the round trip.
+    let mut rng = SplitMix64::new(seed ^ 0x0f00d);
+    for _ in 0..3 {
+        let args: Vec<i64> =
+            (0..f.params().len()).map(|_| rng.range(30) as i64 - 15).collect();
+        let a = interp::run(f, &args, 2_000_000).expect("original runs");
+        let b = interp::run(&once, &args, 2_000_000).expect("reparsed runs");
+        assert_eq!(a.returned, b.returned, "seed {seed} args {args:?}");
+    }
+}
+
+#[test]
+fn print_parse_normalizes_then_fixes() {
+    for seed in 0..25u64 {
+        let params = GenParams {
+            target_blocks: 6 + (seed as usize % 6) * 6,
+            ..GenParams::default()
+        };
+        let (_, f) = generate_function(&format!("rt{seed}"), params, seed);
+        assert_round_trips(&f, seed);
+    }
+}
+
+#[test]
+fn destructed_functions_round_trip_too() {
+    use fastlive::destruct::{destruct_ssa, CheckerEngine};
+    for seed in 50..60u64 {
+        let params = GenParams { target_blocks: 15, ..GenParams::default() };
+        let (_, f) = generate_function(&format!("drt{seed}"), params, seed);
+        let result = destruct_ssa(f, CheckerEngine::compute);
+        // The post-copy-insertion function still parses and verifies.
+        assert_round_trips(&result.func, seed);
+    }
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let cases = [
+        ("function %f { block0: return v1 }", "undefined value"),
+        ("function %f { block0: v1 = bogus v1 }", "unknown opcode"),
+        ("function %f { block0: v1 = iconst 1 }", "terminator"),
+        ("function %f { block0: jump block9 }", "never defined"),
+    ];
+    for (src, needle) in cases {
+        let err = parse_function(src).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "error for {src:?} should mention {needle:?}, got: {err}"
+        );
+        assert!(err.line >= 1 && err.col >= 1);
+    }
+}
