@@ -14,8 +14,11 @@ use fastlive_ir::Function;
 use fastlive_workload::{generate_function, GenParams};
 
 fn test_function() -> Function {
-    let params =
-        GenParams { target_blocks: 64, max_depth: 6, ..GenParams::default() };
+    let params = GenParams {
+        target_blocks: 64,
+        max_depth: 6,
+        ..GenParams::default()
+    };
     generate_function("ablate", params, 0xab1a7e).1
 }
 
@@ -48,7 +51,9 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_function("queries/subtree_skipping", |b| {
         b.iter(|| run_probes(&skipping, &probes))
     });
-    group.bench_function("queries/no_skipping", |b| b.iter(|| run_probes(&linear, &probes)));
+    group.bench_function("queries/no_skipping", |b| {
+        b.iter(|| run_probes(&linear, &probes))
+    });
 
     // Bitset vs sorted-array vs loop-forest query engines.
     let sorted = SortedLivenessChecker::compute(&func);
@@ -78,9 +83,11 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("dominators", "chk"), &func, |b, f| {
         b.iter(|| DomTree::compute(f, &dfs))
     });
-    group.bench_with_input(BenchmarkId::new("dominators", "lengauer_tarjan"), &func, |b, f| {
-        b.iter(|| lengauer_tarjan::immediate_dominators(f, &dfs))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("dominators", "lengauer_tarjan"),
+        &func,
+        |b, f| b.iter(|| lengauer_tarjan::immediate_dominators(f, &dfs)),
+    );
     group.finish();
 }
 

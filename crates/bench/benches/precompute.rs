@@ -29,10 +29,14 @@ fn bench_precompute(c: &mut Criterion) {
             let u = VarUniverse::phi_related(f);
             b.iter(|| LaoLiveness::compute(f, &u))
         });
-        group.bench_with_input(BenchmarkId::new("native_lao_full", blocks), &func, |b, f| {
-            let u = VarUniverse::all(f);
-            b.iter(|| LaoLiveness::compute(f, &u))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("native_lao_full", blocks),
+            &func,
+            |b, f| {
+                let u = VarUniverse::all(f);
+                b.iter(|| LaoLiveness::compute(f, &u))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("bitvector_full", blocks), &func, |b, f| {
             let u = VarUniverse::all(f);
             b.iter(|| IterativeLiveness::compute(f, &u))

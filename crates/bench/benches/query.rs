@@ -1,12 +1,19 @@
 //! Query cost — the right half of Table 2: the recorded SSA-destruction
 //! query stream replayed against the checker (Algorithm 3) and the
-//! LAO-style binary-search lookup.
+//! LAO-style binary-search lookup. Plus two groups for this repo's own
+//! optimizations: `query_loop` (the seed's scalar candidate loop vs.
+//! the word-masked scan, widest on large CFGs whose `T_q` rows span
+//! many words) and `batch` (one `BatchLiveness` matrix pass vs. the
+//! scalar-query materialization vs. iterative data-flow).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fastlive_bench::{prepare_suite, replay_checker, replay_native, PreparedProc};
-use fastlive_core::FunctionLiveness;
-use fastlive_dataflow::{LaoLiveness, VarUniverse};
-use fastlive_workload::{generate_suite, SPEC2000_INT};
+use fastlive_bench::{
+    dominance_probes, prepare_suite, replay_checker, replay_native, run_probes, run_probes_scalar,
+    sized_function, PreparedProc,
+};
+use fastlive_core::{FunctionLiveness, LivenessChecker};
+use fastlive_dataflow::{IterativeLiveness, LaoLiveness, VarUniverse};
+use fastlive_workload::{generate_suite, random_digraph, SPEC2000_INT};
 
 fn prepared() -> Vec<PreparedProc> {
     // 256.bzip2 at small scale: a handful of mid-size procedures.
@@ -19,8 +26,7 @@ fn bench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("query");
     group.sample_size(30);
 
-    let with_queries: Vec<&PreparedProc> =
-        procs.iter().filter(|p| !p.queries.is_empty()).collect();
+    let with_queries: Vec<&PreparedProc> = procs.iter().filter(|p| !p.queries.is_empty()).collect();
     for (i, p) in with_queries.iter().take(3).enumerate() {
         let checker = FunctionLiveness::compute(&p.func);
         let lao = LaoLiveness::compute(&p.func, &VarUniverse::phi_related(&p.func));
@@ -35,5 +41,74 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query);
+/// Seed scalar loop vs. word-masked scan on the same probe stream:
+/// structured CFGs (Theorem 2, ~1 candidate — the parity check) and
+/// irreducible CFGs with dense retreating edges where negative queries
+/// scan wide `T_q` candidate intervals (the word-masked win).
+fn bench_query_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_loop");
+    group.sample_size(30);
+    for target in [64usize, 256, 1024] {
+        let func = sized_function(target, 0xfeed + target as u64);
+        let live = LivenessChecker::compute(&func);
+        let probes = dominance_probes(&live, 512, 0x9e37);
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("word_masked", live.dom().num_reachable()),
+            &probes,
+            |b, p| b.iter(|| run_probes(&live, p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("seed_scalar", live.dom().num_reachable()),
+            &probes,
+            |b, p| b.iter(|| run_probes_scalar(&live, p)),
+        );
+    }
+    for n in [256u32, 1024] {
+        let g = random_digraph(n, 0xabcd, n as usize * 10);
+        let live = LivenessChecker::compute(&g);
+        // use = def is unreachable from every candidate: full scans.
+        let probes: Vec<(u32, u32, u32)> = dominance_probes(&live, 512, 0x9e37)
+            .into_iter()
+            .map(|(d, _, q)| (d, d, q))
+            .collect();
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("word_masked_wide", n), &probes, |b, p| {
+            b.iter(|| run_probes(&live, p))
+        });
+        group.bench_with_input(BenchmarkId::new("seed_scalar_wide", n), &probes, |b, p| {
+            b.iter(|| run_probes_scalar(&live, p))
+        });
+    }
+    group.finish();
+}
+
+/// Whole-function set materialization: one batched matrix pass vs. a
+/// scalar query per (value, block) vs. the iterative solver.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+    for target in [32usize, 128, 512] {
+        let func = sized_function(target, 0xba7c + target as u64);
+        let live = FunctionLiveness::compute(&func);
+        let blocks = func.num_blocks();
+        group.bench_with_input(BenchmarkId::new("batch_matrix", blocks), &func, |b, f| {
+            b.iter(|| live.batch(f))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_queries", blocks), &func, |b, f| {
+            b.iter(|| live.live_sets(f))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("iterative_dataflow", blocks),
+            &func,
+            |b, f| {
+                let u = VarUniverse::all(f);
+                b.iter(|| IterativeLiveness::compute(f, &u))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query, bench_query_loop, bench_batch);
 criterion_main!(benches);

@@ -19,9 +19,11 @@ fn bench_scaling(c: &mut Criterion) {
         let (_, func) = generate_function(&format!("s{target}"), params, target as u64);
         let blocks = func.num_blocks();
         group.throughput(Throughput::Elements(func.num_edges() as u64));
-        group.bench_with_input(BenchmarkId::new("checker_precompute", blocks), &func, |b, f| {
-            b.iter(|| LivenessChecker::compute(f))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("checker_precompute", blocks),
+            &func,
+            |b, f| b.iter(|| LivenessChecker::compute(f)),
+        );
     }
     group.finish();
 }

@@ -26,7 +26,16 @@ fn figure1() {
     let g = DiGraph::from_edges(
         6,
         0,
-        &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 2), (0, 2), (4, 4)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (0, 3),
+            (3, 4),
+            (4, 2),
+            (0, 2),
+            (4, 4),
+        ],
     );
     let dfs = DfsTree::compute(&g);
     println!("// Figure 1: DFS edge classification (back edges dashed)");
@@ -86,8 +95,20 @@ fn figure3() {
         println!("// T_{paper} (paper numbering) = {t:?}");
     }
     println!("// narrated queries:");
-    println!("//   x (def 3, use 9) live-in at 10? {}", live.is_live_in(2, &[8], 9));
-    println!("//   y (def 3, use 5) live-in at 10? {}", live.is_live_in(2, &[4], 9));
-    println!("//   w (def 2, use 4) live-in at 10? {}", live.is_live_in(1, &[3], 9));
-    println!("//   x (def 3, use 9) live-in at 4?  {}", live.is_live_in(2, &[8], 3));
+    println!(
+        "//   x (def 3, use 9) live-in at 10? {}",
+        live.is_live_in(2, &[8], 9)
+    );
+    println!(
+        "//   y (def 3, use 5) live-in at 10? {}",
+        live.is_live_in(2, &[4], 9)
+    );
+    println!(
+        "//   w (def 2, use 4) live-in at 10? {}",
+        live.is_live_in(1, &[3], 9)
+    );
+    println!(
+        "//   x (def 3, use 9) live-in at 4?  {}",
+        live.is_live_in(2, &[8], 3)
+    );
 }

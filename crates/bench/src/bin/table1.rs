@@ -26,7 +26,12 @@ fn main() {
     for suite in &suites {
         let stats = suite.stats();
         println!("{}", stats.table1_row());
-        per_fn.extend(suite.functions.iter().map(fastlive_workload::FunctionStats::measure));
+        per_fn.extend(
+            suite
+                .functions
+                .iter()
+                .map(fastlive_workload::FunctionStats::measure),
+        );
         all.push(stats);
     }
     let total = SuiteStats::aggregate("Total", &per_fn);
@@ -55,6 +60,12 @@ fn main() {
         "  irreducible procedures:   {:>8}   [paper: 7 of 4823]",
         total.irreducible_functions
     );
-    println!("  procedures:               {:>8}   [paper: 4823 at full scale]", total.procedures);
-    println!("  max uses of one variable: {:>8}   [paper: 620]", total.max_uses);
+    println!(
+        "  procedures:               {:>8}   [paper: 4823 at full scale]",
+        total.procedures
+    );
+    println!(
+        "  max uses of one variable: {:>8}   [paper: 620]",
+        total.max_uses
+    );
 }

@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use fastlive_core::FunctionLiveness;
+use fastlive_core::{FunctionLiveness, LivenessChecker};
 use fastlive_dataflow::{LaoLiveness, VarUniverse};
 use fastlive_destruct::{destruct_ssa, CheckerEngine, DestructResult, QueryKind, QueryRecord};
 use fastlive_ir::Function;
@@ -64,7 +64,10 @@ pub fn prepare_suite(suite: &Suite) -> Vec<PreparedProc> {
         .map(|f| {
             let DestructResult { func, stats, .. } =
                 destruct_ssa(f.clone(), CheckerEngine::compute);
-            PreparedProc { func, queries: stats.queries }
+            PreparedProc {
+                func,
+                queries: stats.queries,
+            }
         })
         .collect()
 }
@@ -113,6 +116,78 @@ pub fn replay_native(live: &LaoLiveness, queries: &[QueryRecord]) -> usize {
     hits
 }
 
+/// A structured function of roughly `target` blocks with a nesting
+/// depth that grows with size — the shared workload shape for the
+/// query-loop and batch benchmarks, so `benches/query.rs` and the
+/// committed `BENCH_query.json` measure the same programs.
+pub fn sized_function(target: usize, seed: u64) -> Function {
+    let params = fastlive_workload::GenParams {
+        target_blocks: target,
+        max_depth: 3 + (target / 16).min(8) as u32,
+        ..fastlive_workload::GenParams::default()
+    };
+    fastlive_workload::generate_function(&format!("q{target}"), params, seed).1
+}
+
+/// Deterministic `(def, use, q)` probe triples biased toward
+/// non-trivial candidate scans: `def` is reachable and both the query
+/// block and the use block lie inside `def`'s dominance subtree, so
+/// the Algorithm 3 interval `[num(def)+1, maxnum(def)]` is non-empty
+/// for most probes. This is the workload where the query loop's cost
+/// actually lives; uniformly random triples mostly die at the
+/// `q ∉ sdom(def)` precheck.
+pub fn dominance_probes(live: &LivenessChecker, count: usize, seed: u64) -> Vec<(u32, u32, u32)> {
+    let dom = live.dom();
+    let n = dom.num_reachable() as u32;
+    // With < 2 reachable blocks no definition strictly dominates
+    // anything, so no non-trivial probe exists and the draw loop below
+    // could never terminate.
+    assert!(
+        n > 1,
+        "dominance_probes needs at least two reachable blocks"
+    );
+    let mut x = seed | 1;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let defn = step() as u32 % n;
+        let def = dom.node_at_num(defn);
+        let mx = dom.maxnum(def);
+        if mx == defn {
+            continue; // dominates nothing: the probe would be trivial
+        }
+        let span = mx - defn;
+        let qn = defn + 1 + step() as u32 % span;
+        let un = defn + step() as u32 % (span + 1);
+        out.push((def, dom.node_at_num(un), dom.node_at_num(qn)));
+    }
+    out
+}
+
+/// Replays graph-level probes against the word-masked query loop;
+/// returns the positive-answer count.
+pub fn run_probes(live: &LivenessChecker, probes: &[(u32, u32, u32)]) -> usize {
+    probes
+        .iter()
+        .map(|&(d, u, q)| live.is_live_in(d, &[u], q) as usize)
+        .sum()
+}
+
+/// Replays the same probes against the seed's scalar loop
+/// ([`LivenessChecker::is_live_in_scalar`]) for the before/after
+/// comparison.
+pub fn run_probes_scalar(live: &LivenessChecker, probes: &[(u32, u32, u32)]) -> usize {
+    probes
+        .iter()
+        .map(|&(d, u, q)| live.is_live_in_scalar(d, &[u], q) as usize)
+        .sum()
+}
+
 /// The per-benchmark measurements backing one Table 2 row.
 #[derive(Clone, Debug)]
 pub struct Table2Row {
@@ -152,7 +227,8 @@ impl Table2Row {
     /// Combined speedup per the paper's formula:
     /// `#proc×pre + #queries×query` for each engine, then the ratio.
     pub fn both_speedup(&self) -> f64 {
-        let native = self.procs as f64 * self.native_pre_ns + self.queries as f64 * self.native_query_ns;
+        let native =
+            self.procs as f64 * self.native_pre_ns + self.queries as f64 * self.native_query_ns;
         let new = self.procs as f64 * self.new_pre_ns + self.queries as f64 * self.new_query_ns;
         native / new
     }
@@ -195,8 +271,16 @@ pub fn measure_suite(profile: &BenchProfile, prepared: &[PreparedProc], reps: us
         native_pre_ns: native_pre / n,
         new_pre_ns: new_pre / n,
         queries,
-        native_query_ns: if queries == 0 { 0.0 } else { native_q / queries as f64 },
-        new_query_ns: if queries == 0 { 0.0 } else { new_q / queries as f64 },
+        native_query_ns: if queries == 0 {
+            0.0
+        } else {
+            native_q / queries as f64
+        },
+        new_query_ns: if queries == 0 {
+            0.0
+        } else {
+            new_q / queries as f64
+        },
         full_pre_ns: full_pre / n,
         fill_phi: fill_phi / n,
         fill_full: fill_full / n,
@@ -266,6 +350,26 @@ mod tests {
                 };
                 assert_eq!(a, b, "{:?} on {}", q, p.func.name);
             }
+        }
+    }
+
+    #[test]
+    fn probe_replays_agree_between_loops() {
+        let params = fastlive_workload::GenParams {
+            target_blocks: 96,
+            ..fastlive_workload::GenParams::default()
+        };
+        let (_, func) = fastlive_workload::generate_function("probe", params, 0x5eed);
+        let live = LivenessChecker::compute(&func);
+        let probes = dominance_probes(&live, 512, 42);
+        assert_eq!(probes.len(), 512);
+        let hits = run_probes(&live, &probes);
+        assert_eq!(hits, run_probes_scalar(&live, &probes));
+        assert!(hits > 0, "dominance-biased probes should find live values");
+        // The probes honor the dominance bias they promise.
+        for &(d, u, q) in &probes {
+            assert!(live.dom().dominates(d, u));
+            assert!(live.dom().strictly_dominates(d, q));
         }
     }
 

@@ -31,7 +31,10 @@ pub struct DenseBitSet {
 impl DenseBitSet {
     /// Creates an empty set over the universe `0..universe`.
     pub fn new(universe: usize) -> Self {
-        DenseBitSet { words: vec![0; words_for(universe)], len: universe }
+        DenseBitSet {
+            words: vec![0; words_for(universe)],
+            len: universe,
+        }
     }
 
     /// Creates a set over `0..universe` containing the given elements.
@@ -68,8 +71,15 @@ impl DenseBitSet {
     ///
     /// Panics if `elem >= universe`.
     pub fn insert(&mut self, elem: u32) -> bool {
-        assert!((elem as usize) < self.len, "element {elem} outside universe {}", self.len);
-        let (wi, mask) = (elem as usize / WORD_BITS, 1u64 << (elem as usize % WORD_BITS));
+        assert!(
+            (elem as usize) < self.len,
+            "element {elem} outside universe {}",
+            self.len
+        );
+        let (wi, mask) = (
+            elem as usize / WORD_BITS,
+            1u64 << (elem as usize % WORD_BITS),
+        );
         let fresh = self.words[wi] & mask == 0;
         self.words[wi] |= mask;
         fresh
@@ -81,8 +91,15 @@ impl DenseBitSet {
     ///
     /// Panics if `elem >= universe`.
     pub fn remove(&mut self, elem: u32) -> bool {
-        assert!((elem as usize) < self.len, "element {elem} outside universe {}", self.len);
-        let (wi, mask) = (elem as usize / WORD_BITS, 1u64 << (elem as usize % WORD_BITS));
+        assert!(
+            (elem as usize) < self.len,
+            "element {elem} outside universe {}",
+            self.len
+        );
+        let (wi, mask) = (
+            elem as usize / WORD_BITS,
+            1u64 << (elem as usize % WORD_BITS),
+        );
         let present = self.words[wi] & mask != 0;
         self.words[wi] &= !mask;
         present
@@ -166,6 +183,22 @@ impl DenseBitSet {
         changed
     }
 
+    /// `self |= other ∩ [lo, hi]` (inclusive interval): the masked
+    /// union the batch liveness assembly uses to splice a contiguous
+    /// column range of another set in one word-parallel pass. Returns
+    /// `true` if `self` changed; empty intervals are no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with_masked(&mut self, other: &DenseBitSet, lo: u32, hi: u32) -> bool {
+        assert_eq!(
+            self.len, other.len,
+            "universe mismatch in union_with_masked"
+        );
+        crate::union_words_masked(&mut self.words, &other.words, lo, hi, self.len)
+    }
+
     /// Returns `true` if the intersection with `other` is non-empty. This
     /// is the `R_t ∩ uses(a) ≠ ∅` test at the heart of Algorithm 1 when
     /// uses are also kept as a bitset.
@@ -175,7 +208,10 @@ impl DenseBitSet {
     /// Panics if the universes differ.
     pub fn intersects(&self, other: &DenseBitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch in intersects");
-        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
     }
 
     /// Returns `true` if every element of `self` is in `other`.
@@ -185,7 +221,10 @@ impl DenseBitSet {
     /// Panics if the universes differ.
     pub fn is_subset_of(&self, other: &DenseBitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch in subset test");
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// Iterates over the elements in ascending order.
@@ -303,6 +342,21 @@ mod tests {
         let mut d = a.clone();
         assert!(d.difference_with(&b));
         assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 65]);
+    }
+
+    #[test]
+    fn union_with_masked_clips_to_interval() {
+        let src = DenseBitSet::from_elems(200, [0, 63, 64, 65, 190]);
+        let mut dst = DenseBitSet::new(200);
+        assert!(dst.union_with_masked(&src, 63, 65));
+        assert_eq!(dst.iter().collect::<Vec<_>>(), vec![63, 64, 65]);
+        assert!(!dst.union_with_masked(&src, 63, 65));
+        assert!(dst.union_with_masked(&src, 66, u32::MAX));
+        assert_eq!(dst.iter().collect::<Vec<_>>(), vec![63, 64, 65, 190]);
+        assert!(!dst.union_with_masked(&src, 100, 50)); // empty interval
+        let empty = DenseBitSet::new(0);
+        let mut e2 = DenseBitSet::new(0);
+        assert!(!e2.union_with_masked(&empty, 0, 10)); // zero universe
     }
 
     #[test]

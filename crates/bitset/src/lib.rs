@@ -72,6 +72,49 @@ pub(crate) fn next_set_bit_in(words: &[u64], len: usize, from: u32) -> Option<u3
     }
 }
 
+/// Mask selecting, within word `wi`, the bits of the inclusive column
+/// interval `[lo, hi]` (full words inside the interval get `!0`).
+pub(crate) fn interval_mask(lo: usize, hi: usize, wi: usize) -> u64 {
+    debug_assert!(lo <= hi);
+    let mut mask = !0u64;
+    if wi == lo / WORD_BITS {
+        mask &= !0u64 << (lo % WORD_BITS);
+    }
+    if wi == hi / WORD_BITS {
+        mask &= !0u64 >> (WORD_BITS - 1 - hi % WORD_BITS);
+    }
+    if wi < lo / WORD_BITS || wi > hi / WORD_BITS {
+        mask = 0;
+    }
+    mask
+}
+
+/// `dst |= src ∩ [lo, hi]` over word slices spanning `len` bits, word
+/// at a time; returns `true` if `dst` changed. Shared by the masked
+/// union operations of [`BitMatrix`] and [`DenseBitSet`].
+pub(crate) fn union_words_masked(
+    dst: &mut [u64],
+    src: &[u64],
+    lo: u32,
+    hi: u32,
+    len: usize,
+) -> bool {
+    if len == 0 || lo > hi || lo as usize >= len {
+        return false;
+    }
+    let lo = lo as usize;
+    let hi = (hi as usize).min(len - 1);
+    let (lw, hw) = (lo / WORD_BITS, hi / WORD_BITS);
+    let mut changed = false;
+    for wi in lw..=hw {
+        let add = src[wi] & interval_mask(lo, hi, wi);
+        let new = dst[wi] | add;
+        changed |= new != dst[wi];
+        dst[wi] = new;
+    }
+    changed
+}
+
 /// Iterator over the set bits of a word slice (ascending order).
 #[derive(Clone, Debug)]
 pub struct BitIter<'a> {
@@ -82,7 +125,11 @@ pub struct BitIter<'a> {
 
 impl<'a> BitIter<'a> {
     pub(crate) fn new(words: &'a [u64], len: usize) -> Self {
-        BitIter { words, len, next: 0 }
+        BitIter {
+            words,
+            len,
+            next: 0,
+        }
     }
 }
 

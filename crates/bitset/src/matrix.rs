@@ -1,4 +1,6 @@
-use crate::{next_set_bit_in, words_for, BitIter, DenseBitSet, WORD_BITS};
+use crate::{
+    interval_mask, next_set_bit_in, union_words_masked, words_for, BitIter, DenseBitSet, WORD_BITS,
+};
 
 /// A dense 2-D bit matrix: `rows` bitsets over a shared universe of
 /// `cols` elements, stored contiguously.
@@ -34,7 +36,12 @@ impl BitMatrix {
     /// `0..cols`.
     pub fn new(rows: usize, cols: usize) -> Self {
         let words_per_row = words_for(cols);
-        BitMatrix { data: vec![0; rows * words_per_row], rows, cols, words_per_row }
+        BitMatrix {
+            data: vec![0; rows * words_per_row],
+            rows,
+            cols,
+            words_per_row,
+        }
     }
 
     /// Number of rows.
@@ -59,7 +66,11 @@ impl BitMatrix {
     ///
     /// Panics if `r` or `c` is out of range.
     pub fn set(&mut self, r: u32, c: u32) -> bool {
-        assert!((c as usize) < self.cols, "column {c} out of range ({} cols)", self.cols);
+        assert!(
+            (c as usize) < self.cols,
+            "column {c} out of range ({} cols)",
+            self.cols
+        );
         let range = self.row_range(r);
         let word = &mut self.data[range][c as usize / WORD_BITS];
         let mask = 1u64 << (c as usize % WORD_BITS);
@@ -87,8 +98,135 @@ impl BitMatrix {
     ///
     /// Panics if `r` is out of range.
     pub fn row(&self, r: u32) -> &[u64] {
+        self.row_words(r)
+    }
+
+    /// Row `r` as its backing `u64` words (low bit of word 0 is column
+    /// 0; bits at or above `cols` are always clear). This is the
+    /// primitive behind the word-parallel query loops: callers scan
+    /// masked words directly instead of testing bits one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn row_words(&self, r: u32) -> &[u64] {
         let range = self.row_range(r);
         &self.data[range]
+    }
+
+    /// Returns `true` if row `r` has any set column in the **inclusive**
+    /// interval `[lo, hi]` — the word-masked version of scanning the
+    /// candidate interval `[num(def)+1, maxnum(def)]` of a `T` row.
+    /// Empty intervals (`lo > hi`) and intervals beyond the universe
+    /// report `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn intersects_in_range(&self, r: u32, lo: u32, hi: u32) -> bool {
+        if lo > hi || lo as usize >= self.cols {
+            return false;
+        }
+        let hi = (hi as usize).min(self.cols - 1);
+        let words = self.row_words(r);
+        let (lw, hw) = (lo as usize / WORD_BITS, hi / WORD_BITS);
+        if lw == hw {
+            return words[lw] & interval_mask(lo as usize, hi, lw) != 0;
+        }
+        if words[lw] & (!0u64 << (lo as usize % WORD_BITS)) != 0 {
+            return true;
+        }
+        if words[lw + 1..hw].iter().any(|&w| w != 0) {
+            return true;
+        }
+        words[hw] & (!0u64 >> (WORD_BITS - 1 - hi % WORD_BITS)) != 0
+    }
+
+    /// `self.row(dst) |= self.row(src) ∩ [lo, hi]` (inclusive interval)
+    /// — a whole-row union restricted to a word-masked column interval.
+    /// Returns `true` if the destination changed. `dst == src` and
+    /// empty intervals are no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range.
+    pub fn union_rows_masked(&mut self, dst: u32, src: u32, lo: u32, hi: u32) -> bool {
+        if dst == src {
+            return false;
+        }
+        let cols = self.cols;
+        let (d, s) = self.two_rows_mut(dst, src);
+        union_words_masked(d, s, lo, hi, cols)
+    }
+
+    /// Mutable view of row `dst` together with a shared view of row
+    /// `src`, `dst != src`. The borrow split is safe because distinct
+    /// rows never overlap in `data`.
+    fn two_rows_mut(&mut self, dst: u32, src: u32) -> (&mut [u64], &[u64]) {
+        debug_assert_ne!(dst, src);
+        let dst_range = self.row_range(dst);
+        let src_range = self.row_range(src);
+        let (lo, hi, dst_first) = if dst_range.start < src_range.start {
+            (dst_range, src_range, true)
+        } else {
+            (src_range, dst_range, false)
+        };
+        let (head, tail) = self.data.split_at_mut(hi.start);
+        let lo_slice = &mut head[lo];
+        let hi_slice = &mut tail[..lo_slice.len()];
+        if dst_first {
+            (lo_slice, hi_slice)
+        } else {
+            (hi_slice, lo_slice)
+        }
+    }
+
+    /// `self.row(r) |= other.row(other_row) ∩ [lo, hi]` — the
+    /// cross-matrix form of [`union_rows_masked`](Self::union_rows_masked).
+    /// Returns `true` if the row changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range or the universes differ.
+    pub fn union_row_from_masked(
+        &mut self,
+        r: u32,
+        other: &BitMatrix,
+        other_row: u32,
+        lo: u32,
+        hi: u32,
+    ) -> bool {
+        assert_eq!(
+            self.cols, other.cols,
+            "universe mismatch in union_row_from_masked"
+        );
+        let dst = self.row_range(r);
+        let src = other.row_range(other_row);
+        union_words_masked(&mut self.data[dst], &other.data[src], lo, hi, self.cols)
+    }
+
+    /// `self.row(r) &= other.row(other_row)` — whole-row intersection
+    /// across two matrices over the same universe. Returns `true` if
+    /// the row changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range or the universes differ.
+    pub fn intersect_row_from(&mut self, r: u32, other: &BitMatrix, other_row: u32) -> bool {
+        assert_eq!(
+            self.cols, other.cols,
+            "universe mismatch in intersect_row_from"
+        );
+        let dst = self.row_range(r);
+        let src = other.row_range(other_row);
+        let mut changed = false;
+        for (a, &b) in self.data[dst].iter_mut().zip(&other.data[src]) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
     }
 
     /// `dst |= src` on whole rows; returns `true` if `dst` changed.
@@ -101,26 +239,35 @@ impl BitMatrix {
         if dst == src {
             return false;
         }
-        let dst_range = self.row_range(dst);
-        let src_range = self.row_range(src);
+        let (d, s) = self.two_rows_mut(dst, src);
         let mut changed = false;
-        // Split the borrow: rows never overlap because dst != src.
-        let (lo, hi, dst_first) = if dst_range.start < src_range.start {
-            (dst_range, src_range, true)
-        } else {
-            (src_range, dst_range, false)
-        };
-        let (head, tail) = self.data.split_at_mut(hi.start);
-        let lo_slice = &mut head[lo];
-        let hi_slice = &mut tail[..lo_slice.len()];
-        let (d, s): (&mut [u64], &[u64]) =
-            if dst_first { (lo_slice, hi_slice) } else { (hi_slice, lo_slice) };
         for (a, &b) in d.iter_mut().zip(s) {
             let new = *a | b;
             changed |= new != *a;
             *a = new;
         }
         changed
+    }
+
+    /// Sets every column of row `r` (bits at or above the universe stay
+    /// clear). An `O(cols/64)` word fill — the batch liveness pass uses
+    /// it for its all-ones mask row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn fill_row(&mut self, r: u32) {
+        let cols = self.cols;
+        let range = self.row_range(r);
+        let words = &mut self.data[range];
+        if cols == 0 {
+            return;
+        }
+        words.fill(!0u64);
+        let tail_bits = cols % WORD_BITS;
+        if tail_bits != 0 {
+            *words.last_mut().expect("non-empty row") = !0u64 >> (WORD_BITS - tail_bits);
+        }
     }
 
     /// `row |= set` for a [`DenseBitSet`] over the same universe; returns
@@ -130,7 +277,11 @@ impl BitMatrix {
     ///
     /// Panics if the row is out of range or the universes differ.
     pub fn union_row_with_set(&mut self, r: u32, set: &DenseBitSet) -> bool {
-        assert_eq!(set.universe(), self.cols, "universe mismatch in union_row_with_set");
+        assert_eq!(
+            set.universe(),
+            self.cols,
+            "universe mismatch in union_row_with_set"
+        );
         let range = self.row_range(r);
         let mut changed = false;
         for (a, &b) in self.data[range].iter_mut().zip(set.as_words()) {
@@ -170,7 +321,10 @@ impl BitMatrix {
     ///
     /// Panics if either row is out of range or the universes differ.
     pub fn difference_row_from(&mut self, r: u32, other: &BitMatrix, other_row: u32) -> bool {
-        assert_eq!(self.cols, other.cols, "universe mismatch in difference_row_from");
+        assert_eq!(
+            self.cols, other.cols,
+            "universe mismatch in difference_row_from"
+        );
         let dst = self.row_range(r);
         let src = other.row_range(other_row);
         let mut changed = false;
@@ -200,9 +354,16 @@ impl BitMatrix {
     ///
     /// Panics if `r` is out of range or universes differ.
     pub fn row_intersects_set(&self, r: u32, set: &DenseBitSet) -> bool {
-        assert_eq!(set.universe(), self.cols, "universe mismatch in row_intersects_set");
+        assert_eq!(
+            set.universe(),
+            self.cols,
+            "universe mismatch in row_intersects_set"
+        );
         let range = self.row_range(r);
-        self.data[range].iter().zip(set.as_words()).any(|(&a, &b)| a & b != 0)
+        self.data[range]
+            .iter()
+            .zip(set.as_words())
+            .any(|(&a, &b)| a & b != 0)
     }
 
     /// Iterates the set columns of row `r` in ascending order.
@@ -222,7 +383,10 @@ impl BitMatrix {
     /// Panics if `r` is out of range.
     pub fn row_len(&self, r: u32) -> usize {
         let range = self.row_range(r);
-        self.data[range].iter().map(|w| w.count_ones() as usize).sum()
+        self.data[range]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Copies row `r` out into an owned [`DenseBitSet`].
@@ -362,6 +526,137 @@ mod tests {
         let s = m.row_to_set(0);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![7, 39]);
         assert_eq!(s.universe(), 40);
+    }
+
+    #[test]
+    fn intersects_in_range_masks_word_boundaries() {
+        let mut m = BitMatrix::new(2, 300);
+        for c in [0u32, 63, 64, 130, 299] {
+            m.set(0, c);
+        }
+        // Single-word intervals around each set bit.
+        assert!(m.intersects_in_range(0, 0, 0));
+        assert!(!m.intersects_in_range(0, 1, 62));
+        assert!(m.intersects_in_range(0, 63, 63));
+        assert!(m.intersects_in_range(0, 64, 64));
+        assert!(!m.intersects_in_range(0, 65, 129));
+        // Multi-word spans.
+        assert!(m.intersects_in_range(0, 1, 63));
+        assert!(m.intersects_in_range(0, 65, 299));
+        assert!(m.intersects_in_range(0, 131, 299));
+        assert!(!m.intersects_in_range(0, 131, 298));
+        // Empty and out-of-universe intervals.
+        assert!(!m.intersects_in_range(0, 10, 9));
+        assert!(!m.intersects_in_range(0, 300, 400));
+        assert!(m.intersects_in_range(0, 299, u32::MAX)); // hi clamps
+                                                          // A clear row never intersects.
+        assert!(!m.intersects_in_range(1, 0, 299));
+    }
+
+    #[test]
+    fn intersects_in_range_matches_scalar_scan() {
+        // Exhaustive check against next_set_in_row on a pseudo-random row.
+        let mut m = BitMatrix::new(1, 200);
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for c in 0..200u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if x >> 61 == 0 {
+                m.set(0, c);
+            }
+        }
+        for lo in 0..200u32 {
+            for hi in lo..200 {
+                let scalar = m.next_set_in_row(0, lo).is_some_and(|b| b <= hi);
+                assert_eq!(m.intersects_in_range(0, lo, hi), scalar, "[{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn union_rows_masked_clips_to_interval() {
+        let mut m = BitMatrix::new(3, 200);
+        for c in [2u32, 63, 64, 100, 190] {
+            m.set(1, c);
+        }
+        assert!(m.union_rows_masked(0, 1, 63, 100));
+        assert_eq!(m.row_iter(0).collect::<Vec<_>>(), vec![63, 64, 100]);
+        assert!(!m.union_rows_masked(0, 1, 63, 100)); // fixed point
+        assert!(m.union_rows_masked(0, 1, 0, 2)); // src after dst in memory
+        assert_eq!(m.row_iter(0).collect::<Vec<_>>(), vec![2, 63, 64, 100]);
+        assert!(m.union_rows_masked(2, 1, 150, u32::MAX)); // dst after src
+        assert_eq!(m.row_iter(2).collect::<Vec<_>>(), vec![190]);
+        assert!(!m.union_rows_masked(0, 0, 0, 199)); // self-union no-op
+        assert!(!m.union_rows_masked(2, 1, 80, 60)); // empty interval
+    }
+
+    #[test]
+    fn union_row_from_masked_cross_matrix() {
+        let mut a = BitMatrix::new(1, 130);
+        let mut b = BitMatrix::new(2, 130);
+        for c in [5u32, 64, 129] {
+            b.set(1, c);
+        }
+        assert!(a.union_row_from_masked(0, &b, 1, 6, 129));
+        assert_eq!(a.row_iter(0).collect::<Vec<_>>(), vec![64, 129]);
+        assert!(!a.union_row_from_masked(0, &b, 1, 64, 64));
+        assert!(a.union_row_from_masked(0, &b, 1, 0, 5));
+        assert_eq!(a.row_iter(0).collect::<Vec<_>>(), vec![5, 64, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn union_row_from_masked_universe_mismatch_panics() {
+        let mut a = BitMatrix::new(1, 8);
+        let b = BitMatrix::new(1, 9);
+        a.union_row_from_masked(0, &b, 0, 0, 7);
+    }
+
+    #[test]
+    fn intersect_row_from_keeps_common_bits() {
+        let mut a = BitMatrix::new(1, 130);
+        let mut b = BitMatrix::new(1, 130);
+        for c in [1u32, 64, 129] {
+            a.set(0, c);
+        }
+        b.set(0, 64);
+        b.set(0, 2);
+        assert!(a.intersect_row_from(0, &b, 0));
+        assert_eq!(a.row_iter(0).collect::<Vec<_>>(), vec![64]);
+        assert!(!a.intersect_row_from(0, &b, 0)); // fixed point
+    }
+
+    #[test]
+    fn fill_row_sets_exactly_the_universe() {
+        let mut m = BitMatrix::new(2, 130);
+        m.fill_row(1);
+        assert_eq!(m.row_len(1), 130);
+        assert_eq!(m.row_len(0), 0);
+        assert!(m.contains(1, 129));
+        assert!(!m.contains(1, 130));
+        // Word-aligned universe: no partial tail word.
+        let mut w = BitMatrix::new(1, 128);
+        w.fill_row(0);
+        assert_eq!(w.row_len(0), 128);
+        // Zero-width universe is a no-op.
+        let mut z = BitMatrix::new(1, 0);
+        z.fill_row(0);
+        assert_eq!(z.row_len(0), 0);
+    }
+
+    #[test]
+    fn row_words_exposes_backing_words() {
+        let mut m = BitMatrix::new(2, 130);
+        m.set(1, 0);
+        m.set(1, 64);
+        m.set(1, 129);
+        let w = m.row_words(1);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1);
+        assert_eq!(w[1], 1);
+        assert_eq!(w[2], 2);
+        assert_eq!(m.row(1), w);
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl SortedSet {
     ///
     /// Panics (in debug builds) if the input is not strictly increasing.
     pub fn from_sorted(elems: Vec<u32>) -> Self {
-        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]), "input not strictly increasing");
+        debug_assert!(
+            elems.windows(2).all(|w| w[0] < w[1]),
+            "input not strictly increasing"
+        );
         SortedSet { elems }
     }
 
@@ -254,7 +257,11 @@ mod tests {
             assert_eq!(sorted.contains(e), dense.contains(e), "disagree on {e}");
         }
         for from in 0..128u32 {
-            assert_eq!(sorted.next_at_least(from), dense.next_set_bit(from), "from {from}");
+            assert_eq!(
+                sorted.next_at_least(from),
+                dense.next_set_bit(from),
+                "from {from}"
+            );
         }
     }
 

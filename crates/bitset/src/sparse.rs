@@ -35,7 +35,10 @@ pub struct SparseSet {
 impl SparseSet {
     /// Creates an empty set over the universe `0..universe`.
     pub fn new(universe: usize) -> Self {
-        SparseSet { dense: Vec::new(), sparse: vec![0; universe] }
+        SparseSet {
+            dense: Vec::new(),
+            sparse: vec![0; universe],
+        }
     }
 
     /// The universe size (exclusive upper bound on elements).

@@ -143,7 +143,15 @@ impl DfsTree {
             classified.push(row);
         }
 
-        DfsTree { preorder, postorder, pre_num, post_num, parent, back_edges, classified }
+        DfsTree {
+            preorder,
+            postorder,
+            pre_num,
+            post_num,
+            parent,
+            back_edges,
+            classified,
+        }
     }
 
     /// Preorder (discovery) number of `v`.
@@ -271,7 +279,10 @@ impl DfsTree {
 fn ancestor(pre: &[u32], post: &[u32], a: NodeId, b: NodeId) -> bool {
     let (pa, pb) = (pre[a as usize], pre[b as usize]);
     let (qa, qb) = (post[a as usize], post[b as usize]);
-    debug_assert!(pa != NO_NODE && pb != NO_NODE, "ancestor test on unreachable node");
+    debug_assert!(
+        pa != NO_NODE && pb != NO_NODE,
+        "ancestor test on unreachable node"
+    );
     pa <= pb && qa >= qb
 }
 
@@ -369,7 +380,10 @@ mod tests {
         let dfs = DfsTree::compute(&g);
         for (u, v, c) in dfs.classified_edges() {
             if c == EdgeClass::Cross {
-                assert!(dfs.pre(v) < dfs.pre(u), "cross edge ({u},{v}) points forward");
+                assert!(
+                    dfs.pre(v) < dfs.pre(u),
+                    "cross edge ({u},{v}) points forward"
+                );
             }
         }
     }
@@ -408,12 +422,25 @@ mod tests {
         let g = DiGraph::from_edges(
             6,
             0,
-            &[(0, 1), (1, 2), (2, 3), (3, 1), (1, 4), (4, 5), (5, 2), (2, 5), (5, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 1),
+                (1, 4),
+                (4, 5),
+                (5, 2),
+                (2, 5),
+                (5, 0),
+            ],
         );
         let dfs = DfsTree::compute(&g);
         for (u, v, c) in dfs.classified_edges() {
             if !matches!(c, EdgeClass::Back | EdgeClass::Unreachable) {
-                assert!(dfs.post(u) > dfs.post(v), "edge ({u},{v}) class {c} violates order");
+                assert!(
+                    dfs.post(u) > dfs.post(v),
+                    "edge ({u},{v}) class {c} violates order"
+                );
             }
         }
     }

@@ -183,7 +183,18 @@ mod tests {
         let g = DiGraph::from_edges(
             8,
             0,
-            &[(0, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (5, 1), (5, 6), (0, 7), (7, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (5, 1),
+                (5, 6),
+                (0, 7),
+                (7, 6),
+            ],
         );
         let dfs = DfsTree::compute(&g);
         let dom = DomTree::compute(&g, &dfs);
@@ -192,8 +203,7 @@ mod tests {
         for x in 0..8u32 {
             let mut expect: Vec<u32> = (0..8u32)
                 .filter(|&y| {
-                    g.preds(y).iter().any(|&p| dom.dominates(x, p))
-                        && !dom.strictly_dominates(x, y)
+                    g.preds(y).iter().any(|&p| dom.dominates(x, p)) && !dom.strictly_dominates(x, y)
                 })
                 .collect();
             expect.sort_unstable();

@@ -86,7 +86,10 @@ impl DomTree {
                         intersect(&idom, &post, p, new_idom)
                     };
                 }
-                debug_assert_ne!(new_idom, NO_NODE, "reachable node {b} has no processed pred");
+                debug_assert_ne!(
+                    new_idom, NO_NODE,
+                    "reachable node {b} has no processed pred"
+                );
                 if idom[b as usize] != new_idom {
                     idom[b as usize] = new_idom;
                     changed = true;
@@ -131,7 +134,14 @@ impl DomTree {
         }
         debug_assert_eq!(counter as usize, dfs.num_reached());
 
-        DomTree { idom, children, num, maxnum, by_num, depth }
+        DomTree {
+            idom,
+            children,
+            num,
+            maxnum,
+            by_num,
+            depth,
+        }
     }
 
     /// Immediate dominator of `v`; `None` for the entry node.
@@ -238,7 +248,10 @@ impl DomTree {
     /// first.
     pub fn dominators(&self, v: NodeId) -> Dominators<'_> {
         assert!(self.is_reachable(v), "node {v} is unreachable");
-        Dominators { tree: self, cur: Some(v) }
+        Dominators {
+            tree: self,
+            cur: Some(v),
+        }
     }
 }
 
@@ -261,7 +274,12 @@ impl Iterator for Dominators<'_> {
 
 /// The two-finger intersection walk of Cooper–Harvey–Kennedy, climbing by
 /// postorder number.
-fn intersect(idom: &[NodeId], post: &impl Fn(NodeId) -> u32, mut a: NodeId, mut b: NodeId) -> NodeId {
+fn intersect(
+    idom: &[NodeId],
+    post: &impl Fn(NodeId) -> u32,
+    mut a: NodeId,
+    mut b: NodeId,
+) -> NodeId {
     while a != b {
         while post(a) < post(b) {
             a = idom[a as usize];
@@ -404,7 +422,17 @@ mod tests {
         let g = DiGraph::from_edges(
             7,
             0,
-            &[(0, 1), (1, 2), (2, 3), (3, 1), (1, 4), (4, 5), (5, 6), (6, 4), (2, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 1),
+                (1, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+                (2, 6),
+            ],
         );
         let d = dom_of(&g);
         let n = 7u32;

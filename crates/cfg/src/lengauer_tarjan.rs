@@ -183,7 +183,11 @@ mod tests {
             ],
         );
         let idom = lt(&g);
-        assert_eq!(idom, brute_idoms(&g), "LT disagrees with brute-force dominators");
+        assert_eq!(
+            idom,
+            brute_idoms(&g),
+            "LT disagrees with brute-force dominators"
+        );
     }
 
     /// Reference immediate dominators computed from first principles:
@@ -215,8 +219,9 @@ mod tests {
                 if !base[b as usize] || b == g.entry() {
                     return None;
                 }
-                let sdoms: Vec<NodeId> =
-                    (0..n).filter(|&a| a != b && base[a as usize] && dominates(a, b)).collect();
+                let sdoms: Vec<NodeId> = (0..n)
+                    .filter(|&a| a != b && base[a as usize] && dominates(a, b))
+                    .collect();
                 // The idom is the strict dominator that every other strict
                 // dominator dominates.
                 sdoms
@@ -235,7 +240,11 @@ mod tests {
             DiGraph::from_edges(2, 0, &[(0, 1), (1, 1)]),
             DiGraph::from_edges(3, 0, &[(0, 1), (0, 2), (1, 2), (2, 1)]),
             DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]),
-            DiGraph::from_edges(5, 0, &[(0, 1), (1, 2), (2, 1), (1, 3), (3, 4), (4, 3), (4, 1)]),
+            DiGraph::from_edges(
+                5,
+                0,
+                &[(0, 1), (1, 2), (2, 1), (1, 3), (3, 4), (4, 3), (4, 1)],
+            ),
             DiGraph::from_edges(2, 0, &[(0, 1), (0, 1)]),
         ];
         for (i, g) in graphs.iter().enumerate() {
@@ -276,7 +285,11 @@ mod tests {
         let chk = DomTree::compute(g, &dfs);
         let lt = immediate_dominators(g, &dfs);
         for v in 0..g.num_nodes() as NodeId {
-            let chk_idom = if chk.is_reachable(v) { chk.idom(v) } else { None };
+            let chk_idom = if chk.is_reachable(v) {
+                chk.idom(v)
+            } else {
+                None
+            };
             assert_eq!(
                 chk_idom, lt[v as usize],
                 "case {case}: idom mismatch at node {v} (CHK vs LT)"

@@ -100,7 +100,10 @@ impl LoopForest {
 
     /// Iterates the loops containing `v`, innermost first.
     pub fn containing_loops(&self, v: NodeId) -> ContainingLoops<'_> {
-        ContainingLoops { forest: self, cur: self.innermost(v) }
+        ContainingLoops {
+            forest: self,
+            cur: self.innermost(v),
+        }
     }
 
     /// `true` if loop `id` (transitively) contains node `v`.
@@ -248,7 +251,13 @@ impl<'a, G: Cfg> Havlak<'a, G> {
             }
             self.innermost[w as usize] = Some(id);
             self.loop_of_header[w as usize] = Some(id);
-            self.loops.push(Loop { header: node_w, parent: None, reducible, nodes, depth: 0 });
+            self.loops.push(Loop {
+                header: node_w,
+                parent: None,
+                reducible,
+                nodes,
+                depth: 0,
+            });
         }
 
         self.finish(&preorder)
@@ -271,7 +280,10 @@ impl<'a, G: Cfg> Havlak<'a, G> {
         for (w, l) in self.innermost.iter().enumerate() {
             innermost[preorder[w] as usize] = *l;
         }
-        LoopForest { loops: self.loops, innermost }
+        LoopForest {
+            loops: self.loops,
+            innermost,
+        }
     }
 }
 
@@ -286,7 +298,11 @@ mod tests {
 
     #[test]
     fn acyclic_graph_has_no_loops() {
-        let f = forest(&DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+        let f = forest(&DiGraph::from_edges(
+            4,
+            0,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        ));
         assert_eq!(f.num_loops(), 0);
         for v in 0..4 {
             assert_eq!(f.innermost(v), None);
@@ -356,11 +372,7 @@ mod tests {
 
     #[test]
     fn two_sibling_loops() {
-        let g = DiGraph::from_edges(
-            5,
-            0,
-            &[(0, 1), (1, 1), (1, 2), (2, 3), (3, 2), (3, 4)],
-        );
+        let g = DiGraph::from_edges(5, 0, &[(0, 1), (1, 1), (1, 2), (2, 3), (3, 2), (3, 4)]);
         let f = forest(&g);
         assert_eq!(f.num_loops(), 2);
         let a = f.loop_headed_by(1).unwrap();

@@ -47,7 +47,10 @@ impl Reducibility {
             .copied()
             .filter(|&(s, t)| !dom.dominates(t, s))
             .collect();
-        Reducibility { irreducible_back_edges, num_back_edges: dfs.back_edges().len() }
+        Reducibility {
+            irreducible_back_edges,
+            num_back_edges: dfs.back_edges().len(),
+        }
     }
 
     /// `true` if every back-edge target dominates its source.
@@ -81,18 +84,18 @@ mod tests {
 
     #[test]
     fn acyclic_graph_is_reducible() {
-        let r = reducibility(&DiGraph::from_edges(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+        let r = reducibility(&DiGraph::from_edges(
+            4,
+            0,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        ));
         assert!(r.is_reducible());
         assert_eq!(r.num_back_edges(), 0);
     }
 
     #[test]
     fn natural_nested_loops_are_reducible() {
-        let g = DiGraph::from_edges(
-            5,
-            0,
-            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)],
-        );
+        let g = DiGraph::from_edges(5, 0, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)]);
         let r = reducibility(&g);
         assert!(r.is_reducible());
         assert_eq!(r.num_back_edges(), 2);

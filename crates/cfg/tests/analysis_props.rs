@@ -1,7 +1,9 @@
 //! Property tests over the CFG analyses: randomized graphs, shrunk
 //! counterexamples.
 
-use fastlive_cfg::{lengauer_tarjan, DfsTree, DomTree, DominanceFrontiers, LoopForest, Reducibility};
+use fastlive_cfg::{
+    lengauer_tarjan, DfsTree, DomTree, DominanceFrontiers, LoopForest, Reducibility,
+};
 use fastlive_graph::{Cfg as _, DiGraph};
 use proptest::prelude::*;
 

@@ -56,7 +56,9 @@ pub fn construct_ssa(pre: &PreFunction) -> Result<Function, ConstructError> {
     // -- Validate the input.
     for b in 0..pre.num_blocks() as NodeId {
         if pre.term(b).is_none() {
-            return Err(ConstructError { message: format!("block {b} has no terminator") });
+            return Err(ConstructError {
+                message: format!("block {b} has no terminator"),
+            });
         }
     }
     let dfs = DfsTree::compute(pre);
@@ -170,9 +172,10 @@ pub fn construct_ssa(pre: &PreFunction) -> Result<Function, ConstructError> {
                 for s in pre.stmts(b) {
                     let data = match s.rv {
                         PreRvalue::Const(k) => InstData::IntConst { imm: k },
-                        PreRvalue::Unary(op, a) => {
-                            InstData::Unary { op, arg: top(&stacks, a) }
-                        }
+                        PreRvalue::Unary(op, a) => InstData::Unary {
+                            op,
+                            arg: top(&stacks, a),
+                        },
                         PreRvalue::Binary(op, a, c) => InstData::Binary {
                             op,
                             args: [top(&stacks, a), top(&stacks, c)],
@@ -186,13 +189,21 @@ pub fn construct_ssa(pre: &PreFunction) -> Result<Function, ConstructError> {
 
                 // Terminator with φ arguments for each successor.
                 let call = |stacks: &Vec<Vec<Value>>, dest: NodeId| {
-                    let args =
-                        phi_vars[dest as usize].iter().map(|&v| top(stacks, v)).collect();
+                    let args = phi_vars[dest as usize]
+                        .iter()
+                        .map(|&v| top(stacks, v))
+                        .collect();
                     fastlive_ir::BlockCall::with_args(blocks[dest as usize], args)
                 };
                 let data = match pre.term(b).expect("validated") {
-                    PreTerm::Jump(d) => InstData::Jump { dest: call(&stacks, *d) },
-                    PreTerm::Brif { cond, then_dest, else_dest } => InstData::Brif {
+                    PreTerm::Jump(d) => InstData::Jump {
+                        dest: call(&stacks, *d),
+                    },
+                    PreTerm::Brif {
+                        cond,
+                        then_dest,
+                        else_dest,
+                    } => InstData::Brif {
                         cond: top(&stacks, *cond),
                         then_dest: call(&stacks, *then_dest),
                         else_dest: call(&stacks, *else_dest),
@@ -291,7 +302,14 @@ mod tests {
         p.assign(b0, x, PreRvalue::Const(0));
         p.set_term(b0, PreTerm::Jump(header));
         p.assign(header, c, PreRvalue::Binary(BinaryOp::IcmpSlt, x, n));
-        p.set_term(header, PreTerm::Brif { cond: c, then_dest: body, else_dest: exit });
+        p.set_term(
+            header,
+            PreTerm::Brif {
+                cond: c,
+                then_dest: body,
+                else_dest: exit,
+            },
+        );
         p.assign(body, one, PreRvalue::Const(1));
         p.assign(body, x, PreRvalue::Binary(BinaryOp::Iadd, x, one));
         p.set_term(body, PreTerm::Jump(header));
@@ -335,7 +353,14 @@ mod tests {
         let b1 = p.add_block();
         let b2 = p.add_block();
         let b3 = p.add_block();
-        p.set_term(b0, PreTerm::Brif { cond, then_dest: b1, else_dest: b2 });
+        p.set_term(
+            b0,
+            PreTerm::Brif {
+                cond,
+                then_dest: b1,
+                else_dest: b2,
+            },
+        );
         p.assign(b1, x, PreRvalue::Const(10));
         p.set_term(b1, PreTerm::Jump(b3));
         p.assign(b2, x, PreRvalue::Const(20));
@@ -363,7 +388,14 @@ mod tests {
         let b1 = p.add_block();
         let b2 = p.add_block();
         let b3 = p.add_block();
-        p.set_term(b0, PreTerm::Brif { cond: c, then_dest: b1, else_dest: b2 });
+        p.set_term(
+            b0,
+            PreTerm::Brif {
+                cond: c,
+                then_dest: b1,
+                else_dest: b2,
+            },
+        );
         for (b, k) in [(b1, 1i64), (b2, 2)] {
             p.assign(b, t, PreRvalue::Const(k));
             p.assign(b, r, PreRvalue::Unary(fastlive_ir::UnaryOp::Ineg, t));
@@ -381,14 +413,20 @@ mod tests {
     fn rejects_bad_inputs() {
         // Unterminated block.
         let p = PreFunction::new("open", 0);
-        assert!(construct_ssa(&p).unwrap_err().message.contains("no terminator"));
+        assert!(construct_ssa(&p)
+            .unwrap_err()
+            .message
+            .contains("no terminator"));
 
         // Unreachable block.
         let mut p = PreFunction::new("dead", 0);
         let d = p.add_block();
         p.set_term(p.entry(), PreTerm::Return(vec![]));
         p.set_term(d, PreTerm::Return(vec![]));
-        assert!(construct_ssa(&p).unwrap_err().message.contains("unreachable"));
+        assert!(construct_ssa(&p)
+            .unwrap_err()
+            .message
+            .contains("unreachable"));
 
         // Maybe-uninitialized variable.
         let mut p = PreFunction::new("uninit", 1);
@@ -396,11 +434,21 @@ mod tests {
         let x = p.fresh_var();
         let b1 = p.add_block();
         let b2 = p.add_block();
-        p.set_term(p.entry(), PreTerm::Brif { cond: c, then_dest: b1, else_dest: b2 });
+        p.set_term(
+            p.entry(),
+            PreTerm::Brif {
+                cond: c,
+                then_dest: b1,
+                else_dest: b2,
+            },
+        );
         p.assign(b1, x, PreRvalue::Const(1));
         p.set_term(b1, PreTerm::Jump(b2));
         p.set_term(b2, PreTerm::Return(vec![x]));
-        assert!(construct_ssa(&p).unwrap_err().message.contains("uninitialized"));
+        assert!(construct_ssa(&p)
+            .unwrap_err()
+            .message
+            .contains("uninitialized"));
     }
 
     #[test]
@@ -425,9 +473,23 @@ mod tests {
         p.set_term(b0, PreTerm::Jump(oh));
         p.assign(oh, c, PreRvalue::Binary(BinaryOp::IcmpSlt, i, n));
         p.assign(oh, j, PreRvalue::Const(0));
-        p.set_term(oh, PreTerm::Brif { cond: c, then_dest: ih, else_dest: ex });
+        p.set_term(
+            oh,
+            PreTerm::Brif {
+                cond: c,
+                then_dest: ih,
+                else_dest: ex,
+            },
+        );
         p.assign(ih, c, PreRvalue::Binary(BinaryOp::IcmpSlt, j, i));
-        p.set_term(ih, PreTerm::Brif { cond: c, then_dest: ib, else_dest: oi });
+        p.set_term(
+            ih,
+            PreTerm::Brif {
+                cond: c,
+                then_dest: ib,
+                else_dest: oi,
+            },
+        );
         p.assign(ib, acc, PreRvalue::Binary(BinaryOp::Iadd, acc, j));
         p.assign(ib, j, PreRvalue::Binary(BinaryOp::Iadd, j, one));
         p.set_term(ib, PreTerm::Jump(ih));

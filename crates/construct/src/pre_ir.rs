@@ -160,7 +160,10 @@ impl PreFunction {
     /// Panics if the block is already terminated or entities are out of
     /// range.
     pub fn assign(&mut self, block: NodeId, dst: Var, rv: PreRvalue) {
-        assert!(self.blocks[block as usize].term.is_none(), "block {block} is terminated");
+        assert!(
+            self.blocks[block as usize].term.is_none(),
+            "block {block} is terminated"
+        );
         self.check_var(dst);
         match rv {
             PreRvalue::Const(_) => {}
@@ -180,10 +183,17 @@ impl PreFunction {
     /// Panics if the block already has a terminator or a target is out
     /// of range.
     pub fn set_term(&mut self, block: NodeId, term: PreTerm) {
-        assert!(self.blocks[block as usize].term.is_none(), "block {block} is terminated");
+        assert!(
+            self.blocks[block as usize].term.is_none(),
+            "block {block} is terminated"
+        );
         let targets: Vec<NodeId> = match &term {
             PreTerm::Jump(d) => vec![*d],
-            PreTerm::Brif { cond, then_dest, else_dest } => {
+            PreTerm::Brif {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 self.check_var(*cond);
                 vec![*then_dest, *else_dest]
             }
@@ -195,7 +205,10 @@ impl PreFunction {
             }
         };
         for &d in &targets {
-            assert!((d as usize) < self.blocks.len(), "branch target {d} out of range");
+            assert!(
+                (d as usize) < self.blocks.len(),
+                "branch target {d} out of range"
+            );
             self.succs[block as usize].push(d);
             self.preds[d as usize].push(block);
         }
@@ -210,7 +223,11 @@ impl PreFunction {
         let term = self.blocks[block as usize].term.take()?;
         let removed: Vec<NodeId> = match &term {
             PreTerm::Jump(d) => vec![*d],
-            PreTerm::Brif { then_dest, else_dest, .. } => vec![*then_dest, *else_dest],
+            PreTerm::Brif {
+                then_dest,
+                else_dest,
+                ..
+            } => vec![*then_dest, *else_dest],
             PreTerm::Return(_) => Vec::new(),
         };
         for d in removed {
@@ -258,7 +275,10 @@ impl PreFunction {
 }
 
 fn remove_one(v: &mut Vec<NodeId>, x: NodeId) {
-    let pos = v.iter().position(|&e| e == x).expect("edge to remove is present");
+    let pos = v
+        .iter()
+        .position(|&e| e == x)
+        .expect("edge to remove is present");
     v.swap_remove(pos);
 }
 
@@ -294,7 +314,11 @@ pub struct PreOutcome {
 /// `Err(())`-like string on fuel exhaustion or arity mismatch.
 pub fn run_pre(pre: &PreFunction, args: &[i64], fuel: u64) -> Result<PreOutcome, String> {
     if args.len() != pre.num_params as usize {
-        return Err(format!("expected {} arguments, got {}", pre.num_params, args.len()));
+        return Err(format!(
+            "expected {} arguments, got {}",
+            pre.num_params,
+            args.len()
+        ));
     }
     let mut env = vec![0i64; pre.num_vars as usize];
     env[..args.len()].copy_from_slice(args);
@@ -316,10 +340,21 @@ pub fn run_pre(pre: &PreFunction, args: &[i64], fuel: u64) -> Result<PreOutcome,
         if steps > fuel {
             return Err("out of fuel".into());
         }
-        match pre.term(block).expect("every block terminated before running") {
+        match pre
+            .term(block)
+            .expect("every block terminated before running")
+        {
             PreTerm::Jump(d) => block = *d,
-            PreTerm::Brif { cond, then_dest, else_dest } => {
-                block = if env[cond.0 as usize] != 0 { *then_dest } else { *else_dest };
+            PreTerm::Brif {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
+                block = if env[cond.0 as usize] != 0 {
+                    *then_dest
+                } else {
+                    *else_dest
+                };
             }
             PreTerm::Return(vars) => {
                 return Ok(PreOutcome {
@@ -432,7 +467,9 @@ pub fn verify_definite_assignment(pre: &PreFunction) -> Result<(), String> {
         let mut ok = da.entry[b as usize].clone();
         let check = |ok: &[bool], v: Var, what: &str| -> Result<(), String> {
             if !ok[v.0 as usize] {
-                Err(format!("{v} may be used uninitialized in block {b} ({what})"))
+                Err(format!(
+                    "{v} may be used uninitialized in block {b} ({what})"
+                ))
             } else {
                 Ok(())
             }
@@ -480,7 +517,14 @@ mod tests {
         p.assign(b0, x, PreRvalue::Const(0));
         p.set_term(b0, PreTerm::Jump(header));
         p.assign(header, c, PreRvalue::Binary(BinaryOp::IcmpSlt, x, n));
-        p.set_term(header, PreTerm::Brif { cond: c, then_dest: body, else_dest: exit });
+        p.set_term(
+            header,
+            PreTerm::Brif {
+                cond: c,
+                then_dest: body,
+                else_dest: exit,
+            },
+        );
         p.assign(body, one, PreRvalue::Const(1));
         p.assign(body, x, PreRvalue::Binary(BinaryOp::Iadd, x, one));
         p.set_term(body, PreTerm::Jump(header));
@@ -517,7 +561,14 @@ mod tests {
         let b0 = p.entry();
         let then = p.add_block();
         let join = p.add_block();
-        p.set_term(b0, PreTerm::Brif { cond, then_dest: then, else_dest: join });
+        p.set_term(
+            b0,
+            PreTerm::Brif {
+                cond,
+                then_dest: then,
+                else_dest: join,
+            },
+        );
         p.assign(then, x, PreRvalue::Const(1));
         p.set_term(then, PreTerm::Jump(join));
         p.set_term(join, PreTerm::Return(vec![x]));
@@ -535,9 +586,23 @@ mod tests {
         let b0 = p.entry();
         let body = p.add_block();
         let exit = p.add_block();
-        p.set_term(b0, PreTerm::Brif { cond: n, then_dest: body, else_dest: exit });
+        p.set_term(
+            b0,
+            PreTerm::Brif {
+                cond: n,
+                then_dest: body,
+                else_dest: exit,
+            },
+        );
         p.assign(body, x, PreRvalue::Const(1));
-        p.set_term(body, PreTerm::Brif { cond: x, then_dest: body, else_dest: exit });
+        p.set_term(
+            body,
+            PreTerm::Brif {
+                cond: x,
+                then_dest: body,
+                else_dest: exit,
+            },
+        );
         p.set_term(exit, PreTerm::Return(vec![x]));
         assert!(verify_definite_assignment(&p).is_err());
     }

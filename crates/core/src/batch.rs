@@ -1,0 +1,514 @@
+//! [`BatchLiveness`]: whole-function live-in/live-out sets computed in
+//! one matrix pass over the checker's precomputation.
+//!
+//! # Why a batch path exists
+//!
+//! The paper's query engine is built for *sparse* consumers — passes
+//! that ask about a few variables at a few program points. *Dense*
+//! consumers (register allocators building interference graphs,
+//! break-even experiments, debuggers dumping live sets) want the
+//! classic data-flow shape: a live-in and live-out **set per block**.
+//! Looping scalar queries over every `(variable, block)` pair costs
+//! `O(V · B)` candidate scans; "Parameterized Construction of Program
+//! Representations for Sparse Dataflow Analyses" (Tavares et al.)
+//! motivates serving both consumers from one analysis. This module
+//! serves the dense ones directly from the `R`/`T` matrices with
+//! word-level row unions — no per-query work at all.
+//!
+//! # The set formulation
+//!
+//! Algorithm 1 says: `a` is live-in at `q` iff some `t ∈ T_q ∩
+//! sdom(def(a))` reduced-reaches a use of `a`. Batched over all
+//! variables at once, with one bit column per variable:
+//!
+//! ```text
+//! reach(v)  = uses(v) ∪ ⋃ { reach(w) : (v, w) a non-back edge }
+//!             — vars with a use in R_v; one postorder pass of word
+//!               unions, exactly like the R matrix itself (§5.2)
+//! strict(v) = strict(idom(v)) ∪ defs(idom(v))
+//!             — vars whose def strictly dominates v; one dominator-
+//!               preorder pass. Variable columns are grouped by
+//!               definition block, so `defs(idom(v))` is a contiguous
+//!               column interval spliced in with one masked row union
+//! cand(t)   = reach(t) ∩ strict(t)
+//!             — vars for which t is a live-in witness (def sdom t and
+//!               R_t touches a use)
+//! live_in(q)  = (⋃ { cand(t) : t ∈ T_q }) ∩ strict(q)
+//! live_out(q) = ((⋃ { cand(t) : t ∈ T_q, t ≠ q }) ∪ X(q)) ∩ strict(q)
+//!               ∪ (defs(q) ∩ outside_use)
+//! ```
+//!
+//! where `X(q)` is `reach(q)` when `q` is a back-edge target (its
+//! self-cycle may re-reach a use at `q`, §4.2) and otherwise
+//! `reach_excl(q) = ⋃ reach(succ)` (the `U \ {q}` of Algorithm 2), and
+//! the final `live_out` term is Algorithm 2's defining-block case:
+//! variables defined at `q` with a use outside `q`. The trailing
+//! `∩ strict(q)` enforces Algorithm 3's precondition `num(def) <
+//! num(q) ≤ maxnum(def)` — without it, an irreducible `t ∈ T_q` inside
+//! `def`'s subtree could report liveness at a `q` the definition does
+//! not even dominate.
+//!
+//! Total cost: `O((E + Σ|T_q| + B) · V/64)` word operations for `B`
+//! blocks, `E` edges and `V` variables — compare `O(V · B)` scalar
+//! queries, each with its own candidate walk. The break-even between
+//! the two is measured by `benches/query.rs` and
+//! `--bin bench_query_json`.
+
+use fastlive_bitset::BitMatrix;
+use fastlive_cfg::EdgeClass;
+use fastlive_graph::{Cfg, NodeId};
+
+use crate::checker::LivenessChecker;
+
+/// Live-in/live-out sets for **all** blocks and variables of a CFG,
+/// computed in one pass from a [`LivenessChecker`]'s precomputation.
+///
+/// Variables are caller-defined indices `0..defs.len()`; block rows are
+/// node ids. Unreachable blocks (and variables defined in them) are
+/// never live.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_core::{BatchLiveness, LivenessChecker};
+/// use fastlive_graph::DiGraph;
+///
+/// // 0 -> 1 -> 2 -> 1 (loop), 2 -> 3. Variable 0 defined at block 0
+/// // and used at block 2 is live around the whole loop.
+/// let g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+/// let live = LivenessChecker::compute(&g);
+/// let batch = BatchLiveness::compute(&g, &live, &[0], &[(0, 2)]);
+/// assert!(batch.is_live_in(0, 1));
+/// assert!(batch.is_live_in(0, 2));
+/// assert!(batch.is_live_out(0, 2)); // back to the header
+/// assert!(!batch.is_live_in(0, 3)); // dead after the loop
+/// assert_eq!(batch.live_in_vars(2), vec![0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchLiveness {
+    /// Row `num(b)`, column `col_of[var]`: live-in sets.
+    live_in: BitMatrix,
+    /// Same layout: live-out sets.
+    live_out: BitMatrix,
+    /// Dominance-preorder number per node id (`u32::MAX` unreachable).
+    num_by_node: Vec<u32>,
+    /// Column per variable (`u32::MAX` when the def is unreachable).
+    col_of: Vec<u32>,
+    /// Original variable index per column (inverse of `col_of`).
+    var_of_col: Vec<u32>,
+}
+
+impl BatchLiveness {
+    /// Computes live-in/live-out for every block of `g` at once.
+    ///
+    /// `defs[a]` is the definition block of variable `a`; `uses` lists
+    /// `(a, block)` use sites (Definition 1 attribution: a φ-argument
+    /// is a use at the predecessor). Duplicates are fine. The answers
+    /// match [`LivenessChecker::is_live_in`] /
+    /// [`LivenessChecker::is_live_out`] on every pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block id is out of range for `g` or a use names a
+    /// variable `>= defs.len()`.
+    pub fn compute<G: Cfg>(
+        g: &G,
+        checker: &LivenessChecker,
+        defs: &[NodeId],
+        uses: &[(u32, NodeId)],
+    ) -> Self {
+        let dfs = checker.dfs();
+        let dom = checker.dom();
+        let n = dom.num_reachable();
+        // Shared with the checker — built once in `with_parts`.
+        let num_by_node = checker.num_by_node().to_vec();
+        assert_eq!(
+            num_by_node.len(),
+            g.num_nodes(),
+            "checker was computed over a different graph"
+        );
+        let num_of = |v: NodeId| -> Option<u32> {
+            assert!((v as usize) < g.num_nodes(), "block {v} out of range");
+            match num_by_node[v as usize] {
+                u32::MAX => None,
+                k => Some(k),
+            }
+        };
+
+        // ---- Variable columns, grouped by definition block in
+        // preorder-number order so defs(b) is the contiguous column
+        // interval [col_lo[num(b)], col_hi[num(b)]).
+        let mut counts = vec![0u32; n];
+        for &d in defs {
+            if let Some(dn) = num_of(d) {
+                counts[dn as usize] += 1;
+            }
+        }
+        let mut col_lo = vec![0u32; n];
+        let mut col_hi = vec![0u32; n];
+        let mut acc = 0u32;
+        for i in 0..n {
+            col_lo[i] = acc;
+            acc += counts[i];
+            col_hi[i] = acc;
+        }
+        let v_cols = acc as usize;
+        let mut col_of = vec![u32::MAX; defs.len()];
+        let mut var_of_col = vec![0u32; v_cols];
+        let mut next = col_lo.clone();
+        for (a, &d) in defs.iter().enumerate() {
+            if let Some(dn) = num_of(d) {
+                let c = next[dn as usize];
+                next[dn as usize] += 1;
+                col_of[a] = c;
+                var_of_col[c as usize] = a as u32;
+            }
+        }
+
+        // All-ones helper row: masked unions against it splice whole
+        // column intervals (a definition block's variables) into a row.
+        let mut ones = BitMatrix::new(1, v_cols);
+        ones.fill_row(0);
+
+        // ---- reach / reach_excl: vars with a use reduced-reachable
+        // from each block, one postorder pass (the batched Definition 4).
+        // `outside_use` row 0: vars with a use outside their def block
+        // (unreachable use blocks included, matching the checker's
+        // defining-block test which never resolves them).
+        let mut reach = BitMatrix::new(n, v_cols);
+        let mut reach_excl = BitMatrix::new(n, v_cols);
+        let mut outside_use = BitMatrix::new(1, v_cols);
+        for &(a, ub) in uses {
+            let col = *col_of
+                .get(a as usize)
+                .unwrap_or_else(|| panic!("use of unknown variable {a} ({} defined)", defs.len()));
+            if col == u32::MAX {
+                continue; // def unreachable: never live
+            }
+            if ub != defs[a as usize] {
+                outside_use.set(0, col);
+            }
+            if let Some(un) = num_of(ub) {
+                reach.set(un, col);
+            }
+        }
+        for &v in dfs.postorder() {
+            let vn = num_by_node[v as usize];
+            for (i, &w) in g.succs(v).iter().enumerate() {
+                if dfs.edge_class_at(v, i) != EdgeClass::Back {
+                    reach_excl.union_row_from(vn, &reach, num_by_node[w as usize]);
+                }
+            }
+            reach.union_row_from(vn, &reach_excl, vn);
+        }
+
+        // ---- strict: vars defined at strict dominators, one
+        // dominator-preorder pass with a masked splice per idom.
+        let mut strict = BitMatrix::new(n, v_cols);
+        for &v in &dom.preorder()[1.min(n)..] {
+            let vn = num_by_node[v as usize];
+            let p = dom.idom(v).expect("non-root preorder node has an idom");
+            let pn = num_by_node[p as usize];
+            strict.union_rows(vn, pn);
+            let (lo, hi) = (col_lo[pn as usize], col_hi[pn as usize]);
+            if lo < hi {
+                strict.union_row_from_masked(vn, &ones, 0, lo, hi - 1);
+            }
+        }
+
+        // ---- cand(t) = reach(t) ∩ strict(t).
+        let mut cand = reach.clone();
+        for tn in 0..n as u32 {
+            cand.intersect_row_from(tn, &strict, tn);
+        }
+
+        // ---- Assemble live-in/live-out by unioning candidate rows
+        // along each T_q row (which always contains q itself).
+        let t = &checker.pre().t;
+        let mut live_in = BitMatrix::new(n, v_cols);
+        let mut live_out = BitMatrix::new(n, v_cols);
+        for &q in dom.preorder() {
+            let qn = num_by_node[q as usize];
+            for tn in t.row_iter(qn) {
+                live_in.union_row_from(qn, &cand, tn);
+                if tn != qn {
+                    live_out.union_row_from(qn, &cand, tn);
+                }
+            }
+            live_in.intersect_row_from(qn, &strict, qn);
+            // Trivial live-out candidate t = q: only a back-edge target
+            // proves a cycle that may re-reach a use at q itself; other
+            // blocks count uses strictly past q (U \ {q}, §4.2).
+            if checker.is_back_edge_target(q) {
+                live_out.union_row_from(qn, &cand, qn);
+            } else {
+                live_out.union_row_from(qn, &reach_excl, qn);
+            }
+            live_out.intersect_row_from(qn, &strict, qn);
+            // Algorithm 2's defining-block case: vars defined at q that
+            // are used elsewhere — one masked splice of q's column
+            // interval.
+            let (lo, hi) = (col_lo[qn as usize], col_hi[qn as usize]);
+            if lo < hi {
+                live_out.union_row_from_masked(qn, &outside_use, 0, lo, hi - 1);
+            }
+        }
+
+        BatchLiveness {
+            live_in,
+            live_out,
+            num_by_node,
+            col_of,
+            var_of_col,
+        }
+    }
+
+    #[inline]
+    fn cell(&self, matrix: &BitMatrix, var: u32, q: NodeId) -> bool {
+        let Some(&col) = self.col_of.get(var as usize) else {
+            return false;
+        };
+        let Some(&qn) = self.num_by_node.get(q as usize) else {
+            return false;
+        };
+        col != u32::MAX && qn != u32::MAX && matrix.contains(qn, col)
+    }
+
+    /// Is variable `var` live-in at block `q`? Out-of-range or
+    /// unreachable arguments report `false`.
+    #[inline]
+    pub fn is_live_in(&self, var: u32, q: NodeId) -> bool {
+        self.cell(&self.live_in, var, q)
+    }
+
+    /// Is variable `var` live-out at block `q`?
+    #[inline]
+    pub fn is_live_out(&self, var: u32, q: NodeId) -> bool {
+        self.cell(&self.live_out, var, q)
+    }
+
+    fn row_vars(&self, matrix: &BitMatrix, q: NodeId) -> Vec<u32> {
+        let Some(&qn) = self.num_by_node.get(q as usize) else {
+            return Vec::new();
+        };
+        if qn == u32::MAX {
+            return Vec::new();
+        }
+        let mut vars: Vec<u32> = matrix
+            .row_iter(qn)
+            .map(|c| self.var_of_col[c as usize])
+            .collect();
+        vars.sort_unstable();
+        vars
+    }
+
+    /// The live-in set of `q` as sorted variable indices.
+    pub fn live_in_vars(&self, q: NodeId) -> Vec<u32> {
+        self.row_vars(&self.live_in, q)
+    }
+
+    /// The live-out set of `q` as sorted variable indices.
+    pub fn live_out_vars(&self, q: NodeId) -> Vec<u32> {
+        self.row_vars(&self.live_out, q)
+    }
+
+    /// Number of live-in variables at `q` (0 for unreachable blocks).
+    pub fn live_in_len(&self, q: NodeId) -> usize {
+        match self.num_by_node.get(q as usize) {
+            Some(&qn) if qn != u32::MAX => self.live_in.row_len(qn),
+            _ => 0,
+        }
+    }
+
+    /// Number of live-out variables at `q`.
+    pub fn live_out_len(&self, q: NodeId) -> usize {
+        match self.num_by_node.get(q as usize) {
+            Some(&qn) if qn != u32::MAX => self.live_out.row_len(qn),
+            _ => 0,
+        }
+    }
+
+    /// Heap bytes held by the two result matrices.
+    pub fn heap_bytes(&self) -> usize {
+        self.live_in.heap_bytes() + self.live_out.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_graph::DiGraph;
+
+    /// The paper's Figure 3, 0-based (see `checker.rs`).
+    fn figure3() -> DiGraph {
+        DiGraph::from_edges(
+            11,
+            0,
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 10),
+                (2, 3),
+                (2, 7),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (5, 4),
+                (6, 1),
+                (7, 8),
+                (8, 9),
+                (8, 5),
+                (9, 7),
+                (9, 10),
+            ],
+        )
+    }
+
+    /// Exhaustive agreement with the scalar checker on a given graph
+    /// and variable set.
+    fn assert_matches_checker(g: &DiGraph, vars: &[(NodeId, Vec<NodeId>)]) {
+        use fastlive_graph::Cfg as _;
+        let checker = LivenessChecker::compute(g);
+        let defs: Vec<NodeId> = vars.iter().map(|&(d, _)| d).collect();
+        let uses: Vec<(u32, NodeId)> = vars
+            .iter()
+            .enumerate()
+            .flat_map(|(a, (_, us))| us.iter().map(move |&u| (a as u32, u)))
+            .collect();
+        let batch = BatchLiveness::compute(g, &checker, &defs, &uses);
+        for (a, (d, us)) in vars.iter().enumerate() {
+            for q in 0..g.num_nodes() as u32 {
+                assert_eq!(
+                    batch.is_live_in(a as u32, q),
+                    checker.is_live_in(*d, us, q),
+                    "live-in var {a} (def {d}, uses {us:?}) at {q}"
+                );
+                assert_eq!(
+                    batch.is_live_out(a as u32, q),
+                    checker.is_live_out(*d, us, q),
+                    "live-out var {a} (def {d}, uses {us:?}) at {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_matches_scalar_queries() {
+        // The narration's variables plus every single-use combination
+        // that satisfies strict SSA (def dominates use).
+        let g = figure3();
+        let checker = LivenessChecker::compute(&g);
+        let mut vars: Vec<(NodeId, Vec<NodeId>)> =
+            vec![(1, vec![3]), (2, vec![8]), (2, vec![4]), (2, vec![8, 4])];
+        for d in 0..11 {
+            for u in 0..11 {
+                if checker.dom().dominates(d, u) {
+                    vars.push((d, vec![u]));
+                }
+            }
+        }
+        assert_matches_checker(&g, &vars);
+    }
+
+    #[test]
+    fn loop_and_straight_line_shapes() {
+        let loop_g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        assert_matches_checker(
+            &loop_g,
+            &[
+                (0, vec![2]),
+                (0, vec![1]),
+                (1, vec![1]),
+                (0, vec![3]),
+                (1, vec![2, 3]),
+            ],
+        );
+        let line = DiGraph::from_edges(3, 0, &[(0, 1), (1, 2)]);
+        assert_matches_checker(
+            &line,
+            &[(0, vec![2]), (0, vec![0]), (1, vec![1]), (0, vec![1, 2])],
+        );
+    }
+
+    #[test]
+    fn unreachable_defs_and_uses_are_dead() {
+        let g = DiGraph::from_edges(4, 0, &[(0, 1), (2, 1), (2, 3)]);
+        let checker = LivenessChecker::compute(&g);
+        // Var 0: unreachable def. Var 1: reachable def, unreachable use.
+        let batch = BatchLiveness::compute(&g, &checker, &[2, 0], &[(0, 1), (1, 3)]);
+        for q in 0..4 {
+            assert!(!batch.is_live_in(0, q));
+            assert!(!batch.is_live_out(0, q));
+            assert!(!batch.is_live_in(1, q));
+        }
+        // ... but the unreachable use still satisfies the defining-block
+        // "used elsewhere" test, exactly like the scalar checker.
+        assert_eq!(batch.is_live_out(1, 0), checker.is_live_out(0, &[3], 0));
+        // Out-of-range variable indices are simply dead.
+        assert!(!batch.is_live_in(99, 0));
+    }
+
+    #[test]
+    fn live_sets_and_counts_round_trip() {
+        let g = figure3();
+        let checker = LivenessChecker::compute(&g);
+        let defs = [1u32, 2, 2];
+        let uses = [(0u32, 3u32), (1, 8), (2, 4)];
+        let batch = BatchLiveness::compute(&g, &checker, &defs, &uses);
+        for q in 0..11 {
+            let ins = batch.live_in_vars(q);
+            assert_eq!(ins.len(), batch.live_in_len(q));
+            for a in 0..3u32 {
+                assert_eq!(ins.contains(&a), batch.is_live_in(a, q));
+            }
+            let outs = batch.live_out_vars(q);
+            assert_eq!(outs.len(), batch.live_out_len(q));
+            for a in 0..3u32 {
+                assert_eq!(outs.contains(&a), batch.is_live_out(a, q));
+            }
+        }
+        assert!(batch.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn no_variables_is_fine() {
+        let g = figure3();
+        let checker = LivenessChecker::compute(&g);
+        let batch = BatchLiveness::compute(&g, &checker, &[], &[]);
+        assert_eq!(batch.live_in_vars(5), Vec::<u32>::new());
+        assert_eq!(batch.live_out_len(5), 0);
+    }
+
+    #[test]
+    fn randomized_agreement_with_checker() {
+        // Random graphs (many irreducible) with random strict-SSA-ish
+        // variables: def anywhere, uses in the def's dominance subtree.
+        for seed in 1..10u64 {
+            let n: u32 = 40;
+            let graph_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let g = fastlive_workload::random_digraph(n, graph_seed, 2 * n as usize);
+            let mut x = graph_seed | 1;
+            let mut step = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let checker = LivenessChecker::compute(&g);
+            let dom = checker.dom().clone();
+            let mut vars = Vec::new();
+            for _ in 0..60 {
+                let d = step() as u32 % n;
+                let mut us = Vec::new();
+                for _ in 0..1 + step() % 3 {
+                    let u = step() as u32 % n;
+                    if dom.is_reachable(d) && dom.is_reachable(u) && dom.dominates(d, u) {
+                        us.push(u);
+                    }
+                }
+                vars.push((d, us));
+            }
+            assert_matches_checker(&g, &vars);
+        }
+    }
+}

@@ -1,4 +1,22 @@
 //! The liveness checker: Algorithms 1–3 of the paper.
+//!
+//! # The word-masked interval trick
+//!
+//! Thanks to the §5.1 dominance-preorder numbering, the Algorithm 3
+//! candidate set `T_q ∩ sdom(def)` is the **contiguous bit interval**
+//! `[num(def)+1, maxnum(def)]` of `T_q`'s row. The query loop exploits
+//! that at the word level rather than the bit level: the row is read as
+//! `u64` words ([`BitMatrix::row_words`](fastlive_bitset::BitMatrix)),
+//! the first word is masked with `!0 << (num(def)+1 mod 64)` to clip
+//! the interval's left edge, and [`Candidates`] then walks set bits
+//! with `trailing_zeros` on a cached *cursor word* — all-zero words of
+//! wide `T_q` rows cost one load and one compare each, and subtree
+//! skipping re-masks the cursor directly at `maxnum(t)+1` instead of
+//! re-scanning from the row start. The right edge needs no mask: the
+//! first bit past `maxnum(def)` terminates the scan. The same trick
+//! gives [`LivenessChecker::has_candidates`] a query guard
+//! (`intersects_in_range`) that rejects empty candidate intervals
+//! before any use-site numbers are resolved.
 
 use fastlive_cfg::{DfsTree, DomTree, Reducibility};
 use fastlive_graph::{Cfg, NodeId};
@@ -99,11 +117,24 @@ impl LivenessChecker {
     /// Dominance-preorder number of `v`, or `None` when unreachable —
     /// the non-panicking lookup the query loops use.
     #[inline]
-    fn num_of(&self, v: NodeId) -> Option<u32> {
+    pub(crate) fn num_of(&self, v: NodeId) -> Option<u32> {
         match self.num_by_node.get(v as usize) {
             Some(&n) if n != u32::MAX => Some(n),
             _ => None,
         }
+    }
+
+    /// The precomputed `R`/`T` matrices (crate-internal: the batch
+    /// subsystem reuses them without re-running the precomputation).
+    pub(crate) fn pre(&self) -> &Precomputation {
+        &self.pre
+    }
+
+    /// The node-id → preorder-number map (`u32::MAX` = unreachable),
+    /// indexed by node id — shared with the batch subsystem so the map
+    /// is built exactly once.
+    pub(crate) fn num_by_node(&self) -> &[u32] {
+        &self.num_by_node
     }
 
     /// Enables or disables the §4.1 subtree skipping in the candidate
@@ -172,21 +203,58 @@ impl LivenessChecker {
     /// Theorem 2 fast path. Empty when `q ∉ sdom(def)` or either block
     /// is unreachable.
     pub fn candidates(&self, def: NodeId, q: NodeId) -> Candidates<'_> {
+        Candidates {
+            checker: self,
+            nums: self.candidate_nums(def, q).unwrap_or_default(),
+        }
+    }
+
+    /// The candidate loop in preorder-number space — what the query hot
+    /// paths iterate, sparing the NodeId round-trip of
+    /// [`candidates`](Self::candidates). `None` when the Algorithm 3
+    /// precheck fails.
+    #[inline]
+    fn candidate_nums(&self, def: NodeId, q: NodeId) -> Option<CandidateNums<'_>> {
         let (Some(defn), Some(qn)) = (self.num_of(def), self.num_of(q)) else {
-            return Candidates::empty(self);
+            return None;
         };
         let max_dom = self.maxnum_by_num[defn as usize];
         // `if (q <= def || max_dom < q) return false;` of Algorithm 3.
         if qn <= defn || max_dom < qn {
-            return Candidates::empty(self);
+            return None;
         }
-        Candidates {
-            checker: self,
-            row: qn,
-            next_from: defn + 1,
+        let words = self.pre.t.row_words(qn);
+        let from = defn + 1;
+        let wi = from as usize / 64;
+        // Left edge of the interval: one mask. (`from <= max_dom < n`,
+        // so `wi` is always in range.)
+        let cur = words[wi] & (!0u64 << (from % 64));
+        Some(CandidateNums {
+            words,
+            cur,
+            wi,
             max_dom,
+            maxnum_by_num: &self.maxnum_by_num,
             skip_subtrees: self.skip_subtrees,
+        })
+    }
+
+    /// `true` if a query `(def, q)` has a non-empty candidate set
+    /// `T_q ∩ sdom(def)` — one word-masked interval scan of `T_q`'s
+    /// row, with no iterator state and no use-site work. A `false`
+    /// answer proves the variable dead at `q` regardless of its uses;
+    /// the query entry points use this to reject before resolving any
+    /// use numbers.
+    #[inline]
+    pub fn has_candidates(&self, def: NodeId, q: NodeId) -> bool {
+        let (Some(defn), Some(qn)) = (self.num_of(def), self.num_of(q)) else {
+            return false;
+        };
+        let max_dom = self.maxnum_by_num[defn as usize];
+        if qn <= defn || max_dom < qn {
+            return false;
         }
+        self.pre.t.intersects_in_range(qn, defn + 1, max_dom)
     }
 
     /// Algorithm 1 / Algorithm 3: is a variable defined at block `def`
@@ -196,9 +264,114 @@ impl LivenessChecker {
     /// counts as a use at the corresponding *predecessor* block.
     /// Duplicate or unreachable entries are allowed (unreachable uses
     /// can never witness liveness).
+    ///
+    /// Use-site preorder numbers are resolved **once** per query into a
+    /// stack scratch buffer (no heap allocation for ≤ 8 uses), not once
+    /// per candidate as a literal reading of Algorithm 1 would do; each
+    /// candidate then tests resolved numbers directly against the words
+    /// of its `R` row.
     pub fn is_live_in(&self, def: NodeId, uses: &[NodeId], q: NodeId) -> bool {
-        for t in self.candidates(def, q) {
-            let tn = self.num_by_node[t as usize];
+        let Some(mut cands) = self.candidate_nums(def, q) else {
+            return false;
+        };
+        match uses {
+            [] => false,
+            // The dominant case — one use — needs no scratch at all:
+            // the use's word index and bit mask are hoisted out of the
+            // candidate loop entirely.
+            &[u] => match self.num_of(u) {
+                Some(un) => {
+                    let (wi, mask) = (un as usize / 64, 1u64 << (un % 64));
+                    for tn in cands {
+                        if self.pre.r.row_words(tn)[wi] & mask != 0 {
+                            return true;
+                        }
+                    }
+                    false
+                }
+                None => false,
+            },
+            _ => {
+                // Adaptive hoisting: the first candidate — on reducible
+                // CFGs the only one (Theorem 2) — resolves uses on the
+                // fly like the seed loop did, paying nothing up front.
+                // Only when a second candidate exists do the resolved
+                // numbers get buffered, fixing the seed's
+                // O(candidates × uses) re-resolution.
+                let Some(first) = cands.next() else {
+                    return false;
+                };
+                let row = self.pre.r.row_words(first);
+                let mut any_reachable = false;
+                for &u in uses {
+                    if let Some(un) = self.num_of(u) {
+                        any_reachable = true;
+                        if row[un as usize / 64] & (1u64 << (un % 64)) != 0 {
+                            return true;
+                        }
+                    }
+                }
+                any_reachable && self.with_use_nums(uses, |nums| self.scan_live_in(cands, nums))
+            }
+        }
+    }
+
+    /// Resolves `uses` to preorder numbers **once** and hands the list
+    /// to `f`. Unreachable blocks drop out (they can never witness
+    /// liveness).
+    #[inline]
+    fn with_use_nums<R>(&self, uses: &[NodeId], f: impl FnOnce(&[u32]) -> R) -> R {
+        with_nums(uses.len(), uses.iter().map(|&u| self.num_of(u)), f)
+    }
+
+    /// The Algorithm 1 candidate loop over already-resolved use
+    /// numbers: each candidate's `R` row is tested by direct word
+    /// indexing.
+    #[inline]
+    fn scan_live_in(&self, cands: CandidateNums<'_>, nums: &[u32]) -> bool {
+        for tn in cands {
+            if row_hits_any(self.pre.r.row_words(tn), nums) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`is_live_in`](Self::is_live_in) for a use list already resolved
+    /// to preorder numbers — lets [`crate::FunctionLiveness`] resolve
+    /// its def-use chain exactly once per query.
+    #[inline]
+    pub(crate) fn is_live_in_prenums(&self, def: NodeId, q: NodeId, nums: &[u32]) -> bool {
+        match self.candidate_nums(def, q) {
+            Some(cands) => self.scan_live_in(cands, nums),
+            None => false,
+        }
+    }
+
+    /// The seed's scalar query loop, kept callable for ablation and the
+    /// before/after benchmark (`benches/query.rs`, `BENCH_query.json`):
+    /// candidates advance bit-at-a-time through `next_set_in_row` and
+    /// every use's preorder number is re-resolved on every candidate
+    /// iteration — exactly the loop [`is_live_in`](Self::is_live_in)
+    /// replaced. Answers are always identical, only slower.
+    pub fn is_live_in_scalar(&self, def: NodeId, uses: &[NodeId], q: NodeId) -> bool {
+        let (Some(defn), Some(qn)) = (self.num_of(def), self.num_of(q)) else {
+            return false;
+        };
+        let max_dom = self.maxnum_by_num[defn as usize];
+        if qn <= defn || max_dom < qn {
+            return false;
+        }
+        let mut from = defn + 1;
+        while let Some(tn) = self.pre.t.next_set_in_row(qn, from) {
+            if tn > max_dom {
+                break;
+            }
+            from = if self.skip_subtrees {
+                self.maxnum_by_num[tn as usize] + 1
+            } else {
+                tn + 1
+            };
             for &u in uses {
                 if let Some(un) = self.num_of(u) {
                     if self.pre.r.contains(tn, un) {
@@ -216,15 +389,37 @@ impl LivenessChecker {
     /// test). Useful when a pass keeps per-variable use sets materialized.
     ///
     /// Build the set with [`use_num_set`](Self::use_num_set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uses` was built over a different universe than the
+    /// checker's reachable-block count (a silent truncation otherwise).
     pub fn is_live_in_set(
         &self,
         def: NodeId,
         uses: &fastlive_bitset::DenseBitSet,
         q: NodeId,
     ) -> bool {
-        for t in self.candidates(def, q) {
-            let tn = self.num_by_node[t as usize];
-            if self.pre.r.row_intersects_set(tn, uses) {
+        assert_eq!(
+            uses.universe(),
+            self.dom.num_reachable(),
+            "universe mismatch in is_live_in_set"
+        );
+        let use_words = uses.as_words();
+        let Some(cands) = self.candidate_nums(def, q) else {
+            return false;
+        };
+        for tn in cands {
+            // `R_t ∩ uses ≠ ∅` as a word-parallel AND sweep: 64 blocks
+            // per step, exiting on the first overlapping word.
+            let hit = self
+                .pre
+                .r
+                .row_words(tn)
+                .iter()
+                .zip(use_words)
+                .any(|(&r, &u)| r & u != 0);
+            if hit {
                 return true;
             }
         }
@@ -257,21 +452,70 @@ impl LivenessChecker {
             // Live-out of the defining block iff some use is elsewhere.
             return uses.iter().any(|&u| u != q);
         }
-        for t in self.candidates(def, q) {
-            let tn = self.num_by_node[t as usize];
-            let drop_q_use = t == q && !self.is_back_target[q as usize];
-            for &u in uses {
-                if drop_q_use && u == q {
-                    continue; // U \ {q} of Algorithm 2, line 8
+        let Some(mut cands) = self.candidate_nums(def, q) else {
+            return false;
+        };
+        match uses {
+            [] => false,
+            &[u] => match self.num_of(u) {
+                Some(un) => self.scan_live_out(cands, &[un], q),
+                None => false,
+            },
+            _ => {
+                // Adaptive hoisting, as in `is_live_in`: first
+                // candidate pays no buffering, later ones reuse the
+                // resolved numbers.
+                let Some(first) = cands.next() else {
+                    return false;
+                };
+                let qn = self.num_by_node[q as usize];
+                let row = self.pre.r.row_words(first);
+                let drop_q_use = first == qn && !self.is_back_target[q as usize];
+                let mut any_reachable = false;
+                for &u in uses {
+                    if let Some(un) = self.num_of(u) {
+                        any_reachable = true;
+                        if (!drop_q_use || un != qn)
+                            && row[un as usize / 64] & (1u64 << (un % 64)) != 0
+                        {
+                            return true;
+                        }
+                    }
                 }
-                if let Some(un) = self.num_of(u) {
-                    if self.pre.r.contains(tn, un) {
+                any_reachable && self.with_use_nums(uses, |nums| self.scan_live_out(cands, nums, q))
+            }
+        }
+    }
+
+    /// The Algorithm 2 candidate loop over resolved use numbers.
+    #[inline]
+    fn scan_live_out(&self, cands: CandidateNums<'_>, nums: &[u32], q: NodeId) -> bool {
+        let qn = self.num_by_node[q as usize];
+        for tn in cands {
+            let row = self.pre.r.row_words(tn);
+            if tn == qn && !self.is_back_target[q as usize] {
+                // U \ {q} of Algorithm 2, line 8: the trivial candidate
+                // may not count a use at q itself.
+                for &un in nums {
+                    if un != qn && row[un as usize / 64] & (1u64 << (un % 64)) != 0 {
                         return true;
                     }
                 }
+            } else if row_hits_any(row, nums) {
+                return true;
             }
         }
         false
+    }
+
+    /// [`is_live_out`](Self::is_live_out) for pre-resolved use numbers
+    /// (no defining-block special case — the caller handles `def == q`).
+    #[inline]
+    pub(crate) fn is_live_out_prenums(&self, def: NodeId, q: NodeId, nums: &[u32]) -> bool {
+        match self.candidate_nums(def, q) {
+            Some(cands) => self.scan_live_out(cands, nums, q),
+            None => false,
+        }
     }
 
     /// Heap bytes consumed by the two matrices — the §6.1 memory cost.
@@ -280,39 +524,124 @@ impl LivenessChecker {
     }
 }
 
-/// Iterator over the Algorithm 3 candidate loop; see
-/// [`LivenessChecker::candidates`].
-#[derive(Clone, Debug)]
-pub struct Candidates<'a> {
-    checker: &'a LivenessChecker,
-    row: u32,
-    next_from: u32,
+/// Packs up to `count` resolved numbers (`None`s drop out) into a
+/// plain stack array for `count ≤ 8` — no heap allocation, no drop
+/// glue — or a spill vector beyond, and hands the packed slice to `f`.
+/// The once-per-query scratch both the graph-level and the
+/// function-level query paths share.
+#[inline]
+pub(crate) fn with_nums<R>(
+    count: usize,
+    nums: impl Iterator<Item = Option<u32>>,
+    f: impl FnOnce(&[u32]) -> R,
+) -> R {
+    if count <= 8 {
+        let mut buf = [0u32; 8];
+        let mut k = 0;
+        for n in nums.flatten() {
+            buf[k] = n;
+            k += 1;
+        }
+        f(&buf[..k])
+    } else {
+        let v: Vec<u32> = nums.flatten().collect();
+        f(&v)
+    }
+}
+
+/// `R_t ∩ uses ≠ ∅` for an already-resolved use-number list: direct
+/// word indexing into the row, no per-use bounds checks beyond the
+/// slice's own.
+#[inline]
+fn row_hits_any(row: &[u64], nums: &[u32]) -> bool {
+    nums.iter()
+        .any(|&un| row[un as usize / 64] & (1u64 << (un % 64)) != 0)
+}
+
+/// The word-masked interval scan in preorder-number space (see the
+/// module docs): borrows the `T_q` row's words and keeps a *cursor
+/// word* — the current `u64` with all bits below the scan position
+/// already cleared. `next` pops set bits with `trailing_zeros`, skips
+/// all-zero words one comparison at a time, and subtree skipping
+/// re-masks the cursor at `maxnum(t) + 1` without rescanning the row
+/// prefix.
+#[derive(Clone, Debug, Default)]
+struct CandidateNums<'a> {
+    /// Words of the `T_q` row; empty when the query short-circuits.
+    words: &'a [u64],
+    /// Current word, masked below the scan position.
+    cur: u64,
+    /// Index of `cur` within `words`.
+    wi: usize,
+    /// Last preorder number inside `sdom(def)` (inclusive scan bound).
     max_dom: u32,
+    /// Subtree extents, for the §4.1 skip.
+    maxnum_by_num: &'a [u32],
     skip_subtrees: bool,
 }
 
-impl<'a> Candidates<'a> {
-    fn empty(checker: &'a LivenessChecker) -> Self {
-        Candidates { checker, row: 0, next_from: 1, max_dom: 0, skip_subtrees: true }
+impl CandidateNums<'_> {
+    /// Repositions the cursor at bit `to`, clearing everything below.
+    #[inline]
+    fn seek(&mut self, to: u32) {
+        let wi = to as usize / 64;
+        if wi >= self.words.len() {
+            self.words = &[];
+            self.cur = 0;
+            self.wi = 0;
+            return;
+        }
+        self.wi = wi;
+        self.cur = self.words[wi] & (!0u64 << (to % 64));
     }
+}
+
+impl Iterator for CandidateNums<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.cur != 0 {
+                let tn = (self.wi * 64) as u32 + self.cur.trailing_zeros();
+                if tn > self.max_dom {
+                    self.words = &[];
+                    self.cur = 0;
+                    return None;
+                }
+                if self.skip_subtrees {
+                    // Skip t's whole dominance subtree: R of dominated
+                    // candidates is a subset of R_t (§4.1), so testing
+                    // them is pointless.
+                    self.seek(self.maxnum_by_num[tn as usize] + 1);
+                } else {
+                    self.cur &= self.cur - 1; // clear lowest set bit
+                }
+                return Some(tn);
+            }
+            self.wi += 1;
+            if self.wi >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.wi];
+        }
+    }
+}
+
+/// Iterator over the Algorithm 3 candidate loop as node ids; see
+/// [`LivenessChecker::candidates`]. A thin wrapper translating the
+/// internal number-space scan back to nodes.
+#[derive(Clone, Debug)]
+pub struct Candidates<'a> {
+    checker: &'a LivenessChecker,
+    nums: CandidateNums<'a>,
 }
 
 impl Iterator for Candidates<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        let tn = self.checker.pre.t.next_set_in_row(self.row, self.next_from)?;
-        if tn > self.max_dom {
-            return None;
-        }
-        // Skip t's whole dominance subtree: R of dominated candidates is
-        // a subset of R_t (§4.1), so testing them is pointless.
-        self.next_from = if self.skip_subtrees {
-            self.checker.maxnum_by_num[tn as usize] + 1
-        } else {
-            tn + 1
-        };
-        Some(self.checker.dom.node_at_num(tn))
+        self.nums.next().map(|tn| self.checker.dom.node_at_num(tn))
     }
 }
 
@@ -473,7 +802,10 @@ mod tests {
         // dominated by some yielded candidate (subtree skipping only
         // drops elements whose R-set a dominator subsumes).
         assert!(cands.iter().any(|&c| live.dom().dominates(c, 9)));
-        assert!(cands.len() >= 2, "irreducible example needs several tests: {cands:?}");
+        assert!(
+            cands.len() >= 2,
+            "irreducible example needs several tests: {cands:?}"
+        );
     }
 
     #[test]
@@ -482,19 +814,22 @@ mod tests {
         // sees the whole header chain; with skipping (Theorem 2), the
         // most-dominating candidate subsumes the rest and the loop body
         // executes exactly once.
-        let g = DiGraph::from_edges(
-            5,
-            0,
-            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)],
-        );
+        let g = DiGraph::from_edges(5, 0, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)]);
         let mut live = LivenessChecker::compute(&g);
         assert!(live.is_reducible());
         live.set_subtree_skipping(false);
         let all: Vec<NodeId> = live.candidates(0, 3).collect();
         live.set_subtree_skipping(true);
         let fast: Vec<NodeId> = live.candidates(0, 3).collect();
-        assert!(all.len() >= 2, "deep loop nest should give several candidates: {all:?}");
-        assert_eq!(fast.len(), 1, "Theorem 2: a single test suffices on reducible CFGs");
+        assert!(
+            all.len() >= 2,
+            "deep loop nest should give several candidates: {all:?}"
+        );
+        assert_eq!(
+            fast.len(),
+            1,
+            "Theorem 2: a single test suffices on reducible CFGs"
+        );
         assert_eq!(fast[0], all[0]);
         // The single candidate dominates all the others (Theorem 2).
         for &t in &all[1..] {
@@ -541,8 +876,7 @@ mod tests {
         // Multi-use sets across all (def, q) pairs.
         for def in 0..n {
             for seed in 0..8u32 {
-                let uses: Vec<u32> =
-                    (0..3).map(|i| (seed * 3 + i * 5 + def) % n).collect();
+                let uses: Vec<u32> = (0..3).map(|i| (seed * 3 + i * 5 + def) % n).collect();
                 let set = live.use_num_set(&uses);
                 for q in 0..n {
                     assert_eq!(
@@ -551,6 +885,116 @@ mod tests {
                         "def={def} q={q} uses={uses:?}"
                     );
                 }
+            }
+        }
+    }
+
+    use fastlive_workload::random_digraph as random_graph;
+
+    #[test]
+    fn word_scan_matches_scalar_loop_on_wide_rows() {
+        // > 3 words of preorder numbers, so candidate intervals span
+        // word boundaries and all-zero middle words actually occur.
+        for seed in 1..6u64 {
+            let g = random_graph(200, seed * 0x9e37, 260);
+            let live = LivenessChecker::compute(&g);
+            let mut x = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+            let mut step = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u32
+            };
+            for _ in 0..4000 {
+                let def = step() % 200;
+                let uses = [step() % 200, step() % 200];
+                let q = step() % 200;
+                assert_eq!(
+                    live.is_live_in(def, &uses, q),
+                    live.is_live_in_scalar(def, &uses, q),
+                    "seed={seed} def={def} uses={uses:?} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_scan_candidates_match_scalar_enumeration() {
+        for seed in [3u64, 11, 42] {
+            let g = random_graph(150, seed, 200);
+            for skip in [true, false] {
+                let mut live = LivenessChecker::compute(&g);
+                live.set_subtree_skipping(skip);
+                for def in (0..150).step_by(7) {
+                    for q in (0..150).step_by(3) {
+                        // Scalar reference: walk T_q bit-at-a-time.
+                        let (Some(defn), Some(qn)) = (live.num_of(def), live.num_of(q)) else {
+                            assert_eq!(live.candidates(def, q).count(), 0);
+                            continue;
+                        };
+                        let max_dom = live.maxnum_by_num[defn as usize];
+                        let mut expect = Vec::new();
+                        if qn > defn && qn <= max_dom {
+                            let mut from = defn + 1;
+                            while let Some(tn) = live.pre.t.next_set_in_row(qn, from) {
+                                if tn > max_dom {
+                                    break;
+                                }
+                                from = if skip {
+                                    live.maxnum_by_num[tn as usize] + 1
+                                } else {
+                                    tn + 1
+                                };
+                                expect.push(live.dom.node_at_num(tn));
+                            }
+                        }
+                        let got: Vec<NodeId> = live.candidates(def, q).collect();
+                        assert_eq!(got, expect, "seed={seed} skip={skip} def={def} q={q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn has_candidates_agrees_with_iterator() {
+        let g = random_graph(150, 77, 200);
+        let live = LivenessChecker::compute(&g);
+        for def in 0..150 {
+            for q in 0..150 {
+                assert_eq!(
+                    live.has_candidates(def, q),
+                    live.candidates(def, q).next().is_some(),
+                    "def={def} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn many_uses_spill_without_changing_answers() {
+        let g = figure3();
+        let live = LivenessChecker::compute(&g);
+        // 12 uses (> the 8-slot inline scratch), with duplicates.
+        let uses: Vec<NodeId> = (0..12).map(|i| i % 11).collect();
+        for def in 0..11 {
+            for q in 0..11 {
+                let expect = live.is_live_in_scalar(def, &uses, q);
+                assert_eq!(live.is_live_in(def, &uses, q), expect);
+                let one_by_one = uses.iter().any(|&u| live.is_live_in(def, &[u], q));
+                assert_eq!(expect, one_by_one);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_uses_are_never_live() {
+        let g = figure3();
+        let live = LivenessChecker::compute(&g);
+        for def in 0..11 {
+            for q in 0..11 {
+                assert!(!live.is_live_in(def, &[], q));
+                assert!(!live.is_live_out(def, &[], q));
             }
         }
     }

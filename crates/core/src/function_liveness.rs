@@ -61,7 +61,9 @@ pub struct FunctionLiveness {
 impl FunctionLiveness {
     /// Runs the precomputation on the function's CFG.
     pub fn compute(func: &Function) -> Self {
-        FunctionLiveness { checker: LivenessChecker::compute(func) }
+        FunctionLiveness {
+            checker: LivenessChecker::compute(func),
+        }
     }
 
     /// The underlying graph-level checker.
@@ -84,15 +86,14 @@ impl FunctionLiveness {
     pub fn is_live_in(&self, func: &Function, v: Value, q: Block) -> bool {
         debug_assert!(self.is_current_for(func), "stale checker: the CFG changed");
         let def = func.def_block(v).as_u32();
-        for t in self.checker.candidates(def, q.as_u32()) {
-            for &inst in func.uses(v) {
-                let ub = func.inst_block(inst).expect("use site removed").as_u32();
-                if self.checker.reduced_reachable(t, ub) {
-                    return true;
-                }
-            }
+        // Word-masked interval guard: most negative queries die before
+        // the def-use chain is even walked.
+        if !self.checker.has_candidates(def, q.as_u32()) {
+            return false;
         }
-        false
+        with_use_nums(&self.checker, func, v, |nums| {
+            self.checker.is_live_in_prenums(def, q.as_u32(), nums)
+        })
     }
 
     /// Is `v` live-out at block `q` (Algorithm 2)?
@@ -106,20 +107,13 @@ impl FunctionLiveness {
                 .iter()
                 .any(|&i| func.inst_block(i).expect("use site removed") != q);
         }
-        for t in self.checker.candidates(def.as_u32(), q.as_u32()) {
-            let drop_q_use =
-                t == q.as_u32() && !self.checker.is_back_edge_target(q.as_u32());
-            for &inst in func.uses(v) {
-                let ub = func.inst_block(inst).expect("use site removed");
-                if drop_q_use && ub == q {
-                    continue;
-                }
-                if self.checker.reduced_reachable(t, ub.as_u32()) {
-                    return true;
-                }
-            }
+        if !self.checker.has_candidates(def.as_u32(), q.as_u32()) {
+            return false;
         }
-        false
+        with_use_nums(&self.checker, func, v, |nums| {
+            self.checker
+                .is_live_out_prenums(def.as_u32(), q.as_u32(), nums)
+        })
     }
 
     /// Materializes classic per-block live-in/live-out *sets* by
@@ -145,6 +139,30 @@ impl FunctionLiveness {
             }
         }
         (live_in, live_out)
+    }
+
+    /// Materializes live-in/live-out sets for **all** blocks and values
+    /// in one batched matrix pass over the precomputation — the dense
+    /// counterpart of the scalar queries, with variable `a` of the
+    /// result being the value of index `a`
+    /// ([`Value::index`](fastlive_ir::Value)). Unlike
+    /// [`live_sets`](Self::live_sets) this never loops scalar queries:
+    /// cost is `O((E + Σ|T_q|) · V/64)` word operations total.
+    ///
+    /// The snapshot reads the *current* def-use chains, so unlike the
+    /// checker itself it goes stale when instructions change.
+    pub fn batch(&self, func: &Function) -> crate::BatchLiveness {
+        debug_assert!(self.is_current_for(func), "stale checker: the CFG changed");
+        let mut defs = vec![0 as fastlive_graph::NodeId; func.num_values()];
+        let mut uses: Vec<(u32, fastlive_graph::NodeId)> = Vec::new();
+        for v in func.values() {
+            defs[v.index()] = func.def_block(v).as_u32();
+            for &inst in func.uses(v) {
+                let ub = func.inst_block(inst).expect("use site removed");
+                uses.push((v.index() as u32, ub.as_u32()));
+            }
+        }
+        crate::BatchLiveness::compute(func, &self.checker, &defs, &uses)
     }
 
     /// Is `v` live at the program point *just after* `inst`?
@@ -196,6 +214,30 @@ impl FunctionLiveness {
     }
 }
 
+/// Resolves `v`'s current uses straight to dominance-preorder numbers,
+/// once per query (Definition 1 attribution: a branch argument is a use
+/// at the branching block; unreachable blocks drop out), and hands the
+/// list to `f` via the shared stack scratch. The seed resolved use
+/// blocks inside the candidate loop, multiplying the def-use walk by
+/// the candidate count.
+#[inline]
+fn with_use_nums<R>(
+    checker: &crate::LivenessChecker,
+    func: &Function,
+    v: Value,
+    f: impl FnOnce(&[u32]) -> R,
+) -> R {
+    let uses = func.uses(v);
+    crate::checker::with_nums(
+        uses.len(),
+        uses.iter().map(|&inst| {
+            let ub = func.inst_block(inst).expect("use site removed");
+            checker.num_of(ub.as_u32())
+        }),
+        f,
+    )
+}
+
 /// The definition point of `v` as `(block, position)`; block parameters
 /// sit at position −1 (before every instruction).
 fn def_position(func: &Function, v: Value) -> Option<(Block, isize)> {
@@ -210,9 +252,9 @@ fn def_position(func: &Function, v: Value) -> Option<(Block, isize)> {
 
 /// Does `v` have a use in `b` strictly after position `pos`?
 fn has_use_in_block_after(func: &Function, v: Value, b: Block, pos: isize) -> bool {
-    func.uses(v).iter().any(|&i| {
-        func.inst_block(i) == Some(b) && func.inst_position(i) as isize > pos
-    })
+    func.uses(v)
+        .iter()
+        .any(|&i| func.inst_block(i) == Some(b) && func.inst_position(i) as isize > pos)
 }
 
 #[cfg(test)]
@@ -321,7 +363,10 @@ mod tests {
         f.insert_inst(
             b2,
             0,
-            fastlive_ir::InstData::Unary { op: fastlive_ir::UnaryOp::Ineg, arg: v0 },
+            fastlive_ir::InstData::Unary {
+                op: fastlive_ir::UnaryOp::Ineg,
+                arg: v0,
+            },
         );
         assert!(live.is_live_in(&f, v0, b2));
         assert!(live.is_live_out(&f, v0, nth_block(&f, 1)));
@@ -346,7 +391,10 @@ mod tests {
         f.insert_inst(
             b2,
             0,
-            fastlive_ir::InstData::Unary { op: fastlive_ir::UnaryOp::Bnot, arg: kv },
+            fastlive_ir::InstData::Unary {
+                op: fastlive_ir::UnaryOp::Bnot,
+                arg: kv,
+            },
         );
         assert!(live.is_live_in(&f, kv, b1)); // crosses the loop
         assert!(live.is_live_in(&f, kv, b2));

@@ -35,6 +35,11 @@
 //!   instruction-granularity queries
 //!   ([`is_live_after`](FunctionLiveness::is_live_after)) that the
 //!   Budimlić interference test of SSA destruction needs.
+//! * [`BatchLiveness`] — the dense consumer's entry point: live-in and
+//!   live-out bit-matrix rows for **all** blocks at once, derived from
+//!   the same precomputation by word-level row unions instead of
+//!   per-query candidate scans
+//!   ([`FunctionLiveness::batch`] binds it to a function).
 //! * [`reference::ReferenceChecker`] — a deliberately literal
 //!   implementation of Definitions 4/5 and Algorithms 1/2, used as an
 //!   executable specification in tests.
@@ -67,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod checker;
 mod function_liveness;
 mod loop_forest_check;
@@ -75,6 +81,7 @@ pub mod reference;
 mod sorted;
 mod verify;
 
+pub use batch::BatchLiveness;
 pub use checker::{Candidates, LivenessChecker};
 pub use function_liveness::FunctionLiveness;
 pub use loop_forest_check::LoopForestChecker;

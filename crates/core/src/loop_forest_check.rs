@@ -71,7 +71,12 @@ impl LoopForestChecker {
             is_back_target[t as usize] = true;
         }
 
-        Some(LoopForestChecker { dom, forest, r, is_back_target })
+        Some(LoopForestChecker {
+            dom,
+            forest,
+            r,
+            is_back_target,
+        })
     }
 
     /// The loop forest backing the checker.
@@ -104,7 +109,9 @@ impl LoopForestChecker {
 
     /// Live-in check via the loop forest (single reachability test).
     pub fn is_live_in(&self, def: NodeId, uses: &[NodeId], q: NodeId) -> bool {
-        let Some(t) = self.candidate(def, q) else { return false };
+        let Some(t) = self.candidate(def, q) else {
+            return false;
+        };
         let tn = self.dom.num(t);
         uses.iter()
             .any(|&u| self.dom.is_reachable(u) && self.r.contains(tn, self.dom.num(u)))
@@ -119,7 +126,9 @@ impl LoopForestChecker {
         if def == q {
             return uses.iter().any(|&u| u != q);
         }
-        let Some(t) = self.candidate(def, q) else { return false };
+        let Some(t) = self.candidate(def, q) else {
+            return false;
+        };
         let tn = self.dom.num(t);
         let drop_q_use = t == q && !self.is_back_target[q as usize];
         uses.iter().any(|&u| {
@@ -151,11 +160,7 @@ mod tests {
     #[test]
     fn nested_loop_chain_candidate() {
         // 0 -> 1 -> 2 -> 3 -> 2, 3 -> 1, 1 -> 4: loops at 1 and 2.
-        let g = DiGraph::from_edges(
-            5,
-            0,
-            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)],
-        );
+        let g = DiGraph::from_edges(5, 0, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)]);
         let live = LoopForestChecker::compute(&g).expect("reducible");
         // def at entry: the outermost header under it is 1.
         assert_eq!(live.candidate(0, 3), Some(1));

@@ -69,9 +69,7 @@ impl ReferenceChecker {
             let mut work = vec![q];
             while let Some(x) = work.pop() {
                 for &(s2, t2) in &back_edges {
-                    if r[x as usize].contains(&s2)
-                        && !r[x as usize].contains(&t2)
-                        && set.insert(t2)
+                    if r[x as usize].contains(&s2) && !r[x as usize].contains(&t2) && set.insert(t2)
                     {
                         work.push(t2);
                     }
@@ -84,7 +82,13 @@ impl ReferenceChecker {
             is_back_target[tgt as usize] = true;
         }
 
-        ReferenceChecker { dfs, dom, r, t, is_back_target }
+        ReferenceChecker {
+            dfs,
+            dom,
+            r,
+            t,
+            is_back_target,
+        }
     }
 
     /// `R_q` as defined (Definition 4).

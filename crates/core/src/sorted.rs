@@ -78,9 +78,7 @@ impl SortedLivenessChecker {
             let mut row = SortedSet::from_sorted(vec![tn]);
             for &(s2, t2) in dfs.back_edges() {
                 if r[tn as usize].contains(num(s2)) && !r[tn as usize].contains(num(t2)) {
-                    row.union_with(
-                        theader[t2 as usize].as_ref().expect("Theorem 3 order"),
-                    );
+                    row.union_with(theader[t2 as usize].as_ref().expect("Theorem 3 order"));
                 }
             }
             theader[tgt as usize] = Some(row);
@@ -128,7 +126,15 @@ impl SortedLivenessChecker {
             maxnum_by_num[i as usize] = dom.maxnum(dom.node_at_num(i));
         }
 
-        SortedLivenessChecker { dfs, dom, r, t, maxnum_by_num, is_back_target, reducible }
+        SortedLivenessChecker {
+            dfs,
+            dom,
+            r,
+            t,
+            maxnum_by_num,
+            is_back_target,
+            reducible,
+        }
     }
 
     /// `true` if the CFG is reducible.
@@ -175,8 +181,7 @@ impl SortedLivenessChecker {
                 break;
             }
             let rrow = &self.r[tn as usize];
-            let drop_q = live_out_q
-                .is_some_and(|oq| tn == qn && !self.is_back_target[oq as usize]);
+            let drop_q = live_out_q.is_some_and(|oq| tn == qn && !self.is_back_target[oq as usize]);
             for &u in uses {
                 if drop_q && u == q {
                     continue;

@@ -52,8 +52,9 @@ impl std::error::Error for SsaError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn verify_strict_ssa(func: &Function) -> Result<(), SsaError> {
-    fastlive_ir::verify_structure(func)
-        .map_err(|e| SsaError { message: format!("structure: {e}") })?;
+    fastlive_ir::verify_structure(func).map_err(|e| SsaError {
+        message: format!("structure: {e}"),
+    })?;
 
     let dfs = DfsTree::compute(func);
     if !dfs.all_reachable() {
@@ -61,7 +62,9 @@ pub fn verify_strict_ssa(func: &Function) -> Result<(), SsaError> {
             .blocks()
             .find(|b| !dfs.is_reachable(b.as_u32()))
             .expect("some block is unreachable");
-        return Err(SsaError { message: format!("{dead} is unreachable from the entry") });
+        return Err(SsaError {
+            message: format!("{dead} is unreachable from the entry"),
+        });
     }
     let dom = DomTree::compute(func, &dfs);
 
@@ -150,10 +153,7 @@ mod tests {
 
     #[test]
     fn rejects_unreachable_blocks() {
-        let f = parse_function(
-            "function %dead { block0: return block1: return }",
-        )
-        .unwrap();
+        let f = parse_function("function %dead { block0: return block1: return }").unwrap();
         let e = verify_strict_ssa(&f).unwrap_err();
         assert!(e.message.contains("unreachable"), "{e}");
     }
@@ -175,7 +175,14 @@ mod tests {
         let k = f.ins(b).iconst(1);
         let neg = f.block_insts(b)[0];
         // Insert a use of k *before* its definition.
-        f.insert_inst(b, 0, InstData::Unary { op: UnaryOp::Ineg, arg: k });
+        f.insert_inst(
+            b,
+            0,
+            InstData::Unary {
+                op: UnaryOp::Ineg,
+                arg: k,
+            },
+        );
         let _ = neg;
         f.ins(b).ret(vec![]);
         let e = verify_strict_ssa(&f).unwrap_err();

@@ -84,7 +84,12 @@ impl AppelLiveness {
             }
         }
 
-        AppelLiveness { live_in, live_out, universe: universe.clone(), set_insertions: insertions }
+        AppelLiveness {
+            live_in,
+            live_out,
+            universe: universe.clone(),
+            set_insertions: insertions,
+        }
     }
 
     /// Is `v` live-in at `b`? Untracked variables report `false`.

@@ -128,7 +128,12 @@ impl IterativeLiveness {
             }
         }
 
-        IterativeLiveness { live_in, live_out, universe: universe.clone(), relaxations }
+        IterativeLiveness {
+            live_in,
+            live_out,
+            universe: universe.clone(),
+            relaxations,
+        }
     }
 
     /// Is `v` live-in at `b`? Untracked variables report `false`.
@@ -147,12 +152,18 @@ impl IterativeLiveness {
 
     /// The live-in set of `b` as values.
     pub fn live_in_set(&self, b: Block) -> Vec<Value> {
-        self.live_in[b.index()].iter().map(|i| self.universe.value_at(i)).collect()
+        self.live_in[b.index()]
+            .iter()
+            .map(|i| self.universe.value_at(i))
+            .collect()
     }
 
     /// The live-out set of `b` as values.
     pub fn live_out_set(&self, b: Block) -> Vec<Value> {
-        self.live_out[b.index()].iter().map(|i| self.universe.value_at(i)).collect()
+        self.live_out[b.index()]
+            .iter()
+            .map(|i| self.universe.value_at(i))
+            .collect()
     }
 
     /// Average number of live-in variables per block — the "fill ratio"

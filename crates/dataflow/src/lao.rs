@@ -160,12 +160,18 @@ impl LaoLiveness {
 
     /// The live-in set of `b` as values.
     pub fn live_in_set(&self, b: Block) -> Vec<Value> {
-        self.live_in[b.index()].iter().map(|i| self.universe.value_at(i)).collect()
+        self.live_in[b.index()]
+            .iter()
+            .map(|i| self.universe.value_at(i))
+            .collect()
     }
 
     /// The live-out set of `b` as values.
     pub fn live_out_set(&self, b: Block) -> Vec<Value> {
-        self.live_out[b.index()].iter().map(|i| self.universe.value_at(i)).collect()
+        self.live_out[b.index()]
+            .iter()
+            .map(|i| self.universe.value_at(i))
+            .collect()
     }
 
     /// Average live-in cardinality (the §6.2 "fill ratio").
@@ -180,7 +186,11 @@ impl LaoLiveness {
     /// Heap bytes of the stored live-in/live-out arrays, for the §6.1
     /// memory break-even comparison.
     pub fn set_heap_bytes(&self) -> usize {
-        self.live_in.iter().chain(&self.live_out).map(SortedSet::heap_bytes).sum()
+        self.live_in
+            .iter()
+            .chain(&self.live_out)
+            .map(SortedSet::heap_bytes)
+            .sum()
     }
 
     /// Registers that a variable with universe index `i` became live-in
@@ -189,7 +199,9 @@ impl LaoLiveness {
     /// This is what "keeping liveness up to date" costs with set-based
     /// liveness — the cost the paper's checker avoids entirely.
     pub fn add_live_in(&mut self, v: Value, b: Block, func: &Function) {
-        let Some(i) = self.universe.index_of(v) else { return };
+        let Some(i) = self.universe.index_of(v) else {
+            return;
+        };
         if self.live_in[b.index()].insert(i) {
             self.set_insertions += 1;
             for &p in func.preds(b.as_u32()) {

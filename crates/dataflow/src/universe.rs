@@ -77,8 +77,7 @@ impl VarUniverse {
                 }
             }
         }
-        let values =
-            func.values().filter(|v| related[v.index()]).collect();
+        let values = func.values().filter(|v| related[v.index()]).collect();
         Self::from_values(func, values)
     }
 
@@ -118,10 +117,7 @@ mod tests {
 
     #[test]
     fn all_assigns_dense_indices() {
-        let f = parse_function(
-            "function %f { block0(v0): v1 = iadd v0, v0  return v1 }",
-        )
-        .unwrap();
+        let f = parse_function("function %f { block0(v0): v1 = iadd v0, v0  return v1 }").unwrap();
         let u = VarUniverse::all(&f);
         assert_eq!(u.len(), 2);
         for (i, &v) in u.values().iter().enumerate() {
@@ -147,8 +143,7 @@ mod tests {
         )
         .unwrap();
         let u = VarUniverse::phi_related(&f);
-        let tracked: Vec<String> =
-            u.values().iter().map(|v| v.to_string()).collect();
+        let tracked: Vec<String> = u.values().iter().map(|v| v.to_string()).collect();
         // v1 and v4 are φ arguments, v2 the φ result.
         assert_eq!(tracked, vec!["v1", "v2", "v4"]);
         assert_eq!(u.index_of(f.value("v0").unwrap()), None);

@@ -23,12 +23,32 @@ fn engines_agree_with_oracle_across_sizes_and_shapes() {
             for b in func.blocks() {
                 let want_in = oracle::live_in_value(&func, v, b);
                 let want_out = oracle::live_out_value(&func, v, b);
-                assert_eq!(iter.is_live_in(v, b), want_in, "iter in {v}@{b} seed {seed}");
+                assert_eq!(
+                    iter.is_live_in(v, b),
+                    want_in,
+                    "iter in {v}@{b} seed {seed}"
+                );
                 assert_eq!(lao.is_live_in(v, b), want_in, "lao in {v}@{b} seed {seed}");
-                assert_eq!(appel.is_live_in(v, b), want_in, "appel in {v}@{b} seed {seed}");
-                assert_eq!(iter.is_live_out(v, b), want_out, "iter out {v}@{b} seed {seed}");
-                assert_eq!(lao.is_live_out(v, b), want_out, "lao out {v}@{b} seed {seed}");
-                assert_eq!(appel.is_live_out(v, b), want_out, "appel out {v}@{b} seed {seed}");
+                assert_eq!(
+                    appel.is_live_in(v, b),
+                    want_in,
+                    "appel in {v}@{b} seed {seed}"
+                );
+                assert_eq!(
+                    iter.is_live_out(v, b),
+                    want_out,
+                    "iter out {v}@{b} seed {seed}"
+                );
+                assert_eq!(
+                    lao.is_live_out(v, b),
+                    want_out,
+                    "lao out {v}@{b} seed {seed}"
+                );
+                assert_eq!(
+                    appel.is_live_out(v, b),
+                    want_out,
+                    "appel out {v}@{b} seed {seed}"
+                );
             }
         }
     }
@@ -40,13 +60,21 @@ fn solver_statistics_behave_sanely() {
     // programs do more work; insertions track live-set mass.
     let flat = generate_function(
         "flat",
-        GenParams { target_blocks: 20, loop_percent: 0, ..GenParams::default() },
+        GenParams {
+            target_blocks: 20,
+            loop_percent: 0,
+            ..GenParams::default()
+        },
         7,
     )
     .1;
     let loopy = generate_function(
         "loopy",
-        GenParams { target_blocks: 20, loop_percent: 80, ..GenParams::default() },
+        GenParams {
+            target_blocks: 20,
+            loop_percent: 80,
+            ..GenParams::default()
+        },
         7,
     )
     .1;
@@ -56,7 +84,10 @@ fn solver_statistics_behave_sanely() {
     let s_loopy = IterativeLiveness::compute(&loopy, &u_loopy);
     // A loop-free CFG needs exactly one relaxation per block.
     assert_eq!(s_flat.relaxations, flat.num_blocks());
-    assert!(s_loopy.relaxations > loopy.num_blocks(), "back edges force re-relaxation");
+    assert!(
+        s_loopy.relaxations > loopy.num_blocks(),
+        "back edges force re-relaxation"
+    );
 
     let l_loopy = LaoLiveness::compute(&loopy, &u_loopy);
     assert!(l_loopy.set_insertions > 0);
@@ -66,7 +97,10 @@ fn solver_statistics_behave_sanely() {
 #[test]
 fn phi_universe_tracks_only_phi_resources() {
     for seed in 30..40u64 {
-        let params = GenParams { target_blocks: 25, ..GenParams::default() };
+        let params = GenParams {
+            target_blocks: 25,
+            ..GenParams::default()
+        };
         let (_, func) = generate_function(&format!("pu{seed}"), params, seed);
         let phi = VarUniverse::phi_related(&func);
         let entry = func.entry_block();
@@ -83,7 +117,10 @@ fn phi_universe_tracks_only_phi_resources() {
                     .iter()
                     .any(|c| c.args.contains(&v))
             });
-            assert!(is_param || is_branch_arg, "{v} tracked but not φ-related (seed {seed})");
+            assert!(
+                is_param || is_branch_arg,
+                "{v} tracked but not φ-related (seed {seed})"
+            );
         }
     }
 }

@@ -101,7 +101,7 @@ impl Congruence {
     /// Iterates all distinct class roots with at least `min` members.
     pub fn roots(&self, min: usize) -> impl Iterator<Item = Value> + '_ {
         self.parent.iter().enumerate().filter_map(move |(i, &p)| {
-            (p == i as u32 && self.members[i].len() >= min).then(|| Value::from_index(i))
+            (p == i as u32 && self.members[i].len() >= min).then_some(Value::from_index(i))
         })
     }
 

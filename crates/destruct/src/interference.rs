@@ -48,9 +48,10 @@ pub fn live_after_point<E: BlockLiveness>(
     if db == b && dpos > pos {
         return false; // not defined yet at this point
     }
-    let used_later = func.uses(v).iter().any(|&i| {
-        func.inst_block(i) == Some(b) && func.inst_position(i) as isize > pos
-    });
+    let used_later = func
+        .uses(v)
+        .iter()
+        .any(|&i| func.inst_block(i) == Some(b) && func.inst_position(i) as isize > pos);
     used_later || engine.live_out(func, v, b)
 }
 
@@ -101,7 +102,11 @@ pub fn values_interfere<E: BlockLiveness>(
     } else {
         return false; // incomparable definitions never interfere
     };
-    let (hi, (lo_block, lo_pos)) = if a_first { (a, (bb, pb)) } else { (b, (ba, pa)) };
+    let (hi, (lo_block, lo_pos)) = if a_first {
+        (a, (bb, pb))
+    } else {
+        (b, (ba, pa))
+    };
     live_after_point(engine, func, hi, lo_block, lo_pos)
 }
 

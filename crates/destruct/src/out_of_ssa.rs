@@ -66,7 +66,11 @@ pub fn out_of_ssa(
                 .map(|r| lookup(&mut pre, &mut var_of, classes, r));
             match func.inst_data(inst).clone() {
                 InstData::IntConst { imm } => {
-                    pre.assign(node, result_var.expect("const result"), PreRvalue::Const(imm));
+                    pre.assign(
+                        node,
+                        result_var.expect("const result"),
+                        PreRvalue::Const(imm),
+                    );
                 }
                 InstData::Unary { op, arg } => {
                     let dst = result_var.expect("unary result");
@@ -80,14 +84,22 @@ pub fn out_of_ssa(
                 InstData::Binary { op, args } => {
                     let a = lookup(&mut pre, &mut var_of, classes, args[0]);
                     let c = lookup(&mut pre, &mut var_of, classes, args[1]);
-                    pre.assign(node, result_var.expect("binary result"), PreRvalue::Binary(op, a, c));
+                    pre.assign(
+                        node,
+                        result_var.expect("binary result"),
+                        PreRvalue::Binary(op, a, c),
+                    );
                 }
                 InstData::Jump { dest } => {
                     // Branch arguments vanish: the class variable already
                     // carries the value.
                     pre.set_term(node, PreTerm::Jump(dest.block.as_u32()));
                 }
-                InstData::Brif { cond, then_dest, else_dest } => {
+                InstData::Brif {
+                    cond,
+                    then_dest,
+                    else_dest,
+                } => {
                     let c = lookup(&mut pre, &mut var_of, classes, cond);
                     pre.set_term(
                         node,
@@ -99,8 +111,10 @@ pub fn out_of_ssa(
                     );
                 }
                 InstData::Return { args } => {
-                    let vars =
-                        args.iter().map(|&a| lookup(&mut pre, &mut var_of, classes, a)).collect();
+                    let vars = args
+                        .iter()
+                        .map(|&a| lookup(&mut pre, &mut var_of, classes, a))
+                        .collect();
                     pre.set_term(node, PreTerm::Return(vars));
                 }
             }
@@ -174,7 +188,11 @@ mod tests {
         // at least once, so n = 0 returns 1).
         for n in [5i64, 0, -3, 9] {
             let want = fastlive_ir::interp::run(&f, &[n], 1_000).unwrap().returned;
-            assert_eq!(run_pre(&pre, &[n], 1_000).unwrap().returned, want, "n = {n}");
+            assert_eq!(
+                run_pre(&pre, &[n], 1_000).unwrap().returned,
+                want,
+                "n = {n}"
+            );
         }
     }
 

@@ -75,11 +75,19 @@ struct Recording<E> {
 
 impl<E: BlockLiveness> BlockLiveness for Recording<E> {
     fn live_in(&mut self, func: &Function, v: Value, b: Block) -> bool {
-        self.log.push(QueryRecord { kind: QueryKind::LiveIn, value: v, block: b });
+        self.log.push(QueryRecord {
+            kind: QueryKind::LiveIn,
+            value: v,
+            block: b,
+        });
         self.inner.live_in(func, v, b)
     }
     fn live_out(&mut self, func: &Function, v: Value, b: Block) -> bool {
-        self.log.push(QueryRecord { kind: QueryKind::LiveOut, value: v, block: b });
+        self.log.push(QueryRecord {
+            kind: QueryKind::LiveOut,
+            value: v,
+            block: b,
+        });
         self.inner.live_out(func, v, b)
     }
     fn invalidate_value(&mut self, func: &Function, v: Value) {
@@ -95,10 +103,7 @@ impl<E: BlockLiveness> BlockLiveness for Recording<E> {
 #[derive(Clone, Debug)]
 enum Resource {
     /// The φ result: parameter `index` of `block`.
-    Result {
-        value: Value,
-        block: Block,
-    },
+    Result { value: Value, block: Block },
     /// A φ argument: `args[arg_index]` of `target_index`-th target of
     /// the predecessor's terminator.
     Arg {
@@ -165,12 +170,17 @@ where
     E: BlockLiveness,
     F: FnOnce(&Function) -> E,
 {
-    let mut stats = DestructStats::default();
-    stats.split_edges = split_critical_edges(&mut func).len();
+    let mut stats = DestructStats {
+        split_edges: split_critical_edges(&mut func).len(),
+        ..DestructStats::default()
+    };
 
     let dfs = DfsTree::compute(&func);
     let dom = DomTree::compute(&func, &dfs);
-    let mut engine = Recording { inner: make_engine(&func), log: Vec::new() };
+    let mut engine = Recording {
+        inner: make_engine(&func),
+        log: Vec::new(),
+    };
     let mut classes = Congruence::new(func.num_values());
 
     let entry = func.entry_block();
@@ -181,13 +191,26 @@ where
         }
         for pi in 0..func.block_params(b).len() {
             stats.phis_processed += 1;
-            process_phi(&mut func, &dom, &mut engine, &mut classes, &mut stats, b, pi);
+            process_phi(
+                &mut func,
+                &dom,
+                &mut engine,
+                &mut classes,
+                &mut stats,
+                b,
+                pi,
+            );
         }
     }
 
     let pre = out_of_ssa(&func, &mut classes, &mut stats);
     stats.queries = engine.log;
-    DestructResult { func, pre, classes, stats }
+    DestructResult {
+        func,
+        pre,
+        classes,
+        stats,
+    }
 }
 
 /// Handles one φ: pairwise class-interference analysis, Sreedhar's
@@ -202,8 +225,10 @@ fn process_phi<E: BlockLiveness>(
     pi: usize,
 ) {
     // Gather the resources: result + one argument per incoming edge.
-    let mut resources: Vec<Resource> =
-        vec![Resource::Result { value: func.block_params(block)[pi], block }];
+    let mut resources: Vec<Resource> = vec![Resource::Result {
+        value: func.block_params(block)[pi],
+        block,
+    }];
     let mut preds: Vec<Block> = func
         .preds(block.as_u32())
         .iter()
@@ -313,23 +338,47 @@ fn insert_copy<E: BlockLiveness>(
     stats.copies_inserted += 1;
     match *resource {
         Resource::Result { value, block } => {
-            let copy =
-                func.insert_inst(block, 0, InstData::Unary { op: UnaryOp::Copy, arg: value });
+            let copy = func.insert_inst(
+                block,
+                0,
+                InstData::Unary {
+                    op: UnaryOp::Copy,
+                    arg: value,
+                },
+            );
             let fresh = func.inst_result(copy).expect("copy has a result");
             func.replace_uses_except(value, fresh, copy);
             classes.ensure(func.num_values());
             engine.invalidate_value(func, value);
             // `value` (the parameter) remains this resource.
         }
-        Resource::Arg { value, pred, term, target_index, arg_index } => {
+        Resource::Arg {
+            value,
+            pred,
+            term,
+            target_index,
+            arg_index,
+        } => {
             let pos = func.block_insts(pred).len() - 1;
-            let copy =
-                func.insert_inst(pred, pos, InstData::Unary { op: UnaryOp::Copy, arg: value });
+            let copy = func.insert_inst(
+                pred,
+                pos,
+                InstData::Unary {
+                    op: UnaryOp::Copy,
+                    arg: value,
+                },
+            );
             let fresh = func.inst_result(copy).expect("copy has a result");
             func.set_branch_arg(term, target_index, arg_index, fresh);
             classes.ensure(func.num_values());
             engine.invalidate_value(func, value);
-            *resource = Resource::Arg { value: fresh, pred, term, target_index, arg_index };
+            *resource = Resource::Arg {
+                value: fresh,
+                pred,
+                term,
+                target_index,
+                arg_index,
+            };
         }
     }
 }
@@ -347,8 +396,10 @@ fn merged_class_is_clean<E: BlockLiveness>(
     let mut roots: Vec<Value> = resources.iter().map(|r| classes.find(r.value())).collect();
     roots.sort_unstable();
     roots.dedup();
-    let members: Vec<Value> =
-        roots.iter().flat_map(|&r| classes.members(r).iter().copied()).collect();
+    let members: Vec<Value> = roots
+        .iter()
+        .flat_map(|&r| classes.members(r).iter().copied())
+        .collect();
     for i in 0..members.len() {
         for j in i + 1..members.len() {
             stats.interference_tests += 1;
@@ -447,7 +498,11 @@ mod tests {
         for args in inputs {
             let want = interp::run(&original, args, 100_000).expect("ssa runs");
             let got = run_pre(&result.pre, args, 200_000).expect("pre runs");
-            assert_eq!(got.returned, want.returned, "inputs {args:?}\n{}", result.func);
+            assert_eq!(
+                got.returned, want.returned,
+                "inputs {args:?}\n{}",
+                result.func
+            );
         }
     }
 
@@ -460,7 +515,12 @@ mod tests {
     fn swap_loop_round_trips() {
         run_all_inputs(
             swap_src(),
-            &[vec![10, 20, 0], vec![10, 20, 1], vec![10, 20, 2], vec![10, 20, 7]],
+            &[
+                vec![10, 20, 0],
+                vec![10, 20, 1],
+                vec![10, 20, 2],
+                vec![10, 20, 7],
+            ],
         );
     }
 
@@ -502,14 +562,12 @@ mod tests {
                 )
             });
             assert_eq!(
-                with_checker.stats.copies_inserted,
-                with_native.stats.copies_inserted,
+                with_checker.stats.copies_inserted, with_native.stats.copies_inserted,
                 "checker vs native on {}",
                 f.name
             );
             assert_eq!(
-                with_checker.stats.copies_inserted,
-                with_bitvec.stats.copies_inserted,
+                with_checker.stats.copies_inserted, with_bitvec.stats.copies_inserted,
                 "checker vs bitvec on {}",
                 f.name
             );
@@ -544,10 +602,7 @@ mod tests {
         .unwrap();
         let result = destruct_ssa(f, CheckerEngine::compute);
         assert_eq!(result.stats.split_edges, 1);
-        assert_eq!(
-            run_pre(&result.pre, &[1], 100).unwrap().returned,
-            vec![1]
-        );
+        assert_eq!(run_pre(&result.pre, &[1], 100).unwrap().returned, vec![1]);
     }
 
     #[test]
@@ -568,8 +623,14 @@ mod tests {
         .unwrap();
         let result = destruct_ssa(f, CheckerEngine::compute);
         assert_eq!(result.stats.copies_inserted, 0, "{}", result.func);
-        assert_eq!(run_pre(&result.pre, &[1, 21], 100).unwrap().returned, vec![42]);
-        assert_eq!(run_pre(&result.pre, &[0, 21], 100).unwrap().returned, vec![42]);
+        assert_eq!(
+            run_pre(&result.pre, &[1, 21], 100).unwrap().returned,
+            vec![42]
+        );
+        assert_eq!(
+            run_pre(&result.pre, &[0, 21], 100).unwrap().returned,
+            vec![42]
+        );
     }
 
     #[test]
@@ -591,7 +652,13 @@ mod tests {
         .unwrap();
         let result = destruct_ssa(f, CheckerEngine::compute);
         assert!(result.stats.copies_inserted >= 1, "{}", result.func);
-        assert_eq!(run_pre(&result.pre, &[1, 21], 100).unwrap().returned, vec![42]);
-        assert_eq!(run_pre(&result.pre, &[0, 21], 100).unwrap().returned, vec![42]);
+        assert_eq!(
+            run_pre(&result.pre, &[1, 21], 100).unwrap().returned,
+            vec![42]
+        );
+        assert_eq!(
+            run_pre(&result.pre, &[0, 21], 100).unwrap().returned,
+            vec![42]
+        );
     }
 }

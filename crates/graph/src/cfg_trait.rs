@@ -48,7 +48,9 @@ pub trait Cfg {
 
     /// Total number of edges (counting parallel edges separately).
     fn num_edges(&self) -> usize {
-        (0..self.num_nodes() as NodeId).map(|n| self.succs(n).len()).sum()
+        (0..self.num_nodes() as NodeId)
+            .map(|n| self.succs(n).len())
+            .sum()
     }
 }
 

@@ -37,8 +37,16 @@ impl DiGraph {
     /// Panics if `n == 0` or `entry >= n`.
     pub fn new(n: usize, entry: NodeId) -> Self {
         assert!(n > 0, "a CFG needs at least one node");
-        assert!((entry as usize) < n, "entry {entry} out of range for {n} nodes");
-        DiGraph { entry, succs: vec![Vec::new(); n], preds: vec![Vec::new(); n], num_edges: 0 }
+        assert!(
+            (entry as usize) < n,
+            "entry {entry} out of range for {n} nodes"
+        );
+        DiGraph {
+            entry,
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Creates a graph with `n` nodes and the given edge list.
@@ -63,8 +71,14 @@ impl DiGraph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        assert!((u as usize) < self.num_nodes(), "edge source {u} out of range");
-        assert!((v as usize) < self.num_nodes(), "edge target {v} out of range");
+        assert!(
+            (u as usize) < self.num_nodes(),
+            "edge source {u} out of range"
+        );
+        assert!(
+            (v as usize) < self.num_nodes(),
+            "edge target {v} out of range"
+        );
         self.succs[u as usize].push(v);
         self.preds[v as usize].push(u);
         self.num_edges += 1;
@@ -212,6 +226,6 @@ mod tests {
         }
         let g = DiGraph::from_edges(2, 0, &[(0, 1)]);
         assert_eq!(count(&g), 1);
-        assert_eq!(count(&&g), 1);
+        assert_eq!(count(&g), 1);
     }
 }

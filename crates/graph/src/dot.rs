@@ -128,7 +128,13 @@ mod tests {
         let style = Style {
             node_label: Box::new(|n| format!("B{n}")),
             node_attrs: Box::new(|_| "color=red".to_string()),
-            edge_attrs: Box::new(|_, i, _| if i == 1 { "style=dashed".into() } else { String::new() }),
+            edge_attrs: Box::new(|_, i, _| {
+                if i == 1 {
+                    "style=dashed".into()
+                } else {
+                    String::new()
+                }
+            }),
         };
         let s = render(&g, "g", &style);
         assert!(s.contains("label=\"B0\""));
@@ -141,7 +147,10 @@ mod tests {
     #[test]
     fn labels_are_escaped() {
         let g = DiGraph::new(1, 0);
-        let style = Style { node_label: Box::new(|_| "a\"b".to_string()), ..Style::default() };
+        let style = Style {
+            node_label: Box::new(|_| "a\"b".to_string()),
+            ..Style::default()
+        };
         let s = render(&g, "g", &style);
         assert!(s.contains("a\\\"b"));
     }

@@ -40,7 +40,9 @@ impl<'a> InsBuilder<'a> {
 
     fn value_inst(self, data: InstData) -> Value {
         let inst = self.func.append_inst(self.block, data);
-        self.func.inst_result(inst).expect("value instruction has a result")
+        self.func
+            .inst_result(inst)
+            .expect("value instruction has a result")
     }
 
     /// `v = iconst imm`.
@@ -100,7 +102,12 @@ impl<'a> InsBuilder<'a> {
 
     /// `jump dest(args)`.
     pub fn jump(self, dest: Block, args: Vec<Value>) -> Inst {
-        self.func.append_inst(self.block, InstData::Jump { dest: BlockCall::with_args(dest, args) })
+        self.func.append_inst(
+            self.block,
+            InstData::Jump {
+                dest: BlockCall::with_args(dest, args),
+            },
+        )
     }
 
     /// `brif cond, then_dest(then_args), else_dest(else_args)`.

@@ -110,7 +110,10 @@ impl_entity!(Inst);
 impl<K: EntityRef, V> PrimaryMap<K, V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        PrimaryMap { elems: Vec::new(), _marker: std::marker::PhantomData }
+        PrimaryMap {
+            elems: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Appends `value` and returns its key.
@@ -137,7 +140,10 @@ impl<K: EntityRef, V> PrimaryMap<K, V> {
 
     /// Iterates `(key, &value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
-        self.elems.iter().enumerate().map(|(i, v)| (K::from_index(i), v))
+        self.elems
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
     }
 
     /// Iterates all keys in index order.

@@ -213,8 +213,15 @@ impl Function {
                 "{block} already has a terminator"
             );
         } else {
-            let limit = if self.is_terminated(block) { n_insts - 1 } else { n_insts };
-            assert!(pos <= limit, "cannot insert instruction after the terminator of {block}");
+            let limit = if self.is_terminated(block) {
+                n_insts - 1
+            } else {
+                n_insts
+            };
+            assert!(
+                pos <= limit,
+                "cannot insert instruction after the terminator of {block}"
+            );
         }
         data.for_each_operand(|v| {
             assert!(v.index() < self.values.len(), "operand {v} does not exist");
@@ -244,8 +251,11 @@ impl Function {
                 let dest = t.block;
                 assert!(dest.index() < self.blocks.len(), "branch to unknown {dest}");
             }
-            let targets: Vec<Block> =
-                self.insts[inst].branch_targets().iter().map(|t| t.block).collect();
+            let targets: Vec<Block> = self.insts[inst]
+                .branch_targets()
+                .iter()
+                .map(|t| t.block)
+                .collect();
             for dest in targets {
                 self.succs[block.index()].push(dest.as_u32());
                 self.preds[dest.index()].push(block.as_u32());
@@ -263,9 +273,15 @@ impl Function {
     /// result still has uses.
     pub fn remove_inst(&mut self, inst: Inst) {
         let block = self.inst_block[inst.index()].expect("instruction already removed");
-        assert!(!self.insts[inst].is_terminator(), "cannot remove a terminator");
+        assert!(
+            !self.insts[inst].is_terminator(),
+            "cannot remove a terminator"
+        );
         if let Some(r) = self.results[inst.index()] {
-            assert!(self.uses[r.index()].is_empty(), "result {r} of removed {inst} still used");
+            assert!(
+                self.uses[r.index()].is_empty(),
+                "result {r} of removed {inst} still used"
+            );
         }
         let mut used: Vec<Value> = Vec::new();
         self.insts[inst].for_each_operand(|v| used.push(v));
@@ -273,7 +289,10 @@ impl Function {
             remove_one(&mut self.uses[v.index()], inst);
         }
         let insts = &mut self.blocks[block].insts;
-        let pos = insts.iter().position(|&i| i == inst).expect("inst in its block list");
+        let pos = insts
+            .iter()
+            .position(|&i| i == inst)
+            .expect("inst in its block list");
         insts.remove(pos);
         self.inst_block[inst.index()] = None;
     }
@@ -391,12 +410,26 @@ impl Function {
     /// # Panics
     ///
     /// Panics if the indices are out of range.
-    pub fn set_branch_arg(&mut self, inst: Inst, target_index: usize, arg_index: usize, new: Value) {
-        assert!(new.index() < self.values.len(), "operand {new} does not exist");
+    pub fn set_branch_arg(
+        &mut self,
+        inst: Inst,
+        target_index: usize,
+        arg_index: usize,
+        new: Value,
+    ) {
+        assert!(
+            new.index() < self.values.len(),
+            "operand {new} does not exist"
+        );
         let old = {
             let mut targets = self.insts[inst].branch_targets_mut();
-            let call = targets.get_mut(target_index).expect("target index out of range");
-            let slot = call.args.get_mut(arg_index).expect("arg index out of range");
+            let call = targets
+                .get_mut(target_index)
+                .expect("target index out of range");
+            let slot = call
+                .args
+                .get_mut(arg_index)
+                .expect("arg index out of range");
             let old = *slot;
             *slot = new;
             old
@@ -421,14 +454,19 @@ impl Function {
         new_block: Block,
         new_args: Vec<Value>,
     ) {
-        assert!(new_block.index() < self.blocks.len(), "branch to unknown {new_block}");
+        assert!(
+            new_block.index() < self.blocks.len(),
+            "branch to unknown {new_block}"
+        );
         for &a in &new_args {
             assert!(a.index() < self.values.len(), "operand {a} does not exist");
         }
         let from = self.inst_block(inst).expect("terminator was removed");
         let (old_block, old_args) = {
             let mut targets = self.insts[inst].branch_targets_mut();
-            let call = targets.get_mut(target_index).expect("target index out of range");
+            let call = targets
+                .get_mut(target_index)
+                .expect("target index out of range");
             let old_block = call.block;
             let old_args = std::mem::replace(&mut call.args, new_args.clone());
             call.block = new_block;
@@ -457,7 +495,11 @@ impl Function {
     /// function signature), `index` is out of range, or the parameter
     /// still has uses.
     pub fn remove_block_param(&mut self, block: Block, index: usize) {
-        assert_ne!(block, self.entry_block(), "entry parameters are the function signature");
+        assert_ne!(
+            block,
+            self.entry_block(),
+            "entry parameters are the function signature"
+        );
         let params = &self.blocks[block].params;
         assert!(index < params.len(), "parameter index {index} out of range");
         let param = params[index];
@@ -469,7 +511,10 @@ impl Function {
         // Re-index the parameters that shifted down.
         let shifted: Vec<Value> = self.blocks[block].params[index..].to_vec();
         for (off, v) in shifted.into_iter().enumerate() {
-            self.values[v] = ValueDef::Param { block, index: (index + off) as u32 };
+            self.values[v] = ValueDef::Param {
+                block,
+                index: (index + off) as u32,
+            };
         }
         // Drop the matching argument from every predecessor branch.
         let preds: Vec<NodeId> = {
@@ -555,7 +600,10 @@ impl Cfg for Function {
 }
 
 fn remove_one<T: PartialEq>(v: &mut Vec<T>, x: T) {
-    let pos = v.iter().position(|e| *e == x).expect("element to remove is present");
+    let pos = v
+        .iter()
+        .position(|e| *e == x)
+        .expect("element to remove is present");
     v.swap_remove(pos);
 }
 
@@ -581,8 +629,19 @@ mod tests {
                 else_dest: BlockCall::no_args(b2),
             },
         );
-        f.append_inst(b1, InstData::Binary { op: BinaryOp::Iadd, args: [x, x] });
-        f.append_inst(b1, InstData::Jump { dest: BlockCall::no_args(b2) });
+        f.append_inst(
+            b1,
+            InstData::Binary {
+                op: BinaryOp::Iadd,
+                args: [x, x],
+            },
+        );
+        f.append_inst(
+            b1,
+            InstData::Jump {
+                dest: BlockCall::no_args(b2),
+            },
+        );
         f.append_inst(b2, InstData::Return { args: vec![x] });
         (f, b0, b1, b2)
     }
@@ -652,7 +711,13 @@ mod tests {
     fn unknown_operand_rejected() {
         let mut f = Function::new("f");
         let b = f.add_block();
-        f.append_inst(b, InstData::Unary { op: UnaryOp::Copy, arg: Value::from_index(99) });
+        f.append_inst(
+            b,
+            InstData::Unary {
+                op: UnaryOp::Copy,
+                arg: Value::from_index(99),
+            },
+        );
     }
 
     #[test]
@@ -670,7 +735,13 @@ mod tests {
         let mut f = Function::new("f");
         let b = f.add_block();
         let x = f.append_block_param(b);
-        let dead = f.append_inst(b, InstData::Unary { op: UnaryOp::Ineg, arg: x });
+        let dead = f.append_inst(
+            b,
+            InstData::Unary {
+                op: UnaryOp::Ineg,
+                arg: x,
+            },
+        );
         f.append_inst(b, InstData::Return { args: vec![x] });
         assert_eq!(f.uses(x).len(), 2);
         f.remove_inst(dead);
@@ -730,7 +801,12 @@ mod tests {
         let b1 = f.add_block();
         let x = f.append_block_param(b0);
         let p = f.append_block_param(b1);
-        f.append_inst(b0, InstData::Jump { dest: BlockCall::with_args(b1, vec![x]) });
+        f.append_inst(
+            b0,
+            InstData::Jump {
+                dest: BlockCall::with_args(b1, vec![x]),
+            },
+        );
         f.append_inst(b1, InstData::Return { args: vec![p] });
         // Definition 1: the φ-use of x happens at block0 (the predecessor).
         let blocks: Vec<_> = f.use_blocks(x).collect();
@@ -746,7 +822,12 @@ mod tests {
         let x = f.append_block_param(b0);
         let y = f.append_block_param(b0);
         f.append_block_param(b1);
-        let j = f.append_inst(b0, InstData::Jump { dest: BlockCall::with_args(b1, vec![x]) });
+        let j = f.append_inst(
+            b0,
+            InstData::Jump {
+                dest: BlockCall::with_args(b1, vec![x]),
+            },
+        );
         assert_eq!(f.uses(x).len(), 1);
         f.set_branch_arg(j, 0, 0, y);
         assert!(f.uses(x).is_empty());
@@ -758,7 +839,12 @@ mod tests {
     fn redirect_branch_target_rewires_cfg() {
         let (mut f, b0, b1, b2) = sample();
         let mid = f.add_block();
-        f.append_inst(mid, InstData::Jump { dest: BlockCall::no_args(b1) });
+        f.append_inst(
+            mid,
+            InstData::Jump {
+                dest: BlockCall::no_args(b1),
+            },
+        );
         let brif = f.block_insts(b0)[0];
         f.redirect_branch_target(brif, 0, mid, vec![]);
         assert_eq!(f.succs(b0.as_u32()), &[b2.as_u32(), mid.as_u32()]);

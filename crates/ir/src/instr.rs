@@ -155,7 +155,10 @@ pub struct BlockCall {
 impl BlockCall {
     /// A target with no arguments.
     pub fn no_args(block: Block) -> Self {
-        BlockCall { block, args: Vec::new() }
+        BlockCall {
+            block,
+            args: Vec::new(),
+        }
     }
 
     /// A target with arguments.
@@ -216,7 +219,10 @@ pub enum InstData {
 impl InstData {
     /// `true` for jump/brif/return.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, InstData::Jump { .. } | InstData::Brif { .. } | InstData::Return { .. })
+        matches!(
+            self,
+            InstData::Jump { .. } | InstData::Brif { .. } | InstData::Return { .. }
+        )
     }
 
     /// `true` if the instruction produces a result value.
@@ -226,7 +232,13 @@ impl InstData {
 
     /// `true` for the `copy` instruction.
     pub fn is_copy(&self) -> bool {
-        matches!(self, InstData::Unary { op: UnaryOp::Copy, .. })
+        matches!(
+            self,
+            InstData::Unary {
+                op: UnaryOp::Copy,
+                ..
+            }
+        )
     }
 
     /// Calls `f` on every value operand, including branch arguments, in
@@ -240,7 +252,11 @@ impl InstData {
                 f(args[1]);
             }
             InstData::Jump { dest } => dest.args.iter().copied().for_each(f),
-            InstData::Brif { cond, then_dest, else_dest } => {
+            InstData::Brif {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 f(*cond);
                 then_dest.args.iter().copied().for_each(&mut f);
                 else_dest.args.iter().copied().for_each(&mut f);
@@ -263,7 +279,11 @@ impl InstData {
                     *a = f(*a);
                 }
             }
-            InstData::Brif { cond, then_dest, else_dest } => {
+            InstData::Brif {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 *cond = f(*cond);
                 for a in &mut then_dest.args {
                     *a = f(*a);
@@ -285,7 +305,11 @@ impl InstData {
     pub fn branch_targets(&self) -> Vec<&BlockCall> {
         match self {
             InstData::Jump { dest } => vec![dest],
-            InstData::Brif { then_dest, else_dest, .. } => vec![then_dest, else_dest],
+            InstData::Brif {
+                then_dest,
+                else_dest,
+                ..
+            } => vec![then_dest, else_dest],
             _ => Vec::new(),
         }
     }
@@ -294,7 +318,11 @@ impl InstData {
     pub fn branch_targets_mut(&mut self) -> Vec<&mut BlockCall> {
         match self {
             InstData::Jump { dest } => vec![dest],
-            InstData::Brif { then_dest, else_dest, .. } => vec![then_dest, else_dest],
+            InstData::Brif {
+                then_dest,
+                else_dest,
+                ..
+            } => vec![then_dest, else_dest],
             _ => Vec::new(),
         }
     }
@@ -310,12 +338,23 @@ mod tests {
 
     #[test]
     fn terminator_classification() {
-        assert!(InstData::Jump { dest: BlockCall::no_args(Block::from_index(0)) }.is_terminator());
+        assert!(InstData::Jump {
+            dest: BlockCall::no_args(Block::from_index(0))
+        }
+        .is_terminator());
         assert!(InstData::Return { args: vec![] }.is_terminator());
         assert!(!InstData::IntConst { imm: 3 }.is_terminator());
         assert!(InstData::IntConst { imm: 3 }.has_result());
-        assert!(InstData::Unary { op: UnaryOp::Copy, arg: v(0) }.is_copy());
-        assert!(!InstData::Unary { op: UnaryOp::Ineg, arg: v(0) }.is_copy());
+        assert!(InstData::Unary {
+            op: UnaryOp::Copy,
+            arg: v(0)
+        }
+        .is_copy());
+        assert!(!InstData::Unary {
+            op: UnaryOp::Ineg,
+            arg: v(0)
+        }
+        .is_copy());
     }
 
     #[test]
@@ -332,7 +371,10 @@ mod tests {
 
     #[test]
     fn map_operands_rewrites_everything() {
-        let mut data = InstData::Binary { op: BinaryOp::Iadd, args: [v(0), v(1)] };
+        let mut data = InstData::Binary {
+            op: BinaryOp::Iadd,
+            args: [v(0), v(1)],
+        };
         data.map_operands(|x| Value::from_index(x.index() + 10));
         let mut ops = Vec::new();
         data.for_each_operand(|x| ops.push(x.index()));
@@ -369,12 +411,16 @@ mod tests {
 
     #[test]
     fn branch_targets_access() {
-        let mut data = InstData::Jump { dest: BlockCall::no_args(Block::from_index(3)) };
+        let mut data = InstData::Jump {
+            dest: BlockCall::no_args(Block::from_index(3)),
+        };
         assert_eq!(data.branch_targets().len(), 1);
         data.branch_targets_mut()[0].args.push(v(9));
         let mut ops = Vec::new();
         data.for_each_operand(|x| ops.push(x));
         assert_eq!(ops, vec![v(9)]);
-        assert!(InstData::Return { args: vec![] }.branch_targets().is_empty());
+        assert!(InstData::Return { args: vec![] }
+            .branch_targets()
+            .is_empty());
     }
 }

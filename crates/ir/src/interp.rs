@@ -30,7 +30,10 @@ impl std::fmt::Display for Trap {
         match self {
             Trap::OutOfFuel => write!(f, "out of fuel"),
             Trap::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: function takes {expected} arguments, got {got}")
+                write!(
+                    f,
+                    "arity mismatch: function takes {expected} arguments, got {got}"
+                )
             }
         }
     }
@@ -78,7 +81,10 @@ pub fn run(func: &Function, args: &[i64], fuel: u64) -> Result<Outcome, Trap> {
     let entry = func.entry_block();
     let params = func.block_params(entry);
     if params.len() != args.len() {
-        return Err(Trap::ArityMismatch { expected: params.len(), got: args.len() });
+        return Err(Trap::ArityMismatch {
+            expected: params.len(),
+            got: args.len(),
+        });
     }
 
     let mut env: Vec<i64> = vec![0; func.num_values()];
@@ -98,7 +104,10 @@ pub fn run(func: &Function, args: &[i64], fuel: u64) -> Result<Outcome, Trap> {
                 return Err(Trap::OutOfFuel);
             }
             let bind = |call: &BlockCall, env: &[i64]| {
-                (call.block, call.args.iter().map(|&a| get(env, a)).collect::<Vec<i64>>())
+                (
+                    call.block,
+                    call.args.iter().map(|&a| get(env, a)).collect::<Vec<i64>>(),
+                )
             };
             match func.inst_data(inst) {
                 InstData::IntConst { imm } => {
@@ -114,13 +123,21 @@ pub fn run(func: &Function, args: &[i64], fuel: u64) -> Result<Outcome, Trap> {
                     env[r.index()] = op.eval(get(&env, args[0]), get(&env, args[1]));
                 }
                 InstData::Jump { dest } => next = Some(bind(dest, &env)),
-                InstData::Brif { cond, then_dest, else_dest } => {
+                InstData::Brif {
+                    cond,
+                    then_dest,
+                    else_dest,
+                } => {
                     let taken = get(&env, *cond) != 0;
                     next = Some(bind(if taken { then_dest } else { else_dest }, &env));
                 }
                 InstData::Return { args } => {
                     let returned = args.iter().map(|&a| get(&env, a)).collect();
-                    return Ok(Outcome { returned, steps, block_trace });
+                    return Ok(Outcome {
+                        returned,
+                        steps,
+                        block_trace,
+                    });
                 }
             }
         }
@@ -238,17 +255,27 @@ mod tests {
 
     #[test]
     fn out_of_fuel_on_infinite_loop() {
-        let f = parse_function("function %spin { block0: jump block1 block1: jump block1 }")
-            .unwrap();
+        let f =
+            parse_function("function %spin { block0: jump block1 block1: jump block1 }").unwrap();
         assert_eq!(run(&f, &[], 50), Err(Trap::OutOfFuel));
     }
 
     #[test]
     fn arity_mismatch_reported() {
         let f = parse_function("function %f { block0(v0): return v0 }").unwrap();
-        assert_eq!(run(&f, &[], 10), Err(Trap::ArityMismatch { expected: 1, got: 0 }));
+        assert_eq!(
+            run(&f, &[], 10),
+            Err(Trap::ArityMismatch {
+                expected: 1,
+                got: 0
+            })
+        );
         assert!(run(&f, &[1, 2], 10).is_err());
-        let msg = Trap::ArityMismatch { expected: 1, got: 0 }.to_string();
+        let msg = Trap::ArityMismatch {
+            expected: 1,
+            got: 0,
+        }
+        .to_string();
         assert!(msg.contains("takes 1"));
     }
 

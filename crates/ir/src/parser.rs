@@ -40,7 +40,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -73,8 +77,8 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
 
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Tok {
-    Ident(String),  // iadd, function, v3, block0, ...
-    Int(i64),       // possibly negative
+    Ident(String), // iadd, function, v3, block0, ...
+    Int(i64),      // possibly negative
     Percent,
     LBrace,
     RBrace,
@@ -112,7 +116,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { chars: src.chars().peekable(), line: 1, col: 1 }
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -291,7 +299,11 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, col: self.col, message: message.into() }
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn advance(&mut self) -> Result<(), ParseError> {
@@ -393,10 +405,11 @@ impl<'a> Parser<'a> {
     fn value_use(&mut self, name: &str) -> Result<Value, ParseError> {
         let n = Self::entity_num(name, "v")
             .ok_or_else(|| self.err(format!("expected value reference, found `{name}`")))?;
-        self.values
-            .get(&n)
-            .copied()
-            .ok_or_else(|| self.err(format!("use of undefined value `v{n}` (defs must precede uses textually)")))
+        self.values.get(&n).copied().ok_or_else(|| {
+            self.err(format!(
+                "use of undefined value `v{n}` (defs must precede uses textually)"
+            ))
+        })
     }
 
     fn define_value(&mut self, name: &str, v: Value) -> Result<(), ParseError> {
@@ -491,7 +504,14 @@ impl<'a> Parser<'a> {
                 let then_dest = self.parse_call()?;
                 self.expect(Tok::Comma)?;
                 let else_dest = self.parse_call()?;
-                self.func.append_inst(block, InstData::Brif { cond, then_dest, else_dest });
+                self.func.append_inst(
+                    block,
+                    InstData::Brif {
+                        cond,
+                        then_dest,
+                        else_dest,
+                    },
+                );
             }
             "return" => {
                 let mut args = Vec::new();
@@ -543,7 +563,10 @@ impl<'a> Parser<'a> {
             self.expect(Tok::Comma)?;
             let a1 = self.expect_ident()?;
             let y = self.value_use(&a1)?;
-            return Ok(InstData::Binary { op: *b, args: [x, y] });
+            return Ok(InstData::Binary {
+                op: *b,
+                args: [x, y],
+            });
         }
         Err(self.err(format!("unknown opcode `{op}`")))
     }
@@ -628,10 +651,8 @@ block0(v0):
 
     #[test]
     fn error_on_double_definition() {
-        let e = parse_function(
-            "function %f { block0: v1 = iconst 1 v1 = iconst 2\n return }",
-        )
-        .unwrap_err();
+        let e = parse_function("function %f { block0: v1 = iconst 1 v1 = iconst 2\n return }")
+            .unwrap_err();
         assert!(e.message.contains("defined twice"), "{e}");
     }
 
@@ -658,12 +679,16 @@ block0(v0):
     #[test]
     fn referenced_but_undefined_block_is_an_error() {
         let e = parse_function("function %f { block0: jump block9 }").unwrap_err();
-        assert!(e.message.contains("never defined") || e.message.contains("terminator"), "{e}");
+        assert!(
+            e.message.contains("never defined") || e.message.contains("terminator"),
+            "{e}"
+        );
     }
 
     #[test]
     fn error_positions_are_useful() {
-        let e = parse_function("function %f {\nblock0:\n    v1 = iconst x\n return\n}").unwrap_err();
+        let e =
+            parse_function("function %f {\nblock0:\n    v1 = iconst x\n return\n}").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.col > 1);
     }

@@ -80,7 +80,11 @@ fn write_inst(f: &mut fmt::Formatter<'_>, func: &Function, inst: Inst) -> fmt::R
             write!(f, "jump ")?;
             write_call(f, dest)
         }
-        InstData::Brif { cond, then_dest, else_dest } => {
+        InstData::Brif {
+            cond,
+            then_dest,
+            else_dest,
+        } => {
             write!(f, "brif {cond}, ")?;
             write_call(f, then_dest)?;
             write!(f, ", ")?;

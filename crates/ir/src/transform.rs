@@ -52,7 +52,9 @@ pub fn split_critical_edges(func: &mut Function) -> Vec<Block> {
     let mut created = Vec::new();
     let blocks: Vec<Block> = func.blocks().collect();
     for b in blocks {
-        let Some(term) = func.terminator(b) else { continue };
+        let Some(term) = func.terminator(b) else {
+            continue;
+        };
         let n_targets = func.inst_data(term).branch_targets().len();
         if n_targets < 2 {
             continue; // jumps and returns never start critical edges
@@ -72,7 +74,9 @@ pub fn split_critical_edges(func: &mut Function) -> Vec<Block> {
             func.redirect_branch_target(term, ti, mid, Vec::new());
             func.append_inst(
                 mid,
-                InstData::Jump { dest: crate::instr::BlockCall::with_args(dest, args) },
+                InstData::Jump {
+                    dest: crate::instr::BlockCall::with_args(dest, args),
+                },
             );
         }
     }
@@ -286,8 +290,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "function signature")]
     fn entry_params_cannot_be_removed() {
-        let mut f =
-            parse_function("function %sig { block0(v0): return }").unwrap();
+        let mut f = parse_function("function %sig { block0(v0): return }").unwrap();
         f.remove_block_param(f.entry_block(), 0);
     }
 

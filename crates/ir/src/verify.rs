@@ -57,12 +57,18 @@ impl std::error::Error for VerifyError {}
 /// ```
 pub fn verify_structure(func: &Function) -> Result<(), VerifyError> {
     if func.num_blocks() == 0 {
-        return Err(VerifyError { block: None, message: "function has no blocks".into() });
+        return Err(VerifyError {
+            block: None,
+            message: "function has no blocks".into(),
+        });
     }
     for block in func.blocks() {
         let insts = func.block_insts(block);
         if insts.is_empty() {
-            return Err(VerifyError { block: Some(block), message: "block is empty".into() });
+            return Err(VerifyError {
+                block: Some(block),
+                message: "block is empty".into(),
+            });
         }
         for (i, &inst) in insts.iter().enumerate() {
             let data = func.inst_data(inst);
@@ -119,7 +125,10 @@ pub fn verify_structure(func: &Function) -> Result<(), VerifyError> {
         }
     }
 
-    func.check_use_chains().map_err(|message| VerifyError { block: None, message })?;
+    func.check_use_chains().map_err(|message| VerifyError {
+        block: None,
+        message,
+    })?;
     Ok(())
 }
 
@@ -177,7 +186,12 @@ mod tests {
         let b0 = f.add_block();
         let b1 = f.add_block();
         // block1 takes one param but jump passes none.
-        f.append_inst(b0, InstData::Jump { dest: BlockCall::no_args(b1) });
+        f.append_inst(
+            b0,
+            InstData::Jump {
+                dest: BlockCall::no_args(b1),
+            },
+        );
         f.append_block_param(b1);
         f.ins(b1).ret(vec![]);
         let e = verify_structure(&f).unwrap_err();

@@ -39,7 +39,9 @@ pub fn inject_gotos(pre: &mut PreFunction, gotos: usize, seed: u64) -> usize {
         let b = rng.range(n as u64) as NodeId;
         // Only rewrite unconditional jumps, and only to targets that are
         // neither the entry nor the block itself.
-        let Some(PreTerm::Jump(dest)) = pre.term(b).cloned() else { continue };
+        let Some(PreTerm::Jump(dest)) = pre.term(b).cloned() else {
+            continue;
+        };
         let target = 1 + rng.range((n - 1) as u64) as NodeId;
         if target == b || target == dest {
             continue;
@@ -47,13 +49,24 @@ pub fn inject_gotos(pre: &mut PreFunction, gotos: usize, seed: u64) -> usize {
         // Strictness filter: exit(b) must cover entry(target).
         let exit_b = &da.exit[b as usize];
         let entry_t = &da.entry[target as usize];
-        if entry_t.iter().zip(exit_b).any(|(&need, &have)| need && !have) {
+        if entry_t
+            .iter()
+            .zip(exit_b)
+            .any(|(&need, &have)| need && !have)
+        {
             continue;
         }
         pre.clear_term(b);
         let never = pre.fresh_var();
         pre.assign(b, never, PreRvalue::Const(0));
-        pre.set_term(b, PreTerm::Brif { cond: never, then_dest: target, else_dest: dest });
+        pre.set_term(
+            b,
+            PreTerm::Brif {
+                cond: never,
+                then_dest: target,
+                else_dest: dest,
+            },
+        );
         injected += 1;
     }
     injected
@@ -70,7 +83,10 @@ mod tests {
     #[test]
     fn injection_preserves_semantics() {
         for seed in 0..12 {
-            let params = GenParams { target_blocks: 20, ..GenParams::default() };
+            let params = GenParams {
+                target_blocks: 20,
+                ..GenParams::default()
+            };
             let clean = generate_pre("g", params, seed);
             let mut dirty = clean.clone();
             let injected = inject_gotos(&mut dirty, 3, seed);
@@ -88,7 +104,10 @@ mod tests {
     fn injection_can_create_irreducible_cfgs() {
         let mut found_irreducible = false;
         for seed in 0..30 {
-            let params = GenParams { target_blocks: 25, ..GenParams::default() };
+            let params = GenParams {
+                target_blocks: 25,
+                ..GenParams::default()
+            };
             let mut pre = generate_pre("g", params, seed);
             inject_gotos(&mut pre, 4, seed);
             if construct_ssa(&pre).is_err() {
@@ -109,6 +128,9 @@ mod tests {
                 assert_eq!(a.returned, b.returned);
             }
         }
-        assert!(found_irreducible, "30 seeds with 4 gotos each should yield irreducibility");
+        assert!(
+            found_irreducible,
+            "30 seeds with 4 gotos each should yield irreducibility"
+        );
     }
 }

@@ -33,6 +33,7 @@
 
 mod irreducible;
 mod profiles;
+mod random;
 mod rng;
 mod stats;
 mod structured;
@@ -40,6 +41,7 @@ mod suite;
 
 pub use irreducible::inject_gotos;
 pub use profiles::{BenchProfile, SPEC2000_INT};
+pub use random::random_digraph;
 pub use rng::SplitMix64;
 pub use stats::{FunctionStats, SuiteStats};
 pub use structured::{generate_function, generate_pre, GenParams};

@@ -29,16 +29,106 @@ pub struct BenchProfile {
 /// The ten benchmarks of Table 1 (252.eon and 253.perlbmk were not
 /// compilable in the paper's environment either).
 pub const SPEC2000_INT: [BenchProfile; 10] = [
-    BenchProfile { name: "164.gzip", procedures: 82, avg_blocks: 33.35, pct_le_32: 69.51, pct_le_64: 85.36, max_blocks: 51, pct_uses_le_1: 65.64, pct_uses_le_4: 95.94 },
-    BenchProfile { name: "175.vpr", procedures: 225, avg_blocks: 34.45, pct_le_32: 68.88, pct_le_64: 84.44, max_blocks: 75, pct_uses_le_1: 70.36, pct_uses_le_4: 96.28 },
-    BenchProfile { name: "176.gcc", procedures: 2019, avg_blocks: 38.96, pct_le_32: 72.85, pct_le_64: 86.03, max_blocks: 422, pct_uses_le_1: 73.99, pct_uses_le_4: 94.84 },
-    BenchProfile { name: "181.mcf", procedures: 26, avg_blocks: 20.31, pct_le_32: 84.61, pct_le_64: 100.0, max_blocks: 46, pct_uses_le_1: 66.91, pct_uses_le_4: 94.46 },
-    BenchProfile { name: "186.crafty", procedures: 109, avg_blocks: 69.28, pct_le_32: 59.63, pct_le_64: 76.14, max_blocks: 620, pct_uses_le_1: 72.98, pct_uses_le_4: 95.75 },
-    BenchProfile { name: "197.parser", procedures: 323, avg_blocks: 23.60, pct_le_32: 84.82, pct_le_64: 93.49, max_blocks: 96, pct_uses_le_1: 65.12, pct_uses_le_4: 96.62 },
-    BenchProfile { name: "254.gap", procedures: 852, avg_blocks: 32.89, pct_le_32: 67.60, pct_le_64: 87.44, max_blocks: 156, pct_uses_le_1: 70.46, pct_uses_le_4: 94.54 },
-    BenchProfile { name: "255.vortex", procedures: 923, avg_blocks: 26.46, pct_le_32: 77.57, pct_le_64: 90.68, max_blocks: 254, pct_uses_le_1: 65.99, pct_uses_le_4: 96.97 },
-    BenchProfile { name: "256.bzip2", procedures: 74, avg_blocks: 22.97, pct_le_32: 78.37, pct_le_64: 91.89, max_blocks: 36, pct_uses_le_1: 69.89, pct_uses_le_4: 96.17 },
-    BenchProfile { name: "300.twolf", procedures: 190, avg_blocks: 56.97, pct_le_32: 59.47, pct_le_64: 77.36, max_blocks: 165, pct_uses_le_1: 69.71, pct_uses_le_4: 95.92 },
+    BenchProfile {
+        name: "164.gzip",
+        procedures: 82,
+        avg_blocks: 33.35,
+        pct_le_32: 69.51,
+        pct_le_64: 85.36,
+        max_blocks: 51,
+        pct_uses_le_1: 65.64,
+        pct_uses_le_4: 95.94,
+    },
+    BenchProfile {
+        name: "175.vpr",
+        procedures: 225,
+        avg_blocks: 34.45,
+        pct_le_32: 68.88,
+        pct_le_64: 84.44,
+        max_blocks: 75,
+        pct_uses_le_1: 70.36,
+        pct_uses_le_4: 96.28,
+    },
+    BenchProfile {
+        name: "176.gcc",
+        procedures: 2019,
+        avg_blocks: 38.96,
+        pct_le_32: 72.85,
+        pct_le_64: 86.03,
+        max_blocks: 422,
+        pct_uses_le_1: 73.99,
+        pct_uses_le_4: 94.84,
+    },
+    BenchProfile {
+        name: "181.mcf",
+        procedures: 26,
+        avg_blocks: 20.31,
+        pct_le_32: 84.61,
+        pct_le_64: 100.0,
+        max_blocks: 46,
+        pct_uses_le_1: 66.91,
+        pct_uses_le_4: 94.46,
+    },
+    BenchProfile {
+        name: "186.crafty",
+        procedures: 109,
+        avg_blocks: 69.28,
+        pct_le_32: 59.63,
+        pct_le_64: 76.14,
+        max_blocks: 620,
+        pct_uses_le_1: 72.98,
+        pct_uses_le_4: 95.75,
+    },
+    BenchProfile {
+        name: "197.parser",
+        procedures: 323,
+        avg_blocks: 23.60,
+        pct_le_32: 84.82,
+        pct_le_64: 93.49,
+        max_blocks: 96,
+        pct_uses_le_1: 65.12,
+        pct_uses_le_4: 96.62,
+    },
+    BenchProfile {
+        name: "254.gap",
+        procedures: 852,
+        avg_blocks: 32.89,
+        pct_le_32: 67.60,
+        pct_le_64: 87.44,
+        max_blocks: 156,
+        pct_uses_le_1: 70.46,
+        pct_uses_le_4: 94.54,
+    },
+    BenchProfile {
+        name: "255.vortex",
+        procedures: 923,
+        avg_blocks: 26.46,
+        pct_le_32: 77.57,
+        pct_le_64: 90.68,
+        max_blocks: 254,
+        pct_uses_le_1: 65.99,
+        pct_uses_le_4: 96.97,
+    },
+    BenchProfile {
+        name: "256.bzip2",
+        procedures: 74,
+        avg_blocks: 22.97,
+        pct_le_32: 78.37,
+        pct_le_64: 91.89,
+        max_blocks: 36,
+        pct_uses_le_1: 69.89,
+        pct_uses_le_4: 96.17,
+    },
+    BenchProfile {
+        name: "300.twolf",
+        procedures: 190,
+        avg_blocks: 56.97,
+        pct_le_32: 59.47,
+        pct_le_64: 77.36,
+        max_blocks: 165,
+        pct_uses_le_1: 69.71,
+        pct_uses_le_4: 95.92,
+    },
 ];
 
 impl BenchProfile {
@@ -57,8 +147,10 @@ impl BenchProfile {
             let r1 = z - disc.sqrt();
             let r2 = z + disc.sqrt();
             let candidates = [r1, r2];
-            let valid: Vec<f64> =
-                candidates.into_iter().filter(|s| *s > 0.05 && *s < 3.0).collect();
+            let valid: Vec<f64> = candidates
+                .into_iter()
+                .filter(|s| *s > 0.05 && *s < 3.0)
+                .collect();
             if valid.is_empty() {
                 0.8
             } else {
@@ -66,7 +158,11 @@ impl BenchProfile {
             }
         };
         let mu = self.avg_blocks.ln() - sigma * sigma / 2.0;
-        BlockCountSampler { mu, sigma, max: self.max_blocks }
+        BlockCountSampler {
+            mu,
+            sigma,
+            max: self.max_blocks,
+        }
     }
 }
 
@@ -95,7 +191,7 @@ pub(crate) fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

@@ -1,0 +1,71 @@
+//! Raw pseudo-random digraphs — not SSA programs, just CFG shapes.
+//!
+//! The structured generator ([`generate_function`](crate::generate_function))
+//! only emits reducible CFGs, and [`inject_gotos`](crate::inject_gotos)
+//! bends real programs into irreducibility. When a test or benchmark
+//! needs *arbitrary* graph shapes — dense retreating edges, wide
+//! `T_q` rows, cross-edge tangles — this generator is the shared
+//! source, so the checker tests and the query benchmarks draw from
+//! the same distribution.
+
+use fastlive_graph::DiGraph;
+
+/// A deterministic pseudo-random digraph with `n` nodes: a parent
+/// backbone (`parent < child`) keeps every node reachable from the
+/// entry `0`, and `extra` uniformly random edges — roughly half of
+/// them retreating — create loops, cross edges and, almost always for
+/// `extra ≳ n`, irreducible regions.
+///
+/// The generator is a fixed xorshift64 stream: the same `(n, seed,
+/// extra)` triple always yields the same graph, across runs and
+/// call sites.
+pub fn random_digraph(n: u32, seed: u64, extra: usize) -> DiGraph {
+    assert!(n > 0, "random_digraph needs at least one node");
+    let mut x = seed | 1;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut edges = Vec::with_capacity(n as usize - 1 + extra);
+    for v in 1..n {
+        edges.push((step() as u32 % v, v));
+    }
+    for _ in 0..extra {
+        edges.push((step() as u32 % n, step() as u32 % n));
+    }
+    DiGraph::from_edges(n as usize, 0, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_cfg::{DfsTree, DomTree, Reducibility};
+    use fastlive_graph::Cfg as _;
+
+    #[test]
+    fn deterministic_and_fully_reachable() {
+        let a = random_digraph(40, 7, 80);
+        let b = random_digraph(40, 7, 80);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let dfs = DfsTree::compute(&a);
+        assert!(dfs.all_reachable(), "backbone keeps every node reachable");
+        assert_eq!(a.num_edges(), 39 + 80);
+    }
+
+    #[test]
+    fn dense_extras_produce_irreducible_graphs() {
+        let g = random_digraph(64, 0xabcd, 64 * 10);
+        let dfs = DfsTree::compute(&g);
+        let dom = DomTree::compute(&g, &dfs);
+        assert!(!Reducibility::compute(&dfs, &dom).is_reducible());
+    }
+
+    #[test]
+    fn single_node_graph_is_fine() {
+        let g = random_digraph(1, 3, 0);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -88,8 +88,7 @@ impl SuiteStats {
             use_counts.extend_from_slice(&s.use_counts);
         }
         let nu = use_counts.len().max(1) as f64;
-        let ule =
-            |k: usize| use_counts.iter().filter(|&&u| u <= k).count() as f64 / nu * 100.0;
+        let ule = |k: usize| use_counts.iter().filter(|&&u| u <= k).count() as f64 / nu * 100.0;
         SuiteStats {
             name: name.into(),
             procedures: stats.len(),
@@ -169,10 +168,8 @@ mod tests {
     #[test]
     fn aggregation_computes_percentages() {
         let f1 = parse_function("function %a { block0: return }").unwrap();
-        let f2 = parse_function(
-            "function %b { block0(v0): jump block1 block1: return v0 }",
-        )
-        .unwrap();
+        let f2 =
+            parse_function("function %b { block0(v0): jump block1 block1: return v0 }").unwrap();
         let stats = [FunctionStats::measure(&f1), FunctionStats::measure(&f2)];
         let agg = SuiteStats::aggregate("tiny", &stats);
         assert_eq!(agg.procedures, 2);

@@ -169,9 +169,7 @@ impl Gen {
             let enough_blocks = self.pre.num_blocks() >= self.params.target_blocks;
             // The top-level sequence keeps going until the block target
             // is met; nested regions end with 30% probability per step.
-            if enough_blocks
-                || depth >= self.params.max_depth
-                || (depth > 0 && self.rng.chance(30))
+            if enough_blocks || depth >= self.params.max_depth || (depth > 0 && self.rng.chance(30))
             {
                 return cur;
             }
@@ -194,8 +192,14 @@ impl Gen {
 
         if self.rng.chance(70) {
             let else_b = self.pre.add_block();
-            self.pre
-                .set_term(cur, PreTerm::Brif { cond, then_dest: then_b, else_dest: else_b });
+            self.pre.set_term(
+                cur,
+                PreTerm::Brif {
+                    cond,
+                    then_dest: then_b,
+                    else_dest: else_b,
+                },
+            );
             let t_end = self.seq(then_b, depth + 1);
             self.pre.set_term(t_end, PreTerm::Jump(join));
             self.avail.truncate(snap_a);
@@ -204,7 +208,14 @@ impl Gen {
             self.pre.set_term(e_end, PreTerm::Jump(join));
         } else {
             // if-without-else: the shortcut edge cur -> join.
-            self.pre.set_term(cur, PreTerm::Brif { cond, then_dest: then_b, else_dest: join });
+            self.pre.set_term(
+                cur,
+                PreTerm::Brif {
+                    cond,
+                    then_dest: then_b,
+                    else_dest: join,
+                },
+            );
             let t_end = self.seq(then_b, depth + 1);
             self.pre.set_term(t_end, PreTerm::Jump(join));
         }
@@ -223,7 +234,8 @@ impl Gen {
         let bound = self.pre.fresh_var();
         let one = self.pre.fresh_var();
         self.pre.assign(cur, i, PreRvalue::Const(0));
-        self.pre.assign(cur, bound, PreRvalue::Const(1 + self.rng.range(6) as i64));
+        self.pre
+            .assign(cur, bound, PreRvalue::Const(1 + self.rng.range(6) as i64));
         self.pre.assign(cur, one, PreRvalue::Const(1));
         self.avail.extend([i, bound, one]);
 
@@ -232,19 +244,34 @@ impl Gen {
         let exit = self.pre.add_block();
         self.pre.set_term(cur, PreTerm::Jump(header));
         let c = self.pre.fresh_var();
-        self.pre.assign(header, c, PreRvalue::Binary(BinaryOp::IcmpSlt, i, bound));
-        self.pre.set_term(header, PreTerm::Brif { cond: c, then_dest: body, else_dest: exit });
+        self.pre
+            .assign(header, c, PreRvalue::Binary(BinaryOp::IcmpSlt, i, bound));
+        self.pre.set_term(
+            header,
+            PreTerm::Brif {
+                cond: c,
+                then_dest: body,
+                else_dest: exit,
+            },
+        );
 
         let mut body_end = self.seq(body, depth + 1);
         if self.rng.chance(self.params.break_percent) {
             // if (c2) break;
             let c2 = self.condition(body_end);
             let cont = self.pre.add_block();
-            self.pre
-                .set_term(body_end, PreTerm::Brif { cond: c2, then_dest: exit, else_dest: cont });
+            self.pre.set_term(
+                body_end,
+                PreTerm::Brif {
+                    cond: c2,
+                    then_dest: exit,
+                    else_dest: cont,
+                },
+            );
             body_end = cont;
         }
-        self.pre.assign(body_end, i, PreRvalue::Binary(BinaryOp::Iadd, i, one));
+        self.pre
+            .assign(body_end, i, PreRvalue::Binary(BinaryOp::Iadd, i, one));
         self.pre.set_term(body_end, PreTerm::Jump(header));
 
         // i, bound, one survive the loop (assigned before it); anything
@@ -259,7 +286,11 @@ impl Gen {
         let a = *self.rng.pick(&self.avail);
         let d = *self.rng.pick(&self.avail);
         let c = self.pre.fresh_var();
-        let op = if self.rng.chance(50) { BinaryOp::IcmpSlt } else { BinaryOp::IcmpEq };
+        let op = if self.rng.chance(50) {
+            BinaryOp::IcmpSlt
+        } else {
+            BinaryOp::IcmpEq
+        };
         self.pre.assign(b, c, PreRvalue::Binary(op, a, d));
         self.avail.push(c);
         c
@@ -288,8 +319,9 @@ mod tests {
             verify_strict_ssa(&ssa).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{ssa}"));
             let mut rng = SplitMix64::new(seed * 77 + 1);
             for _ in 0..4 {
-                let args: Vec<i64> =
-                    (0..pre.num_params()).map(|_| rng.range(40) as i64 - 20).collect();
+                let args: Vec<i64> = (0..pre.num_params())
+                    .map(|_| rng.range(40) as i64 - 20)
+                    .collect();
                 let want = run_pre(&pre, &args, 2_000_000)
                     .unwrap_or_else(|e| panic!("seed {seed}, args {args:?}: {e}"));
                 let got = interp::run(&ssa, &args, 2_000_000)
@@ -324,7 +356,10 @@ mod tests {
     #[test]
     fn target_blocks_is_roughly_respected() {
         for (target, seed) in [(8usize, 1u64), (30, 2), (80, 3)] {
-            let params = GenParams { target_blocks: target, ..GenParams::default() };
+            let params = GenParams {
+                target_blocks: target,
+                ..GenParams::default()
+            };
             let pre = generate_pre("t", params, seed);
             let n = pre.num_blocks();
             assert!(n >= target / 2, "target {target}, got {n}");
@@ -334,7 +369,11 @@ mod tests {
 
     #[test]
     fn depth_zero_stays_single_block() {
-        let params = GenParams { num_params: 1, max_depth: 0, ..GenParams::default() };
+        let params = GenParams {
+            num_params: 1,
+            max_depth: 0,
+            ..GenParams::default()
+        };
         let (pre, ssa) = generate_function("flat", params, 5);
         assert_eq!(pre.num_blocks(), 1);
         let out = interp::run(&ssa, &[3], 10_000).expect("runs");

@@ -3,11 +3,11 @@
 use fastlive_construct::{construct_ssa, PreFunction};
 use fastlive_ir::Function;
 
+use crate::inject_gotos;
 use crate::profiles::BenchProfile;
 use crate::rng::SplitMix64;
 use crate::stats::{FunctionStats, SuiteStats};
 use crate::structured::{generate_pre, GenParams};
-use crate::inject_gotos;
 
 /// A generated benchmark: the SPEC-profile it imitates plus its
 /// procedures in both representations.
@@ -24,8 +24,7 @@ pub struct Suite {
 impl Suite {
     /// Table 1 statistics of the generated functions.
     pub fn stats(&self) -> SuiteStats {
-        let per: Vec<FunctionStats> =
-            self.functions.iter().map(FunctionStats::measure).collect();
+        let per: Vec<FunctionStats> = self.functions.iter().map(FunctionStats::measure).collect();
         SuiteStats::aggregate(self.profile.name, &per)
     }
 }
@@ -69,7 +68,11 @@ pub fn generate_suite(profile: &BenchProfile, scale: u32, seed: u64) -> Suite {
         pres.push(pre);
         functions.push(ssa);
     }
-    Suite { profile: *profile, pres, functions }
+    Suite {
+        profile: *profile,
+        pres,
+        functions,
+    }
 }
 
 /// Stable tiny hash so each profile gets an independent stream.
@@ -119,6 +122,10 @@ mod tests {
         assert!(s.pct_uses_le[0] > 40.0, "single-use majority: {s:?}");
         let epb = s.edges_per_block();
         assert!((1.0..2.0).contains(&epb), "edges per block {epb}");
-        assert!(s.back_edge_pct() < 25.0, "back edges are rare: {}", s.back_edge_pct());
+        assert!(
+            s.back_edge_pct() < 25.0,
+            "back edges are rare: {}",
+            s.back_edge_pct()
+        );
     }
 }

@@ -15,7 +15,17 @@ fn main() {
     let g = DiGraph::from_edges(
         7,
         0,
-        &[(0, 1), (1, 2), (2, 1), (2, 3), (0, 4), (4, 5), (5, 3), (0, 3), (5, 0)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 1),
+            (2, 3),
+            (0, 4),
+            (4, 5),
+            (5, 3),
+            (0, 3),
+            (5, 0),
+        ],
     );
     let dfs = DfsTree::compute(&g);
     let dom = DomTree::compute(&g, &dfs);

@@ -44,7 +44,10 @@ fn main() {
             .map(|&(s, t)| (paper(s), paper(t)))
             .collect::<Vec<_>>()
     );
-    println!("reducible: {} (the {{5,6}} loop has two entries)\n", live.is_reducible());
+    println!(
+        "reducible: {} (the {{5,6}} loop has two entries)\n",
+        live.is_reducible()
+    );
 
     for q in [9u32, 3] {
         let t: Vec<u32> = live.t_set(q).iter().map(|&x| paper(x)).collect();
@@ -57,7 +60,8 @@ fn main() {
     let vars = [("w", 1u32, 3u32), ("x", 2, 8), ("y", 2, 4)];
     println!("\nqueries (paper numbering):");
     for (name, def, usage) in vars {
-        for q in [9u32] {
+        {
+            let q = 9u32;
             let ans = live.is_live_in(def, &[usage], q);
             println!(
                 "  is {name} (def {}, use {}) live-in at {:>2}?  {ans}",

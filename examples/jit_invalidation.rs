@@ -45,21 +45,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!live.is_live_in(&func, v0, block2));
 
     // --- Edit 1: a JIT pass sinks a use of v0 into block2. ---
-    let neg = func.insert_inst(block2, 0, InstData::Unary { op: UnaryOp::Ineg, arg: v0 });
+    let neg = func.insert_inst(
+        block2,
+        0,
+        InstData::Unary {
+            op: UnaryOp::Ineg,
+            arg: v0,
+        },
+    );
     println!("\nafter inserting `ineg v0` into block2:");
     let now = live.is_live_in(&func, v0, block2);
     println!("  checker: {now}   (no recomputation!)");
-    println!("  sets:    {}   (STALE - still the old answer)", stale_sets.is_live_in(v0, block2));
+    println!(
+        "  sets:    {}   (STALE - still the old answer)",
+        stale_sets.is_live_in(v0, block2)
+    );
     assert!(now);
-    assert_eq!(now, oracle::live_in_value(&func, v0, block2), "checker matches ground truth");
-    assert!(!stale_sets.is_live_in(v0, block2), "the set-based result is now wrong");
+    assert_eq!(
+        now,
+        oracle::live_in_value(&func, v0, block2),
+        "checker matches ground truth"
+    );
+    assert!(
+        !stale_sets.is_live_in(v0, block2),
+        "the set-based result is now wrong"
+    );
 
     // --- Edit 2: create a brand-new value and use it across the loop. ---
     let k = func.insert_inst(func.entry_block(), 0, InstData::IntConst { imm: 42 });
     let kv = func.inst_result(k).unwrap();
-    func.insert_inst(block2, 0, InstData::Unary { op: UnaryOp::Bnot, arg: kv });
+    func.insert_inst(
+        block2,
+        0,
+        InstData::Unary {
+            op: UnaryOp::Bnot,
+            arg: kv,
+        },
+    );
     let block1 = func.block_by_index(1);
-    println!("\nafter creating v{} in block0 and using it in block2:", kv.as_u32());
+    println!(
+        "\nafter creating v{} in block0 and using it in block2:",
+        kv.as_u32()
+    );
     let through_loop = live.is_live_in(&func, kv, block1);
     println!("  checker: new value live through the loop header? {through_loop}");
     assert!(through_loop);

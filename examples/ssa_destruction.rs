@@ -13,12 +13,19 @@ use fastlive::ir::interp;
 use fastlive::workload::{generate_function, GenParams};
 
 fn main() {
-    let params = GenParams { target_blocks: 14, num_params: 2, ..GenParams::default() };
+    let params = GenParams {
+        target_blocks: 14,
+        num_params: 2,
+        ..GenParams::default()
+    };
     let (_, ssa) = generate_function("demo", params, 2008);
     println!("=== SSA input ===\n{ssa}\n");
 
     let result = destruct_ssa(ssa.clone(), CheckerEngine::compute);
-    println!("=== after copy insertion (φs still present) ===\n{}\n", result.func);
+    println!(
+        "=== after copy insertion (φs still present) ===\n{}\n",
+        result.func
+    );
 
     println!("=== destruction statistics ===");
     println!("  φs processed:        {}", result.stats.phis_processed);

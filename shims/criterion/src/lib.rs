@@ -1,0 +1,294 @@
+//! A minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the small slice of criterion's API that the `fastlive-bench`
+//! benches use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurements are median-of-samples wall
+//! times from [`std::time::Instant`], with iteration counts calibrated
+//! so each sample runs for at least a millisecond.
+//!
+//! Differences from real criterion, deliberately accepted:
+//!
+//! * no statistical analysis beyond median/min, no HTML reports;
+//! * results go to stdout, and — when `FASTLIVE_BENCH_JSON` names a
+//!   file — as JSON lines appended to that file;
+//! * `cargo test` runs each benchmark closure exactly once (criterion's
+//!   `--test` mode), so the tier-1 suite stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], criterion's optimizer fence.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (informational).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("scan", 128)` renders as `scan/128`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function/parameter`.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Optional throughput annotation.
+    pub throughput: Option<u64>,
+}
+
+/// The harness entry point; collects results across groups.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Only measure for real in the
+        // latter case.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            results: Vec::new(),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn report(&mut self, result: BenchResult) {
+        if !self.test_mode {
+            println!(
+                "{:<56} median {:>12.1} ns/iter  (min {:>12.1}, {} samples)",
+                result.id, result.median_ns, result.min_ns, result.samples
+            );
+        }
+        self.results.push(result);
+    }
+}
+
+impl Drop for Criterion {
+    /// Appends JSON-lines results to `$FASTLIVE_BENCH_JSON` if set.
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("FASTLIVE_BENCH_JSON") else {
+            return;
+        };
+        if self.test_mode || self.results.is_empty() {
+            return;
+        }
+        let mut out = String::new();
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{{\"id\":\"{}\",\"median_ns\":{:.2},\"min_ns\":{:.2},\"samples\":{}}}",
+                r.id, r.median_ns, r.min_ns, r.samples
+            );
+        }
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = f.write_all(out.as_bytes());
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (criterion's knob; min 5 here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        });
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (all reporting already happened incrementally).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: self.sample_size,
+            median_ns: 0.0,
+            min_ns: 0.0,
+        };
+        f(&mut bencher);
+        self.criterion.report(BenchResult {
+            id: full,
+            median_ns: bencher.median_ns,
+            min_ns: bencher.min_ns,
+            samples: if bencher.test_mode {
+                1
+            } else {
+                bencher.samples
+            },
+            throughput: self.throughput,
+        });
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    median_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `work`: calibrates an iteration count so one sample
+    /// takes ≥ 1 ms, then records `samples` samples and keeps the
+    /// median and minimum per-iteration time.
+    pub fn iter<T>(&mut self, mut work: impl FnMut() -> T) {
+        if self.test_mode {
+            black_box(work());
+            return;
+        }
+        // Calibrate: grow iters until a batch takes at least ~1 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(work());
+            }
+            let ns = t0.elapsed().as_nanos() as u64;
+            if ns >= 1_000_000 || iters >= 1 << 24 {
+                break;
+            }
+            iters = if ns == 0 {
+                iters * 16
+            } else {
+                (iters * 2).max(iters * 1_200_000 / ns.max(1))
+            };
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(work());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.median_ns = per_iter[per_iter.len() / 2];
+        self.min_ns = per_iter[0];
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main`, running every group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

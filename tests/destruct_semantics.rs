@@ -22,15 +22,19 @@ fn construction_and_destruction_preserve_semantics() {
 
         let mut rng = SplitMix64::new(seed.wrapping_mul(0x1234_5678_9abc_def1));
         for _ in 0..5 {
-            let args: Vec<i64> =
-                (0..pre.num_params()).map(|_| rng.range(60) as i64 - 30).collect();
+            let args: Vec<i64> = (0..pre.num_params())
+                .map(|_| rng.range(60) as i64 - 30)
+                .collect();
             let original = run_pre(&pre, &args, 3_000_000)
                 .unwrap_or_else(|e| panic!("seed {seed} args {args:?}: {e}"));
             let in_ssa = interp::run(&ssa, &args, 3_000_000)
                 .unwrap_or_else(|e| panic!("seed {seed} args {args:?}: {e}"));
             let destructed = run_pre(&result.pre, &args, 3_000_000)
                 .unwrap_or_else(|e| panic!("seed {seed} args {args:?}: {e}"));
-            assert_eq!(in_ssa.returned, original.returned, "SSA vs pre, seed {seed} {args:?}");
+            assert_eq!(
+                in_ssa.returned, original.returned,
+                "SSA vs pre, seed {seed} {args:?}"
+            );
             assert_eq!(
                 destructed.returned, original.returned,
                 "out-of-SSA vs pre, seed {seed} {args:?}\n{}",
@@ -43,7 +47,10 @@ fn construction_and_destruction_preserve_semantics() {
 #[test]
 fn every_engine_destructs_identically() {
     for seed in 100..115u64 {
-        let params = GenParams { target_blocks: 20, ..GenParams::default() };
+        let params = GenParams {
+            target_blocks: 20,
+            ..GenParams::default()
+        };
         let (_, ssa) = generate_function(&format!("eng{seed}"), params, seed);
 
         let a = destruct_ssa(ssa.clone(), CheckerEngine::compute);
@@ -55,10 +62,22 @@ fn every_engine_destructs_identically() {
         });
 
         // Same decisions: same query streams, same copies, same output.
-        assert_eq!(a.stats.queries, b.stats.queries, "checker vs native, seed {seed}");
-        assert_eq!(a.stats.queries, c.stats.queries, "checker vs bitvec, seed {seed}");
-        assert_eq!(a.stats.copies_inserted, b.stats.copies_inserted, "seed {seed}");
-        assert_eq!(a.stats.copies_inserted, c.stats.copies_inserted, "seed {seed}");
+        assert_eq!(
+            a.stats.queries, b.stats.queries,
+            "checker vs native, seed {seed}"
+        );
+        assert_eq!(
+            a.stats.queries, c.stats.queries,
+            "checker vs bitvec, seed {seed}"
+        );
+        assert_eq!(
+            a.stats.copies_inserted, b.stats.copies_inserted,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.stats.copies_inserted, c.stats.copies_inserted,
+            "seed {seed}"
+        );
         assert_eq!(a.func.to_string(), b.func.to_string(), "seed {seed}");
         assert_eq!(a.func.to_string(), c.func.to_string(), "seed {seed}");
     }
@@ -73,9 +92,12 @@ fn congruence_classes_are_interference_free() {
     use fastlive::destruct::values_interfere;
 
     for seed in 200..212u64 {
-        let params = GenParams { target_blocks: 16, ..GenParams::default() };
+        let params = GenParams {
+            target_blocks: 16,
+            ..GenParams::default()
+        };
         let (_, ssa) = generate_function(&format!("cls{seed}"), params, seed);
-        let mut result = destruct_ssa(ssa, CheckerEngine::compute);
+        let result = destruct_ssa(ssa, CheckerEngine::compute);
         let func = &result.func;
         let dfs = DfsTree::compute(func);
         let dom = DomTree::compute(func, &dfs);
@@ -107,12 +129,17 @@ fn destruction_on_irreducible_inputs() {
 
     let mut exercised = 0;
     for seed in 300..330u64 {
-        let params = GenParams { target_blocks: 22, ..GenParams::default() };
+        let params = GenParams {
+            target_blocks: 22,
+            ..GenParams::default()
+        };
         let mut pre = generate_pre(&format!("irr{seed}"), params, seed);
         if inject_gotos(&mut pre, 3, seed) == 0 {
             continue;
         }
-        let Ok(ssa) = construct_ssa(&pre) else { continue };
+        let Ok(ssa) = construct_ssa(&pre) else {
+            continue;
+        };
         let result = destruct_ssa(ssa.clone(), CheckerEngine::compute);
         let args = vec![5i64; pre.num_params() as usize];
         let want = interp::run(&ssa, &args, 3_000_000).unwrap();
@@ -120,5 +147,8 @@ fn destruction_on_irreducible_inputs() {
         assert_eq!(got.returned, want.returned, "seed {seed}");
         exercised += 1;
     }
-    assert!(exercised >= 10, "only {exercised} goto-injected programs survived");
+    assert!(
+        exercised >= 10,
+        "only {exercised} goto-injected programs survived"
+    );
 }

@@ -30,14 +30,42 @@ fn all_engines_match_the_oracle_on_generated_functions() {
             for b in func.blocks() {
                 let want_in = oracle::live_in_value(&func, v, b);
                 let want_out = oracle::live_out_value(&func, v, b);
-                assert_eq!(checker.is_live_in(&func, v, b), want_in, "checker in {v}@{b} seed {seed}");
-                assert_eq!(checker.is_live_out(&func, v, b), want_out, "checker out {v}@{b} seed {seed}");
-                assert_eq!(iterative.is_live_in(v, b), want_in, "iter in {v}@{b} seed {seed}");
-                assert_eq!(iterative.is_live_out(v, b), want_out, "iter out {v}@{b} seed {seed}");
+                assert_eq!(
+                    checker.is_live_in(&func, v, b),
+                    want_in,
+                    "checker in {v}@{b} seed {seed}"
+                );
+                assert_eq!(
+                    checker.is_live_out(&func, v, b),
+                    want_out,
+                    "checker out {v}@{b} seed {seed}"
+                );
+                assert_eq!(
+                    iterative.is_live_in(v, b),
+                    want_in,
+                    "iter in {v}@{b} seed {seed}"
+                );
+                assert_eq!(
+                    iterative.is_live_out(v, b),
+                    want_out,
+                    "iter out {v}@{b} seed {seed}"
+                );
                 assert_eq!(lao.is_live_in(v, b), want_in, "lao in {v}@{b} seed {seed}");
-                assert_eq!(lao.is_live_out(v, b), want_out, "lao out {v}@{b} seed {seed}");
-                assert_eq!(appel.is_live_in(v, b), want_in, "appel in {v}@{b} seed {seed}");
-                assert_eq!(appel.is_live_out(v, b), want_out, "appel out {v}@{b} seed {seed}");
+                assert_eq!(
+                    lao.is_live_out(v, b),
+                    want_out,
+                    "lao out {v}@{b} seed {seed}"
+                );
+                assert_eq!(
+                    appel.is_live_in(v, b),
+                    want_in,
+                    "appel in {v}@{b} seed {seed}"
+                );
+                assert_eq!(
+                    appel.is_live_out(v, b),
+                    want_out,
+                    "appel out {v}@{b} seed {seed}"
+                );
             }
         }
     }
@@ -59,11 +87,27 @@ fn graph_level_engines_agree_on_generated_cfgs() {
                 let q = b.as_u32();
                 let want_in = bitset.is_live_in(def, &uses, q);
                 let want_out = bitset.is_live_out(def, &uses, q);
-                assert_eq!(sorted.is_live_in(def, &uses, q), want_in, "sorted in seed {seed}");
-                assert_eq!(sorted.is_live_out(def, &uses, q), want_out, "sorted out seed {seed}");
+                assert_eq!(
+                    sorted.is_live_in(def, &uses, q),
+                    want_in,
+                    "sorted in seed {seed}"
+                );
+                assert_eq!(
+                    sorted.is_live_out(def, &uses, q),
+                    want_out,
+                    "sorted out seed {seed}"
+                );
                 if let Some(f) = &forest {
-                    assert_eq!(f.is_live_in(def, &uses, q), want_in, "forest in seed {seed}");
-                    assert_eq!(f.is_live_out(def, &uses, q), want_out, "forest out seed {seed}");
+                    assert_eq!(
+                        f.is_live_in(def, &uses, q),
+                        want_in,
+                        "forest in seed {seed}"
+                    );
+                    assert_eq!(
+                        f.is_live_out(def, &uses, q),
+                        want_out,
+                        "forest out seed {seed}"
+                    );
                 }
             }
         }

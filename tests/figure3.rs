@@ -95,9 +95,21 @@ fn narrated_queries_on_every_engine() {
     ];
     for ((def, usage), q, expected) in cases {
         let uses = [usage];
-        assert_eq!(oracle::live_in(&g, def, &uses, q), expected, "oracle {def}->{usage} at {q}");
-        assert_eq!(bitset.is_live_in(def, &uses, q), expected, "bitset {def}->{usage} at {q}");
-        assert_eq!(sorted.is_live_in(def, &uses, q), expected, "sorted {def}->{usage} at {q}");
+        assert_eq!(
+            oracle::live_in(&g, def, &uses, q),
+            expected,
+            "oracle {def}->{usage} at {q}"
+        );
+        assert_eq!(
+            bitset.is_live_in(def, &uses, q),
+            expected,
+            "bitset {def}->{usage} at {q}"
+        );
+        assert_eq!(
+            sorted.is_live_in(def, &uses, q),
+            expected,
+            "sorted {def}->{usage} at {q}"
+        );
         assert_eq!(
             reference.is_live_in(def, &uses, q),
             expected,
@@ -241,7 +253,7 @@ fn x_at_4_fails_for_the_reason_the_paper_gives() {
     assert!(!live.t_set(3).contains(&7));
     // Even though a path 4,5,6,7,2,3,8 exists in the full graph:
     // (0-based: 3,4,5,6,1,2,7 — check raw reachability.)
-    let mut seen = vec![false; 11];
+    let mut seen = [false; 11];
     let mut stack = vec![3u32];
     seen[3] = true;
     while let Some(n) = stack.pop() {

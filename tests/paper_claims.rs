@@ -12,11 +12,16 @@ use fastlive::workload::{generate_function, GenParams};
 fn reducible_functions() -> Vec<fastlive::ir::Function> {
     (0..20u64)
         .filter_map(|seed| {
-            let params = GenParams { target_blocks: 24, ..GenParams::default() };
+            let params = GenParams {
+                target_blocks: 24,
+                ..GenParams::default()
+            };
             let (_, f) = generate_function(&format!("thm{seed}"), params, seed);
             let dfs = DfsTree::compute(&f);
             let dom = DomTree::compute(&f, &dfs);
-            Reducibility::compute(&dfs, &dom).is_reducible().then_some(f)
+            Reducibility::compute(&dfs, &dom)
+                .is_reducible()
+                .then_some(f)
         })
         .collect()
 }
@@ -33,7 +38,11 @@ fn theorem2_single_candidate_on_reducible_cfgs() {
         for def in 0..n {
             for q in 0..n {
                 let count = live.candidates(def, q).count();
-                assert!(count <= 1, "{}: {count} candidates for (def={def}, q={q})", f.name);
+                assert!(
+                    count <= 1,
+                    "{}: {count} candidates for (def={def}, q={q})",
+                    f.name
+                );
             }
         }
     }
@@ -90,7 +99,10 @@ fn precomputation_is_variable_independent() {
     // compare every answer of the *old* checker against the oracle on
     // the *new* function.
     for seed in 0..10u64 {
-        let params = GenParams { target_blocks: 18, ..GenParams::default() };
+        let params = GenParams {
+            target_blocks: 18,
+            ..GenParams::default()
+        };
         let (_, mut f) = generate_function(&format!("edit{seed}"), params, seed);
         let live = FunctionLiveness::compute(&f);
 
@@ -108,13 +120,27 @@ fn precomputation_is_variable_independent() {
             if db == b || !dom.strictly_dominates(db.as_u32(), b.as_u32()) {
                 continue;
             }
-            f.insert_inst(b, 0, InstData::Unary { op: UnaryOp::Ineg, arg: v });
+            f.insert_inst(
+                b,
+                0,
+                InstData::Unary {
+                    op: UnaryOp::Ineg,
+                    arg: v,
+                },
+            );
         }
         let k = f.insert_inst(f.entry_block(), 0, InstData::IntConst { imm: 9 });
         let kv = f.inst_result(k).unwrap();
         let last = *blocks.last().unwrap();
         if f.block_insts(last).len() > 1 {
-            f.insert_inst(last, 0, InstData::Unary { op: UnaryOp::Bnot, arg: kv });
+            f.insert_inst(
+                last,
+                0,
+                InstData::Unary {
+                    op: UnaryOp::Bnot,
+                    arg: kv,
+                },
+            );
         }
 
         // The checker computed *before* the edits answers exactly.

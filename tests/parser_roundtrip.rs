@@ -10,20 +10,24 @@ use fastlive::workload::{generate_function, GenParams, SplitMix64};
 /// the program's behaviour must never change.
 fn assert_round_trips(f: &Function, seed: u64) {
     let printed = f.to_string();
-    let once =
-        parse_function(&printed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+    let once = parse_function(&printed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
     verify_structure(&once).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     verify_strict_ssa(&once).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     let normalized = once.to_string();
-    let twice = parse_function(&normalized)
-        .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{normalized}"));
-    assert_eq!(twice.to_string(), normalized, "seed {seed}: not a fixed point");
+    let twice =
+        parse_function(&normalized).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{normalized}"));
+    assert_eq!(
+        twice.to_string(),
+        normalized,
+        "seed {seed}: not a fixed point"
+    );
 
     // Semantics survive the round trip.
     let mut rng = SplitMix64::new(seed ^ 0x0f00d);
     for _ in 0..3 {
-        let args: Vec<i64> =
-            (0..f.params().len()).map(|_| rng.range(30) as i64 - 15).collect();
+        let args: Vec<i64> = (0..f.params().len())
+            .map(|_| rng.range(30) as i64 - 15)
+            .collect();
         let a = interp::run(f, &args, 2_000_000).expect("original runs");
         let b = interp::run(&once, &args, 2_000_000).expect("reparsed runs");
         assert_eq!(a.returned, b.returned, "seed {seed} args {args:?}");
@@ -46,7 +50,10 @@ fn print_parse_normalizes_then_fixes() {
 fn destructed_functions_round_trip_too() {
     use fastlive::destruct::{destruct_ssa, CheckerEngine};
     for seed in 50..60u64 {
-        let params = GenParams { target_blocks: 15, ..GenParams::default() };
+        let params = GenParams {
+            target_blocks: 15,
+            ..GenParams::default()
+        };
         let (_, f) = generate_function(&format!("drt{seed}"), params, seed);
         let result = destruct_ssa(f, CheckerEngine::compute);
         // The post-copy-insertion function still parses and verifies.
