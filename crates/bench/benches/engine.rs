@@ -1,0 +1,56 @@
+//! Engine scaling: module-level analysis wall time across worker
+//! thread counts, and the fingerprint-cache warm path. The committed
+//! `BENCH_engine.json` (emitted by `--bin bench_engine_json`) reports
+//! the same scenarios with machine metadata.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastlive_engine::{AnalysisEngine, EngineConfig};
+use fastlive_workload::{generate_module, ModuleParams};
+
+fn bench_engine(c: &mut Criterion) {
+    let module = generate_module(
+        "bench",
+        ModuleParams {
+            functions: 64,
+            min_blocks: 8,
+            max_blocks: 48,
+            irreducible_per_mille: 100,
+        },
+        0xbead,
+    );
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(module.len() as u64));
+
+    // Cold precompute throughput at several worker counts (cache off).
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_cold", threads),
+            &module,
+            |b, m| {
+                b.iter(|| {
+                    AnalysisEngine::new(EngineConfig {
+                        threads,
+                        cache_capacity: 0,
+                    })
+                    .analyze(m)
+                    .num_functions()
+                })
+            },
+        );
+    }
+
+    // Warm path: CFG-identical re-analysis through the cache.
+    let engine = AnalysisEngine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 1024,
+    });
+    let _ = engine.analyze(&module);
+    group.bench_with_input(BenchmarkId::new("analyze_warm", 1), &module, |b, m| {
+        b.iter(|| engine.analyze(m).num_functions())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

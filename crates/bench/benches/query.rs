@@ -96,7 +96,7 @@ fn bench_batch(c: &mut Criterion) {
             b.iter(|| live.batch(f))
         });
         group.bench_with_input(BenchmarkId::new("scalar_queries", blocks), &func, |b, f| {
-            b.iter(|| live.live_sets(f))
+            b.iter(|| live.live_sets_scalar(f))
         });
         group.bench_with_input(
             BenchmarkId::new("iterative_dataflow", blocks),

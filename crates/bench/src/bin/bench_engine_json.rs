@@ -1,0 +1,170 @@
+//! Emits `BENCH_engine.json`: thread-scaling and fingerprint-cache
+//! numbers for the `fastlive-engine` analysis engine.
+//!
+//! * `thread_scaling` — wall time to precompute a whole module
+//!   (caching disabled, so every function pays the full §5.2
+//!   precomputation) at 1/2/4/8 worker threads, with the speedup over
+//!   the single-thread run. `host_cpus` records the machine's
+//!   available parallelism — scaling is physically bounded by it, so a
+//!   1-core CI box reports ≈1× at every thread count while the same
+//!   binary on a 4-core box reports the real fan-out.
+//! * `fingerprint_cache` — the paper's JIT story measured: a cold
+//!   analysis (every probe misses and precomputes), a warm re-analysis
+//!   of the same module, and a warm analysis of a **recompiled**
+//!   module (re-parsed from text: fresh `Function` objects, identical
+//!   CFGs). Warm runs cost one cache probe per function; the speedup
+//!   column is cold/warm.
+//!
+//! ```text
+//! cargo run --release -p fastlive-bench --bin bench_engine_json [--quick] [OUT.json]
+//! ```
+//!
+//! `--quick` shrinks the module and repetition counts for CI smoke
+//! runs (the JSON schema is identical).
+
+use std::fmt::Write as _;
+
+use fastlive_bench::time_ns;
+use fastlive_engine::{AnalysisEngine, EngineConfig};
+use fastlive_ir::{parse_module, Module};
+use fastlive_workload::{generate_module, ModuleParams};
+
+struct Setup {
+    functions: usize,
+    reps: usize,
+}
+
+fn module_blocks(m: &Module) -> usize {
+    m.functions().iter().map(|f| f.num_blocks()).sum()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_engine.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let setup = if quick {
+        Setup {
+            functions: 16,
+            reps: 3,
+        }
+    } else {
+        Setup {
+            functions: 96,
+            reps: 9,
+        }
+    };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let module = generate_module(
+        "engine_bench",
+        ModuleParams {
+            functions: setup.functions,
+            min_blocks: 8,
+            max_blocks: 64,
+            irreducible_per_mille: 100,
+        },
+        0xe61e,
+    );
+    let blocks = module_blocks(&module);
+    eprintln!(
+        "module: {} functions, {blocks} blocks total, host_cpus={host_cpus}",
+        module.len()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {host_cpus},\n  \"functions\": {},\n  \"blocks_total\": {blocks},",
+        module.len()
+    );
+
+    // ---- Thread scaling: cold precompute throughput, cache disabled.
+    json.push_str("  \"thread_scaling\": [\n");
+    let mut base_ns = 0.0;
+    for (i, threads) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        let ns = time_ns(setup.reps, || {
+            AnalysisEngine::new(EngineConfig {
+                threads,
+                cache_capacity: 0,
+            })
+            .analyze(&module)
+            .num_functions()
+        });
+        if threads == 1 {
+            base_ns = ns;
+        }
+        let speedup = base_ns / ns;
+        let throughput = module.len() as f64 / (ns / 1e9);
+        let _ = write!(
+            json,
+            "{}    {{\"threads\": {threads}, \"analyze_ns\": {ns:.0}, \
+             \"functions_per_sec\": {throughput:.0}, \"speedup_vs_1\": {speedup:.2}}}",
+            if i == 0 { "" } else { ",\n" },
+        );
+        eprintln!(
+            "thread_scaling threads={threads}: {ns:>12.0} ns ({throughput:>7.0} funcs/s, {speedup:.2}x vs 1 thread)"
+        );
+    }
+
+    // ---- Fingerprint cache: cold vs warm vs recompiled-warm.
+    json.push_str("\n  ],\n  \"fingerprint_cache\": [\n");
+    let threads = 4.min(host_cpus.max(1));
+    // Cold: a fresh engine per repetition, so every probe misses.
+    let cold_ns = time_ns(setup.reps, || {
+        AnalysisEngine::new(EngineConfig {
+            threads,
+            cache_capacity: 1024,
+        })
+        .analyze(&module)
+        .num_functions()
+    });
+    // Warm: one engine, pre-warmed, re-analyzing the same module.
+    let engine = AnalysisEngine::new(EngineConfig {
+        threads,
+        cache_capacity: 1024,
+    });
+    let _ = engine.analyze(&module);
+    let warm_ns = time_ns(setup.reps, || engine.analyze(&module).num_functions());
+    // Recompiled: CFG-identical functions from a fresh parse.
+    let recompiled = parse_module(&module.to_string()).expect("module round-trips");
+    let pre_stats = engine.cache_stats();
+    let recompiled_ns = time_ns(setup.reps, || engine.analyze(&recompiled).num_functions());
+    let post_stats = engine.cache_stats();
+    assert_eq!(
+        pre_stats.misses, post_stats.misses,
+        "recompiled analysis must be all cache hits"
+    );
+    for (i, (scenario, ns)) in [
+        ("cold", cold_ns),
+        ("warm_same_module", warm_ns),
+        ("warm_recompiled", recompiled_ns),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let speedup = cold_ns / ns;
+        let _ = write!(
+            json,
+            "{}    {{\"scenario\": \"{scenario}\", \"analyze_ns\": {ns:.0}, \
+             \"speedup_vs_cold\": {speedup:.1}}}",
+            if i == 0 { "" } else { ",\n" },
+        );
+        eprintln!("fingerprint_cache {scenario:<18}: {ns:>12.0} ns ({speedup:.1}x vs cold)");
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}\n}}\n",
+        post_stats.hits, post_stats.misses, post_stats.evictions
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

@@ -54,11 +54,51 @@
 //! the two is measured by `benches/query.rs` and
 //! `--bin bench_query_json`.
 
+use std::fmt;
+
 use fastlive_bitset::BitMatrix;
 use fastlive_cfg::EdgeClass;
 use fastlive_graph::{Cfg, NodeId};
 
 use crate::checker::LivenessChecker;
+
+/// Why [`BatchLiveness::compute`] rejected its variable inputs.
+///
+/// Malformed def-use input is a recoverable condition, not a panic: a
+/// long-lived analysis engine serving many clients must be able to
+/// refuse one bad request and keep answering the rest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// A use site named a variable with no entry in `defs`.
+    UnknownVariable {
+        /// The out-of-range variable index.
+        var: u32,
+        /// How many variables `defs` actually defined.
+        num_defined: usize,
+    },
+    /// A definition or use site named a block outside the graph.
+    BlockOutOfRange {
+        /// The out-of-range block id.
+        block: NodeId,
+        /// The graph's node count.
+        num_blocks: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BatchError::UnknownVariable { var, num_defined } => {
+                write!(f, "use of unknown variable {var} ({num_defined} defined)")
+            }
+            BatchError::BlockOutOfRange { block, num_blocks } => {
+                write!(f, "block {block} out of range ({num_blocks} blocks)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// Live-in/live-out sets for **all** blocks and variables of a CFG,
 /// computed in one pass from a [`LivenessChecker`]'s precomputation.
@@ -77,12 +117,13 @@ use crate::checker::LivenessChecker;
 /// // and used at block 2 is live around the whole loop.
 /// let g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
 /// let live = LivenessChecker::compute(&g);
-/// let batch = BatchLiveness::compute(&g, &live, &[0], &[(0, 2)]);
+/// let batch = BatchLiveness::compute(&g, &live, &[0], &[(0, 2)])?;
 /// assert!(batch.is_live_in(0, 1));
 /// assert!(batch.is_live_in(0, 2));
 /// assert!(batch.is_live_out(0, 2)); // back to the header
 /// assert!(!batch.is_live_in(0, 3)); // dead after the loop
 /// assert_eq!(batch.live_in_vars(2), vec![0]);
+/// # Ok::<(), fastlive_core::BatchError>(())
 /// ```
 #[derive(Clone, Debug)]
 pub struct BatchLiveness {
@@ -107,16 +148,46 @@ impl BatchLiveness {
     /// match [`LivenessChecker::is_live_in`] /
     /// [`LivenessChecker::is_live_out`] on every pair.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`BatchError`] if a block id is out of range for `g`
+    /// or a use names a variable `>= defs.len()` — diagnostics, not
+    /// panics, so malformed input can't abort a long-lived engine.
+    ///
     /// # Panics
     ///
-    /// Panics if a block id is out of range for `g` or a use names a
-    /// variable `>= defs.len()`.
+    /// Panics if `checker` was computed over a different graph than `g`
+    /// (an API-contract violation, unlike malformed variable input).
     pub fn compute<G: Cfg>(
         g: &G,
         checker: &LivenessChecker,
         defs: &[NodeId],
         uses: &[(u32, NodeId)],
-    ) -> Self {
+    ) -> Result<Self, BatchError> {
+        let num_blocks = g.num_nodes();
+        for &d in defs {
+            if d as usize >= num_blocks {
+                return Err(BatchError::BlockOutOfRange {
+                    block: d,
+                    num_blocks,
+                });
+            }
+        }
+        for &(a, ub) in uses {
+            if a as usize >= defs.len() {
+                return Err(BatchError::UnknownVariable {
+                    var: a,
+                    num_defined: defs.len(),
+                });
+            }
+            if ub as usize >= num_blocks {
+                return Err(BatchError::BlockOutOfRange {
+                    block: ub,
+                    num_blocks,
+                });
+            }
+        }
+
         let dfs = checker.dfs();
         let dom = checker.dom();
         let n = dom.num_reachable();
@@ -128,7 +199,6 @@ impl BatchLiveness {
             "checker was computed over a different graph"
         );
         let num_of = |v: NodeId| -> Option<u32> {
-            assert!((v as usize) < g.num_nodes(), "block {v} out of range");
             match num_by_node[v as usize] {
                 u32::MAX => None,
                 k => Some(k),
@@ -179,9 +249,8 @@ impl BatchLiveness {
         let mut reach_excl = BitMatrix::new(n, v_cols);
         let mut outside_use = BitMatrix::new(1, v_cols);
         for &(a, ub) in uses {
-            let col = *col_of
-                .get(a as usize)
-                .unwrap_or_else(|| panic!("use of unknown variable {a} ({} defined)", defs.len()));
+            // In range: every use was validated against `defs` above.
+            let col = col_of[a as usize];
             if col == u32::MAX {
                 continue; // def unreachable: never live
             }
@@ -254,13 +323,13 @@ impl BatchLiveness {
             }
         }
 
-        BatchLiveness {
+        Ok(BatchLiveness {
             live_in,
             live_out,
             num_by_node,
             col_of,
             var_of_col,
-        }
+        })
     }
 
     #[inline]
@@ -375,7 +444,7 @@ mod tests {
             .enumerate()
             .flat_map(|(a, (_, us))| us.iter().map(move |&u| (a as u32, u)))
             .collect();
-        let batch = BatchLiveness::compute(g, &checker, &defs, &uses);
+        let batch = BatchLiveness::compute(g, &checker, &defs, &uses).expect("valid input");
         for (a, (d, us)) in vars.iter().enumerate() {
             for q in 0..g.num_nodes() as u32 {
                 assert_eq!(
@@ -435,7 +504,8 @@ mod tests {
         let g = DiGraph::from_edges(4, 0, &[(0, 1), (2, 1), (2, 3)]);
         let checker = LivenessChecker::compute(&g);
         // Var 0: unreachable def. Var 1: reachable def, unreachable use.
-        let batch = BatchLiveness::compute(&g, &checker, &[2, 0], &[(0, 1), (1, 3)]);
+        let batch =
+            BatchLiveness::compute(&g, &checker, &[2, 0], &[(0, 1), (1, 3)]).expect("valid input");
         for q in 0..4 {
             assert!(!batch.is_live_in(0, q));
             assert!(!batch.is_live_out(0, q));
@@ -454,7 +524,7 @@ mod tests {
         let checker = LivenessChecker::compute(&g);
         let defs = [1u32, 2, 2];
         let uses = [(0u32, 3u32), (1, 8), (2, 4)];
-        let batch = BatchLiveness::compute(&g, &checker, &defs, &uses);
+        let batch = BatchLiveness::compute(&g, &checker, &defs, &uses).expect("valid input");
         for q in 0..11 {
             let ins = batch.live_in_vars(q);
             assert_eq!(ins.len(), batch.live_in_len(q));
@@ -474,7 +544,7 @@ mod tests {
     fn no_variables_is_fine() {
         let g = figure3();
         let checker = LivenessChecker::compute(&g);
-        let batch = BatchLiveness::compute(&g, &checker, &[], &[]);
+        let batch = BatchLiveness::compute(&g, &checker, &[], &[]).expect("valid input");
         assert_eq!(batch.live_in_vars(5), Vec::<u32>::new());
         assert_eq!(batch.live_out_len(5), 0);
     }

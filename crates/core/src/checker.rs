@@ -89,6 +89,30 @@ impl LivenessChecker {
     /// prerequisites that are "often available").
     pub fn with_parts<G: Cfg>(g: &G, dfs: DfsTree, dom: DomTree) -> Self {
         let pre = Precomputation::compute(g, &dfs, &dom);
+        Self::with_precomputation(g, dfs, dom, pre)
+    }
+
+    /// Builds a checker from an **already-computed** precomputation —
+    /// the reuse hook for engines that cache `R`/`T` matrices by CFG
+    /// shape (the matrices depend only on the graph, never on
+    /// variables, so any CFG-identical function shares them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre`'s matrices were not computed over `dom`'s
+    /// reachable-node universe (a shape mismatch would silently corrupt
+    /// every query).
+    pub fn with_precomputation<G: Cfg>(
+        g: &G,
+        dfs: DfsTree,
+        dom: DomTree,
+        pre: Precomputation,
+    ) -> Self {
+        assert_eq!(
+            pre.r.rows(),
+            dom.num_reachable(),
+            "precomputation was built over a different graph shape"
+        );
         let mut maxnum_by_num = vec![0u32; dom.num_reachable()];
         for i in 0..dom.num_reachable() as u32 {
             maxnum_by_num[i as usize] = dom.maxnum(dom.node_at_num(i));
@@ -127,6 +151,15 @@ impl LivenessChecker {
     /// The precomputed `R`/`T` matrices (crate-internal: the batch
     /// subsystem reuses them without re-running the precomputation).
     pub(crate) fn pre(&self) -> &Precomputation {
+        &self.pre
+    }
+
+    /// The precomputed `R`/`T` matrices — the public reuse hook.
+    /// Together with [`with_precomputation`](Self::with_precomputation)
+    /// this lets an engine move a precomputation out of one checker and
+    /// into another for a CFG-identical function without re-running
+    /// §5.2.
+    pub fn precomputation(&self) -> &Precomputation {
         &self.pre
     }
 

@@ -66,6 +66,21 @@ impl FunctionLiveness {
         }
     }
 
+    /// Wraps an already-computed checker — the reuse hook for engines
+    /// that cache precomputations by CFG shape. Because the
+    /// precomputation never reads instructions, a checker computed for
+    /// **any** function with an identical CFG (same block count, same
+    /// successor lists) answers queries for this one exactly; queries
+    /// read the def-use chains of whichever function they are handed.
+    pub fn from_checker(checker: LivenessChecker) -> Self {
+        FunctionLiveness { checker }
+    }
+
+    /// Unwraps the graph-level checker (e.g. to move it into a cache).
+    pub fn into_checker(self) -> LivenessChecker {
+        self.checker
+    }
+
     /// The underlying graph-level checker.
     pub fn checker(&self) -> &LivenessChecker {
         &self.checker
@@ -116,15 +131,41 @@ impl FunctionLiveness {
         })
     }
 
-    /// Materializes classic per-block live-in/live-out *sets* by
-    /// querying every value at every block — for consumers that want
-    /// data-flow-shaped results with checker-backed freshness. Costs
-    /// `O(values × blocks)` queries; per the paper's trade-off, only
-    /// worth it when sets are genuinely needed.
+    /// Materializes classic per-block live-in/live-out *sets* — for
+    /// consumers that want data-flow-shaped results with checker-backed
+    /// freshness.
+    ///
+    /// Routed through one [`batch`](Self::batch) matrix pass rather
+    /// than `O(values × blocks)` scalar queries (the 20–60× measured in
+    /// `BENCH_query.json`); [`live_sets_scalar`](Self::live_sets_scalar)
+    /// keeps the query-loop materialization as the reference both paths
+    /// are tested against.
     ///
     /// Returns `(live_in, live_out)`, indexed by block, each a sorted
     /// list of values.
     pub fn live_sets(&self, func: &Function) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+        let batch = self.batch(func);
+        let to_values = |vars: Vec<u32>| -> Vec<Value> {
+            vars.iter()
+                .map(|&v| Value::from_index(v as usize))
+                .collect()
+        };
+        let mut live_in = Vec::with_capacity(func.num_blocks());
+        let mut live_out = Vec::with_capacity(func.num_blocks());
+        for b in func.blocks() {
+            live_in.push(to_values(batch.live_in_vars(b.as_u32())));
+            live_out.push(to_values(batch.live_out_vars(b.as_u32())));
+        }
+        (live_in, live_out)
+    }
+
+    /// The scalar materialization [`live_sets`](Self::live_sets)
+    /// replaced: one [`is_live_in`](Self::is_live_in) /
+    /// [`is_live_out`](Self::is_live_out) query per `(value, block)`
+    /// pair. Kept callable as the executable specification of the
+    /// batch-backed path (the two must agree bit-for-bit) and for the
+    /// break-even benchmarks.
+    pub fn live_sets_scalar(&self, func: &Function) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
         let n = func.num_blocks();
         let mut live_in = vec![Vec::new(); n];
         let mut live_out = vec![Vec::new(); n];
@@ -163,6 +204,7 @@ impl FunctionLiveness {
             }
         }
         crate::BatchLiveness::compute(func, &self.checker, &defs, &uses)
+            .expect("def-use chains of a function are always valid batch input")
     }
 
     /// Is `v` live at the program point *just after* `inst`?

@@ -81,7 +81,7 @@ pub mod reference;
 mod sorted;
 mod verify;
 
-pub use batch::BatchLiveness;
+pub use batch::{BatchError, BatchLiveness};
 pub use checker::{Candidates, LivenessChecker};
 pub use function_liveness::FunctionLiveness;
 pub use loop_forest_check::LoopForestChecker;

@@ -137,3 +137,64 @@ fn batch_snapshot_vs_live_sets_materialization() {
         assert_eq!(batch.live_out_vars(q), out_sets);
     }
 }
+
+#[test]
+fn live_sets_batch_route_matches_the_scalar_route() {
+    // `live_sets` is now one batch matrix pass; `live_sets_scalar`
+    // keeps the per-(value, block) query loop it replaced. Identical
+    // output on structured and goto-injected functions alike.
+    for seed in 0..8u64 {
+        let params = GenParams {
+            target_blocks: 8 + (seed as usize % 4) * 16,
+            ..GenParams::default()
+        };
+        let mut pre = generate_pre("sets", params, seed);
+        if seed % 2 == 1 {
+            let mut dirty = pre.clone();
+            inject_gotos(&mut dirty, 3, seed);
+            if construct_ssa(&dirty).is_ok() {
+                pre = dirty;
+            }
+        }
+        let func = construct_ssa(&pre).expect("strict");
+        let live = FunctionLiveness::compute(&func);
+        assert_eq!(
+            live.live_sets(&func),
+            live.live_sets_scalar(&func),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn malformed_batch_input_is_an_error_not_a_panic() {
+    use fastlive_core::{BatchError, BatchLiveness, LivenessChecker};
+    use fastlive_graph::DiGraph;
+
+    let g = DiGraph::from_edges(3, 0, &[(0, 1), (1, 2)]);
+    let checker = LivenessChecker::compute(&g);
+    // A use naming a variable nobody defined.
+    let err = BatchLiveness::compute(&g, &checker, &[0], &[(7, 2)]).unwrap_err();
+    assert_eq!(
+        err,
+        BatchError::UnknownVariable {
+            var: 7,
+            num_defined: 1
+        }
+    );
+    assert!(err.to_string().contains("unknown variable 7"));
+    // A definition block outside the graph.
+    let err = BatchLiveness::compute(&g, &checker, &[9], &[]).unwrap_err();
+    assert_eq!(
+        err,
+        BatchError::BlockOutOfRange {
+            block: 9,
+            num_blocks: 3
+        }
+    );
+    // A use block outside the graph.
+    let err = BatchLiveness::compute(&g, &checker, &[0], &[(0, 9)]).unwrap_err();
+    assert!(matches!(err, BatchError::BlockOutOfRange { block: 9, .. }));
+    // The checker survives the refusals and keeps answering.
+    assert!(checker.is_live_in(0, &[2], 1));
+}

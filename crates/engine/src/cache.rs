@@ -1,0 +1,169 @@
+//! The bounded LRU cache of precomputations, keyed by [`CfgShape`].
+//!
+//! This is the paper's JIT story made concrete: recompiling a function
+//! whose CFG did not change (the overwhelmingly common case for
+//! instruction-level optimizations) must not pay the §5.2
+//! precomputation again. Entries are shared [`FunctionLiveness`]
+//! handles — *one* checker serves every CFG-identical function, because
+//! the precomputation never reads instructions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fastlive_core::FunctionLiveness;
+
+use crate::fingerprint::CfgShape;
+
+/// Hit/miss/eviction counters of a [`FingerprintCache`] — the
+/// observability surface the engine exposes.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that found a CFG-identical precomputation.
+    pub hits: u64,
+    /// Probes that found nothing (the caller computed and inserted).
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when nothing was probed yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    live: Arc<FunctionLiveness>,
+    /// Logical timestamp of the last probe that returned this entry.
+    last_used: u64,
+}
+
+/// A bounded least-recently-used map `CfgShape → Arc<FunctionLiveness>`.
+///
+/// Capacity 0 disables caching entirely (every probe misses, inserts
+/// are dropped) — the configuration the scaling benchmarks use to
+/// measure raw precompute throughput.
+pub(crate) struct FingerprintCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CfgShape, CacheEntry>,
+    stats: CacheStats,
+}
+
+impl FingerprintCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FingerprintCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Probes for `shape`, bumping its recency on a hit.
+    pub(crate) fn get(&mut self, shape: &CfgShape) -> Option<Arc<FunctionLiveness>> {
+        self.tick += 1;
+        match self.map.get_mut(shape) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.live))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed analysis, evicting the
+    /// least-recently-used entry if the cache is full. Re-inserting an
+    /// existing shape (two threads raced on the same miss) just
+    /// refreshes the entry.
+    pub(crate) fn insert(&mut self, shape: CfgShape, live: Arc<FunctionLiveness>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&shape) {
+            // O(len) victim scan: engine caches are small (hundreds of
+            // shapes), and misses already paid a full precomputation.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            shape,
+            CacheEntry {
+                live,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_ir::parse_function;
+
+    fn shape_and_live(src: &str) -> (CfgShape, Arc<FunctionLiveness>) {
+        let f = parse_function(src).unwrap();
+        (CfgShape::of(&f), Arc::new(FunctionLiveness::compute(&f)))
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_shape() {
+        let (s1, l1) = shape_and_live("function %a { block0: return }");
+        let (s2, l2) = shape_and_live("function %b { block0: jump block1 block1: return }");
+        let (s3, l3) = shape_and_live(
+            "function %c { block0: jump block1 block1: jump block2 block2: return }",
+        );
+        let mut cache = FingerprintCache::new(2);
+        assert!(cache.get(&s1).is_none());
+        cache.insert(s1.clone(), l1);
+        cache.insert(s2.clone(), l2);
+        // Touch s1 so s2 becomes the LRU victim.
+        assert!(cache.get(&s1).is_some());
+        cache.insert(s3.clone(), l3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&s1).is_some());
+        assert!(cache.get(&s2).is_none(), "s2 should have been evicted");
+        assert!(cache.get(&s3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert!(stats.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let (s1, l1) = shape_and_live("function %a { block0: return }");
+        let mut cache = FingerprintCache::new(0);
+        cache.insert(s1.clone(), l1);
+        assert!(cache.get(&s1).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! [`AnalysisEngine`]: parallel precomputation over a [`Module`] with
+//! the fingerprint cache in front of it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fastlive_core::FunctionLiveness;
+use fastlive_ir::{Function, Module};
+
+use crate::cache::{CacheStats, FingerprintCache};
+use crate::fingerprint::CfgShape;
+use crate::session::EngineSession;
+
+/// Tuning knobs of an [`AnalysisEngine`].
+#[derive(Copy, Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for [`AnalysisEngine::analyze`]. `0` means "one
+    /// per available CPU"; `1` runs inline on the calling thread.
+    pub threads: usize,
+    /// Maximum precomputations retained by the CFG-fingerprint cache.
+    /// `0` disables caching (every analysis recomputes).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A module-level liveness analysis engine.
+///
+/// The engine owns one shared [CFG-fingerprint cache](CfgShape) and
+/// fans the per-function precomputation
+/// ([`FunctionLiveness::compute`]) out over a scoped worker pool.
+/// Workers self-schedule from a shared function queue (an atomic
+/// cursor), so a module whose function sizes are skewed — the common
+/// case — still balances: whichever worker finishes its current
+/// function first steals the next one from the queue.
+///
+/// Precomputations are cached and shared by CFG shape: analyzing two
+/// functions with identical CFGs, or re-analyzing a recompiled function
+/// whose CFG survived (the paper's §1 JIT scenario), costs one cache
+/// probe instead of a §5.2 precomputation. Hits, misses and evictions
+/// are observable through [`cache_stats`](Self::cache_stats).
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_engine::{AnalysisEngine, EngineConfig};
+/// use fastlive_ir::parse_module;
+///
+/// let module = parse_module(
+///     "function %a { block0(v0): v1 = ineg v0  return v1 }
+///      function %b { block0(v0): v1 = bnot v0  return v1 }",
+/// )?;
+/// // threads: 1 makes the cache-counter assertions below exact; with
+/// // more workers, racing probes may compute a shared shape twice.
+/// let engine = AnalysisEngine::new(EngineConfig { threads: 1, ..EngineConfig::default() });
+/// let mut session = engine.analyze(&module);
+///
+/// let a = module.by_name("a").unwrap();
+/// let v0 = module.func(a).params()[0];
+/// let entry = module.func(a).entry_block();
+/// assert!(!session.is_live_in(&module, a, v0, entry));
+///
+/// // %a and %b are CFG-identical: one precomputation served both.
+/// assert_eq!(engine.cache_stats().hits, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct AnalysisEngine {
+    config: EngineConfig,
+    cache: Mutex<FingerprintCache>,
+}
+
+impl AnalysisEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        AnalysisEngine {
+            cache: Mutex::new(FingerprintCache::new(config.cache_capacity)),
+            config,
+        }
+    }
+
+    /// An engine with [`EngineConfig::default`] (auto thread count,
+    /// 256-entry cache).
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Precomputes liveness for every function of `module` — in
+    /// parallel when the config allows — and returns a query session
+    /// over the results. Functions are analyzed through the fingerprint
+    /// cache, so CFG-identical functions (within this module or from
+    /// any earlier analysis) share one precomputation.
+    pub fn analyze(&self, module: &Module) -> EngineSession<'_> {
+        let n = module.len();
+        let workers = self.worker_count(n);
+        let mut slots: Vec<Option<(CfgShape, Arc<FunctionLiveness>)>> = Vec::new();
+        if workers <= 1 {
+            slots.extend(
+                module
+                    .functions()
+                    .iter()
+                    .map(|f| Some(self.shaped_analysis(f))),
+            );
+        } else {
+            slots.resize_with(n, || None);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            // Self-scheduling queue pop: each worker takes
+                            // the next unclaimed function until none remain.
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                done.push((i, self.shaped_analysis(&module.functions()[i])));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, result) in handle.join().expect("analysis worker panicked") {
+                        slots[i] = Some(result);
+                    }
+                }
+            });
+        }
+        EngineSession::new(
+            self,
+            module,
+            slots
+                .into_iter()
+                .map(|s| s.expect("every queue index was claimed by exactly one worker"))
+                .collect(),
+        )
+    }
+
+    /// Analysis for a single function, through the cache: a probe by
+    /// CFG shape, computing and inserting on a miss. The returned
+    /// handle may be shared with every other CFG-identical function.
+    pub fn analysis_for(&self, func: &Function) -> Arc<FunctionLiveness> {
+        self.shaped_analysis(func).1
+    }
+
+    /// [`analysis_for`](Self::analysis_for) that also hands back the
+    /// computed fingerprint (sessions keep it for exact revalidation).
+    pub(crate) fn shaped_analysis(&self, func: &Function) -> (CfgShape, Arc<FunctionLiveness>) {
+        let shape = CfgShape::of(func);
+        if let Some(live) = self.cache.lock().expect("cache poisoned").get(&shape) {
+            return (shape, live);
+        }
+        // Compute outside the lock: precomputation is the expensive
+        // part, and two workers racing on the same shape merely do the
+        // work twice (the second insert refreshes the entry).
+        let live = Arc::new(FunctionLiveness::compute(func));
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(shape.clone(), Arc::clone(&live));
+        (shape, live)
+    }
+
+    /// Cumulative cache statistics (hits / misses / evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// Number of precomputations currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Resolved worker count for a module of `n` functions.
+    fn worker_count(&self, n: usize) -> usize {
+        let configured = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        configured.clamp(1, n.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_ir::parse_module;
+
+    fn small_module() -> Module {
+        parse_module(
+            "function %a { block0(v0): v1 = ineg v0  return v1 }
+             function %b { block0(v0): v1 = bnot v0  return v1 }
+             function %c { block0(v0): jump block1 block1: return v0 }",
+        )
+        .expect("parses")
+    }
+
+    #[test]
+    fn identical_shapes_share_one_precomputation() {
+        let module = small_module();
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 16,
+        });
+        let mut session = engine.analyze(&module);
+        let stats = engine.cache_stats();
+        // %a and %b share a shape; %c differs.
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(engine.cache_len(), 2);
+        // The shared precomputation still answers per-function questions
+        // from each function's own def-use chains.
+        let c = module.by_name("c").unwrap();
+        let v0 = module.func(c).params()[0];
+        let b1 = module.func(c).block_by_index(1);
+        assert!(session.is_live_in(&module, c, v0, b1));
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let module = small_module();
+        for threads in [1usize, 2, 4, 8] {
+            let engine = AnalysisEngine::new(EngineConfig {
+                threads,
+                cache_capacity: 0,
+            });
+            let mut session = engine.analyze(&module);
+            for (id, func) in module.iter() {
+                for v in func.values() {
+                    for b in func.blocks() {
+                        let expect = FunctionLiveness::compute(func).is_live_in(func, v, b);
+                        assert_eq!(
+                            session.is_live_in(&module, id, v, b),
+                            expect,
+                            "threads={threads} {} {v} {b}",
+                            func.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_module_analyzes_to_an_empty_session() {
+        let engine = AnalysisEngine::with_defaults();
+        let session = engine.analyze(&Module::new());
+        assert_eq!(session.num_functions(), 0);
+    }
+}

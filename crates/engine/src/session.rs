@@ -1,0 +1,373 @@
+//! [`EngineSession`]: the epoch-based query surface over an analyzed
+//! [`Module`].
+
+use std::sync::Arc;
+
+use fastlive_core::{BatchLiveness, FunctionLiveness};
+use fastlive_ir::{Block, FuncId, Module, Value};
+
+use crate::engine::AnalysisEngine;
+use crate::fingerprint::CfgShape;
+
+struct SessionEntry {
+    live: Arc<FunctionLiveness>,
+    /// Fingerprint the current `live` was computed (or cache-resolved)
+    /// under — the exact-revalidation baseline.
+    shape: CfgShape,
+    /// [`Function::cfg_version`](fastlive_ir::Function::cfg_version)
+    /// observed when `live` was (re)validated — the O(1) per-query
+    /// staleness signal.
+    cfg_version: u64,
+    /// How many times this function's analysis was recomputed since the
+    /// session started. Bumps exactly when a CFG change is detected.
+    epoch: u64,
+}
+
+/// Per-function liveness queries over a module, with transparent
+/// revalidation.
+///
+/// A session is created by [`AnalysisEngine::analyze`] and holds one
+/// analysis handle per function (possibly shared between CFG-identical
+/// functions). Every query first validates the handle against the
+/// function's *current* state by comparing the function's
+/// [`cfg_version`](fastlive_ir::Function::cfg_version) counter — O(1)
+/// and exact for every mutator-driven edit:
+///
+/// * **Instruction-level edits** (insert/remove instructions, add
+///   values or uses, swap branch arguments) keep the analysis exact
+///   with zero work — the paper's headline property. The version
+///   counter and the epoch do not move.
+/// * **CFG edits** (`add_block`, terminator insertion,
+///   `redirect_branch_target` — every mutator that can change blocks
+///   or edges bumps the counter) invalidate the entry: the next query
+///   recomputes through the engine's fingerprint cache and bumps the
+///   function's *epoch*.
+/// * **Wholesale replacement** of a function (swapping in a different
+///   `Function` object via [`Module::func_mut`]) carries the
+///   replacement's own version counter, which may coincide with the
+///   recorded one. Call [`revalidate`](Self::revalidate) after such a
+///   swap: it compares the exact [`CfgShape`] and recomputes on any
+///   structural difference.
+///
+/// Queries take the module by reference on every call, so the module
+/// stays freely editable between queries — the session never borrows
+/// it.
+pub struct EngineSession<'e> {
+    engine: &'e AnalysisEngine,
+    entries: Vec<SessionEntry>,
+}
+
+impl<'e> EngineSession<'e> {
+    pub(crate) fn new(
+        engine: &'e AnalysisEngine,
+        module: &Module,
+        lives: Vec<(CfgShape, Arc<FunctionLiveness>)>,
+    ) -> Self {
+        EngineSession {
+            engine,
+            entries: lives
+                .into_iter()
+                .zip(module.functions())
+                .map(|((shape, live), func)| SessionEntry {
+                    live,
+                    shape,
+                    cfg_version: func.cfg_version(),
+                    epoch: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of functions the session serves (the module's length at
+    /// [`AnalysisEngine::analyze`] time).
+    pub fn num_functions(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The recomputation epoch of `func`: 0 until its CFG first
+    /// changes, +1 per detected invalidation since.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn epoch(&self, func: FuncId) -> u64 {
+        self.entries[func].epoch
+    }
+
+    /// Total recomputations across all functions since the session
+    /// started.
+    pub fn recomputations(&self) -> u64 {
+        self.entries.iter().map(|e| e.epoch).sum()
+    }
+
+    /// The (revalidated) analysis handle for `func` — for callers that
+    /// want to issue many raw [`FunctionLiveness`] queries without
+    /// per-query session overhead. The handle is exact for the
+    /// function's current state and stays so under instruction-level
+    /// edits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range for the analyzed module.
+    pub fn analysis(&mut self, module: &Module, func: FuncId) -> Arc<FunctionLiveness> {
+        self.refresh(module, func);
+        Arc::clone(&self.entries[func].live)
+    }
+
+    /// Is `v` live-in at block `q` of `module.func(func)`? Exact for
+    /// the function's current state; transparently recomputes if the
+    /// CFG changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn is_live_in(&mut self, module: &Module, func: FuncId, v: Value, q: Block) -> bool {
+        self.refresh(module, func);
+        self.entries[func].live.is_live_in(module.func(func), v, q)
+    }
+
+    /// Is `v` live-out at block `q` of `module.func(func)`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn is_live_out(&mut self, module: &Module, func: FuncId, v: Value, q: Block) -> bool {
+        self.refresh(module, func);
+        self.entries[func].live.is_live_out(module.func(func), v, q)
+    }
+
+    /// Dense route for whole-function consumers: live-in/live-out bit
+    /// rows for **all** `(value, block)` pairs of `func` in one matrix
+    /// pass ([`FunctionLiveness::batch`]), 20–60× cheaper than looping
+    /// scalar queries per `BENCH_query.json`. The snapshot reads the
+    /// def-use chains at call time and goes stale on *any* later edit —
+    /// re-request it after editing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn batch(&mut self, module: &Module, func: FuncId) -> BatchLiveness {
+        self.refresh(module, func);
+        self.entries[func].live.batch(module.func(func))
+    }
+
+    /// Exact revalidation: recomputes the function's [`CfgShape`] and,
+    /// on any structural difference from the shape the current analysis
+    /// was built for, recomputes through the engine (bumping the
+    /// epoch). Needed only after replacing a function wholesale; plain
+    /// mutator-driven edits are caught by the per-query check.
+    ///
+    /// Returns `true` if the analysis was recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn revalidate(&mut self, module: &Module, func: FuncId) -> bool {
+        let current = module.func(func);
+        let shape = CfgShape::of(current);
+        if shape == self.entries[func].shape {
+            // Structurally unchanged: adopt the (possibly different)
+            // version counter so later queries don't recompute for a
+            // CFG that is provably the same.
+            self.entries[func].cfg_version = current.cfg_version();
+            return false;
+        }
+        self.recompute(module, func);
+        true
+    }
+
+    /// The O(1) per-query freshness check: the function's CFG-version
+    /// counter moved ⇒ a block/edge mutation happened ⇒ recompute
+    /// (through the cache, so a shape-preserving rewire that round-trips
+    /// to a known fingerprint is still cheap).
+    fn refresh(&mut self, module: &Module, func: FuncId) {
+        let current = module.func(func);
+        // Block count is a backstop for wholesale replacement, where
+        // the new object's own version counter may coincide with the
+        // recorded one (see `revalidate` for the exact check).
+        if self.entries[func].cfg_version != current.cfg_version()
+            || !self.entries[func].live.is_current_for(current)
+        {
+            self.recompute(module, func);
+        }
+    }
+
+    fn recompute(&mut self, module: &Module, func: FuncId) {
+        let (shape, live) = self.engine.shaped_analysis(module.func(func));
+        let entry = &mut self.entries[func];
+        entry.live = live;
+        entry.shape = shape;
+        entry.cfg_version = module.func(func).cfg_version();
+        entry.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use fastlive_ir::{parse_module, InstData, UnaryOp};
+
+    fn looped_module() -> Module {
+        parse_module(
+            "function %jit { block0(v0):
+                v1 = iconst 0
+                jump block1(v1)
+            block1(v2):
+                v3 = iconst 1
+                v4 = iadd v2, v3
+                v5 = icmp_slt v4, v0
+                brif v5, block1(v4), block2
+            block2:
+                return v4 }",
+        )
+        .expect("parses")
+    }
+
+    #[test]
+    fn instruction_edits_keep_epoch_zero_and_answers_exact() {
+        let mut module = looped_module();
+        let engine = AnalysisEngine::with_defaults();
+        let mut session = engine.analyze(&module);
+        let id = 0;
+        let v0 = module.func(id).params()[0];
+        let b2 = module.func(id).block_by_index(2);
+        assert!(!session.is_live_in(&module, id, v0, b2));
+
+        // Sink a use of v0 into block2: same CFG, new answer, no epoch.
+        module.func_mut(id).insert_inst(
+            b2,
+            0,
+            InstData::Unary {
+                op: UnaryOp::Ineg,
+                arg: v0,
+            },
+        );
+        assert!(session.is_live_in(&module, id, v0, b2));
+        assert_eq!(session.epoch(id), 0);
+        assert_eq!(session.recomputations(), 0);
+    }
+
+    #[test]
+    fn cfg_edits_bump_the_epoch_and_recompute() {
+        let mut module = looped_module();
+        let engine = AnalysisEngine::with_defaults();
+        let mut session = engine.analyze(&module);
+        let id = 0;
+        let v0 = module.func(id).params()[0];
+
+        // Split critical edges: adds blocks, i.e. a CFG change.
+        let created = fastlive_ir::split_critical_edges(module.func_mut(id));
+        assert!(!created.is_empty(), "the loop exit edge is critical");
+        let b2 = module.func(id).block_by_index(2);
+        let before = session.epoch(id);
+        let answer = session.is_live_in(&module, id, v0, b2);
+        assert_eq!(session.epoch(id), before + 1, "CFG change must recompute");
+        // And the recomputed answer matches a from-scratch analysis.
+        let oracle = FunctionLiveness::compute(module.func(id));
+        assert_eq!(answer, oracle.is_live_in(module.func(id), v0, b2));
+    }
+
+    #[test]
+    fn redirect_without_block_count_change_invalidates() {
+        // Rewiring an edge keeps the block count — only the CFG-version
+        // counter betrays the change. The session must recompute, not
+        // serve stale answers.
+        let mut module = parse_module(
+            "function %f { block0(v0): jump block1 block1: jump block2 block2: return v0 }",
+        )
+        .expect("parses");
+        let engine = AnalysisEngine::with_defaults();
+        let mut session = engine.analyze(&module);
+        let v0 = module.func(0).params()[0];
+        let b1 = module.func(0).block_by_index(1);
+        assert!(session.is_live_in(&module, 0, v0, b1));
+
+        // block0 now jumps straight to block2: block1 is unreachable.
+        let func = module.func_mut(0);
+        let jump = func.block_insts(func.entry_block())[0];
+        let b2 = func.block_by_index(2);
+        func.redirect_branch_target(jump, 0, b2, vec![]);
+
+        assert!(
+            !session.is_live_in(&module, 0, v0, b1),
+            "stale answer after edge rewire"
+        );
+        assert_eq!(session.epoch(0), 1, "rewire must recompute");
+        let oracle = FunctionLiveness::compute(module.func(0));
+        for b in module.func(0).blocks() {
+            assert_eq!(
+                session.is_live_in(&module, 0, v0, b),
+                oracle.is_live_in(module.func(0), v0, b)
+            );
+        }
+    }
+
+    #[test]
+    fn revalidate_catches_same_block_count_replacement() {
+        let mut module = parse_module("function %f { block0(v0): jump block1 block1: return v0 }")
+            .expect("parses");
+        let engine = AnalysisEngine::with_defaults();
+        let mut session = engine.analyze(&module);
+
+        // Replace %f with a CFG-different function of the SAME block
+        // count (self-loop instead of straight-line).
+        let replacement = fastlive_ir::parse_function(
+            "function %f { block0(v0): brif v0, block0, block1 block1: return v0 }",
+        )
+        .expect("parses");
+        *module.func_mut(0) = replacement;
+        assert!(session.revalidate(&module, 0), "shape changed");
+        assert_eq!(session.epoch(0), 1);
+        assert!(!session.revalidate(&module, 0), "now current");
+
+        let v0 = module.func(0).params()[0];
+        let b0 = module.func(0).entry_block();
+        let oracle = FunctionLiveness::compute(module.func(0));
+        assert_eq!(
+            session.is_live_out(&module, 0, v0, b0),
+            oracle.is_live_out(module.func(0), v0, b0)
+        );
+    }
+
+    #[test]
+    fn recompile_with_identical_cfg_is_a_cache_hit() {
+        let module = looped_module();
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 8,
+        });
+        let _first = engine.analyze(&module);
+        assert_eq!(engine.cache_stats().misses, 1);
+
+        // "Recompile": parse the same source again — fresh Function
+        // objects, identical CFG. The second analysis never precomputes.
+        let recompiled = parse_module(&module.to_string()).expect("round-trips");
+        let mut session = engine.analyze(&recompiled);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "no new precomputation");
+        assert_eq!(stats.hits, 1);
+
+        let v0 = recompiled.func(0).params()[0];
+        let b1 = recompiled.func(0).block_by_index(1);
+        assert!(session.is_live_in(&recompiled, 0, v0, b1));
+    }
+
+    #[test]
+    fn batch_matches_scalar_session_queries() {
+        let module = looped_module();
+        let engine = AnalysisEngine::with_defaults();
+        let mut session = engine.analyze(&module);
+        let batch = session.batch(&module, 0);
+        let func = module.func(0);
+        for v in func.values() {
+            for b in func.blocks() {
+                assert_eq!(
+                    batch.is_live_in(v.index() as u32, b.as_u32()),
+                    session.is_live_in(&module, 0, v, b),
+                    "{v} at {b}"
+                );
+            }
+        }
+    }
+}

@@ -76,6 +76,9 @@ pub struct Function {
     uses: Vec<Vec<Inst>>,
     succs: Vec<Vec<NodeId>>,
     preds: Vec<Vec<NodeId>>,
+    /// Bumped by every mutation that can change the CFG shape (blocks
+    /// or edges); see [`Function::cfg_version`].
+    cfg_version: u64,
 }
 
 impl Function {
@@ -91,13 +94,30 @@ impl Function {
             uses: Vec::new(),
             succs: Vec::new(),
             preds: Vec::new(),
+            cfg_version: 0,
         }
+    }
+
+    /// A monotone counter of CFG-shape mutations: incremented by
+    /// [`add_block`](Self::add_block), by inserting a terminator, and
+    /// by [`redirect_branch_target`](Self::redirect_branch_target) —
+    /// every mutator that can add blocks or change the edge relation.
+    /// Instruction-level edits (non-terminator inserts/removals, use
+    /// replacement, branch-*argument* changes) leave it untouched.
+    ///
+    /// This is the O(1) staleness signal for consumers that cache
+    /// CFG-dependent analyses (the paper's precomputation): equal
+    /// version on the same `Function` object ⇒ the CFG has not changed
+    /// since.
+    pub fn cfg_version(&self) -> u64 {
+        self.cfg_version
     }
 
     // ---------------------------------------------------------- blocks
 
     /// Appends a new empty block. The first block becomes the entry.
     pub fn add_block(&mut self) -> Block {
+        self.cfg_version += 1;
         self.succs.push(Vec::new());
         self.preds.push(Vec::new());
         self.blocks.push(BlockData::default())
@@ -247,6 +267,7 @@ impl Function {
         self.results.push(result);
         // CFG edges.
         if self.insts[inst].is_terminator() {
+            self.cfg_version += 1;
             for t in self.insts[inst].branch_targets() {
                 let dest = t.block;
                 assert!(dest.index() < self.blocks.len(), "branch to unknown {dest}");
@@ -482,6 +503,7 @@ impl Function {
         remove_one(&mut self.preds[old_block.index()], from.as_u32());
         self.succs[from.index()].push(new_block.as_u32());
         self.preds[new_block.index()].push(from.as_u32());
+        self.cfg_version += 1;
     }
 
     /// Removes the `index`-th parameter of `block` together with the
@@ -851,6 +873,49 @@ mod tests {
         assert!(f.preds(b1.as_u32()).contains(&mid.as_u32()));
         assert!(!f.preds(b1.as_u32()).contains(&b0.as_u32()));
         f.check_use_chains().expect("chains consistent");
+    }
+
+    #[test]
+    fn cfg_version_tracks_exactly_the_cfg_mutators() {
+        let mut f = Function::new("v");
+        assert_eq!(f.cfg_version(), 0);
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let v2 = f.cfg_version();
+        assert_eq!(v2, 2, "each add_block bumps");
+
+        // Non-terminator instructions never bump.
+        let x = f.ins(b0).iconst(1);
+        let y = f.ins(b0).iadd(x, x);
+        assert_eq!(f.cfg_version(), v2);
+
+        // Terminators add edges: bump.
+        let j = f.ins(b0).jump(b1, vec![]);
+        let v3 = f.cfg_version();
+        assert!(v3 > v2);
+        f.ins(b1).ret(vec![y]);
+        let v4 = f.cfg_version();
+        assert!(v4 > v3);
+
+        // Use-level edits never bump...
+        f.replace_all_uses(x, y);
+        let dead = f.insert_inst(
+            b1,
+            0,
+            InstData::Unary {
+                op: crate::UnaryOp::Ineg,
+                arg: y,
+            },
+        );
+        f.remove_inst(dead);
+        assert_eq!(f.cfg_version(), v4);
+
+        // ... but rewiring a branch target does.
+        let b2 = f.add_block();
+        f.ins(b2).ret(vec![]);
+        let before = f.cfg_version();
+        f.redirect_branch_target(j, 0, b2, vec![]);
+        assert!(f.cfg_version() > before);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod entities;
 mod function;
 pub mod instr;
 pub mod interp;
+mod module;
 mod parser;
 mod printer;
 mod transform;
@@ -65,6 +66,7 @@ mod verify;
 pub use entities::{Block, Inst, Value};
 pub use function::{Function, ValueDef};
 pub use instr::{BinaryOp, BlockCall, InstData, UnaryOp};
-pub use parser::{parse_function, ParseError};
+pub use module::{FuncId, Module};
+pub use parser::{parse_function, parse_module, ParseError};
 pub use transform::{remove_dead_block_params, split_critical_edges};
 pub use verify::{verify_structure, VerifyError};

@@ -3,6 +3,7 @@
 //! The grammar (whitespace-insensitive, `;` starts a line comment):
 //!
 //! ```text
+//! module    ::= function+
 //! function  ::= "function" "%" NAME [paramlist] "{" block* "}"
 //! block     ::= BLOCKREF [paramlist] ":" inst*
 //! paramlist ::= "(" [VALUEREF ("," VALUEREF)*] ")"
@@ -14,11 +15,15 @@
 //! ```
 //!
 //! Source names (`v7`, `block3`) are arbitrary non-negative numbers; they
-//! are mapped to freshly numbered entities in order of first definition.
-//! Blocks may be referenced before their definition; **values must be
-//! defined textually before use** (the printer always emits functions in
-//! creation order, where this holds for every function this workspace
-//! builds).
+//! are mapped to freshly numbered entities in order of first definition,
+//! independently per function. Blocks may be referenced before their
+//! definition; **values must be defined textually before use** (the
+//! printer always emits functions in creation order, where this holds for
+//! every function this workspace builds).
+//!
+//! [`parse_function`] accepts exactly one `function` unit;
+//! [`parse_module`] accepts one or more and returns a
+//! [`Module`](crate::Module).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -26,6 +31,7 @@ use std::fmt;
 use crate::entities::{Block, Value};
 use crate::function::Function;
 use crate::instr::{BinaryOp, BlockCall, InstData, UnaryOp};
+use crate::module::Module;
 
 /// A parse error with 1-based line/column and a message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,7 +76,51 @@ impl std::error::Error for ParseError {}
 /// # Ok::<(), fastlive_ir::ParseError>(())
 /// ```
 pub fn parse_function(src: &str) -> Result<Function, ParseError> {
-    Parser::new(src).parse()
+    Parser::new(src)?.parse()
+}
+
+/// Parses a whole [`Module`]: one or more `function` units in one
+/// source. Function names must be distinct; entity numbering restarts
+/// per function, so each unit is exactly what [`parse_function`] would
+/// accept on its own.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for any per-function syntax error, for an
+/// empty source, and for duplicate function names.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_ir::parse_module;
+///
+/// let m = parse_module(
+///     "function %a { block0: return }
+///      function %b { block0(v0): return v0 }",
+/// )?;
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.func(m.by_name("b").unwrap()).params().len(), 1);
+/// # Ok::<(), fastlive_ir::ParseError>(())
+/// ```
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let mut parser = Parser::new(src)?;
+    let mut module = Module::new();
+    if parser.tok == Tok::Eof {
+        return Err(parser.err("empty module: expected at least one `function`"));
+    }
+    while parser.tok != Tok::Eof {
+        let (line, col) = (parser.line, parser.col);
+        let func = parser.parse_unit()?;
+        if module.by_name(&func.name).is_some() {
+            return Err(ParseError {
+                line,
+                col,
+                message: format!("function %{} defined twice", func.name),
+            });
+        }
+        module.push(func);
+    }
+    Ok(module)
 }
 
 // ------------------------------------------------------------- lexer
@@ -230,68 +280,79 @@ impl<'a> Lexer<'a> {
 
 // ------------------------------------------------------------ parser
 
-struct Parser<'a> {
-    src: &'a str,
-    lexer: Lexer<'a>,
+struct Parser {
+    /// The whole source, pre-lexed (the last entry is always `Eof`).
+    toks: Vec<(Tok, usize, usize)>,
+    /// Index of the current token within `toks`.
+    pos: usize,
     tok: Tok,
     line: usize,
     col: usize,
-    /// One-token lookahead buffer beyond `tok`.
-    pending: Option<(Tok, usize, usize)>,
-    /// Source block number -> entity. Headers are pre-registered in
-    /// definition order so that block numbering is stable under
-    /// print/parse round trips regardless of forward references.
+    /// Source block number -> entity, for the function being parsed.
+    /// Headers are pre-registered in definition order so that block
+    /// numbering is stable under print/parse round trips regardless of
+    /// forward references.
     blocks: HashMap<u64, Block>,
     /// Source value number -> entity (created at definition).
     values: HashMap<u64, Value>,
     func: Function,
 }
 
-impl<'a> Parser<'a> {
-    fn new(src: &'a str) -> Self {
-        Parser {
-            src,
-            lexer: Lexer::new(src),
-            tok: Tok::Eof,
-            line: 1,
-            col: 1,
-            pending: None,
-            blocks: HashMap::new(),
-            values: HashMap::new(),
-            func: Function::new(""),
-        }
-    }
-
-    /// Pre-pass: register every block *header* (an identifier `blockN`
-    /// followed by `:` or by `( ... ) :`) in textual order, so blocks
-    /// are numbered by definition rather than first mention.
-    fn preregister_blocks(&mut self) -> Result<(), ParseError> {
-        let mut lexer = Lexer::new(self.src);
-        let mut toks: Vec<Tok> = Vec::new();
+impl Parser {
+    /// Lexes the whole source up front (a module can then be parsed as
+    /// a sequence of function units without re-lexing).
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let mut toks = Vec::new();
         loop {
-            let (t, ..) = lexer.next_token()?;
-            let done = t == Tok::Eof;
-            toks.push(t);
+            let entry = lexer.next_token()?;
+            let done = entry.0 == Tok::Eof;
+            toks.push(entry);
             if done {
                 break;
             }
         }
-        let mut i = 0;
-        while i < toks.len() {
-            if let Tok::Ident(name) = &toks[i] {
-                if Self::entity_num(name, "block").is_some() {
+        let (tok, line, col) = toks[0].clone();
+        Ok(Parser {
+            toks,
+            pos: 0,
+            tok,
+            line,
+            col,
+            blocks: HashMap::new(),
+            values: HashMap::new(),
+            func: Function::new(""),
+        })
+    }
+
+    /// Pre-pass: register every block *header* (an identifier `blockN`
+    /// followed by `:` or by `( ... ) :`) of the **current function
+    /// body** in textual order, so blocks are numbered by definition
+    /// rather than first mention. Called with the cursor just past the
+    /// function's `{`; scans up to the matching `}` without moving it.
+    fn preregister_blocks(&mut self) -> Result<(), ParseError> {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.toks.len() {
+            match &self.toks[i].0 {
+                Tok::LBrace => depth += 1,
+                Tok::RBrace if depth == 0 => break,
+                Tok::RBrace => depth -= 1,
+                Tok::Eof => break,
+                Tok::Ident(name) if Self::entity_num(name, "block").is_some() => {
                     let mut j = i + 1;
-                    if toks.get(j) == Some(&Tok::LParen) {
-                        while j < toks.len() && toks[j] != Tok::RParen {
+                    if self.toks.get(j).map(|t| &t.0) == Some(&Tok::LParen) {
+                        while j < self.toks.len() && self.toks[j].0 != Tok::RParen {
                             j += 1;
                         }
                         j += 1;
                     }
-                    if toks.get(j) == Some(&Tok::Colon) {
+                    if self.toks.get(j).map(|t| &t.0) == Some(&Tok::Colon) {
                         let name = name.clone();
                         self.block_ref(&name)?;
                     }
                 }
+                _ => {}
             }
             i += 1;
         }
@@ -307,10 +368,10 @@ impl<'a> Parser<'a> {
     }
 
     fn advance(&mut self) -> Result<(), ParseError> {
-        let (tok, line, col) = match self.pending.take() {
-            Some(buffered) => buffered,
-            None => self.lexer.next_token()?,
-        };
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        let (tok, line, col) = self.toks[self.pos].clone();
         self.tok = tok;
         self.line = line;
         self.col = col;
@@ -319,10 +380,7 @@ impl<'a> Parser<'a> {
 
     /// Peeks one token past `self.tok` without consuming anything.
     fn peek_next(&mut self) -> Result<&Tok, ParseError> {
-        if self.pending.is_none() {
-            self.pending = Some(self.lexer.next_token()?);
-        }
-        Ok(&self.pending.as_ref().expect("just filled").0)
+        Ok(self.toks.get(self.pos + 1).map_or(&Tok::Eof, |t| &t.0))
     }
 
     fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
@@ -352,7 +410,21 @@ impl<'a> Parser<'a> {
     }
 
     fn parse(mut self) -> Result<Function, ParseError> {
-        self.advance()?;
+        let func = self.parse_unit()?;
+        if self.tok != Tok::Eof {
+            return Err(self.err(format!("trailing input: {}", self.tok)));
+        }
+        Ok(func)
+    }
+
+    /// Parses one `function %name { ... }` unit, leaving the cursor on
+    /// the first token after its closing `}` (the next unit's
+    /// `function` keyword, or `Eof`). Per-function entity maps reset
+    /// here, so source numbering restarts with every unit.
+    fn parse_unit(&mut self) -> Result<Function, ParseError> {
+        self.blocks.clear();
+        self.values.clear();
+        self.func = Function::new("");
         match &self.tok {
             Tok::Ident(k) if k == "function" => self.advance()?,
             _ => return Err(self.err(format!("expected `function`, found {}", self.tok))),
@@ -374,9 +446,6 @@ impl<'a> Parser<'a> {
             self.parse_block()?;
         }
         self.expect(Tok::RBrace)?;
-        if self.tok != Tok::Eof {
-            return Err(self.err(format!("trailing input: {}", self.tok)));
-        }
 
         // Every referenced block must have been defined with a header.
         for b in self.func.blocks() {
@@ -388,7 +457,7 @@ impl<'a> Parser<'a> {
                 });
             }
         }
-        Ok(self.func)
+        Ok(std::mem::replace(&mut self.func, Function::new("")))
     }
 
     fn block_ref(&mut self, name: &str) -> Result<Block, ParseError> {
@@ -683,6 +752,63 @@ block0(v0):
             e.message.contains("never defined") || e.message.contains("terminator"),
             "{e}"
         );
+    }
+
+    #[test]
+    fn parses_a_module_with_forward_references() {
+        let m = parse_module(
+            "function %first {
+                block0(v0): jump block2
+                block2: return v0
+             }
+             ; a comment between units
+             function %second { block0: return }",
+        )
+        .expect("parses");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.func(0).num_blocks(), 2);
+        assert_eq!(m.func(1).num_blocks(), 1);
+    }
+
+    #[test]
+    fn module_block_preregistration_is_per_function() {
+        // %b's headers must not leak block entities into %a: each unit
+        // sees exactly its own blocks, in its own textual order.
+        let m = parse_module(
+            "function %a { block0: jump block1 block1: return }
+             function %b { block0: jump block7 block7: return }",
+        )
+        .expect("parses");
+        assert_eq!(m.func(0).num_blocks(), 2);
+        assert_eq!(m.func(1).num_blocks(), 2);
+    }
+
+    #[test]
+    fn module_errors() {
+        // Empty source.
+        assert!(parse_module("").is_err());
+        // Duplicate names.
+        let e = parse_module("function %f { block0: return } function %f { block0: return }")
+            .unwrap_err();
+        assert!(e.message.contains("defined twice"), "{e}");
+        // A syntax error in the second unit reports its position.
+        let e = parse_module("function %a { block0: return }\nfunction %b { block0: v1 = bogus }")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        // A single function with trailing garbage still errors through
+        // parse_function but is two units for parse_module only if the
+        // garbage is a function.
+        assert!(parse_module("function %a { block0: return } extra").is_err());
+    }
+
+    #[test]
+    fn single_function_parser_rejects_modules() {
+        let e = parse_function(
+            "function %a { block0: return }
+             function %b { block0: return }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("trailing input"), "{e}");
     }
 
     #[test]

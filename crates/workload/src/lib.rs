@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod irreducible;
+mod module;
 mod profiles;
 mod random;
 mod rng;
@@ -40,6 +41,7 @@ mod structured;
 mod suite;
 
 pub use irreducible::inject_gotos;
+pub use module::{generate_module, ModuleParams};
 pub use profiles::{BenchProfile, SPEC2000_INT};
 pub use random::random_digraph;
 pub use rng::SplitMix64;

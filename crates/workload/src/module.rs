@@ -1,0 +1,153 @@
+//! Random multi-function [`Module`] generation — the workload shape of
+//! the `fastlive-engine` analysis engine.
+//!
+//! A module mixes sizes the way a real compilation unit does: mostly
+//! small structured (reducible) functions with a tail of larger ones,
+//! plus an optional fraction of goto-injected procedures whose CFGs may
+//! end up irreducible. Everything is seeded and bit-stable, like the
+//! rest of this crate.
+
+use fastlive_construct::construct_ssa;
+use fastlive_ir::Module;
+
+use crate::inject_gotos;
+use crate::rng::SplitMix64;
+use crate::structured::{generate_pre, GenParams};
+
+/// Parameters for [`generate_module`].
+#[derive(Copy, Clone, Debug)]
+pub struct ModuleParams {
+    /// Number of functions to generate.
+    pub functions: usize,
+    /// Smallest per-function block target (inclusive).
+    pub min_blocks: usize,
+    /// Largest per-function block target (inclusive).
+    pub max_blocks: usize,
+    /// Per-mille of functions receiving goto injection (about half of
+    /// those end up truly irreducible; injections that would break
+    /// strict SSA are discarded, as in the suite generator).
+    pub irreducible_per_mille: u32,
+}
+
+impl Default for ModuleParams {
+    fn default() -> Self {
+        ModuleParams {
+            functions: 16,
+            min_blocks: 4,
+            max_blocks: 48,
+            irreducible_per_mille: 125,
+        }
+    }
+}
+
+/// Generates a module of `params.functions` strict-SSA functions named
+/// `{prefix}_0 .. {prefix}_{n-1}`. Same seed, same module — the
+/// engine's equivalence tests and the scaling benchmarks rely on that.
+///
+/// # Panics
+///
+/// Panics if `params.functions == 0` or `min_blocks > max_blocks`.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_workload::{generate_module, ModuleParams};
+///
+/// let m = generate_module("demo", ModuleParams { functions: 3, ..ModuleParams::default() }, 7);
+/// assert_eq!(m.len(), 3);
+/// assert!(m.by_name("demo_2").is_some());
+/// ```
+pub fn generate_module(prefix: &str, params: ModuleParams, seed: u64) -> Module {
+    assert!(params.functions > 0, "a module needs at least one function");
+    assert!(
+        params.min_blocks <= params.max_blocks,
+        "min_blocks must not exceed max_blocks"
+    );
+    let mut rng = SplitMix64::new(seed ^ 0x6d6f_6475_6c65); // "module"
+    let span = (params.max_blocks - params.min_blocks + 1) as u64;
+    let mut module = Module::new();
+    for i in 0..params.functions {
+        let target = params.min_blocks + rng.range(span) as usize;
+        let gen = GenParams {
+            target_blocks: target,
+            max_depth: 3 + (target / 20).min(4) as u32,
+            num_params: 1 + rng.range(4) as u32,
+            ..GenParams::default()
+        };
+        let fseed = rng.next_u64();
+        let mut pre = generate_pre(&format!("{prefix}_{i}"), gen, fseed);
+        if rng.range(1000) < params.irreducible_per_mille as u64 {
+            let mut dirty = pre.clone();
+            inject_gotos(&mut dirty, 2 + rng.range(3) as usize, fseed);
+            if construct_ssa(&dirty).is_ok() {
+                pre = dirty;
+            }
+        }
+        module.push(construct_ssa(&pre).expect("generated programs are strict"));
+    }
+    module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_cfg::{DfsTree, DomTree, Reducibility};
+
+    #[test]
+    fn deterministic_and_named() {
+        let p = ModuleParams {
+            functions: 5,
+            ..ModuleParams::default()
+        };
+        let a = generate_module("m", p, 42);
+        let b = generate_module("m", p, 42);
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.len(), 5);
+        for i in 0..5 {
+            assert_eq!(a.by_name(&format!("m_{i}")), Some(i));
+        }
+        // A different seed gives a different module.
+        let c = generate_module("m", p, 43);
+        assert_ne!(a.to_string(), c.to_string());
+    }
+
+    #[test]
+    fn block_targets_are_respected_loosely() {
+        let p = ModuleParams {
+            functions: 12,
+            min_blocks: 6,
+            max_blocks: 30,
+            irreducible_per_mille: 0,
+        };
+        let m = generate_module("sized", p, 9);
+        for (_, f) in m.iter() {
+            // The structured generator overshoots targets slightly.
+            assert!(f.num_blocks() >= 3, "{} too small", f.name);
+            assert!(f.num_blocks() <= 3 * 30, "{} too big", f.name);
+        }
+    }
+
+    #[test]
+    fn high_injection_rate_yields_some_irreducible_functions() {
+        let p = ModuleParams {
+            functions: 40,
+            min_blocks: 12,
+            max_blocks: 32,
+            irreducible_per_mille: 1000,
+        };
+        let m = generate_module("irr", p, 3);
+        let irreducible = m
+            .functions()
+            .iter()
+            .filter(|f| {
+                let dfs = DfsTree::compute(*f);
+                let dom = DomTree::compute(*f, &dfs);
+                !Reducibility::compute(&dfs, &dom).is_reducible()
+            })
+            .count();
+        assert!(
+            irreducible >= 4,
+            "only {irreducible} of 40 goto-injected functions were irreducible"
+        );
+    }
+}

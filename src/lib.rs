@@ -57,6 +57,7 @@
 //! | [`cfg`] | DFS trees, dominators, dominance frontiers, loop forests |
 //! | [`ir`] | SSA IR: functions, builder, parser, printer, interpreter |
 //! | [`core`] | the paper's algorithm: precomputation + live-in/live-out checks |
+//! | [`engine`] | module-level analysis: worker pool, CFG-fingerprint cache, sessions |
 //! | [`dataflow`] | baseline engines and the brute-force oracle |
 //! | [`construct`] | SSA construction (Cytron et al.) |
 //! | [`destruct`] | SSA destruction (Sreedhar et al. Method III) |
@@ -70,6 +71,7 @@ pub use fastlive_construct as construct;
 pub use fastlive_core as core;
 pub use fastlive_dataflow as dataflow;
 pub use fastlive_destruct as destruct;
+pub use fastlive_engine as engine;
 pub use fastlive_graph as graph;
 pub use fastlive_ir as ir;
 pub use fastlive_workload as workload;
