@@ -35,7 +35,7 @@ fn bench_query(c: &mut Criterion) {
             b.iter(|| replay_checker(&checker, &p.func, &p.queries))
         });
         group.bench_with_input(BenchmarkId::new("native_lookup", i), p, |b, p| {
-            b.iter(|| replay_native(&lao, &p.queries))
+            b.iter(|| replay_native(&lao, &p.func, &p.queries))
         });
     }
     group.finish();

@@ -1,0 +1,228 @@
+//! Emits `BENCH_point.json`: program-point query and module-destruction
+//! numbers for the point-precise liveness API.
+//!
+//! * `point_replay` — the `live_at` records of real SSA-destruction
+//!   query streams (the Budimlić interference tests the pass issued),
+//!   replayed per suite against two implementations of the same
+//!   query: the core **fast path**
+//!   (`FunctionLiveness::is_live_at`, suffix membership scan) and the
+//!   **chain-walk shim** it replaced
+//!   (`is_live_at_chain_walk`, the destruct-private per-use
+//!   `inst_position` walk that used to live in
+//!   `crates/destruct/src/interference.rs`). Answers are asserted
+//!   equal before timing; `speedup` is shim/fast, so ≥ 1.0 means the
+//!   refactor did not regress the query.
+//! * `destruct_module` — whole-module SSA destruction through
+//!   `AnalysisEngine::destruct_module`: a cold run (every post-split
+//!   shape precomputes) vs a warm rerun on the same engine (every
+//!   probe hits the fingerprint cache — the JIT recompilation story),
+//!   with the final cache counters including `dedup_hits`.
+//!
+//! ```text
+//! cargo run --release -p fastlive-bench --bin bench_point_json [--quick] [OUT.json]
+//! ```
+//!
+//! `--quick` shrinks workloads and repetition counts for CI smoke runs
+//! (the JSON schema is identical).
+
+use std::fmt::Write as _;
+
+use fastlive_bench::{prepare_suite, time_ns, PreparedProc};
+use fastlive_core::FunctionLiveness;
+use fastlive_engine::{AnalysisEngine, EngineConfig};
+use fastlive_ir::{Function, ProgramPoint};
+use fastlive_workload::{generate_module, generate_suite, ModuleParams};
+
+/// One function's point-query stream: the `LiveAt` records of its
+/// destruction run, resolved to points.
+struct PointStream {
+    func: Function,
+    points: Vec<(fastlive_ir::Value, ProgramPoint)>,
+}
+
+fn point_streams(prepared: Vec<PreparedProc>) -> Vec<PointStream> {
+    prepared
+        .into_iter()
+        .map(|p| {
+            let points = p
+                .queries
+                .iter()
+                .filter_map(|q| q.point().map(|point| (q.value, point)))
+                .collect();
+            PointStream {
+                func: p.func,
+                points,
+            }
+        })
+        .filter(|s| !s.points.is_empty())
+        .collect()
+}
+
+fn replay_fast(live: &FunctionLiveness, s: &PointStream) -> usize {
+    s.points
+        .iter()
+        .map(|&(v, p)| live.is_live_at(&s.func, v, p).expect("def exists") as usize)
+        .sum()
+}
+
+fn replay_shim(live: &FunctionLiveness, s: &PointStream) -> usize {
+    s.points
+        .iter()
+        .map(|&(v, p)| {
+            live.is_live_at_chain_walk(&s.func, v, p)
+                .expect("def exists") as usize
+        })
+        .sum()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_point.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (scale, reps, module_functions) = if quick { (10, 3, 12) } else { (60, 9, 64) };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+
+    // ---- Point-query replay: fast path vs the retired chain-walk shim.
+    json.push_str("  \"point_replay\": [\n");
+    let suite_picks = [1usize, 4, 8]; // small, medium, large Table-1 profiles
+    for (row, &pi) in suite_picks.iter().enumerate() {
+        let profile = &fastlive_workload::SPEC2000_INT[pi];
+        let suite = generate_suite(profile, scale, 0x9015 + pi as u64);
+        let streams = point_streams(prepare_suite(&suite));
+        let total: usize = streams.iter().map(|s| s.points.len()).sum();
+        assert!(total > 0, "destruction must issue point queries");
+
+        let analyses: Vec<FunctionLiveness> = streams
+            .iter()
+            .map(|s| FunctionLiveness::compute(&s.func))
+            .collect();
+        // The two paths are the same function — assert before timing.
+        for (live, s) in analyses.iter().zip(&streams) {
+            assert_eq!(
+                replay_fast(live, s),
+                replay_shim(live, s),
+                "{}",
+                s.func.name
+            );
+        }
+        // Interleaved A/B samples (fast, shim, fast, shim, …) so slow
+        // drift in machine state biases neither side; small streams
+        // loop several replays per sample to rise above timer noise.
+        let iters = (100_000 / total).max(1);
+        let mut fast_samples = Vec::with_capacity(reps);
+        let mut shim_samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            fast_samples.push(time_ns(1, || {
+                (0..iters)
+                    .map(|_| {
+                        analyses
+                            .iter()
+                            .zip(&streams)
+                            .map(|(live, s)| replay_fast(live, s))
+                            .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            }));
+            shim_samples.push(time_ns(1, || {
+                (0..iters)
+                    .map(|_| {
+                        analyses
+                            .iter()
+                            .zip(&streams)
+                            .map(|(live, s)| replay_shim(live, s))
+                            .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            }));
+        }
+        let median = |mut v: Vec<f64>| {
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let fast_ns = median(fast_samples) / iters as f64;
+        let shim_ns = median(shim_samples) / iters as f64;
+        let speedup = shim_ns / fast_ns;
+        let _ = write!(
+            json,
+            "{}    {{\"suite\": \"{}\", \"procs\": {}, \"point_queries\": {total}, \
+             \"fast_ns_per_query\": {:.1}, \"shim_ns_per_query\": {:.1}, \"speedup\": {speedup:.2}}}",
+            if row == 0 { "" } else { ",\n" },
+            profile.name,
+            streams.len(),
+            fast_ns / total as f64,
+            shim_ns / total as f64,
+        );
+        eprintln!(
+            "point_replay {:<12} {total:>6} queries: fast {:>7.1} ns/q, shim {:>7.1} ns/q ({speedup:.2}x)",
+            profile.name,
+            fast_ns / total as f64,
+            shim_ns / total as f64,
+        );
+    }
+
+    // ---- Whole-module destruction: engine-cold vs engine-warm.
+    let module = generate_module(
+        "point_bench",
+        ModuleParams {
+            functions: module_functions,
+            min_blocks: 6,
+            max_blocks: 48,
+            irreducible_per_mille: 100,
+        },
+        0xbeef,
+    );
+    let threads = 4.min(host_cpus.max(1));
+    // Cold: a fresh engine per repetition (every shape precomputes).
+    let cold_ns = time_ns(reps, || {
+        AnalysisEngine::new(EngineConfig {
+            threads,
+            cache_capacity: 1024,
+        })
+        .destruct_module(&module)
+        .len()
+    });
+    // Warm: one pre-warmed engine, rerunning the whole-module pass.
+    let engine = AnalysisEngine::new(EngineConfig {
+        threads,
+        cache_capacity: 1024,
+    });
+    let _ = engine.destruct_module(&module);
+    let misses_before = engine.cache_stats().misses;
+    let warm_ns = time_ns(reps, || engine.destruct_module(&module).len());
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.misses, misses_before,
+        "warm module destruction must not precompute"
+    );
+    let speedup = cold_ns / warm_ns;
+    let _ = write!(
+        json,
+        "\n  ],\n  \"destruct_module\": {{\"functions\": {}, \"threads\": {threads}, \
+         \"cold_ns\": {cold_ns:.0}, \"warm_ns\": {warm_ns:.0}, \"speedup\": {speedup:.2}, \
+         \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"dedup_hits\": {}}}}}\n}}\n",
+        module.len(),
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.dedup_hits
+    );
+    eprintln!(
+        "destruct_module {n} functions: cold {cold_ns:.0} ns, warm {warm_ns:.0} ns \
+         ({speedup:.2}x), {stats:?}",
+        n = module.len()
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_point.json");
+    println!("wrote {out_path}");
+}

@@ -89,13 +89,19 @@ pub fn time_ns<T>(reps: usize, mut work: impl FnMut() -> T) -> f64 {
 
 /// Replays a query stream against the paper's checker; returns the
 /// number of positive answers (and keeps the loop from being optimized
-/// away).
+/// away). Point queries ([`QueryKind::LiveAt`]) go through
+/// [`FunctionLiveness::is_live_at`].
 pub fn replay_checker(live: &FunctionLiveness, func: &Function, queries: &[QueryRecord]) -> usize {
     let mut hits = 0;
     for q in queries {
         let ans = match q.kind {
             QueryKind::LiveIn => live.is_live_in(func, q.value, q.block),
             QueryKind::LiveOut => live.is_live_out(func, q.value, q.block),
+            QueryKind::LiveAt { .. } => {
+                let p = q.point().expect("LiveAt record carries a point");
+                live.is_live_at(func, q.value, p)
+                    .expect("recorded streams never query detached definitions")
+            }
         };
         hits += ans as usize;
     }
@@ -103,13 +109,24 @@ pub fn replay_checker(live: &FunctionLiveness, func: &Function, queries: &[Query
 }
 
 /// Replays a query stream against the LAO-style baseline (binary-search
-/// lookups in sorted arrays).
-pub fn replay_native(live: &LaoLiveness, queries: &[QueryRecord]) -> usize {
+/// lookups in sorted arrays). Point queries use the block-query
+/// decomposition — exactly what a block-granularity engine must do —
+/// over `func`'s current def-use chains.
+pub fn replay_native(live: &LaoLiveness, func: &Function, queries: &[QueryRecord]) -> usize {
     let mut hits = 0;
     for q in queries {
         let ans = match q.kind {
             QueryKind::LiveIn => live.is_live_in(q.value, q.block),
             QueryKind::LiveOut => live.is_live_out(q.value, q.block),
+            QueryKind::LiveAt { .. } => {
+                let p = q.point().expect("LiveAt record carries a point");
+                match func.is_defined_at(q.value, p) {
+                    Some(true) => {
+                        func.has_use_after(q.value, p) || live.is_live_out(q.value, p.block())
+                    }
+                    _ => false,
+                }
+            }
         };
         hits += ans as usize;
     }
@@ -259,7 +276,7 @@ pub fn measure_suite(profile: &BenchProfile, prepared: &[PreparedProc], reps: us
         fill_full += LaoLiveness::compute(&p.func, &all).average_fill();
         if !p.queries.is_empty() {
             queries += p.queries.len();
-            native_q += time_ns(reps, || replay_native(&lao, &p.queries));
+            native_q += time_ns(reps, || replay_native(&lao, &p.func, &p.queries));
             new_q += time_ns(reps, || replay_checker(&checker, &p.func, &p.queries));
         }
     }
@@ -347,6 +364,13 @@ mod tests {
                         checker.is_live_out(&p.func, q.value, q.block),
                         lao.is_live_out(q.value, q.block),
                     ),
+                    QueryKind::LiveAt { .. } => {
+                        let point = q.point().unwrap();
+                        (
+                            checker.is_live_at(&p.func, q.value, point).unwrap(),
+                            replay_native(&lao, &p.func, std::slice::from_ref(q)) == 1,
+                        )
+                    }
                 };
                 assert_eq!(a, b, "{:?} on {}", q, p.func.name);
             }

@@ -1,9 +1,10 @@
 //! [`FunctionLiveness`]: the liveness checker bound to an
-//! [`fastlive_ir::Function`], plus instruction-granularity queries.
+//! [`fastlive_ir::Function`], plus program-point-granularity queries.
 
-use fastlive_ir::{Block, Function, Inst, Value, ValueDef};
+use fastlive_ir::{Block, Function, Inst, ProgramPoint, Value};
 
 use crate::checker::LivenessChecker;
+use crate::provider::PointError;
 
 /// Liveness queries for the SSA values of a [`Function`].
 ///
@@ -207,30 +208,82 @@ impl FunctionLiveness {
             .expect("def-use chains of a function are always valid batch input")
     }
 
-    /// Is `v` live at the program point *just after* `inst`?
+    /// Is `v` live at program point `p` (the paper's point
+    /// decomposition)?
+    ///
+    /// `v` is dead before its definition point; otherwise it is live
+    /// at `p` iff some use of `v` sits after `p` inside `p`'s block —
+    /// decided by [`Function::has_use_after`]'s suffix membership scan
+    /// over the instruction list, not a per-use position walk — or `v`
+    /// is live-out of the block (Algorithm 2).
     ///
     /// This is the primitive the Budimlić interference test needs
     /// ("whether one variable is live directly after the instruction
-    /// that defines the other one"). At instruction granularity:
-    /// `v` is live after `inst` iff `v` is (already) defined at that
-    /// point and either some use of `v` sits later in the same block,
-    /// or `v` is live-out of the block.
+    /// that defines the other one", §6.2), exposed as a first-class
+    /// query. Errs when `v`'s defining instruction was removed (a
+    /// detached definition has no position).
+    pub fn is_live_at(
+        &self,
+        func: &Function,
+        v: Value,
+        p: ProgramPoint,
+    ) -> Result<bool, PointError> {
+        if !func
+            .is_defined_at(v, p)
+            .ok_or(PointError::DefinitionRemoved(v))?
+        {
+            return Ok(false); // same block, not yet defined at p
+        }
+        if func.has_use_after(v, p) {
+            return Ok(true);
+        }
+        Ok(self.is_live_out(func, v, p.block()))
+    }
+
+    /// Is `v` live just after its own definition point — i.e. used at
+    /// all past the defining instruction (or parameter binding)?
+    pub fn is_live_after_def(&self, func: &Function, v: Value) -> Result<bool, PointError> {
+        let def = func.def_point(v).ok_or(PointError::DefinitionRemoved(v))?;
+        self.is_live_at(func, v, def)
+    }
+
+    /// [`is_live_at`](Self::is_live_at) the way the SSA-destruction
+    /// crate's private shim used to compute it: the "use after `p`"
+    /// part walks the def-use chain and resolves every same-block
+    /// use's absolute position with a full `inst_position` scan —
+    /// O(uses × block length) per query. Kept callable as the
+    /// executable specification of the fast path (the two must agree
+    /// bit-for-bit; see the point-oracle tests) and as the baseline of
+    /// `BENCH_point.json`.
+    pub fn is_live_at_chain_walk(
+        &self,
+        func: &Function,
+        v: Value,
+        p: ProgramPoint,
+    ) -> Result<bool, PointError> {
+        let def = func.def_point(v).ok_or(PointError::DefinitionRemoved(v))?;
+        if def > p {
+            return Ok(false);
+        }
+        let b = p.block();
+        let used_later = func
+            .uses(v)
+            .iter()
+            .any(|&i| func.inst_block(i) == Some(b) && func.inst_position(i) >= p.next_index());
+        Ok(used_later || self.is_live_out(func, v, b))
+    }
+
+    /// Is `v` live at the program point *just after* `inst`? A
+    /// convenience wrapper around [`is_live_at`](Self::is_live_at).
     ///
     /// # Panics
     ///
-    /// Panics if `inst` has been removed from its block.
+    /// Panics if `inst` or `v`'s defining instruction has been removed
+    /// (use the point API directly for fallible handling).
     pub fn is_live_after(&self, func: &Function, v: Value, inst: Inst) -> bool {
-        let b = func.inst_block(inst).expect("instruction removed");
-        let pos = func.inst_position(inst) as isize;
-        if let Some((db, dpos)) = def_position(func, v) {
-            if db == b && dpos > pos {
-                return false; // not yet defined at this point
-            }
-        }
-        if has_use_in_block_after(func, v, b, pos) {
-            return true;
-        }
-        self.is_live_out(func, v, b)
+        let p = func.point_after(inst).expect("instruction removed");
+        self.is_live_at(func, v, p)
+            .expect("definition of the queried value was removed")
     }
 
     /// Is `v` live at the program point *just before* `inst`?
@@ -240,19 +293,12 @@ impl FunctionLiveness {
     ///
     /// # Panics
     ///
-    /// Panics if `inst` has been removed from its block.
+    /// Panics if `inst` or `v`'s defining instruction has been removed
+    /// (use the point API directly for fallible handling).
     pub fn is_live_before(&self, func: &Function, v: Value, inst: Inst) -> bool {
-        let b = func.inst_block(inst).expect("instruction removed");
-        let pos = func.inst_position(inst) as isize;
-        if let Some((db, dpos)) = def_position(func, v) {
-            if db == b && dpos >= pos {
-                return false; // defined at or after this point
-            }
-        }
-        if has_use_in_block_after(func, v, b, pos - 1) {
-            return true;
-        }
-        self.is_live_out(func, v, b)
+        let p = func.point_before(inst).expect("instruction removed");
+        self.is_live_at(func, v, p)
+            .expect("definition of the queried value was removed")
     }
 }
 
@@ -278,25 +324,6 @@ fn with_use_nums<R>(
         }),
         f,
     )
-}
-
-/// The definition point of `v` as `(block, position)`; block parameters
-/// sit at position −1 (before every instruction).
-fn def_position(func: &Function, v: Value) -> Option<(Block, isize)> {
-    match func.value_def(v) {
-        ValueDef::Param { block, .. } => Some((block, -1)),
-        ValueDef::Inst(i) => {
-            let b = func.inst_block(i)?;
-            Some((b, func.inst_position(i) as isize))
-        }
-    }
-}
-
-/// Does `v` have a use in `b` strictly after position `pos`?
-fn has_use_in_block_after(func: &Function, v: Value, b: Block, pos: isize) -> bool {
-    func.uses(v)
-        .iter()
-        .any(|&i| func.inst_block(i) == Some(b) && func.inst_position(i) as isize > pos)
 }
 
 #[cfg(test)]
@@ -390,6 +417,40 @@ mod tests {
         assert!(live.is_live_after(&f, v4, iadd));
         assert!(live.is_live_before(&f, v4, icmp));
         assert!(live.is_live_after(&f, v4, icmp)); // used by brif + block2
+    }
+
+    #[test]
+    fn fast_point_path_matches_chain_walk_at_every_point() {
+        let f = loop_func();
+        let live = FunctionLiveness::compute(&f);
+        for v in f.values() {
+            for b in f.blocks() {
+                for p in f.block_points(b) {
+                    assert_eq!(
+                        live.is_live_at(&f, v, p),
+                        live.is_live_at_chain_walk(&f, v, p),
+                        "{v} at {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn live_after_def_is_use_driven() {
+        let f = loop_func();
+        let live = FunctionLiveness::compute(&f);
+        // v4 is used by the brif and in block2: live after its def.
+        let v4 = f.value("v4").unwrap();
+        assert_eq!(live.is_live_after_def(&f, v4), Ok(true));
+        // v5 is consumed by the brif, the last instruction: live after
+        // its def (the brif comes later), dead after the brif.
+        let v5 = f.value("v5").unwrap();
+        assert_eq!(live.is_live_after_def(&f, v5), Ok(true));
+        let b1 = nth_block(&f, 1);
+        let brif = *f.block_insts(b1).last().unwrap();
+        let after_brif = f.point_after(brif).unwrap();
+        assert_eq!(live.is_live_at(&f, v5, after_brif), Ok(false));
     }
 
     #[test]

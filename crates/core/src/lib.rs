@@ -32,9 +32,15 @@
 //!   path.
 //! * [`FunctionLiveness`] — the same engine bound to an
 //!   [`fastlive_ir::Function`], reading live def-use chains, plus the
-//!   instruction-granularity queries
-//!   ([`is_live_after`](FunctionLiveness::is_live_after)) that the
-//!   Budimlić interference test of SSA destruction needs.
+//!   program-point queries
+//!   ([`is_live_at`](FunctionLiveness::is_live_at),
+//!   [`is_live_after_def`](FunctionLiveness::is_live_after_def)) that
+//!   the Budimlić interference test of SSA destruction needs.
+//! * [`LivenessProvider`] — the workspace-wide query trait: block and
+//!   point queries behind one interface, with the point decomposition
+//!   as a default implementation, so the checker, the batch snapshot
+//!   and the `fastlive-dataflow` baselines are interchangeable to
+//!   clients like SSA destruction.
 //! * [`BatchLiveness`] — the dense consumer's entry point: live-in and
 //!   live-out bit-matrix rows for **all** blocks at once, derived from
 //!   the same precomputation by word-level row unions instead of
@@ -77,6 +83,7 @@ mod checker;
 mod function_liveness;
 mod loop_forest_check;
 mod precompute;
+mod provider;
 pub mod reference;
 mod sorted;
 mod verify;
@@ -86,5 +93,6 @@ pub use checker::{Candidates, LivenessChecker};
 pub use function_liveness::FunctionLiveness;
 pub use loop_forest_check::LoopForestChecker;
 pub use precompute::Precomputation;
+pub use provider::{LivenessProvider, PointError};
 pub use sorted::SortedLivenessChecker;
 pub use verify::{verify_strict_ssa, SsaError};

@@ -107,6 +107,20 @@ impl AppelLiveness {
     }
 }
 
+/// The Appel & Palsberg per-variable walker behind the workspace-wide
+/// query interface (point queries via the default decomposition).
+impl fastlive_core::LivenessProvider for AppelLiveness {
+    fn live_in(&mut self, _func: &Function, v: Value, b: Block) -> bool {
+        AppelLiveness::is_live_in(self, v, b)
+    }
+    fn live_out(&mut self, _func: &Function, v: Value, b: Block) -> bool {
+        AppelLiveness::is_live_out(self, v, b)
+    }
+    fn name(&self) -> &'static str {
+        "per-variable walk (Appel–Palsberg)"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -182,6 +182,24 @@ impl IterativeLiveness {
     }
 }
 
+/// The iterative solver behind the workspace-wide query interface.
+/// Block answers are O(1) bit probes over the solved sets; point
+/// queries use the trait's default decomposition over the current
+/// def-use chains. Values outside the solver's universe report dead —
+/// compute over [`VarUniverse::all`] when every value must be
+/// answerable.
+impl fastlive_core::LivenessProvider for IterativeLiveness {
+    fn live_in(&mut self, _func: &Function, v: Value, b: Block) -> bool {
+        IterativeLiveness::is_live_in(self, v, b)
+    }
+    fn live_out(&mut self, _func: &Function, v: Value, b: Block) -> bool {
+        IterativeLiveness::is_live_out(self, v, b)
+    }
+    fn name(&self) -> &'static str {
+        "bitvector data-flow"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

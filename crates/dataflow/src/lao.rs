@@ -218,6 +218,24 @@ impl LaoLiveness {
     }
 }
 
+/// The LAO-style baseline behind the workspace-wide query interface:
+/// binary-search membership for block queries, the default
+/// decomposition for point queries. Values outside the universe (e.g.
+/// non-φ-related values under [`VarUniverse::phi_related`]) report
+/// dead; the destruction pass wraps this engine in a patching adapter
+/// (`fastlive-destruct`'s `NativeEngine`) precisely because of that.
+impl fastlive_core::LivenessProvider for LaoLiveness {
+    fn live_in(&mut self, _func: &Function, v: Value, b: Block) -> bool {
+        LaoLiveness::is_live_in(self, v, b)
+    }
+    fn live_out(&mut self, _func: &Function, v: Value, b: Block) -> bool {
+        LaoLiveness::is_live_out(self, v, b)
+    }
+    fn name(&self) -> &'static str {
+        "native (LAO-style)"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,11 +20,16 @@
 //!   definition is reached.
 //! * [`oracle`] — a brute-force implementation of Definition 2 (path
 //!   search avoiding the definition), the ground truth every engine in
-//!   the workspace is tested against.
+//!   the workspace is tested against; [`oracle::live_at_value`]
+//!   extends it to program points by literal backward simulation
+//!   inside the queried block.
 //!
 //! All engines implement the same block-granularity semantics as
 //! `fastlive-core` (φ-uses attributed to predecessor blocks per
-//! Definition 1), so answers are comparable bit-for-bit.
+//! Definition 1), so answers are comparable bit-for-bit. Each engine
+//! also implements the workspace-wide
+//! [`fastlive_core::LivenessProvider`] interface, inheriting point
+//! queries from the trait's default block-query decomposition.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -13,7 +13,7 @@
 //! meaningful, and the randomized test suites do.
 
 use fastlive_graph::{Cfg, NodeId};
-use fastlive_ir::{Block, Function, Value};
+use fastlive_ir::{Block, Function, ProgramPoint, Value};
 
 /// Definition 2 by path search: is a variable defined at `def` and used
 /// at `uses` live-in at `q`?
@@ -57,6 +57,40 @@ pub fn live_in_value(func: &Function, v: Value, q: Block) -> bool {
 pub fn live_out_value(func: &Function, v: Value, q: Block) -> bool {
     let uses: Vec<NodeId> = func.use_blocks(v).map(|b| b.as_u32()).collect();
     live_out(func, func.def_block(v).as_u32(), &uses, q.as_u32())
+}
+
+/// Program-point liveness by literal backward simulation — the ground
+/// truth for the point-granularity queries (`is_live_at` and the
+/// `LivenessProvider` decomposition of `fastlive-core`).
+///
+/// Starts from the path-search [`live_out_value`] answer at the block
+/// exit and walks the block's instructions *backward* down to `p`,
+/// applying the textbook transfer function one instruction at a time:
+/// crossing a definition of `v` kills it, crossing a use of `v`
+/// (operands and branch arguments alike — Definition 1 attributes both
+/// to this block) makes it live. No decomposition, no dominance — just
+/// the definition of liveness at a point, `O(V + E + block length)`
+/// per query.
+pub fn live_at_value(func: &Function, v: Value, p: ProgramPoint) -> bool {
+    let b = p.block();
+    let mut live = live_out_value(func, v, b);
+    let insts = func.block_insts(b);
+    for i in (p.next_index()..insts.len()).rev() {
+        let inst = insts[i];
+        if func.inst_result(inst) == Some(v) {
+            live = false; // the definition kills everything above it
+        }
+        let mut used = false;
+        func.inst_data(inst).for_each_operand(|u| {
+            if u == v {
+                used = true;
+            }
+        });
+        if used {
+            live = true;
+        }
+    }
+    live
 }
 
 #[cfg(test)]
@@ -121,6 +155,62 @@ mod tests {
         assert!(live_in(&g, 2, &[4], 9)); // y live-in at 10
         assert!(!live_in(&g, 1, &[3], 9)); // w not live at 10
         assert!(!live_in(&g, 2, &[8], 3)); // x not live-in at 4
+    }
+
+    #[test]
+    fn point_oracle_simulates_within_blocks() {
+        let f = parse_function(
+            "function %f { block0(v0):
+                v1 = iconst 1
+                v2 = iadd v0, v1
+                return v2 }",
+        )
+        .unwrap();
+        let b0 = f.entry_block();
+        let v0 = f.params()[0];
+        let v1 = f.value("v1").unwrap();
+        let v2 = f.value("v2").unwrap();
+        let points: Vec<ProgramPoint> = f.block_points(b0).collect();
+        // v0: live until the iadd consumes it.
+        assert!(live_at_value(&f, v0, points[0]));
+        assert!(live_at_value(&f, v0, points[1]));
+        assert!(!live_at_value(&f, v0, points[2]));
+        // v1: born after the iconst, dead after the iadd.
+        assert!(!live_at_value(&f, v1, points[0]));
+        assert!(live_at_value(&f, v1, points[1]));
+        assert!(!live_at_value(&f, v1, points[2]));
+        // v2: live only between the iadd and the return.
+        assert!(!live_at_value(&f, v2, points[1]));
+        assert!(live_at_value(&f, v2, points[2]));
+        assert!(!live_at_value(&f, v2, points[3]));
+    }
+
+    #[test]
+    fn point_oracle_carries_loop_liveness_across_blocks() {
+        let f = parse_function(
+            "function %loop { block0(v0):
+                v1 = iconst 0
+                jump block1(v1)
+            block1(v2):
+                v3 = iconst 1
+                v4 = iadd v2, v3
+                v5 = icmp_slt v4, v0
+                brif v5, block1(v4), block2
+            block2:
+                return v4 }",
+        )
+        .unwrap();
+        let v0 = f.params()[0];
+        let b1 = f.blocks().nth(1).unwrap();
+        // The loop bound is live at every point of the body.
+        for p in f.block_points(b1) {
+            assert!(live_at_value(&f, v0, p), "{p}");
+        }
+        // v0 is live-out of block0 (the loop compare needs it), so it
+        // is live at every entry-block point too.
+        for p in f.block_points(f.entry_block()) {
+            assert!(live_at_value(&f, v0, p), "{p}");
+        }
     }
 
     #[test]

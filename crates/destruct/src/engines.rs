@@ -1,56 +1,59 @@
-//! Pluggable block-liveness engines for the destruction pass.
+//! Pluggable liveness engines for the destruction pass, all speaking
+//! the workspace-wide [`LivenessProvider`] interface of
+//! `fastlive-core`.
+//!
+//! The trait used to live here as a destruct-private `BlockLiveness`;
+//! it is now [`fastlive_core::LivenessProvider`] — block *and* program-
+//! point queries — so the pass, the benchmarks and any other client
+//! swap engines behind one interface. All engines must implement the
+//! same semantics (Definitions 1–3 of the paper) so the pass makes
+//! identical decisions regardless of the engine — the benches then
+//! compare pure engine cost on an identical query stream.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use fastlive_core::FunctionLiveness;
+use fastlive_core::{FunctionLiveness, LivenessProvider, PointError};
 use fastlive_dataflow::{IterativeLiveness, LaoLiveness};
 use fastlive_graph::Cfg as _;
-use fastlive_ir::{Block, Function, Value};
-
-/// Block-granularity liveness provider used by [`destruct_ssa`]
-/// (crate::destruct_ssa). All engines must implement the same
-/// semantics (Definitions 1–3 of the paper) so the pass makes identical
-/// decisions regardless of the engine — the benches then compare pure
-/// engine cost on an identical query stream.
-///
-/// Methods take `&mut self` because set-based engines may patch
-/// themselves lazily when queried about values created mid-pass.
-pub trait BlockLiveness {
-    /// Is `v` live-in at `b`?
-    fn live_in(&mut self, func: &Function, v: Value, b: Block) -> bool;
-    /// Is `v` live-out at `b`?
-    fn live_out(&mut self, func: &Function, v: Value, b: Block) -> bool;
-    /// The pass rewrote the uses of `v` (copy insertion): engines that
-    /// store liveness *sets* must refresh their information for `v`,
-    /// mirroring the set maintenance Sreedhar's algorithm performs in
-    /// LAO. The paper's checker needs nothing here — its precomputation
-    /// is variable-independent — which is the whole point.
-    fn invalidate_value(&mut self, func: &Function, v: Value) {
-        let _ = (func, v);
-    }
-    /// Engine name for reports.
-    fn name(&self) -> &'static str;
-}
+use fastlive_ir::{Block, Function, ProgramPoint, Value};
 
 /// The paper's checker as a destruction engine. Queries read the
 /// live def-use chains, so values created mid-pass need **no special
 /// handling whatsoever** — the headline property under test.
+///
+/// The analysis handle is shared ([`Arc`]): the module-level driver in
+/// `fastlive-engine` hands every CFG-identical function one cached
+/// precomputation instead of recomputing per function.
 #[derive(Clone, Debug)]
-pub struct CheckerEngine(pub FunctionLiveness);
+pub struct CheckerEngine(pub Arc<FunctionLiveness>);
 
 impl CheckerEngine {
     /// Precomputes the checker for `func` (post edge-splitting).
     pub fn compute(func: &Function) -> Self {
-        CheckerEngine(FunctionLiveness::compute(func))
+        CheckerEngine(Arc::new(FunctionLiveness::compute(func)))
+    }
+
+    /// Wraps an already-computed (possibly cached and shared) analysis
+    /// — the reuse hook for `fastlive-engine`'s fingerprint cache.
+    pub fn from_shared(live: Arc<FunctionLiveness>) -> Self {
+        CheckerEngine(live)
     }
 }
 
-impl BlockLiveness for CheckerEngine {
+impl LivenessProvider for CheckerEngine {
     fn live_in(&mut self, func: &Function, v: Value, b: Block) -> bool {
         self.0.is_live_in(func, v, b)
     }
     fn live_out(&mut self, func: &Function, v: Value, b: Block) -> bool {
         self.0.is_live_out(func, v, b)
+    }
+    fn live_at(&mut self, func: &Function, v: Value, p: ProgramPoint) -> Result<bool, PointError> {
+        // Same decomposition as the trait default; routed through the
+        // inherent method so the two entry points cannot drift. (The
+        // genuinely slower variant is `is_live_at_chain_walk`, kept
+        // only as the executable spec and bench baseline.)
+        self.0.is_live_at(func, v, p)
     }
     fn name(&self) -> &'static str {
         "new (Boissinot et al.)"
@@ -65,7 +68,8 @@ impl BlockLiveness for CheckerEngine {
 /// entries for *old* values whose uses were rewritten stay
 /// over-approximate — which is conservative (at worst an extra copy),
 /// and precisely the maintenance burden §1 of the paper attributes to
-/// set-based liveness.
+/// set-based liveness. Point queries come from the trait's default
+/// decomposition over the patched block answers.
 #[derive(Clone, Debug)]
 pub struct NativeEngine {
     base: LaoLiveness,
@@ -99,7 +103,7 @@ impl NativeEngine {
     }
 }
 
-impl BlockLiveness for NativeEngine {
+impl LivenessProvider for NativeEngine {
     fn live_in(&mut self, func: &Function, v: Value, b: Block) -> bool {
         if self.needs_patch(v) {
             patch_walk(&mut self.patched, func, v).0[b.index()]
@@ -150,7 +154,7 @@ impl BitvecEngine {
     }
 }
 
-impl BlockLiveness for BitvecEngine {
+impl LivenessProvider for BitvecEngine {
     fn live_in(&mut self, func: &Function, v: Value, b: Block) -> bool {
         if self.needs_patch(v) {
             patch_walk(&mut self.patched, func, v).0[b.index()]
@@ -174,7 +178,7 @@ impl BlockLiveness for BitvecEngine {
     }
 }
 
-/// Shared per-value patch-up walk (see [`NativeEngine::patch`]).
+/// Shared per-value patch-up walk (see [`NativeEngine`]).
 fn patch_walk<'a>(
     cache: &'a mut HashMap<Value, (Vec<bool>, Vec<bool>)>,
     func: &Function,

@@ -11,49 +11,19 @@
 //! dominates the other's; it then suffices to test liveness of the
 //! dominating value at the dominated definition point. No interference
 //! graph is ever built.
+//!
+//! The test is written against the workspace-wide
+//! [`LivenessProvider`] interface: "live directly after the defining
+//! instruction" is exactly a [`ProgramPoint`](fastlive_ir::ProgramPoint)
+//! query ([`LivenessProvider::live_at`] at
+//! [`Function::def_point`](fastlive_ir::Function::def_point)), so the
+//! per-query def-use-chain shim this crate used to carry is gone.
+//! Detached definitions (a removed defining instruction) surface as
+//! [`PointError`] instead of panicking.
 
 use fastlive_cfg::DomTree;
-use fastlive_ir::{Block, Function, Value, ValueDef};
-
-use crate::engines::BlockLiveness;
-
-/// The definition point of a value: `(block, position)`, where block
-/// parameters sit at position −1 (defined before every instruction).
-pub fn def_point(func: &Function, v: Value) -> (Block, isize) {
-    match func.value_def(v) {
-        ValueDef::Param { block, .. } => (block, -1),
-        ValueDef::Inst(i) => {
-            let b = func.inst_block(i).expect("definition removed");
-            (b, func.inst_position(i) as isize)
-        }
-    }
-}
-
-/// Is `v` live at the program point just after position `pos` of block
-/// `b`, answering from a block-granularity engine plus the def-use
-/// chain? (`pos = -1` asks about the block entry, after parameter
-/// binding.)
-///
-/// The decomposition: `v` is live there iff it is defined at or before
-/// the point and (some use of `v` in `b` comes later, or `v` is
-/// live-out of `b`).
-pub fn live_after_point<E: BlockLiveness>(
-    engine: &mut E,
-    func: &Function,
-    v: Value,
-    b: Block,
-    pos: isize,
-) -> bool {
-    let (db, dpos) = def_point(func, v);
-    if db == b && dpos > pos {
-        return false; // not defined yet at this point
-    }
-    let used_later = func
-        .uses(v)
-        .iter()
-        .any(|&i| func.inst_block(i) == Some(b) && func.inst_position(i) as isize > pos);
-    used_later || engine.live_out(func, v, b)
-}
+use fastlive_core::{LivenessProvider, PointError};
+use fastlive_ir::{Function, Value};
 
 /// The Budimlić test: do SSA values `a` and `b` interfere (are they
 /// simultaneously live somewhere)?
@@ -61,38 +31,41 @@ pub fn live_after_point<E: BlockLiveness>(
 /// * If neither definition point dominates the other, the live ranges
 ///   cannot overlap under strict SSA: no interference.
 /// * Otherwise the value defined *higher* is tested for liveness just
-///   after the *lower* definition.
+///   after the *lower* definition — one point query.
 ///
 /// Two values defined at the same point (two parameters of one block)
-/// interfere iff the one tested is still in use at all.
-pub fn values_interfere<E: BlockLiveness>(
+/// interfere iff both are still in use at all.
+///
+/// Errs with [`PointError::DefinitionRemoved`] if either value's
+/// defining instruction has been removed from its block.
+pub fn values_interfere<E: LivenessProvider>(
     engine: &mut E,
     func: &Function,
     dom: &DomTree,
     a: Value,
     b: Value,
-) -> bool {
+) -> Result<bool, PointError> {
     if a == b {
-        return false;
+        return Ok(false);
     }
-    let (ba, pa) = def_point(func, a);
-    let (bb, pb) = def_point(func, b);
-    if ba == bb && pa == pb {
+    let pa = func.def_point(a).ok_or(PointError::DefinitionRemoved(a))?;
+    let pb = func.def_point(b).ok_or(PointError::DefinitionRemoved(b))?;
+    if pa == pb {
         // Two parameters of the same block (the only way definition
         // points coincide). Entry parameters always conflict: they are
         // bound to distinct argument slots and must keep distinct
         // locations. Other block parameters bind simultaneously and
         // produce no write in the out-of-SSA program, so they conflict
         // exactly when both are ever live.
-        if ba == func.entry_block() {
-            return true;
+        if pa.block() == func.entry_block() {
+            return Ok(true);
         }
-        return live_after_point(engine, func, a, ba, pa)
-            && live_after_point(engine, func, b, bb, pb);
+        return Ok(engine.live_at(func, a, pa)? && engine.live_at(func, b, pb)?);
     }
     // Order so that `hi` is defined strictly above `lo`. Note that `lo`
     // being dead does not excuse it: its definition still *writes* the
     // shared location, which must not clobber a live `hi`.
+    let (ba, bb) = (pa.block(), pb.block());
     let a_first = if ba == bb {
         pa < pb
     } else if dom.strictly_dominates(ba.as_u32(), bb.as_u32()) {
@@ -100,14 +73,10 @@ pub fn values_interfere<E: BlockLiveness>(
     } else if dom.strictly_dominates(bb.as_u32(), ba.as_u32()) {
         false
     } else {
-        return false; // incomparable definitions never interfere
+        return Ok(false); // incomparable definitions never interfere
     };
-    let (hi, (lo_block, lo_pos)) = if a_first {
-        (a, (bb, pb))
-    } else {
-        (b, (ba, pa))
-    };
-    live_after_point(engine, func, hi, lo_block, lo_pos)
+    let (hi, lo_point) = if a_first { (a, pb) } else { (b, pa) };
+    engine.live_at(func, hi, lo_point)
 }
 
 #[cfg(test)]
@@ -115,7 +84,7 @@ mod tests {
     use super::*;
     use crate::engines::CheckerEngine;
     use fastlive_cfg::{DfsTree, DomTree};
-    use fastlive_ir::parse_function;
+    use fastlive_ir::{parse_function, ProgramPoint};
 
     fn setup(src: &str) -> (Function, DomTree, CheckerEngine) {
         let f = parse_function(src).expect("parses");
@@ -123,6 +92,16 @@ mod tests {
         let dom = DomTree::compute(&f, &dfs);
         let engine = CheckerEngine::compute(&f);
         (f, dom, engine)
+    }
+
+    fn interfere<E: LivenessProvider>(
+        e: &mut E,
+        f: &Function,
+        dom: &DomTree,
+        a: Value,
+        b: Value,
+    ) -> bool {
+        values_interfere(e, f, dom, a, b).expect("no detached definitions in these tests")
     }
 
     #[test]
@@ -139,13 +118,13 @@ mod tests {
         let v2 = f.value("v2").unwrap();
         let v3 = f.value("v3").unwrap();
         // v0 is live across everything: interferes with v1 and v2.
-        assert!(values_interfere(&mut e, &f, &dom, v0, v1));
-        assert!(values_interfere(&mut e, &f, &dom, v1, v0)); // symmetric
-        assert!(values_interfere(&mut e, &f, &dom, v0, v2));
+        assert!(interfere(&mut e, &f, &dom, v0, v1));
+        assert!(interfere(&mut e, &f, &dom, v1, v0)); // symmetric
+        assert!(interfere(&mut e, &f, &dom, v0, v2));
         // v1 dies at the v2 definition: v1 vs v3 do not interfere.
-        assert!(!values_interfere(&mut e, &f, &dom, v1, v3));
+        assert!(!interfere(&mut e, &f, &dom, v1, v3));
         // A value never interferes with itself.
-        assert!(!values_interfere(&mut e, &f, &dom, v2, v2));
+        assert!(!interfere(&mut e, &f, &dom, v2, v2));
     }
 
     #[test]
@@ -162,8 +141,8 @@ mod tests {
         );
         let v1 = f.value("v1").unwrap();
         let v2 = f.value("v2").unwrap();
-        assert!(!values_interfere(&mut e, &f, &dom, v1, v2));
-        assert!(!values_interfere(&mut e, &f, &dom, v2, v1));
+        assert!(!interfere(&mut e, &f, &dom, v1, v2));
+        assert!(!interfere(&mut e, &f, &dom, v2, v1));
     }
 
     #[test]
@@ -175,7 +154,7 @@ mod tests {
         );
         let v0 = f.value("v0").unwrap();
         let v1 = f.value("v1").unwrap();
-        assert!(values_interfere(&mut e, &f, &dom, v0, v1));
+        assert!(interfere(&mut e, &f, &dom, v0, v1));
         // Entry parameters conflict even when one is dead: they occupy
         // distinct argument slots.
         let (g, gdom, mut ge) = setup(
@@ -184,7 +163,7 @@ mod tests {
         );
         let g0 = g.value("v0").unwrap();
         let g1 = g.value("v1").unwrap();
-        assert!(values_interfere(&mut ge, &g, &gdom, g0, g1));
+        assert!(interfere(&mut ge, &g, &gdom, g0, g1));
         // Non-entry sibling parameters with a dead side do not.
         let (h, hdom, mut he) = setup(
             "function %h { block0(v0, v1):
@@ -194,7 +173,7 @@ mod tests {
         );
         let h2 = h.value("v2").unwrap();
         let h3 = h.value("v3").unwrap();
-        assert!(!values_interfere(&mut he, &h, &hdom, h2, h3));
+        assert!(!interfere(&mut he, &h, &hdom, h2, h3));
     }
 
     #[test]
@@ -214,15 +193,15 @@ mod tests {
         let v0 = f.value("v0").unwrap(); // loop bound, live throughout
         let v2 = f.value("v2").unwrap(); // loop-carried counter
         let v4 = f.value("v4").unwrap();
-        assert!(values_interfere(&mut e, &f, &dom, v0, v2));
-        assert!(values_interfere(&mut e, &f, &dom, v0, v4));
+        assert!(interfere(&mut e, &f, &dom, v0, v2));
+        assert!(interfere(&mut e, &f, &dom, v0, v4));
         // v2 dies at the iadd; v4 defined there: no interference...
         // except v2 is *not* used after v4's def and not live-out:
-        assert!(!values_interfere(&mut e, &f, &dom, v2, v4));
+        assert!(!interfere(&mut e, &f, &dom, v2, v4));
     }
 
     #[test]
-    fn live_after_point_respects_positions() {
+    fn point_queries_respect_positions() {
         let (f, _, mut e) = setup(
             "function %f { block0(v0):
                 v1 = iconst 1
@@ -232,9 +211,31 @@ mod tests {
         let b0 = f.entry_block();
         let v1 = f.value("v1").unwrap();
         // v1 live after its def (pos 0), dead after the iadd (pos 1).
-        assert!(live_after_point(&mut e, &f, v1, b0, 0));
-        assert!(!live_after_point(&mut e, &f, v1, b0, 1));
-        // Not live before its own definition.
-        assert!(!live_after_point(&mut e, &f, v1, b0, -1));
+        assert_eq!(e.live_at(&f, v1, ProgramPoint::after(b0, 0)), Ok(true));
+        assert_eq!(e.live_at(&f, v1, ProgramPoint::after(b0, 1)), Ok(false));
+        // Not live before its own definition (the block entry).
+        assert_eq!(e.live_at(&f, v1, ProgramPoint::block_entry(b0)), Ok(false));
+        assert_eq!(e.live_after_def(&f, v1), Ok(true));
+    }
+
+    #[test]
+    fn detached_definition_surfaces_as_an_error() {
+        let (mut f, _, _) = setup(
+            "function %f { block0(v0):
+                v1 = iconst 1
+                return v0 }",
+        );
+        let v1 = f.value("v1").unwrap();
+        let dead = f.block_insts(f.entry_block())[0];
+        f.remove_inst(dead);
+        // Recompute dominators/engine on the edited function.
+        let dfs = DfsTree::compute(&f);
+        let dom = DomTree::compute(&f, &dfs);
+        let mut e = CheckerEngine::compute(&f);
+        let v0 = f.value("v0").unwrap();
+        assert_eq!(
+            values_interfere(&mut e, &f, &dom, v0, v1),
+            Err(PointError::DefinitionRemoved(v1))
+        );
     }
 }

@@ -4,11 +4,15 @@
 //!
 //! This pass is the paper's *evaluation workload* (§6.2): every liveness
 //! query timed in Table 2 is issued while this algorithm decides which
-//! φ resources may share a location. The pass is generic over a
-//! [`BlockLiveness`] engine so that the same query stream can be served
-//! by the paper's checker ([`CheckerEngine`]) or by the reimplemented
-//! LAO baseline ([`NativeEngine`]) — exactly the comparison the paper
-//! measures.
+//! φ resources may share a location. The pass is generic over the
+//! workspace-wide [`fastlive_core::LivenessProvider`] interface so
+//! that the same query stream can be served by the paper's checker
+//! ([`CheckerEngine`]) or by the reimplemented LAO baseline
+//! ([`NativeEngine`]) — exactly the comparison the paper measures. The
+//! Budimlić test's "live directly after the defining instruction" is a
+//! [`ProgramPoint`](fastlive_ir::ProgramPoint) query
+//! ([`LivenessProvider::live_at`]); the destruct-private block+position
+//! shim this crate used to carry is gone.
 //!
 //! Pipeline ([`destruct_ssa`]):
 //!
@@ -37,7 +41,11 @@ mod out_of_ssa;
 mod sreedhar;
 
 pub use congruence::Congruence;
-pub use engines::{BitvecEngine, BlockLiveness, CheckerEngine, NativeEngine};
-pub use interference::{def_point, live_after_point, values_interfere};
+pub use engines::{BitvecEngine, CheckerEngine, NativeEngine};
+pub use interference::values_interfere;
 pub use out_of_ssa::out_of_ssa;
 pub use sreedhar::{destruct_ssa, DestructResult, DestructStats, QueryKind, QueryRecord};
+
+// The query interface the engines implement, re-exported so destruct
+// clients need not depend on `fastlive-core` directly.
+pub use fastlive_core::{LivenessProvider, PointError};

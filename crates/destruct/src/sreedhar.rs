@@ -4,21 +4,31 @@
 
 use fastlive_cfg::{DfsTree, DomTree};
 use fastlive_construct::PreFunction;
+use fastlive_core::{LivenessProvider, PointError};
 use fastlive_graph::Cfg as _;
-use fastlive_ir::{split_critical_edges, Block, Function, Inst, InstData, UnaryOp, Value};
+use fastlive_ir::{
+    split_critical_edges, Block, Function, Inst, InstData, ProgramPoint, UnaryOp, Value,
+};
 
 use crate::congruence::Congruence;
-use crate::engines::BlockLiveness;
 use crate::interference::values_interfere;
 use crate::out_of_ssa::out_of_ssa;
 
 /// The flavor of a recorded liveness query.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum QueryKind {
-    /// `is_live_in(value, block)`.
+    /// `live_in(value, block)`.
     LiveIn,
-    /// `is_live_out(value, block)`.
+    /// `live_out(value, block)`.
     LiveOut,
+    /// `live_at(value, point)` — a program-point query (the Budimlić
+    /// "live directly after the defining instruction" test). The
+    /// record's `block` field is the point's block.
+    LiveAt {
+        /// Layout index of the instruction the point follows, or
+        /// `None` for the block entry.
+        after_inst: Option<u32>,
+    },
 }
 
 /// One liveness query issued by the pass — the unit of the paper's
@@ -26,12 +36,25 @@ pub enum QueryKind {
 /// same stream against different engines.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct QueryRecord {
-    /// Live-in or live-out.
+    /// Live-in, live-out, or a program-point query.
     pub kind: QueryKind,
     /// Queried value.
     pub value: Value,
-    /// Queried block.
+    /// Queried block (the point's block for [`QueryKind::LiveAt`]).
     pub block: Block,
+}
+
+impl QueryRecord {
+    /// The queried program point of a [`QueryKind::LiveAt`] record.
+    pub fn point(&self) -> Option<ProgramPoint> {
+        match self.kind {
+            QueryKind::LiveAt { after_inst: None } => Some(ProgramPoint::block_entry(self.block)),
+            QueryKind::LiveAt {
+                after_inst: Some(i),
+            } => Some(ProgramPoint::after(self.block, i as usize)),
+            _ => None,
+        }
+    }
 }
 
 /// Counters and the query log of one destruction run.
@@ -73,7 +96,7 @@ struct Recording<E> {
     log: Vec<QueryRecord>,
 }
 
-impl<E: BlockLiveness> BlockLiveness for Recording<E> {
+impl<E: LivenessProvider> LivenessProvider for Recording<E> {
     fn live_in(&mut self, func: &Function, v: Value, b: Block) -> bool {
         self.log.push(QueryRecord {
             kind: QueryKind::LiveIn,
@@ -89,6 +112,19 @@ impl<E: BlockLiveness> BlockLiveness for Recording<E> {
             block: b,
         });
         self.inner.live_out(func, v, b)
+    }
+    fn live_at(&mut self, func: &Function, v: Value, p: ProgramPoint) -> Result<bool, PointError> {
+        // One record per point query regardless of how the inner
+        // engine answers it (native fast path or the default
+        // decomposition), so every engine produces the *same* stream.
+        self.log.push(QueryRecord {
+            kind: QueryKind::LiveAt {
+                after_inst: p.inst_index().map(|i| i as u32),
+            },
+            value: v,
+            block: p.block(),
+        });
+        self.inner.live_at(func, v, p)
     }
     fn invalidate_value(&mut self, func: &Function, v: Value) {
         self.inner.invalidate_value(func, v);
@@ -136,7 +172,7 @@ impl Resource {
 /// against the final CFG).
 ///
 /// The engine choice changes performance, never results: the pass makes
-/// identical decisions with any correct [`BlockLiveness`], which the
+/// identical decisions with any correct [`LivenessProvider`], which the
 /// cross-engine tests assert.
 ///
 /// # Examples
@@ -167,7 +203,7 @@ impl Resource {
 /// ```
 pub fn destruct_ssa<E, F>(mut func: Function, make_engine: F) -> DestructResult
 where
-    E: BlockLiveness,
+    E: LivenessProvider,
     F: FnOnce(&Function) -> E,
 {
     let mut stats = DestructStats {
@@ -191,6 +227,8 @@ where
         }
         for pi in 0..func.block_params(b).len() {
             stats.phis_processed += 1;
+            // The pass only inserts copies — it never removes a
+            // definition — so point queries cannot hit a detached def.
             process_phi(
                 &mut func,
                 &dom,
@@ -199,7 +237,8 @@ where
                 &mut stats,
                 b,
                 pi,
-            );
+            )
+            .expect("SSA destruction never detaches definitions");
         }
     }
 
@@ -215,7 +254,7 @@ where
 
 /// Handles one φ: pairwise class-interference analysis, Sreedhar's
 /// copy-placement case analysis, copy insertion, class merge.
-fn process_phi<E: BlockLiveness>(
+fn process_phi<E: LivenessProvider>(
     func: &mut Function,
     dom: &DomTree,
     engine: &mut Recording<E>,
@@ -223,7 +262,7 @@ fn process_phi<E: BlockLiveness>(
     stats: &mut DestructStats,
     block: Block,
     pi: usize,
-) {
+) -> Result<(), PointError> {
     // Gather the resources: result + one argument per incoming edge.
     let mut resources: Vec<Resource> = vec![Resource::Result {
         value: func.block_params(block)[pi],
@@ -262,7 +301,7 @@ fn process_phi<E: BlockLiveness>(
             if ci == cj {
                 continue; // same class: never a conflict
             }
-            if !classes_interfere(func, dom, engine, classes, stats, ci, cj) {
+            if !classes_interfere(func, dom, engine, classes, stats, ci, cj)? {
                 continue;
             }
             let ci_live_at_j = class_live_at(func, engine, classes, ci, rj);
@@ -298,7 +337,7 @@ fn process_phi<E: BlockLiveness>(
     // every resource behind its own copy, which always yields a clean
     // class (each copy lives only on its edge, the parameter only up
     // to its result copy).
-    if !merged_class_is_clean(func, dom, engine, classes, stats, &resources) {
+    if !merged_class_is_clean(func, dom, engine, classes, stats, &resources)? {
         stats.fallback_phis += 1;
         for idx in 0..resources.len() {
             if !copied[idx] {
@@ -307,7 +346,7 @@ fn process_phi<E: BlockLiveness>(
             }
         }
         debug_assert!(
-            merged_class_is_clean(func, dom, engine, classes, stats, &resources),
+            merged_class_is_clean(func, dom, engine, classes, stats, &resources)?,
             "full-copy fallback must produce an interference-free class"
         );
     }
@@ -317,6 +356,7 @@ fn process_phi<E: BlockLiveness>(
     for r in &resources[1..] {
         classes.union(first, r.value());
     }
+    Ok(())
 }
 
 /// Repairs one resource with a `copy`:
@@ -328,7 +368,7 @@ fn process_phi<E: BlockLiveness>(
 /// Set-based engines are told about the values whose use sets changed
 /// (`invalidate_value`), mirroring the liveness maintenance Sreedhar's
 /// algorithm performs — the paper's checker ignores the notification.
-fn insert_copy<E: BlockLiveness>(
+fn insert_copy<E: LivenessProvider>(
     func: &mut Function,
     engine: &mut Recording<E>,
     classes: &mut Congruence,
@@ -385,14 +425,14 @@ fn insert_copy<E: BlockLiveness>(
 
 /// Would merging all resource classes produce an interference-free
 /// class? Pairwise Budimlić over the union's members.
-fn merged_class_is_clean<E: BlockLiveness>(
+fn merged_class_is_clean<E: LivenessProvider>(
     func: &Function,
     dom: &DomTree,
     engine: &mut Recording<E>,
     classes: &mut Congruence,
     stats: &mut DestructStats,
     resources: &[Resource],
-) -> bool {
+) -> Result<bool, PointError> {
     let mut roots: Vec<Value> = resources.iter().map(|r| classes.find(r.value())).collect();
     roots.sort_unstable();
     roots.dedup();
@@ -403,19 +443,19 @@ fn merged_class_is_clean<E: BlockLiveness>(
     for i in 0..members.len() {
         for j in i + 1..members.len() {
             stats.interference_tests += 1;
-            if values_interfere(engine, func, dom, members[i], members[j]) {
-                return false;
+            if values_interfere(engine, func, dom, members[i], members[j])? {
+                return Ok(false);
             }
         }
     }
-    true
+    Ok(true)
 }
 
 /// Do two congruence classes interfere? Pairwise Budimlić tests over
 /// the members — the query pattern §6.2 describes ("tests interference
 /// of certain SSA variables ... whether one variable is live directly
 /// after the instruction that defines the other one").
-fn classes_interfere<E: BlockLiveness>(
+fn classes_interfere<E: LivenessProvider>(
     func: &Function,
     dom: &DomTree,
     engine: &mut Recording<E>,
@@ -423,25 +463,25 @@ fn classes_interfere<E: BlockLiveness>(
     stats: &mut DestructStats,
     ci: Value,
     cj: Value,
-) -> bool {
+) -> Result<bool, PointError> {
     let members_i = classes.members(ci).to_vec();
     let members_j = classes.members(cj).to_vec();
     for &a in &members_i {
         for &b in &members_j {
             stats.interference_tests += 1;
-            if values_interfere(engine, func, dom, a, b) {
-                return true;
+            if values_interfere(engine, func, dom, a, b)? {
+                return Ok(true);
             }
         }
     }
-    false
+    Ok(false)
 }
 
 /// Is any member of class `c` live at the location of `resource`?
 /// Live-out of the predecessor for arguments; live-in of the φ block
 /// for the result (the φ's parallel bindings happen on the edges, so
 /// a value live *into* the block conflicts with the binding).
-fn class_live_at<E: BlockLiveness>(
+fn class_live_at<E: LivenessProvider>(
     func: &Function,
     engine: &mut Recording<E>,
     classes: &mut Congruence,

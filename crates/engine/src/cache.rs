@@ -14,8 +14,9 @@ use fastlive_core::FunctionLiveness;
 
 use crate::fingerprint::CfgShape;
 
-/// Hit/miss/eviction counters of a [`FingerprintCache`] — the
-/// observability surface the engine exposes.
+/// Hit/miss/eviction/dedup counters of the engine's fingerprint cache
+/// — the observability surface the engine exposes
+/// ([`AnalysisEngine::cache_stats`](crate::AnalysisEngine::cache_stats)).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Probes that found a CFG-identical precomputation.
@@ -24,6 +25,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Probes that found the shape *being computed* by another worker
+    /// and adopted that in-flight result instead of recomputing it —
+    /// the per-fingerprint dedup. Two workers therefore never
+    /// precompute the same shape: `misses` counts exactly one
+    /// computation per distinct shape, under any interleaving.
+    pub dedup_hits: u64,
 }
 
 impl CacheStats {
@@ -66,8 +73,13 @@ impl FingerprintCache {
         }
     }
 
-    /// Probes for `shape`, bumping its recency on a hit.
-    pub(crate) fn get(&mut self, shape: &CfgShape) -> Option<Arc<FunctionLiveness>> {
+    /// Probes for `shape`, bumping its recency (and the hit counter)
+    /// on a hit. A `None` result records **nothing**: the caller
+    /// decides whether the probe becomes a miss
+    /// ([`note_miss`](Self::note_miss) — it will compute) or a dedup
+    /// hit ([`note_dedup_hit`](Self::note_dedup_hit) — it adopts
+    /// another worker's in-flight computation).
+    pub(crate) fn probe(&mut self, shape: &CfgShape) -> Option<Arc<FunctionLiveness>> {
         self.tick += 1;
         match self.map.get_mut(shape) {
             Some(entry) => {
@@ -75,11 +87,19 @@ impl FingerprintCache {
                 self.stats.hits += 1;
                 Some(Arc::clone(&entry.live))
             }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+            None => None,
         }
+    }
+
+    /// Records a probe that will pay a full precomputation.
+    pub(crate) fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Records a probe that joined an in-flight computation of the
+    /// same shape instead of recomputing it.
+    pub(crate) fn note_dedup_hit(&mut self) {
+        self.stats.dedup_hits += 1;
     }
 
     /// Inserts a freshly computed analysis, evicting the
@@ -140,20 +160,24 @@ mod tests {
             "function %c { block0: jump block1 block1: jump block2 block2: return }",
         );
         let mut cache = FingerprintCache::new(2);
-        assert!(cache.get(&s1).is_none());
+        assert!(cache.probe(&s1).is_none());
+        cache.note_miss();
         cache.insert(s1.clone(), l1);
+        assert!(cache.probe(&s2).is_none());
+        cache.note_miss();
         cache.insert(s2.clone(), l2);
         // Touch s1 so s2 becomes the LRU victim.
-        assert!(cache.get(&s1).is_some());
+        assert!(cache.probe(&s1).is_some());
         cache.insert(s3.clone(), l3);
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&s1).is_some());
-        assert!(cache.get(&s2).is_none(), "s2 should have been evicted");
-        assert!(cache.get(&s3).is_some());
+        assert!(cache.probe(&s1).is_some());
+        assert!(cache.probe(&s2).is_none(), "s2 should have been evicted");
+        assert!(cache.probe(&s3).is_some());
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.hits, 3);
         assert_eq!(stats.misses, 2);
+        assert_eq!(stats.dedup_hits, 0);
         assert!(stats.hit_rate() > 0.5);
     }
 
@@ -162,7 +186,7 @@ mod tests {
         let (s1, l1) = shape_and_live("function %a { block0: return }");
         let mut cache = FingerprintCache::new(0);
         cache.insert(s1.clone(), l1);
-        assert!(cache.get(&s1).is_none());
+        assert!(cache.probe(&s1).is_none());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.stats().evictions, 0);
     }

@@ -1,8 +1,9 @@
 //! [`AnalysisEngine`]: parallel precomputation over a [`Module`] with
 //! the fingerprint cache in front of it.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use fastlive_core::FunctionLiveness;
 use fastlive_ir::{Function, Module};
@@ -44,8 +45,12 @@ impl Default for EngineConfig {
 /// Precomputations are cached and shared by CFG shape: analyzing two
 /// functions with identical CFGs, or re-analyzing a recompiled function
 /// whose CFG survived (the paper's §1 JIT scenario), costs one cache
-/// probe instead of a §5.2 precomputation. Hits, misses and evictions
-/// are observable through [`cache_stats`](Self::cache_stats).
+/// probe instead of a §5.2 precomputation. Two workers that miss on
+/// the *same* shape concurrently are deduplicated: the first computes,
+/// the rest block on the in-flight slot and adopt its result — so
+/// `misses` counts exactly one precomputation per distinct shape under
+/// any interleaving. Hits, misses, evictions and dedup hits are
+/// observable through [`cache_stats`](Self::cache_stats).
 ///
 /// # Examples
 ///
@@ -57,8 +62,9 @@ impl Default for EngineConfig {
 ///     "function %a { block0(v0): v1 = ineg v0  return v1 }
 ///      function %b { block0(v0): v1 = bnot v0  return v1 }",
 /// )?;
-/// // threads: 1 makes the cache-counter assertions below exact; with
-/// // more workers, racing probes may compute a shared shape twice.
+/// // threads: 1 resolves the shared shape as a plain cache hit; with
+/// // more workers a concurrent probe may land in `dedup_hits`
+/// // instead — never in a second precomputation.
 /// let engine = AnalysisEngine::new(EngineConfig { threads: 1, ..EngineConfig::default() });
 /// let mut session = engine.analyze(&module);
 ///
@@ -73,14 +79,65 @@ impl Default for EngineConfig {
 /// ```
 pub struct AnalysisEngine {
     config: EngineConfig,
-    cache: Mutex<FingerprintCache>,
+    state: Mutex<EngineState>,
+}
+
+/// Cache plus the in-flight table, guarded by one mutex so a probe and
+/// its in-flight registration are atomic.
+struct EngineState {
+    cache: FingerprintCache,
+    in_flight: HashMap<CfgShape, Arc<InFlightSlot>>,
+}
+
+/// One shape currently being precomputed by some worker. Waiters block
+/// on the condvar; the computing worker publishes the result (or
+/// `Abandoned`, if it unwound) and notifies.
+#[derive(Default)]
+struct InFlightSlot {
+    state: Mutex<SlotState>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+enum SlotState {
+    #[default]
+    Pending,
+    Done(Arc<FunctionLiveness>),
+    /// The computing worker unwound without a result; waiters retry
+    /// from the top (one of them becomes the new computer).
+    Abandoned,
+}
+
+/// Drop guard: if the computing worker unwinds mid-precomputation, the
+/// slot is abandoned and waiters are released instead of deadlocking.
+struct ComputeGuard<'a> {
+    engine: &'a AnalysisEngine,
+    shape: CfgShape,
+    slot: Arc<InFlightSlot>,
+    completed: bool,
+}
+
+impl Drop for ComputeGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let mut st = self.engine.state.lock().expect("engine state poisoned");
+        st.in_flight.remove(&self.shape);
+        drop(st);
+        *self.slot.state.lock().expect("slot poisoned") = SlotState::Abandoned;
+        self.slot.cond.notify_all();
+    }
 }
 
 impl AnalysisEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
         AnalysisEngine {
-            cache: Mutex::new(FingerprintCache::new(config.cache_capacity)),
+            state: Mutex::new(EngineState {
+                cache: FingerprintCache::new(config.cache_capacity),
+                in_flight: HashMap::new(),
+            }),
             config,
         }
     }
@@ -159,34 +216,97 @@ impl AnalysisEngine {
 
     /// [`analysis_for`](Self::analysis_for) that also hands back the
     /// computed fingerprint (sessions keep it for exact revalidation).
+    ///
+    /// Cache misses are deduplicated per shape: the first prober
+    /// registers an in-flight slot and computes **outside the state
+    /// lock** (precomputation is the expensive part); concurrent
+    /// probers of the same shape block on the slot and adopt the
+    /// result, counted as `dedup_hits`. Capacity 0 disables *caching*
+    /// but not dedup — even then, concurrent same-shape probes share
+    /// one computation.
     pub(crate) fn shaped_analysis(&self, func: &Function) -> (CfgShape, Arc<FunctionLiveness>) {
-        let shape = CfgShape::of(func);
-        if let Some(live) = self.cache.lock().expect("cache poisoned").get(&shape) {
-            return (shape, live);
+        enum Role {
+            Wait(Arc<InFlightSlot>),
+            Compute(Arc<InFlightSlot>),
         }
-        // Compute outside the lock: precomputation is the expensive
-        // part, and two workers racing on the same shape merely do the
-        // work twice (the second insert refreshes the entry).
-        let live = Arc::new(FunctionLiveness::compute(func));
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(shape.clone(), Arc::clone(&live));
-        (shape, live)
+        let shape = CfgShape::of(func);
+        loop {
+            let role = {
+                let mut st = self.state.lock().expect("engine state poisoned");
+                if let Some(live) = st.cache.probe(&shape) {
+                    return (shape, live);
+                }
+                if let Some(slot) = st.in_flight.get(&shape).map(Arc::clone) {
+                    st.cache.note_dedup_hit();
+                    Role::Wait(slot)
+                } else {
+                    st.cache.note_miss();
+                    let slot = Arc::new(InFlightSlot::default());
+                    st.in_flight.insert(shape.clone(), Arc::clone(&slot));
+                    Role::Compute(slot)
+                }
+            };
+            match role {
+                // Another worker is precomputing this shape: wait for
+                // its result instead of duplicating the work.
+                Role::Wait(slot) => {
+                    let mut state = slot.state.lock().expect("slot poisoned");
+                    loop {
+                        match &*state {
+                            SlotState::Pending => {
+                                state = slot.cond.wait(state).expect("slot poisoned");
+                            }
+                            SlotState::Done(live) => return (shape, Arc::clone(live)),
+                            SlotState::Abandoned => break, // retry from the top
+                        }
+                    }
+                }
+                // This worker owns the computation; the guard releases
+                // waiters if the precomputation unwinds.
+                Role::Compute(slot) => {
+                    let mut guard = ComputeGuard {
+                        engine: self,
+                        shape: shape.clone(),
+                        slot: Arc::clone(&slot),
+                        completed: false,
+                    };
+                    let live = Arc::new(FunctionLiveness::compute(func));
+                    {
+                        let mut st = self.state.lock().expect("engine state poisoned");
+                        st.cache.insert(shape.clone(), Arc::clone(&live));
+                        st.in_flight.remove(&shape);
+                    }
+                    *slot.state.lock().expect("slot poisoned") = SlotState::Done(Arc::clone(&live));
+                    slot.cond.notify_all();
+                    guard.completed = true;
+                    return (shape, live);
+                }
+            }
+        }
     }
 
-    /// Cumulative cache statistics (hits / misses / evictions).
+    /// Cumulative cache statistics (hits / misses / evictions /
+    /// dedup hits).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache poisoned").stats()
+        self.state
+            .lock()
+            .expect("engine state poisoned")
+            .cache
+            .stats()
     }
 
     /// Number of precomputations currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").len()
+        self.state
+            .lock()
+            .expect("engine state poisoned")
+            .cache
+            .len()
     }
 
-    /// Resolved worker count for a module of `n` functions.
-    fn worker_count(&self, n: usize) -> usize {
+    /// Resolved worker count for a module of `n` functions (shared
+    /// with the module-destruction driver).
+    pub(crate) fn worker_count(&self, n: usize) -> usize {
         let configured = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -263,5 +383,84 @@ mod tests {
         let engine = AnalysisEngine::with_defaults();
         let session = engine.analyze(&Module::new());
         assert_eq!(session.num_functions(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_shape_probes_compute_exactly_once() {
+        // ROADMAP PR-2 follow-up: per-fingerprint in-flight dedup. A
+        // barrier releases N threads onto the same (uncached) shape at
+        // once; exactly one may pay the precomputation, the rest must
+        // adopt its in-flight result.
+        use std::sync::Barrier;
+        let func = fastlive_ir::parse_function(
+            "function %f { block0(v0): jump block1 block1: return v0 }",
+        )
+        .expect("parses");
+        const N: usize = 8;
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 16,
+        });
+        let barrier = Barrier::new(N);
+        let handles: Vec<Arc<FunctionLiveness>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..N)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        engine.analysis_for(&func)
+                    })
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("prober panicked"))
+                .collect()
+        });
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "one precomputation under any interleaving");
+        assert_eq!(
+            stats.hits + stats.dedup_hits,
+            (N - 1) as u64,
+            "everyone else reused it: {stats:?}"
+        );
+        // All N handles share the single precomputation.
+        for h in &handles[1..] {
+            assert!(Arc::ptr_eq(&handles[0], h));
+        }
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn dedup_applies_even_with_caching_disabled() {
+        // Capacity 0 drops inserts, but simultaneous probes of one
+        // shape still share the in-flight computation.
+        use std::sync::Barrier;
+        let func =
+            fastlive_ir::parse_function("function %f { block0(v0): return v0 }").expect("parses");
+        const N: usize = 4;
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 0,
+        });
+        let barrier = Barrier::new(N);
+        std::thread::scope(|scope| {
+            for _ in 0..N {
+                scope.spawn(|| {
+                    barrier.wait();
+                    engine.analysis_for(&func)
+                });
+            }
+        });
+        let stats = engine.cache_stats();
+        assert_eq!(
+            stats.misses + stats.dedup_hits,
+            N as u64,
+            "every probe accounted for: {stats:?}"
+        );
+        assert!(
+            stats.misses >= 1 && stats.misses + stats.hits <= N as u64,
+            "{stats:?}"
+        );
+        assert_eq!(engine.cache_len(), 0, "capacity 0 retains nothing");
     }
 }

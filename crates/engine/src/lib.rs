@@ -21,10 +21,21 @@
 //!           │                     precomputation (CacheStats observable)
 //!           ▼
 //!       EngineSession             epoch-based queries: is_live_in /
-//!                                 is_live_out / batch, transparently
+//!                                 is_live_out / is_live_at (program
+//!                                 points) / batch, transparently
 //!                                 revalidated against each function's
 //!                                 current state
 //! ```
+//!
+//! Cache misses are **deduplicated per fingerprint**: workers that
+//! miss on a shape another worker is already precomputing block on an
+//! in-flight slot and adopt its result (`CacheStats::dedup_hits`), so
+//! one precomputation happens per distinct shape under any
+//! interleaving. The engine also drives whole-module SSA destruction
+//! ([`AnalysisEngine::destruct_module`]) through the same cache, and
+//! point queries ([`EngineSession::is_live_at`]) follow the same
+//! revalidation rules as block queries — they are instruction-level
+//! and never bump or depend on `cfg_version`.
 //!
 //! Why caching by CFG shape is sound: the §5.2 precomputation reads
 //! *only* the graph (blocks and successor lists — what [`CfgShape`]
@@ -69,6 +80,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod driver;
 mod engine;
 mod fingerprint;
 mod session;

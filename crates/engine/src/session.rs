@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use fastlive_core::{BatchLiveness, FunctionLiveness};
-use fastlive_ir::{Block, FuncId, Module, Value};
+use fastlive_core::{BatchLiveness, FunctionLiveness, PointError};
+use fastlive_ir::{Block, FuncId, Module, ProgramPoint, Value};
 
 use crate::engine::AnalysisEngine;
 use crate::fingerprint::CfgShape;
@@ -134,6 +134,53 @@ impl<'e> EngineSession<'e> {
     pub fn is_live_out(&mut self, module: &Module, func: FuncId, v: Value, q: Block) -> bool {
         self.refresh(module, func);
         self.entries[func].live.is_live_out(module.func(func), v, q)
+    }
+
+    /// Is `v` live at program point `p` of `module.func(func)` — the
+    /// point-granularity query
+    /// ([`FunctionLiveness::is_live_at`]) behind the session's
+    /// revalidation?
+    ///
+    /// Point queries are instruction-level: they read the current
+    /// instruction layout and def-use chains but never touch the CFG,
+    /// so they neither bump nor depend on
+    /// [`cfg_version`](fastlive_ir::Function::cfg_version) — the same
+    /// freshness rules as block queries apply (instruction edits are
+    /// free, CFG edits recompute transparently).
+    ///
+    /// Errs with [`PointError::DefinitionRemoved`] when `v`'s defining
+    /// instruction has been removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn is_live_at(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+        v: Value,
+        p: ProgramPoint,
+    ) -> Result<bool, PointError> {
+        self.refresh(module, func);
+        self.entries[func].live.is_live_at(module.func(func), v, p)
+    }
+
+    /// Is `v` live just after its own definition point (the Budimlić
+    /// primitive)?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn is_live_after_def(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+        v: Value,
+    ) -> Result<bool, PointError> {
+        self.refresh(module, func);
+        self.entries[func]
+            .live
+            .is_live_after_def(module.func(func), v)
     }
 
     /// Dense route for whole-function consumers: live-in/live-out bit
@@ -351,6 +398,65 @@ mod tests {
         let v0 = recompiled.func(0).params()[0];
         let b1 = recompiled.func(0).block_by_index(1);
         assert!(session.is_live_in(&recompiled, 0, v0, b1));
+    }
+
+    #[test]
+    fn point_queries_never_touch_cfg_version_or_epoch() {
+        let mut module = looped_module();
+        let engine = AnalysisEngine::with_defaults();
+        let mut session = engine.analyze(&module);
+        let id = 0;
+        let v4 = module.func(id).value("v4").unwrap();
+        let version_before = module.func(id).cfg_version();
+
+        // Sweep every point of every block: answers come back, nothing
+        // recomputes, the CFG-version counter never moves — the
+        // point-API invariant recorded in the ROADMAP.
+        let blocks: Vec<_> = module.func(id).blocks().collect();
+        for b in blocks {
+            let points: Vec<_> = module.func(id).block_points(b).collect();
+            for p in points {
+                let ans = session.is_live_at(&module, id, v4, p).expect("def exists");
+                let oracle = FunctionLiveness::compute(module.func(id));
+                assert_eq!(ans, oracle.is_live_at(module.func(id), v4, p).unwrap());
+            }
+        }
+        assert_eq!(module.func(id).cfg_version(), version_before);
+        assert_eq!(session.epoch(id), 0);
+        assert_eq!(session.recomputations(), 0);
+
+        // Instruction-level edit: point answers track it with no
+        // recomputation, exactly like block queries.
+        let b2 = module.func(id).block_by_index(2);
+        module.func_mut(id).insert_inst(
+            b2,
+            0,
+            InstData::Unary {
+                op: UnaryOp::Ineg,
+                arg: v4,
+            },
+        );
+        let entry_b2 = fastlive_ir::ProgramPoint::block_entry(b2);
+        assert_eq!(session.is_live_at(&module, id, v4, entry_b2), Ok(true));
+        assert_eq!(session.epoch(id), 0);
+    }
+
+    #[test]
+    fn detached_definition_errors_through_the_session() {
+        let mut module = looped_module();
+        let engine = AnalysisEngine::with_defaults();
+        let mut session = engine.analyze(&module);
+        let b0 = module.func(0).entry_block();
+        let dead = module
+            .func_mut(0)
+            .insert_inst(b0, 0, InstData::IntConst { imm: 7 });
+        let dv = module.func(0).inst_result(dead).unwrap();
+        assert_eq!(session.is_live_after_def(&module, 0, dv), Ok(false));
+        module.func_mut(0).remove_inst(dead);
+        assert_eq!(
+            session.is_live_after_def(&module, 0, dv),
+            Err(fastlive_core::PointError::DefinitionRemoved(dv))
+        );
     }
 
     #[test]

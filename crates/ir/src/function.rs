@@ -5,6 +5,7 @@ use fastlive_graph::{Cfg, NodeId};
 
 use crate::entities::{Block, Inst, PrimaryMap, Value};
 use crate::instr::InstData;
+use crate::point::ProgramPoint;
 
 /// Where an SSA value is defined.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -350,6 +351,98 @@ impl Function {
     /// Number of instructions ever created (including removed ones).
     pub fn num_insts(&self) -> usize {
         self.insts.len()
+    }
+
+    // ---------------------------------------------------- program points
+
+    /// The point just after `inst`, or `None` if the instruction was
+    /// removed from its block. O(block length) for the position lookup.
+    pub fn point_after(&self, inst: Inst) -> Option<ProgramPoint> {
+        let block = self.inst_block(inst)?;
+        let pos = self.blocks[block].insts.iter().position(|&i| i == inst)?;
+        Some(ProgramPoint::after(block, pos))
+    }
+
+    /// The point just before `inst` (the block entry for the first
+    /// instruction), or `None` if the instruction was removed.
+    pub fn point_before(&self, inst: Inst) -> Option<ProgramPoint> {
+        let block = self.inst_block(inst)?;
+        let pos = self.blocks[block].insts.iter().position(|&i| i == inst)?;
+        Some(match pos {
+            0 => ProgramPoint::block_entry(block),
+            _ => ProgramPoint::after(block, pos - 1),
+        })
+    }
+
+    /// The program point where `v` becomes available: the entry of its
+    /// block for parameters (φ-results bind at block entry), the point
+    /// just after the defining instruction otherwise.
+    ///
+    /// Returns `None` when the defining instruction has been removed —
+    /// a detached definition has no position, and callers (the point
+    /// queries of `fastlive-core`) surface that as an error instead of
+    /// panicking.
+    pub fn def_point(&self, v: Value) -> Option<ProgramPoint> {
+        match self.values[v] {
+            ValueDef::Param { block, .. } => Some(ProgramPoint::block_entry(block)),
+            ValueDef::Inst(inst) => self.point_after(inst),
+        }
+    }
+
+    /// All points of `block` in program order: the entry point, then
+    /// one point after each instruction.
+    pub fn block_points(&self, block: Block) -> impl Iterator<Item = ProgramPoint> + use<> {
+        let n = self.blocks[block].insts.len();
+        std::iter::once(ProgramPoint::block_entry(block))
+            .chain((0..n).map(move |i| ProgramPoint::after(block, i)))
+    }
+
+    /// Is `v`'s definition **at or before** point `p` within `p`'s
+    /// block — i.e. does the value already exist at `p` as far as
+    /// layout is concerned? Definitions in *other* blocks always
+    /// report `true`: cross-block positioning is a dominance question,
+    /// which the liveness query itself answers. Returns `None` when
+    /// the defining instruction was removed.
+    ///
+    /// This is the "already defined" leg of the point-liveness
+    /// decomposition. Parameters bind at their block's entry (at or
+    /// before every point); instruction definitions in `p`'s block are
+    /// decided by membership in the layout *prefix*
+    /// `insts[..p.next_index()]` — no full-block position resolution.
+    pub fn is_defined_at(&self, v: Value, p: ProgramPoint) -> Option<bool> {
+        match self.values[v] {
+            ValueDef::Param { .. } => Some(true),
+            ValueDef::Inst(i) => {
+                let db = self.inst_block[i.index()]?;
+                if db != p.block() {
+                    return Some(true);
+                }
+                let insts = &self.blocks[db].insts;
+                let prefix = &insts[..p.next_index().min(insts.len())];
+                Some(prefix.contains(&i))
+            }
+        }
+    }
+
+    /// Does `v` have a use strictly after point `p`, inside `p`'s
+    /// block? This is the "last use after position" primitive of the
+    /// point-liveness decomposition.
+    ///
+    /// The scan walks the def-use chain once; each use sited in the
+    /// block is tested by membership in the instruction-list *suffix*
+    /// `insts[p.next_index()..]` — a flat `u32` equality scan the
+    /// compiler vectorizes to word-level compares — instead of
+    /// resolving the use's absolute position with a full-block walk
+    /// per use (what the old destruct-private shim did).
+    pub fn has_use_after(&self, v: Value, p: ProgramPoint) -> bool {
+        let block = p.block();
+        let suffix = match self.blocks[block].insts.get(p.next_index()..) {
+            Some(s) if !s.is_empty() => s,
+            _ => return false,
+        };
+        self.uses[v.index()]
+            .iter()
+            .any(|&u| self.inst_block[u.index()] == Some(block) && suffix.contains(&u))
     }
 
     // ----------------------------------------------------------- values
@@ -916,6 +1009,85 @@ mod tests {
         let before = f.cfg_version();
         f.redirect_branch_target(j, 0, b2, vec![]);
         assert!(f.cfg_version() > before);
+    }
+
+    #[test]
+    fn def_points_and_inst_points() {
+        let (f, b0, b1, _) = sample();
+        let x = f.params()[0];
+        // Parameters bind at the block entry.
+        assert_eq!(f.def_point(x), Some(ProgramPoint::block_entry(b0)));
+        let add = f.block_insts(b1)[0];
+        let r = f.inst_result(add).unwrap();
+        assert_eq!(f.def_point(r), Some(ProgramPoint::after(b1, 0)));
+        assert_eq!(f.point_after(add), Some(ProgramPoint::after(b1, 0)));
+        assert_eq!(f.point_before(add), Some(ProgramPoint::block_entry(b1)));
+        let jump = f.block_insts(b1)[1];
+        assert_eq!(f.point_before(jump), Some(ProgramPoint::after(b1, 0)));
+    }
+
+    #[test]
+    fn detached_definition_has_no_point() {
+        // A removed defining instruction leaves its result value
+        // detached: `def_point` reports `None` instead of panicking
+        // (the old `expect("definition removed")` path).
+        let mut f = Function::new("f");
+        let b = f.add_block();
+        let dead = f.append_inst(b, InstData::IntConst { imm: 3 });
+        let dv = f.inst_result(dead).unwrap();
+        f.append_inst(b, InstData::Return { args: vec![] });
+        assert!(f.def_point(dv).is_some());
+        f.remove_inst(dead);
+        assert_eq!(f.def_point(dv), None);
+        assert_eq!(f.point_after(dead), None);
+        assert_eq!(f.point_before(dead), None);
+    }
+
+    #[test]
+    fn is_defined_at_is_prefix_membership() {
+        let (f, b0, b1, _) = sample();
+        let x = f.params()[0];
+        let add = f.block_insts(b1)[0];
+        let r = f.inst_result(add).unwrap();
+        // Parameters exist everywhere (cross-block is a dominance
+        // question the liveness query answers).
+        assert_eq!(
+            f.is_defined_at(x, ProgramPoint::block_entry(b0)),
+            Some(true)
+        );
+        assert_eq!(
+            f.is_defined_at(x, ProgramPoint::block_entry(b1)),
+            Some(true)
+        );
+        // r is defined by the iadd at index 0 of b1.
+        assert_eq!(
+            f.is_defined_at(r, ProgramPoint::block_entry(b1)),
+            Some(false)
+        );
+        assert_eq!(f.is_defined_at(r, ProgramPoint::after(b1, 0)), Some(true));
+        // In other blocks the layout check always passes.
+        assert_eq!(
+            f.is_defined_at(r, ProgramPoint::block_entry(b0)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn has_use_after_respects_positions() {
+        let (f, b0, b1, b2) = sample();
+        let x = f.params()[0];
+        // x is used by the brif (b0, index 0): after the entry point,
+        // not after the brif itself.
+        assert!(f.has_use_after(x, ProgramPoint::block_entry(b0)));
+        assert!(!f.has_use_after(x, ProgramPoint::after(b0, 0)));
+        // In b1 the iadd (index 0) uses x; the jump does not.
+        assert!(f.has_use_after(x, ProgramPoint::block_entry(b1)));
+        assert!(!f.has_use_after(x, ProgramPoint::after(b1, 0)));
+        // The return in b2 uses x.
+        assert!(f.has_use_after(x, ProgramPoint::block_entry(b2)));
+        assert!(!f.has_use_after(x, ProgramPoint::after(b2, 0)));
+        // Past-the-end points never see uses.
+        assert!(!f.has_use_after(x, ProgramPoint::after(b2, 99)));
     }
 
     #[test]

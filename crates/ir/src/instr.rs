@@ -172,7 +172,7 @@ impl BlockCall {
 /// Exactly the last instruction of every block must be a *terminator*
 /// ([`Jump`](InstData::Jump), [`Brif`](InstData::Brif) or
 /// [`Return`](InstData::Return)); all other instructions produce one
-/// [`Value`](crate::Value) result.
+/// [`Value`] result.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum InstData {
     /// `v = iconst IMM` — integer constant.

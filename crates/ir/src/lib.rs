@@ -59,6 +59,7 @@ pub mod instr;
 pub mod interp;
 mod module;
 mod parser;
+mod point;
 mod printer;
 mod transform;
 mod verify;
@@ -68,5 +69,6 @@ pub use function::{Function, ValueDef};
 pub use instr::{BinaryOp, BlockCall, InstData, UnaryOp};
 pub use module::{FuncId, Module};
 pub use parser::{parse_function, parse_module, ParseError};
+pub use point::ProgramPoint;
 pub use transform::{remove_dead_block_params, split_critical_edges};
 pub use verify::{verify_structure, VerifyError};

@@ -1,0 +1,200 @@
+//! [`ProgramPoint`]: an instruction-granularity position inside a
+//! block, the unit of the workspace-wide point-precise liveness API.
+//!
+//! The paper's checker answers block-granularity questions; its
+//! flagship client — SSA destruction via the Budimlić interference test
+//! (§6.2) — needs liveness *at an instruction position* ("whether one
+//! variable is live directly after the instruction that defines the
+//! other one"). A `ProgramPoint` names exactly the positions such
+//! queries talk about: the **gaps between instructions** of one block.
+//!
+//! ```text
+//! blockN(params):      ← BlockEntry: after parameter binding,
+//!     inst a             before the first instruction
+//!                      ← after instruction 0
+//!     inst b
+//!                      ← after instruction 1
+//!     terminator
+//!                      ← after the terminator (the block's last point)
+//! ```
+//!
+//! Points of the *same block* are totally ordered (entry first, then
+//! after-instruction positions in layout order); points of different
+//! blocks are incomparable — cross-block "before/after" is a dominance
+//! question, not a layout one — which is why `ProgramPoint` implements
+//! [`PartialOrd`] but not `Ord`.
+
+use crate::entities::Block;
+
+/// A position between the instructions of one block: the block entry
+/// (after parameter binding) or the gap just after the `i`-th
+/// instruction.
+///
+/// Construct points through [`ProgramPoint::block_entry`] /
+/// [`ProgramPoint::after`] when the position is known, or through the
+/// [`Function`](crate::Function) accessors
+/// ([`def_point`](crate::Function::def_point),
+/// [`point_after`](crate::Function::point_after),
+/// [`block_points`](crate::Function::block_points)) when it has to be
+/// resolved from an instruction or value.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_ir::{parse_function, ProgramPoint};
+///
+/// let f = parse_function(
+///     "function %f { block0(v0):
+///          v1 = iconst 1
+///          v2 = iadd v0, v1
+///          return v2 }",
+/// )?;
+/// let b0 = f.entry_block();
+/// let entry = ProgramPoint::block_entry(b0);
+/// let after_iconst = ProgramPoint::after(b0, 0);
+///
+/// // Same-block points are ordered; the entry precedes everything.
+/// assert!(entry < after_iconst);
+///
+/// // v1 is defined by the iconst: its definition point is after it.
+/// let v1 = f.value("v1").unwrap();
+/// assert_eq!(f.def_point(v1), Some(after_iconst));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct ProgramPoint {
+    block: Block,
+    /// 0 = block entry; `i + 1` = after the `i`-th instruction.
+    pos: u32,
+}
+
+impl ProgramPoint {
+    /// The entry point of `block`: after its parameters bind, before
+    /// its first instruction. Block parameters (φ-results) are defined
+    /// *at* this point.
+    pub fn block_entry(block: Block) -> Self {
+        ProgramPoint { block, pos: 0 }
+    }
+
+    /// The point just after the instruction at layout position
+    /// `inst_index` of `block`. The index is not range-checked here —
+    /// resolve it through
+    /// [`point_after`](crate::Function::point_after) when only an
+    /// [`Inst`](crate::Inst) is at hand.
+    pub fn after(block: Block, inst_index: usize) -> Self {
+        debug_assert!(inst_index < u32::MAX as usize, "instruction index overflow");
+        ProgramPoint {
+            block,
+            pos: inst_index as u32 + 1,
+        }
+    }
+
+    /// The block this point lies in.
+    pub fn block(self) -> Block {
+        self.block
+    }
+
+    /// `true` for the block-entry point.
+    pub fn is_block_entry(self) -> bool {
+        self.pos == 0
+    }
+
+    /// Layout index of the instruction this point follows, or `None`
+    /// for the block entry.
+    pub fn inst_index(self) -> Option<usize> {
+        (self.pos > 0).then(|| self.pos as usize - 1)
+    }
+
+    /// Layout index of the first instruction **at or after** this
+    /// point: everything in `block_insts(b)[p.next_index()..]` executes
+    /// after `p`. (Entry → 0; after instruction `i` → `i + 1`.)
+    pub fn next_index(self) -> usize {
+        self.pos as usize
+    }
+}
+
+/// Points of the same block compare by position (entry first); points
+/// of different blocks are incomparable (`None`).
+impl PartialOrd for ProgramPoint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        (self.block == other.block).then(|| self.pos.cmp(&other.pos))
+    }
+}
+
+impl std::fmt::Display for ProgramPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inst_index() {
+            None => write!(f, "{}@entry", self.block),
+            Some(i) => write!(f, "{}@{}", self.block, i),
+        }
+    }
+}
+
+impl std::fmt::Debug for ProgramPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    #[test]
+    fn ordering_within_a_block() {
+        let b = Block::from_index(0);
+        let entry = ProgramPoint::block_entry(b);
+        let p0 = ProgramPoint::after(b, 0);
+        let p1 = ProgramPoint::after(b, 1);
+        assert!(entry < p0);
+        assert!(p0 < p1);
+        assert!(entry <= entry);
+        assert_eq!(entry.partial_cmp(&p1), Some(std::cmp::Ordering::Less));
+    }
+
+    #[test]
+    fn cross_block_points_are_incomparable() {
+        let p = ProgramPoint::block_entry(Block::from_index(0));
+        let q = ProgramPoint::after(Block::from_index(1), 3);
+        assert_eq!(p.partial_cmp(&q), None);
+        assert_eq!(q.partial_cmp(&p), None);
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let b = Block::from_index(2);
+        let entry = ProgramPoint::block_entry(b);
+        assert!(entry.is_block_entry());
+        assert_eq!(entry.inst_index(), None);
+        assert_eq!(entry.next_index(), 0);
+        assert_eq!(entry.block(), b);
+        let after = ProgramPoint::after(b, 4);
+        assert!(!after.is_block_entry());
+        assert_eq!(after.inst_index(), Some(4));
+        assert_eq!(after.next_index(), 5);
+        assert_eq!(format!("{entry} {after}"), "block2@entry block2@4");
+    }
+
+    #[test]
+    fn block_points_enumerate_every_gap() {
+        let f = parse_function(
+            "function %f { block0(v0):
+                v1 = iconst 1
+                v2 = iadd v0, v1
+                return v2 }",
+        )
+        .expect("parses");
+        let b0 = f.entry_block();
+        let points: Vec<ProgramPoint> = f.block_points(b0).collect();
+        // Entry + one point after each of the three instructions.
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0], ProgramPoint::block_entry(b0));
+        assert_eq!(points[3], ProgramPoint::after(b0, 2));
+        // Enumeration order is program order.
+        for w in points.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

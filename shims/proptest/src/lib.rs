@@ -3,9 +3,10 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! vendors the slice of proptest's API that the fastlive test suite
-//! uses: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range
-//! and tuple strategies, [`Just`], [`any`], [`collection::vec`] /
-//! [`collection::btree_set`], [`prelude::ProptestConfig`] and the
+//! uses: the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`strategy::Just`], `any`, [`collection::vec`] /
+//! [`collection::btree_set`], `prelude::ProptestConfig` and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
 //! Differences from real proptest, deliberately accepted:

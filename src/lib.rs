@@ -54,7 +54,7 @@
 //! |--------|----------|
 //! | [`graph`] | [`Cfg`](graph::Cfg) trait, plain digraphs, Graphviz export |
 //! | [`bitset`] | dense bitsets, bit matrices, sparse & sorted sets |
-//! | [`cfg`] | DFS trees, dominators, dominance frontiers, loop forests |
+//! | [`mod@cfg`] | DFS trees, dominators, dominance frontiers, loop forests |
 //! | [`ir`] | SSA IR: functions, builder, parser, printer, interpreter |
 //! | [`core`] | the paper's algorithm: precomputation + live-in/live-out checks |
 //! | [`engine`] | module-level analysis: worker pool, CFG-fingerprint cache, sessions |
