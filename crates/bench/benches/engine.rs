@@ -15,6 +15,7 @@ fn bench_engine(c: &mut Criterion) {
             min_blocks: 8,
             max_blocks: 48,
             irreducible_per_mille: 100,
+            ..ModuleParams::default()
         },
         0xbead,
     );
@@ -32,6 +33,7 @@ fn bench_engine(c: &mut Criterion) {
                     AnalysisEngine::new(EngineConfig {
                         threads,
                         cache_capacity: 0,
+                        ..EngineConfig::default()
                     })
                     .analyze(m)
                     .num_functions()
@@ -44,6 +46,7 @@ fn bench_engine(c: &mut Criterion) {
     let engine = AnalysisEngine::new(EngineConfig {
         threads: 1,
         cache_capacity: 1024,
+        ..EngineConfig::default()
     });
     let _ = engine.analyze(&module);
     group.bench_with_input(BenchmarkId::new("analyze_warm", 1), &module, |b, m| {

@@ -70,6 +70,7 @@ fn main() {
             min_blocks: 8,
             max_blocks: 64,
             irreducible_per_mille: 100,
+            ..ModuleParams::default()
         },
         0xe61e,
     );
@@ -94,6 +95,7 @@ fn main() {
             AnalysisEngine::new(EngineConfig {
                 threads,
                 cache_capacity: 0,
+                ..EngineConfig::default()
             })
             .analyze(&module)
             .num_functions()
@@ -122,6 +124,7 @@ fn main() {
         AnalysisEngine::new(EngineConfig {
             threads,
             cache_capacity: 1024,
+            ..EngineConfig::default()
         })
         .analyze(&module)
         .num_functions()
@@ -130,6 +133,7 @@ fn main() {
     let engine = AnalysisEngine::new(EngineConfig {
         threads,
         cache_capacity: 1024,
+        ..EngineConfig::default()
     });
     let _ = engine.analyze(&module);
     let warm_ns = time_ns(setup.reps, || engine.analyze(&module).num_functions());

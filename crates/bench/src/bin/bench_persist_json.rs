@@ -1,0 +1,168 @@
+//! Emits `BENCH_persist.json`: the cost ladder of the engine's
+//! two-tier cache, measured on one module —
+//!
+//! * `cold` — fresh engine, empty persist directory: every function
+//!   pays the §5.2 precomputation *and* the write-through.
+//! * `warm_disk` — fresh engine (empty memory) on the now-populated
+//!   directory: every distinct fingerprint is decoded from disk, zero
+//!   precomputations (`misses == disk_hits` is asserted).
+//! * `warm_memory` — the same engine re-analyzing: every probe is an
+//!   in-memory hit.
+//!
+//! `store` reports the on-disk footprint (entries, bytes) and
+//! `format_version` pins the codec the numbers were taken with.
+//!
+//! ```text
+//! cargo run --release -p fastlive-bench --bin bench_persist_json [--quick] [OUT.json]
+//! ```
+//!
+//! `--quick` shrinks the module and repetition counts for CI smoke
+//! runs (the JSON schema is identical).
+
+use std::fmt::Write as _;
+
+use fastlive_bench::time_ns;
+use fastlive_engine::{AnalysisEngine, EngineConfig};
+use fastlive_ir::Module;
+use fastlive_workload::{generate_module, ModuleParams};
+
+fn module_blocks(m: &Module) -> usize {
+    m.functions().iter().map(|f| f.num_blocks()).sum()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_persist.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (functions, reps) = if quick { (16, 3) } else { (96, 9) };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = 4.min(host_cpus.max(1));
+
+    let module = generate_module(
+        "persist_bench",
+        ModuleParams {
+            functions,
+            min_blocks: 8,
+            max_blocks: 64,
+            irreducible_per_mille: 100,
+            deep_live_per_mille: 300,
+        },
+        0x9e51,
+    );
+    let blocks = module_blocks(&module);
+    let dir = std::env::temp_dir().join(format!("fastlive-bench-persist-{}", std::process::id()));
+    eprintln!(
+        "module: {} functions, {blocks} blocks total, host_cpus={host_cpus}, store={}",
+        module.len(),
+        dir.display()
+    );
+
+    // ---- cold: fresh engine per rep, directory wiped per rep. The
+    // wipe happens *outside* the timed region — cold measures
+    // precompute + write-through, not the previous rep's teardown.
+    let mut cold_samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let _ = std::fs::remove_dir_all(&dir);
+            time_ns(1, || {
+                AnalysisEngine::new(EngineConfig {
+                    threads,
+                    persist_dir: Some(dir.clone()),
+                    ..EngineConfig::default()
+                })
+                .analyze(&module)
+                .num_functions()
+            })
+        })
+        .collect();
+    cold_samples.sort_by(f64::total_cmp);
+    let cold_ns = cold_samples[cold_samples.len() / 2];
+
+    // ---- warm_disk: the directory stays (last cold rep populated
+    // it); a fresh engine per rep has cold memory but a warm store.
+    let warm_disk_ns = time_ns(reps, || {
+        AnalysisEngine::new(EngineConfig {
+            threads,
+            persist_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        })
+        .analyze(&module)
+        .num_functions()
+    });
+    // Invariant behind the scenario label: zero precomputations.
+    let probe = AnalysisEngine::new(EngineConfig {
+        threads,
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let _ = probe.analyze(&module);
+    let disk_stats = probe.cache_stats();
+    assert_eq!(
+        disk_stats.misses, disk_stats.disk_hits,
+        "warm-disk analysis must not precompute: {disk_stats:?}"
+    );
+    assert_eq!(disk_stats.disk_rejects, 0, "{disk_stats:?}");
+
+    // ---- warm_memory: the probe engine is now fully warm in memory.
+    let warm_mem_ns = time_ns(reps, || probe.analyze(&module).num_functions());
+    let final_stats = probe.cache_stats();
+
+    // ---- store footprint.
+    let (entries, bytes) = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter_map(|e| e.metadata().ok().map(|m| m.len()))
+                .fold((0u64, 0u64), |(n, b), len| (n + 1, b + len))
+        })
+        .unwrap_or((0, 0));
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {host_cpus},\n  \"functions\": {},\n  \"blocks_total\": {blocks},\n  \
+         \"format_version\": {},",
+        module.len(),
+        fastlive_engine::persist::FORMAT_VERSION
+    );
+    json.push_str("  \"persist\": [\n");
+    for (i, (scenario, ns)) in [
+        ("cold", cold_ns),
+        ("warm_disk", warm_disk_ns),
+        ("warm_memory", warm_mem_ns),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let speedup = cold_ns / ns;
+        let _ = write!(
+            json,
+            "{}    {{\"scenario\": \"{scenario}\", \"analyze_ns\": {ns:.0}, \
+             \"speedup_vs_cold\": {speedup:.1}}}",
+            if i == 0 { "" } else { ",\n" },
+        );
+        eprintln!("persist {scenario:<12}: {ns:>12.0} ns ({speedup:.1}x vs cold)");
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"store\": {{\"entries\": {entries}, \"bytes\": {bytes}}},\n  \
+         \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"dedup_hits\": {}, \
+         \"disk_hits\": {}, \"disk_misses\": {}, \"disk_rejects\": {}}}\n}}\n",
+        final_stats.hits,
+        final_stats.misses,
+        final_stats.dedup_hits,
+        final_stats.disk_hits,
+        final_stats.disk_misses,
+        final_stats.disk_rejects,
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_persist.json");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("wrote {out_path}");
+}

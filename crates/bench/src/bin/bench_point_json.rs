@@ -179,6 +179,7 @@ fn main() {
             min_blocks: 6,
             max_blocks: 48,
             irreducible_per_mille: 100,
+            ..ModuleParams::default()
         },
         0xbeef,
     );
@@ -188,6 +189,7 @@ fn main() {
         AnalysisEngine::new(EngineConfig {
             threads,
             cache_capacity: 1024,
+            ..EngineConfig::default()
         })
         .destruct_module(&module)
         .len()
@@ -196,6 +198,7 @@ fn main() {
     let engine = AnalysisEngine::new(EngineConfig {
         threads,
         cache_capacity: 1024,
+        ..EngineConfig::default()
     });
     let _ = engine.destruct_module(&module);
     let misses_before = engine.cache_stats().misses;

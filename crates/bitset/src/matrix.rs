@@ -404,6 +404,43 @@ impl BitMatrix {
     pub fn heap_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<u64>()
     }
+
+    /// The whole matrix as its backing words, row-major
+    /// (`rows × ⌈cols/64⌉` words) — the stable accessor serialization
+    /// codecs read. Together with [`rows`](Self::rows) and
+    /// [`cols`](Self::cols) this is the matrix's complete state;
+    /// [`from_words`](Self::from_words) is the inverse.
+    pub fn as_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Rebuilds a matrix from its dimensions and backing words — the
+    /// decoding counterpart of [`as_words`](Self::as_words). Returns
+    /// `None` (never panics) if `data` is not exactly
+    /// `rows × ⌈cols/64⌉` words long or any row has bits set at or
+    /// above the `cols` universe (either means the words did not come
+    /// from a matrix of these dimensions — e.g. a corrupt cache file).
+    pub fn from_words(rows: usize, cols: usize, data: Vec<u64>) -> Option<Self> {
+        let words_per_row = words_for(cols);
+        if data.len() != rows.checked_mul(words_per_row)? {
+            return None;
+        }
+        let tail_bits = cols % WORD_BITS;
+        if words_per_row > 0 && tail_bits != 0 {
+            let tail_mask = !0u64 << tail_bits;
+            for row in data.chunks_exact(words_per_row) {
+                if row[words_per_row - 1] & tail_mask != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(BitMatrix {
+            data,
+            rows,
+            cols,
+            words_per_row,
+        })
+    }
 }
 
 impl std::fmt::Debug for BitMatrix {
@@ -664,6 +701,34 @@ mod tests {
         // n blocks -> n rows of ceil(n/64) words: the §6.1 memory model.
         let m = BitMatrix::new(100, 100);
         assert_eq!(m.heap_bytes(), 100 * 2 * 8);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut m = BitMatrix::new(3, 130);
+        for (r, c) in [(0u32, 0u32), (1, 64), (2, 129)] {
+            m.set(r, c);
+        }
+        let back = BitMatrix::from_words(3, 130, m.as_words().to_vec()).expect("valid words");
+        assert_eq!(back, m);
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.cols(), 130);
+        // Degenerate shapes round-trip too.
+        assert!(BitMatrix::from_words(0, 0, Vec::new()).is_some());
+        assert!(BitMatrix::from_words(4, 0, Vec::new()).is_some());
+    }
+
+    #[test]
+    fn from_words_rejects_malformed_input() {
+        // Wrong length: 3 rows over 130 cols need 9 words.
+        assert!(BitMatrix::from_words(3, 130, vec![0; 8]).is_none());
+        assert!(BitMatrix::from_words(3, 130, vec![0; 10]).is_none());
+        // Ghost bits above the universe (col 130 of a 130-col row).
+        let mut words = vec![0u64; 9];
+        words[2] = 1u64 << 2;
+        assert!(BitMatrix::from_words(3, 130, words).is_none());
+        // Word-aligned universes have no tail mask to violate.
+        assert!(BitMatrix::from_words(1, 128, vec![!0u64; 2]).is_some());
     }
 
     #[test]

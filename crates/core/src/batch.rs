@@ -263,8 +263,12 @@ impl BatchLiveness {
         }
         for &v in dfs.postorder() {
             let vn = num_by_node[v as usize];
-            for (i, &w) in g.succs(v).iter().enumerate() {
-                if dfs.edge_class_at(v, i) != EdgeClass::Back {
+            // Classify by edge *pair*, not successor index: the checker
+            // may have been computed over a successor-reordered (e.g.
+            // canonicalized) graph with the same edge relation, and
+            // back-ness is a property of the node pair alone.
+            for &w in g.succs(v) {
+                if dfs.edge_class(v, w) != EdgeClass::Back {
                     reach_excl.union_row_from(vn, &reach, num_by_node[w as usize]);
                 }
             }

@@ -50,7 +50,10 @@ use fastlive_graph::{Cfg, NodeId};
 
 /// The precomputed matrices, in dominance-preorder number space:
 /// row/column `i` talks about the block `dom.node_at_num(i)`.
-#[derive(Clone, Debug)]
+///
+/// Equality is exact and field-for-field (both matrices, bit by bit) —
+/// what the persistence codec's round-trip property tests check.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Precomputation {
     /// `r.contains(num(v), num(w))` iff `w ∈ R_v`.
     pub r: BitMatrix,

@@ -14,14 +14,25 @@ use fastlive_core::FunctionLiveness;
 
 use crate::fingerprint::CfgShape;
 
-/// Hit/miss/eviction/dedup counters of the engine's fingerprint cache
-/// — the observability surface the engine exposes
-/// ([`AnalysisEngine::cache_stats`](crate::AnalysisEngine::cache_stats)).
+/// Hit/miss/eviction/dedup and disk-tier counters of the engine's
+/// fingerprint cache — the observability surface the engine exposes
+/// ([`AnalysisEngine::cache_stats`](crate::AnalysisEngine::cache_stats),
+/// [`AnalysisEngine::stripe_stats`](crate::AnalysisEngine::stripe_stats)).
+///
+/// With the cache striped, each stripe keeps its own `CacheStats`;
+/// totals are recovered by [addition](Self::add) and per-stripe values
+/// always sum exactly to the engine-wide numbers (the striping never
+/// loses a probe).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Probes that found a CFG-identical precomputation.
+    /// Probes that found a CFG-identical precomputation in memory.
     pub hits: u64,
-    /// Probes that found nothing (the caller computed and inserted).
+    /// Probes that found nothing in memory (the prober then consulted
+    /// the disk tier, if configured, and computed on a disk miss).
+    /// Every in-memory miss lands in exactly one of `disk_hits`,
+    /// `disk_misses`, `disk_rejects` when persistence is enabled, so
+    /// `misses - disk_hits` is the number of precomputations actually
+    /// paid.
     pub misses: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
@@ -29,8 +40,20 @@ pub struct CacheStats {
     /// and adopted that in-flight result instead of recomputing it —
     /// the per-fingerprint dedup. Two workers therefore never
     /// precompute the same shape: `misses` counts exactly one
-    /// computation per distinct shape, under any interleaving.
+    /// computation-or-disk-load per distinct shape, under any
+    /// interleaving.
     pub dedup_hits: u64,
+    /// In-memory misses served by decoding a valid on-disk entry — no
+    /// precomputation was paid.
+    pub disk_hits: u64,
+    /// In-memory misses for which no on-disk entry existed (the
+    /// precomputation ran, then wrote one through).
+    pub disk_misses: u64,
+    /// In-memory misses that found an on-disk entry but **rejected** it
+    /// — corrupt, truncated, version-crossed, or hash-collided. The
+    /// precomputation ran and the bad entry was overwritten; a reject
+    /// is always a clean miss, never a wrong answer.
+    pub disk_rejects: u64,
 }
 
 impl CacheStats {
@@ -41,6 +64,19 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise sum — folds per-stripe stats back into engine totals.
+    pub fn add(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            dedup_hits: self.dedup_hits + other.dedup_hits,
+            disk_hits: self.disk_hits + other.disk_hits,
+            disk_misses: self.disk_misses + other.disk_misses,
+            disk_rejects: self.disk_rejects + other.disk_rejects,
         }
     }
 }
@@ -100,6 +136,21 @@ impl FingerprintCache {
     /// same shape instead of recomputing it.
     pub(crate) fn note_dedup_hit(&mut self) {
         self.stats.dedup_hits += 1;
+    }
+
+    /// Records an in-memory miss served by a valid on-disk entry.
+    pub(crate) fn note_disk_hit(&mut self) {
+        self.stats.disk_hits += 1;
+    }
+
+    /// Records an in-memory miss with no on-disk entry.
+    pub(crate) fn note_disk_miss(&mut self) {
+        self.stats.disk_misses += 1;
+    }
+
+    /// Records an in-memory miss whose on-disk entry failed validation.
+    pub(crate) fn note_disk_reject(&mut self) {
+        self.stats.disk_rejects += 1;
     }
 
     /// Inserts a freshly computed analysis, evicting the
@@ -179,6 +230,42 @@ mod tests {
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.dedup_hits, 0);
         assert!(stats.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn stats_add_is_fieldwise() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            dedup_hits: 4,
+            disk_hits: 5,
+            disk_misses: 6,
+            disk_rejects: 7,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            dedup_hits: 40,
+            disk_hits: 50,
+            disk_misses: 60,
+            disk_rejects: 70,
+        };
+        let sum = a.add(&b);
+        assert_eq!(
+            sum,
+            CacheStats {
+                hits: 11,
+                misses: 22,
+                evictions: 33,
+                dedup_hits: 44,
+                disk_hits: 55,
+                disk_misses: 66,
+                disk_rejects: 77,
+            }
+        );
+        assert_eq!(a.add(&CacheStats::default()), a);
     }
 
     #[test]

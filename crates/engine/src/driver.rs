@@ -94,6 +94,7 @@ mod tests {
                 min_blocks: 4,
                 max_blocks: 16,
                 irreducible_per_mille: 150,
+                ..ModuleParams::default()
             },
             seed,
         )
@@ -106,6 +107,7 @@ mod tests {
             let engine = AnalysisEngine::new(EngineConfig {
                 threads,
                 cache_capacity: 64,
+                ..EngineConfig::default()
             });
             let results = engine.destruct_module(&module);
             assert_eq!(results.len(), module.len());
@@ -132,6 +134,7 @@ mod tests {
         let engine = AnalysisEngine::new(EngineConfig {
             threads: 2,
             cache_capacity: 128,
+            ..EngineConfig::default()
         });
         let cold = engine.destruct_module(&module);
         let misses_after_cold = engine.cache_stats().misses;

@@ -1,26 +1,53 @@
 //! [`AnalysisEngine`]: parallel precomputation over a [`Module`] with
-//! the fingerprint cache in front of it.
+//! the two-tier (striped in-memory + optional on-disk) fingerprint
+//! cache in front of it.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use fastlive_core::FunctionLiveness;
+use fastlive_core::{FunctionLiveness, LivenessChecker};
 use fastlive_ir::{Function, Module};
 
 use crate::cache::{CacheStats, FingerprintCache};
 use crate::fingerprint::CfgShape;
+use crate::persist::{LoadOutcome, PersistStore};
 use crate::session::EngineSession;
 
 /// Tuning knobs of an [`AnalysisEngine`].
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker threads for [`AnalysisEngine::analyze`]. `0` means "one
     /// per available CPU"; `1` runs inline on the calling thread.
     pub threads: usize,
-    /// Maximum precomputations retained by the CFG-fingerprint cache.
-    /// `0` disables caching (every analysis recomputes).
+    /// Bound on precomputations retained by the CFG-fingerprint cache.
+    /// `0` disables in-memory caching (every analysis probes the disk
+    /// tier, if configured, or recomputes). The bound is distributed
+    /// over the stripes — each holds up to `⌈capacity / stripes⌉`
+    /// entries (at least 1) — so the effective engine-wide bound is
+    /// `stripes × ⌈capacity / stripes⌉`: rounded **up** to keep every
+    /// stripe functional, never below the configured value, and at
+    /// most `stripes - 1` above it. Size memory-critical deployments
+    /// by the effective bound (or set `stripes: 1` for an exact one).
     pub cache_capacity: usize,
+    /// Lock stripes of the in-memory cache. Fingerprints are spread
+    /// over `stripes` independently locked segments by hash, so
+    /// concurrent workers probing *different* shapes no longer
+    /// serialize on one mutex (probing the *same* shape still
+    /// deduplicates to one precomputation — the in-flight table is
+    /// per-stripe, and a shape maps to exactly one stripe). `0` picks
+    /// the default (8).
+    pub stripes: usize,
+    /// Directory of the cross-process persistence tier
+    /// ([`PersistStore`]); `None` (the default) disables it. When set,
+    /// every in-memory miss probes the directory for a serialized
+    /// precomputation before computing, and every computed (or
+    /// corrupt-and-recomputed) entry is written through — so a second
+    /// process, or tomorrow's build, pays a file read instead of the
+    /// §5.2 precomputation. See [`persist`](crate::persist) for the
+    /// format and corruption guarantees.
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -28,9 +55,14 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 0,
             cache_capacity: 256,
+            stripes: 0,
+            persist_dir: None,
         }
     }
 }
+
+/// Stripe count used when [`EngineConfig::stripes`] is 0.
+const DEFAULT_STRIPES: usize = 8;
 
 /// A module-level liveness analysis engine.
 ///
@@ -45,12 +77,18 @@ impl Default for EngineConfig {
 /// Precomputations are cached and shared by CFG shape: analyzing two
 /// functions with identical CFGs, or re-analyzing a recompiled function
 /// whose CFG survived (the paper's §1 JIT scenario), costs one cache
-/// probe instead of a §5.2 precomputation. Two workers that miss on
-/// the *same* shape concurrently are deduplicated: the first computes,
-/// the rest block on the in-flight slot and adopt its result — so
-/// `misses` counts exactly one precomputation per distinct shape under
-/// any interleaving. Hits, misses, evictions and dedup hits are
-/// observable through [`cache_stats`](Self::cache_stats).
+/// probe instead of a §5.2 precomputation. The in-memory tier is
+/// **lock-striped** ([`EngineConfig::stripes`]): different shapes may
+/// probe concurrently, while two workers that miss on the *same* shape
+/// are deduplicated — the first resolves, the rest block on the
+/// in-flight slot and adopt its result — so `misses` counts exactly
+/// one resolution per distinct shape under any interleaving. With
+/// [`EngineConfig::persist_dir`] set, misses consult a cross-process
+/// on-disk tier before computing and write through after
+/// ([`persist`](crate::persist)). Hits, misses, evictions, dedup hits
+/// and disk-tier outcomes are observable through
+/// [`cache_stats`](Self::cache_stats) and, per stripe,
+/// [`stripe_stats`](Self::stripe_stats).
 ///
 /// # Examples
 ///
@@ -79,12 +117,17 @@ impl Default for EngineConfig {
 /// ```
 pub struct AnalysisEngine {
     config: EngineConfig,
-    state: Mutex<EngineState>,
+    /// Lock-striped cache segments: a fingerprint hashes to exactly one
+    /// stripe, so same-shape probes still meet (and deduplicate) while
+    /// different-shape probes proceed in parallel.
+    stripes: Vec<Mutex<StripeState>>,
+    /// The optional cross-process disk tier.
+    store: Option<PersistStore>,
 }
 
-/// Cache plus the in-flight table, guarded by one mutex so a probe and
-/// its in-flight registration are atomic.
-struct EngineState {
+/// One stripe: cache segment plus the in-flight table, guarded by one
+/// mutex so a probe and its in-flight registration are atomic.
+struct StripeState {
     cache: FingerprintCache,
     in_flight: HashMap<CfgShape, Arc<InFlightSlot>>,
 }
@@ -112,6 +155,7 @@ enum SlotState {
 /// slot is abandoned and waiters are released instead of deadlocking.
 struct ComputeGuard<'a> {
     engine: &'a AnalysisEngine,
+    stripe: usize,
     shape: CfgShape,
     slot: Arc<InFlightSlot>,
     completed: bool,
@@ -122,7 +166,9 @@ impl Drop for ComputeGuard<'_> {
         if self.completed {
             return;
         }
-        let mut st = self.engine.state.lock().expect("engine state poisoned");
+        let mut st = self.engine.stripes[self.stripe]
+            .lock()
+            .expect("engine stripe poisoned");
         st.in_flight.remove(&self.shape);
         drop(st);
         *self.slot.state.lock().expect("slot poisoned") = SlotState::Abandoned;
@@ -130,22 +176,57 @@ impl Drop for ComputeGuard<'_> {
     }
 }
 
+/// What the disk tier contributed to one in-memory miss (recorded into
+/// the owning stripe's stats after the result is ready).
+enum DiskOutcome {
+    /// Persistence disabled: no counter moves.
+    Disabled,
+    Hit,
+    Miss,
+    Reject,
+}
+
 impl AnalysisEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
+        let nstripes = if config.stripes == 0 {
+            DEFAULT_STRIPES
+        } else {
+            config.stripes
+        };
+        // Distribute the capacity bound: ⌈capacity / stripes⌉ per
+        // stripe (0 stays 0 — caching disabled everywhere).
+        let per_stripe = if config.cache_capacity == 0 {
+            0
+        } else {
+            config.cache_capacity.div_ceil(nstripes).max(1)
+        };
+        let stripes = (0..nstripes)
+            .map(|_| {
+                Mutex::new(StripeState {
+                    cache: FingerprintCache::new(per_stripe),
+                    in_flight: HashMap::new(),
+                })
+            })
+            .collect();
+        let store = config.persist_dir.as_ref().map(PersistStore::new);
         AnalysisEngine {
-            state: Mutex::new(EngineState {
-                cache: FingerprintCache::new(config.cache_capacity),
-                in_flight: HashMap::new(),
-            }),
+            stripes,
+            store,
             config,
         }
     }
 
     /// An engine with [`EngineConfig::default`] (auto thread count,
-    /// 256-entry cache).
+    /// 256-entry cache over 8 stripes, no persistence).
     pub fn with_defaults() -> Self {
         Self::new(EngineConfig::default())
+    }
+
+    /// The stripe owning `shape` — pure hash dispatch, stable for the
+    /// life of the engine.
+    fn stripe_of(&self, shape: &CfgShape) -> usize {
+        (shape.hash64() % self.stripes.len() as u64) as usize
     }
 
     /// The engine's configuration.
@@ -218,26 +299,31 @@ impl AnalysisEngine {
     /// computed fingerprint (sessions keep it for exact revalidation).
     ///
     /// Cache misses are deduplicated per shape: the first prober
-    /// registers an in-flight slot and computes **outside the state
-    /// lock** (precomputation is the expensive part); concurrent
-    /// probers of the same shape block on the slot and adopt the
-    /// result, counted as `dedup_hits`. Capacity 0 disables *caching*
-    /// but not dedup — even then, concurrent same-shape probes share
-    /// one computation.
+    /// registers an in-flight slot in the shape's stripe and resolves
+    /// the miss **outside the stripe lock** — first against the disk
+    /// tier (if configured), then by computing over the shape's
+    /// canonical graph; concurrent probers of the same shape block on
+    /// the slot and adopt the result, counted as `dedup_hits`.
+    /// Capacity 0 disables *caching* but not dedup — even then,
+    /// concurrent same-shape probes share one computation.
     pub(crate) fn shaped_analysis(&self, func: &Function) -> (CfgShape, Arc<FunctionLiveness>) {
         enum Role {
             Wait(Arc<InFlightSlot>),
             Compute(Arc<InFlightSlot>),
         }
         let shape = CfgShape::of(func);
+        let si = self.stripe_of(&shape);
         loop {
             let role = {
-                let mut st = self.state.lock().expect("engine state poisoned");
+                let mut st = self.stripes[si].lock().expect("engine stripe poisoned");
                 if let Some(live) = st.cache.probe(&shape) {
                     return (shape, live);
                 }
                 if let Some(slot) = st.in_flight.get(&shape).map(Arc::clone) {
-                    st.cache.note_dedup_hit();
+                    // The dedup hit is counted on *adoption*, not here:
+                    // if the computing worker unwinds and abandons the
+                    // slot, this prober retries from the top and must
+                    // not have been counted twice.
                     Role::Wait(slot)
                 } else {
                     st.cache.note_miss();
@@ -247,61 +333,121 @@ impl AnalysisEngine {
                 }
             };
             match role {
-                // Another worker is precomputing this shape: wait for
-                // its result instead of duplicating the work.
+                // Another worker is resolving this shape: wait for its
+                // result instead of duplicating the work.
                 Role::Wait(slot) => {
-                    let mut state = slot.state.lock().expect("slot poisoned");
-                    loop {
-                        match &*state {
-                            SlotState::Pending => {
-                                state = slot.cond.wait(state).expect("slot poisoned");
+                    let adopted = {
+                        let mut state = slot.state.lock().expect("slot poisoned");
+                        loop {
+                            match &*state {
+                                SlotState::Pending => {
+                                    state = slot.cond.wait(state).expect("slot poisoned");
+                                }
+                                SlotState::Done(live) => break Some(Arc::clone(live)),
+                                SlotState::Abandoned => break None, // retry from the top
                             }
-                            SlotState::Done(live) => return (shape, Arc::clone(live)),
-                            SlotState::Abandoned => break, // retry from the top
                         }
+                    };
+                    if let Some(live) = adopted {
+                        self.stripes[si]
+                            .lock()
+                            .expect("engine stripe poisoned")
+                            .cache
+                            .note_dedup_hit();
+                        return (shape, live);
                     }
                 }
-                // This worker owns the computation; the guard releases
-                // waiters if the precomputation unwinds.
+                // This worker owns the miss; the guard releases waiters
+                // if the load-or-compute unwinds.
                 Role::Compute(slot) => {
                     let mut guard = ComputeGuard {
                         engine: self,
+                        stripe: si,
                         shape: shape.clone(),
                         slot: Arc::clone(&slot),
                         completed: false,
                     };
-                    let live = Arc::new(FunctionLiveness::compute(func));
+                    let (live, disk) = self.load_or_compute(&shape);
                     {
-                        let mut st = self.state.lock().expect("engine state poisoned");
+                        let mut st = self.stripes[si].lock().expect("engine stripe poisoned");
+                        match disk {
+                            DiskOutcome::Disabled => {}
+                            DiskOutcome::Hit => st.cache.note_disk_hit(),
+                            DiskOutcome::Miss => st.cache.note_disk_miss(),
+                            DiskOutcome::Reject => st.cache.note_disk_reject(),
+                        }
                         st.cache.insert(shape.clone(), Arc::clone(&live));
                         st.in_flight.remove(&shape);
                     }
                     *slot.state.lock().expect("slot poisoned") = SlotState::Done(Arc::clone(&live));
                     slot.cond.notify_all();
                     guard.completed = true;
+                    // Write-through happens *after* waiters are
+                    // released — disk I/O never extends the dedup
+                    // critical path. A valid entry that was just read
+                    // back is not rewritten; a rejected one is
+                    // overwritten with the recomputation.
+                    if let (Some(store), DiskOutcome::Miss | DiskOutcome::Reject) =
+                        (&self.store, &disk)
+                    {
+                        store.save(&shape, live.checker().precomputation());
+                    }
                     return (shape, live);
                 }
             }
         }
     }
 
-    /// Cumulative cache statistics (hits / misses / evictions /
-    /// dedup hits).
-    pub fn cache_stats(&self) -> CacheStats {
-        self.state
-            .lock()
-            .expect("engine state poisoned")
-            .cache
-            .stats()
+    /// Resolves one in-memory miss: probe the disk tier, falling back
+    /// to the §5.2 precomputation. Both paths build the checker over
+    /// the shape's **canonical graph** (sorted successor lists), which
+    /// pins one dominance-preorder numbering per shape — the contract
+    /// that makes serialized matrices exact for every shape-identical
+    /// function in any process (see [`persist`](crate::persist)).
+    fn load_or_compute(&self, shape: &CfgShape) -> (Arc<FunctionLiveness>, DiskOutcome) {
+        let compute = |outcome: DiskOutcome| {
+            let live = FunctionLiveness::from_checker(LivenessChecker::compute(&shape.to_graph()));
+            (Arc::new(live), outcome)
+        };
+        let Some(store) = &self.store else {
+            return compute(DiskOutcome::Disabled);
+        };
+        match store.load(shape) {
+            LoadOutcome::Hit(pre) => match crate::persist::revive(shape, pre) {
+                Some(live) => (Arc::new(live), DiskOutcome::Hit),
+                // Decoded but dimensionally wrong for the canonical
+                // graph: same degradation as any other bad entry.
+                None => compute(DiskOutcome::Reject),
+            },
+            LoadOutcome::Absent => compute(DiskOutcome::Miss),
+            LoadOutcome::Reject => compute(DiskOutcome::Reject),
+        }
     }
 
-    /// Number of precomputations currently cached.
+    /// Cumulative cache statistics (hits / misses / evictions / dedup
+    /// hits / disk tier), summed over all stripes.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stripe_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.add(s))
+    }
+
+    /// Per-stripe cache statistics, in stripe order. Always sums
+    /// (field-wise) to [`cache_stats`](Self::cache_stats) — a probe is
+    /// accounted in exactly one stripe.
+    pub fn stripe_stats(&self) -> Vec<CacheStats> {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("engine stripe poisoned").cache.stats())
+            .collect()
+    }
+
+    /// Number of precomputations currently cached, over all stripes.
     pub fn cache_len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("engine state poisoned")
-            .cache
-            .len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("engine stripe poisoned").cache.len())
+            .sum()
     }
 
     /// Resolved worker count for a module of `n` functions (shared
@@ -338,6 +484,7 @@ mod tests {
         let engine = AnalysisEngine::new(EngineConfig {
             threads: 1,
             cache_capacity: 16,
+            ..EngineConfig::default()
         });
         let mut session = engine.analyze(&module);
         let stats = engine.cache_stats();
@@ -360,6 +507,7 @@ mod tests {
             let engine = AnalysisEngine::new(EngineConfig {
                 threads,
                 cache_capacity: 0,
+                ..EngineConfig::default()
             });
             let mut session = engine.analyze(&module);
             for (id, func) in module.iter() {
@@ -400,6 +548,7 @@ mod tests {
         let engine = AnalysisEngine::new(EngineConfig {
             threads: 1,
             cache_capacity: 16,
+            ..EngineConfig::default()
         });
         let barrier = Barrier::new(N);
         let handles: Vec<Arc<FunctionLiveness>> = std::thread::scope(|scope| {
@@ -441,6 +590,7 @@ mod tests {
         let engine = AnalysisEngine::new(EngineConfig {
             threads: 1,
             cache_capacity: 0,
+            ..EngineConfig::default()
         });
         let barrier = Barrier::new(N);
         std::thread::scope(|scope| {

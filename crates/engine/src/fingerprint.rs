@@ -11,7 +11,7 @@
 //! collisions — a collision can cost a wasted recomputation, never a
 //! wrong answer).
 
-use fastlive_graph::Cfg;
+use fastlive_graph::{Cfg, DiGraph};
 
 /// Canonical structural encoding of a CFG, with a precomputed hash.
 ///
@@ -76,6 +76,43 @@ impl CfgShape {
     /// Number of blocks in the fingerprinted graph.
     pub fn num_blocks(&self) -> usize {
         self.encoding[0] as usize
+    }
+
+    /// The canonical encoding words (see the type docs for the layout)
+    /// — the exact byte identity the persistence codec embeds in cache
+    /// files so a fingerprint-hash collision degrades to a miss, never
+    /// a wrong load.
+    pub fn encoding(&self) -> &[u32] {
+        &self.encoding
+    }
+
+    /// Materializes the **canonical graph** the shape encodes: same
+    /// blocks and edge multiset as every function that fingerprints to
+    /// this shape, successor lists sorted.
+    ///
+    /// This graph — not any particular function's — is what the engine
+    /// runs the precomputation on. Successor *order* steers the DFS and
+    /// therefore the dominance-preorder numbering the `R`/`T` matrices
+    /// are indexed by, so two order-divergent functions sharing this
+    /// shape would otherwise disagree about what the matrices mean.
+    /// Canonicalizing pins one numbering per shape, which is what makes
+    /// a precomputation serialized by one process exact for every
+    /// shape-identical function loaded by another. Liveness answers are
+    /// unaffected: they depend on the edge relation only.
+    pub fn to_graph(&self) -> DiGraph {
+        let n = self.encoding[0] as usize;
+        let entry = self.encoding[1];
+        let mut g = DiGraph::new(n, entry);
+        let mut i = 2;
+        for v in 0..n as u32 {
+            let len = self.encoding[i] as usize;
+            i += 1;
+            for &w in &self.encoding[i..i + len] {
+                g.add_edge(v, w);
+            }
+            i += len;
+        }
+        g
     }
 }
 
@@ -155,6 +192,25 @@ mod tests {
         )
         .unwrap();
         assert_eq!(CfgShape::of(&a), CfgShape::of(&b));
+    }
+
+    #[test]
+    fn to_graph_rebuilds_the_canonical_edge_relation() {
+        use fastlive_graph::Cfg;
+        let f = parse_function(
+            "function %f { block0(v0): brif v0, block2, block1
+             block1: jump block0 block2: return }",
+        )
+        .unwrap();
+        let g = CfgShape::of(&f).to_graph();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.entry(), 0);
+        // Successors come back sorted regardless of branch-arm order.
+        assert_eq!(g.succs(0), &[1, 2]);
+        assert_eq!(g.succs(1), &[0]);
+        assert_eq!(g.succs(2), &[] as &[u32]);
+        // The canonical graph fingerprints back to the same shape.
+        assert_eq!(CfgShape::of(&g), CfgShape::of(&f));
     }
 
     #[test]

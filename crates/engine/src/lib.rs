@@ -15,10 +15,17 @@
 //!   AnalysisEngine::analyze       scoped worker pool, self-scheduling
 //!           │                     shared queue (EngineConfig::threads)
 //!           ▼
-//!   CfgShape fingerprint cache    bounded LRU keyed by CFG structure:
-//!           │                     CFG-identical functions — including
-//!           │                     recompiled ones — share one
-//!           │                     precomputation (CacheStats observable)
+//!   CfgShape fingerprint cache    lock-striped bounded LRU keyed by
+//!           │                     CFG structure: CFG-identical
+//!           │                     functions — including recompiled
+//!           │                     ones — share one precomputation
+//!           │                     (per-stripe CacheStats observable)
+//!           ▼
+//!   persist::PersistStore         optional cross-process tier
+//!           │                     (EngineConfig::persist_dir): misses
+//!           │                     decode a checksummed on-disk entry
+//!           │                     instead of precomputing; corrupt
+//!           │                     files degrade to clean misses
 //!           ▼
 //!       EngineSession             epoch-based queries: is_live_in /
 //!                                 is_live_out / is_live_at (program
@@ -83,9 +90,11 @@ mod cache;
 mod driver;
 mod engine;
 mod fingerprint;
+pub mod persist;
 mod session;
 
 pub use cache::CacheStats;
 pub use engine::{AnalysisEngine, EngineConfig};
 pub use fingerprint::CfgShape;
+pub use persist::PersistStore;
 pub use session::EngineSession;

@@ -1,0 +1,576 @@
+//! The on-disk tier of the engine cache: a versioned, checksummed
+//! store of [`Precomputation`]s keyed by [`CfgShape`] fingerprint.
+//!
+//! The paper's precomputation is the expensive, quadratic part of the
+//! analysis and depends on nothing but the CFG shape — so it is worth
+//! keeping not just across functions and recompilations (the in-memory
+//! fingerprint cache) but across *processes*: a build daemon, a JIT
+//! restarting, or parallel compiler invocations over one source tree
+//! all re-encounter the same shapes. [`PersistStore`] serializes the
+//! `R`/`T` matrices per shape into one small file under a shared
+//! directory; any later engine pointed at the same directory revives
+//! them for the price of a read + CRC instead of a §5.2 precomputation.
+//!
+//! # Format (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size            field
+//! 0       4               magic  "FLPC"
+//! 4       4               format version (u32, currently 1)
+//! 8       8               shape hash64 (matches the file name)
+//! 16      4               k = shape-encoding word count (u32)
+//! 20      4·k             shape encoding  (CfgShape::encoding, u32s)
+//! ..      4 + 4 + 8·r·w   R matrix: rows, cols, row-major words
+//! ..      4 + 4 + 8·r·w   T matrix: rows, cols, row-major words
+//! last 4  4               CRC-32 (IEEE) over all preceding bytes
+//! ```
+//!
+//! # Corruption policy: reject, never trust
+//!
+//! Decoding is total: every length is bounds-checked, the CRC covers
+//! the whole payload, the embedded shape encoding must equal the
+//! probing shape byte-for-byte (a hash-collided or renamed file is
+//! *someone else's* entry, not this shape's), and the matrix words are
+//! revalidated structurally ([`BitMatrix::from_words`] refuses ghost
+//! bits above the universe). Any mismatch — truncation, bit flips,
+//! zero fill, a future format version — yields a clean miss
+//! (`disk_rejects` in [`CacheStats`](crate::CacheStats)) and the entry
+//! is recomputed and overwritten. A cache file can cost a
+//! recomputation; it can never produce a wrong liveness answer or a
+//! panic.
+//!
+//! Writes go through a unique temporary file followed by an atomic
+//! rename, so concurrent processes racing on one shape publish one
+//! complete file each — a reader sees either a whole entry or none.
+//!
+//! # Why matrices revive exactly (the canonicalization contract)
+//!
+//! The matrices are indexed by a dominance-preorder numbering derived
+//! from a DFS of the CFG, and a DFS depends on successor *order* —
+//! which `CfgShape` deliberately erases (successor lists are sorted).
+//! The engine therefore always runs the precomputation on the shape's
+//! [canonical graph](CfgShape::to_graph), never on a particular
+//! function's edge ordering. [`revive`] rebuilds the DFS and dominator
+//! trees from that same canonical graph, so the decoded matrices land
+//! in exactly the number space they were computed in — in this process
+//! or any other.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fastlive_bitset::BitMatrix;
+use fastlive_cfg::{DfsTree, DomTree};
+use fastlive_core::{FunctionLiveness, LivenessChecker, Precomputation};
+
+use crate::fingerprint::CfgShape;
+
+/// First four bytes of every cache file.
+pub const MAGIC: [u8; 4] = *b"FLPC";
+
+/// The on-disk format version this build reads and writes. Bumped on
+/// **any** layout change; older or newer files are rejected wholesale
+/// (a version-crossed file degrades to one recomputation, which is
+/// always cheaper than decoding a guess).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File extension of cache entries (`{hash64:016x}.flpc`).
+pub const FILE_EXTENSION: &str = "flpc";
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `!0`) — hand-rolled
+/// because crates.io is unreachable; the table is built at compile
+/// time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Serializes `pre` (computed over `shape`'s canonical graph) into the
+/// version-1 byte format, CRC included.
+pub fn encode(shape: &CfgShape, pre: &Precomputation) -> Vec<u8> {
+    let enc = shape.encoding();
+    let mut out = Vec::with_capacity(
+        24 + 4 * enc.len() + 16 + 8 * (pre.r.as_words().len() + pre.t.as_words().len()),
+    );
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&shape.hash64().to_le_bytes());
+    out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+    for &w in enc {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    for m in [&pre.r, &pre.t] {
+        out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+        for &w in m.as_words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Bounds-checked little-endian cursor; every read can fail, no read
+/// can panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// Decodes `bytes` as a cache entry **for `shape`**. Returns `None` —
+/// never panics, never a partial result — unless every one of these
+/// holds: magic and [`FORMAT_VERSION`] match, the trailing CRC matches
+/// the payload, the embedded shape encoding equals `shape`'s exactly,
+/// both matrices are square, mutually sized, bounded by the shape's
+/// block count and structurally valid, and no trailing bytes remain.
+pub fn decode(shape: &CfgShape, bytes: &[u8]) -> Option<Precomputation> {
+    // CRC first: everything after this point may assume the bytes are
+    // the bytes some `encode` produced (or an astronomically lucky
+    // corruption — which the structural checks below still bound).
+    let payload_len = bytes.len().checked_sub(4)?;
+    let stored_crc = u32::from_le_bytes(bytes[payload_len..].try_into().expect("4 bytes"));
+    if crc32(&bytes[..payload_len]) != stored_crc {
+        return None;
+    }
+    let mut r = Reader {
+        buf: &bytes[..payload_len],
+        pos: 0,
+    };
+    if r.take(4)? != MAGIC {
+        return None;
+    }
+    if r.u32()? != FORMAT_VERSION {
+        return None;
+    }
+    if r.u64()? != shape.hash64() {
+        return None;
+    }
+    let k = r.u32()? as usize;
+    let enc = shape.encoding();
+    if k != enc.len() {
+        return None;
+    }
+    for &want in enc {
+        if r.u32()? != want {
+            return None;
+        }
+    }
+    let max_dim = shape.num_blocks();
+    let r_matrix = decode_matrix(&mut r, max_dim)?;
+    let t_matrix = decode_matrix(&mut r, max_dim)?;
+    if r_matrix.rows() != t_matrix.rows() || r.pos != payload_len {
+        return None;
+    }
+    Some(Precomputation {
+        r: r_matrix,
+        t: t_matrix,
+    })
+}
+
+/// One square `rows == cols ≤ max_dim` matrix; dimensions are checked
+/// *before* any allocation is sized from them.
+fn decode_matrix(r: &mut Reader<'_>, max_dim: usize) -> Option<BitMatrix> {
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    if rows != cols || rows > max_dim {
+        return None;
+    }
+    let words_per_row = cols.div_ceil(64);
+    let total = rows.checked_mul(words_per_row)?;
+    let mut words = Vec::with_capacity(total);
+    for _ in 0..total {
+        words.push(r.u64()?);
+    }
+    BitMatrix::from_words(rows, cols, words)
+}
+
+/// Rebuilds a queryable [`FunctionLiveness`] around a decoded
+/// [`Precomputation`]: DFS and dominator trees are recomputed from the
+/// shape's canonical graph (the cheap, near-linear part) and the
+/// matrices (the expensive, quadratic part) are adopted as-is.
+///
+/// Returns `None` if the matrices do not cover exactly the canonical
+/// graph's reachable blocks — the final structural gate keeping a
+/// CRC-passing-but-wrong file from panicking the checker constructor.
+pub fn revive(shape: &CfgShape, pre: Precomputation) -> Option<FunctionLiveness> {
+    let g = shape.to_graph();
+    let dfs = DfsTree::compute(&g);
+    let dom = DomTree::compute(&g, &dfs);
+    let n = dom.num_reachable();
+    // Both matrices must be square over exactly the reachable blocks —
+    // `decode` guarantees this for its own output, but `revive` is a
+    // public gate and must hold for any caller-supplied value.
+    if [pre.r.rows(), pre.r.cols(), pre.t.rows(), pre.t.cols()] != [n; 4] {
+        return None;
+    }
+    Some(FunctionLiveness::from_checker(
+        LivenessChecker::with_precomputation(&g, dfs, dom, pre),
+    ))
+}
+
+/// What a [`PersistStore::load`] probe found.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// A valid entry for exactly this shape.
+    Hit(Precomputation),
+    /// No file for this fingerprint.
+    Absent,
+    /// A file existed but failed validation (corrupt, truncated,
+    /// version-crossed, or a hash-collided entry for a different
+    /// shape). The caller recomputes and overwrites.
+    Reject,
+}
+
+/// The cross-process store: one directory, one file per fingerprint.
+///
+/// All operations degrade instead of failing: a missing file is
+/// [`Absent`](LoadOutcome::Absent), an unreadable or invalid one is
+/// [`Reject`](LoadOutcome::Reject), and a failed write is dropped
+/// silently (the cache is an accelerator, not a database). See the
+/// module docs for format and corruption policy.
+///
+/// # Examples
+///
+/// ```
+/// use fastlive_core::FunctionLiveness;
+/// use fastlive_engine::persist::{LoadOutcome, PersistStore};
+/// use fastlive_engine::CfgShape;
+/// use fastlive_ir::parse_function;
+///
+/// let dir = std::env::temp_dir().join(format!("fastlive-doc-{}", std::process::id()));
+/// let store = PersistStore::new(&dir);
+/// let f = parse_function("function %f { block0(v0): jump block1 block1: return v0 }")?;
+/// let shape = CfgShape::of(&f);
+/// assert!(matches!(store.load(&shape), LoadOutcome::Absent));
+///
+/// let checker = fastlive_core::LivenessChecker::compute(&shape.to_graph());
+/// store.save(&shape, checker.precomputation());
+/// assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PersistStore {
+    dir: PathBuf,
+}
+
+/// Distinguishes concurrent writers' temp files within one process;
+/// the pid distinguishes processes.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// `true` iff `name` matches the store's own temp-file pattern,
+/// `{16 hex}.tmp.{digits}.{digits}` — the sweep must never touch
+/// anything else living in a shared directory.
+fn is_own_tmp_name(name: &str) -> bool {
+    let Some(rest) = name
+        .get(..16)
+        .filter(|hex| hex.bytes().all(|b| b.is_ascii_hexdigit()))
+        .and_then(|_| name[16..].strip_prefix(".tmp."))
+    else {
+        return false;
+    };
+    match rest.split_once('.') {
+        Some((pid, counter)) => {
+            !pid.is_empty()
+                && !counter.is_empty()
+                && pid.bytes().all(|b| b.is_ascii_digit())
+                && counter.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+impl PersistStore {
+    /// Opens (creating if needed, best-effort) a store rooted at `dir`
+    /// and sweeps temp files orphaned by crashed writers.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir);
+        Self::sweep_stale_tmp(&dir);
+        PersistStore { dir }
+    }
+
+    /// Deletes temp files old enough that their writer is surely gone
+    /// (a process killed between write and rename leaks its temp file;
+    /// nothing else ever removes them). Only files matching this
+    /// store's own temp-name pattern are touched — `persist_dir` may
+    /// be a shared directory with unrelated contents. The age floor
+    /// keeps a concurrent, still-live writer's file safe; everything
+    /// is best-effort — a failed sweep costs disk space, never
+    /// correctness.
+    fn sweep_stale_tmp(dir: &Path) {
+        const STALE_AFTER: std::time::Duration = std::time::Duration::from_secs(600);
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if !is_own_tmp_name(&name.to_string_lossy()) {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age > STALE_AFTER);
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a given shape persists to.
+    pub fn entry_path(&self, shape: &CfgShape) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.{FILE_EXTENSION}", shape.hash64()))
+    }
+
+    /// Probes the store for `shape`'s precomputation.
+    pub fn load(&self, shape: &CfgShape) -> LoadOutcome {
+        let path = self.entry_path(shape);
+        // Cheap size gate before reading: a valid entry for this shape
+        // can never exceed `max_entry_len` (matrix dims are bounded by
+        // the block count), so an absurdly large file — filesystem
+        // corruption, a zero-extended blob — is rejected on metadata
+        // alone instead of being slurped and CRC-scanned.
+        match std::fs::metadata(&path) {
+            Ok(meta) if meta.len() > Self::max_entry_len(shape) => return LoadOutcome::Reject,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
+            Err(_) => return LoadOutcome::Reject,
+        }
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
+            // Unreadable counts as reject: a file is there but useless.
+            Err(_) => return LoadOutcome::Reject,
+        };
+        match decode(shape, &bytes) {
+            Some(pre) => LoadOutcome::Hit(pre),
+            None => LoadOutcome::Reject,
+        }
+    }
+
+    /// Upper bound on a valid entry's byte length for `shape`: header
+    /// and encoding are fixed, and each matrix is at most
+    /// `num_blocks × ⌈num_blocks/64⌉` words (the reachable count never
+    /// exceeds the block count).
+    fn max_entry_len(shape: &CfgShape) -> u64 {
+        let n = shape.num_blocks() as u64;
+        let matrix_words = n * n.div_ceil(64);
+        24 + 4 * shape.encoding().len() as u64 + 2 * (8 + 8 * matrix_words) + 4
+    }
+
+    /// Writes (or overwrites) `shape`'s entry atomically: encode to a
+    /// unique temp file, then rename into place. Returns `false` — and
+    /// leaves no partial entry behind — on any I/O failure.
+    pub fn save(&self, shape: &CfgShape, pre: &Precomputation) -> bool {
+        let bytes = encode(shape, pre);
+        let final_path = self.entry_path(shape);
+        let tmp_path = self.dir.join(format!(
+            "{:016x}.tmp.{}.{}",
+            shape.hash64(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp_path, &bytes).is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+            return false;
+        }
+        if std::fs::rename(&tmp_path, &final_path).is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_ir::parse_function;
+
+    fn shape_and_pre(src: &str) -> (CfgShape, Precomputation) {
+        let f = parse_function(src).expect("parses");
+        let shape = CfgShape::of(&f);
+        let checker = LivenessChecker::compute(&shape.to_graph());
+        let pre = checker.precomputation().clone();
+        (shape, pre)
+    }
+
+    const LOOP_SRC: &str = "function %f { block0(v0):
+        jump block1
+    block1:
+        brif v0, block1, block2
+    block2:
+        return v0 }";
+
+    #[test]
+    fn tmp_sweep_pattern_matches_only_own_files() {
+        assert!(is_own_tmp_name("00ff00ff00ff00ff.tmp.1234.0"));
+        assert!(is_own_tmp_name("abcdefABCDEF0123.tmp.9.42"));
+        // Unrelated files sharing a shared persist_dir must survive.
+        assert!(!is_own_tmp_name("notes.tmp.bak"));
+        assert!(!is_own_tmp_name("data.tmp.1"));
+        assert!(!is_own_tmp_name("00ff00ff00ff00ff.flpc"));
+        assert!(!is_own_tmp_name("00ff00ff00ff00ff.tmp."));
+        assert!(!is_own_tmp_name("00ff00ff00ff00ff.tmp.12x.3"));
+        assert!(!is_own_tmp_name("zzff00ff00ff00ff.tmp.12.3"));
+        assert!(!is_own_tmp_name("short.tmp.1.2"));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let (shape, pre) = shape_and_pre(LOOP_SRC);
+        let bytes = encode(&shape, &pre);
+        let back = decode(&shape, &bytes).expect("own encoding decodes");
+        assert_eq!(back, pre);
+    }
+
+    #[test]
+    fn decode_rejects_other_shapes_entries() {
+        let (shape, pre) = shape_and_pre(LOOP_SRC);
+        let (other, _) = shape_and_pre("function %g { block0: return }");
+        let bytes = encode(&shape, &pre);
+        // A different probing shape must see a reject, not a wrong hit
+        // — this is the hash-collision safety net.
+        assert!(decode(&other, &bytes).is_none());
+    }
+
+    #[test]
+    fn store_round_trips_and_overwrites() {
+        let dir = std::env::temp_dir().join(format!(
+            "fastlive-persist-unit-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = PersistStore::new(&dir);
+        let (shape, pre) = shape_and_pre(LOOP_SRC);
+        assert!(matches!(store.load(&shape), LoadOutcome::Absent));
+        assert!(store.save(&shape, &pre));
+        match store.load(&shape) {
+            LoadOutcome::Hit(back) => assert_eq!(back, pre),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // Corrupt the file in place: load degrades to Reject; saving
+        // again repairs it.
+        std::fs::write(store.entry_path(&shape), b"garbage").unwrap();
+        assert!(matches!(store.load(&shape), LoadOutcome::Reject));
+        assert!(store.save(&shape, &pre));
+        assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
+        // An absurdly oversized file is rejected on metadata alone
+        // (the size gate — no multi-gigabyte slurp before validation).
+        let valid = std::fs::read(store.entry_path(&shape)).unwrap();
+        let mut huge = valid.clone();
+        huge.resize(valid.len() + 4096, 0);
+        std::fs::write(store.entry_path(&shape), &huge).unwrap();
+        assert!(matches!(store.load(&shape), LoadOutcome::Reject));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn revive_answers_like_a_fresh_checker() {
+        let f = parse_function(LOOP_SRC).expect("parses");
+        let shape = CfgShape::of(&f);
+        let canonical = LivenessChecker::compute(&shape.to_graph());
+        let pre = canonical.precomputation().clone();
+        let bytes = encode(&shape, &pre);
+        let revived =
+            revive(&shape, decode(&shape, &bytes).expect("decodes")).expect("dimensions match");
+        let fresh = FunctionLiveness::compute(&f);
+        for v in f.values() {
+            for b in f.blocks() {
+                assert_eq!(
+                    revived.is_live_in(&f, v, b),
+                    fresh.is_live_in(&f, v, b),
+                    "{v} live-in at {b}"
+                );
+                assert_eq!(
+                    revived.is_live_out(&f, v, b),
+                    fresh.is_live_out(&f, v, b),
+                    "{v} live-out at {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn revive_rejects_dimension_mismatches() {
+        let (shape, pre) = shape_and_pre(LOOP_SRC);
+        let (_, small) = shape_and_pre("function %g { block0: return }");
+        assert!(revive(&shape, small.clone()).is_none());
+        // Mixed dimensions (valid R, undersized T and vice versa) are
+        // gated too — `revive` must hold for any caller-built value,
+        // not just `decode` output.
+        assert!(revive(
+            &shape,
+            Precomputation {
+                r: pre.r.clone(),
+                t: small.t.clone(),
+            }
+        )
+        .is_none());
+        assert!(revive(
+            &shape,
+            Precomputation {
+                r: small.r,
+                t: pre.t.clone(),
+            }
+        )
+        .is_none());
+        assert!(revive(&shape, pre).is_some());
+    }
+}

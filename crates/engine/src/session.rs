@@ -383,6 +383,7 @@ mod tests {
         let engine = AnalysisEngine::new(EngineConfig {
             threads: 1,
             cache_capacity: 8,
+            ..EngineConfig::default()
         });
         let _first = engine.analyze(&module);
         assert_eq!(engine.cache_stats().misses, 1);

@@ -1,0 +1,29 @@
+//! Helpers shared by the engine's integration-test binaries (each
+//! binary compiles this module via `mod common;`).
+
+#![allow(dead_code)] // not every binary uses every helper
+
+use fastlive_engine::CfgShape;
+use fastlive_ir::Module;
+
+/// Number of distinct CFG fingerprints among `module`'s functions —
+/// the expected miss (or disk-hit) count of a cold analysis.
+pub fn distinct_shapes(module: &Module) -> u64 {
+    let mut shapes: Vec<CfgShape> = module.iter().map(|(_, f)| CfgShape::of(f)).collect();
+    let mut n = 0u64;
+    while let Some(s) = shapes.pop() {
+        if !shapes.contains(&s) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// A per-test scratch directory under the system temp dir, wiped on
+/// entry (tests clean up on exit; a crashed run's leftovers must not
+/// poison the next).
+pub fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fastlive-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

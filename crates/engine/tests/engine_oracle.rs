@@ -44,7 +44,7 @@ fn assert_session_matches_oracle(session: &mut EngineSession<'_>, module: &Modul
     }
 }
 
-fn test_module(seed: u64, irreducible_per_mille: u32) -> Module {
+fn test_module(seed: u64, irreducible_per_mille: u32, deep_live_per_mille: u32) -> Module {
     generate_module(
         "prop",
         ModuleParams {
@@ -52,6 +52,7 @@ fn test_module(seed: u64, irreducible_per_mille: u32) -> Module {
             min_blocks: 4,
             max_blocks: 24,
             irreducible_per_mille,
+            deep_live_per_mille,
         },
         seed,
     )
@@ -59,16 +60,21 @@ fn test_module(seed: u64, irreducible_per_mille: u32) -> Module {
 
 #[test]
 fn engine_matches_oracle_across_threads_and_cache_states() {
-    // Reducible-only and irreducibility-heavy modules; 1 and 4 worker
-    // threads; caching disabled, cold and warm.
+    // Reducible-only and irreducibility-heavy modules — half of each
+    // generated with the liveness-driven deep-live bias, so long live
+    // ranges crossing loop headers and live-through-but-not-used
+    // blocks are routinely present; 1 and 4 worker threads; caching
+    // disabled, cold and warm.
     for seed in 0..4u64 {
         for per_mille in [0u32, 400] {
-            let module = test_module(seed * 31 + per_mille as u64, per_mille);
+            let deep = if seed % 2 == 1 { 700 } else { 0 };
+            let module = test_module(seed * 31 + per_mille as u64, per_mille, deep);
             for threads in [1usize, 4] {
                 for cache_capacity in [0usize, 64] {
                     let engine = AnalysisEngine::new(EngineConfig {
                         threads,
                         cache_capacity,
+                        ..EngineConfig::default()
                     });
                     let mut cold = engine.analyze(&module);
                     assert_session_matches_oracle(
@@ -100,10 +106,11 @@ fn engine_matches_oracle_across_threads_and_cache_states() {
 
 #[test]
 fn recompiled_cfg_identical_module_is_served_from_cache() {
-    let module = test_module(99, 250);
+    let module = test_module(99, 250, 500);
     let engine = AnalysisEngine::new(EngineConfig {
         threads: 4,
         cache_capacity: 128,
+        ..EngineConfig::default()
     });
     let _ = engine.analyze(&module);
     let cold = engine.cache_stats();
@@ -147,6 +154,7 @@ fn shared_precomputation_across_edge_orders_stays_exact() {
     let engine = AnalysisEngine::new(EngineConfig {
         threads: 1,
         cache_capacity: 16,
+        ..EngineConfig::default()
     });
     let mut session = engine.analyze(&module);
     assert_eq!(
@@ -167,8 +175,8 @@ proptest! {
     /// session answers match a fresh oracle.
     #[test]
     fn edits_revalidate_exactly(seed in 0u64..500, irr in 0u32..2) {
-        let mut module = test_module(seed, if irr == 1 { 500 } else { 0 });
-        let engine = AnalysisEngine::new(EngineConfig { threads: 2, cache_capacity: 64 });
+        let mut module = test_module(seed, if irr == 1 { 500 } else { 0 }, (seed % 2) as u32 * 600);
+        let engine = AnalysisEngine::new(EngineConfig { threads: 2, cache_capacity: 64 , ..EngineConfig::default() });
         let mut session = engine.analyze(&module);
         let mut rng = SplitMix64::new(seed ^ 0xed17);
 

@@ -15,7 +15,7 @@ use fastlive_ir::Module;
 use fastlive_workload::{generate_module, ModuleParams};
 use proptest::prelude::*;
 
-fn test_module(seed: u64, irreducible_per_mille: u32) -> Module {
+fn test_module(seed: u64, irreducible_per_mille: u32, deep_live_per_mille: u32) -> Module {
     generate_module(
         "pointprop",
         ModuleParams {
@@ -23,6 +23,7 @@ fn test_module(seed: u64, irreducible_per_mille: u32) -> Module {
             min_blocks: 4,
             max_blocks: 20,
             irreducible_per_mille,
+            deep_live_per_mille,
         },
         seed,
     )
@@ -81,12 +82,16 @@ fn assert_points_match_oracle(session: &mut EngineSession<'_>, module: &Module, 
 fn point_queries_match_oracle_across_threads_and_cache_states() {
     for seed in 0..3u64 {
         for per_mille in [0u32, 400] {
-            let module = test_module(seed * 37 + per_mille as u64, per_mille);
+            // Odd seeds opt into the deep-live generator bias so point
+            // queries sweep live-through-but-not-used blocks too.
+            let deep = if seed % 2 == 1 { 700 } else { 0 };
+            let module = test_module(seed * 37 + per_mille as u64, per_mille, deep);
             for threads in [1usize, 4] {
                 for cache_capacity in [0usize, 64] {
                     let engine = AnalysisEngine::new(EngineConfig {
                         threads,
                         cache_capacity,
+                        ..EngineConfig::default()
                     });
                     let mut cold = engine.analyze(&module);
                     assert_points_match_oracle(
@@ -126,8 +131,8 @@ proptest! {
     /// recomputation.
     #[test]
     fn point_answers_track_instruction_edits(seed in 0u64..300, irr in 0u32..2) {
-        let mut module = test_module(seed, if irr == 1 { 350 } else { 0 });
-        let engine = AnalysisEngine::new(EngineConfig { threads: 4, cache_capacity: 64 });
+        let mut module = test_module(seed, if irr == 1 { 350 } else { 0 }, (seed % 2) as u32 * 600);
+        let engine = AnalysisEngine::new(EngineConfig { threads: 4, cache_capacity: 64 , ..EngineConfig::default() });
         let mut session = engine.analyze(&module);
         assert_points_match_oracle(&mut session, &module, "pre-edit");
 

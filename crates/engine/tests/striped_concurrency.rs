@@ -1,0 +1,259 @@
+//! Concurrency properties of the lock-striped cache (ISSUE 4): N
+//! threads released by a barrier onto overlapping fingerprints — cold,
+//! warm-memory and warm-disk — must still compute (or disk-load) each
+//! distinct shape exactly once (`dedup_hits` invariant survives
+//! striping), per-stripe stats must sum to the engine totals, and
+//! answers must be independent of the stripe count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use fastlive_core::FunctionLiveness;
+use fastlive_engine::{AnalysisEngine, CacheStats, EngineConfig};
+use fastlive_ir::Module;
+use fastlive_workload::{generate_module, ModuleParams};
+
+mod common;
+use common::{distinct_shapes, temp_dir};
+
+fn test_module(seed: u64, functions: usize) -> Module {
+    generate_module(
+        "stripe",
+        ModuleParams {
+            functions,
+            min_blocks: 4,
+            max_blocks: 18,
+            irreducible_per_mille: 300,
+            deep_live_per_mille: 400,
+        },
+        seed,
+    )
+}
+
+fn assert_stripes_sum_to_totals(engine: &AnalysisEngine) -> CacheStats {
+    let total = engine.cache_stats();
+    let summed = engine
+        .stripe_stats()
+        .iter()
+        .fold(CacheStats::default(), |acc, s| acc.add(s));
+    assert_eq!(summed, total, "per-stripe stats must sum to the totals");
+    total
+}
+
+/// The PR-3 dedup property, now under striping: N threads × one
+/// barrier × overlapping shapes — exactly one computation per distinct
+/// shape, across several stripe counts (including 1, the degenerate
+/// single-mutex layout, and 3, which does not divide the shape count).
+#[test]
+fn barrier_storm_computes_each_shape_once_per_stripe_count() {
+    const THREADS: usize = 8;
+    let module = test_module(11, 6);
+    let distinct = distinct_shapes(&module);
+    for stripes in [1usize, 3, 8] {
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 64,
+            stripes,
+            ..EngineConfig::default()
+        });
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let engine = &engine;
+                let module = &module;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    // Each thread walks the functions at a different
+                    // starting offset so shape probes interleave.
+                    for i in 0..module.len() {
+                        let func = &module.functions()[(i + t) % module.len()];
+                        let _ = engine.analysis_for(func);
+                    }
+                });
+            }
+        });
+        let stats = assert_stripes_sum_to_totals(&engine);
+        assert_eq!(
+            stats.misses, distinct,
+            "stripes={stripes}: one computation per distinct shape: {stats:?}"
+        );
+        assert_eq!(
+            stats.hits + stats.dedup_hits + stats.misses,
+            (THREADS * module.len()) as u64,
+            "stripes={stripes}: every probe accounted for: {stats:?}"
+        );
+        assert_eq!(engine.cache_len() as u64, distinct);
+    }
+}
+
+/// The same storm against a warm *disk*, cold memory: distinct shapes
+/// are loaded from the store exactly once (`misses == disk_hits`, so
+/// zero precomputations), under any interleaving.
+#[test]
+fn barrier_storm_on_warm_disk_loads_each_shape_once() {
+    const THREADS: usize = 8;
+    let module = test_module(29, 6);
+    let distinct = distinct_shapes(&module);
+    let dir = temp_dir("stripe-warmdisk");
+
+    // Seed the store.
+    let seeder = AnalysisEngine::new(EngineConfig {
+        threads: 2,
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let _ = seeder.analyze(&module);
+    assert_eq!(seeder.cache_stats().disk_misses, distinct);
+
+    for stripes in [2usize, 8] {
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 64,
+            stripes,
+            persist_dir: Some(dir.clone()),
+        });
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let engine = &engine;
+                let module = &module;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..module.len() {
+                        let func = &module.functions()[(i + t) % module.len()];
+                        let _ = engine.analysis_for(func);
+                    }
+                });
+            }
+        });
+        let stats = assert_stripes_sum_to_totals(&engine);
+        assert_eq!(
+            stats.misses, distinct,
+            "stripes={stripes}: one resolution per distinct shape: {stats:?}"
+        );
+        assert_eq!(
+            stats.disk_hits, distinct,
+            "stripes={stripes}: all of them from disk: {stats:?}"
+        );
+        assert_eq!(
+            stats.misses - stats.disk_hits,
+            0,
+            "stripes={stripes}: zero precomputations on a warm disk"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Stripe counts never change answers: 1, 2 and 8 stripes produce
+/// bit-identical sessions (checked against a fresh per-function
+/// analysis).
+#[test]
+fn stripe_count_does_not_change_answers() {
+    let module = test_module(43, 5);
+    for stripes in [1usize, 2, 8] {
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: 4,
+            cache_capacity: 32,
+            stripes,
+            ..EngineConfig::default()
+        });
+        let mut session = engine.analyze(&module);
+        for (id, func) in module.iter() {
+            let oracle = FunctionLiveness::compute(func);
+            for v in func.values() {
+                for b in func.blocks() {
+                    assert_eq!(
+                        session.is_live_in(&module, id, v, b),
+                        oracle.is_live_in(func, v, b),
+                        "stripes={stripes}: {} {v} at {b}",
+                        func.name
+                    );
+                }
+            }
+        }
+        assert_stripes_sum_to_totals(&engine);
+    }
+}
+
+/// `analyze`'s own worker pool (not a hand-rolled barrier) through the
+/// striped cache: warm reruns stay all-hit and per-stripe stats keep
+/// summing after repeated traffic and evictions.
+#[test]
+fn analyze_pool_traffic_keeps_stripe_accounting_exact() {
+    let module = test_module(57, 12);
+    let distinct = distinct_shapes(&module);
+    let engine = AnalysisEngine::new(EngineConfig {
+        threads: 4,
+        cache_capacity: 8, // small: force evictions across stripes
+        stripes: 4,
+        ..EngineConfig::default()
+    });
+    for round in 0..4 {
+        let _ = engine.analyze(&module);
+        let stats = assert_stripes_sum_to_totals(&engine);
+        assert_eq!(
+            stats.hits + stats.dedup_hits + stats.misses,
+            ((round + 1) * module.len()) as u64,
+            "round {round}: every probe accounted for: {stats:?}"
+        );
+        assert!(
+            stats.misses >= distinct,
+            "round {round}: at least one computation per distinct shape"
+        );
+    }
+    // The capacity bound holds across stripes (ceil-distributed).
+    assert!(
+        engine.cache_len() <= 4 * 2usize,
+        "4 stripes × ⌈8/4⌉ entries: {} cached",
+        engine.cache_len()
+    );
+}
+
+/// Concurrent probes through `analysis_for` share one `Arc` per shape
+/// even when stripes and the disk tier are both in play.
+#[test]
+fn concurrent_probes_share_one_arc_per_shape() {
+    const THREADS: usize = 6;
+    let func = fastlive_ir::parse_function(
+        "function %f { block0(v0): jump block1 block1: brif v0, block1, block2 block2: return v0 }",
+    )
+    .expect("parses");
+    let dir = temp_dir("stripe-arc");
+    let engine = AnalysisEngine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 16,
+        stripes: 4,
+        persist_dir: Some(dir.clone()),
+    });
+    let barrier = Barrier::new(THREADS);
+    let resolved = AtomicUsize::new(0);
+    let handles: Vec<_> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let live = engine.analysis_for(&func);
+                    resolved.fetch_add(1, Ordering::Relaxed);
+                    live
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("prober panicked"))
+            .collect()
+    });
+    assert_eq!(resolved.load(Ordering::Relaxed), THREADS);
+    for h in &handles[1..] {
+        assert!(
+            std::sync::Arc::ptr_eq(&handles[0], h),
+            "all probers must share the single resolution"
+        );
+    }
+    let stats = assert_stripes_sum_to_totals(&engine);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits + stats.dedup_hits, (THREADS - 1) as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}

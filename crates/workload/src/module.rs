@@ -27,6 +27,12 @@ pub struct ModuleParams {
     /// those end up truly irreducible; injections that would break
     /// strict SSA are discarded, as in the suite generator).
     pub irreducible_per_mille: u32,
+    /// Per-mille of functions generated with the liveness-driven
+    /// deep-live bias ([`GenParams::deep_live_percent`] = 60): long
+    /// live ranges crossing loop headers and back edges, including
+    /// live-through-but-not-used blocks. `0` (the default) reproduces
+    /// the classic mix bit-for-bit.
+    pub deep_live_per_mille: u32,
 }
 
 impl Default for ModuleParams {
@@ -36,6 +42,7 @@ impl Default for ModuleParams {
             min_blocks: 4,
             max_blocks: 48,
             irreducible_per_mille: 125,
+            deep_live_per_mille: 0,
         }
     }
 }
@@ -68,10 +75,15 @@ pub fn generate_module(prefix: &str, params: ModuleParams, seed: u64) -> Module 
     let mut module = Module::new();
     for i in 0..params.functions {
         let target = params.min_blocks + rng.range(span) as usize;
+        // Short-circuit keeps the RNG stream untouched when the knob
+        // is off, so classic seeds reproduce their old modules exactly.
+        let deep =
+            params.deep_live_per_mille > 0 && rng.range(1000) < params.deep_live_per_mille as u64;
         let gen = GenParams {
             target_blocks: target,
             max_depth: 3 + (target / 20).min(4) as u32,
             num_params: 1 + rng.range(4) as u32,
+            deep_live_percent: if deep { 60 } else { 0 },
             ..GenParams::default()
         };
         let fseed = rng.next_u64();
@@ -118,6 +130,7 @@ mod tests {
             min_blocks: 6,
             max_blocks: 30,
             irreducible_per_mille: 0,
+            ..ModuleParams::default()
         };
         let m = generate_module("sized", p, 9);
         for (_, f) in m.iter() {
@@ -128,12 +141,42 @@ mod tests {
     }
 
     #[test]
+    fn deep_live_per_mille_zero_changes_nothing() {
+        // The knob draws no RNG state when off, so adding it must not
+        // disturb any classic seed's module.
+        let classic = ModuleParams {
+            functions: 6,
+            min_blocks: 4,
+            max_blocks: 20,
+            irreducible_per_mille: 200,
+            deep_live_per_mille: 0,
+        };
+        let a = generate_module("m", classic, 77);
+        let b = generate_module("m", classic, 77);
+        assert_eq!(a.to_string(), b.to_string());
+        // Full-rate deep-live modules differ and stay strict.
+        let deep = generate_module(
+            "m",
+            ModuleParams {
+                deep_live_per_mille: 1000,
+                ..classic
+            },
+            77,
+        );
+        assert_ne!(a.to_string(), deep.to_string());
+        for (_, f) in deep.iter() {
+            fastlive_core::verify_strict_ssa(f).unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        }
+    }
+
+    #[test]
     fn high_injection_rate_yields_some_irreducible_functions() {
         let p = ModuleParams {
             functions: 40,
             min_blocks: 12,
             max_blocks: 32,
             irreducible_per_mille: 1000,
+            ..ModuleParams::default()
         };
         let m = generate_module("irr", p, 3);
         let irreducible = m

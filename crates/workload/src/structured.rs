@@ -26,6 +26,16 @@ pub struct GenParams {
     pub max_straightline: u64,
     /// Number of function parameters (1..=8 sensible).
     pub num_params: u32,
+    /// Liveness-driven bias (à la Barany, arXiv:1709.04421): percent
+    /// chance, per control-flow construct, that an *old* variable is
+    /// carried across the whole construct — picked before a loop or
+    /// if, used only after the exit/join. `0` (the default) disables
+    /// the bias and reproduces the classic generator bit-for-bit;
+    /// higher values produce deep live ranges that cross loop headers
+    /// and back edges, including blocks a value is live *through*
+    /// without being used in — the sparse-set edge case the oracle
+    /// suites want exercised.
+    pub deep_live_percent: u64,
 }
 
 impl Default for GenParams {
@@ -37,6 +47,7 @@ impl Default for GenParams {
             break_percent: 20,
             max_straightline: 4,
             num_params: 3,
+            deep_live_percent: 0,
         }
     }
 }
@@ -105,6 +116,33 @@ struct Gen {
 }
 
 impl Gen {
+    /// With the deep-live knob on, sometimes picks an *old* variable
+    /// (parameters, early locals) to carry across the control-flow
+    /// construct about to be generated: its next use will sit after
+    /// the construct's exit/join, so its live range spans every block
+    /// in between. All draws are guarded so a knob of 0 consumes no
+    /// RNG state: classic seeds keep producing byte-identical
+    /// programs.
+    fn pick_carried(&mut self) -> Option<Var> {
+        if self.params.deep_live_percent > 0 && self.rng.chance(self.params.deep_live_percent) {
+            Some(self.avail[self.rng.index((self.avail.len() / 2).max(1))])
+        } else {
+            None
+        }
+    }
+
+    /// Emits the delayed use of a carried variable at `b` (the block
+    /// where control continues after the construct it crossed).
+    fn use_carried(&mut self, b: NodeId, carried: Option<Var>) {
+        if let Some(old) = carried {
+            let sink = self.pre.fresh_var();
+            self.pre
+                .assign(b, sink, PreRvalue::Unary(UnaryOp::Copy, old));
+            self.avail.push(sink);
+            self.reassign.push(sink);
+        }
+    }
+
     /// A random right-hand side over available variables, biased toward
     /// recently created ones (short def-use chains, like real code).
     fn rvalue(&mut self) -> PreRvalue {
@@ -183,8 +221,11 @@ impl Gen {
     }
 
     /// `if (c) { .. } else { .. }` (the else arm is sometimes empty,
-    /// producing the diamond-with-shortcut shape).
+    /// producing the diamond-with-shortcut shape). With the deep-live
+    /// knob, an old variable may be carried across the whole diamond:
+    /// live through both arms, used in neither.
     fn gen_if(&mut self, cur: NodeId, depth: u32) -> NodeId {
+        let carried = self.pick_carried();
         let cond = self.condition(cur);
         let then_b = self.pre.add_block();
         let join = self.pre.add_block();
@@ -221,6 +262,7 @@ impl Gen {
         }
         self.avail.truncate(snap_a);
         self.reassign.truncate(snap_r);
+        self.use_carried(join, carried);
         join
     }
 
@@ -228,7 +270,15 @@ impl Gen {
     /// exit (`break`). The counter, bound and step are fresh variables
     /// that never enter the reassignable set, so nested code cannot
     /// destroy the termination guarantee.
+    ///
+    /// With the deep-live knob on, a loop sometimes *carries* an old
+    /// variable: it is picked before the loop and used only after the
+    /// exit, so it is live **through** every loop block (header, body,
+    /// back edge) while appearing in none of them — exactly the
+    /// live-through-but-not-used shape sparse liveness analyses get
+    /// wrong first.
     fn gen_loop(&mut self, cur: NodeId, depth: u32) -> NodeId {
+        let carried = self.pick_carried();
         let (snap_a, snap_r) = (self.avail.len(), self.reassign.len());
         let i = self.pre.fresh_var();
         let bound = self.pre.fresh_var();
@@ -278,6 +328,10 @@ impl Gen {
         // born inside does not.
         self.avail.truncate(snap_a + 3);
         self.reassign.truncate(snap_r);
+        // The carried variable's delayed use: defined before the loop,
+        // untouched inside it, consumed here in the exit block — live
+        // across the header, the body and the back edge.
+        self.use_carried(exit, carried);
         exit
     }
 
@@ -365,6 +419,78 @@ mod tests {
             assert!(n >= target / 2, "target {target}, got {n}");
             assert!(n <= target * 3, "target {target}, got {n}");
         }
+    }
+
+    #[test]
+    fn deep_live_knob_keeps_programs_strict_and_deterministic() {
+        let params = GenParams {
+            deep_live_percent: 60,
+            ..GenParams::default()
+        };
+        for seed in 0..25 {
+            let pre = generate_pre("deep", params, seed);
+            verify_definite_assignment(&pre).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let (pre2, ssa) = generate_function("deep", params, seed);
+            verify_strict_ssa(&ssa).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{ssa}"));
+            // Still semantically faithful to the pre-IR.
+            let args = vec![seed as i64 % 17 - 8; pre2.num_params() as usize];
+            let want = run_pre(&pre2, &args, 5_000_000).expect("terminates");
+            let got = interp::run(&ssa, &args, 5_000_000).expect("terminates");
+            assert_eq!(got.returned, want.returned, "seed {seed}");
+        }
+        let (_, a) = generate_function("deep", params, 3);
+        let (_, b) = generate_function("deep", params, 3);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn deep_live_knob_stretches_live_ranges() {
+        use fastlive_core::FunctionLiveness;
+        // Count (value, block) pairs where the value is live *through*
+        // the block without a def or use in it — the sparse-set edge
+        // case the knob exists to mass-produce.
+        let live_through_unused = |f: &fastlive_ir::Function| -> usize {
+            let live = FunctionLiveness::compute(f);
+            let mut count = 0;
+            for v in f.values() {
+                for b in f.blocks() {
+                    if f.def_block(v) != b
+                        && live.is_live_in(f, v, b)
+                        && live.is_live_out(f, v, b)
+                        && !f.uses(v).iter().any(|&i| f.inst_block(i) == Some(b))
+                    {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        };
+        let mut classic = 0;
+        let mut deep = 0;
+        for seed in 0..40u64 {
+            let base = GenParams {
+                target_blocks: 24,
+                ..GenParams::default()
+            };
+            let (_, a) = generate_function("c", base, seed);
+            classic += live_through_unused(&a);
+            let (_, b) = generate_function(
+                "d",
+                GenParams {
+                    deep_live_percent: 60,
+                    ..base
+                },
+                seed,
+            );
+            deep += live_through_unused(&b);
+        }
+        // Aggregated over 40 seeds the carried ranges dominate the
+        // program-to-program noise (the knob shifts the RNG stream, so
+        // same-seed programs are not otherwise comparable).
+        assert!(
+            deep > classic,
+            "deep-live bias should create more live-through-unused pairs: {deep} vs {classic}"
+        );
     }
 
     #[test]

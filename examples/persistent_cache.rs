@@ -1,0 +1,114 @@
+//! The cross-process cache end to end: one engine analyzes a module
+//! with a persist directory configured (paying the precomputations and
+//! writing them through), a second engine — standing in for tomorrow's
+//! compiler invocation — analyzes the same module from a cold start
+//! and is served entirely from disk. A vandalized cache file then
+//! shows the corruption policy: a clean reject, a recomputation, and a
+//! repaired store.
+//!
+//! ```text
+//! cargo run --example persistent_cache
+//! ```
+
+use fastlive::engine::{persist::PersistStore, AnalysisEngine, CfgShape, EngineConfig};
+use fastlive::ir::parse_module;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = parse_module(
+        "function %count { block0(v0):
+             v1 = iconst 0
+             jump block1(v1)
+         block1(v2):
+             v3 = iconst 1
+             v4 = iadd v2, v3
+             v5 = icmp_slt v4, v0
+             brif v5, block1(v4), block2
+         block2:
+             return v4 }
+         function %straight { block0(v0):
+             v1 = imul v0, v0
+             return v1 }",
+    )?;
+    let dir = std::env::temp_dir().join(format!("fastlive-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Process 1: cold build, write-through.
+    let first = AnalysisEngine::new(EngineConfig {
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let mut session = first.analyze(&module);
+    let stats = first.cache_stats();
+    println!(
+        "first engine : {} precomputations, {} written to {}",
+        stats.misses,
+        stats.disk_misses,
+        dir.display()
+    );
+
+    let count = module.by_name("count").unwrap();
+    let v0 = module.func(count).params()[0];
+    let block1 = module.func(count).block_by_index(1);
+    println!(
+        "               v0 live-in at block1 of %count: {}",
+        session.is_live_in(&module, count, v0, block1)
+    );
+
+    // ---- "Process 2": a brand-new engine, cold memory, same dir.
+    let second = AnalysisEngine::new(EngineConfig {
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let mut session2 = second.analyze(&module);
+    let stats2 = second.cache_stats();
+    println!(
+        "second engine: {} in-memory hits, {} disk hits, {} precomputations",
+        stats2.hits,
+        stats2.disk_hits,
+        stats2.misses - stats2.disk_hits
+    );
+    assert_eq!(
+        session.is_live_in(&module, count, v0, block1),
+        session2.is_live_in(&module, count, v0, block1),
+        "disk-served answers are byte-identical"
+    );
+
+    // ---- Corruption: flip a byte in %count's entry.
+    let store = PersistStore::new(&dir);
+    let path = store.entry_path(&CfgShape::of(module.func(count)));
+    let mut bytes = std::fs::read(&path)?;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes)?;
+
+    let third = AnalysisEngine::new(EngineConfig {
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let mut session3 = third.analyze(&module);
+    let stats3 = third.cache_stats();
+    println!(
+        "third engine : {} disk hits, {} disk rejects (corrupt entry recomputed + overwritten)",
+        stats3.disk_hits, stats3.disk_rejects
+    );
+    assert_eq!(stats3.disk_rejects, 1);
+    assert!(
+        session3.is_live_in(&module, count, v0, block1),
+        "a corrupt file can cost a recomputation, never an answer"
+    );
+
+    // The overwrite repaired the store: a fourth cold start is clean.
+    let fourth = AnalysisEngine::new(EngineConfig {
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let _ = fourth.analyze(&module);
+    println!(
+        "fourth engine: {} disk hits, {} rejects — store healed",
+        fourth.cache_stats().disk_hits,
+        fourth.cache_stats().disk_rejects
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
