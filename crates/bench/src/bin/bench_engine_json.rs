@@ -24,8 +24,8 @@
 
 use std::fmt::Write as _;
 
+use fastlive::Fastlive;
 use fastlive_bench::time_ns;
-use fastlive_engine::{AnalysisEngine, EngineConfig};
 use fastlive_ir::{parse_module, Module};
 use fastlive_workload::{generate_module, ModuleParams};
 
@@ -92,13 +92,14 @@ fn main() {
     let mut base_ns = 0.0;
     for (i, threads) in [1usize, 2, 4, 8].into_iter().enumerate() {
         let ns = time_ns(setup.reps, || {
-            AnalysisEngine::new(EngineConfig {
-                threads,
-                cache_capacity: 0,
-                ..EngineConfig::default()
-            })
-            .analyze(&module)
-            .num_functions()
+            Fastlive::builder()
+                .threads(threads)
+                .cache_capacity(0)
+                .build()
+                .expect("valid config")
+                .engine()
+                .analyze(&module)
+                .num_functions()
         });
         if threads == 1 {
             base_ns = ns;
@@ -121,20 +122,22 @@ fn main() {
     let threads = 4.min(host_cpus.max(1));
     // Cold: a fresh engine per repetition, so every probe misses.
     let cold_ns = time_ns(setup.reps, || {
-        AnalysisEngine::new(EngineConfig {
-            threads,
-            cache_capacity: 1024,
-            ..EngineConfig::default()
-        })
-        .analyze(&module)
-        .num_functions()
+        Fastlive::builder()
+            .threads(threads)
+            .cache_capacity(1024)
+            .build()
+            .expect("valid config")
+            .engine()
+            .analyze(&module)
+            .num_functions()
     });
-    // Warm: one engine, pre-warmed, re-analyzing the same module.
-    let engine = AnalysisEngine::new(EngineConfig {
-        threads,
-        cache_capacity: 1024,
-        ..EngineConfig::default()
-    });
+    // Warm: one facade, pre-warmed, re-analyzing the same module.
+    let fl = Fastlive::builder()
+        .threads(threads)
+        .cache_capacity(1024)
+        .build()
+        .expect("valid config");
+    let engine = fl.engine();
     let _ = engine.analyze(&module);
     let warm_ns = time_ns(setup.reps, || engine.analyze(&module).num_functions());
     // Recompiled: CFG-identical functions from a fresh parse.

@@ -21,8 +21,8 @@
 
 use std::fmt::Write as _;
 
+use fastlive::Fastlive;
 use fastlive_bench::time_ns;
-use fastlive_engine::{AnalysisEngine, EngineConfig};
 use fastlive_ir::Module;
 use fastlive_workload::{generate_module, ModuleParams};
 
@@ -72,13 +72,14 @@ fn main() {
         .map(|_| {
             let _ = std::fs::remove_dir_all(&dir);
             time_ns(1, || {
-                AnalysisEngine::new(EngineConfig {
-                    threads,
-                    persist_dir: Some(dir.clone()),
-                    ..EngineConfig::default()
-                })
-                .analyze(&module)
-                .num_functions()
+                Fastlive::builder()
+                    .threads(threads)
+                    .persist_dir(dir.clone())
+                    .build()
+                    .expect("valid config")
+                    .engine()
+                    .analyze(&module)
+                    .num_functions()
             })
         })
         .collect();
@@ -88,20 +89,22 @@ fn main() {
     // ---- warm_disk: the directory stays (last cold rep populated
     // it); a fresh engine per rep has cold memory but a warm store.
     let warm_disk_ns = time_ns(reps, || {
-        AnalysisEngine::new(EngineConfig {
-            threads,
-            persist_dir: Some(dir.clone()),
-            ..EngineConfig::default()
-        })
-        .analyze(&module)
-        .num_functions()
+        Fastlive::builder()
+            .threads(threads)
+            .persist_dir(dir.clone())
+            .build()
+            .expect("valid config")
+            .engine()
+            .analyze(&module)
+            .num_functions()
     });
     // Invariant behind the scenario label: zero precomputations.
-    let probe = AnalysisEngine::new(EngineConfig {
-        threads,
-        persist_dir: Some(dir.clone()),
-        ..EngineConfig::default()
-    });
+    let fl = Fastlive::builder()
+        .threads(threads)
+        .persist_dir(dir.clone())
+        .build()
+        .expect("valid config");
+    let probe = fl.engine();
     let _ = probe.analyze(&module);
     let disk_stats = probe.cache_stats();
     assert_eq!(
@@ -129,7 +132,7 @@ fn main() {
         "  \"host_cpus\": {host_cpus},\n  \"functions\": {},\n  \"blocks_total\": {blocks},\n  \
          \"format_version\": {},",
         module.len(),
-        fastlive_engine::persist::FORMAT_VERSION
+        fastlive::engine::persist::FORMAT_VERSION
     );
     json.push_str("  \"persist\": [\n");
     for (i, (scenario, ns)) in [

@@ -26,6 +26,13 @@
 //!
 //! # Entry points
 //!
+//! Most applications should reach this crate through the
+//! [`fastlive` facade](https://docs.rs/fastlive) (the workspace root
+//! crate): `Fastlive::builder()` plus its typed `Query` layer wrap
+//! every entry point below — and the engine, batching and persistence
+//! tiers — behind one front door. The surfaces here remain the
+//! building blocks:
+//!
 //! * [`LivenessChecker`] — the graph-level engine (any
 //!   [`Cfg`](fastlive_graph::Cfg)): precomputation + Algorithm 1/2/3
 //!   queries with subtree skipping and the Theorem 2 reducible fast

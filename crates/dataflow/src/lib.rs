@@ -30,6 +30,11 @@
 //! also implements the workspace-wide
 //! [`fastlive_core::LivenessProvider`] interface, inheriting point
 //! queries from the trait's default block-query decomposition.
+//!
+//! [`IterativeLiveness`] additionally serves as the
+//! [`fastlive` facade](https://docs.rs/fastlive)'s `Oracle` query
+//! backend — the independent referee its differential suites hold the
+//! checker-backed backends against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -30,6 +30,12 @@
 //! compute the same outputs as the SSA function on randomized inputs
 //! (see the crate tests and `tests/destruct_semantics.rs` at the
 //! workspace root).
+//!
+//! The [`values_interfere`] primitive is also a first-class query of
+//! the [`fastlive` facade](https://docs.rs/fastlive) (the workspace
+//! root crate): `Query::Interfere` routes through this function on
+//! every backend, so interference answers are one `session.query`
+//! away without assembling a provider and dominator tree by hand.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

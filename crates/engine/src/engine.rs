@@ -16,7 +16,17 @@ use crate::persist::{LoadOutcome, PersistStore};
 use crate::session::EngineSession;
 
 /// Tuning knobs of an [`AnalysisEngine`].
-#[derive(Clone, Debug)]
+///
+/// `EngineConfig` is `Clone` + `Default` but — deliberately — not
+/// `Copy`: `persist_dir` owns a [`PathBuf`], so the `Copy` the
+/// pre-persistence config accidentally had is gone for good. Struct
+/// literals with `..EngineConfig::default()` keep working; code that
+/// relied on implicit copies should clone, or better, stop building
+/// configs by hand: the [`fastlive` facade](https://docs.rs/fastlive)
+/// builder (`Fastlive::builder()`) is the preferred front door — it
+/// subsumes every field here and validates the combination at
+/// `build()` time.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for [`AnalysisEngine::analyze`]. `0` means "one
     /// per available CPU"; `1` runs inline on the calling thread.
@@ -50,6 +60,10 @@ pub struct EngineConfig {
     pub persist_dir: Option<PathBuf>,
 }
 
+/// The default is a non-zero configuration (auto threads, a 256-entry
+/// cache over 8 stripes, no persistence), so `Default` stays a manual
+/// impl rather than a derive — `#[derive(Default)]` would silently
+/// disable caching.
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -61,8 +75,12 @@ impl Default for EngineConfig {
     }
 }
 
-/// Stripe count used when [`EngineConfig::stripes`] is 0.
-const DEFAULT_STRIPES: usize = 8;
+impl EngineConfig {
+    /// Stripe count used when [`stripes`](Self::stripes) is 0 — public
+    /// so front ends (the facade builder) can resolve the auto value
+    /// the same way the engine will.
+    pub const DEFAULT_STRIPES: usize = 8;
+}
 
 /// A module-level liveness analysis engine.
 ///
@@ -190,7 +208,7 @@ impl AnalysisEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
         let nstripes = if config.stripes == 0 {
-            DEFAULT_STRIPES
+            EngineConfig::DEFAULT_STRIPES
         } else {
             config.stripes
         };
@@ -440,6 +458,23 @@ impl AnalysisEngine {
             .iter()
             .map(|s| s.lock().expect("engine stripe poisoned").cache.stats())
             .collect()
+    }
+
+    /// Runs a GC sweep over the persistence tier
+    /// ([`PersistStore::gc`]): entries older than `max_age` (when
+    /// given) are deleted, then the oldest survivors until at most
+    /// `max_entries` remain. Returns `None` when the engine has no
+    /// [`EngineConfig::persist_dir`] configured.
+    ///
+    /// Always safe at any time: a gc'd entry degrades to one clean
+    /// `disk_misses` recomputation (which writes the entry back). The
+    /// in-memory tier is untouched — it has its own LRU bound.
+    pub fn gc_persist(
+        &self,
+        max_entries: usize,
+        max_age: Option<std::time::Duration>,
+    ) -> Option<crate::persist::GcStats> {
+        self.store.as_ref().map(|s| s.gc(max_entries, max_age))
     }
 
     /// Number of precomputations currently cached, over all stripes.

@@ -1,6 +1,13 @@
 //! `fastlive-engine` — a parallel, fingerprint-cached, multi-function
 //! liveness analysis engine.
 //!
+//! Most applications should configure this engine through the
+//! [`fastlive` facade](https://docs.rs/fastlive)'s
+//! `Fastlive::builder()` — it subsumes [`EngineConfig`] construction,
+//! validates knob combinations at build time, and serves the session
+//! below through a typed query layer. The types here are the
+//! building blocks.
+//!
 //! The per-function checker ([`fastlive_core::FunctionLiveness`])
 //! exploits the paper's headline property — the precomputation
 //! "survives all program transformations except for changes in the
@@ -96,5 +103,5 @@ mod session;
 pub use cache::CacheStats;
 pub use engine::{AnalysisEngine, EngineConfig};
 pub use fingerprint::CfgShape;
-pub use persist::PersistStore;
+pub use persist::{GcStats, PersistStore};
 pub use session::EngineSession;

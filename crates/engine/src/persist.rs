@@ -43,6 +43,13 @@
 //! rename, so concurrent processes racing on one shape publish one
 //! complete file each — a reader sees either a whole entry or none.
 //!
+//! The store accretes one file per distinct shape; [`PersistStore::gc`]
+//! (also reachable as `AnalysisEngine::gc_persist` and the facade
+//! builder's `gc` knob) prunes it by age and entry count. Because any
+//! entry is just a cached recomputation, GC needs no coordination with
+//! readers or writers — a concurrently deleted entry is simply a
+//! `disk_misses` on its next probe.
+//!
 //! # Why matrices revive exactly (the canonicalization contract)
 //!
 //! The matrices are indexed by a dominance-preorder numbering derived
@@ -249,6 +256,15 @@ pub fn revive(shape: &CfgShape, pre: Precomputation) -> Option<FunctionLiveness>
     ))
 }
 
+/// Outcome of one [`PersistStore::gc`] sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Entries still present after the sweep.
+    pub retained: usize,
+    /// Entries deleted by the sweep.
+    pub removed: usize,
+}
+
 /// What a [`PersistStore::load`] probe found.
 #[derive(Debug)]
 pub enum LoadOutcome {
@@ -318,6 +334,16 @@ fn is_own_tmp_name(name: &str) -> bool {
         }
         None => false,
     }
+}
+
+/// `true` iff `name` matches the store's entry pattern,
+/// `{16 hex}.flpc` — GC must never touch unrelated files living in a
+/// shared `persist_dir`.
+fn is_entry_name(name: &str) -> bool {
+    name.len() == 16 + 1 + FILE_EXTENSION.len()
+        && name.as_bytes()[16] == b'.'
+        && name[..16].bytes().all(|b| b.is_ascii_hexdigit())
+        && name[17..] == *FILE_EXTENSION
 }
 
 impl PersistStore {
@@ -429,6 +455,62 @@ impl PersistStore {
         }
         true
     }
+
+    /// Evicts cache entries: everything older than `max_age` (when
+    /// given) is deleted first, then the oldest survivors until at
+    /// most `max_entries` remain. Age and rank are read from file
+    /// modification times — a write-through refreshes an entry's
+    /// stamp, so "oldest" approximates "least recently recomputed".
+    ///
+    /// Deleting **any** entry is always safe: the next probe of that
+    /// shape degrades to one clean `disk_misses` recomputation whose
+    /// write-through restores the file — GC can cost work, never
+    /// correctness. Only files matching the store's own
+    /// `{16 hex}.flpc` entry pattern are considered; everything else
+    /// in a shared directory survives, and every deletion is
+    /// best-effort (an undeletable entry is counted as retained).
+    pub fn gc(&self, max_entries: usize, max_age: Option<std::time::Duration>) -> GcStats {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return GcStats::default();
+        };
+        let mut removed = 0usize;
+        let mut kept: Vec<(PathBuf, std::time::SystemTime)> = Vec::new();
+        for entry in entries.flatten() {
+            if !is_entry_name(&entry.file_name().to_string_lossy()) {
+                continue;
+            }
+            let path = entry.path();
+            // A stat failure reads as "infinitely old": the entry is
+            // first in line under entry pressure, which errs toward
+            // recomputation — the always-safe direction.
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            let expired = max_age.is_some_and(|age| {
+                mtime
+                    .elapsed()
+                    .map(|elapsed| elapsed > age)
+                    .unwrap_or(false)
+            });
+            if expired && std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            } else {
+                kept.push((path, mtime));
+            }
+        }
+        kept.sort_by_key(|&(_, mtime)| mtime);
+        let excess = kept.len().saturating_sub(max_entries);
+        let mut retained = kept.len() - excess;
+        for (path, _) in kept.into_iter().take(excess) {
+            if std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            } else {
+                retained += 1;
+            }
+        }
+        GcStats { retained, removed }
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +532,77 @@ mod tests {
         brif v0, block1, block2
     block2:
         return v0 }";
+
+    #[test]
+    fn gc_entry_pattern_matches_only_entries() {
+        assert!(is_entry_name("00ff00ff00ff00ff.flpc"));
+        assert!(is_entry_name("abcdefABCDEF0123.flpc"));
+        assert!(!is_entry_name("00ff00ff00ff00ff.tmp.12.3"));
+        assert!(!is_entry_name("notes.flpc"));
+        assert!(!is_entry_name("00ff00ff00ff00ff.flpcx"));
+        assert!(!is_entry_name("zzff00ff00ff00ff.flpc"));
+        assert!(!is_entry_name("00ff00ff00ff00ff"));
+    }
+
+    #[test]
+    fn gc_prunes_to_the_entry_bound_oldest_first() {
+        let dir = std::env::temp_dir().join(format!(
+            "fastlive-persist-gc-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = PersistStore::new(&dir);
+        let sources = [
+            LOOP_SRC,
+            "function %g { block0: return }",
+            "function %h { block0(v0): jump block1 block1: return v0 }",
+        ];
+        let mut shapes = Vec::new();
+        for (i, src) in sources.iter().enumerate() {
+            let (shape, pre) = shape_and_pre(src);
+            assert!(store.save(&shape, &pre));
+            // Space the mtimes out so "oldest" is deterministic even on
+            // coarse-grained filesystems.
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000 + i as u64);
+            let f = std::fs::File::options()
+                .append(true)
+                .open(store.entry_path(&shape))
+                .unwrap();
+            f.set_modified(t).unwrap();
+            shapes.push(shape);
+        }
+        // An unrelated file in the shared directory must survive GC.
+        let bystander = dir.join("notes.txt");
+        std::fs::write(&bystander, b"keep me").unwrap();
+
+        let stats = store.gc(2, None);
+        assert_eq!(
+            stats,
+            GcStats {
+                retained: 2,
+                removed: 1
+            }
+        );
+        // The oldest entry (index 0) went; the newer two survive.
+        assert!(matches!(store.load(&shapes[0]), LoadOutcome::Absent));
+        assert!(matches!(store.load(&shapes[1]), LoadOutcome::Hit(_)));
+        assert!(matches!(store.load(&shapes[2]), LoadOutcome::Hit(_)));
+        assert!(bystander.exists());
+
+        // Age-based expiry: everything is decades past a zero max-age.
+        let stats = store.gc(usize::MAX, Some(std::time::Duration::ZERO));
+        assert_eq!(
+            stats,
+            GcStats {
+                retained: 0,
+                removed: 2
+            }
+        );
+        assert!(matches!(store.load(&shapes[1]), LoadOutcome::Absent));
+        assert!(bystander.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn tmp_sweep_pattern_matches_only_own_files() {

@@ -165,6 +165,16 @@ impl Function {
         (i < self.values.len()).then(|| Value::from_index(i))
     }
 
+    /// Looks up a block by its printed name `blockN` (the `N`-th
+    /// created block) — the companion of [`value`](Self::value), used
+    /// by the `fastlive` facade's name-addressed queries.
+    ///
+    /// Returns `None` for malformed names or out-of-range indices.
+    pub fn block(&self, name: &str) -> Option<Block> {
+        let i: usize = name.strip_prefix("block")?.parse().ok()?;
+        (i < self.blocks.len()).then(|| Block::from_index(i))
+    }
+
     /// Appends a parameter to `block` and returns the new value.
     pub fn append_block_param(&mut self, block: Block) -> Value {
         let index = self.blocks[block].params.len() as u32;
@@ -766,6 +776,19 @@ mod tests {
         let (f, b0, ..) = sample();
         assert_eq!(f.entry_block(), b0);
         assert_eq!(f.num_blocks(), 3);
+    }
+
+    #[test]
+    fn name_lookups_resolve_printed_names() {
+        let (f, b0, b1, b2) = sample();
+        assert_eq!(f.block("block0"), Some(b0));
+        assert_eq!(f.block("block1"), Some(b1));
+        assert_eq!(f.block("block2"), Some(b2));
+        assert_eq!(f.block("block3"), None);
+        assert_eq!(f.block("blk1"), None);
+        assert_eq!(f.block("block"), None);
+        assert_eq!(f.value("v0"), Some(f.params()[0]));
+        assert_eq!(f.value("v99"), None);
     }
 
     #[test]

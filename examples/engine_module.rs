@@ -1,16 +1,15 @@
-//! The analysis engine end to end: a multi-function module is parsed,
-//! analyzed in parallel through the CFG-fingerprint cache, queried
-//! through a session, edited (instruction-level and CFG-level), and
-//! "recompiled" — showing which of those steps cost a precomputation
-//! and which are free.
+//! The facade end to end over a multi-function module: built once via
+//! `Fastlive::builder()`, analyzed in parallel through the
+//! CFG-fingerprint cache, queried through a typed session, edited
+//! (instruction-level and CFG-level), and "recompiled" — showing which
+//! of those steps cost a precomputation and which are free.
 //!
 //! ```text
 //! cargo run --example engine_module
 //! ```
 
-use fastlive::core::FunctionLiveness;
-use fastlive::engine::{AnalysisEngine, EngineConfig};
-use fastlive::ir::{parse_module, InstData, UnaryOp};
+use fastlive::ir::{split_critical_edges, InstData, UnaryOp};
+use fastlive::{parse_module, Fastlive, FunctionLiveness, Query, Response};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three functions; %square and %cube are CFG-identical (their
@@ -36,37 +35,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              return v2 }",
     )?;
 
-    let engine = AnalysisEngine::new(EngineConfig {
-        threads: 2,
-        ..EngineConfig::default()
-    });
-    let mut session = engine.analyze(&module);
-    let stats = engine.cache_stats();
+    let fl = Fastlive::builder().threads(2).build()?;
+    let mut session = fl.session(&module);
+    let stats = fl.engine().cache_stats();
     println!(
         "analyzed {} functions: {} precomputations, {} shared via fingerprint",
-        session.num_functions(),
+        module.len(),
         stats.misses,
         stats.hits
     );
     // Two distinct shapes end up cached. (Exact hit/miss counts can
     // wobble under >1 worker: two threads may race-compute the shared
     // %square/%cube shape — documented engine behavior.)
-    assert_eq!(engine.cache_len(), 2, "%square and %cube share one shape");
+    assert_eq!(
+        fl.engine().cache_len(),
+        2,
+        "%square and %cube share one shape"
+    );
 
-    // Scalar queries through the session.
-    let count = module.by_name("count").unwrap();
-    let v0 = module.func(count).params()[0];
-    let block1 = module.func(count).block_by_index(1);
-    let block2 = module.func(count).block_by_index(2);
+    // Scalar typed queries through the session, addressed by name.
     println!(
         "\n%count: v0 live-in at block1? {}",
-        session.is_live_in(&module, count, v0, block1)
+        session.is_live_in(&module, "count", "v0", "block1")?
     );
-    assert!(session.is_live_in(&module, count, v0, block1));
-    assert!(!session.is_live_in(&module, count, v0, block2));
+    assert!(session.is_live_in(&module, "count", "v0", "block1")?);
+    assert!(!session.is_live_in(&module, "count", "v0", "block2")?);
 
     // Instruction-level edit: a JIT sinks a use of v0 into block2.
-    // The engine answers exactly, with zero recomputation (epoch 0).
+    // The facade answers exactly, with zero recomputation (epoch 0).
+    let count = module.by_name("count").unwrap();
+    let v0 = module.func(count).params()[0];
+    let block2 = module.func(count).block_by_index(2);
     module.func_mut(count).insert_inst(
         block2,
         0,
@@ -75,38 +74,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             arg: v0,
         },
     );
+    let epoch = |s: &fastlive::FastliveSession| s.engine_session().unwrap().epoch(count);
     println!(
         "after sinking a use into block2: live-in there? {} (epoch {})",
-        session.is_live_in(&module, count, v0, block2),
-        session.epoch(count)
+        session.is_live_in(&module, "count", "v0", "block2")?,
+        epoch(&session)
     );
-    assert!(session.is_live_in(&module, count, v0, block2));
-    assert_eq!(session.epoch(count), 0, "no CFG change, no recompute");
+    assert!(session.is_live_in(&module, "count", "v0", "block2")?);
+    assert_eq!(epoch(&session), 0, "no CFG change, no recompute");
 
     // CFG-level edit: splitting critical edges adds blocks. The next
     // query detects the stale precomputation and recomputes — that one
     // function only.
-    let created = fastlive::ir::split_critical_edges(module.func_mut(count));
-    let answer = session.is_live_in(&module, count, v0, block1);
+    let created = split_critical_edges(module.func_mut(count));
+    let answer = session.is_live_in(&module, "count", "v0", "block1")?;
     println!(
         "after splitting {} critical edges: epoch {} and still exact: {}",
         created.len(),
-        session.epoch(count),
+        epoch(&session),
         answer
             == FunctionLiveness::compute(module.func(count)).is_live_in(
                 module.func(count),
                 v0,
-                block1
+                module.func(count).block_by_index(1)
             )
     );
-    assert_eq!(session.epoch(count), 1);
+    assert_eq!(epoch(&session), 1);
 
     // "Recompilation": round-trip the whole module through text. All
     // CFGs are unchanged, so re-analysis is pure cache hits.
-    let misses_before = engine.cache_stats().misses;
+    let misses_before = fl.engine().cache_stats().misses;
     let recompiled = parse_module(&module.to_string())?;
-    let mut fresh = engine.analyze(&recompiled);
-    let stats = engine.cache_stats();
+    let mut fresh = fl.session(&recompiled);
+    let stats = fl.engine().cache_stats();
     println!(
         "\nrecompiled module: {} new precomputations ({} total hits)",
         stats.misses - misses_before,
@@ -114,16 +114,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(stats.misses, misses_before, "recompilation is free");
 
-    // Dense consumers go through the batched route.
-    let batch = fresh.batch(&recompiled, count);
-    let func = recompiled.func(count);
+    // Dense consumers ask for whole-function sets in one query.
+    let Response::Sets(sets) = fresh.query(&recompiled, &Query::live_sets("count"))? else {
+        unreachable!("LiveSets answers Sets");
+    };
     println!(
         "batched live-in sizes per block: {:?}",
-        func.blocks()
-            .map(|b| batch.live_in_len(b.as_u32()))
-            .collect::<Vec<_>>()
+        sets.live_in.iter().map(Vec::len).collect::<Vec<_>>()
     );
 
-    println!("\nok: engine answers stayed exact across edits and recompilation");
+    println!("\nok: facade answers stayed exact across edits and recompilation");
     Ok(())
 }

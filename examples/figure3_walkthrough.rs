@@ -6,8 +6,8 @@
 //! cargo run --example figure3_walkthrough
 //! ```
 
-use fastlive::core::LivenessChecker;
 use fastlive::graph::DiGraph;
+use fastlive::LivenessChecker;
 
 fn main() {
     // The example CFG, nodes 0-based (paper node k = k-1).

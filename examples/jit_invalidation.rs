@@ -2,23 +2,23 @@
 //! all program transformations except for changes in the control-flow
 //! graph."
 //!
-//! This example precomputes liveness *once*, then keeps editing the
+//! This example opens one facade session, then keeps editing the
 //! function — inserting instructions, adding and removing uses,
 //! creating fresh values — and shows that every answer stays exact
 //! (validated against a brute-force path-search oracle after each
-//! edit), while a set-based data-flow result computed at the start
-//! silently goes stale.
+//! edit) with **zero recomputations**, while a set-based data-flow
+//! result computed at the start silently goes stale.
 //!
 //! ```text
 //! cargo run --example jit_invalidation
 //! ```
 
-use fastlive::core::FunctionLiveness;
-use fastlive::dataflow::{oracle, IterativeLiveness, VarUniverse};
-use fastlive::ir::{parse_function, InstData, UnaryOp};
+use fastlive::dataflow::oracle;
+use fastlive::ir::{InstData, UnaryOp};
+use fastlive::{parse_module, Fastlive, IterativeLiveness, VarUniverse};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut func = parse_function(
+    let mut module = parse_module(
         "function %jit {
          block0(v0):
              v1 = iconst 0
@@ -33,19 +33,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          }",
     )?;
 
-    // Both analyses run once, before any edit.
-    let live = FunctionLiveness::compute(&func);
-    let stale_sets = IterativeLiveness::compute(&func, &VarUniverse::all(&func));
+    // Both analyses run once, before any edit: the facade session
+    // (backed by the paper's checker) and a classic set-based solve.
+    let fl = Fastlive::builder().build()?;
+    let mut session = fl.session(&module);
+    let stale_sets = IterativeLiveness::compute(module.func(0), &VarUniverse::all(module.func(0)));
 
-    let v0 = func.value("v0").unwrap();
-    let block2 = func.block_by_index(2);
+    let v0 = module.func(0).value("v0").unwrap();
+    let block2 = module.func(0).block_by_index(2);
     println!("initially: v0 live-in at block2?");
-    println!("  checker: {}", live.is_live_in(&func, v0, block2));
+    println!(
+        "  facade:  {}",
+        session.is_live_in(&module, "jit", "v0", "block2")?
+    );
     println!("  sets:    {}", stale_sets.is_live_in(v0, block2));
-    assert!(!live.is_live_in(&func, v0, block2));
+    assert!(!session.is_live_in(&module, "jit", "v0", "block2")?);
 
     // --- Edit 1: a JIT pass sinks a use of v0 into block2. ---
-    let neg = func.insert_inst(
+    let neg = module.func_mut(0).insert_inst(
         block2,
         0,
         InstData::Unary {
@@ -54,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     println!("\nafter inserting `ineg v0` into block2:");
-    let now = live.is_live_in(&func, v0, block2);
-    println!("  checker: {now}   (no recomputation!)");
+    let now = session.is_live_in(&module, "jit", "v0", "block2")?;
+    println!("  facade:  {now}   (no recomputation!)");
     println!(
         "  sets:    {}   (STALE - still the old answer)",
         stale_sets.is_live_in(v0, block2)
@@ -63,8 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(now);
     assert_eq!(
         now,
-        oracle::live_in_value(&func, v0, block2),
-        "checker matches ground truth"
+        oracle::live_in_value(module.func(0), v0, block2),
+        "facade matches ground truth"
     );
     assert!(
         !stale_sets.is_live_in(v0, block2),
@@ -72,9 +77,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Edit 2: create a brand-new value and use it across the loop. ---
-    let k = func.insert_inst(func.entry_block(), 0, InstData::IntConst { imm: 42 });
-    let kv = func.inst_result(k).unwrap();
-    func.insert_inst(
+    let entry = module.func(0).entry_block();
+    let k = module
+        .func_mut(0)
+        .insert_inst(entry, 0, InstData::IntConst { imm: 42 });
+    let kv = module.func(0).inst_result(k).unwrap();
+    module.func_mut(0).insert_inst(
         block2,
         0,
         InstData::Unary {
@@ -82,25 +90,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             arg: kv,
         },
     );
-    let block1 = func.block_by_index(1);
+    let block1 = module.func(0).block_by_index(1);
     println!(
         "\nafter creating v{} in block0 and using it in block2:",
         kv.as_u32()
     );
-    let through_loop = live.is_live_in(&func, kv, block1);
-    println!("  checker: new value live through the loop header? {through_loop}");
+    let through_loop = session.is_live_in(&module, "jit", kv, block1)?;
+    println!("  facade:  new value live through the loop header? {through_loop}");
     assert!(through_loop);
-    assert_eq!(through_loop, oracle::live_in_value(&func, kv, block1));
+    assert_eq!(
+        through_loop,
+        oracle::live_in_value(module.func(0), kv, block1)
+    );
     println!("  sets:    cannot answer at all (value not in the universe)");
 
     // --- Edit 3: remove the sunk use again; liveness reverts. ---
-    func.remove_inst(neg);
+    module.func_mut(0).remove_inst(neg);
     println!("\nafter removing the `ineg` again:");
-    let back = live.is_live_in(&func, v0, block2);
-    println!("  checker: {back}");
+    let back = session.is_live_in(&module, "jit", "v0", "block2")?;
+    println!("  facade:  {back}");
     assert!(!back);
-    assert_eq!(back, oracle::live_in_value(&func, v0, block2));
+    assert_eq!(back, oracle::live_in_value(module.func(0), v0, block2));
 
-    println!("\nok: every checker answer stayed exact across all edits");
+    // The engine session under the facade confirms: all of the above
+    // cost zero recomputations — instruction edits are free.
+    let engine_session = session.engine_session().expect("session backend");
+    assert_eq!(engine_session.recomputations(), 0);
+    println!("\nok: every facade answer stayed exact across all edits (0 recomputations)");
     Ok(())
 }

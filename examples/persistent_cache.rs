@@ -1,17 +1,17 @@
-//! The cross-process cache end to end: one engine analyzes a module
-//! with a persist directory configured (paying the precomputations and
-//! writing them through), a second engine — standing in for tomorrow's
-//! compiler invocation — analyzes the same module from a cold start
-//! and is served entirely from disk. A vandalized cache file then
-//! shows the corruption policy: a clean reject, a recomputation, and a
-//! repaired store.
+//! The cross-process cache end to end, through the facade: one
+//! `Fastlive` analyzes a module with a persist directory configured
+//! (paying the precomputations and writing them through), a second —
+//! standing in for tomorrow's compiler invocation — analyzes the same
+//! module from a cold start and is served entirely from disk. A
+//! vandalized cache file then shows the corruption policy (a clean
+//! reject, a recomputation, a repaired store), and the builder's `gc`
+//! flag prunes the store on the way back in.
 //!
 //! ```text
 //! cargo run --example persistent_cache
 //! ```
 
-use fastlive::engine::{persist::PersistStore, AnalysisEngine, CfgShape, EngineConfig};
-use fastlive::ir::parse_module;
+use fastlive::{parse_module, CfgShape, Fastlive, PersistStore};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = parse_module(
@@ -33,34 +33,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = std::fs::remove_dir_all(&dir);
 
     // ---- Process 1: cold build, write-through.
-    let first = AnalysisEngine::new(EngineConfig {
-        persist_dir: Some(dir.clone()),
-        ..EngineConfig::default()
-    });
-    let mut session = first.analyze(&module);
-    let stats = first.cache_stats();
+    let first = Fastlive::builder().persist_dir(&dir).build()?;
+    let mut session = first.session(&module);
+    let stats = first.engine().cache_stats();
     println!(
         "first engine : {} precomputations, {} written to {}",
         stats.misses,
         stats.disk_misses,
         dir.display()
     );
-
-    let count = module.by_name("count").unwrap();
-    let v0 = module.func(count).params()[0];
-    let block1 = module.func(count).block_by_index(1);
     println!(
         "               v0 live-in at block1 of %count: {}",
-        session.is_live_in(&module, count, v0, block1)
+        session.is_live_in(&module, "count", "v0", "block1")?
     );
 
-    // ---- "Process 2": a brand-new engine, cold memory, same dir.
-    let second = AnalysisEngine::new(EngineConfig {
-        persist_dir: Some(dir.clone()),
-        ..EngineConfig::default()
-    });
-    let mut session2 = second.analyze(&module);
-    let stats2 = second.cache_stats();
+    // ---- "Process 2": a brand-new facade, cold memory, same dir.
+    let second = Fastlive::builder().persist_dir(&dir).build()?;
+    let mut session2 = second.session(&module);
+    let stats2 = second.engine().cache_stats();
     println!(
         "second engine: {} in-memory hits, {} disk hits, {} precomputations",
         stats2.hits,
@@ -68,46 +58,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats2.misses - stats2.disk_hits
     );
     assert_eq!(
-        session.is_live_in(&module, count, v0, block1),
-        session2.is_live_in(&module, count, v0, block1),
+        session.is_live_in(&module, "count", "v0", "block1")?,
+        session2.is_live_in(&module, "count", "v0", "block1")?,
         "disk-served answers are byte-identical"
     );
 
     // ---- Corruption: flip a byte in %count's entry.
     let store = PersistStore::new(&dir);
+    let count = module.by_name("count").unwrap();
     let path = store.entry_path(&CfgShape::of(module.func(count)));
     let mut bytes = std::fs::read(&path)?;
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
     std::fs::write(&path, &bytes)?;
 
-    let third = AnalysisEngine::new(EngineConfig {
-        persist_dir: Some(dir.clone()),
-        ..EngineConfig::default()
-    });
-    let mut session3 = third.analyze(&module);
-    let stats3 = third.cache_stats();
+    let third = Fastlive::builder().persist_dir(&dir).build()?;
+    let mut session3 = third.session(&module);
+    let stats3 = third.engine().cache_stats();
     println!(
         "third engine : {} disk hits, {} disk rejects (corrupt entry recomputed + overwritten)",
         stats3.disk_hits, stats3.disk_rejects
     );
     assert_eq!(stats3.disk_rejects, 1);
     assert!(
-        session3.is_live_in(&module, count, v0, block1),
+        session3.is_live_in(&module, "count", "v0", "block1")?,
         "a corrupt file can cost a recomputation, never an answer"
     );
 
     // The overwrite repaired the store: a fourth cold start is clean.
-    let fourth = AnalysisEngine::new(EngineConfig {
-        persist_dir: Some(dir.clone()),
-        ..EngineConfig::default()
-    });
-    let _ = fourth.analyze(&module);
+    let fourth = Fastlive::builder().persist_dir(&dir).build()?;
+    let _ = fourth.session(&module);
     println!(
         "fourth engine: {} disk hits, {} rejects — store healed",
-        fourth.cache_stats().disk_hits,
-        fourth.cache_stats().disk_rejects
+        fourth.engine().cache_stats().disk_hits,
+        fourth.engine().cache_stats().disk_rejects
     );
+
+    // ---- Maintenance: the builder's gc flag prunes the store at
+    // build() (age- and count-bounded). A gc'd entry just recomputes —
+    // one clean disk miss — and the write-through restores it.
+    let pruned = Fastlive::builder().persist_dir(&dir).gc(1, None).build()?;
+    let mut session5 = pruned.session(&module);
+    let stats5 = pruned.engine().cache_stats();
+    println!(
+        "after gc(1)  : {} disk hit, {} clean recompute — answers unchanged: {}",
+        stats5.disk_hits,
+        stats5.disk_misses,
+        session5.is_live_in(&module, "count", "v0", "block1")?
+    );
+    assert_eq!(stats5.disk_hits + stats5.disk_misses, 2);
+    assert_eq!(stats5.disk_rejects, 0);
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

@@ -1,18 +1,17 @@
-//! Quickstart: parse an SSA function, precompute the liveness checker
-//! once, and ask live-in/live-out questions about any value at any
-//! block.
+//! Quickstart: parse an SSA module, open the facade's one front door,
+//! and ask live-in/live-out questions about any value at any block —
+//! by name, the way you'd type them.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use fastlive::core::FunctionLiveness;
-use fastlive::ir::parse_function;
+use fastlive::{parse_module, Fastlive, LivenessChecker, Query, Response};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A counting loop: block1 is the header, v2 the loop-carried
     // counter (a φ expressed as a block parameter), v0 the bound.
-    let func = parse_function(
+    let module = parse_module(
         "function %count {
          block0(v0):
              v1 = iconst 0
@@ -26,26 +25,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              return v4
          }",
     )?;
+    let func = module.func(0);
     println!("{func}\n");
 
-    // One variable-independent precomputation (Definition 4/5 sets)...
-    let live = FunctionLiveness::compute(&func);
+    // One configured stack (builder defaults are fine here), one
+    // session — the variable-independent precomputation runs once.
+    let fl = Fastlive::builder().build()?;
+    let mut session = fl.session(&module);
 
-    // ...then O(|uses|) queries for anything, any time.
-    println!("value  block    live-in  live-out");
-    for name in ["v0", "v1", "v2", "v4"] {
-        let v = func.value(name).expect("value exists");
+    // ...then O(|uses|) queries for anything, any time — grouped
+    // through the planner, which answers all these block probes from
+    // one batch-row pass.
+    let names = ["v0", "v1", "v2", "v4"];
+    let mut queries = Vec::new();
+    for name in names {
         for b in func.blocks() {
+            queries.push(Query::live_in("count", name, b));
+            queries.push(Query::live_out("count", name, b));
+        }
+    }
+    let answers = session.run_queries(&module, &queries);
+    println!("value  block    live-in  live-out");
+    let mut it = answers.iter();
+    for name in names {
+        for b in func.blocks() {
+            let live_in = it.next().unwrap().as_ref();
+            let live_out = it.next().unwrap().as_ref();
             println!(
                 "{name:>5}  {b:<8} {:>7}  {:>8}",
-                live.is_live_in(&func, v, b),
-                live.is_live_out(&func, v, b),
+                live_in.map(|r| r == &Response::Live(true)) == Ok(true),
+                live_out.map(|r| r == &Response::Live(true)) == Ok(true),
             );
         }
     }
 
-    // The structural sets of the paper, for the curious:
-    let checker = live.checker();
+    // Scalar typed conveniences answer one-offs without Query plumbing.
+    assert!(session.is_live_in(&module, "count", "v0", "block1")?);
+    assert!(!session.is_live_in(&module, "count", "v0", "block2")?);
+
+    // The structural sets of the paper, for the curious (the lower
+    // layers stay importable straight from the facade crate root):
+    let checker = LivenessChecker::compute(func);
     println!("\nCFG reducible: {}", checker.is_reducible());
     for b in func.blocks() {
         println!(

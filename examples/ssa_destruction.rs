@@ -11,6 +11,7 @@ use fastlive::construct::run_pre;
 use fastlive::destruct::{destruct_ssa, CheckerEngine};
 use fastlive::ir::interp;
 use fastlive::workload::{generate_function, GenParams};
+use fastlive::{Fastlive, Module};
 
 fn main() {
     let params = GenParams {
@@ -35,6 +36,29 @@ fn main() {
     println!("  copies inserted:     {}", result.stats.copies_inserted);
     println!("  copies coalesced:    {}", result.stats.copies_coalesced);
     println!("  Method-I fallbacks:  {}", result.stats.fallback_phis);
+
+    // The same interference primitive the destruction pass consumed is
+    // a first-class facade query: spot-check a few value pairs through
+    // the one front door.
+    let mut module = Module::new();
+    let demo = module.push(ssa.clone());
+    let fl = Fastlive::builder().build().expect("default config");
+    let mut session = fl.session(&module);
+    let values: Vec<_> = module.func(demo).values().collect();
+    let mut interfering = 0usize;
+    for pair in values.windows(2) {
+        if session
+            .values_interfere(&module, demo, pair[0], pair[1])
+            .expect("no detached definitions")
+        {
+            interfering += 1;
+        }
+    }
+    println!(
+        "\n=== facade spot-check ===\n  {} of {} adjacent value pairs interfere (Budimlić test)",
+        interfering,
+        values.len().saturating_sub(1),
+    );
 
     // Semantic check: SSA and the out-of-SSA program must agree.
     println!("\n=== semantics (SSA vs out-of-SSA) ===");

@@ -1,0 +1,348 @@
+//! The [`QueryEngine`] trait and its three backends.
+//!
+//! One query plane, three executors behind the [`Backend`] enum:
+//!
+//! * [`DirectBackend`] — the paper's per-function checker, computed on
+//!   demand for each addressed function. No shared state, no cache:
+//!   the semantics baseline, and the right choice for one-shot tools.
+//! * [`SessionBackend`] — an [`EngineSession`] over the
+//!   [`AnalysisEngine`](fastlive_engine::AnalysisEngine)'s two-tier
+//!   fingerprint cache, revalidating against CFG edits per query. The
+//!   default: this is the production path.
+//! * [`OracleBackend`] — the iterative data-flow solver
+//!   ([`IterativeLiveness`]), recomputed from scratch on every query.
+//!   Slow and stateless by design: its answers are the referee the
+//!   differential suites hold the other two against.
+//!
+//! All three answer byte-identical [`Response`]s for any [`Query`]
+//! (`tests/facade_oracle.rs` enforces it over reducible, irreducible
+//! and deep-live workloads); they differ only in cost model.
+
+use std::sync::Arc;
+
+use fastlive_cfg::{DfsTree, DomTree};
+use fastlive_core::{
+    BatchLiveness, FunctionLiveness, LivenessChecker, LivenessProvider, PointError,
+};
+use fastlive_dataflow::{IterativeLiveness, VarUniverse};
+use fastlive_destruct::{values_interfere, CheckerEngine};
+use fastlive_engine::EngineSession;
+use fastlive_ir::{Block, FuncId, Function, Module, ProgramPoint, Value};
+
+use crate::plan::{run_planned, scalar_query};
+use crate::query::{LiveSets, Query, QueryError, Response};
+
+/// A liveness query executor: one [`Query`] in, one [`Response`] out,
+/// batches via [`run_queries`](Self::run_queries).
+///
+/// Implementations must agree on semantics (Definitions 1–3 of the
+/// paper, φ-uses attributed to predecessor blocks) — swapping backends
+/// changes performance, never answers.
+pub trait QueryEngine {
+    /// Answers one query against the module's current state.
+    fn query(&mut self, module: &Module, query: &Query) -> Result<Response, QueryError>;
+
+    /// Answers a batch of queries, in input order. The default is a
+    /// scalar loop; [`Backend`] and the concrete backends override it
+    /// with a plan-and-run execution that groups queries per function,
+    /// resolves each function's uses once, and serves grouped
+    /// `LiveIn`/`LiveOut` probes from [`BatchLiveness`] rows.
+    fn run_queries(
+        &mut self,
+        module: &Module,
+        queries: &[Query],
+    ) -> Vec<Result<Response, QueryError>> {
+        queries.iter().map(|q| self.query(module, q)).collect()
+    }
+
+    /// Short backend name for reports.
+    fn backend_name(&self) -> &'static str;
+}
+
+/// Which backend a [`Fastlive`](crate::Fastlive) session runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Per-function checker, computed per query ([`DirectBackend`]).
+    Direct,
+    /// Engine-cached, revalidating ([`SessionBackend`]) — the default.
+    #[default]
+    Session,
+    /// Iterative dataflow, for differential testing ([`OracleBackend`]).
+    Oracle,
+}
+
+/// The per-function checker backend: every query (or query group)
+/// computes the paper's precomputation for the addressed function and
+/// answers from it. Stateless between calls.
+#[derive(Clone, Debug)]
+pub struct DirectBackend {
+    subtree_skipping: bool,
+}
+
+impl DirectBackend {
+    /// A direct backend with §4.1 subtree skipping enabled.
+    pub fn new() -> Self {
+        DirectBackend {
+            subtree_skipping: true,
+        }
+    }
+
+    /// A direct backend with subtree skipping set explicitly (the
+    /// facade builder's `subtree_skipping` knob lands here).
+    pub fn with_subtree_skipping(enabled: bool) -> Self {
+        DirectBackend {
+            subtree_skipping: enabled,
+        }
+    }
+}
+
+impl Default for DirectBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The engine-cached backend: wraps an [`EngineSession`], so queries
+/// ride the fingerprint cache, the persistence tier and the per-query
+/// CFG revalidation.
+pub struct SessionBackend<'e> {
+    session: EngineSession<'e>,
+}
+
+impl<'e> SessionBackend<'e> {
+    /// Wraps an analyzed session.
+    pub fn new(session: EngineSession<'e>) -> Self {
+        SessionBackend { session }
+    }
+
+    /// The underlying engine session (epochs, recomputation counters).
+    pub fn session(&self) -> &EngineSession<'e> {
+        &self.session
+    }
+}
+
+/// The iterative-dataflow oracle backend: recomputes the classic
+/// bit-vector fixpoint for the addressed function on **every** query.
+/// Deliberately slow and stateless — the independent referee for
+/// differential testing of the other backends.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleBackend;
+
+/// The three executors behind one type — what
+/// [`Fastlive::session`](crate::Fastlive::session) hands out (wrapped
+/// in a [`FastliveSession`](crate::FastliveSession)).
+pub enum Backend<'e> {
+    /// Per-function checker.
+    Direct(DirectBackend),
+    /// Engine-cached session.
+    Session(SessionBackend<'e>),
+    /// Iterative-dataflow oracle.
+    Oracle(OracleBackend),
+}
+
+/// One resolved function's analysis state for the duration of a query
+/// (or of a whole per-function query group, under the planner): the
+/// backend-specific engine plus a lazily computed dominator tree for
+/// interference tests.
+pub(crate) struct FuncAnalysis {
+    kind: AnalysisKind,
+    dom: Option<DomTree>,
+}
+
+enum AnalysisKind {
+    /// An owned checker (direct backend). Boxed to keep the enum small
+    /// — the checker embeds its matrices and tree arrays inline.
+    Checker(Box<FunctionLiveness>),
+    /// A cache-shared checker (session backend).
+    Shared(Arc<FunctionLiveness>),
+    /// The data-flow oracle's solved sets.
+    Iterative(IterativeLiveness),
+}
+
+impl FuncAnalysis {
+    fn checker(&self) -> Option<&FunctionLiveness> {
+        match &self.kind {
+            AnalysisKind::Checker(c) => Some(c),
+            AnalysisKind::Shared(c) => Some(c),
+            AnalysisKind::Iterative(_) => None,
+        }
+    }
+
+    pub(crate) fn live_in(&self, func: &Function, v: Value, b: Block) -> bool {
+        match &self.kind {
+            AnalysisKind::Iterative(it) => it.is_live_in(v, b),
+            _ => self
+                .checker()
+                .expect("checker-backed")
+                .is_live_in(func, v, b),
+        }
+    }
+
+    pub(crate) fn live_out(&self, func: &Function, v: Value, b: Block) -> bool {
+        match &self.kind {
+            AnalysisKind::Iterative(it) => it.is_live_out(v, b),
+            _ => self
+                .checker()
+                .expect("checker-backed")
+                .is_live_out(func, v, b),
+        }
+    }
+
+    pub(crate) fn live_at(
+        &mut self,
+        func: &Function,
+        v: Value,
+        p: ProgramPoint,
+    ) -> Result<bool, PointError> {
+        match &mut self.kind {
+            AnalysisKind::Iterative(it) => LivenessProvider::live_at(it, func, v, p),
+            AnalysisKind::Checker(c) => c.is_live_at(func, v, p),
+            AnalysisKind::Shared(c) => c.is_live_at(func, v, p),
+        }
+    }
+
+    pub(crate) fn live_sets(&self, func: &Function) -> LiveSets {
+        match &self.kind {
+            AnalysisKind::Iterative(it) => LiveSets {
+                live_in: func.blocks().map(|b| it.live_in_set(b)).collect(),
+                live_out: func.blocks().map(|b| it.live_out_set(b)).collect(),
+            },
+            _ => {
+                let (live_in, live_out) = self.checker().expect("checker-backed").live_sets(func);
+                LiveSets { live_in, live_out }
+            }
+        }
+    }
+
+    /// The dense row snapshot the planner serves grouped `LiveIn` /
+    /// `LiveOut` probes from. `None` for the oracle — its block
+    /// queries are already O(1) probes into the solved sets.
+    pub(crate) fn batch(&self, func: &Function) -> Option<BatchLiveness> {
+        self.checker().map(|c| c.batch(func))
+    }
+
+    pub(crate) fn interfere(
+        &mut self,
+        func: &Function,
+        a: Value,
+        b: Value,
+    ) -> Result<bool, PointError> {
+        if self.dom.is_none() {
+            let dfs = DfsTree::compute(func);
+            self.dom = Some(DomTree::compute(func, &dfs));
+        }
+        let dom = self.dom.as_ref().expect("just computed");
+        match &mut self.kind {
+            AnalysisKind::Checker(c) => values_interfere(c.as_mut(), func, dom, a, b),
+            AnalysisKind::Shared(arc) => {
+                let mut engine = CheckerEngine::from_shared(Arc::clone(arc));
+                values_interfere(&mut engine, func, dom, a, b)
+            }
+            AnalysisKind::Iterative(it) => values_interfere(it, func, dom, a, b),
+        }
+    }
+}
+
+/// Internal hook the scalar executor and the planner share: produce
+/// the analysis state for one resolved function.
+pub(crate) trait AnalysisSource {
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis;
+}
+
+impl AnalysisSource for DirectBackend {
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis {
+        let func = module.func(id);
+        let mut checker = LivenessChecker::compute(func);
+        checker.set_subtree_skipping(self.subtree_skipping);
+        FuncAnalysis {
+            kind: AnalysisKind::Checker(Box::new(FunctionLiveness::from_checker(checker))),
+            dom: None,
+        }
+    }
+}
+
+impl AnalysisSource for SessionBackend<'_> {
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis {
+        FuncAnalysis {
+            kind: AnalysisKind::Shared(self.session.analysis(module, id)),
+            dom: None,
+        }
+    }
+}
+
+impl AnalysisSource for OracleBackend {
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis {
+        let func = module.func(id);
+        FuncAnalysis {
+            kind: AnalysisKind::Iterative(IterativeLiveness::compute(
+                func,
+                &VarUniverse::all(func),
+            )),
+            dom: None,
+        }
+    }
+}
+
+impl AnalysisSource for Backend<'_> {
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis {
+        match self {
+            Backend::Direct(b) => b.analysis_for(module, id),
+            Backend::Session(b) => b.analysis_for(module, id),
+            Backend::Oracle(b) => b.analysis_for(module, id),
+        }
+    }
+}
+
+macro_rules! query_engine_impl {
+    ($ty:ty, $name:expr) => {
+        impl QueryEngine for $ty {
+            fn query(&mut self, module: &Module, query: &Query) -> Result<Response, QueryError> {
+                scalar_query(self, module, query)
+            }
+            fn run_queries(
+                &mut self,
+                module: &Module,
+                queries: &[Query],
+            ) -> Vec<Result<Response, QueryError>> {
+                run_planned(self, module, queries)
+            }
+            fn backend_name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
+}
+
+query_engine_impl!(DirectBackend, "direct");
+query_engine_impl!(SessionBackend<'_>, "session");
+query_engine_impl!(OracleBackend, "oracle");
+
+impl QueryEngine for Backend<'_> {
+    fn query(&mut self, module: &Module, query: &Query) -> Result<Response, QueryError> {
+        match self {
+            Backend::Direct(b) => b.query(module, query),
+            Backend::Session(b) => b.query(module, query),
+            Backend::Oracle(b) => b.query(module, query),
+        }
+    }
+
+    fn run_queries(
+        &mut self,
+        module: &Module,
+        queries: &[Query],
+    ) -> Vec<Result<Response, QueryError>> {
+        match self {
+            Backend::Direct(b) => b.run_queries(module, queries),
+            Backend::Session(b) => b.run_queries(module, queries),
+            Backend::Oracle(b) => b.run_queries(module, queries),
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        match self {
+            Backend::Direct(b) => b.backend_name(),
+            Backend::Session(b) => b.backend_name(),
+            Backend::Oracle(b) => b.backend_name(),
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! [`Fastlive`]: the one-stop front door, and its builder.
+//!
+//! ```
+//! use fastlive::{parse_module, Fastlive, Query, Response};
+//!
+//! let module = parse_module(
+//!     "function %count { block0(v0):
+//!          v1 = iconst 0
+//!          jump block1(v1)
+//!      block1(v2):
+//!          v3 = iconst 1
+//!          v4 = iadd v2, v3
+//!          v5 = icmp_slt v4, v0
+//!          brif v5, block1(v4), block2
+//!      block2:
+//!          return v4 }",
+//! )?;
+//!
+//! let fl = Fastlive::builder().threads(2).build()?;
+//! let mut session = fl.session(&module);
+//! assert_eq!(
+//!     session.query(&module, &Query::live_in("count", "v0", "block1"))?,
+//!     Response::Live(true),
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use fastlive_engine::persist::GcStats;
+use fastlive_engine::{AnalysisEngine, EngineConfig, EngineSession};
+use fastlive_ir::Module;
+
+use crate::backend::{
+    Backend, BackendKind, DirectBackend, OracleBackend, QueryEngine, SessionBackend,
+};
+use crate::query::{BlockRef, FuncRef, LiveSets, PointRef, Query, QueryError, Response, ValueRef};
+
+/// A persistence-tier GC policy, applied at
+/// [`build()`](FastliveBuilder::build) and re-runnable any time via
+/// [`Fastlive::gc_persist`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Keep at most this many `.flpc` entries (oldest evicted first).
+    pub max_entries: usize,
+    /// Also delete entries older than this, when set.
+    pub max_age: Option<Duration>,
+}
+
+/// Why [`FastliveBuilder::build`] refused a configuration. Every
+/// variant is a configuration that the lower layers would either
+/// silently distort or only trip over at runtime — the builder front
+/// door turns them into values instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// More stripes than cache entries: the engine would round the
+    /// per-stripe bound up to 1, silently inflating the configured
+    /// capacity to `stripes` entries. Lower `stripes` or raise
+    /// `cache_capacity`.
+    StripesExceedCapacity {
+        /// Configured stripe count.
+        stripes: usize,
+        /// Configured capacity.
+        cache_capacity: usize,
+    },
+    /// The configured persist path exists and is not a directory — the
+    /// store would silently degrade every probe to a reject.
+    PersistDirNotADirectory(PathBuf),
+    /// A GC policy was set without a persistence tier to sweep.
+    GcWithoutPersistDir,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::StripesExceedCapacity {
+                stripes,
+                cache_capacity,
+            } => write!(
+                f,
+                "{stripes} stripes exceed the {cache_capacity}-entry cache capacity \
+                 (the effective bound would round up to one entry per stripe)"
+            ),
+            BuildError::PersistDirNotADirectory(p) => {
+                write!(
+                    f,
+                    "persist path {} exists and is not a directory",
+                    p.display()
+                )
+            }
+            BuildError::GcWithoutPersistDir => {
+                write!(f, "a gc policy needs a persist_dir to sweep")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`Fastlive`] — the preferred way to configure the
+/// whole stack (it subsumes [`EngineConfig`] construction and
+/// validates the combination at [`build()`](Self::build)).
+#[derive(Clone, Debug)]
+pub struct FastliveBuilder {
+    threads: usize,
+    cache_capacity: usize,
+    stripes: usize,
+    persist_dir: Option<PathBuf>,
+    subtree_skipping: bool,
+    backend: BackendKind,
+    gc: Option<GcPolicy>,
+}
+
+impl Default for FastliveBuilder {
+    fn default() -> Self {
+        let config = EngineConfig::default();
+        FastliveBuilder {
+            threads: config.threads,
+            cache_capacity: config.cache_capacity,
+            stripes: config.stripes,
+            persist_dir: config.persist_dir,
+            subtree_skipping: true,
+            backend: BackendKind::default(),
+            gc: None,
+        }
+    }
+}
+
+impl FastliveBuilder {
+    /// Worker threads for module analysis (`0` = one per CPU, the
+    /// default; `1` = inline on the calling thread).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Bound on precomputations retained in memory (`0` disables the
+    /// in-memory tier). Default 256.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Lock stripes of the in-memory cache. `0` (the default) picks
+    /// [`EngineConfig::DEFAULT_STRIPES`] narrowed to the cache
+    /// capacity, so a small capacity never silently inflates; an
+    /// explicit value larger than the capacity is a [`BuildError`].
+    pub fn stripes(mut self, stripes: usize) -> Self {
+        self.stripes = stripes;
+        self
+    }
+
+    /// Directory of the cross-process persistence tier (disabled by
+    /// default).
+    pub fn persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables or disables §4.1 dominance-subtree skipping in the
+    /// candidate loop (on by default; disabling it is the paper's
+    /// ablation mode). Applies to checkers the [`BackendKind::Direct`]
+    /// backend computes; the engine's cached checkers always keep the
+    /// default.
+    pub fn subtree_skipping(mut self, enabled: bool) -> Self {
+        self.subtree_skipping = enabled;
+        self
+    }
+
+    /// Default backend for [`Fastlive::session`]
+    /// ([`BackendKind::Session`] unless overridden).
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// Runs a persistence-tier GC sweep at [`build()`](Self::build)
+    /// time (and records the policy for later
+    /// [`Fastlive::gc_persist`] calls). Requires
+    /// [`persist_dir`](Self::persist_dir).
+    pub fn gc(mut self, max_entries: usize, max_age: Option<Duration>) -> Self {
+        self.gc = Some(GcPolicy {
+            max_entries,
+            max_age,
+        });
+        self
+    }
+
+    /// Validates the configuration and builds the facade. The build
+    /// itself is cheap — precomputation happens per analyzed module.
+    pub fn build(self) -> Result<Fastlive, BuildError> {
+        // Resolve the auto stripe count the way the engine will
+        // (`EngineConfig::DEFAULT_STRIPES`), then narrow it to the
+        // capacity: "auto" means "pick something valid", so a small
+        // explicit capacity shrinks the stripe count rather than
+        // tripping the validation below — only an *explicit*
+        // stripes-exceeds-capacity combination is an error.
+        let stripes = if self.stripes == 0 && self.cache_capacity > 0 {
+            EngineConfig::DEFAULT_STRIPES.min(self.cache_capacity)
+        } else {
+            self.stripes
+        };
+        if stripes > 0 && self.cache_capacity > 0 && stripes > self.cache_capacity {
+            return Err(BuildError::StripesExceedCapacity {
+                stripes,
+                cache_capacity: self.cache_capacity,
+            });
+        }
+        if let Some(dir) = &self.persist_dir {
+            if dir.exists() && !dir.is_dir() {
+                return Err(BuildError::PersistDirNotADirectory(dir.clone()));
+            }
+        }
+        if self.gc.is_some() && self.persist_dir.is_none() {
+            return Err(BuildError::GcWithoutPersistDir);
+        }
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: self.threads,
+            cache_capacity: self.cache_capacity,
+            stripes,
+            persist_dir: self.persist_dir,
+        });
+        if let Some(policy) = self.gc {
+            engine.gc_persist(policy.max_entries, policy.max_age);
+        }
+        Ok(Fastlive {
+            engine,
+            subtree_skipping: self.subtree_skipping,
+            backend: self.backend,
+            gc: self.gc,
+        })
+    }
+}
+
+/// The unified facade: one configured stack — engine, caches,
+/// persistence, GC policy — handing out query sessions over any
+/// module.
+///
+/// Most code needs exactly three lines: build once, open a session per
+/// module, ask typed [`Query`]s (or use the named conveniences on
+/// [`FastliveSession`]). The underlying layers stay reachable —
+/// [`engine()`](Self::engine) for cache statistics, and every legacy
+/// type re-exported at the crate root — but nothing requires them.
+pub struct Fastlive {
+    engine: AnalysisEngine,
+    subtree_skipping: bool,
+    backend: BackendKind,
+    gc: Option<GcPolicy>,
+}
+
+impl std::fmt::Debug for Fastlive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fastlive")
+            .field("config", self.engine.config())
+            .field("subtree_skipping", &self.subtree_skipping)
+            .field("backend", &self.backend)
+            .field("gc", &self.gc)
+            .finish()
+    }
+}
+
+impl Fastlive {
+    /// Starts a builder with the default configuration.
+    pub fn builder() -> FastliveBuilder {
+        FastliveBuilder::default()
+    }
+
+    /// A facade with the default configuration (auto threads,
+    /// 256-entry striped cache, no persistence, session backend).
+    pub fn with_defaults() -> Self {
+        Self::builder()
+            .build()
+            .expect("the default configuration is always valid")
+    }
+
+    /// The underlying analysis engine (cache statistics, manual
+    /// analysis, stripe accounting).
+    pub fn engine(&self) -> &AnalysisEngine {
+        &self.engine
+    }
+
+    /// The engine configuration the builder produced.
+    pub fn config(&self) -> &EngineConfig {
+        self.engine.config()
+    }
+
+    /// The backend [`session`](Self::session) opens by default.
+    pub fn default_backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Sweeps the persistence tier with the builder's GC policy (or
+    /// the given override). Returns `None` when no persistence tier —
+    /// or, without an override, no policy — is configured. Always safe:
+    /// a gc'd entry recomputes on its next probe.
+    pub fn gc_persist(&self, policy: Option<GcPolicy>) -> Option<GcStats> {
+        let policy = policy.or(self.gc)?;
+        self.engine.gc_persist(policy.max_entries, policy.max_age)
+    }
+
+    /// Opens a query session over `module` on the default backend.
+    ///
+    /// On [`BackendKind::Session`] this analyzes the whole module up
+    /// front (in parallel, through the caches); the other backends
+    /// defer all work to query time. The module is **not** borrowed —
+    /// it is passed by reference to every query, so it stays freely
+    /// editable between queries and the session revalidates against
+    /// its current state.
+    pub fn session(&self, module: &Module) -> FastliveSession<'_> {
+        self.session_with(module, self.backend)
+    }
+
+    /// Opens a query session on an explicit backend — the handle for
+    /// differential setups that hold, say, a [`BackendKind::Session`]
+    /// and a [`BackendKind::Oracle`] session side by side.
+    pub fn session_with(&self, module: &Module, kind: BackendKind) -> FastliveSession<'_> {
+        let backend = match kind {
+            BackendKind::Direct => {
+                Backend::Direct(DirectBackend::with_subtree_skipping(self.subtree_skipping))
+            }
+            BackendKind::Session => {
+                Backend::Session(SessionBackend::new(self.engine.analyze(module)))
+            }
+            BackendKind::Oracle => Backend::Oracle(OracleBackend),
+        };
+        FastliveSession { backend }
+    }
+}
+
+/// A query session handed out by [`Fastlive::session`]: the typed
+/// query layer ([`query`](Self::query) /
+/// [`run_queries`](Self::run_queries)) plus named conveniences that
+/// wrap the common queries.
+///
+/// Sessions borrow only the [`Fastlive`] they came from; the module is
+/// taken by reference per call and may be edited freely between calls
+/// (the session backend revalidates, the other backends recompute).
+pub struct FastliveSession<'fl> {
+    backend: Backend<'fl>,
+}
+
+impl<'fl> FastliveSession<'fl> {
+    /// Answers one typed query.
+    pub fn query(&mut self, module: &Module, query: &Query) -> Result<Response, QueryError> {
+        self.backend.query(module, query)
+    }
+
+    /// Plan-and-run batch execution: groups `queries` per function,
+    /// resolves each function once, and serves grouped
+    /// `LiveIn`/`LiveOut` probes from one
+    /// [`BatchLiveness`](crate::BatchLiveness) row snapshot per
+    /// function. Answers are identical to one-at-a-time
+    /// [`query`](Self::query) calls, in input order — only faster (see
+    /// `BENCH_facade.json`).
+    pub fn run_queries(
+        &mut self,
+        module: &Module,
+        queries: &[Query],
+    ) -> Vec<Result<Response, QueryError>> {
+        self.backend.run_queries(module, queries)
+    }
+
+    /// The backend's short name (`"direct"` / `"session"` /
+    /// `"oracle"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.backend_name()
+    }
+
+    /// The underlying [`EngineSession`] when this session runs on the
+    /// engine backend (epoch and recomputation accounting) — `None`
+    /// on the other backends.
+    pub fn engine_session(&self) -> Option<&EngineSession<'fl>> {
+        match &self.backend {
+            Backend::Session(s) => Some(s.session()),
+            _ => None,
+        }
+    }
+
+    /// [`Query::LiveIn`], unwrapped: is `value` live-in at `block`?
+    pub fn is_live_in(
+        &mut self,
+        module: &Module,
+        func: impl Into<FuncRef>,
+        value: impl Into<ValueRef>,
+        block: impl Into<BlockRef>,
+    ) -> Result<bool, QueryError> {
+        match self.query(module, &Query::live_in(func, value, block))? {
+            Response::Live(b) => Ok(b),
+            _ => unreachable!("LiveIn answers Live"),
+        }
+    }
+
+    /// [`Query::LiveOut`], unwrapped: is `value` live-out at `block`?
+    pub fn is_live_out(
+        &mut self,
+        module: &Module,
+        func: impl Into<FuncRef>,
+        value: impl Into<ValueRef>,
+        block: impl Into<BlockRef>,
+    ) -> Result<bool, QueryError> {
+        match self.query(module, &Query::live_out(func, value, block))? {
+            Response::Live(b) => Ok(b),
+            _ => unreachable!("LiveOut answers Live"),
+        }
+    }
+
+    /// [`Query::LiveAt`], unwrapped: is `value` live at `point`?
+    pub fn is_live_at(
+        &mut self,
+        module: &Module,
+        func: impl Into<FuncRef>,
+        value: impl Into<ValueRef>,
+        point: PointRef,
+    ) -> Result<bool, QueryError> {
+        match self.query(module, &Query::live_at(func, value, point))? {
+            Response::Live(b) => Ok(b),
+            _ => unreachable!("LiveAt answers Live"),
+        }
+    }
+
+    /// [`Query::LiveSets`], unwrapped: whole-function live-in/live-out
+    /// sets.
+    pub fn live_sets(
+        &mut self,
+        module: &Module,
+        func: impl Into<FuncRef>,
+    ) -> Result<LiveSets, QueryError> {
+        match self.query(module, &Query::live_sets(func))? {
+            Response::Sets(sets) => Ok(sets),
+            _ => unreachable!("LiveSets answers Sets"),
+        }
+    }
+
+    /// [`Query::Interfere`], unwrapped: do `a` and `b` interfere (the
+    /// Budimlić test the SSA-destruction pass runs, §6.2)?
+    pub fn values_interfere(
+        &mut self,
+        module: &Module,
+        func: impl Into<FuncRef>,
+        a: impl Into<ValueRef>,
+        b: impl Into<ValueRef>,
+    ) -> Result<bool, QueryError> {
+        match self.query(module, &Query::interfere(func, a, b))? {
+            Response::Interference(b) => Ok(b),
+            _ => unreachable!("Interfere answers Interference"),
+        }
+    }
+}

@@ -8,47 +8,69 @@
 //! comparator described in §6.2), SSA construction and destruction passes,
 //! and SPEC2000-calibrated workload generators.
 //!
-//! This crate is an umbrella that re-exports the workspace members under
-//! stable module names. Depend on it to get the whole system, or depend on
-//! individual `fastlive-*` crates for a narrower footprint.
+//! ## One front door
 //!
-//! ## Quickstart
+//! This crate is the **facade** over the whole workspace: build a
+//! [`Fastlive`] once, open a [`FastliveSession`] per module, and ask
+//! typed [`Query`]s — every question the five underlying public
+//! surfaces (`LivenessChecker`, `FunctionLiveness`, `BatchLiveness`,
+//! `AnalysisEngine`/`EngineSession`, `LivenessProvider`) answer, behind
+//! one API that addresses functions, values and blocks by name or id:
 //!
 //! ```
-//! use fastlive::core::FunctionLiveness;
-//! use fastlive::ir::parse_function;
+//! use fastlive::{parse_module, Fastlive, PointRef, Query, Response};
 //!
-//! // A counting loop: the bound `v0` stays live around the back edge.
-//! let func = parse_function(
-//!     r#"
-//!     function %count {
-//!     block0(v0):
-//!         v1 = iconst 0
-//!         jump block1(v1)
-//!     block1(v2):
-//!         v3 = iconst 1
-//!         v4 = iadd v2, v3
-//!         v5 = icmp_slt v4, v0
-//!         brif v5, block1(v4), block2
-//!     block2:
-//!         return v4
-//!     }
-//!     "#,
+//! let module = parse_module(
+//!     "function %count { block0(v0):
+//!          v1 = iconst 0
+//!          jump block1(v1)
+//!      block1(v2):
+//!          v3 = iconst 1
+//!          v4 = iadd v2, v3
+//!          v5 = icmp_slt v4, v0
+//!          brif v5, block1(v4), block2
+//!      block2:
+//!          return v4 }",
 //! )?;
 //!
-//! // One variable-independent precomputation ...
-//! let live = FunctionLiveness::compute(&func);
+//! // One configured stack: threads, caches, persistence, GC.
+//! let fl = Fastlive::builder().threads(2).build()?;
+//! let mut session = fl.session(&module);
 //!
-//! // ... then O(uses) queries for any value at any block, reading the
-//! // function's live def-use chains.
-//! let v0 = func.value("v0").unwrap();
-//! let block1 = func.block_by_index(1);
-//! assert!(live.is_live_in(&func, v0, block1));
-//! assert!(live.is_live_out(&func, v0, block1));
+//! // Scalar typed queries, by name or id ...
+//! assert!(session.is_live_in(&module, "count", "v0", "block1")?);
+//! assert!(session.is_live_at(&module, "count", "v4", PointRef::after("block1", 1))?);
+//! assert!(session.values_interfere(&module, "count", "v0", "v2")?);
+//!
+//! // ... or planned batches: grouped per function, block probes
+//! // answered from one batch-row pass instead of N candidate scans.
+//! let answers = session.run_queries(
+//!     &module,
+//!     &[
+//!         Query::live_in("count", "v0", "block1"),
+//!         Query::live_out("count", "v4", "block1"),
+//!         Query::live_sets("count"),
+//!     ],
+//! );
+//! assert_eq!(answers[0], Ok(Response::Live(true)));
+//! assert_eq!(answers[1], Ok(Response::Live(true)));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! Three interchangeable executors answer the same queries behind the
+//! [`QueryEngine`] trait (select one with
+//! [`Fastlive::session_with`]): [`BackendKind::Direct`] (per-function
+//! checker), [`BackendKind::Session`] (engine-cached, revalidating
+//! against CFG edits — the default) and [`BackendKind::Oracle`]
+//! (iterative dataflow, the differential-testing referee).
+//!
 //! ## Crate map
+//!
+//! The workspace members remain available under stable module names —
+//! depend on individual `fastlive-*` crates for a narrower footprint —
+//! and the historical entry-point types are re-exported at the crate
+//! root, so `use fastlive::{FunctionLiveness, AnalysisEngine}` is the
+//! single import root for pre-facade code.
 //!
 //! | module | contents |
 //! |--------|----------|
@@ -64,6 +86,18 @@
 //! | [`workload`] | deterministic program generators and SPEC2000 profiles |
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod builder;
+mod plan;
+mod query;
+
+pub use backend::{
+    Backend, BackendKind, DirectBackend, OracleBackend, QueryEngine, SessionBackend,
+};
+pub use builder::{BuildError, Fastlive, FastliveBuilder, FastliveSession, GcPolicy};
+pub use query::{BlockRef, FuncRef, LiveSets, PointRef, Query, QueryError, Response, ValueRef};
 
 pub use fastlive_bitset as bitset;
 pub use fastlive_cfg as cfg;
@@ -75,3 +109,20 @@ pub use fastlive_engine as engine;
 pub use fastlive_graph as graph;
 pub use fastlive_ir as ir;
 pub use fastlive_workload as workload;
+
+// The historical entry points, flattened to one import root: downstream
+// code written against the pre-facade surfaces imports everything from
+// `fastlive::` without naming the member crates.
+pub use fastlive_core::{
+    BatchError, BatchLiveness, FunctionLiveness, LivenessChecker, LivenessProvider, PointError,
+    Precomputation,
+};
+pub use fastlive_dataflow::{IterativeLiveness, VarUniverse};
+pub use fastlive_destruct::values_interfere;
+pub use fastlive_engine::{
+    persist::GcStats, AnalysisEngine, CacheStats, CfgShape, EngineConfig, EngineSession,
+    PersistStore,
+};
+pub use fastlive_ir::{
+    parse_function, parse_module, Block, FuncId, Function, Inst, Module, ProgramPoint, Value,
+};

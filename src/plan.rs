@@ -1,0 +1,203 @@
+//! Plan-and-run batch execution: the shared executors behind
+//! [`QueryEngine::query`](crate::QueryEngine::query) and
+//! [`QueryEngine::run_queries`](crate::QueryEngine::run_queries).
+//!
+//! The scalar path resolves one query's references and answers it from
+//! a freshly obtained per-function analysis. The planner instead
+//! groups a batch by resolved function, obtains each function's
+//! analysis **once**, and — when a group carries enough `LiveIn` /
+//! `LiveOut` probes — materializes one [`BatchLiveness`] row snapshot
+//! (resolving the function's def-use chains once) and answers those
+//! probes as O(1) bit reads instead of per-query candidate scans.
+//! That is what makes the facade *faster* than a loop over naive call
+//! sites, not just prettier (`BENCH_facade.json` records the ratio).
+//!
+//! Planning never changes answers: the module is immutable for the
+//! duration of the call, and the batch snapshot is bit-for-bit
+//! equivalent to the scalar queries (a workspace-level invariant the
+//! core crate's `batch_oracle` suite and `tests/facade_queries.rs`
+//! both pin).
+
+use fastlive_core::BatchLiveness;
+use fastlive_ir::{FuncId, Function, Module};
+
+use crate::backend::{AnalysisSource, FuncAnalysis};
+use crate::query::{
+    resolve_block, resolve_func, resolve_point, resolve_value, Query, QueryError, Response,
+};
+
+/// Minimum number of `LiveIn`/`LiveOut` probes in one function group
+/// before the planner pays for a batch row snapshot. Below this, the
+/// scalar candidate scan is always cheaper than a whole matrix pass.
+const BATCH_THRESHOLD: usize = 2;
+
+/// Should a group with `block_probes` `LiveIn`/`LiveOut` queries over
+/// `func` materialize batch rows? The matrix pass costs
+/// `O((E + Σ|T_q|) · V/64)` — roughly proportional to the block count
+/// times the value-word count — while one scalar probe costs a
+/// candidate scan plus a def-use walk. Requiring about half a block's
+/// worth of probes per block keeps tiny batches on the scalar path
+/// (where the pass could never amortize) without giving up the
+/// asymptotic win; the exact break-even per shape is measured in
+/// `BENCH_query.json`.
+fn batch_pays_off(func: &Function, block_probes: usize) -> bool {
+    block_probes >= BATCH_THRESHOLD.max(func.num_blocks() / 2)
+}
+
+/// Resolve-and-answer for one query, given the function's analysis and
+/// (optionally) a pre-materialized batch snapshot for block probes.
+fn answer(
+    analysis: &mut FuncAnalysis,
+    batch: Option<&BatchLiveness>,
+    func: &Function,
+    query: &Query,
+) -> Result<Response, QueryError> {
+    match query {
+        Query::LiveIn { value, block, .. } => {
+            let v = resolve_value(func, value)?;
+            let b = resolve_block(func, block)?;
+            Ok(Response::Live(match batch {
+                Some(rows) => rows.is_live_in(v.index() as u32, b.as_u32()),
+                None => analysis.live_in(func, v, b),
+            }))
+        }
+        Query::LiveOut { value, block, .. } => {
+            let v = resolve_value(func, value)?;
+            let b = resolve_block(func, block)?;
+            Ok(Response::Live(match batch {
+                Some(rows) => rows.is_live_out(v.index() as u32, b.as_u32()),
+                None => analysis.live_out(func, v, b),
+            }))
+        }
+        Query::LiveAt { value, point, .. } => {
+            let v = resolve_value(func, value)?;
+            let p = resolve_point(func, point)?;
+            Ok(Response::Live(analysis.live_at(func, v, p)?))
+        }
+        Query::LiveSets { .. } => Ok(Response::Sets(match batch {
+            // The group's snapshot already holds every row — derive the
+            // sets from it instead of paying another matrix pass (the
+            // mapping below is exactly `FunctionLiveness::live_sets`).
+            Some(rows) => sets_from_rows(rows, func),
+            None => analysis.live_sets(func),
+        })),
+        Query::Interfere { a, b, .. } => {
+            let va = resolve_value(func, a)?;
+            let vb = resolve_value(func, b)?;
+            Ok(Response::Interference(analysis.interfere(func, va, vb)?))
+        }
+    }
+}
+
+/// Whole-function sets out of an existing row snapshot — the same
+/// var-index → [`Value`](fastlive_ir::Value) mapping (ascending per
+/// block) as `FunctionLiveness::live_sets`, which `tests/facade_*.rs`
+/// pin against the other backends.
+fn sets_from_rows(rows: &BatchLiveness, func: &Function) -> crate::LiveSets {
+    let to_values = |vars: Vec<u32>| -> Vec<fastlive_ir::Value> {
+        vars.into_iter()
+            .map(|v| fastlive_ir::Value::from_index(v as usize))
+            .collect()
+    };
+    crate::LiveSets {
+        live_in: func
+            .blocks()
+            .map(|b| to_values(rows.live_in_vars(b.as_u32())))
+            .collect(),
+        live_out: func
+            .blocks()
+            .map(|b| to_values(rows.live_out_vars(b.as_u32())))
+            .collect(),
+    }
+}
+
+/// One query, straight through: resolve the function, obtain its
+/// analysis, answer.
+pub(crate) fn scalar_query<S: AnalysisSource>(
+    source: &mut S,
+    module: &Module,
+    query: &Query,
+) -> Result<Response, QueryError> {
+    let id = resolve_func(module, query.func())?;
+    let mut analysis = source.analysis_for(module, id);
+    answer(&mut analysis, None, module.func(id), query)
+}
+
+/// The planned batch executor: group by function, analyze once per
+/// function, serve grouped block probes from batch rows. Results come
+/// back in input order; per-query failures are per-slot `Err`s, never
+/// a failure of the whole batch.
+pub(crate) fn run_planned<S: AnalysisSource>(
+    source: &mut S,
+    module: &Module,
+    queries: &[Query],
+) -> Vec<Result<Response, QueryError>> {
+    // Resolve every query's function up front; unresolvable ones fail
+    // in place without costing any analysis. Groups are found through
+    // a per-function index (O(1) per query — a linear group scan would
+    // make planning O(queries × functions) on big modules) but kept in
+    // first-appearance order so execution stays deterministic.
+    let mut results: Vec<Option<Result<Response, QueryError>>> = vec![None; queries.len()];
+    let mut groups: Vec<(FuncId, Vec<usize>)> = Vec::new();
+    let mut group_of: Vec<Option<usize>> = vec![None; module.len()];
+    for (i, query) in queries.iter().enumerate() {
+        match resolve_func(module, query.func()) {
+            Ok(id) => match group_of[id] {
+                Some(g) => groups[g].1.push(i),
+                None => {
+                    group_of[id] = Some(groups.len());
+                    groups.push((id, vec![i]));
+                }
+            },
+            Err(e) => results[i] = Some(Err(e)),
+        }
+    }
+
+    for (id, idxs) in groups {
+        let func = module.func(id);
+        let mut analysis = source.analysis_for(module, id);
+        let block_probes = idxs
+            .iter()
+            .filter(|&&i| matches!(queries[i], Query::LiveIn { .. } | Query::LiveOut { .. }))
+            .count();
+        let sets_queries = idxs
+            .iter()
+            .filter(|&&i| matches!(queries[i], Query::LiveSets { .. }))
+            .count();
+        // One row materialization amortized over the group's block
+        // probes — or over repeated whole-function set requests, each
+        // of which would otherwise pay its own pass (checker-backed
+        // backends only; the oracle's probes are already O(1) set
+        // reads and its `batch()` is `None`).
+        let batch = if batch_pays_off(func, block_probes) || sets_queries >= 2 {
+            analysis.batch(func)
+        } else {
+            None
+        };
+        for i in idxs {
+            // Batch-served block probes are the hot loop of dense
+            // streams: answer them right here as O(1) bit reads, so
+            // the per-query cost stays at the dispatch floor and only
+            // the complex kinds pay the full `answer` call.
+            let result = match (&batch, &queries[i]) {
+                (Some(rows), Query::LiveIn { value, block, .. }) => resolve_value(func, value)
+                    .and_then(|v| {
+                        resolve_block(func, block)
+                            .map(|b| Response::Live(rows.is_live_in(v.index() as u32, b.as_u32())))
+                    }),
+                (Some(rows), Query::LiveOut { value, block, .. }) => resolve_value(func, value)
+                    .and_then(|v| {
+                        resolve_block(func, block)
+                            .map(|b| Response::Live(rows.is_live_out(v.index() as u32, b.as_u32())))
+                    }),
+                _ => answer(&mut analysis, batch.as_ref(), func, &queries[i]),
+            };
+            results[i] = Some(result);
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every query either grouped or failed resolution"))
+        .collect()
+}

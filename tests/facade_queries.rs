@@ -1,0 +1,329 @@
+//! Unit coverage for the facade's typed query layer (ISSUE 5): every
+//! `QueryError` variant, every `BuildError` variant, the name/id
+//! addressing equivalence, and the builder's persistence-GC flag.
+
+use fastlive::ir::{InstData, UnaryOp};
+use fastlive::{
+    parse_module, BackendKind, Block, BuildError, Fastlive, PointRef, Query, QueryError, Response,
+    Value,
+};
+
+const SRC: &str = "function %count { block0(v0):
+     v1 = iconst 0
+     jump block1(v1)
+ block1(v2):
+     v3 = iconst 1
+     v4 = iadd v2, v3
+     v5 = icmp_slt v4, v0
+     brif v5, block1(v4), block2
+ block2:
+     return v4 }
+ function %id { block0(v0): return v0 }";
+
+fn fl() -> Fastlive {
+    Fastlive::builder()
+        .threads(1)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn unknown_function_by_name_and_id() {
+    let module = parse_module(SRC).unwrap();
+    let f = fl();
+    let mut s = f.session(&module);
+    let err = s
+        .query(&module, &Query::live_sets("nope"))
+        .expect_err("unknown name");
+    assert_eq!(err, QueryError::UnknownFunction("nope".into()));
+    assert!(err.to_string().contains("unknown function"), "{err}");
+    let err = s
+        .query(&module, &Query::live_sets(99usize))
+        .expect_err("out-of-range id");
+    assert_eq!(err, QueryError::UnknownFunction(99usize.into()));
+}
+
+#[test]
+fn unknown_value_name_malformed_and_out_of_range() {
+    let module = parse_module(SRC).unwrap();
+    let f = fl();
+    let mut s = f.session(&module);
+    for bad in ["v99", "x1", "v"] {
+        let err = s
+            .query(&module, &Query::live_in("count", bad, "block1"))
+            .expect_err("unknown value");
+        assert!(
+            matches!(&err, QueryError::UnknownValue { func, .. } if func == "count"),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("unknown value"), "{err}");
+    }
+    // Out-of-range id form.
+    let err = s
+        .query(
+            &module,
+            &Query::live_out("count", Value::from_index(999), "block1"),
+        )
+        .expect_err("out-of-range value id");
+    assert!(matches!(err, QueryError::UnknownValue { .. }), "{err:?}");
+}
+
+#[test]
+fn unknown_block_name_malformed_and_out_of_range() {
+    let module = parse_module(SRC).unwrap();
+    let f = fl();
+    let mut s = f.session(&module);
+    for bad in ["block9", "foo", "block"] {
+        let err = s
+            .query(&module, &Query::live_in("count", "v0", bad))
+            .expect_err("unknown block");
+        assert!(
+            matches!(&err, QueryError::UnknownBlock { func, .. } if func == "count"),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("unknown block"), "{err}");
+    }
+    let err = s
+        .query(
+            &module,
+            &Query::live_in("count", "v0", Block::from_index(42)),
+        )
+        .expect_err("out-of-range block id");
+    assert!(matches!(err, QueryError::UnknownBlock { .. }), "{err:?}");
+}
+
+#[test]
+fn point_on_missing_instruction() {
+    let module = parse_module(SRC).unwrap();
+    let f = fl();
+    let mut s = f.session(&module);
+    // block2 holds exactly one instruction (the return).
+    let err = s
+        .query(
+            &module,
+            &Query::live_at("count", "v4", PointRef::after("block2", 5)),
+        )
+        .expect_err("no instruction 5");
+    assert_eq!(
+        err,
+        QueryError::MissingInstruction {
+            func: "count".into(),
+            block: Block::from_index(2),
+            inst: 5,
+            num_insts: 1,
+        }
+    );
+    assert!(err.to_string().contains("no instruction 5"), "{err}");
+    // The entry point of a block never needs an instruction.
+    assert!(s
+        .query(
+            &module,
+            &Query::live_at("count", "v0", PointRef::entry("block1"))
+        )
+        .is_ok());
+}
+
+#[test]
+fn detached_definition_surfaces_per_backend() {
+    let mut module = parse_module(SRC).unwrap();
+    let count = module.by_name("count").unwrap();
+    let b0 = module.func(count).entry_block();
+    let dead = module
+        .func_mut(count)
+        .insert_inst(b0, 0, InstData::IntConst { imm: 7 });
+    let dv = module.func(count).inst_result(dead).unwrap();
+    module.func_mut(count).remove_inst(dead);
+
+    let f = fl();
+    for kind in [
+        BackendKind::Direct,
+        BackendKind::Session,
+        BackendKind::Oracle,
+    ] {
+        let mut s = f.session_with(&module, kind);
+        let err = s
+            .query(
+                &module,
+                &Query::live_at(count, dv, PointRef::entry("block1")),
+            )
+            .expect_err("detached definition");
+        assert_eq!(err, QueryError::DetachedDefinition(dv), "{kind:?}");
+        let err = s
+            .query(&module, &Query::interfere(count, dv, "v0"))
+            .expect_err("detached definition under interference");
+        assert_eq!(err, QueryError::DetachedDefinition(dv), "{kind:?}");
+        assert!(err.to_string().contains("removed"), "{err}");
+    }
+}
+
+#[test]
+fn builder_validation_failures() {
+    // More stripes than cache entries: the engine would silently
+    // inflate the bound; the builder refuses.
+    let err = Fastlive::builder()
+        .stripes(16)
+        .cache_capacity(4)
+        .build()
+        .expect_err("stripes exceed capacity");
+    assert_eq!(
+        err,
+        BuildError::StripesExceedCapacity {
+            stripes: 16,
+            cache_capacity: 4,
+        }
+    );
+    assert!(err.to_string().contains("stripes"), "{err}");
+
+    // GC policy without a store to sweep.
+    let err = Fastlive::builder()
+        .gc(10, None)
+        .build()
+        .expect_err("gc needs persist_dir");
+    assert_eq!(err, BuildError::GcWithoutPersistDir);
+    assert!(err.to_string().contains("persist_dir"), "{err}");
+
+    // Persist path squatted by a regular file.
+    let file = std::env::temp_dir().join(format!("fastlive-notadir-{}", std::process::id()));
+    std::fs::write(&file, b"squatter").unwrap();
+    let err = Fastlive::builder()
+        .persist_dir(&file)
+        .build()
+        .expect_err("persist path is a file");
+    assert_eq!(err, BuildError::PersistDirNotADirectory(file.clone()));
+    assert!(err.to_string().contains("not a directory"), "{err}");
+    std::fs::remove_file(&file).ok();
+
+    // And the valid shapes of the same knobs build fine.
+    assert!(Fastlive::builder()
+        .stripes(4)
+        .cache_capacity(4)
+        .build()
+        .is_ok());
+    assert!(Fastlive::builder()
+        .cache_capacity(0)
+        .stripes(16)
+        .build()
+        .is_ok());
+
+    // Auto stripes (the default, 0) narrow to a small capacity instead
+    // of silently inflating it to one entry per default stripe: a
+    // 4-entry cache gets 4 stripes, and the effective bound stays 4.
+    let small = Fastlive::builder().cache_capacity(4).build().unwrap();
+    assert_eq!(small.engine().stripe_stats().len(), 4);
+    assert_eq!(small.config().stripes, 4);
+}
+
+#[test]
+fn builder_gc_flag_prunes_the_store_and_degrades_cleanly() {
+    let dir = std::env::temp_dir().join(format!("fastlive-facade-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let module = parse_module(SRC).unwrap();
+
+    // Populate: two functions, two distinct shapes, two entries.
+    let writer = Fastlive::builder()
+        .threads(1)
+        .persist_dir(&dir)
+        .build()
+        .unwrap();
+    let _ = writer.session(&module);
+    assert_eq!(writer.engine().cache_stats().disk_misses, 2);
+
+    // Rebuild with the gc flag: the sweep runs at build() and prunes
+    // to one entry; the fresh engine then pays one disk hit and one
+    // clean disk-miss recomputation — same answers either way.
+    let pruned = Fastlive::builder()
+        .threads(1)
+        .persist_dir(&dir)
+        .gc(1, None)
+        .build()
+        .unwrap();
+    let mut session = pruned.session(&module);
+    let stats = pruned.engine().cache_stats();
+    assert_eq!(stats.disk_hits, 1, "{stats:?}");
+    assert_eq!(stats.disk_misses, 1, "{stats:?}");
+    assert_eq!(stats.disk_rejects, 0, "{stats:?}");
+    assert!(session
+        .is_live_in(&module, "count", "v0", "block1")
+        .unwrap());
+
+    // The recorded policy is re-runnable on demand.
+    let stats = pruned.gc_persist(None).expect("policy + store configured");
+    assert_eq!(stats.retained, 1);
+    // Without a policy or override, there is nothing to run.
+    assert_eq!(writer.gc_persist(None), None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn name_and_id_addressing_are_interchangeable() {
+    let module = parse_module(SRC).unwrap();
+    let count = module.by_name("count").unwrap();
+    let v0 = module.func(count).params()[0];
+    let b1 = module.func(count).block_by_index(1);
+    let f = fl();
+    let mut s = f.session(&module);
+    let by_name = s.query(&module, &Query::live_in("count", "v0", "block1"));
+    let by_id = s.query(&module, &Query::live_in(count, v0, b1));
+    assert_eq!(by_name, by_id);
+    assert_eq!(by_name, Ok(Response::Live(true)));
+}
+
+#[test]
+fn response_accessors() {
+    let module = parse_module(SRC).unwrap();
+    let f = fl();
+    let mut s = f.session(&module);
+    let live = s
+        .query(&module, &Query::live_in("count", "v0", "block1"))
+        .unwrap();
+    assert_eq!(live.as_bool(), Some(true));
+    assert!(live.as_sets().is_none());
+    let sets = s.query(&module, &Query::live_sets("count")).unwrap();
+    assert!(sets.as_bool().is_none());
+    let sets = sets.as_sets().expect("Sets response");
+    assert_eq!(sets.live_in.len(), module.func(0).num_blocks());
+    // v0 (the loop bound) is live-in at block1 per the sets too.
+    let v0 = module.func(0).params()[0];
+    assert!(sets.live_in[1].contains(&v0));
+}
+
+#[test]
+fn typed_conveniences_and_engine_session_access() {
+    let mut module = parse_module(SRC).unwrap();
+    let f = fl();
+    let mut s = f.session(&module);
+    assert_eq!(s.backend_name(), "session");
+    assert!(s.is_live_in(&module, "count", "v0", "block1").unwrap());
+    assert!(s.is_live_out(&module, "count", "v4", "block1").unwrap());
+    assert!(s
+        .is_live_at(&module, "count", "v4", PointRef::after("block1", 1))
+        .unwrap());
+    assert!(s.values_interfere(&module, "count", "v0", "v2").unwrap());
+    assert!(!s.values_interfere(&module, "count", "v1", "v4").unwrap());
+    let sets = s.live_sets(&module, "count").unwrap();
+    assert_eq!(sets.live_out.len(), 3);
+
+    // The engine session stays reachable for epoch accounting, and the
+    // facade preserves its revalidation semantics: an instruction edit
+    // changes answers without a recomputation.
+    assert_eq!(s.engine_session().expect("session backend").epoch(0), 0);
+    let b2 = module.func(0).block_by_index(2);
+    let v0 = module.func(0).params()[0];
+    module.func_mut(0).insert_inst(
+        b2,
+        0,
+        InstData::Unary {
+            op: UnaryOp::Ineg,
+            arg: v0,
+        },
+    );
+    assert!(s.is_live_in(&module, "count", "v0", "block2").unwrap());
+    assert_eq!(s.engine_session().unwrap().epoch(0), 0, "no CFG change");
+    assert_eq!(
+        f.session_with(&module, BackendKind::Direct)
+            .engine_session()
+            .map(|_| ()),
+        None,
+        "direct backend exposes no engine session"
+    );
+}
