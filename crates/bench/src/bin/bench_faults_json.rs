@@ -1,0 +1,213 @@
+//! Emits `BENCH_faults.json`: what the robustness layer costs when
+//! nothing is wrong, and how fast it recovers when something is.
+//!
+//! * `vfs_overhead` — cold analyze (precompute + write-through) through
+//!   the production `StdVfs` vs. a rule-free `FaultVfs`: the injection
+//!   seam must be free on the happy path (ratio ≈ 1; compare the
+//!   `cold` scenario of `BENCH_persist.json`).
+//! * `recovery` — a scripted total-disk failure trips the breaker,
+//!   the disk heals, and the half-open probe restores the tier: the
+//!   measured trip→restore wall time tracks the configured backoff,
+//!   not some hidden retry storm.
+//! * `degraded` — analyze cost with the breaker open (memory-only) vs.
+//!   a healthy disk-less engine: an open breaker must cost nothing over
+//!   never having configured persistence.
+//!
+//! ```text
+//! cargo run --release -p fastlive-bench --bin bench_faults_json [--quick] [OUT.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastlive::{
+    AnalysisEngine, BreakerConfig, BreakerState, EngineConfig, Fault, FaultRule, FaultVfs, OpKind,
+};
+use fastlive_bench::time_ns;
+use fastlive_workload::{generate_module, ModuleParams};
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_faults.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (functions, reps) = if quick { (12, 3) } else { (64, 9) };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = 4.min(host_cpus.max(1));
+
+    let module = generate_module(
+        "faults_bench",
+        ModuleParams {
+            functions,
+            min_blocks: 8,
+            max_blocks: 48,
+            irreducible_per_mille: 100,
+            deep_live_per_mille: 300,
+        },
+        0xfa17,
+    );
+    let blocks: usize = module.functions().iter().map(|f| f.num_blocks()).sum();
+    let dir = std::env::temp_dir().join(format!("fastlive-bench-faults-{}", std::process::id()));
+    eprintln!(
+        "module: {} functions, {blocks} blocks total, host_cpus={host_cpus}",
+        module.len()
+    );
+
+    let cold_config = |persist: bool| EngineConfig {
+        threads,
+        persist_dir: persist.then(|| dir.clone()),
+        ..EngineConfig::default()
+    };
+
+    // ---- vfs_overhead: cold analyze through StdVfs vs healthy
+    // FaultVfs, directory wiped outside the timed region each rep.
+    let measure_cold = |with_fault_vfs: bool| -> f64 {
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let _ = std::fs::remove_dir_all(&dir);
+                time_ns(1, || {
+                    let engine = if with_fault_vfs {
+                        AnalysisEngine::with_vfs(cold_config(true), Arc::new(FaultVfs::healthy()))
+                    } else {
+                        AnalysisEngine::new(cold_config(true))
+                    };
+                    engine.analyze(&module).num_functions()
+                })
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let std_ns = measure_cold(false);
+    let fault_ns = measure_cold(true);
+    let overhead = fault_ns / std_ns;
+    eprintln!("vfs_overhead: std={std_ns:.0} ns, fault_vfs={fault_ns:.0} ns ({overhead:.3}x)");
+
+    // ---- recovery: trip on a fully sick disk, heal, measure wall time
+    // until health() reports Closed again (polling with re-analyzes of
+    // fresh shapes is what drives the half-open probe).
+    let backoff = Duration::from_millis(25);
+    let mut recovery_samples: Vec<f64> = (0..reps)
+        .map(|rep| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let vfs = Arc::new(FaultVfs::new(vec![FaultRule::every(
+                OpKind::Any,
+                Fault::eio(),
+            )]));
+            let engine = AnalysisEngine::with_vfs(
+                EngineConfig {
+                    threads,
+                    cache_capacity: 0, // every probe consults the disk tier
+                    stripes: 0,
+                    persist_dir: Some(dir.clone()),
+                    disk_breaker: BreakerConfig {
+                        trip_threshold: 3,
+                        initial_backoff: backoff,
+                        max_backoff: backoff * 8,
+                        ..BreakerConfig::default()
+                    },
+                },
+                vfs.clone(),
+            );
+            let _ = engine.analyze(&module);
+            assert_eq!(
+                engine.health().disk_state,
+                BreakerState::Open,
+                "rep {rep}: sick disk must trip the breaker"
+            );
+            vfs.set_rules(vec![]);
+            let healed_at = Instant::now();
+            while engine.health().disk_state != BreakerState::Closed {
+                let _ = engine.analyze(&module);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            healed_at.elapsed().as_nanos() as f64
+        })
+        .collect();
+    recovery_samples.sort_by(f64::total_cmp);
+    let recovery_ns = recovery_samples[recovery_samples.len() / 2];
+    eprintln!(
+        "recovery: trip->restore {recovery_ns:.0} ns (configured backoff {} ns)",
+        backoff.as_nanos()
+    );
+
+    // ---- degraded: analyze with the breaker latched open vs a
+    // disk-less engine. Open-breaker probes must cost ~nothing.
+    let _ = std::fs::remove_dir_all(&dir);
+    let sick = Arc::new(FaultVfs::new(vec![FaultRule::every(
+        OpKind::Any,
+        Fault::eio(),
+    )]));
+    let open_engine = AnalysisEngine::with_vfs(
+        EngineConfig {
+            threads,
+            persist_dir: Some(dir.clone()),
+            disk_breaker: BreakerConfig {
+                trip_threshold: 1,
+                initial_backoff: Duration::from_secs(3600), // stays open
+                ..BreakerConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+        sick,
+    );
+    let _ = open_engine.analyze(&module); // trip it
+    let open_ns = time_ns(reps, || open_engine.analyze(&module).num_functions());
+    let memory_engine = AnalysisEngine::new(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    let _ = memory_engine.analyze(&module); // warm, like open_engine
+    let memory_ns = time_ns(reps, || memory_engine.analyze(&module).num_functions());
+    let degraded_ratio = open_ns / memory_ns;
+    eprintln!(
+        "degraded: open-breaker={open_ns:.0} ns, memory-only={memory_ns:.0} ns \
+         ({degraded_ratio:.3}x)"
+    );
+    let final_health = open_engine.health();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {host_cpus},\n  \"functions\": {},\n  \"blocks_total\": {blocks},",
+        module.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"vfs_overhead\": {{\"std_cold_ns\": {std_ns:.0}, \"fault_vfs_cold_ns\": {fault_ns:.0}, \
+         \"ratio\": {overhead:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"trip_to_restore_ns\": {recovery_ns:.0}, \
+         \"configured_backoff_ns\": {}, \"trip_threshold\": 3}},",
+        backoff.as_nanos()
+    );
+    let _ = writeln!(
+        json,
+        "  \"degraded\": {{\"open_breaker_analyze_ns\": {open_ns:.0}, \
+         \"memory_only_analyze_ns\": {memory_ns:.0}, \"ratio\": {degraded_ratio:.3}}},"
+    );
+    let _ = write!(
+        json,
+        "  \"health\": {{\"disk_state\": \"{:?}\", \"disk_trips\": {}, \"disk_restores\": {}, \
+         \"disk_probes_skipped\": {}, \"disk_errors\": {}}}\n}}\n",
+        final_health.disk_state,
+        final_health.disk_trips,
+        final_health.disk_restores,
+        final_health.disk_probes_skipped,
+        final_health.cache.disk_errors,
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_faults.json");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("wrote {out_path}");
+}

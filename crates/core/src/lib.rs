@@ -87,6 +87,7 @@
 
 mod batch;
 mod checker;
+mod error;
 mod function_liveness;
 mod loop_forest_check;
 mod precompute;
@@ -97,6 +98,7 @@ mod verify;
 
 pub use batch::{BatchError, BatchLiveness};
 pub use checker::{Candidates, LivenessChecker};
+pub use error::AnalysisError;
 pub use function_liveness::FunctionLiveness;
 pub use loop_forest_check::LoopForestChecker;
 pub use precompute::Precomputation;

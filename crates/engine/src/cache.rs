@@ -54,6 +54,13 @@ pub struct CacheStats {
     /// precomputation ran and the bad entry was overwritten; a reject
     /// is always a clean miss, never a wrong answer.
     pub disk_rejects: u64,
+    /// Disk-tier operations (probe or write-through) whose **I/O
+    /// failed** — EACCES, EIO, ENOSPC. Distinct from `disk_rejects`:
+    /// a reject means the disk worked and the *file* was invalid; an
+    /// error means the *device* failed. Errors feed the disk circuit
+    /// breaker ([`BreakerConfig`](crate::BreakerConfig)); the affected
+    /// probe is served memory-only either way.
+    pub disk_errors: u64,
 }
 
 impl CacheStats {
@@ -77,6 +84,7 @@ impl CacheStats {
             disk_hits: self.disk_hits + other.disk_hits,
             disk_misses: self.disk_misses + other.disk_misses,
             disk_rejects: self.disk_rejects + other.disk_rejects,
+            disk_errors: self.disk_errors + other.disk_errors,
         }
     }
 }
@@ -151,6 +159,12 @@ impl FingerprintCache {
     /// Records an in-memory miss whose on-disk entry failed validation.
     pub(crate) fn note_disk_reject(&mut self) {
         self.stats.disk_rejects += 1;
+    }
+
+    /// Records a disk-tier operation whose I/O failed (probe or
+    /// write-through) — the device's fault, not the file's.
+    pub(crate) fn note_disk_error(&mut self) {
+        self.stats.disk_errors += 1;
     }
 
     /// Inserts a freshly computed analysis, evicting the
@@ -242,6 +256,7 @@ mod tests {
             disk_hits: 5,
             disk_misses: 6,
             disk_rejects: 7,
+            disk_errors: 8,
         };
         let b = CacheStats {
             hits: 10,
@@ -251,6 +266,7 @@ mod tests {
             disk_hits: 50,
             disk_misses: 60,
             disk_rejects: 70,
+            disk_errors: 80,
         };
         let sum = a.add(&b);
         assert_eq!(
@@ -263,6 +279,7 @@ mod tests {
                 disk_hits: 55,
                 disk_misses: 66,
                 disk_rejects: 77,
+                disk_errors: 88,
             }
         );
         assert_eq!(a.add(&CacheStats::default()), a);

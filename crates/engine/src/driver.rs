@@ -12,12 +12,14 @@
 //! checker, warm reruns precompute nothing, and concurrent workers
 //! that miss on the same shape are deduplicated.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use fastlive_core::AnalysisError;
 use fastlive_destruct::{destruct_ssa, CheckerEngine, DestructResult};
 use fastlive_ir::Module;
 
-use crate::engine::AnalysisEngine;
+use crate::engine::{panic_message, AnalysisEngine};
 
 impl AnalysisEngine {
     /// Runs SSA destruction on every function of `module` — in
@@ -34,19 +36,39 @@ impl AnalysisEngine {
     /// functions (and warm reruns — the JIT recompilation story) skip
     /// the precomputation. See `BENCH_point.json` for the measured
     /// cold/warm gap.
-    pub fn destruct_module(&self, module: &Module) -> Vec<DestructResult> {
+    ///
+    /// Failures are **per function**: a precomputation that panics (or
+    /// a destruction pass that does) yields `Err(AnalysisError)` in
+    /// that function's slot while every other function's destruction
+    /// completes normally — the process never aborts.
+    pub fn destruct_module(&self, module: &Module) -> Vec<Result<DestructResult, AnalysisError>> {
         let n = module.len();
         let workers = self.worker_count(n);
-        let run_one = |i: usize| {
+        let run_one = |i: usize| -> Result<DestructResult, AnalysisError> {
             let func = module.functions()[i].clone();
             // `analysis_for` is called after destruct_ssa splits
             // critical edges, so the cache is keyed by the final CFG.
-            destruct_ssa(func, |f| CheckerEngine::from_shared(self.analysis_for(f)))
+            // A typed analysis failure is smuggled out through the
+            // unwind (destruct_ssa's engine callback is infallible by
+            // signature) and recovered by the downcast below; any
+            // *other* payload is a genuine destruction panic.
+            catch_unwind(AssertUnwindSafe(|| {
+                destruct_ssa(func, |f| match self.analysis_for(f) {
+                    Ok(live) => CheckerEngine::from_shared(live),
+                    Err(e) => std::panic::panic_any(e),
+                })
+            }))
+            .map_err(|payload| match payload.downcast::<AnalysisError>() {
+                Ok(e) => *e,
+                Err(other) => AnalysisError::ComputePanicked {
+                    message: panic_message(other.as_ref()),
+                },
+            })
         };
         if workers <= 1 {
             return (0..n).map(run_one).collect();
         }
-        let mut slots: Vec<Option<DestructResult>> = Vec::new();
+        let mut slots: Vec<Option<Result<DestructResult, AnalysisError>>> = Vec::new();
         slots.resize_with(n, || None);
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -68,14 +90,27 @@ impl AnalysisEngine {
                 })
                 .collect();
             for handle in handles {
-                for (i, result) in handle.join().expect("destruction worker panicked") {
-                    slots[i] = Some(result);
+                // A worker that dies outright (catch_unwind can't stop
+                // e.g. a stack overflow abort path, but a plain unwind
+                // that escapes run_one is caught here) forfeits its
+                // claimed indices; those slots become typed errors
+                // below instead of taking the whole module down.
+                if let Ok(done) = handle.join() {
+                    for (i, result) in done {
+                        slots[i] = Some(result);
+                    }
                 }
             }
         });
         slots
             .into_iter()
-            .map(|s| s.expect("every queue index was claimed by exactly one worker"))
+            .map(|s| {
+                s.unwrap_or_else(|| {
+                    Err(AnalysisError::ComputePanicked {
+                        message: "destruction worker terminated before publishing".into(),
+                    })
+                })
+            })
             .collect()
     }
 }
@@ -112,18 +147,16 @@ mod tests {
             let results = engine.destruct_module(&module);
             assert_eq!(results.len(), module.len());
             for (i, func) in module.functions().iter().enumerate() {
+                let got = results[i].as_ref().expect("no injected faults");
                 let standalone = destruct_ssa(func.clone(), CheckerEngine::compute);
                 assert_eq!(
-                    results[i].func.to_string(),
+                    got.func.to_string(),
                     standalone.func.to_string(),
                     "threads={threads}: divergent destruction of {}",
                     func.name
                 );
-                assert_eq!(results[i].stats.queries, standalone.stats.queries);
-                assert_eq!(
-                    results[i].stats.copies_inserted,
-                    standalone.stats.copies_inserted
-                );
+                assert_eq!(got.stats.queries, standalone.stats.queries);
+                assert_eq!(got.stats.copies_inserted, standalone.stats.copies_inserted);
             }
         }
     }
@@ -145,7 +178,10 @@ mod tests {
             "warm destruction must be all cache (or dedup) hits: {stats:?}"
         );
         for (c, w) in cold.iter().zip(&warm) {
-            assert_eq!(c.func.to_string(), w.func.to_string());
+            assert_eq!(
+                c.as_ref().unwrap().func.to_string(),
+                w.as_ref().unwrap().func.to_string()
+            );
         }
     }
 }

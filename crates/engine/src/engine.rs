@@ -3,17 +3,21 @@
 //! cache in front of it.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
 
-use fastlive_core::{FunctionLiveness, LivenessChecker};
+use fastlive_core::{AnalysisError, FunctionLiveness, LivenessChecker};
 use fastlive_ir::{Function, Module};
 
+use crate::breaker::{BreakerConfig, DiskBreaker, HealthReport, Quarantine};
 use crate::cache::{CacheStats, FingerprintCache};
 use crate::fingerprint::CfgShape;
 use crate::persist::{LoadOutcome, PersistStore};
 use crate::session::EngineSession;
+use crate::vfs::{lock_recover, Vfs};
 
 /// Tuning knobs of an [`AnalysisEngine`].
 ///
@@ -58,6 +62,14 @@ pub struct EngineConfig {
     /// §5.2 precomputation. See [`persist`](crate::persist) for the
     /// format and corruption guarantees.
     pub persist_dir: Option<PathBuf>,
+    /// Degradation policy of the disk tier: the circuit breaker that
+    /// trips the tier open after consecutive I/O errors (and the
+    /// per-shape reject quarantine riding along). Irrelevant unless
+    /// [`persist_dir`](Self::persist_dir) is set. See
+    /// [`BreakerConfig`] and [`breaker`](crate::breaker) for the state
+    /// machine; observe it through
+    /// [`AnalysisEngine::health`](crate::AnalysisEngine::health).
+    pub disk_breaker: BreakerConfig,
 }
 
 /// The default is a non-zero configuration (auto threads, a 256-entry
@@ -71,6 +83,7 @@ impl Default for EngineConfig {
             cache_capacity: 256,
             stripes: 0,
             persist_dir: None,
+            disk_breaker: BreakerConfig::default(),
         }
     }
 }
@@ -127,7 +140,7 @@ impl EngineConfig {
 /// let a = module.by_name("a").unwrap();
 /// let v0 = module.func(a).params()[0];
 /// let entry = module.func(a).entry_block();
-/// assert!(!session.is_live_in(&module, a, v0, entry));
+/// assert!(!session.is_live_in(&module, a, v0, entry)?);
 ///
 /// // %a and %b are CFG-identical: one precomputation served both.
 /// assert_eq!(engine.cache_stats().hits, 1);
@@ -141,7 +154,23 @@ pub struct AnalysisEngine {
     stripes: Vec<Mutex<StripeState>>,
     /// The optional cross-process disk tier.
     store: Option<PersistStore>,
+    /// Circuit breaker over the disk tier: consecutive I/O errors trip
+    /// it open and the engine runs memory-only until a half-open probe
+    /// finds the disk recovered.
+    breaker: DiskBreaker,
+    /// Per-shape reject streaks: entries that keep failing validation
+    /// stop being probed.
+    quarantine: Quarantine,
+    /// Fault-injection hook: when set, runs at the top of every §5.2
+    /// precomputation (after both cache tiers missed). A panicking
+    /// hook exercises the abandon/retry machinery exactly like a
+    /// panicking precomputation would.
+    compute_fault: Mutex<Option<ComputeFaultHook>>,
 }
+
+/// The test-only compute-fault callback (see
+/// [`AnalysisEngine::set_compute_fault`]).
+pub type ComputeFaultHook = Box<dyn Fn(&CfgShape) + Send + Sync>;
 
 /// One stripe: cache segment plus the in-flight table, guarded by one
 /// mutex so a probe and its in-flight registration are atomic.
@@ -184,12 +213,10 @@ impl Drop for ComputeGuard<'_> {
         if self.completed {
             return;
         }
-        let mut st = self.engine.stripes[self.stripe]
-            .lock()
-            .expect("engine stripe poisoned");
+        let mut st = lock_recover(&self.engine.stripes[self.stripe]);
         st.in_flight.remove(&self.shape);
         drop(st);
-        *self.slot.state.lock().expect("slot poisoned") = SlotState::Abandoned;
+        *lock_recover(&self.slot.state) = SlotState::Abandoned;
         self.slot.cond.notify_all();
     }
 }
@@ -202,11 +229,30 @@ enum DiskOutcome {
     Hit,
     Miss,
     Reject,
+    /// The probe's I/O failed (EACCES/EIO/…): counted as
+    /// `disk_errors`, fed to the breaker, served memory-only.
+    Error,
+    /// The probe never touched the disk — breaker open or shape
+    /// quarantined. No `CacheStats` counter moves (the breaker's own
+    /// `probes_skipped` tracks it); the result was computed in memory.
+    Skipped,
 }
 
 impl AnalysisEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Like [`new`](Self::new), but the persistence tier performs all
+    /// of its I/O through `vfs` — the fault-injection seam (see
+    /// [`vfs`](crate::vfs)). No effect unless
+    /// [`EngineConfig::persist_dir`] is set.
+    pub fn with_vfs(config: EngineConfig, vfs: Arc<dyn Vfs>) -> Self {
+        Self::build(config, Some(vfs))
+    }
+
+    fn build(config: EngineConfig, vfs: Option<Arc<dyn Vfs>>) -> Self {
         let nstripes = if config.stripes == 0 {
             EngineConfig::DEFAULT_STRIPES
         } else {
@@ -227,10 +273,18 @@ impl AnalysisEngine {
                 })
             })
             .collect();
-        let store = config.persist_dir.as_ref().map(PersistStore::new);
+        let store = config.persist_dir.as_ref().map(|dir| match &vfs {
+            Some(v) => PersistStore::with_vfs(dir, Arc::clone(v)),
+            None => PersistStore::new(dir),
+        });
+        let breaker = DiskBreaker::new(config.disk_breaker.clone());
+        let quarantine = Quarantine::new(config.disk_breaker.quarantine_threshold);
         AnalysisEngine {
             stripes,
             store,
+            breaker,
+            quarantine,
+            compute_fault: Mutex::new(None),
             config,
         }
     }
@@ -257,10 +311,16 @@ impl AnalysisEngine {
     /// over the results. Functions are analyzed through the fingerprint
     /// cache, so CFG-identical functions (within this module or from
     /// any earlier analysis) share one precomputation.
+    ///
+    /// A function whose precomputation panics does not abort the run:
+    /// its slot carries the [`AnalysisError`] (surfaced by the
+    /// session's queries for that function), every other function
+    /// analyzes normally.
     pub fn analyze(&self, module: &Module) -> EngineSession<'_> {
+        type Slot = Result<(CfgShape, Arc<FunctionLiveness>), AnalysisError>;
         let n = module.len();
         let workers = self.worker_count(n);
-        let mut slots: Vec<Option<(CfgShape, Arc<FunctionLiveness>)>> = Vec::new();
+        let mut slots: Vec<Option<Slot>> = Vec::new();
         if workers <= 1 {
             slots.extend(
                 module
@@ -290,8 +350,14 @@ impl AnalysisEngine {
                     })
                     .collect();
                 for handle in handles {
-                    for (i, result) in handle.join().expect("analysis worker panicked") {
-                        slots[i] = Some(result);
+                    // A worker that died outside the per-function
+                    // catch_unwind (out of memory, a bug in the queue)
+                    // loses its claimed slots; those degrade to typed
+                    // errors below instead of aborting the session.
+                    if let Ok(done) = handle.join() {
+                        for (i, result) in done {
+                            slots[i] = Some(result);
+                        }
                     }
                 }
             });
@@ -301,7 +367,13 @@ impl AnalysisEngine {
             module,
             slots
                 .into_iter()
-                .map(|s| s.expect("every queue index was claimed by exactly one worker"))
+                .map(|s| {
+                    s.unwrap_or_else(|| {
+                        Err(AnalysisError::ComputePanicked {
+                            message: "analysis worker terminated before publishing".into(),
+                        })
+                    })
+                })
                 .collect(),
         )
     }
@@ -309,8 +381,11 @@ impl AnalysisEngine {
     /// Analysis for a single function, through the cache: a probe by
     /// CFG shape, computing and inserting on a miss. The returned
     /// handle may be shared with every other CFG-identical function.
-    pub fn analysis_for(&self, func: &Function) -> Arc<FunctionLiveness> {
-        self.shaped_analysis(func).1
+    ///
+    /// Errs (instead of unwinding) when the precomputation panics —
+    /// see [`AnalysisError::ComputePanicked`].
+    pub fn analysis_for(&self, func: &Function) -> Result<Arc<FunctionLiveness>, AnalysisError> {
+        self.shaped_analysis(func).map(|(_, live)| live)
     }
 
     /// [`analysis_for`](Self::analysis_for) that also hands back the
@@ -324,7 +399,17 @@ impl AnalysisEngine {
     /// the slot and adopt the result, counted as `dedup_hits`.
     /// Capacity 0 disables *caching* but not dedup — even then,
     /// concurrent same-shape probes share one computation.
-    pub(crate) fn shaped_analysis(&self, func: &Function) -> (CfgShape, Arc<FunctionLiveness>) {
+    ///
+    /// The resolution itself runs under `catch_unwind`: a panicking
+    /// precomputation abandons the in-flight slot (waiters retry and
+    /// get their own error, or succeed if the panic was transient) and
+    /// surfaces as [`AnalysisError::ComputePanicked`] — it never
+    /// crosses the engine boundary as an unwind, and with every lock
+    /// acquisition poison-recovering, it never wedges other stripes.
+    pub(crate) fn shaped_analysis(
+        &self,
+        func: &Function,
+    ) -> Result<(CfgShape, Arc<FunctionLiveness>), AnalysisError> {
         enum Role {
             Wait(Arc<InFlightSlot>),
             Compute(Arc<InFlightSlot>),
@@ -333,9 +418,9 @@ impl AnalysisEngine {
         let si = self.stripe_of(&shape);
         loop {
             let role = {
-                let mut st = self.stripes[si].lock().expect("engine stripe poisoned");
+                let mut st = lock_recover(&self.stripes[si]);
                 if let Some(live) = st.cache.probe(&shape) {
-                    return (shape, live);
+                    return Ok((shape, live));
                 }
                 if let Some(slot) = st.in_flight.get(&shape).map(Arc::clone) {
                     // The dedup hit is counted on *adoption*, not here:
@@ -355,11 +440,14 @@ impl AnalysisEngine {
                 // result instead of duplicating the work.
                 Role::Wait(slot) => {
                     let adopted = {
-                        let mut state = slot.state.lock().expect("slot poisoned");
+                        let mut state = lock_recover(&slot.state);
                         loop {
                             match &*state {
                                 SlotState::Pending => {
-                                    state = slot.cond.wait(state).expect("slot poisoned");
+                                    state = slot
+                                        .cond
+                                        .wait(state)
+                                        .unwrap_or_else(PoisonError::into_inner);
                                 }
                                 SlotState::Done(live) => break Some(Arc::clone(live)),
                                 SlotState::Abandoned => break None, // retry from the top
@@ -367,50 +455,77 @@ impl AnalysisEngine {
                         }
                     };
                     if let Some(live) = adopted {
-                        self.stripes[si]
-                            .lock()
-                            .expect("engine stripe poisoned")
-                            .cache
-                            .note_dedup_hit();
-                        return (shape, live);
+                        lock_recover(&self.stripes[si]).cache.note_dedup_hit();
+                        return Ok((shape, live));
                     }
                 }
                 // This worker owns the miss; the guard releases waiters
                 // if the load-or-compute unwinds.
                 Role::Compute(slot) => {
-                    let mut guard = ComputeGuard {
+                    let guard = ComputeGuard {
                         engine: self,
                         stripe: si,
                         shape: shape.clone(),
                         slot: Arc::clone(&slot),
                         completed: false,
                     };
-                    let (live, disk) = self.load_or_compute(&shape);
+                    // AssertUnwindSafe: on unwind, `guard` publishes
+                    // `Abandoned` and nothing partial survives — the
+                    // caches only ever see completed values.
+                    let outcome =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| self.load_or_compute(&shape)));
+                    let (live, disk) = match outcome {
+                        Ok(resolved) => resolved,
+                        Err(payload) => {
+                            // Dropping the guard abandons the slot and
+                            // releases waiters; the panic becomes a
+                            // typed per-function error.
+                            drop(guard);
+                            return Err(AnalysisError::ComputePanicked {
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                    };
+                    let mut guard = guard;
                     {
-                        let mut st = self.stripes[si].lock().expect("engine stripe poisoned");
+                        let mut st = lock_recover(&self.stripes[si]);
                         match disk {
-                            DiskOutcome::Disabled => {}
+                            DiskOutcome::Disabled | DiskOutcome::Skipped => {}
                             DiskOutcome::Hit => st.cache.note_disk_hit(),
                             DiskOutcome::Miss => st.cache.note_disk_miss(),
                             DiskOutcome::Reject => st.cache.note_disk_reject(),
+                            DiskOutcome::Error => st.cache.note_disk_error(),
                         }
                         st.cache.insert(shape.clone(), Arc::clone(&live));
                         st.in_flight.remove(&shape);
                     }
-                    *slot.state.lock().expect("slot poisoned") = SlotState::Done(Arc::clone(&live));
+                    *lock_recover(&slot.state) = SlotState::Done(Arc::clone(&live));
                     slot.cond.notify_all();
                     guard.completed = true;
                     // Write-through happens *after* waiters are
                     // released — disk I/O never extends the dedup
                     // critical path. A valid entry that was just read
                     // back is not rewritten; a rejected one is
-                    // overwritten with the recomputation.
+                    // overwritten with the recomputation. A *failed*
+                    // write never disturbs the computed result — it
+                    // only feeds `disk_errors` and the breaker.
                     if let (Some(store), DiskOutcome::Miss | DiskOutcome::Reject) =
                         (&self.store, &disk)
                     {
-                        store.save(&shape, live.checker().precomputation());
+                        match store.save(&shape, live.checker().precomputation()) {
+                            Ok(()) => {
+                                self.breaker.record_success_at(Instant::now());
+                                // A fresh valid entry is on disk: any
+                                // reject streak for this shape is over.
+                                self.quarantine.note_good(shape.hash64());
+                            }
+                            Err(_) => {
+                                self.breaker.record_failure_at(Instant::now());
+                                lock_recover(&self.stripes[si]).cache.note_disk_error();
+                            }
+                        }
                     }
-                    return (shape, live);
+                    return Ok((shape, live));
                 }
             }
         }
@@ -424,21 +539,92 @@ impl AnalysisEngine {
     /// function in any process (see [`persist`](crate::persist)).
     fn load_or_compute(&self, shape: &CfgShape) -> (Arc<FunctionLiveness>, DiskOutcome) {
         let compute = |outcome: DiskOutcome| {
+            self.fire_compute_fault(shape);
             let live = FunctionLiveness::from_checker(LivenessChecker::compute(&shape.to_graph()));
             (Arc::new(live), outcome)
         };
         let Some(store) = &self.store else {
             return compute(DiskOutcome::Disabled);
         };
+        // Degradation gates, cheapest first: a quarantined shape (its
+        // entry kept rejecting) and a tripped breaker (the device kept
+        // erroring) both skip the disk and compute memory-only.
+        if self.quarantine.is_quarantined(shape.hash64()) {
+            return compute(DiskOutcome::Skipped);
+        }
+        if !self.breaker.allow_at(Instant::now()) {
+            return compute(DiskOutcome::Skipped);
+        }
         match store.load(shape) {
-            LoadOutcome::Hit(pre) => match crate::persist::revive(shape, pre) {
-                Some(live) => (Arc::new(live), DiskOutcome::Hit),
-                // Decoded but dimensionally wrong for the canonical
-                // graph: same degradation as any other bad entry.
-                None => compute(DiskOutcome::Reject),
-            },
-            LoadOutcome::Absent => compute(DiskOutcome::Miss),
-            LoadOutcome::Reject => compute(DiskOutcome::Reject),
+            LoadOutcome::Hit(pre) => {
+                self.breaker.record_success_at(Instant::now());
+                match crate::persist::revive(shape, pre) {
+                    Some(live) => {
+                        self.quarantine.note_good(shape.hash64());
+                        (Arc::new(live), DiskOutcome::Hit)
+                    }
+                    // Decoded but dimensionally wrong for the canonical
+                    // graph: same degradation as any other bad entry.
+                    None => {
+                        self.quarantine.note_reject(shape.hash64());
+                        compute(DiskOutcome::Reject)
+                    }
+                }
+            }
+            LoadOutcome::Absent => {
+                // The disk answered (even if with "nothing there"):
+                // the device is healthy.
+                self.breaker.record_success_at(Instant::now());
+                compute(DiskOutcome::Miss)
+            }
+            LoadOutcome::Reject => {
+                self.breaker.record_success_at(Instant::now());
+                self.quarantine.note_reject(shape.hash64());
+                compute(DiskOutcome::Reject)
+            }
+            LoadOutcome::Error(_) => {
+                self.breaker.record_failure_at(Instant::now());
+                compute(DiskOutcome::Error)
+            }
+        }
+    }
+
+    /// Installs (or clears, with `None`) the compute-fault hook: a
+    /// callback invoked at the top of every §5.2 precomputation, i.e.
+    /// only after both cache tiers missed. **A fault-injection seam
+    /// for tests** — a hook that panics for selected shapes exercises
+    /// the panic-isolation path (slot abandonment, waiter retry, typed
+    /// [`AnalysisError`]s) exactly as a real panicking precompute
+    /// would. Production code has no reason to call this.
+    pub fn set_compute_fault(&self, hook: Option<ComputeFaultHook>) {
+        *lock_recover(&self.compute_fault) = hook;
+    }
+
+    fn fire_compute_fault(&self, shape: &CfgShape) {
+        // The guard is held across the call: if the hook panics the
+        // mutex poisons, which every other acquisition recovers from.
+        let hook = lock_recover(&self.compute_fault);
+        if let Some(hook) = hook.as_ref() {
+            hook(shape);
+        }
+    }
+
+    /// A point-in-time health snapshot: breaker state and counters,
+    /// quarantine size, and the cumulative [`CacheStats`] (including
+    /// `disk_errors`). This is the observability surface of graceful
+    /// degradation — a long-running host polls it to notice the disk
+    /// tier tripping open and restoring.
+    pub fn health(&self) -> HealthReport {
+        let (state, trips, restores, skipped, streak) = self.breaker.snapshot();
+        HealthReport {
+            persist_configured: self.store.is_some(),
+            disk_state: state,
+            disk_trips: trips,
+            disk_restores: restores,
+            disk_probes_skipped: skipped,
+            consecutive_disk_failures: streak,
+            quarantined_shapes: self.quarantine.len(),
+            cache: self.cache_stats(),
         }
     }
 
@@ -456,7 +642,7 @@ impl AnalysisEngine {
     pub fn stripe_stats(&self) -> Vec<CacheStats> {
         self.stripes
             .iter()
-            .map(|s| s.lock().expect("engine stripe poisoned").cache.stats())
+            .map(|s| lock_recover(s).cache.stats())
             .collect()
     }
 
@@ -481,12 +667,13 @@ impl AnalysisEngine {
     pub fn cache_len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|s| s.lock().expect("engine stripe poisoned").cache.len())
+            .map(|s| lock_recover(s).cache.len())
             .sum()
     }
 
     /// Resolved worker count for a module of `n` functions (shared
-    /// with the module-destruction driver).
+    /// with the module-destruction driver, which also reuses
+    /// [`panic_message`] for its own catch_unwind).
     pub(crate) fn worker_count(&self, n: usize) -> usize {
         let configured = if self.config.threads == 0 {
             std::thread::available_parallelism()
@@ -496,6 +683,19 @@ impl AnalysisEngine {
             self.config.threads
         };
         configured.clamp(1, n.max(1))
+    }
+}
+
+/// Stringifies a `catch_unwind` payload: `&str` and `String` payloads
+/// (what `panic!` produces) come through verbatim, anything else
+/// becomes a placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
     }
 }
 
@@ -532,7 +732,7 @@ mod tests {
         let c = module.by_name("c").unwrap();
         let v0 = module.func(c).params()[0];
         let b1 = module.func(c).block_by_index(1);
-        assert!(session.is_live_in(&module, c, v0, b1));
+        assert!(session.is_live_in(&module, c, v0, b1).unwrap());
     }
 
     #[test]
@@ -550,7 +750,7 @@ mod tests {
                     for b in func.blocks() {
                         let expect = FunctionLiveness::compute(func).is_live_in(func, v, b);
                         assert_eq!(
-                            session.is_live_in(&module, id, v, b),
+                            session.is_live_in(&module, id, v, b).unwrap(),
                             expect,
                             "threads={threads} {} {v} {b}",
                             func.name
@@ -591,7 +791,7 @@ mod tests {
                 .map(|_| {
                     scope.spawn(|| {
                         barrier.wait();
-                        engine.analysis_for(&func)
+                        engine.analysis_for(&func).expect("no injected faults")
                     })
                 })
                 .collect();
@@ -632,7 +832,7 @@ mod tests {
             for _ in 0..N {
                 scope.spawn(|| {
                     barrier.wait();
-                    engine.analysis_for(&func)
+                    engine.analysis_for(&func).expect("no injected faults")
                 });
             }
         });

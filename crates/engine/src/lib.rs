@@ -86,20 +86,23 @@
 //! let count = module.by_name("count").unwrap();
 //! let v0 = module.func(count).params()[0];
 //! let block1 = module.func(count).block_by_index(1);
-//! assert!(session.is_live_in(&module, count, v0, block1));
+//! assert!(session.is_live_in(&module, count, v0, block1)?);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 mod cache;
 mod driver;
 mod engine;
 mod fingerprint;
 pub mod persist;
 mod session;
+pub mod vfs;
 
+pub use breaker::{BreakerConfig, BreakerState, HealthReport};
 pub use cache::CacheStats;
 pub use engine::{AnalysisEngine, EngineConfig};
 pub use fingerprint::CfgShape;

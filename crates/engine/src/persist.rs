@@ -39,6 +39,15 @@
 //! recomputation; it can never produce a wrong liveness answer or a
 //! panic.
 //!
+//! Invalid *bytes* and failing *I/O* are distinct outcomes: a reject
+//! ([`LoadOutcome::Reject`]) means the disk worked and the file is the
+//! problem (overwrite it); an error ([`LoadOutcome::Error`]) means the
+//! device is the problem (EACCES, EIO, ENOSPC — counted as
+//! `disk_errors`, and repeated errors trip the engine's disk circuit
+//! breaker instead of hammering a dead disk). Every I/O goes through
+//! the [`Vfs`] seam, so both families are reproducible in tests via
+//! [`FaultVfs`](crate::vfs::FaultVfs) fault scripts.
+//!
 //! Writes go through a unique temporary file followed by an atomic
 //! rename, so concurrent processes racing on one shape publish one
 //! complete file each — a reader sees either a whole entry or none.
@@ -64,12 +73,15 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::SystemTime;
 
 use fastlive_bitset::BitMatrix;
 use fastlive_cfg::{DfsTree, DomTree};
 use fastlive_core::{FunctionLiveness, LivenessChecker, Precomputation};
 
 use crate::fingerprint::CfgShape;
+use crate::vfs::{StdVfs, Vfs};
 
 /// First four bytes of every cache file.
 pub const MAGIC: [u8; 4] = *b"FLPC";
@@ -266,6 +278,16 @@ pub struct GcStats {
 }
 
 /// What a [`PersistStore::load`] probe found.
+///
+/// `Reject` and `Error` are deliberately distinct outcomes: a reject
+/// means the *disk worked* but the bytes were invalid (corruption,
+/// version crossing, hash collision — recompute and overwrite, the
+/// file is the problem); an error means the *I/O itself failed*
+/// (EACCES, EIO, a detached volume — the device is the problem, and
+/// repeated errors should trip the engine's disk circuit breaker
+/// rather than hammer a dead disk). The engine accounts them as
+/// `disk_rejects` vs `disk_errors` in
+/// [`CacheStats`](crate::CacheStats).
 #[derive(Debug)]
 pub enum LoadOutcome {
     /// A valid entry for exactly this shape.
@@ -276,15 +298,22 @@ pub enum LoadOutcome {
     /// version-crossed, or a hash-collided entry for a different
     /// shape). The caller recomputes and overwrites.
     Reject,
+    /// The probe's I/O failed with something other than "not found" —
+    /// the payload is the underlying error. The caller recomputes
+    /// (never bubbles the failure into an answer) and feeds the error
+    /// to its disk-health tracking.
+    Error(std::io::Error),
 }
 
 /// The cross-process store: one directory, one file per fingerprint.
 ///
 /// All operations degrade instead of failing: a missing file is
-/// [`Absent`](LoadOutcome::Absent), an unreadable or invalid one is
-/// [`Reject`](LoadOutcome::Reject), and a failed write is dropped
-/// silently (the cache is an accelerator, not a database). See the
-/// module docs for format and corruption policy.
+/// [`Absent`](LoadOutcome::Absent), an invalid one is
+/// [`Reject`](LoadOutcome::Reject), failing I/O is
+/// [`Error`](LoadOutcome::Error) (reported, never bubbled into an
+/// answer), and a failed write returns its error without disturbing
+/// the computed result (the cache is an accelerator, not a database).
+/// See the module docs for format and corruption policy.
 ///
 /// # Examples
 ///
@@ -301,13 +330,17 @@ pub enum LoadOutcome {
 /// assert!(matches!(store.load(&shape), LoadOutcome::Absent));
 ///
 /// let checker = fastlive_core::LivenessChecker::compute(&shape.to_graph());
-/// store.save(&shape, checker.precomputation());
+/// store.save(&shape, checker.precomputation())?;
 /// assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
 /// # std::fs::remove_dir_all(&dir).ok();
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct PersistStore {
     dir: PathBuf,
+    /// The filesystem seam: every I/O of the store goes through this
+    /// handle, so tests swap in a [`FaultVfs`](crate::vfs::FaultVfs)
+    /// and script ENOSPC storms or torn writes deterministically.
+    vfs: Arc<dyn Vfs>,
 }
 
 /// Distinguishes concurrent writers' temp files within one process;
@@ -348,12 +381,19 @@ fn is_entry_name(name: &str) -> bool {
 
 impl PersistStore {
     /// Opens (creating if needed, best-effort) a store rooted at `dir`
-    /// and sweeps temp files orphaned by crashed writers.
+    /// on the real filesystem and sweeps temp files orphaned by
+    /// crashed writers.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self::with_vfs(dir, Arc::new(StdVfs))
+    }
+
+    /// Like [`new`](Self::new), but every I/O goes through `vfs` — the
+    /// fault-injection seam (see [`vfs`](crate::vfs)).
+    pub fn with_vfs(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Self {
         let dir = dir.into();
-        let _ = std::fs::create_dir_all(&dir);
-        Self::sweep_stale_tmp(&dir);
-        PersistStore { dir }
+        let _ = vfs.create_dir_all(&dir);
+        Self::sweep_stale_tmp(&dir, vfs.as_ref());
+        PersistStore { dir, vfs }
     }
 
     /// Deletes temp files old enough that their writer is surely gone
@@ -364,24 +404,26 @@ impl PersistStore {
     /// keeps a concurrent, still-live writer's file safe; everything
     /// is best-effort — a failed sweep costs disk space, never
     /// correctness.
-    fn sweep_stale_tmp(dir: &Path) {
+    fn sweep_stale_tmp(dir: &Path, vfs: &dyn Vfs) {
         const STALE_AFTER: std::time::Duration = std::time::Duration::from_secs(600);
-        let Ok(entries) = std::fs::read_dir(dir) else {
+        let Ok(entries) = vfs.read_dir(dir) else {
             return;
         };
-        for entry in entries.flatten() {
-            let name = entry.file_name();
+        for path in entries {
+            let Some(name) = path.file_name() else {
+                continue;
+            };
             if !is_own_tmp_name(&name.to_string_lossy()) {
                 continue;
             }
-            let stale = entry
-                .metadata()
-                .and_then(|m| m.modified())
+            let stale = vfs
+                .metadata(&path)
                 .ok()
+                .and_then(|m| m.modified)
                 .and_then(|t| t.elapsed().ok())
                 .is_some_and(|age| age > STALE_AFTER);
             if stale {
-                let _ = std::fs::remove_file(entry.path());
+                let _ = vfs.remove_file(&path);
             }
         }
     }
@@ -397,7 +439,11 @@ impl PersistStore {
             .join(format!("{:016x}.{FILE_EXTENSION}", shape.hash64()))
     }
 
-    /// Probes the store for `shape`'s precomputation.
+    /// Probes the store for `shape`'s precomputation. Every failure
+    /// mode is classified (see [`LoadOutcome`]): missing file →
+    /// `Absent`, invalid bytes → `Reject`, failing I/O → `Error` —
+    /// the caller always gets an answer it can degrade on, never a
+    /// panic.
     pub fn load(&self, shape: &CfgShape) -> LoadOutcome {
         let path = self.entry_path(shape);
         // Cheap size gate before reading: a valid entry for this shape
@@ -405,17 +451,19 @@ impl PersistStore {
         // the block count), so an absurdly large file — filesystem
         // corruption, a zero-extended blob — is rejected on metadata
         // alone instead of being slurped and CRC-scanned.
-        match std::fs::metadata(&path) {
-            Ok(meta) if meta.len() > Self::max_entry_len(shape) => return LoadOutcome::Reject,
+        match self.vfs.metadata(&path) {
+            Ok(meta) if meta.len > Self::max_entry_len(shape) => return LoadOutcome::Reject,
             Ok(_) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
-            Err(_) => return LoadOutcome::Reject,
+            // A failing stat is the disk's fault, not the file's:
+            // classify as an I/O error so the breaker sees it.
+            Err(e) => return LoadOutcome::Error(e),
         }
-        let bytes = match std::fs::read(&path) {
+        let bytes = match self.vfs.read(&path) {
             Ok(bytes) => bytes,
+            // Deleted between stat and read (a racing GC): clean miss.
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
-            // Unreadable counts as reject: a file is there but useless.
-            Err(_) => return LoadOutcome::Reject,
+            Err(e) => return LoadOutcome::Error(e),
         };
         match decode(shape, &bytes) {
             Some(pre) => LoadOutcome::Hit(pre),
@@ -434,9 +482,13 @@ impl PersistStore {
     }
 
     /// Writes (or overwrites) `shape`'s entry atomically: encode to a
-    /// unique temp file, then rename into place. Returns `false` — and
-    /// leaves no partial entry behind — on any I/O failure.
-    pub fn save(&self, shape: &CfgShape, pre: &Precomputation) -> bool {
+    /// unique temp file, then rename into place. On any I/O failure
+    /// the temp file is removed (best-effort), no partial entry is
+    /// left behind, and the underlying error is returned — the caller
+    /// keeps its freshly computed result either way (a failed
+    /// write-through **never** invalidates a successful computation;
+    /// it only feeds disk-health accounting).
+    pub fn save(&self, shape: &CfgShape, pre: &Precomputation) -> Result<(), std::io::Error> {
         let bytes = encode(shape, pre);
         let final_path = self.entry_path(shape);
         let tmp_path = self.dir.join(format!(
@@ -445,15 +497,15 @@ impl PersistStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        if std::fs::write(&tmp_path, &bytes).is_err() {
-            let _ = std::fs::remove_file(&tmp_path);
-            return false;
+        if let Err(e) = self.vfs.write(&tmp_path, &bytes) {
+            let _ = self.vfs.remove_file(&tmp_path);
+            return Err(e);
         }
-        if std::fs::rename(&tmp_path, &final_path).is_err() {
-            let _ = std::fs::remove_file(&tmp_path);
-            return false;
+        if let Err(e) = self.vfs.rename(&tmp_path, &final_path) {
+            let _ = self.vfs.remove_file(&tmp_path);
+            return Err(e);
         }
-        true
+        Ok(())
     }
 
     /// Evicts cache entries: everything older than `max_age` (when
@@ -461,6 +513,13 @@ impl PersistStore {
     /// most `max_entries` remain. Age and rank are read from file
     /// modification times — a write-through refreshes an entry's
     /// stamp, so "oldest" approximates "least recently recomputed".
+    ///
+    /// **Unreadable-mtime policy**: an entry whose modification time
+    /// cannot be stat'd (`mtime = None`) is treated as *infinitely
+    /// old* — it is expired by **any** `max_age` and sorts first under
+    /// entry pressure. A file whose metadata cannot even be read is
+    /// the least trustworthy thing in the store, and evicting it errs
+    /// toward recomputation — the always-safe direction.
     ///
     /// Deleting **any** entry is always safe: the next probe of that
     /// shape degrades to one clean `disk_misses` recomputation whose
@@ -470,30 +529,28 @@ impl PersistStore {
     /// in a shared directory survives, and every deletion is
     /// best-effort (an undeletable entry is counted as retained).
     pub fn gc(&self, max_entries: usize, max_age: Option<std::time::Duration>) -> GcStats {
-        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+        let Ok(entries) = self.vfs.read_dir(&self.dir) else {
             return GcStats::default();
         };
         let mut removed = 0usize;
-        let mut kept: Vec<(PathBuf, std::time::SystemTime)> = Vec::new();
-        for entry in entries.flatten() {
-            if !is_entry_name(&entry.file_name().to_string_lossy()) {
+        // `None` mtime = infinitely old; `Option<SystemTime>` orders
+        // `None` before every `Some`, so the default sort already puts
+        // unreadable entries first in the eviction queue.
+        let mut kept: Vec<(PathBuf, Option<SystemTime>)> = Vec::new();
+        for path in entries {
+            let Some(name) = path.file_name() else {
+                continue;
+            };
+            if !is_entry_name(&name.to_string_lossy()) {
                 continue;
             }
-            let path = entry.path();
-            // A stat failure reads as "infinitely old": the entry is
-            // first in line under entry pressure, which errs toward
-            // recomputation — the always-safe direction.
-            let mtime = entry
-                .metadata()
-                .and_then(|m| m.modified())
-                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-            let expired = max_age.is_some_and(|age| {
-                mtime
-                    .elapsed()
-                    .map(|elapsed| elapsed > age)
-                    .unwrap_or(false)
+            let mtime = self.vfs.metadata(&path).ok().and_then(|m| m.modified);
+            let expired = max_age.is_some_and(|age| match mtime {
+                // Infinitely old: expired under any age bound.
+                None => true,
+                Some(t) => t.elapsed().map(|elapsed| elapsed > age).unwrap_or(false),
             });
-            if expired && std::fs::remove_file(&path).is_ok() {
+            if expired && self.vfs.remove_file(&path).is_ok() {
                 removed += 1;
             } else {
                 kept.push((path, mtime));
@@ -503,7 +560,7 @@ impl PersistStore {
         let excess = kept.len().saturating_sub(max_entries);
         let mut retained = kept.len() - excess;
         for (path, _) in kept.into_iter().take(excess) {
-            if std::fs::remove_file(&path).is_ok() {
+            if self.vfs.remove_file(&path).is_ok() {
                 removed += 1;
             } else {
                 retained += 1;
@@ -560,7 +617,7 @@ mod tests {
         let mut shapes = Vec::new();
         for (i, src) in sources.iter().enumerate() {
             let (shape, pre) = shape_and_pre(src);
-            assert!(store.save(&shape, &pre));
+            assert!(store.save(&shape, &pre).is_ok());
             // Space the mtimes out so "oldest" is deterministic even on
             // coarse-grained filesystems.
             let t = std::time::SystemTime::UNIX_EPOCH
@@ -653,7 +710,7 @@ mod tests {
         let store = PersistStore::new(&dir);
         let (shape, pre) = shape_and_pre(LOOP_SRC);
         assert!(matches!(store.load(&shape), LoadOutcome::Absent));
-        assert!(store.save(&shape, &pre));
+        assert!(store.save(&shape, &pre).is_ok());
         match store.load(&shape) {
             LoadOutcome::Hit(back) => assert_eq!(back, pre),
             other => panic!("expected hit, got {other:?}"),
@@ -662,7 +719,7 @@ mod tests {
         // again repairs it.
         std::fs::write(store.entry_path(&shape), b"garbage").unwrap();
         assert!(matches!(store.load(&shape), LoadOutcome::Reject));
-        assert!(store.save(&shape, &pre));
+        assert!(store.save(&shape, &pre).is_ok());
         assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
         // An absurdly oversized file is rejected on metadata alone
         // (the size gate — no multi-gigabyte slurp before validation).
@@ -671,6 +728,127 @@ mod tests {
         huge.resize(valid.len() + 4096, 0);
         std::fs::write(store.entry_path(&shape), &huge).unwrap();
         assert!(matches!(store.load(&shape), LoadOutcome::Reject));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_classifies_io_failures_as_errors_not_rejects() {
+        use crate::vfs::{Fault, FaultRule, FaultVfs, OpKind};
+        let dir = std::env::temp_dir().join(format!(
+            "fastlive-persist-err-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let fv = Arc::new(FaultVfs::healthy());
+        let store = PersistStore::with_vfs(&dir, fv.clone());
+        let (shape, pre) = shape_and_pre(LOOP_SRC);
+        assert!(store.save(&shape, &pre).is_ok());
+
+        // A failing stat is an Error (the device's fault), not Reject.
+        fv.set_rules(vec![FaultRule::every(OpKind::Metadata, Fault::eacces())]);
+        match store.load(&shape) {
+            LoadOutcome::Error(e) => assert_eq!(e.raw_os_error(), Some(13)),
+            other => panic!("expected Error(EACCES), got {other:?}"),
+        }
+
+        // A failing read (after a clean stat) likewise.
+        fv.set_rules(vec![FaultRule::every(OpKind::Read, Fault::eio())]);
+        match store.load(&shape) {
+            LoadOutcome::Error(e) => assert_eq!(e.raw_os_error(), Some(5)),
+            other => panic!("expected Error(EIO), got {other:?}"),
+        }
+
+        // Faults cleared: the entry was never harmed.
+        fv.set_rules(Vec::new());
+        assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_failure_leaves_no_partial_entry() {
+        use crate::vfs::{Fault, FaultRule, FaultVfs, OpKind};
+        let dir = std::env::temp_dir().join(format!(
+            "fastlive-persist-enospc-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let fv = Arc::new(FaultVfs::healthy());
+        let store = PersistStore::with_vfs(&dir, fv.clone());
+        let (shape, pre) = shape_and_pre(LOOP_SRC);
+
+        // ENOSPC on the tmp write: error surfaces, nothing published.
+        fv.set_rules(vec![FaultRule::every(OpKind::Write, Fault::enospc())]);
+        let err = store.save(&shape, &pre).expect_err("write faulted");
+        assert_eq!(err.raw_os_error(), Some(28));
+        fv.set_rules(Vec::new());
+        assert!(matches!(store.load(&shape), LoadOutcome::Absent));
+
+        // EIO on the rename: tmp cleaned up best-effort, still absent.
+        fv.set_rules(vec![FaultRule::every(OpKind::Rename, Fault::eio())]);
+        assert!(store.save(&shape, &pre).is_err());
+        fv.set_rules(Vec::new());
+        assert!(matches!(store.load(&shape), LoadOutcome::Absent));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .map(|rd| rd.flatten().map(|e| e.file_name()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+
+        // Disk healed: the same save now lands.
+        assert!(store.save(&shape, &pre).is_ok());
+        assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_treats_unreadable_mtime_as_infinitely_old() {
+        use crate::vfs::{Fault, FaultRule, FaultVfs, OpKind};
+        let dir = std::env::temp_dir().join(format!(
+            "fastlive-persist-gcmtime-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let fv = Arc::new(FaultVfs::healthy());
+        let store = PersistStore::with_vfs(&dir, fv.clone());
+        let (shape_a, pre_a) = shape_and_pre(LOOP_SRC);
+        let (shape_b, pre_b) = shape_and_pre("function %g { block0: return }");
+        assert!(store.save(&shape_a, &pre_a).is_ok());
+        assert!(store.save(&shape_b, &pre_b).is_ok());
+        let a_name = format!("{:016x}", shape_a.hash64());
+
+        // Make `a`'s mtime unreadable: under entry pressure it must be
+        // the *first* evicted even though it is not actually older.
+        fv.set_rules(vec![
+            FaultRule::every(OpKind::Metadata, Fault::eio()).on_paths(&a_name)
+        ]);
+        let stats = store.gc(1, None);
+        assert_eq!(
+            stats,
+            GcStats {
+                retained: 1,
+                removed: 1
+            }
+        );
+        fv.set_rules(Vec::new());
+        assert!(matches!(store.load(&shape_a), LoadOutcome::Absent));
+        assert!(matches!(store.load(&shape_b), LoadOutcome::Hit(_)));
+
+        // And under an age bound, unreadable = expired by *any* age —
+        // even one generous enough to keep every readable entry.
+        assert!(store.save(&shape_a, &pre_a).is_ok());
+        fv.set_rules(vec![
+            FaultRule::every(OpKind::Metadata, Fault::eio()).on_paths(&a_name)
+        ]);
+        let stats = store.gc(usize::MAX, Some(std::time::Duration::from_secs(3600)));
+        assert_eq!(
+            stats,
+            GcStats {
+                retained: 1,
+                removed: 1
+            }
+        );
+        fv.set_rules(Vec::new());
+        assert!(matches!(store.load(&shape_a), LoadOutcome::Absent));
+        assert!(matches!(store.load(&shape_b), LoadOutcome::Hit(_)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,23 +3,34 @@
 
 use std::sync::Arc;
 
-use fastlive_core::{BatchLiveness, FunctionLiveness, PointError};
+use fastlive_core::{AnalysisError, BatchLiveness, FunctionLiveness};
 use fastlive_ir::{Block, FuncId, Module, ProgramPoint, Value};
 
 use crate::engine::AnalysisEngine;
 use crate::fingerprint::CfgShape;
 
-struct SessionEntry {
+/// A successfully analyzed function's state.
+struct ReadyEntry {
     live: Arc<FunctionLiveness>,
     /// Fingerprint the current `live` was computed (or cache-resolved)
     /// under — the exact-revalidation baseline.
     shape: CfgShape,
+}
+
+struct SessionEntry {
+    /// The function's analysis, or the typed error its most recent
+    /// (re)computation ended in. An `Err` entry is **retried on the
+    /// next query** — a transient failure (a panic injected by a fault
+    /// campaign, a worker lost mid-analyze) self-heals instead of
+    /// pinning the function to its first bad outcome.
+    ready: Result<ReadyEntry, AnalysisError>,
     /// [`Function::cfg_version`](fastlive_ir::Function::cfg_version)
-    /// observed when `live` was (re)validated — the O(1) per-query
+    /// observed when `ready` was (re)validated — the O(1) per-query
     /// staleness signal.
     cfg_version: u64,
     /// How many times this function's analysis was recomputed since the
-    /// session started. Bumps exactly when a CFG change is detected.
+    /// session started. Bumps per recomputation *attempt* triggered by
+    /// a detected CFG change or a retried failure.
     epoch: u64,
 }
 
@@ -52,6 +63,15 @@ struct SessionEntry {
 /// Queries take the module by reference on every call, so the module
 /// stays freely editable between queries — the session never borrows
 /// it.
+///
+/// # Errors
+///
+/// Every query returns `Result<_, AnalysisError>`: a function whose
+/// precomputation panicked (or whose point query hit a detached
+/// definition) answers with a typed error instead of unwinding into
+/// the caller, and every *other* function of the session keeps
+/// answering normally — per-function isolation is the degradation
+/// contract. Failed entries are retried on their next query.
 pub struct EngineSession<'e> {
     engine: &'e AnalysisEngine,
     entries: Vec<SessionEntry>,
@@ -61,16 +81,15 @@ impl<'e> EngineSession<'e> {
     pub(crate) fn new(
         engine: &'e AnalysisEngine,
         module: &Module,
-        lives: Vec<(CfgShape, Arc<FunctionLiveness>)>,
+        lives: Vec<Result<(CfgShape, Arc<FunctionLiveness>), AnalysisError>>,
     ) -> Self {
         EngineSession {
             engine,
             entries: lives
                 .into_iter()
                 .zip(module.functions())
-                .map(|((shape, live), func)| SessionEntry {
-                    live,
-                    shape,
+                .map(|(result, func)| SessionEntry {
+                    ready: result.map(|(shape, live)| ReadyEntry { live, shape }),
                     cfg_version: func.cfg_version(),
                     epoch: 0,
                 })
@@ -85,7 +104,8 @@ impl<'e> EngineSession<'e> {
     }
 
     /// The recomputation epoch of `func`: 0 until its CFG first
-    /// changes, +1 per detected invalidation since.
+    /// changes, +1 per detected invalidation (or retried failure)
+    /// since.
     ///
     /// # Panics
     ///
@@ -109,21 +129,36 @@ impl<'e> EngineSession<'e> {
     /// # Panics
     ///
     /// Panics if `func` is out of range for the analyzed module.
-    pub fn analysis(&mut self, module: &Module, func: FuncId) -> Arc<FunctionLiveness> {
+    pub fn analysis(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+    ) -> Result<Arc<FunctionLiveness>, AnalysisError> {
         self.refresh(module, func);
-        Arc::clone(&self.entries[func].live)
+        match &self.entries[func].ready {
+            Ok(r) => Ok(Arc::clone(&r.live)),
+            Err(e) => Err(e.clone()),
+        }
     }
 
     /// Is `v` live-in at block `q` of `module.func(func)`? Exact for
     /// the function's current state; transparently recomputes if the
-    /// CFG changed.
+    /// CFG changed. Errs if the function's analysis failed (see the
+    /// [type docs](EngineSession#errors)).
     ///
     /// # Panics
     ///
     /// Panics if `func` is out of range.
-    pub fn is_live_in(&mut self, module: &Module, func: FuncId, v: Value, q: Block) -> bool {
-        self.refresh(module, func);
-        self.entries[func].live.is_live_in(module.func(func), v, q)
+    pub fn is_live_in(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+        v: Value,
+        q: Block,
+    ) -> Result<bool, AnalysisError> {
+        Ok(self
+            .analysis(module, func)?
+            .is_live_in(module.func(func), v, q))
     }
 
     /// Is `v` live-out at block `q` of `module.func(func)`?
@@ -131,9 +166,16 @@ impl<'e> EngineSession<'e> {
     /// # Panics
     ///
     /// Panics if `func` is out of range.
-    pub fn is_live_out(&mut self, module: &Module, func: FuncId, v: Value, q: Block) -> bool {
-        self.refresh(module, func);
-        self.entries[func].live.is_live_out(module.func(func), v, q)
+    pub fn is_live_out(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+        v: Value,
+        q: Block,
+    ) -> Result<bool, AnalysisError> {
+        Ok(self
+            .analysis(module, func)?
+            .is_live_out(module.func(func), v, q))
     }
 
     /// Is `v` live at program point `p` of `module.func(func)` — the
@@ -148,8 +190,9 @@ impl<'e> EngineSession<'e> {
     /// freshness rules as block queries apply (instruction edits are
     /// free, CFG edits recompute transparently).
     ///
-    /// Errs with [`PointError::DefinitionRemoved`] when `v`'s defining
-    /// instruction has been removed.
+    /// Errs with
+    /// [`AnalysisError::Point`]`(`[`PointError::DefinitionRemoved`](fastlive_core::PointError::DefinitionRemoved)`)`
+    /// when `v`'s defining instruction has been removed.
     ///
     /// # Panics
     ///
@@ -160,9 +203,10 @@ impl<'e> EngineSession<'e> {
         func: FuncId,
         v: Value,
         p: ProgramPoint,
-    ) -> Result<bool, PointError> {
-        self.refresh(module, func);
-        self.entries[func].live.is_live_at(module.func(func), v, p)
+    ) -> Result<bool, AnalysisError> {
+        Ok(self
+            .analysis(module, func)?
+            .is_live_at(module.func(func), v, p)?)
     }
 
     /// Is `v` live just after its own definition point (the Budimlić
@@ -176,11 +220,10 @@ impl<'e> EngineSession<'e> {
         module: &Module,
         func: FuncId,
         v: Value,
-    ) -> Result<bool, PointError> {
-        self.refresh(module, func);
-        self.entries[func]
-            .live
-            .is_live_after_def(module.func(func), v)
+    ) -> Result<bool, AnalysisError> {
+        Ok(self
+            .analysis(module, func)?
+            .is_live_after_def(module.func(func), v)?)
     }
 
     /// Dense route for whole-function consumers: live-in/live-out bit
@@ -193,16 +236,16 @@ impl<'e> EngineSession<'e> {
     /// # Panics
     ///
     /// Panics if `func` is out of range.
-    pub fn batch(&mut self, module: &Module, func: FuncId) -> BatchLiveness {
-        self.refresh(module, func);
-        self.entries[func].live.batch(module.func(func))
+    pub fn batch(&mut self, module: &Module, func: FuncId) -> Result<BatchLiveness, AnalysisError> {
+        Ok(self.analysis(module, func)?.batch(module.func(func)))
     }
 
     /// Exact revalidation: recomputes the function's [`CfgShape`] and,
     /// on any structural difference from the shape the current analysis
     /// was built for, recomputes through the engine (bumping the
-    /// epoch). Needed only after replacing a function wholesale; plain
-    /// mutator-driven edits are caught by the per-query check.
+    /// epoch). A failed entry always recomputes. Needed only after
+    /// replacing a function wholesale; plain mutator-driven edits are
+    /// caught by the per-query check.
     ///
     /// Returns `true` if the analysis was recomputed.
     ///
@@ -212,38 +255,45 @@ impl<'e> EngineSession<'e> {
     pub fn revalidate(&mut self, module: &Module, func: FuncId) -> bool {
         let current = module.func(func);
         let shape = CfgShape::of(current);
-        if shape == self.entries[func].shape {
-            // Structurally unchanged: adopt the (possibly different)
-            // version counter so later queries don't recompute for a
-            // CFG that is provably the same.
-            self.entries[func].cfg_version = current.cfg_version();
-            return false;
+        match &self.entries[func].ready {
+            Ok(r) if shape == r.shape => {
+                // Structurally unchanged: adopt the (possibly
+                // different) version counter so later queries don't
+                // recompute for a CFG that is provably the same.
+                self.entries[func].cfg_version = current.cfg_version();
+                false
+            }
+            _ => {
+                self.recompute(module, func);
+                true
+            }
         }
-        self.recompute(module, func);
-        true
     }
 
     /// The O(1) per-query freshness check: the function's CFG-version
     /// counter moved ⇒ a block/edge mutation happened ⇒ recompute
     /// (through the cache, so a shape-preserving rewire that round-trips
-    /// to a known fingerprint is still cheap).
+    /// to a known fingerprint is still cheap). A failed entry is always
+    /// stale: queries keep retrying it until it computes.
     fn refresh(&mut self, module: &Module, func: FuncId) {
         let current = module.func(func);
+        let entry = &self.entries[func];
         // Block count is a backstop for wholesale replacement, where
         // the new object's own version counter may coincide with the
         // recorded one (see `revalidate` for the exact check).
-        if self.entries[func].cfg_version != current.cfg_version()
-            || !self.entries[func].live.is_current_for(current)
-        {
+        let stale = match &entry.ready {
+            Ok(r) => entry.cfg_version != current.cfg_version() || !r.live.is_current_for(current),
+            Err(_) => true,
+        };
+        if stale {
             self.recompute(module, func);
         }
     }
 
     fn recompute(&mut self, module: &Module, func: FuncId) {
-        let (shape, live) = self.engine.shaped_analysis(module.func(func));
+        let result = self.engine.shaped_analysis(module.func(func));
         let entry = &mut self.entries[func];
-        entry.live = live;
-        entry.shape = shape;
+        entry.ready = result.map(|(shape, live)| ReadyEntry { live, shape });
         entry.cfg_version = module.func(func).cfg_version();
         entry.epoch += 1;
     }
@@ -279,7 +329,7 @@ mod tests {
         let id = 0;
         let v0 = module.func(id).params()[0];
         let b2 = module.func(id).block_by_index(2);
-        assert!(!session.is_live_in(&module, id, v0, b2));
+        assert!(!session.is_live_in(&module, id, v0, b2).unwrap());
 
         // Sink a use of v0 into block2: same CFG, new answer, no epoch.
         module.func_mut(id).insert_inst(
@@ -290,7 +340,7 @@ mod tests {
                 arg: v0,
             },
         );
-        assert!(session.is_live_in(&module, id, v0, b2));
+        assert!(session.is_live_in(&module, id, v0, b2).unwrap());
         assert_eq!(session.epoch(id), 0);
         assert_eq!(session.recomputations(), 0);
     }
@@ -308,7 +358,7 @@ mod tests {
         assert!(!created.is_empty(), "the loop exit edge is critical");
         let b2 = module.func(id).block_by_index(2);
         let before = session.epoch(id);
-        let answer = session.is_live_in(&module, id, v0, b2);
+        let answer = session.is_live_in(&module, id, v0, b2).unwrap();
         assert_eq!(session.epoch(id), before + 1, "CFG change must recompute");
         // And the recomputed answer matches a from-scratch analysis.
         let oracle = FunctionLiveness::compute(module.func(id));
@@ -328,7 +378,7 @@ mod tests {
         let mut session = engine.analyze(&module);
         let v0 = module.func(0).params()[0];
         let b1 = module.func(0).block_by_index(1);
-        assert!(session.is_live_in(&module, 0, v0, b1));
+        assert!(session.is_live_in(&module, 0, v0, b1).unwrap());
 
         // block0 now jumps straight to block2: block1 is unreachable.
         let func = module.func_mut(0);
@@ -337,14 +387,14 @@ mod tests {
         func.redirect_branch_target(jump, 0, b2, vec![]);
 
         assert!(
-            !session.is_live_in(&module, 0, v0, b1),
+            !session.is_live_in(&module, 0, v0, b1).unwrap(),
             "stale answer after edge rewire"
         );
         assert_eq!(session.epoch(0), 1, "rewire must recompute");
         let oracle = FunctionLiveness::compute(module.func(0));
         for b in module.func(0).blocks() {
             assert_eq!(
-                session.is_live_in(&module, 0, v0, b),
+                session.is_live_in(&module, 0, v0, b).unwrap(),
                 oracle.is_live_in(module.func(0), v0, b)
             );
         }
@@ -372,7 +422,7 @@ mod tests {
         let b0 = module.func(0).entry_block();
         let oracle = FunctionLiveness::compute(module.func(0));
         assert_eq!(
-            session.is_live_out(&module, 0, v0, b0),
+            session.is_live_out(&module, 0, v0, b0).unwrap(),
             oracle.is_live_out(module.func(0), v0, b0)
         );
     }
@@ -398,7 +448,7 @@ mod tests {
 
         let v0 = recompiled.func(0).params()[0];
         let b1 = recompiled.func(0).block_by_index(1);
-        assert!(session.is_live_in(&recompiled, 0, v0, b1));
+        assert!(session.is_live_in(&recompiled, 0, v0, b1).unwrap());
     }
 
     #[test]
@@ -456,7 +506,9 @@ mod tests {
         module.func_mut(0).remove_inst(dead);
         assert_eq!(
             session.is_live_after_def(&module, 0, dv),
-            Err(fastlive_core::PointError::DefinitionRemoved(dv))
+            Err(AnalysisError::Point(
+                fastlive_core::PointError::DefinitionRemoved(dv)
+            ))
         );
     }
 
@@ -465,13 +517,13 @@ mod tests {
         let module = looped_module();
         let engine = AnalysisEngine::with_defaults();
         let mut session = engine.analyze(&module);
-        let batch = session.batch(&module, 0);
+        let batch = session.batch(&module, 0).unwrap();
         let func = module.func(0);
         for v in func.values() {
             for b in func.blocks() {
                 assert_eq!(
                     batch.is_live_in(v.index() as u32, b.as_u32()),
-                    session.is_live_in(&module, 0, v, b),
+                    session.is_live_in(&module, 0, v, b).unwrap(),
                     "{v} at {b}"
                 );
             }

@@ -227,7 +227,7 @@ fn engine_recovers_from_corrupt_files_and_overwrites_them() {
             for b in func.blocks() {
                 assert_eq!(
                     session.is_live_in(&module, 0, v, b),
-                    oracle::live_in_value(func, v, b),
+                    Ok(oracle::live_in_value(func, v, b)),
                     "round {round}: {v} at {b}"
                 );
             }

@@ -74,7 +74,7 @@ fn gcd_entry_degrades_to_one_clean_disk_miss() {
             for b in func.blocks() {
                 assert_eq!(
                     session.is_live_in(&module, id, v, b),
-                    oracle.is_live_in(func, v, b),
+                    Ok(oracle.is_live_in(func, v, b)),
                     "{} {v} live-in at {b}",
                     func.name
                 );

@@ -112,6 +112,7 @@ fn barrier_storm_on_warm_disk_loads_each_shape_once() {
             cache_capacity: 64,
             stripes,
             persist_dir: Some(dir.clone()),
+            ..EngineConfig::default()
         });
         let barrier = Barrier::new(THREADS);
         std::thread::scope(|scope| {
@@ -166,7 +167,7 @@ fn stripe_count_does_not_change_answers() {
                 for b in func.blocks() {
                     assert_eq!(
                         session.is_live_in(&module, id, v, b),
-                        oracle.is_live_in(func, v, b),
+                        Ok(oracle.is_live_in(func, v, b)),
                         "stripes={stripes}: {} {v} at {b}",
                         func.name
                     );
@@ -226,6 +227,7 @@ fn concurrent_probes_share_one_arc_per_shape() {
         cache_capacity: 16,
         stripes: 4,
         persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
     });
     let barrier = Barrier::new(THREADS);
     let resolved = AtomicUsize::new(0);
@@ -234,7 +236,7 @@ fn concurrent_probes_share_one_arc_per_shape() {
             .map(|_| {
                 scope.spawn(|| {
                     barrier.wait();
-                    let live = engine.analysis_for(&func);
+                    let live = engine.analysis_for(&func).expect("no injected faults");
                     resolved.fetch_add(1, Ordering::Relaxed);
                     live
                 })

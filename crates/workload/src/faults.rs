@@ -1,0 +1,329 @@
+//! Deterministic fault-campaign generation: scripted filesystem-fault
+//! scenarios composed with CFG workloads.
+//!
+//! The robustness suites need *adversarial schedules*, not just
+//! adversarial graphs: an ENOSPC storm in the middle of write-through,
+//! a torn write at every byte boundary of an entry, a flaky device
+//! that errors one read in three. This module generates those schedules
+//! as **plain data** — op kinds, errnos, skip/count windows — with the
+//! same seeded bit-stability as the rest of the crate, so a failing
+//! campaign can be replayed from its seed alone. The engine-side fault
+//! harness (`fastlive_engine::vfs::FaultVfs`) consumes them after a
+//! trivial translation; nothing here depends on the engine, the
+//! filesystem, or the clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastlive_workload::{generate_campaigns, CampaignParams};
+//!
+//! let campaigns = generate_campaigns(CampaignParams::default(), 0xfau64);
+//! assert!(!campaigns.is_empty());
+//! // Same seed, same schedules.
+//! let again = generate_campaigns(CampaignParams::default(), 0xfau64);
+//! assert_eq!(campaigns, again);
+//! ```
+
+use crate::module::ModuleParams;
+use crate::rng::SplitMix64;
+
+/// Which filesystem operation class a scripted fault targets —
+/// mirror of the engine harness's op kinds, kept engine-agnostic here.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Whole-file reads (cache probes).
+    Read,
+    /// Whole-file writes (write-through tmp files).
+    Write,
+    /// Atomic renames (tmp → entry publication).
+    Rename,
+    /// File removals (tmp cleanup, GC evictions).
+    Remove,
+    /// Metadata stats (existence/size/mtime probes).
+    Metadata,
+    /// Directory listings (GC sweeps).
+    ReadDir,
+    /// Directory creation (store setup).
+    CreateDir,
+    /// Every operation.
+    Any,
+}
+
+/// What a scripted fault does when its window is active.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Fail with the given raw OS errno (28 = ENOSPC, 13 = EACCES,
+    /// 5 = EIO).
+    Errno(i32),
+    /// A *lying* write: persist only the first `n` bytes, then report
+    /// success — the torn-write / power-cut model.
+    TornWrite(usize),
+    /// Succeed, but only after this many microseconds — the slow-disk
+    /// model (latency amplification, not failure).
+    DelayMicros(u64),
+}
+
+/// `errno` for "no space left on device".
+pub const ENOSPC: i32 = 28;
+/// `errno` for "permission denied".
+pub const EACCES: i32 = 13;
+/// `errno` for "input/output error".
+pub const EIO: i32 = 5;
+
+/// One scripted fault window: after `skip` matching operations, the
+/// next `count` of them experience `fault`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Operation class the window counts and fires on.
+    pub op: FaultOp,
+    /// Matching operations that pass through before the window opens.
+    pub skip: u64,
+    /// Matching operations that fault once it has (`u64::MAX` ≈
+    /// forever).
+    pub count: u64,
+    /// What happens inside the window.
+    pub fault: FaultSpec,
+}
+
+/// A full scenario: a CFG workload plus the fault schedule to run it
+/// under, and the behaviour the harness should expect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultCampaign {
+    /// Scenario label (stable across runs of the same seed).
+    pub name: String,
+    /// The module workload to analyze while faults fire.
+    pub module: ModuleParams,
+    /// Seed for `generate_module` — recorded so a campaign is fully
+    /// replayable from its own fields.
+    pub module_seed: u64,
+    /// The fault schedule, evaluated first-match-wins per operation.
+    pub events: Vec<FaultEvent>,
+    /// Whether the schedule leaves the disk *permanently* broken
+    /// (an unbounded errno window on reads or writes). A harness
+    /// should expect breaker trips and memory-only operation in that
+    /// case, and full recovery otherwise.
+    pub expect_persistent_failure: bool,
+}
+
+/// Knobs for [`generate_campaigns`].
+#[derive(Copy, Clone, Debug)]
+pub struct CampaignParams {
+    /// How many campaigns to produce.
+    pub campaigns: usize,
+    /// Functions per campaign module.
+    pub functions: usize,
+    /// Largest per-function block target.
+    pub max_blocks: usize,
+    /// Upper bound on the byte offset used for torn-write truncation.
+    /// Campaigns sweep `[0, torn_bound)`; real entry files are larger,
+    /// so every prefix length is a valid torn outcome.
+    pub torn_bound: usize,
+}
+
+impl Default for CampaignParams {
+    fn default() -> Self {
+        CampaignParams {
+            campaigns: 12,
+            functions: 8,
+            max_blocks: 24,
+            torn_bound: 64,
+        }
+    }
+}
+
+/// The fixed scenario archetypes a generated suite cycles through;
+/// randomness varies the windows, errnos, offsets and workloads inside
+/// each archetype, never the coverage itself (every archetype appears
+/// once per full cycle — no silent gaps in a generated suite).
+const ARCHETYPES: [&str; 6] = [
+    "enospc_storm",
+    "flaky_reads",
+    "eacces_metadata",
+    "torn_write_sweep",
+    "slow_disk",
+    "rename_failure",
+];
+
+/// Generates a deterministic suite of fault campaigns: `params.campaigns`
+/// scenarios cycling through the archetypes above, each paired with its
+/// own seeded CFG workload (reducible, irreducible and deep-live mixes
+/// alternate). Same `(params, seed)`, same suite — bit-stable like
+/// every other generator in this crate.
+pub fn generate_campaigns(params: CampaignParams, seed: u64) -> Vec<FaultCampaign> {
+    let mut rng = SplitMix64::new(seed ^ 0xfa17_fa17_fa17_fa17);
+    (0..params.campaigns)
+        .map(|i| {
+            let archetype = ARCHETYPES[i % ARCHETYPES.len()];
+            // Rotate the workload mix independently of the archetype so
+            // each fault shape eventually meets each graph shape.
+            let module = ModuleParams {
+                functions: params.functions.max(1),
+                min_blocks: 4,
+                max_blocks: params.max_blocks.max(4),
+                irreducible_per_mille: [0u32, 150, 300][i % 3],
+                deep_live_per_mille: [0u32, 300, 600][(i / 3) % 3],
+            };
+            let module_seed = rng.next_u64();
+            let (events, expect_persistent_failure) = match archetype {
+                "enospc_storm" => {
+                    // Disk fills mid-run: a few writes succeed, then
+                    // every write fails until the storm window closes
+                    // (bounded) or forever (unbounded → breaker trips).
+                    let unbounded = rng.chance(50);
+                    let count = if unbounded {
+                        u64::MAX
+                    } else {
+                        1 + rng.range(8)
+                    };
+                    (
+                        vec![FaultEvent {
+                            op: FaultOp::Write,
+                            skip: rng.range(4),
+                            count,
+                            fault: FaultSpec::Errno(ENOSPC),
+                        }],
+                        unbounded,
+                    )
+                }
+                "flaky_reads" => {
+                    // Intermittent EIO on probes: windows of 1–3 bad
+                    // reads separated by healthy gaps.
+                    let events = (0..3)
+                        .map(|w| FaultEvent {
+                            op: FaultOp::Read,
+                            skip: w * 5 + rng.range(3),
+                            count: 1 + rng.range(3),
+                            fault: FaultSpec::Errno(EIO),
+                        })
+                        .collect();
+                    (events, false)
+                }
+                "eacces_metadata" => (
+                    vec![FaultEvent {
+                        op: FaultOp::Metadata,
+                        skip: rng.range(3),
+                        count: 2 + rng.range(6),
+                        fault: FaultSpec::Errno(EACCES),
+                    }],
+                    false,
+                ),
+                "torn_write_sweep" => {
+                    // Truncate successive writes at marching byte
+                    // boundaries — every prefix of an entry must decode
+                    // to a clean reject, never a wrong answer.
+                    let start = rng.index(params.torn_bound.max(1));
+                    let events = (0..4)
+                        .map(|w| FaultEvent {
+                            op: FaultOp::Write,
+                            skip: w,
+                            count: 1,
+                            fault: FaultSpec::TornWrite(
+                                (start + w as usize * 7) % params.torn_bound.max(1),
+                            ),
+                        })
+                        .collect();
+                    (events, false)
+                }
+                "slow_disk" => (
+                    vec![FaultEvent {
+                        op: FaultOp::Any,
+                        skip: 0,
+                        count: u64::MAX,
+                        fault: FaultSpec::DelayMicros(50 + rng.range(200)),
+                    }],
+                    false,
+                ),
+                _ => (
+                    // rename_failure: publication fails — the tmp file
+                    // was written, the entry never appears.
+                    vec![FaultEvent {
+                        op: FaultOp::Rename,
+                        skip: rng.range(2),
+                        count: 1 + rng.range(4),
+                        fault: FaultSpec::Errno(EIO),
+                    }],
+                    false,
+                ),
+            };
+            FaultCampaign {
+                name: format!("{archetype}_{i}"),
+                module,
+                module_seed,
+                events,
+                expect_persistent_failure,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_suite() {
+        let a = generate_campaigns(CampaignParams::default(), 7);
+        let b = generate_campaigns(CampaignParams::default(), 7);
+        assert_eq!(a, b);
+        let c = generate_campaigns(CampaignParams::default(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_archetype_is_covered() {
+        let suite = generate_campaigns(CampaignParams::default(), 3);
+        for archetype in ARCHETYPES {
+            assert!(
+                suite.iter().any(|c| c.name.starts_with(archetype)),
+                "missing archetype {archetype}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaigns_are_replayable_from_their_fields() {
+        // The module workload regenerates bit-identically from the
+        // campaign's own (params, seed) record.
+        let suite = generate_campaigns(CampaignParams::default(), 11);
+        for c in &suite {
+            let m1 = crate::generate_module("fc", c.module, c.module_seed);
+            let m2 = crate::generate_module("fc", c.module, c.module_seed);
+            assert_eq!(m1.to_string(), m2.to_string(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn persistent_failure_flag_tracks_unbounded_write_errnos() {
+        let suite = generate_campaigns(
+            CampaignParams {
+                campaigns: 60,
+                ..CampaignParams::default()
+            },
+            5,
+        );
+        for c in &suite {
+            let unbounded_rw = c.events.iter().any(|e| {
+                e.count == u64::MAX
+                    && matches!(e.fault, FaultSpec::Errno(_))
+                    && matches!(e.op, FaultOp::Read | FaultOp::Write)
+            });
+            assert_eq!(c.expect_persistent_failure, unbounded_rw, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn torn_offsets_stay_inside_the_bound() {
+        let params = CampaignParams {
+            campaigns: 24,
+            torn_bound: 16,
+            ..CampaignParams::default()
+        };
+        for c in generate_campaigns(params, 9) {
+            for e in &c.events {
+                if let FaultSpec::TornWrite(n) = e.fault {
+                    assert!(n < 16, "{}: torn offset {n}", c.name);
+                }
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod irreducible;
 mod module;
 mod profiles;
@@ -40,6 +41,10 @@ mod stats;
 mod structured;
 mod suite;
 
+pub use faults::{
+    generate_campaigns, CampaignParams, FaultCampaign, FaultEvent, FaultOp, FaultSpec, EACCES, EIO,
+    ENOSPC,
+};
 pub use irreducible::inject_gotos;
 pub use module::{generate_module, ModuleParams};
 pub use profiles::{BenchProfile, SPEC2000_INT};

@@ -15,7 +15,7 @@ use crate::rng::SplitMix64;
 use crate::structured::{generate_pre, GenParams};
 
 /// Parameters for [`generate_module`].
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ModuleParams {
     /// Number of functions to generate.
     pub functions: usize,

@@ -244,47 +244,50 @@ impl FuncAnalysis {
 }
 
 /// Internal hook the scalar executor and the planner share: produce
-/// the analysis state for one resolved function.
+/// the analysis state for one resolved function. Fallible because the
+/// session backend's analysis may itself have failed (a panicked
+/// precomputation under fault injection) — that failure becomes a
+/// per-query [`QueryError::AnalysisFailed`], never a crash.
 pub(crate) trait AnalysisSource {
-    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis;
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> Result<FuncAnalysis, QueryError>;
 }
 
 impl AnalysisSource for DirectBackend {
-    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis {
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> Result<FuncAnalysis, QueryError> {
         let func = module.func(id);
         let mut checker = LivenessChecker::compute(func);
         checker.set_subtree_skipping(self.subtree_skipping);
-        FuncAnalysis {
+        Ok(FuncAnalysis {
             kind: AnalysisKind::Checker(Box::new(FunctionLiveness::from_checker(checker))),
             dom: None,
-        }
+        })
     }
 }
 
 impl AnalysisSource for SessionBackend<'_> {
-    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis {
-        FuncAnalysis {
-            kind: AnalysisKind::Shared(self.session.analysis(module, id)),
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> Result<FuncAnalysis, QueryError> {
+        Ok(FuncAnalysis {
+            kind: AnalysisKind::Shared(self.session.analysis(module, id)?),
             dom: None,
-        }
+        })
     }
 }
 
 impl AnalysisSource for OracleBackend {
-    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis {
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> Result<FuncAnalysis, QueryError> {
         let func = module.func(id);
-        FuncAnalysis {
+        Ok(FuncAnalysis {
             kind: AnalysisKind::Iterative(IterativeLiveness::compute(
                 func,
                 &VarUniverse::all(func),
             )),
             dom: None,
-        }
+        })
     }
 }
 
 impl AnalysisSource for Backend<'_> {
-    fn analysis_for(&mut self, module: &Module, id: FuncId) -> FuncAnalysis {
+    fn analysis_for(&mut self, module: &Module, id: FuncId) -> Result<FuncAnalysis, QueryError> {
         match self {
             Backend::Direct(b) => b.analysis_for(module, id),
             Backend::Session(b) => b.analysis_for(module, id),

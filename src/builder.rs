@@ -26,10 +26,12 @@
 //! ```
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use fastlive_engine::persist::GcStats;
-use fastlive_engine::{AnalysisEngine, EngineConfig, EngineSession};
+use fastlive_engine::vfs::Vfs;
+use fastlive_engine::{AnalysisEngine, BreakerConfig, EngineConfig, EngineSession, HealthReport};
 use fastlive_ir::Module;
 
 use crate::backend::{
@@ -101,7 +103,7 @@ impl std::error::Error for BuildError {}
 /// Builder for [`Fastlive`] — the preferred way to configure the
 /// whole stack (it subsumes [`EngineConfig`] construction and
 /// validates the combination at [`build()`](Self::build)).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct FastliveBuilder {
     threads: usize,
     cache_capacity: usize,
@@ -110,6 +112,24 @@ pub struct FastliveBuilder {
     subtree_skipping: bool,
     backend: BackendKind,
     gc: Option<GcPolicy>,
+    disk_breaker: BreakerConfig,
+    vfs: Option<Arc<dyn Vfs>>,
+}
+
+impl std::fmt::Debug for FastliveBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastliveBuilder")
+            .field("threads", &self.threads)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("stripes", &self.stripes)
+            .field("persist_dir", &self.persist_dir)
+            .field("subtree_skipping", &self.subtree_skipping)
+            .field("backend", &self.backend)
+            .field("gc", &self.gc)
+            .field("disk_breaker", &self.disk_breaker)
+            .field("vfs", &self.vfs.as_ref().map(|_| "<dyn Vfs>"))
+            .finish()
+    }
 }
 
 impl Default for FastliveBuilder {
@@ -123,6 +143,8 @@ impl Default for FastliveBuilder {
             subtree_skipping: true,
             backend: BackendKind::default(),
             gc: None,
+            disk_breaker: config.disk_breaker,
+            vfs: None,
         }
     }
 }
@@ -187,6 +209,27 @@ impl FastliveBuilder {
         self
     }
 
+    /// Circuit-breaker policy for the persistence tier: after
+    /// `trip_threshold` consecutive disk I/O *errors* (not rejects) the
+    /// tier goes memory-only and is re-probed on an exponential
+    /// backoff; `quarantine_threshold` consecutive rejects sideline one
+    /// sick entry. See [`BreakerConfig`] for the defaults and
+    /// [`Fastlive::health`] for the observable state.
+    pub fn disk_breaker(mut self, config: BreakerConfig) -> Self {
+        self.disk_breaker = config;
+        self
+    }
+
+    /// Routes every persistence-tier filesystem operation through the
+    /// given [`Vfs`] — the fault-injection seam
+    /// ([`FaultVfs`](fastlive_engine::vfs::FaultVfs)) and the hook for
+    /// custom storage. Default: the real filesystem
+    /// ([`StdVfs`](fastlive_engine::vfs::StdVfs)).
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
     /// Validates the configuration and builds the facade. The build
     /// itself is cheap — precomputation happens per analyzed module.
     pub fn build(self) -> Result<Fastlive, BuildError> {
@@ -215,12 +258,17 @@ impl FastliveBuilder {
         if self.gc.is_some() && self.persist_dir.is_none() {
             return Err(BuildError::GcWithoutPersistDir);
         }
-        let engine = AnalysisEngine::new(EngineConfig {
+        let config = EngineConfig {
             threads: self.threads,
             cache_capacity: self.cache_capacity,
             stripes,
             persist_dir: self.persist_dir,
-        });
+            disk_breaker: self.disk_breaker,
+        };
+        let engine = match self.vfs {
+            Some(vfs) => AnalysisEngine::with_vfs(config, vfs),
+            None => AnalysisEngine::new(config),
+        };
         if let Some(policy) = self.gc {
             engine.gc_persist(policy.max_entries, policy.max_age);
         }
@@ -288,6 +336,14 @@ impl Fastlive {
     /// The backend [`session`](Self::session) opens by default.
     pub fn default_backend(&self) -> BackendKind {
         self.backend
+    }
+
+    /// A point-in-time health snapshot of the stack: the disk tier's
+    /// circuit-breaker state and counters, the quarantine population,
+    /// and the aggregated cache statistics. Cheap enough to poll; see
+    /// [`HealthReport`].
+    pub fn health(&self) -> HealthReport {
+        self.engine.health()
     }
 
     /// Sweeps the persistence tier with the builder's GC policy (or

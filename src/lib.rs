@@ -114,14 +114,16 @@ pub use fastlive_workload as workload;
 // code written against the pre-facade surfaces imports everything from
 // `fastlive::` without naming the member crates.
 pub use fastlive_core::{
-    BatchError, BatchLiveness, FunctionLiveness, LivenessChecker, LivenessProvider, PointError,
-    Precomputation,
+    AnalysisError, BatchError, BatchLiveness, FunctionLiveness, LivenessChecker, LivenessProvider,
+    PointError, Precomputation,
 };
 pub use fastlive_dataflow::{IterativeLiveness, VarUniverse};
 pub use fastlive_destruct::values_interfere;
 pub use fastlive_engine::{
-    persist::GcStats, AnalysisEngine, CacheStats, CfgShape, EngineConfig, EngineSession,
-    PersistStore,
+    persist::GcStats,
+    vfs::{Fault, FaultRule, FaultVfs, OpKind, StdVfs, Vfs},
+    AnalysisEngine, BreakerConfig, BreakerState, CacheStats, CfgShape, EngineConfig, EngineSession,
+    HealthReport, PersistStore,
 };
 pub use fastlive_ir::{
     parse_function, parse_module, Block, FuncId, Function, Inst, Module, ProgramPoint, Value,

@@ -119,7 +119,7 @@ pub(crate) fn scalar_query<S: AnalysisSource>(
     query: &Query,
 ) -> Result<Response, QueryError> {
     let id = resolve_func(module, query.func())?;
-    let mut analysis = source.analysis_for(module, id);
+    let mut analysis = source.analysis_for(module, id)?;
     answer(&mut analysis, None, module.func(id), query)
 }
 
@@ -155,7 +155,17 @@ pub(crate) fn run_planned<S: AnalysisSource>(
 
     for (id, idxs) in groups {
         let func = module.func(id);
-        let mut analysis = source.analysis_for(module, id);
+        // A failed analysis fails every query of its group — the other
+        // groups (other functions) still answer.
+        let mut analysis = match source.analysis_for(module, id) {
+            Ok(a) => a,
+            Err(e) => {
+                for i in idxs {
+                    results[i] = Some(Err(e.clone()));
+                }
+                continue;
+            }
+        };
         let block_probes = idxs
             .iter()
             .filter(|&&i| matches!(queries[i], Query::LiveIn { .. } | Query::LiveOut { .. }))

@@ -326,6 +326,12 @@ pub enum QueryError {
     /// questions about it are unanswerable
     /// ([`PointError::DefinitionRemoved`](fastlive_core::PointError)).
     DetachedDefinition(Value),
+    /// The addressed function's liveness analysis itself failed — its
+    /// precomputation panicked
+    /// ([`AnalysisError::ComputePanicked`](fastlive_core::AnalysisError)).
+    /// Per-function: other functions of the same session keep
+    /// answering, and retrying the query retries the analysis.
+    AnalysisFailed(fastlive_core::AnalysisError),
 }
 
 impl fmt::Display for QueryError {
@@ -350,6 +356,7 @@ impl fmt::Display for QueryError {
             QueryError::DetachedDefinition(v) => {
                 write!(f, "the defining instruction of {v} was removed")
             }
+            QueryError::AnalysisFailed(e) => write!(f, "analysis failed: {e}"),
         }
     }
 }
@@ -360,6 +367,16 @@ impl From<fastlive_core::PointError> for QueryError {
     fn from(e: fastlive_core::PointError) -> Self {
         match e {
             fastlive_core::PointError::DefinitionRemoved(v) => QueryError::DetachedDefinition(v),
+        }
+    }
+}
+
+impl From<fastlive_core::AnalysisError> for QueryError {
+    fn from(e: fastlive_core::AnalysisError) -> Self {
+        match e {
+            // A point failure keeps its precise facade shape.
+            fastlive_core::AnalysisError::Point(p) => p.into(),
+            other => QueryError::AnalysisFailed(other),
         }
     }
 }
