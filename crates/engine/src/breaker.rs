@@ -43,7 +43,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
+use crate::persist::GcStats;
 use crate::vfs::lock_recover;
+use fastlive_telemetry::Event;
 
 /// Tuning knobs of the disk circuit breaker (and the per-shape reject
 /// quarantine riding along with it). See the [module docs](self) for
@@ -89,6 +91,17 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable snake_case label (used by the `HealthReport` renderings).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
 /// A point-in-time snapshot of the engine's degradation machinery —
 /// returned by `AnalysisEngine::health()` and surfaced through the
 /// facade as `Fastlive::health()`.
@@ -116,6 +129,99 @@ pub struct HealthReport {
     /// Cumulative cache counters, including `disk_errors`, summed over
     /// all stripes.
     pub cache: CacheStats,
+    /// Per-stripe cache counters, in stripe order; always sums
+    /// field-wise to [`cache`](Self::cache).
+    pub stripes: Vec<CacheStats>,
+    /// Outcome of the most recent persistence-tier GC sweep run by
+    /// this engine, if any.
+    pub last_gc: Option<GcStats>,
+    /// Recent telemetry events (breaker trips/restores, quarantines,
+    /// compute panics, gc runs, session revalidations), oldest first.
+    /// Empty when telemetry is disabled — the counters above are
+    /// always live regardless.
+    pub recent_events: Vec<Event>,
+}
+
+impl HealthReport {
+    /// The report as one JSON object (stable key order; the same
+    /// hand-rolled discipline as
+    /// [`TelemetrySnapshot::to_json`](fastlive_telemetry::TelemetrySnapshot::to_json)).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"persist_configured\":{},\"disk_state\":\"{}\",\"disk_trips\":{},\
+             \"disk_restores\":{},\"disk_probes_skipped\":{},\
+             \"consecutive_disk_failures\":{},\"quarantined_shapes\":{},\"cache\":{}",
+            self.persist_configured,
+            self.disk_state.name(),
+            self.disk_trips,
+            self.disk_restores,
+            self.disk_probes_skipped,
+            self.consecutive_disk_failures,
+            self.quarantined_shapes,
+            self.cache.to_json()
+        );
+        out.push_str(",\"stripes\":[");
+        for (i, s) in self.stripes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push(']');
+        match &self.last_gc {
+            Some(gc) => {
+                let _ = write!(
+                    out,
+                    ",\"last_gc\":{{\"retained\":{},\"removed\":{}}}",
+                    gc.retained, gc.removed
+                );
+            }
+            None => out.push_str(",\"last_gc\":null"),
+        }
+        out.push_str(",\"recent_events\":[");
+        for (i, e) in self.recent_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Compact operator summary: one header line, one line per stripe with
+/// activity, recent events last.
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "health: disk={} trips={} restores={} skipped={} streak={} quarantined={} persist={}",
+            self.disk_state.name(),
+            self.disk_trips,
+            self.disk_restores,
+            self.disk_probes_skipped,
+            self.consecutive_disk_failures,
+            self.quarantined_shapes,
+            self.persist_configured
+        )?;
+        write!(f, "\n  cache: {}", self.cache)?;
+        for (i, s) in self.stripes.iter().enumerate() {
+            if *s != CacheStats::default() {
+                write!(f, "\n  stripe[{i}]: {s}")?;
+            }
+        }
+        if let Some(gc) = &self.last_gc {
+            write!(f, "\n  gc: retained={} removed={}", gc.retained, gc.removed)?;
+        }
+        for e in &self.recent_events {
+            write!(f, "\n  event[{}] {}: {}", e.seq, e.kind.name(), e.detail)?;
+        }
+        Ok(())
+    }
 }
 
 struct BreakerInner {
@@ -195,23 +301,29 @@ impl DiskBreaker {
     }
 
     /// A disk operation succeeded: any non-closed state restores to
-    /// `Closed`, the failure streak and backoff reset.
-    pub(crate) fn record_success_at(&self, _now: Instant) {
+    /// `Closed`, the failure streak and backoff reset. Returns `true`
+    /// when this call *transitioned* the breaker back to `Closed` —
+    /// the edge telemetry turns into a `breaker_restored` event.
+    pub(crate) fn record_success_at(&self, _now: Instant) -> bool {
         let mut inner = lock_recover(&self.inner);
         inner.consecutive_failures = 0;
-        if inner.state != BreakerState::Closed {
+        let restored = inner.state != BreakerState::Closed;
+        if restored {
             inner.state = BreakerState::Closed;
             inner.restores += 1;
         }
         inner.backoff = self.config.initial_backoff;
         inner.deadline = None;
+        restored
     }
 
     /// A disk operation failed with an I/O error. In `Closed`, the
     /// streak grows and trips the breaker at the threshold; in
     /// `HalfOpen`, the probe failed — re-open with the backoff doubled
-    /// (capped at [`BreakerConfig::max_backoff`]).
-    pub(crate) fn record_failure_at(&self, now: Instant) {
+    /// (capped at [`BreakerConfig::max_backoff`]). Returns `true` when
+    /// this call transitioned the breaker into `Open` — the edge
+    /// telemetry turns into a `breaker_tripped` event.
+    pub(crate) fn record_failure_at(&self, now: Instant) -> bool {
         let mut inner = lock_recover(&self.inner);
         inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
         match inner.state {
@@ -222,6 +334,9 @@ impl DiskBreaker {
                     inner.state = BreakerState::Open;
                     inner.trips += 1;
                     inner.deadline = Some(now + inner.backoff);
+                    true
+                } else {
+                    false
                 }
             }
             BreakerState::HalfOpen => {
@@ -229,10 +344,11 @@ impl DiskBreaker {
                 inner.trips += 1;
                 inner.backoff = (inner.backoff * 2).min(self.config.max_backoff);
                 inner.deadline = Some(now + inner.backoff);
+                true
             }
             // Shouldn't happen (Open probes are skipped), but harmless:
             // the streak grew, the deadline stands.
-            BreakerState::Open => {}
+            BreakerState::Open => false,
         }
     }
 
@@ -280,14 +396,18 @@ impl Quarantine {
                 .is_some_and(|&c| c >= self.threshold)
     }
 
-    /// The shape's entry failed validation again.
-    pub(crate) fn note_reject(&self, hash: u64) {
+    /// The shape's entry failed validation again. Returns `true` when
+    /// this reject *crossed* the threshold — the shape is newly
+    /// quarantined (the edge telemetry turns into a
+    /// `shape_quarantined` event; further rejects return `false`).
+    pub(crate) fn note_reject(&self, hash: u64) -> bool {
         if self.threshold == 0 {
-            return;
+            return false;
         }
         let mut counts = lock_recover(&self.counts);
         let c = counts.entry(hash).or_insert(0);
         *c = c.saturating_add(1);
+        *c == self.threshold
     }
 
     /// The shape's entry validated (or was overwritten with a fresh
@@ -428,6 +548,90 @@ mod tests {
             assert!(b.allow_at(t0));
         }
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn record_calls_flag_only_the_transition_edges() {
+        let b = DiskBreaker::new(cfg());
+        let t0 = Instant::now();
+        assert!(!b.record_failure_at(t0));
+        assert!(!b.record_failure_at(t0));
+        assert!(b.record_failure_at(t0), "third failure trips");
+        assert!(!b.record_failure_at(t0), "already open: no edge");
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(b.allow_at(t1));
+        assert!(b.record_success_at(t1), "probe success restores");
+        assert!(!b.record_success_at(t1), "already closed: no edge");
+    }
+
+    #[test]
+    fn note_reject_flags_only_the_threshold_crossing() {
+        let q = Quarantine::new(2);
+        assert!(!q.note_reject(9));
+        assert!(q.note_reject(9), "second reject crosses");
+        assert!(!q.note_reject(9), "already quarantined: no edge");
+        q.note_good(9);
+        assert!(!q.note_reject(9));
+        assert!(q.note_reject(9), "healing and re-crossing flags again");
+        assert!(!Quarantine::new(0).note_reject(1), "disabled never flags");
+    }
+
+    #[test]
+    fn health_report_renders_stably() {
+        use fastlive_telemetry::EventKind;
+        let report = HealthReport {
+            persist_configured: true,
+            disk_state: BreakerState::HalfOpen,
+            disk_trips: 2,
+            disk_restores: 1,
+            disk_probes_skipped: 7,
+            consecutive_disk_failures: 3,
+            quarantined_shapes: 1,
+            cache: CacheStats {
+                hits: 5,
+                misses: 2,
+                ..CacheStats::default()
+            },
+            stripes: vec![
+                CacheStats {
+                    hits: 5,
+                    misses: 2,
+                    ..CacheStats::default()
+                },
+                CacheStats::default(),
+            ],
+            last_gc: Some(GcStats {
+                retained: 4,
+                removed: 1,
+            }),
+            recent_events: vec![Event {
+                seq: 0,
+                kind: EventKind::BreakerTripped,
+                detail: "streak=3".into(),
+            }],
+        };
+        let json = report.to_json();
+        for key in [
+            "\"disk_state\":\"half_open\"",
+            "\"cache\":{\"hits\":5",
+            "\"stripes\":[{",
+            "\"last_gc\":{\"retained\":4,\"removed\":1}",
+            "\"kind\":\"breaker_tripped\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let text = report.to_string();
+        assert!(text.contains("disk=half_open"));
+        assert!(text.contains("stripe[0]"));
+        assert!(!text.contains("stripe[1]"), "idle stripes are elided");
+        assert!(text.contains("breaker_tripped: streak=3"));
+
+        let none = HealthReport {
+            last_gc: None,
+            recent_events: Vec::new(),
+            ..report
+        };
+        assert!(none.to_json().contains("\"last_gc\":null"));
     }
 
     #[test]

@@ -74,6 +74,23 @@ impl CacheStats {
         }
     }
 
+    /// The counters as one JSON object (stable key order — the same
+    /// hand-rolled discipline as the telemetry snapshot).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"dedup_hits\":{},\
+             \"disk_hits\":{},\"disk_misses\":{},\"disk_rejects\":{},\"disk_errors\":{}}}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.dedup_hits,
+            self.disk_hits,
+            self.disk_misses,
+            self.disk_rejects,
+            self.disk_errors
+        )
+    }
+
     /// Field-wise sum — folds per-stripe stats back into engine totals.
     pub fn add(&self, other: &CacheStats) -> CacheStats {
         CacheStats {
@@ -86,6 +103,26 @@ impl CacheStats {
             disk_rejects: self.disk_rejects + other.disk_rejects,
             disk_errors: self.disk_errors + other.disk_errors,
         }
+    }
+}
+
+/// One-line operator rendering; disk counters appear only when any
+/// disk activity happened.
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} dedup={}",
+            self.hits, self.misses, self.evictions, self.dedup_hits
+        )?;
+        if self.disk_hits + self.disk_misses + self.disk_rejects + self.disk_errors > 0 {
+            write!(
+                f,
+                " disk(hits={} misses={} rejects={} errors={})",
+                self.disk_hits, self.disk_misses, self.disk_rejects, self.disk_errors
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -283,6 +320,30 @@ mod tests {
             }
         );
         assert_eq!(a.add(&CacheStats::default()), a);
+    }
+
+    #[test]
+    fn stats_render_stably() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            disk_misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"hits\":3,\"misses\":1,\"evictions\":0,\"dedup_hits\":0,\
+             \"disk_hits\":0,\"disk_misses\":1,\"disk_rejects\":0,\"disk_errors\":0}"
+        );
+        assert_eq!(
+            s.to_string(),
+            "hits=3 misses=1 evictions=0 dedup=0 disk(hits=0 misses=1 rejects=0 errors=0)"
+        );
+        assert_eq!(
+            CacheStats::default().to_string(),
+            "hits=0 misses=0 evictions=0 dedup=0",
+            "no disk activity, no disk clause"
+        );
     }
 
     #[test]

@@ -11,13 +11,14 @@ use std::time::Instant;
 
 use fastlive_core::{AnalysisError, FunctionLiveness, LivenessChecker};
 use fastlive_ir::{Function, Module};
+use fastlive_telemetry::{EventKind, NoopRecorder, Recorder, TelemetrySnapshot, Tier};
 
 use crate::breaker::{BreakerConfig, DiskBreaker, HealthReport, Quarantine};
 use crate::cache::{CacheStats, FingerprintCache};
 use crate::fingerprint::CfgShape;
-use crate::persist::{LoadOutcome, PersistStore};
+use crate::persist::{GcStats, LoadOutcome, PersistStore};
 use crate::session::EngineSession;
-use crate::vfs::{lock_recover, Vfs};
+use crate::vfs::{lock_recover, MeteredVfs, StdVfs, Vfs};
 
 /// Tuning knobs of an [`AnalysisEngine`].
 ///
@@ -166,6 +167,15 @@ pub struct AnalysisEngine {
     /// hook exercises the abandon/retry machinery exactly like a
     /// panicking precomputation would.
     compute_fault: Mutex<Option<ComputeFaultHook>>,
+    /// The telemetry seam. [`NoopRecorder`] unless the engine was
+    /// built with [`with_instrumentation`](Self::with_instrumentation);
+    /// hot paths guard clock reads on `recorder.enabled()`, and
+    /// **answers never depend on recorder state** (a workspace
+    /// standing invariant).
+    recorder: Arc<dyn Recorder>,
+    /// Outcome of the most recent [`gc_persist`](Self::gc_persist)
+    /// sweep, surfaced through [`health`](Self::health).
+    last_gc: Mutex<Option<GcStats>>,
 }
 
 /// The test-only compute-fault callback (see
@@ -241,7 +251,7 @@ enum DiskOutcome {
 impl AnalysisEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Self::build(config, None)
+        Self::build(config, None, Arc::new(NoopRecorder))
     }
 
     /// Like [`new`](Self::new), but the persistence tier performs all
@@ -249,10 +259,25 @@ impl AnalysisEngine {
     /// [`vfs`](crate::vfs)). No effect unless
     /// [`EngineConfig::persist_dir`] is set.
     pub fn with_vfs(config: EngineConfig, vfs: Arc<dyn Vfs>) -> Self {
-        Self::build(config, Some(vfs))
+        Self::build(config, Some(vfs), Arc::new(NoopRecorder))
     }
 
-    fn build(config: EngineConfig, vfs: Option<Arc<dyn Vfs>>) -> Self {
+    /// The fully-general constructor: optional VFS seam plus a
+    /// [`Recorder`] every layer of this engine reports through. When
+    /// the recorder is enabled and persistence is configured, the
+    /// store's VFS (given or [`StdVfs`]) is wrapped in a
+    /// [`MeteredVfs`] so disk I/O latency and byte counts land in the
+    /// same recorder. Pass [`NoopRecorder`] to get exactly
+    /// [`with_vfs`](Self::with_vfs) / [`new`](Self::new) behavior.
+    pub fn with_instrumentation(
+        config: EngineConfig,
+        vfs: Option<Arc<dyn Vfs>>,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        Self::build(config, vfs, recorder)
+    }
+
+    fn build(config: EngineConfig, vfs: Option<Arc<dyn Vfs>>, recorder: Arc<dyn Recorder>) -> Self {
         let nstripes = if config.stripes == 0 {
             EngineConfig::DEFAULT_STRIPES
         } else {
@@ -273,9 +298,21 @@ impl AnalysisEngine {
                 })
             })
             .collect();
-        let store = config.persist_dir.as_ref().map(|dir| match &vfs {
-            Some(v) => PersistStore::with_vfs(dir, Arc::clone(v)),
-            None => PersistStore::new(dir),
+        let store = config.persist_dir.as_ref().map(|dir| {
+            if recorder.enabled() {
+                // Metering wraps whatever VFS the disk tier would have
+                // used (the given seam or the real filesystem), so
+                // telemetry observes exactly what the store does —
+                // injected faults included.
+                let inner = vfs.clone().unwrap_or_else(|| Arc::new(StdVfs));
+                let metered: Arc<dyn Vfs> = Arc::new(MeteredVfs::new(inner, Arc::clone(&recorder)));
+                PersistStore::with_vfs(dir, metered)
+            } else {
+                match &vfs {
+                    Some(v) => PersistStore::with_vfs(dir, Arc::clone(v)),
+                    None => PersistStore::new(dir),
+                }
+            }
         });
         let breaker = DiskBreaker::new(config.disk_breaker.clone());
         let quarantine = Quarantine::new(config.disk_breaker.quarantine_threshold);
@@ -285,6 +322,8 @@ impl AnalysisEngine {
             breaker,
             quarantine,
             compute_fault: Mutex::new(None),
+            recorder,
+            last_gc: Mutex::new(None),
             config,
         }
     }
@@ -331,6 +370,7 @@ impl AnalysisEngine {
         } else {
             slots.resize_with(n, || None);
             let next = AtomicUsize::new(0);
+            let meter_queue = self.recorder.enabled();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -342,6 +382,11 @@ impl AnalysisEngine {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= n {
                                     break;
+                                }
+                                if meter_queue {
+                                    // Unclaimed functions at claim time,
+                                    // including the one just taken.
+                                    self.recorder.queue_depth((n - i) as u64);
                                 }
                                 done.push((i, self.shaped_analysis(&module.functions()[i])));
                             }
@@ -416,10 +461,18 @@ impl AnalysisEngine {
         }
         let shape = CfgShape::of(func);
         let si = self.stripe_of(&shape);
+        let metered = self.recorder.enabled();
         loop {
+            // One span per loop iteration: a retry after an abandoned
+            // slot records its own (accurate) wait or hit.
+            let t0 = metered.then(Instant::now);
             let role = {
                 let mut st = lock_recover(&self.stripes[si]);
                 if let Some(live) = st.cache.probe(&shape) {
+                    if let Some(t0) = t0 {
+                        self.recorder
+                            .tier(Tier::MemoryHit, t0.elapsed().as_nanos() as u64);
+                    }
                     return Ok((shape, live));
                 }
                 if let Some(slot) = st.in_flight.get(&shape).map(Arc::clone) {
@@ -456,6 +509,10 @@ impl AnalysisEngine {
                     };
                     if let Some(live) = adopted {
                         lock_recover(&self.stripes[si]).cache.note_dedup_hit();
+                        if let Some(t0) = t0 {
+                            self.recorder
+                                .tier(Tier::DedupWait, t0.elapsed().as_nanos() as u64);
+                        }
                         return Ok((shape, live));
                     }
                 }
@@ -481,9 +538,11 @@ impl AnalysisEngine {
                             // releases waiters; the panic becomes a
                             // typed per-function error.
                             drop(guard);
-                            return Err(AnalysisError::ComputePanicked {
-                                message: panic_message(payload.as_ref()),
-                            });
+                            let message = panic_message(payload.as_ref());
+                            if metered {
+                                self.recorder.event(EventKind::ComputePanicked, &message);
+                            }
+                            return Err(AnalysisError::ComputePanicked { message });
                         }
                     };
                     let mut guard = guard;
@@ -514,13 +573,13 @@ impl AnalysisEngine {
                     {
                         match store.save(&shape, live.checker().precomputation()) {
                             Ok(()) => {
-                                self.breaker.record_success_at(Instant::now());
+                                self.disk_success();
                                 // A fresh valid entry is on disk: any
                                 // reject streak for this shape is over.
                                 self.quarantine.note_good(shape.hash64());
                             }
                             Err(_) => {
-                                self.breaker.record_failure_at(Instant::now());
+                                self.disk_failure();
                                 lock_recover(&self.stripes[si]).cache.note_disk_error();
                             }
                         }
@@ -538,9 +597,17 @@ impl AnalysisEngine {
     /// that makes serialized matrices exact for every shape-identical
     /// function in any process (see [`persist`](crate::persist)).
     fn load_or_compute(&self, shape: &CfgShape) -> (Arc<FunctionLiveness>, DiskOutcome) {
+        let metered = self.recorder.enabled();
+        let span = |tier: Tier, t0: Option<Instant>| {
+            if let Some(t0) = t0 {
+                self.recorder.tier(tier, t0.elapsed().as_nanos() as u64);
+            }
+        };
         let compute = |outcome: DiskOutcome| {
             self.fire_compute_fault(shape);
+            let t0 = metered.then(Instant::now);
             let live = FunctionLiveness::from_checker(LivenessChecker::compute(&shape.to_graph()));
+            span(Tier::Compute, t0);
             (Arc::new(live), outcome)
         };
         let Some(store) = &self.store else {
@@ -548,25 +615,32 @@ impl AnalysisEngine {
         };
         // Degradation gates, cheapest first: a quarantined shape (its
         // entry kept rejecting) and a tripped breaker (the device kept
-        // erroring) both skip the disk and compute memory-only.
-        if self.quarantine.is_quarantined(shape.hash64()) {
+        // erroring) both skip the disk and compute memory-only. The
+        // skip span is 0 ns by definition — the count is the signal.
+        if self.quarantine.is_quarantined(shape.hash64()) || !self.breaker.allow_at(Instant::now())
+        {
+            if metered {
+                self.recorder.tier(Tier::DiskSkipped, 0);
+            }
             return compute(DiskOutcome::Skipped);
         }
-        if !self.breaker.allow_at(Instant::now()) {
-            return compute(DiskOutcome::Skipped);
-        }
+        let t0 = metered.then(Instant::now);
         match store.load(shape) {
             LoadOutcome::Hit(pre) => {
-                self.breaker.record_success_at(Instant::now());
+                self.disk_success();
                 match crate::persist::revive(shape, pre) {
                     Some(live) => {
                         self.quarantine.note_good(shape.hash64());
+                        // The hit span covers read + decode + revive —
+                        // the full cost of being served from disk.
+                        span(Tier::DiskHit, t0);
                         (Arc::new(live), DiskOutcome::Hit)
                     }
                     // Decoded but dimensionally wrong for the canonical
                     // graph: same degradation as any other bad entry.
                     None => {
-                        self.quarantine.note_reject(shape.hash64());
+                        self.shape_reject(shape.hash64());
+                        span(Tier::DiskReject, t0);
                         compute(DiskOutcome::Reject)
                     }
                 }
@@ -574,18 +648,51 @@ impl AnalysisEngine {
             LoadOutcome::Absent => {
                 // The disk answered (even if with "nothing there"):
                 // the device is healthy.
-                self.breaker.record_success_at(Instant::now());
+                self.disk_success();
+                span(Tier::DiskMiss, t0);
                 compute(DiskOutcome::Miss)
             }
             LoadOutcome::Reject => {
-                self.breaker.record_success_at(Instant::now());
-                self.quarantine.note_reject(shape.hash64());
+                self.disk_success();
+                self.shape_reject(shape.hash64());
+                span(Tier::DiskReject, t0);
                 compute(DiskOutcome::Reject)
             }
             LoadOutcome::Error(_) => {
-                self.breaker.record_failure_at(Instant::now());
+                self.disk_failure();
+                span(Tier::DiskError, t0);
                 compute(DiskOutcome::Error)
             }
+        }
+    }
+
+    /// Feeds a disk success to the breaker; a closed-edge transition
+    /// becomes a `breaker_restored` event.
+    fn disk_success(&self) {
+        if self.breaker.record_success_at(Instant::now()) && self.recorder.enabled() {
+            self.recorder.event(
+                EventKind::BreakerRestored,
+                "probe succeeded; disk tier back",
+            );
+        }
+    }
+
+    /// Feeds a disk I/O failure to the breaker; an open-edge transition
+    /// becomes a `breaker_tripped` event.
+    fn disk_failure(&self) {
+        if self.breaker.record_failure_at(Instant::now()) && self.recorder.enabled() {
+            let (_, trips, _, _, streak) = self.breaker.snapshot();
+            let detail = format!("trips={trips} streak={streak}");
+            self.recorder.event(EventKind::BreakerTripped, &detail);
+        }
+    }
+
+    /// Feeds a per-shape reject to the quarantine; crossing the
+    /// threshold becomes a `shape_quarantined` event.
+    fn shape_reject(&self, hash: u64) {
+        if self.quarantine.note_reject(hash) && self.recorder.enabled() {
+            let detail = format!("shape={hash:016x}");
+            self.recorder.event(EventKind::ShapeQuarantined, &detail);
         }
     }
 
@@ -616,6 +723,10 @@ impl AnalysisEngine {
     /// tier tripping open and restoring.
     pub fn health(&self) -> HealthReport {
         let (state, trips, restores, skipped, streak) = self.breaker.snapshot();
+        let stripes = self.stripe_stats();
+        let cache = stripes
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.add(s));
         HealthReport {
             persist_configured: self.store.is_some(),
             disk_state: state,
@@ -624,8 +735,24 @@ impl AnalysisEngine {
             disk_probes_skipped: skipped,
             consecutive_disk_failures: streak,
             quarantined_shapes: self.quarantine.len(),
-            cache: self.cache_stats(),
+            cache,
+            stripes,
+            last_gc: *lock_recover(&self.last_gc),
+            recent_events: self.recorder.recent_events(),
         }
+    }
+
+    /// Everything the engine's [`Recorder`] accumulated, as a plain
+    /// comparable snapshot — `None` when the engine runs on the no-op
+    /// recorder (built via [`new`](Self::new) / [`with_vfs`](Self::with_vfs)).
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.recorder.snapshot()
+    }
+
+    /// The engine's recorder (sessions report revalidations through
+    /// it).
+    pub(crate) fn recorder(&self) -> &dyn Recorder {
+        &*self.recorder
     }
 
     /// Cumulative cache statistics (hits / misses / evictions / dedup
@@ -660,7 +787,15 @@ impl AnalysisEngine {
         max_entries: usize,
         max_age: Option<std::time::Duration>,
     ) -> Option<crate::persist::GcStats> {
-        self.store.as_ref().map(|s| s.gc(max_entries, max_age))
+        let stats = self.store.as_ref().map(|s| s.gc(max_entries, max_age));
+        if let Some(stats) = stats {
+            *lock_recover(&self.last_gc) = Some(stats);
+            if self.recorder.enabled() {
+                let detail = format!("retained={} removed={}", stats.retained, stats.removed);
+                self.recorder.event(EventKind::GcRun, &detail);
+            }
+        }
+        stats
     }
 
     /// Number of precomputations currently cached, over all stripes.

@@ -108,3 +108,9 @@ pub use engine::{AnalysisEngine, EngineConfig};
 pub use fingerprint::CfgShape;
 pub use persist::{GcStats, PersistStore};
 pub use session::EngineSession;
+
+// The telemetry seam: what `AnalysisEngine::with_instrumentation`
+// accepts and what `health()` / `telemetry()` report in terms of.
+pub use fastlive_telemetry::{
+    Event, EventKind, NoopRecorder, Recorder, Telemetry, TelemetrySnapshot,
+};

@@ -296,6 +296,16 @@ impl<'e> EngineSession<'e> {
         entry.ready = result.map(|(shape, live)| ReadyEntry { live, shape });
         entry.cfg_version = module.func(func).cfg_version();
         entry.epoch += 1;
+        let recorder = self.engine.recorder();
+        if recorder.enabled() {
+            let detail = format!(
+                "func={} epoch={} ok={}",
+                module.func(func).name,
+                entry.epoch,
+                entry.ready.is_ok()
+            );
+            recorder.event(fastlive_telemetry::EventKind::SessionRevalidated, &detail);
+        }
     }
 }
 

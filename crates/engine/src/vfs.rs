@@ -46,7 +46,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
 /// Metadata the store actually consumes: byte length and modification
@@ -404,6 +404,111 @@ impl Vfs for FaultVfs {
     }
 }
 
+/// A [`Vfs`] decorator that records every operation's latency, payload
+/// bytes and success into a
+/// [`Recorder`](fastlive_telemetry::Recorder) — how the engine meters
+/// its disk tier when telemetry is enabled.
+///
+/// The wrapper times unconditionally, so the engine installs it only
+/// around an *enabled* recorder; a disabled stack keeps the raw `Vfs`
+/// and pays nothing. Faults injected by a wrapped [`FaultVfs`] are
+/// observable as `errors` in the snapshot — telemetry sees exactly
+/// what the persistence tier saw.
+pub struct MeteredVfs {
+    inner: Arc<dyn Vfs>,
+    recorder: Arc<dyn fastlive_telemetry::Recorder>,
+}
+
+impl std::fmt::Debug for MeteredVfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeteredVfs").finish_non_exhaustive()
+    }
+}
+
+impl MeteredVfs {
+    /// Wraps `inner`, reporting every operation to `recorder`.
+    pub fn new(inner: Arc<dyn Vfs>, recorder: Arc<dyn fastlive_telemetry::Recorder>) -> Self {
+        MeteredVfs { inner, recorder }
+    }
+
+    /// Runs one op, reporting `(latency, bytes, ok)`; `bytes` is what
+    /// `size` extracts from a successful result (payload moved).
+    fn metered<T>(
+        &self,
+        op: fastlive_telemetry::VfsOp,
+        run: impl FnOnce() -> io::Result<T>,
+        size: impl FnOnce(&T) -> u64,
+    ) -> io::Result<T> {
+        let t0 = std::time::Instant::now();
+        let result = run();
+        let ns = t0.elapsed().as_nanos() as u64;
+        match &result {
+            Ok(v) => self.recorder.vfs_op(op, ns, size(v), true),
+            Err(_) => self.recorder.vfs_op(op, ns, 0, false),
+        }
+        result
+    }
+}
+
+impl Vfs for MeteredVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.metered(
+            fastlive_telemetry::VfsOp::Read,
+            || self.inner.read(path),
+            |bytes| bytes.len() as u64,
+        )
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let len = bytes.len() as u64;
+        self.metered(
+            fastlive_telemetry::VfsOp::Write,
+            || self.inner.write(path, bytes),
+            |()| len,
+        )
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.metered(
+            fastlive_telemetry::VfsOp::Rename,
+            || self.inner.rename(from, to),
+            |()| 0,
+        )
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.metered(
+            fastlive_telemetry::VfsOp::Remove,
+            || self.inner.remove_file(path),
+            |()| 0,
+        )
+    }
+
+    fn metadata(&self, path: &Path) -> io::Result<VfsMetadata> {
+        self.metered(
+            fastlive_telemetry::VfsOp::Metadata,
+            || self.inner.metadata(path),
+            |_| 0,
+        )
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.metered(
+            fastlive_telemetry::VfsOp::ReadDir,
+            || self.inner.read_dir(dir),
+            |_| 0,
+        )
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.metered(
+            fastlive_telemetry::VfsOp::CreateDir,
+            || self.inner.create_dir_all(dir),
+            |()| 0,
+        )
+    }
+}
+
 /// Poison-recovering lock acquisition: a mutex poisoned by a panicking
 /// holder still yields its data. Every guarded structure in this crate
 /// stays consistent under unwinding (critical sections only move
@@ -518,6 +623,34 @@ mod tests {
         // Op 2: both expired.
         assert!(vfs.write(&path, b"x").is_ok());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metered_vfs_reports_latency_bytes_and_errors() {
+        use fastlive_telemetry::{Telemetry, VfsOp};
+        let hub = Arc::new(Telemetry::new());
+        let inner = Arc::new(FaultVfs::new(vec![FaultRule::window(
+            OpKind::Read,
+            1,
+            1,
+            Fault::eio(),
+        )]));
+        let vfs = MeteredVfs::new(inner, hub.clone());
+        let path = tmp_path("metered");
+        vfs.write(&path, b"payload").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"payload");
+        assert!(vfs.read(&path).is_err(), "second read is faulted");
+        vfs.remove_file(&path).unwrap();
+
+        let s = hub.snapshot_now();
+        let write = &s.vfs_ops[VfsOp::Write as usize];
+        assert_eq!((write.latency.count, write.bytes, write.errors), (1, 7, 0));
+        let read = &s.vfs_ops[VfsOp::Read as usize];
+        assert_eq!(read.latency.count, 2, "both reads timed");
+        assert_eq!(read.bytes, 7, "only the successful read moved bytes");
+        assert_eq!(read.errors, 1);
+        let remove = &s.vfs_ops[VfsOp::Remove as usize];
+        assert_eq!((remove.latency.count, remove.errors), (1, 0));
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Telemetry exactness under contention (PR 7): a barrier storm of
+//! probing threads must leave the tier histograms accounting for
+//! **every** probe — `memory_hit + dedup_wait + compute` equals the
+//! probe count exactly, `compute` equals the distinct shape count —
+//! and the disk tier, the metered VFS and the structured event log
+//! must all report what actually happened. Telemetry is an observer:
+//! it never changes answers (the facade differential suite pins that
+//! side).
+
+mod common;
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use common::{distinct_shapes, temp_dir};
+use fastlive_engine::vfs::{Fault, FaultRule, FaultVfs, OpKind};
+use fastlive_engine::{
+    AnalysisEngine, BreakerConfig, BreakerState, EngineConfig, EventKind, Recorder, Telemetry,
+    TelemetrySnapshot,
+};
+use fastlive_ir::Module;
+use fastlive_workload::{generate_module, ModuleParams};
+
+fn test_module(seed: u64, functions: usize) -> Module {
+    generate_module(
+        "obs",
+        ModuleParams {
+            functions,
+            min_blocks: 4,
+            max_blocks: 18,
+            irreducible_per_mille: 250,
+            deep_live_per_mille: 350,
+        },
+        seed,
+    )
+}
+
+fn instrumented(config: EngineConfig) -> (AnalysisEngine, Arc<Telemetry>) {
+    let telemetry = Arc::new(Telemetry::new());
+    let engine = AnalysisEngine::with_instrumentation(
+        config,
+        None,
+        Arc::clone(&telemetry) as Arc<dyn Recorder>,
+    );
+    (engine, telemetry)
+}
+
+fn tier_count(snap: &TelemetrySnapshot, name: &str) -> u64 {
+    snap.tier(name).map(|h| h.count).unwrap_or(0)
+}
+
+/// The headline exactness property: N threads released by one barrier
+/// onto overlapping shapes. Every probe resolves through exactly one
+/// of the three memory-tier outcomes, and the histogram counts — one
+/// `fetch_add` per record, `Relaxed` or not — must sum to the probe
+/// count exactly. No sampling, no drops, no double counts.
+#[test]
+fn barrier_storm_tier_histograms_account_for_every_probe() {
+    const THREADS: usize = 8;
+    let module = test_module(7, 6);
+    let distinct = distinct_shapes(&module);
+    let (engine, _telemetry) = instrumented(EngineConfig {
+        threads: 1,
+        cache_capacity: 64,
+        ..EngineConfig::default()
+    });
+
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let module = &module;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..module.len() {
+                    let func = &module.functions()[(i + t) % module.len()];
+                    let _ = engine.analysis_for(func);
+                }
+            });
+        }
+    });
+
+    let snap = engine.telemetry().expect("instrumented engine snapshots");
+    let probes = (THREADS * module.len()) as u64;
+    let memory = tier_count(&snap, "memory_hit");
+    let dedup = tier_count(&snap, "dedup_wait");
+    let compute = tier_count(&snap, "compute");
+    assert_eq!(
+        memory + dedup + compute,
+        probes,
+        "every probe lands in exactly one memory-tier bucket: {snap}"
+    );
+    assert_eq!(
+        compute, distinct,
+        "one computation span per distinct shape: {snap}"
+    );
+    // No disk tier configured: no disk spans, no VFS traffic.
+    for disk in ["disk_hit", "disk_miss", "disk_reject", "disk_error"] {
+        assert_eq!(tier_count(&snap, disk), 0, "{disk} without a store");
+    }
+    assert!(snap.vfs_ops.iter().all(|op| op.latency.count == 0));
+    // And the counters agree with the cache's own accounting.
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, compute);
+    assert_eq!(stats.hits, memory);
+    assert_eq!(stats.dedup_hits, dedup);
+}
+
+/// The disk tier's spans and the metered VFS line up with the cache
+/// stats across a cold write-through run and a warm reload: `compute`
+/// plus `disk_miss` on the first engine, `disk_hit` (and zero
+/// computes) on the second, with read/write byte counts flowing.
+#[test]
+fn disk_tier_spans_and_vfs_bytes_match_cache_stats() {
+    let module = test_module(21, 5);
+    let distinct = distinct_shapes(&module);
+    let dir = temp_dir("obs-disk");
+
+    let (cold, _t) = instrumented(EngineConfig {
+        threads: 2,
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let _ = cold.analyze(&module);
+    let snap = cold.telemetry().expect("snapshot");
+    assert_eq!(tier_count(&snap, "disk_miss"), distinct, "{snap}");
+    assert_eq!(tier_count(&snap, "compute"), distinct, "{snap}");
+    assert_eq!(tier_count(&snap, "disk_hit"), 0);
+    let writes = snap.vfs_ops.iter().find(|op| op.name == "write").unwrap();
+    assert_eq!(writes.latency.count, distinct, "one write-through each");
+    assert!(writes.bytes > 0, "write-through moved bytes");
+    assert_eq!(writes.errors, 0);
+
+    let (warm, _t) = instrumented(EngineConfig {
+        threads: 2,
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let _ = warm.analyze(&module);
+    let snap = warm.telemetry().expect("snapshot");
+    assert_eq!(tier_count(&snap, "disk_hit"), distinct, "{snap}");
+    assert_eq!(tier_count(&snap, "compute"), 0, "warm disk: no computes");
+    let reads = snap.vfs_ops.iter().find(|op| op.name == "read").unwrap();
+    assert!(reads.latency.count >= distinct);
+    assert!(reads.bytes > 0, "loads moved bytes");
+    assert_eq!(warm.cache_stats().disk_hits, distinct);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The event log captures the transition *edges*: a persistent read
+/// fault storm trips the breaker exactly once (one `breaker_tripped`
+/// event, not one per failure), VFS errors are counted per op, and a
+/// GC sweep lands one `gc_run` event carrying its stats.
+#[test]
+fn event_log_records_trips_gc_and_only_the_edges() {
+    let module = test_module(33, 5);
+    let dir = temp_dir("obs-events");
+
+    // Seed a healthy store first so the faulty engine has entries to
+    // fail at reading.
+    let seeder = AnalysisEngine::new(EngineConfig {
+        threads: 2,
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let _ = seeder.analyze(&module);
+
+    let telemetry = Arc::new(Telemetry::new());
+    let fv = Arc::new(FaultVfs::new(vec![FaultRule::every(
+        OpKind::Read,
+        Fault::eio(),
+    )]));
+    let engine = AnalysisEngine::with_instrumentation(
+        EngineConfig {
+            threads: 1,
+            persist_dir: Some(dir.clone()),
+            disk_breaker: BreakerConfig {
+                trip_threshold: 2,
+                initial_backoff: Duration::from_secs(3600),
+                ..BreakerConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+        Some(fv),
+        Arc::clone(&telemetry) as Arc<dyn Recorder>,
+    );
+    let _ = engine.analyze(&module);
+    assert_eq!(engine.health().disk_state, BreakerState::Open);
+
+    let snap = telemetry.snapshot_now();
+    let trips = snap
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::BreakerTripped)
+        .count();
+    assert_eq!(trips, 1, "one event per trip edge, not per failure");
+    assert!(tier_count(&snap, "disk_error") >= 2, "{snap}");
+    let reads = snap.vfs_ops.iter().find(|op| op.name == "read").unwrap();
+    assert!(reads.errors >= 2, "faulted reads are counted as errors");
+
+    // A sweep with max_entries=0 removes everything and logs one
+    // gc_run event; the enriched health report carries it too.
+    let stats = engine.gc_persist(0, None).expect("store configured");
+    assert_eq!(stats.retained, 0);
+    let health = engine.health();
+    assert_eq!(health.last_gc, Some(stats));
+    let snap = telemetry.snapshot_now();
+    let gcs: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::GcRun)
+        .collect();
+    assert_eq!(gcs.len(), 1);
+    assert!(gcs[0].detail.contains("removed"), "{:?}", gcs[0]);
+    assert!(
+        health
+            .recent_events
+            .iter()
+            .any(|e| e.kind == EventKind::GcRun),
+        "health folds the event log in: {health}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An uninstrumented engine (the default `NoopRecorder`) has no
+/// snapshot to give and an empty event tail in health — the seam's
+/// disabled half.
+#[test]
+fn noop_recorder_yields_no_snapshot() {
+    let module = test_module(41, 3);
+    let engine = AnalysisEngine::new(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    });
+    let _ = engine.analyze(&module);
+    assert!(engine.telemetry().is_none());
+    assert!(engine.health().recent_events.is_empty());
+}

@@ -1,0 +1,186 @@
+//! The bounded structured event log: rare, operator-facing state
+//! transitions, kept in a ring buffer so a long-lived process never
+//! grows without bound.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What kind of state transition an [`Event`] records. These are the
+/// *rare* facts an operator greps for — per-query data goes to the
+/// histograms, never here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The disk circuit breaker tripped open (initial trip or a failed
+    /// half-open probe re-opening).
+    BreakerTripped,
+    /// A successful half-open probe restored the breaker to closed.
+    BreakerRestored,
+    /// A shape's persist entry crossed the reject threshold and is now
+    /// quarantined.
+    ShapeQuarantined,
+    /// A precomputation panicked; the failure was isolated to one
+    /// function as a typed error.
+    ComputePanicked,
+    /// A persistence-tier GC sweep ran.
+    GcRun,
+    /// An engine session detected a stale entry and recomputed it.
+    SessionRevalidated,
+}
+
+impl EventKind {
+    /// Every kind, in rendering order.
+    pub const ALL: [EventKind; 6] = [
+        EventKind::BreakerTripped,
+        EventKind::BreakerRestored,
+        EventKind::ShapeQuarantined,
+        EventKind::ComputePanicked,
+        EventKind::GcRun,
+        EventKind::SessionRevalidated,
+    ];
+
+    /// Stable snake_case name (used by the JSON and Prometheus
+    /// renderings — changing one is a format break).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::BreakerTripped => "breaker_tripped",
+            EventKind::BreakerRestored => "breaker_restored",
+            EventKind::ShapeQuarantined => "shape_quarantined",
+            EventKind::ComputePanicked => "compute_panicked",
+            EventKind::GcRun => "gc_run",
+            EventKind::SessionRevalidated => "session_revalidated",
+        }
+    }
+}
+
+/// One recorded state transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number over the life of the log (never
+    /// reused, so dropped events leave visible gaps).
+    pub seq: u64,
+    /// The transition class.
+    pub kind: EventKind,
+    /// Human-oriented detail (`"streak=5 backoff=100ms"`). Free-form;
+    /// tooling should key on [`kind`](Self::kind).
+    pub detail: String,
+}
+
+/// A bounded ring buffer of [`Event`]s. Recording past capacity drops
+/// the **oldest** event; the total ever recorded stays observable so
+/// drops are detectable ([`dropped`](Self::dropped)).
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    inner: Mutex<LogInner>,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    next_seq: u64,
+    ring: VecDeque<Event>,
+}
+
+impl EventLog {
+    /// Default retained-event bound — plenty for a health report, tiny
+    /// for a process.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A log retaining at most `capacity` events (0 keeps nothing but
+    /// still counts — a pure drop counter).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            inner: Mutex::new(LogInner::default()),
+        }
+    }
+
+    /// A log with [`DEFAULT_CAPACITY`](Self::DEFAULT_CAPACITY).
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Records one event, evicting the oldest if at capacity.
+    pub fn record(&self, kind: EventKind, detail: impl Into<String>) {
+        let mut inner = lock(&self.inner);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.ring.push_back(Event {
+            seq,
+            kind,
+            detail: detail.into(),
+        });
+        while inner.ring.len() > self.capacity {
+            inner.ring.pop_front();
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        lock(&self.inner).ring.iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn total(&self) -> u64 {
+        lock(&self.inner).next_seq
+    }
+
+    /// Events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        let inner = lock(&self.inner);
+        inner.next_seq - inner.ring.len() as u64
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Poison-recovering lock: the log only ever appends whole events, so
+/// data behind a poisoned mutex is always consistent.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_monotonic_seq() {
+        let log = EventLog::new();
+        log.record(EventKind::GcRun, "retained=3 removed=1");
+        log.record(EventKind::BreakerTripped, "streak=5");
+        let events = log.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].kind, EventKind::GcRun);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            log.record(EventKind::SessionRevalidated, format!("func={i}"));
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        // Events 0 and 1 were evicted; seq numbers betray the gap.
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn kind_names_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in EventKind::ALL {
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+            assert!(!kind.name().contains(char::is_uppercase));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Atomic counters and the fixed-boundary log₂ latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed atomic `u64` counter. `Relaxed` is sufficient everywhere
+/// in this crate: counters are statistics, never synchronization — the
+/// only cross-thread guarantee needed is that every increment lands,
+/// which any atomic RMW provides.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `b` (1..=64)
+/// holds values in `[2^(b-1), 2^b)` — together they cover all of
+/// `u64`, so recording can never overflow a boundary.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-boundary log₂-bucketed histogram of `u64` samples
+/// (nanoseconds on the latency paths, plain counts for batch sizes and
+/// queue depths — the bucketing is unit-agnostic).
+///
+/// Each [`record`](Self::record) performs exactly one `fetch_add` into
+/// one bucket plus a sum add and a max CAS-loop-free `fetch_max`, so
+/// the bucket totals, the count and the sum are **exact** under any
+/// multi-thread contention — no sampling, no loss. Boundaries are
+/// fixed at powers of two, which makes quantile extraction a cumulative
+/// walk and keeps two snapshots comparable without bucket alignment.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of `value`: 0 for 0, otherwise the bit width
+    /// of the value (so `[2^(b-1), 2^b)` lands in bucket `b`).
+    pub(crate) fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `b` — what quantiles report.
+    pub(crate) fn bucket_upper(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.counts[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    ///
+    /// Taken bucket by bucket without a global lock, so a snapshot
+    /// concurrent with recording may be torn *across* fields (count vs
+    /// sum) — but every individual bucket value is exact, and a
+    /// quiescent histogram snapshots exactly.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A plain, comparable copy of a [`Histogram`] — what
+/// [`TelemetrySnapshot`](crate::TelemetrySnapshot) is built from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples (always the exact sum of `buckets`).
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Per-bucket sample counts; bucket `b` covers `[2^(b-1), 2^b)`
+    /// (bucket 0 covers exactly 0). Always [`BUCKETS`]-long — fixed
+    /// boundaries keep any two snapshots directly comparable.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket holding the `⌈q·count⌉`-th sample, clamped to the exact
+    /// observed maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Histogram::bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (log₂-bucket resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty `(inclusive_upper_bound, count)` pairs, low to high —
+    /// the compact form the JSON rendering emits.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (Histogram::bucket_upper(b), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_cover_u64_without_gaps() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Every bucket's upper bound is the last value it holds.
+        for b in 1..64 {
+            let upper = Histogram::bucket_upper(b);
+            assert_eq!(Histogram::bucket_of(upper), b);
+            assert_eq!(Histogram::bucket_of(upper + 1), b + 1);
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max_exactly() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 7, 8, 1000, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 2016);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.buckets[0], 1, "the single zero");
+        assert_eq!(s.buckets[10], 2, "both 1000s land in [512, 1024)");
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let h = Histogram::new();
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record(100); // bucket 7, upper 127
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 14, upper 16383
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.p90(), 127);
+        assert_eq!(s.p99(), 10_000, "p99 clamps to the observed max");
+        assert_eq!(s.quantile(1.0), 10_000);
+        assert_eq!(HistogramSnapshot::default().p99(), 0, "empty is 0");
+    }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        use std::sync::Barrier;
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Histogram::new();
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = &h;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_THREAD {
+                        h.record(t as u64 * 1000 + i % 97);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(
+            s.count,
+            THREADS as u64 * PER_THREAD,
+            "exact under contention"
+        );
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn nonzero_buckets_compact_the_distribution() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        let pairs = h.snapshot().nonzero_buckets();
+        assert_eq!(pairs, vec![(0, 1), (7, 2)]);
+    }
+}

@@ -28,6 +28,7 @@ use fastlive_dataflow::{IterativeLiveness, VarUniverse};
 use fastlive_destruct::{values_interfere, CheckerEngine};
 use fastlive_engine::EngineSession;
 use fastlive_ir::{Block, FuncId, Function, Module, ProgramPoint, Value};
+use fastlive_telemetry::NoopRecorder;
 
 use crate::plan::{run_planned, scalar_query};
 use crate::query::{LiveSets, Query, QueryError, Response};
@@ -307,7 +308,11 @@ macro_rules! query_engine_impl {
                 module: &Module,
                 queries: &[Query],
             ) -> Vec<Result<Response, QueryError>> {
-                run_planned(self, module, queries)
+                // The raw trait path is statically uninstrumented:
+                // `NoopRecorder::enabled()` is `false` by construction,
+                // so the planner reads no clock here. Metered batches go
+                // through `FastliveSession::run_queries` instead.
+                run_planned(self, module, queries, &NoopRecorder)
             }
             fn backend_name(&self) -> &'static str {
                 $name

@@ -27,16 +27,18 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fastlive_engine::persist::GcStats;
 use fastlive_engine::vfs::Vfs;
 use fastlive_engine::{AnalysisEngine, BreakerConfig, EngineConfig, EngineSession, HealthReport};
 use fastlive_ir::Module;
+use fastlive_telemetry::{NoopRecorder, Recorder, Telemetry, TelemetrySnapshot};
 
 use crate::backend::{
     Backend, BackendKind, DirectBackend, OracleBackend, QueryEngine, SessionBackend,
 };
+use crate::plan::{class_of, run_planned};
 use crate::query::{BlockRef, FuncRef, LiveSets, PointRef, Query, QueryError, Response, ValueRef};
 
 /// A persistence-tier GC policy, applied at
@@ -114,6 +116,7 @@ pub struct FastliveBuilder {
     gc: Option<GcPolicy>,
     disk_breaker: BreakerConfig,
     vfs: Option<Arc<dyn Vfs>>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl std::fmt::Debug for FastliveBuilder {
@@ -128,6 +131,10 @@ impl std::fmt::Debug for FastliveBuilder {
             .field("gc", &self.gc)
             .field("disk_breaker", &self.disk_breaker)
             .field("vfs", &self.vfs.as_ref().map(|_| "<dyn Vfs>"))
+            .field(
+                "recorder",
+                &self.recorder.as_ref().map(|_| "<dyn Recorder>"),
+            )
             .finish()
     }
 }
@@ -145,6 +152,7 @@ impl Default for FastliveBuilder {
             gc: None,
             disk_breaker: config.disk_breaker,
             vfs: None,
+            recorder: None,
         }
     }
 }
@@ -230,6 +238,27 @@ impl FastliveBuilder {
         self
     }
 
+    /// Turns end-to-end telemetry on (or back off): a fresh
+    /// [`Telemetry`] hub is installed and every layer — query dispatch,
+    /// the batch planner, engine tier probes, persistence-tier I/O —
+    /// records into it. Read the result with [`Fastlive::telemetry`]
+    /// and the enriched [`Fastlive::health`]. Off by default, and off
+    /// means *off*: the hot paths skip even the clock reads
+    /// (`BENCH_obs.json` pins the no-op overhead at ≈1.0×).
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.recorder = enabled.then(|| Arc::new(Telemetry::new()) as Arc<dyn Recorder>);
+        self
+    }
+
+    /// Installs a custom [`Recorder`] — the export seam for external
+    /// metrics pipelines. Instrumentation is live wherever
+    /// `recorder.enabled()` says so; a disabled recorder costs the
+    /// same nothing as the default.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Validates the configuration and builds the facade. The build
     /// itself is cheap — precomputation happens per analyzed module.
     pub fn build(self) -> Result<Fastlive, BuildError> {
@@ -265,10 +294,8 @@ impl FastliveBuilder {
             persist_dir: self.persist_dir,
             disk_breaker: self.disk_breaker,
         };
-        let engine = match self.vfs {
-            Some(vfs) => AnalysisEngine::with_vfs(config, vfs),
-            None => AnalysisEngine::new(config),
-        };
+        let recorder: Arc<dyn Recorder> = self.recorder.unwrap_or_else(|| Arc::new(NoopRecorder));
+        let engine = AnalysisEngine::with_instrumentation(config, self.vfs, Arc::clone(&recorder));
         if let Some(policy) = self.gc {
             engine.gc_persist(policy.max_entries, policy.max_age);
         }
@@ -277,6 +304,7 @@ impl FastliveBuilder {
             subtree_skipping: self.subtree_skipping,
             backend: self.backend,
             gc: self.gc,
+            recorder,
         })
     }
 }
@@ -295,6 +323,7 @@ pub struct Fastlive {
     subtree_skipping: bool,
     backend: BackendKind,
     gc: Option<GcPolicy>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl std::fmt::Debug for Fastlive {
@@ -304,6 +333,7 @@ impl std::fmt::Debug for Fastlive {
             .field("subtree_skipping", &self.subtree_skipping)
             .field("backend", &self.backend)
             .field("gc", &self.gc)
+            .field("telemetry", &self.recorder.enabled())
             .finish()
     }
 }
@@ -346,6 +376,18 @@ impl Fastlive {
         self.engine.health()
     }
 
+    /// A point-in-time snapshot of the telemetry hub: per-kind query
+    /// latency histograms, tier outcome counters with durations,
+    /// persistence-tier I/O stats, planner counters and the recent
+    /// structured events. A plain comparable value — render it with
+    /// [`TelemetrySnapshot::to_json`],
+    /// [`TelemetrySnapshot::to_prometheus`] or `Display`. Returns the
+    /// all-zero default when instrumentation is off (the default
+    /// no-op recorder has no state to snapshot).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.recorder.snapshot().unwrap_or_default()
+    }
+
     /// Sweeps the persistence tier with the builder's GC policy (or
     /// the given override). Returns `None` when no persistence tier —
     /// or, without an override, no policy — is configured. Always safe:
@@ -380,7 +422,10 @@ impl Fastlive {
             }
             BackendKind::Oracle => Backend::Oracle(OracleBackend),
         };
-        FastliveSession { backend }
+        FastliveSession {
+            backend,
+            recorder: Arc::clone(&self.recorder),
+        }
     }
 }
 
@@ -394,12 +439,24 @@ impl Fastlive {
 /// (the session backend revalidates, the other backends recompute).
 pub struct FastliveSession<'fl> {
     backend: Backend<'fl>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl<'fl> FastliveSession<'fl> {
-    /// Answers one typed query.
+    /// Answers one typed query. With telemetry enabled, the dispatch
+    /// is timed into the per-kind, per-backend latency histograms;
+    /// answers never depend on it.
     pub fn query(&mut self, module: &Module, query: &Query) -> Result<Response, QueryError> {
-        self.backend.query(module, query)
+        let t0 = self.recorder.enabled().then(Instant::now);
+        let result = self.backend.query(module, query);
+        if let Some(t0) = t0 {
+            self.recorder.query(
+                class_of(query),
+                self.backend.backend_name(),
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        result
     }
 
     /// Plan-and-run batch execution: groups `queries` per function,
@@ -408,13 +465,15 @@ impl<'fl> FastliveSession<'fl> {
     /// [`BatchLiveness`](crate::BatchLiveness) row snapshot per
     /// function. Answers are identical to one-at-a-time
     /// [`query`](Self::query) calls, in input order — only faster (see
-    /// `BENCH_facade.json`).
+    /// `BENCH_facade.json`). With telemetry enabled, the planner
+    /// records the batch size, the grouped-vs-scalar group split and
+    /// the whole-batch latency.
     pub fn run_queries(
         &mut self,
         module: &Module,
         queries: &[Query],
     ) -> Vec<Result<Response, QueryError>> {
-        self.backend.run_queries(module, queries)
+        run_planned(&mut self.backend, module, queries, &*self.recorder)
     }
 
     /// The backend's short name (`"direct"` / `"session"` /

@@ -83,6 +83,7 @@
 //! | [`dataflow`] | baseline engines and the brute-force oracle |
 //! | [`construct`] | SSA construction (Cytron et al.) |
 //! | [`destruct`] | SSA destruction (Sreedhar et al. Method III) |
+//! | [`telemetry`] | zero-dependency metrics: histograms, event log, the [`Recorder`] seam |
 //! | [`workload`] | deterministic program generators and SPEC2000 profiles |
 
 #![forbid(unsafe_code)]
@@ -108,6 +109,7 @@ pub use fastlive_destruct as destruct;
 pub use fastlive_engine as engine;
 pub use fastlive_graph as graph;
 pub use fastlive_ir as ir;
+pub use fastlive_telemetry as telemetry;
 pub use fastlive_workload as workload;
 
 // The historical entry points, flattened to one import root: downstream
@@ -127,4 +129,11 @@ pub use fastlive_engine::{
 };
 pub use fastlive_ir::{
     parse_function, parse_module, Block, FuncId, Function, Inst, Module, ProgramPoint, Value,
+};
+// The observability surface: the recorder seam plus the snapshot and
+// label types [`Fastlive::telemetry`] and [`Fastlive::health`] report
+// in terms of.
+pub use fastlive_telemetry::{
+    Event, EventKind, HistogramSnapshot, NoopRecorder, QueryClass, Recorder, Telemetry,
+    TelemetrySnapshot, Tier, VfsOp,
 };

@@ -20,6 +20,7 @@
 
 use fastlive_core::BatchLiveness;
 use fastlive_ir::{FuncId, Function, Module};
+use fastlive_telemetry::{QueryClass, Recorder};
 
 use crate::backend::{AnalysisSource, FuncAnalysis};
 use crate::query::{
@@ -111,6 +112,18 @@ fn sets_from_rows(rows: &BatchLiveness, func: &Function) -> crate::LiveSets {
     }
 }
 
+/// The telemetry label of a query kind — the per-class index the
+/// facade's latency histograms are keyed by.
+pub(crate) fn class_of(query: &Query) -> QueryClass {
+    match query {
+        Query::LiveIn { .. } => QueryClass::LiveIn,
+        Query::LiveOut { .. } => QueryClass::LiveOut,
+        Query::LiveAt { .. } => QueryClass::LiveAt,
+        Query::LiveSets { .. } => QueryClass::LiveSets,
+        Query::Interfere { .. } => QueryClass::Interfere,
+    }
+}
+
 /// One query, straight through: resolve the function, obtain its
 /// analysis, answer.
 pub(crate) fn scalar_query<S: AnalysisSource>(
@@ -127,11 +140,20 @@ pub(crate) fn scalar_query<S: AnalysisSource>(
 /// function, serve grouped block probes from batch rows. Results come
 /// back in input order; per-query failures are per-slot `Err`s, never
 /// a failure of the whole batch.
+///
+/// `recorder` observes what the plan *did* — batch size, how many
+/// groups took the grouped (batch-row) vs the scalar path, and the
+/// whole-batch latency. With a disabled recorder (the trait-path
+/// default) not even a clock is read; answers never depend on it.
 pub(crate) fn run_planned<S: AnalysisSource>(
     source: &mut S,
     module: &Module,
     queries: &[Query],
+    recorder: &dyn Recorder,
 ) -> Vec<Result<Response, QueryError>> {
+    let t0 = recorder.enabled().then(std::time::Instant::now);
+    let mut grouped_groups = 0u64;
+    let mut scalar_groups = 0u64;
     // Resolve every query's function up front; unresolvable ones fail
     // in place without costing any analysis. Groups are found through
     // a per-function index (O(1) per query — a linear group scan would
@@ -184,6 +206,14 @@ pub(crate) fn run_planned<S: AnalysisSource>(
         } else {
             None
         };
+        // The grouped/scalar split is per *group*: a group whose
+        // snapshot materialized took the batch-row path (the oracle's
+        // `batch()` is `None`, so its groups always count as scalar).
+        if batch.is_some() {
+            grouped_groups += 1;
+        } else {
+            scalar_groups += 1;
+        }
         for i in idxs {
             // Batch-served block probes are the hot loop of dense
             // streams: answer them right here as O(1) bit reads, so
@@ -204,6 +234,15 @@ pub(crate) fn run_planned<S: AnalysisSource>(
             };
             results[i] = Some(result);
         }
+    }
+
+    if let Some(t0) = t0 {
+        recorder.plan(
+            queries.len() as u64,
+            grouped_groups,
+            scalar_groups,
+            t0.elapsed().as_nanos() as u64,
+        );
     }
 
     results
