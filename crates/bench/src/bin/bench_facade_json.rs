@@ -16,7 +16,7 @@
 //! * `block_dense` — `LiveIn` + `LiveOut` for every `(value, block)`
 //!   pair (interference-graph construction). On the session backend
 //!   this records the honest floor: warm scalar probes already cost
-//!   ~tens of ns behind the `has_candidates` word guard, so grouped
+//!   ~tens of ns through the fused interval kernel, so grouped
 //!   execution ≈ parity there — the planner's break-even guard exists
 //!   precisely so dense batches never *regress*. The direct backend
 //!   shows the checker-reuse win (one precomputation per function vs

@@ -1,0 +1,142 @@
+//! Emits `BENCH_scale.json`: the striped-cache contention grid — warm
+//! `analyze` throughput swept over lock-stripe counts × concurrent
+//! client threads.
+//!
+//! Every cell pre-warms one facade (so the measured phase is pure cache
+//! probing, zero precomputations — asserted via the engine's
+//! `CacheStats`) and
+//! then times `threads` OS threads each re-analyzing the same module
+//! through the shared engine. With one stripe every probe serializes on
+//! a single mutex; with more stripes probes of different fingerprints
+//! proceed in parallel. `host_cpus` records the machine's available
+//! parallelism honestly: on a 1-core box every thread count collapses
+//! to ≈1× and the grid mostly measures lock overhead, while a real
+//! multi-core host shows the stripe sweep separating.
+//!
+//! ```text
+//! cargo run --release -p fastlive-bench --bin bench_scale_json [--quick] [OUT.json]
+//! ```
+//!
+//! `--quick` shrinks the module and repetition counts for CI smoke
+//! runs (the JSON schema is identical).
+
+use std::fmt::Write as _;
+
+use fastlive::Fastlive;
+use fastlive_bench::time_ns;
+use fastlive_workload::{generate_module, ModuleParams};
+
+struct Setup {
+    functions: usize,
+    reps: usize,
+}
+
+const STRIPE_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_scale.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let setup = if quick {
+        Setup {
+            functions: 12,
+            reps: 3,
+        }
+    } else {
+        Setup {
+            functions: 64,
+            reps: 9,
+        }
+    };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let module = generate_module(
+        "scale_bench",
+        ModuleParams {
+            functions: setup.functions,
+            min_blocks: 8,
+            max_blocks: 64,
+            irreducible_per_mille: 100,
+            ..ModuleParams::default()
+        },
+        0x5ca1e,
+    );
+    let blocks: usize = module.functions().iter().map(|f| f.num_blocks()).sum();
+    eprintln!(
+        "module: {} functions, {blocks} blocks total, host_cpus={host_cpus}",
+        module.len()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {host_cpus},\n  \"functions\": {},\n  \"blocks_total\": {blocks},\n  \"reps\": {},",
+        module.len(),
+        setup.reps
+    );
+    json.push_str("  \"grid\": [\n");
+
+    let mut first = true;
+    for stripes in STRIPE_SWEEP {
+        let mut base_ns = 0.0;
+        for threads in THREAD_SWEEP {
+            // Warm analysis goes through the in-memory tier only; the
+            // engine's own worker pool is pinned to 1 so the measured
+            // concurrency is exactly the `threads` client threads.
+            let fl = Fastlive::builder()
+                .threads(1)
+                .cache_capacity(1024)
+                .stripes(stripes)
+                .build()
+                .expect("valid config");
+            let engine = fl.engine();
+            let _ = engine.analyze(&module);
+            let warm = engine.cache_stats();
+            let ns = time_ns(setup.reps, || {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| scope.spawn(|| engine.analyze(&module).num_functions()))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("no panics"))
+                        .sum::<usize>()
+                })
+            });
+            let after = engine.cache_stats();
+            assert_eq!(
+                warm.misses, after.misses,
+                "measured phase must be all cache hits"
+            );
+            if threads == 1 {
+                base_ns = ns;
+            }
+            // Total warm probes per second across all client threads.
+            let probes = (threads * module.len()) as f64 / (ns / 1e9);
+            let speedup = base_ns / ns * threads as f64;
+            let _ = write!(
+                json,
+                "{}    {{\"stripes\": {stripes}, \"threads\": {threads}, \"analyze_ns\": {ns:.0}, \
+                 \"probes_per_sec\": {probes:.0}, \"scaling_vs_1_thread\": {speedup:.2}}}",
+                if first { "" } else { ",\n" },
+            );
+            first = false;
+            eprintln!(
+                "stripes={stripes} threads={threads}: {ns:>12.0} ns ({probes:>9.0} probes/s, {speedup:.2}x vs 1 thread)"
+            );
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
+    println!("wrote {out_path}");
+}

@@ -1,4 +1,4 @@
-use crate::{next_set_bit_in, words_for, BitIter, WORD_BITS};
+use crate::{kernels, next_set_bit_in, words_for, BitIter, WORD_BITS};
 
 /// A fixed-capacity set of `u32` values stored as a bit vector.
 ///
@@ -55,9 +55,10 @@ impl DenseBitSet {
         self.len
     }
 
-    /// Number of elements in the set.
+    /// Number of elements in the set — 4-wide chunked popcount
+    /// ([`kernels::popcount`]).
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::popcount(&self.words)
     }
 
     /// Returns `true` if no element is present.
@@ -141,13 +142,7 @@ impl DenseBitSet {
     /// Panics if the universes differ.
     pub fn union_with(&mut self, other: &DenseBitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch in union");
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a | b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        kernels::union_into(&mut self.words, &other.words)
     }
 
     /// In-place intersection; returns `true` if `self` changed.
@@ -157,13 +152,7 @@ impl DenseBitSet {
     /// Panics if the universes differ.
     pub fn intersect_with(&mut self, other: &DenseBitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch in intersection");
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a & b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        kernels::intersect_into(&mut self.words, &other.words)
     }
 
     /// In-place set difference (`self \ other`); returns `true` if `self`
@@ -174,13 +163,7 @@ impl DenseBitSet {
     /// Panics if the universes differ.
     pub fn difference_with(&mut self, other: &DenseBitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch in difference");
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a & !b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        kernels::difference_into(&mut self.words, &other.words)
     }
 
     /// `self |= other ∩ [lo, hi]` (inclusive interval): the masked
@@ -196,7 +179,7 @@ impl DenseBitSet {
             self.len, other.len,
             "universe mismatch in union_with_masked"
         );
-        crate::union_words_masked(&mut self.words, &other.words, lo, hi, self.len)
+        kernels::union_masked(&mut self.words, &other.words, lo, hi, self.len)
     }
 
     /// Returns `true` if the intersection with `other` is non-empty. This
@@ -208,10 +191,7 @@ impl DenseBitSet {
     /// Panics if the universes differ.
     pub fn intersects(&self, other: &DenseBitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch in intersects");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(&a, &b)| a & b != 0)
+        kernels::intersects(&self.words, &other.words)
     }
 
     /// Returns `true` if every element of `self` is in `other`.
@@ -221,10 +201,7 @@ impl DenseBitSet {
     /// Panics if the universes differ.
     pub fn is_subset_of(&self, other: &DenseBitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch in subset test");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(&a, &b)| a & !b == 0)
+        kernels::is_subset(&self.words, &other.words)
     }
 
     /// Iterates over the elements in ascending order.

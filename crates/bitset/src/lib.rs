@@ -12,6 +12,9 @@
 //! * [`SortedSet`] — a sorted dense array with binary-search membership,
 //!   the LAO baseline's global live-set representation (§6.2) and the
 //!   memory-lean alternative for `T_v`/`R_v` discussed in §6.1 and §8.
+//! * [`kernels`] — the chunked `u64×4` wide-word loops the structures
+//!   above share, each retaining its original scalar loop as a
+//!   `*_scalar` differential baseline.
 //!
 //! All structures hold `u32` elements below a fixed *universe* size, which
 //! is how compiler analyses index blocks and variables.
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod dense;
+pub mod kernels;
 mod matrix;
 mod sorted;
 mod sparse;
@@ -87,32 +91,6 @@ pub(crate) fn interval_mask(lo: usize, hi: usize, wi: usize) -> u64 {
         mask = 0;
     }
     mask
-}
-
-/// `dst |= src ∩ [lo, hi]` over word slices spanning `len` bits, word
-/// at a time; returns `true` if `dst` changed. Shared by the masked
-/// union operations of [`BitMatrix`] and [`DenseBitSet`].
-pub(crate) fn union_words_masked(
-    dst: &mut [u64],
-    src: &[u64],
-    lo: u32,
-    hi: u32,
-    len: usize,
-) -> bool {
-    if len == 0 || lo > hi || lo as usize >= len {
-        return false;
-    }
-    let lo = lo as usize;
-    let hi = (hi as usize).min(len - 1);
-    let (lw, hw) = (lo / WORD_BITS, hi / WORD_BITS);
-    let mut changed = false;
-    for wi in lw..=hw {
-        let add = src[wi] & interval_mask(lo, hi, wi);
-        let new = dst[wi] | add;
-        changed |= new != dst[wi];
-        dst[wi] = new;
-    }
-    changed
 }
 
 /// Iterator over the set bits of a word slice (ascending order).

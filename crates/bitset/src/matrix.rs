@@ -1,15 +1,31 @@
-use crate::{
-    interval_mask, next_set_bit_in, union_words_masked, words_for, BitIter, DenseBitSet, WORD_BITS,
-};
+use crate::{kernels, next_set_bit_in, words_for, BitIter, DenseBitSet, WORD_BITS};
+
+/// Words per 64-byte cache line — the row stride quantum and row start
+/// alignment of the arena.
+const CACHE_LINE_WORDS: usize = 8;
+const CACHE_LINE_BYTES: usize = CACHE_LINE_WORDS * 8;
 
 /// A dense 2-D bit matrix: `rows` bitsets over a shared universe of
-/// `cols` elements, stored contiguously.
+/// `cols` elements, stored in a cache-conscious row-major arena.
 ///
 /// The liveness precomputation stores both closures this way: row `v` of
 /// the *R*-matrix is `R_v` (blocks reduced-reachable from `v`,
 /// Definition 4) and row `q` of the *T*-matrix is `T_q` (relevant
 /// back-edge targets, Definition 5). Contiguous storage keeps the
 /// propagation loops cache-friendly and makes whole-row unions cheap.
+///
+/// # Arena layout
+///
+/// Multi-word rows are stored at a *padded stride* — `⌈cols/64⌉` words
+/// rounded up to a whole number of cache lines — inside a buffer whose
+/// first row is 64-byte aligned, so every row starts on a cache-line
+/// boundary and spans the minimum number of lines. Single-word rows are
+/// stored packed (stride 1): an 8-byte-aligned 8-byte row can never
+/// straddle a line, so padding them would cost 8× memory for zero
+/// locality gain. Padding words are invariantly zero and never escape:
+/// [`row_words`](Self::row_words) returns the logical `⌈cols/64⌉`-word
+/// view and [`to_words`](Self::to_words) emits the packed padding-free
+/// encoding the persistence codec stores.
 ///
 /// # Examples
 ///
@@ -23,12 +39,19 @@ use crate::{
 /// assert!(m.contains(0, 9));
 /// assert_eq!(m.row_iter(0).collect::<Vec<_>>(), vec![4, 9]);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
 pub struct BitMatrix {
+    /// Backing buffer; row `r` lives at `offset + r * stride`. Words
+    /// outside `offset..offset + rows * stride` and the per-row padding
+    /// `words_per_row..stride` are always zero.
     data: Vec<u64>,
+    /// Word index of row 0 — chosen at allocation so the arena starts on
+    /// a 64-byte boundary (0 when `stride` is unpadded).
+    offset: usize,
     rows: usize,
     cols: usize,
     words_per_row: usize,
+    /// Padded row stride in words; see [`Self::stride_for`].
+    stride: usize,
 }
 
 impl BitMatrix {
@@ -36,12 +59,52 @@ impl BitMatrix {
     /// `0..cols`.
     pub fn new(rows: usize, cols: usize) -> Self {
         let words_per_row = words_for(cols);
+        let stride = Self::stride_for(words_per_row);
+        let (data, offset) = Self::alloc(rows, stride);
         BitMatrix {
-            data: vec![0; rows * words_per_row],
+            data,
+            offset,
             rows,
             cols,
             words_per_row,
+            stride,
         }
+    }
+
+    /// Row stride policy: multi-word rows round up to whole cache lines
+    /// (so aligned rows touch the minimum number of lines); zero- and
+    /// one-word rows stay packed (a single aligned word cannot straddle
+    /// a line, so padding would only inflate memory).
+    fn stride_for(words_per_row: usize) -> usize {
+        if words_per_row <= 1 {
+            words_per_row
+        } else {
+            words_per_row.next_multiple_of(CACHE_LINE_WORDS)
+        }
+    }
+
+    /// Allocates the arena buffer and returns it with the word offset of
+    /// row 0. For cache-line strides the buffer carries up to a line of
+    /// slack so row 0 can start on a 64-byte boundary without any
+    /// `unsafe` allocation tricks (the crate is `forbid(unsafe_code)`).
+    fn alloc(rows: usize, stride: usize) -> (Vec<u64>, usize) {
+        let need = rows * stride;
+        if need == 0 {
+            return (Vec::new(), 0);
+        }
+        if !stride.is_multiple_of(CACHE_LINE_WORDS) {
+            return (vec![0; need], 0);
+        }
+        let data = vec![0u64; need + CACHE_LINE_WORDS - 1];
+        let misalign = data.as_ptr() as usize % CACHE_LINE_BYTES;
+        let offset = (CACHE_LINE_BYTES - misalign) % CACHE_LINE_BYTES / 8;
+        (data, offset)
+    }
+
+    /// The live arena: `rows × stride` words starting at row 0.
+    #[inline]
+    fn arena(&self) -> &[u64] {
+        &self.data[self.offset..self.offset + self.rows * self.stride]
     }
 
     /// Number of rows.
@@ -54,10 +117,23 @@ impl BitMatrix {
         self.cols
     }
 
+    /// Logical word range of row `r`: the `⌈cols/64⌉` words callers see.
     fn row_range(&self, r: u32) -> std::ops::Range<usize> {
         let r = r as usize;
         assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
-        r * self.words_per_row..(r + 1) * self.words_per_row
+        let start = self.offset + r * self.stride;
+        start..start + self.words_per_row
+    }
+
+    /// Full padded word range of row `r` — the whole-row kernels run
+    /// over this: padding words are zero on both sides of any
+    /// union/intersect/difference, so including them is free and keeps
+    /// the interior a whole number of 4-word chunks.
+    fn row_range_padded(&self, r: u32) -> std::ops::Range<usize> {
+        let r = r as usize;
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        let start = self.offset + r * self.stride;
+        start..start + self.stride
     }
 
     /// Sets bit `(r, c)`; returns `true` if it was previously clear.
@@ -104,7 +180,9 @@ impl BitMatrix {
     /// Row `r` as its backing `u64` words (low bit of word 0 is column
     /// 0; bits at or above `cols` are always clear). This is the
     /// primitive behind the word-parallel query loops: callers scan
-    /// masked words directly instead of testing bits one at a time.
+    /// masked words directly instead of testing bits one at a time. The
+    /// view is the logical `⌈cols/64⌉` words — arena stride padding is
+    /// never exposed.
     ///
     /// # Panics
     ///
@@ -125,22 +203,40 @@ impl BitMatrix {
     ///
     /// Panics if `r` is out of range.
     pub fn intersects_in_range(&self, r: u32, lo: u32, hi: u32) -> bool {
-        if lo > hi || lo as usize >= self.cols {
-            return false;
-        }
-        let hi = (hi as usize).min(self.cols - 1);
-        let words = self.row_words(r);
-        let (lw, hw) = (lo as usize / WORD_BITS, hi / WORD_BITS);
-        if lw == hw {
-            return words[lw] & interval_mask(lo as usize, hi, lw) != 0;
-        }
-        if words[lw] & (!0u64 << (lo as usize % WORD_BITS)) != 0 {
-            return true;
-        }
-        if words[lw + 1..hw].iter().any(|&w| w != 0) {
-            return true;
-        }
-        words[hw] & (!0u64 >> (WORD_BITS - 1 - hi % WORD_BITS)) != 0
+        kernels::range_intersects(self.row_words(r), lo, hi, self.cols)
+    }
+
+    /// The fused two-row interval test: `true` iff some column in the
+    /// **inclusive** interval `[lo, hi]` is set in *both* row `r` of
+    /// `self` and row `other_row` of `other`. One masked pass over the
+    /// interval — each word is loaded once and ANDed across the two rows
+    /// ([`kernels::range_intersects2`]). With `self` the `T`-matrix and
+    /// `other` the transposed `R`-matrix, this is the liveness query's
+    /// candidates walk collapsed into a single kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range or the universes differ.
+    #[inline]
+    pub fn rows_intersect_in_range(
+        &self,
+        r: u32,
+        other: &BitMatrix,
+        other_row: u32,
+        lo: u32,
+        hi: u32,
+    ) -> bool {
+        assert_eq!(
+            self.cols, other.cols,
+            "universe mismatch in rows_intersect_in_range"
+        );
+        kernels::range_intersects2(
+            self.row_words(r),
+            other.row_words(other_row),
+            lo,
+            hi,
+            self.cols,
+        )
     }
 
     /// `self.row(dst) |= self.row(src) ∩ [lo, hi]` (inclusive interval)
@@ -157,16 +253,16 @@ impl BitMatrix {
         }
         let cols = self.cols;
         let (d, s) = self.two_rows_mut(dst, src);
-        union_words_masked(d, s, lo, hi, cols)
+        kernels::union_masked(d, s, lo, hi, cols)
     }
 
     /// Mutable view of row `dst` together with a shared view of row
-    /// `src`, `dst != src`. The borrow split is safe because distinct
-    /// rows never overlap in `data`.
+    /// `src`, `dst != src`, both at full padded stride. The borrow split
+    /// is safe because distinct rows never overlap in `data`.
     fn two_rows_mut(&mut self, dst: u32, src: u32) -> (&mut [u64], &[u64]) {
         debug_assert_ne!(dst, src);
-        let dst_range = self.row_range(dst);
-        let src_range = self.row_range(src);
+        let dst_range = self.row_range_padded(dst);
+        let src_range = self.row_range_padded(src);
         let (lo, hi, dst_first) = if dst_range.start < src_range.start {
             (dst_range, src_range, true)
         } else {
@@ -203,7 +299,7 @@ impl BitMatrix {
         );
         let dst = self.row_range(r);
         let src = other.row_range(other_row);
-        union_words_masked(&mut self.data[dst], &other.data[src], lo, hi, self.cols)
+        kernels::union_masked(&mut self.data[dst], &other.data[src], lo, hi, self.cols)
     }
 
     /// `self.row(r) &= other.row(other_row)` — whole-row intersection
@@ -218,15 +314,9 @@ impl BitMatrix {
             self.cols, other.cols,
             "universe mismatch in intersect_row_from"
         );
-        let dst = self.row_range(r);
-        let src = other.row_range(other_row);
-        let mut changed = false;
-        for (a, &b) in self.data[dst].iter_mut().zip(&other.data[src]) {
-            let new = *a & b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        let dst = self.row_range_padded(r);
+        let src = other.row_range_padded(other_row);
+        kernels::intersect_into(&mut self.data[dst], &other.data[src])
     }
 
     /// `dst |= src` on whole rows; returns `true` if `dst` changed.
@@ -240,13 +330,7 @@ impl BitMatrix {
             return false;
         }
         let (d, s) = self.two_rows_mut(dst, src);
-        let mut changed = false;
-        for (a, &b) in d.iter_mut().zip(s) {
-            let new = *a | b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        kernels::union_into(d, s)
     }
 
     /// Sets every column of row `r` (bits at or above the universe stay
@@ -283,13 +367,7 @@ impl BitMatrix {
             "universe mismatch in union_row_with_set"
         );
         let range = self.row_range(r);
-        let mut changed = false;
-        for (a, &b) in self.data[range].iter_mut().zip(set.as_words()) {
-            let new = *a | b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        kernels::union_into(&mut self.data[range], set.as_words())
     }
 
     /// `self.row(r) |= other.row(other_row)` — whole-row union across
@@ -301,15 +379,9 @@ impl BitMatrix {
     /// Panics if either row is out of range or the universes differ.
     pub fn union_row_from(&mut self, r: u32, other: &BitMatrix, other_row: u32) -> bool {
         assert_eq!(self.cols, other.cols, "universe mismatch in union_row_from");
-        let dst = self.row_range(r);
-        let src = other.row_range(other_row);
-        let mut changed = false;
-        for (a, &b) in self.data[dst].iter_mut().zip(&other.data[src]) {
-            let new = *a | b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        let dst = self.row_range_padded(r);
+        let src = other.row_range_padded(other_row);
+        kernels::union_into(&mut self.data[dst], &other.data[src])
     }
 
     /// `self.row(r) &= !other.row(other_row)` — removes from row `r`
@@ -325,15 +397,9 @@ impl BitMatrix {
             self.cols, other.cols,
             "universe mismatch in difference_row_from"
         );
-        let dst = self.row_range(r);
-        let src = other.row_range(other_row);
-        let mut changed = false;
-        for (a, &b) in self.data[dst].iter_mut().zip(&other.data[src]) {
-            let new = *a & !b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        let dst = self.row_range_padded(r);
+        let src = other.row_range_padded(other_row);
+        kernels::difference_into(&mut self.data[dst], &other.data[src])
     }
 
     /// First set column `>= from` in row `r` (Algorithm 3's
@@ -359,11 +425,7 @@ impl BitMatrix {
             self.cols,
             "universe mismatch in row_intersects_set"
         );
-        let range = self.row_range(r);
-        self.data[range]
-            .iter()
-            .zip(set.as_words())
-            .any(|(&a, &b)| a & b != 0)
+        kernels::intersects(self.row_words(r), set.as_words())
     }
 
     /// Iterates the set columns of row `r` in ascending order.
@@ -376,17 +438,14 @@ impl BitMatrix {
         BitIter::new(&self.data[range], self.cols)
     }
 
-    /// Number of set bits in row `r`.
+    /// Number of set bits in row `r` — 4-wide chunked popcount
+    /// ([`kernels::popcount`]).
     ///
     /// # Panics
     ///
     /// Panics if `r` is out of range.
     pub fn row_len(&self, r: u32) -> usize {
-        let range = self.row_range(r);
-        self.data[range]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
+        kernels::popcount(self.row_words(r))
     }
 
     /// Copies row `r` out into an owned [`DenseBitSet`].
@@ -398,24 +457,31 @@ impl BitMatrix {
         DenseBitSet::from_elems(self.cols, self.row_iter(r))
     }
 
-    /// Heap memory used by the matrix in bytes — the quantity behind the
-    /// paper's §6.1 break-even discussion ("quadratic behavior of the
+    /// Heap memory used by the matrix in bytes, including arena stride
+    /// padding and alignment slack — the quantity behind the paper's
+    /// §6.1 break-even discussion ("quadratic behavior of the
     /// precomputation ... especially its memory consumption").
     pub fn heap_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<u64>()
     }
 
-    /// The whole matrix as its backing words, row-major
-    /// (`rows × ⌈cols/64⌉` words) — the stable accessor serialization
-    /// codecs read. Together with [`rows`](Self::rows) and
-    /// [`cols`](Self::cols) this is the matrix's complete state;
-    /// [`from_words`](Self::from_words) is the inverse.
-    pub fn as_words(&self) -> &[u64] {
-        &self.data
+    /// The matrix as packed row-major words (`rows × ⌈cols/64⌉` words,
+    /// no arena padding) — the stable encoding serialization codecs
+    /// store; byte-identical to the pre-arena layout. Together with
+    /// [`rows`](Self::rows) and [`cols`](Self::cols) this is the
+    /// matrix's complete state; [`from_words`](Self::from_words) is the
+    /// inverse.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.rows * self.words_per_row);
+        for r in 0..self.rows {
+            let start = self.offset + r * self.stride;
+            out.extend_from_slice(&self.data[start..start + self.words_per_row]);
+        }
+        out
     }
 
-    /// Rebuilds a matrix from its dimensions and backing words — the
-    /// decoding counterpart of [`as_words`](Self::as_words). Returns
+    /// Rebuilds a matrix from its dimensions and packed backing words —
+    /// the decoding counterpart of [`to_words`](Self::to_words). Returns
     /// `None` (never panics) if `data` is not exactly
     /// `rows × ⌈cols/64⌉` words long or any row has bits set at or
     /// above the `cols` universe (either means the words did not come
@@ -434,14 +500,74 @@ impl BitMatrix {
                 }
             }
         }
-        Some(BitMatrix {
-            data,
-            rows,
-            cols,
-            words_per_row,
-        })
+        let mut m = BitMatrix::new(rows, cols);
+        if words_per_row > 0 {
+            for (r, src) in data.chunks_exact(words_per_row).enumerate() {
+                let start = m.offset + r * m.stride;
+                m.data[start..start + words_per_row].copy_from_slice(src);
+            }
+        }
+        Some(m)
+    }
+
+    /// The transposed matrix: `out.contains(c, r) == self.contains(r, c)`.
+    /// Runs on 64×64 bit tiles through [`kernels::transpose64`] —
+    /// `O(rows × cols / 64)` word work instead of a per-bit loop. The
+    /// liveness checker uses this to derive the transposed reachability
+    /// matrix its fused query kernel scans by *use* row.
+    pub fn transposed(&self) -> BitMatrix {
+        let mut out = BitMatrix::new(self.cols, self.rows);
+        let mut tile = [0u64; 64];
+        for rb in (0..self.rows).step_by(64) {
+            let rcount = 64.min(self.rows - rb);
+            let ow = rb / 64;
+            for wb in 0..self.words_per_row {
+                for (k, slot) in tile.iter_mut().enumerate().take(rcount) {
+                    *slot = self.data[self.offset + (rb + k) * self.stride + wb];
+                }
+                tile[rcount..].fill(0);
+                kernels::transpose64(&mut tile);
+                let cbase = wb * 64;
+                for (j, &word) in tile.iter().enumerate().take(64.min(self.cols - cbase)) {
+                    if word != 0 {
+                        let start = out.offset + (cbase + j) * out.stride;
+                        out.data[start + ow] = word;
+                    }
+                }
+            }
+        }
+        out
     }
 }
+
+/// Manual clone: the arena offset depends on the new allocation's
+/// address, so the buffer is re-aligned and the arena copied across.
+impl Clone for BitMatrix {
+    fn clone(&self) -> Self {
+        let (mut data, offset) = Self::alloc(self.rows, self.stride);
+        let need = self.rows * self.stride;
+        data[offset..offset + need].copy_from_slice(self.arena());
+        BitMatrix {
+            data,
+            offset,
+            rows: self.rows,
+            cols: self.cols,
+            words_per_row: self.words_per_row,
+            stride: self.stride,
+        }
+    }
+}
+
+/// Equality is dimensions + bits. The arenas compare as whole slices:
+/// stride is a pure function of `cols` and padding words are invariantly
+/// zero, so arena equality is exactly bit-for-bit row equality.
+impl PartialEq for BitMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.arena() == other.arena()
+    }
+}
+
+impl Eq for BitMatrix {}
 
 impl std::fmt::Debug for BitMatrix {
     /// Writes each row as a list of set columns, e.g. `row0: [1, 2]`.
@@ -612,6 +738,34 @@ mod tests {
     }
 
     #[test]
+    fn rows_intersect_in_range_is_the_pairwise_and() {
+        let mut a = BitMatrix::new(1, 300);
+        let mut b = BitMatrix::new(2, 300);
+        for c in [3u32, 64, 130, 299] {
+            a.set(0, c);
+        }
+        for c in [64u32, 131, 299] {
+            b.set(1, c);
+        }
+        // Common bits: 64 and 299 only.
+        assert!(a.rows_intersect_in_range(0, &b, 1, 0, 299));
+        assert!(a.rows_intersect_in_range(0, &b, 1, 64, 64));
+        assert!(a.rows_intersect_in_range(0, &b, 1, 65, u32::MAX)); // hi clamps to 299
+        assert!(!a.rows_intersect_in_range(0, &b, 1, 65, 298));
+        assert!(!a.rows_intersect_in_range(0, &b, 1, 0, 63));
+        assert!(!a.rows_intersect_in_range(0, &b, 1, 100, 60)); // empty interval
+        assert!(!a.rows_intersect_in_range(0, &b, 0, 0, 299)); // empty row
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn rows_intersect_in_range_universe_mismatch_panics() {
+        let a = BitMatrix::new(1, 8);
+        let b = BitMatrix::new(1, 9);
+        a.rows_intersect_in_range(0, &b, 0, 0, 7);
+    }
+
+    #[test]
     fn union_rows_masked_clips_to_interval() {
         let mut m = BitMatrix::new(3, 200);
         for c in [2u32, 63, 64, 100, 190] {
@@ -697,10 +851,48 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_is_quadraticish() {
-        // n blocks -> n rows of ceil(n/64) words: the §6.1 memory model.
+    fn arena_rows_are_cache_line_aligned() {
+        // Multi-word rows: stride rounds up to whole cache lines and
+        // every row starts on a 64-byte boundary.
+        let m = BitMatrix::new(5, 130); // 3 words/row -> stride 8
+        for r in 0..5u32 {
+            let addr = m.row_words(r).as_ptr() as usize;
+            assert_eq!(addr % 64, 0, "row {r} not 64-byte aligned");
+        }
+        // Single-word rows stay packed: consecutive rows are adjacent.
+        let p = BitMatrix::new(4, 60);
+        let r0 = p.row_words(0).as_ptr() as usize;
+        let r1 = p.row_words(1).as_ptr() as usize;
+        assert_eq!(r1 - r0, 8, "1-word rows must not be padded");
+    }
+
+    #[test]
+    fn clone_and_eq_survive_the_arena() {
+        let mut m = BitMatrix::new(5, 200);
+        for (r, c) in [(0u32, 0u32), (1, 63), (2, 64), (3, 199), (4, 100)] {
+            m.set(r, c);
+        }
+        let c = m.clone();
+        assert_eq!(c, m);
+        for r in 0..5u32 {
+            let addr = c.row_words(r).as_ptr() as usize;
+            assert_eq!(addr % 64, 0, "cloned row {r} not re-aligned");
+        }
+        let mut d = c.clone();
+        d.set(4, 101);
+        assert_ne!(d, m);
+    }
+
+    #[test]
+    fn heap_bytes_reports_the_padded_arena() {
+        // Multi-word rows: ceil(100/64) = 2 words pad to a full 8-word
+        // cache line per row, plus up to 7 words of alignment slack.
         let m = BitMatrix::new(100, 100);
-        assert_eq!(m.heap_bytes(), 100 * 2 * 8);
+        assert_eq!(m.heap_bytes(), (100 * 8 + 7) * 8);
+        // Single-word rows keep the packed §6.1 memory model: n rows of
+        // one word each, no padding, no slack.
+        let p = BitMatrix::new(100, 50);
+        assert_eq!(p.heap_bytes(), 100 * 8);
     }
 
     #[test]
@@ -709,7 +901,10 @@ mod tests {
         for (r, c) in [(0u32, 0u32), (1, 64), (2, 129)] {
             m.set(r, c);
         }
-        let back = BitMatrix::from_words(3, 130, m.as_words().to_vec()).expect("valid words");
+        let words = m.to_words();
+        // Packed encoding: exactly rows x ceil(cols/64), padding-free.
+        assert_eq!(words.len(), 3 * 3);
+        let back = BitMatrix::from_words(3, 130, words).expect("valid words");
         assert_eq!(back, m);
         assert_eq!(back.rows(), 3);
         assert_eq!(back.cols(), 130);
@@ -729,6 +924,37 @@ mod tests {
         assert!(BitMatrix::from_words(3, 130, words).is_none());
         // Word-aligned universes have no tail mask to violate.
         assert!(BitMatrix::from_words(1, 128, vec![!0u64; 2]).is_some());
+    }
+
+    #[test]
+    fn transposed_flips_every_bit() {
+        let mut m = BitMatrix::new(150, 90);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut bits = Vec::new();
+        for r in 0..150u32 {
+            for c in 0..90u32 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x >> 60 == 0 {
+                    m.set(r, c);
+                    bits.push((r, c));
+                }
+            }
+        }
+        let t = m.transposed();
+        assert_eq!(t.rows(), 90);
+        assert_eq!(t.cols(), 150);
+        for r in 0..150u32 {
+            for c in 0..90u32 {
+                assert_eq!(t.contains(c, r), m.contains(r, c), "bit ({r},{c})");
+            }
+        }
+        // Involution: transposing twice restores the original.
+        assert_eq!(t.transposed(), m);
+        // Degenerate shapes.
+        assert_eq!(BitMatrix::new(0, 7).transposed().rows(), 7);
+        assert_eq!(BitMatrix::new(7, 0).transposed().cols(), 7);
     }
 
     #[test]

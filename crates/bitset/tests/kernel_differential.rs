@@ -1,0 +1,242 @@
+//! Differential suite pinning the wide `u64×4` kernels bit-for-bit to
+//! their retained `*_scalar` baselines.
+//!
+//! Two layers:
+//!
+//! * **Boundary-exhaustive sweeps** — every masked operation
+//!   (`union_rows_masked`, `union_row_from_masked`, `union_with_masked`,
+//!   `intersects_in_range`, `rows_intersect_in_range`) is run for every
+//!   `(lo, hi)` pair drawn from the word-boundary offsets
+//!   `{0, 1, 63, 64, 65, cols − 1, cols}`, including empty (`lo > hi`)
+//!   and out-of-universe intervals, on randomized contents. The wide
+//!   result (changed-flag *and* resulting words) must equal the scalar
+//!   baseline's exactly.
+//! * **Properties** — popcount (`BitMatrix::row_len`,
+//!   `DenseBitSet::len`) equals the iterator count, and the unmasked
+//!   wide kernels match their scalar twins on arbitrary lengths.
+
+use fastlive_bitset::{kernels, BitMatrix};
+use proptest::prelude::*;
+
+/// Deterministic xorshift64 words, never all-zero state.
+fn rng_words(seed: u64, n: usize) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+/// A `rows × cols` matrix with xorshift contents (ghost bits cleared so
+/// `from_words` accepts it).
+fn rng_matrix(seed: u64, rows: usize, cols: usize) -> BitMatrix {
+    let wpr = cols.div_ceil(64);
+    let mut words = rng_words(seed, rows * wpr);
+    if !cols.is_multiple_of(64) {
+        let tail = !0u64 >> (64 - cols % 64);
+        for r in 0..rows {
+            words[r * wpr + wpr - 1] &= tail;
+        }
+    }
+    BitMatrix::from_words(rows, cols, words).expect("ghost bits cleared")
+}
+
+/// The word-boundary offsets of the sweep: both sides of the first and
+/// second word boundaries plus both ends of the universe. Values may
+/// exceed `cols` on purpose — the kernels must treat those as clamped
+/// or empty, exactly like the scalar baselines.
+fn boundary_offsets(cols: usize) -> Vec<u32> {
+    let mut offs = vec![0u32, 1, 63, 64, 65, cols as u32 - 1, cols as u32];
+    offs.retain(|&o| o <= cols as u32);
+    offs.dedup();
+    offs
+}
+
+/// Universe sizes crossing 1, 2 and 3+ words, including exact word
+/// multiples and both neighbors.
+const COLS_SWEEP: [usize; 8] = [1, 63, 64, 65, 128, 129, 192, 200];
+
+#[test]
+fn masked_matrix_ops_match_scalar_across_boundaries() {
+    for cols in COLS_SWEEP {
+        let offs = boundary_offsets(cols);
+        for seed in 1..4u64 {
+            let m0 = rng_matrix(seed.wrapping_mul(0x9e37_79b9), 4, cols);
+            let other = rng_matrix(seed.wrapping_mul(0x51ab_3c7d), 4, cols);
+            for &lo in &offs {
+                for &hi in &offs {
+                    // union_rows_masked: wide on the matrix, scalar on
+                    // packed copies of the same two rows.
+                    let mut m = m0.clone();
+                    let mut d: Vec<u64> = m0.row_words(0).to_vec();
+                    let s: Vec<u64> = m0.row_words(1).to_vec();
+                    let wide = m.union_rows_masked(0, 1, lo, hi);
+                    let scal = kernels::union_masked_scalar(&mut d, &s, lo, hi, cols);
+                    assert_eq!(wide, scal, "union_rows_masked cols={cols} [{lo},{hi}]");
+                    assert_eq!(m.row_words(0), &d[..], "cols={cols} [{lo},{hi}]");
+
+                    // union_row_from_masked against the cross-matrix row.
+                    let mut m = m0.clone();
+                    let mut d: Vec<u64> = m0.row_words(2).to_vec();
+                    let s: Vec<u64> = other.row_words(3).to_vec();
+                    let wide = m.union_row_from_masked(2, &other, 3, lo, hi);
+                    let scal = kernels::union_masked_scalar(&mut d, &s, lo, hi, cols);
+                    assert_eq!(wide, scal, "union_row_from_masked cols={cols} [{lo},{hi}]");
+                    assert_eq!(m.row_words(2), &d[..], "cols={cols} [{lo},{hi}]");
+
+                    // intersects_in_range vs the scalar range probe.
+                    assert_eq!(
+                        m0.intersects_in_range(1, lo, hi),
+                        kernels::range_intersects_scalar(m0.row_words(1), lo, hi, cols),
+                        "intersects_in_range cols={cols} [{lo},{hi}]"
+                    );
+
+                    // rows_intersect_in_range (the fused query kernel)
+                    // vs the scalar two-row probe.
+                    assert_eq!(
+                        m0.rows_intersect_in_range(0, &other, 1, lo, hi),
+                        kernels::range_intersects2_scalar(
+                            m0.row_words(0),
+                            other.row_words(1),
+                            lo,
+                            hi,
+                            cols
+                        ),
+                        "rows_intersect_in_range cols={cols} [{lo},{hi}]"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_union_with_masked_matches_scalar_across_boundaries() {
+    for cols in COLS_SWEEP {
+        let offs = boundary_offsets(cols);
+        for seed in 1..4u64 {
+            let m = rng_matrix(seed.wrapping_mul(0xc2b2_ae35), 2, cols);
+            let base = m.row_to_set(0);
+            let src = m.row_to_set(1);
+            for &lo in &offs {
+                for &hi in &offs {
+                    let mut wide = base.clone();
+                    let changed_wide = wide.union_with_masked(&src, lo, hi);
+                    let mut scal: Vec<u64> = base.as_words().to_vec();
+                    let changed_scal =
+                        kernels::union_masked_scalar(&mut scal, src.as_words(), lo, hi, cols);
+                    assert_eq!(
+                        changed_wide, changed_scal,
+                        "union_with_masked cols={cols} [{lo},{hi}]"
+                    );
+                    assert_eq!(wide.as_words(), &scal[..], "cols={cols} [{lo},{hi}]");
+                }
+            }
+        }
+    }
+}
+
+/// Word vectors of length 0..=20 with interesting values mixed in.
+fn word_vecs() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (any::<u8>(), any::<u64>()).prop_map(|(k, w)| match k % 4 {
+            0 => 0,
+            1 => !0,
+            2 => 1u64 << 63,
+            _ => w,
+        }),
+        0..21,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite (a): the 4-wide popcount behind `BitMatrix::row_len`
+    /// and `DenseBitSet::len` equals the iterator count.
+    #[test]
+    fn popcount_equals_iterator_count(words in word_vecs()) {
+        prop_assert_eq!(kernels::popcount(&words), kernels::popcount_scalar(&words));
+        let cols = (words.len() * 64).max(1);
+        let m = BitMatrix::from_words(1, cols, if words.is_empty() {
+            vec![0]
+        } else {
+            words.clone()
+        }).expect("word-multiple universe has no ghost bits");
+        prop_assert_eq!(m.row_len(0), m.row_iter(0).count());
+        let set = m.row_to_set(0);
+        prop_assert_eq!(set.len(), set.iter().count());
+        prop_assert_eq!(set.len(), m.row_len(0));
+    }
+
+    /// The unmasked wide kernels match their scalar twins on arbitrary
+    /// lengths and contents (flag and words).
+    #[test]
+    fn unmasked_kernels_match_scalar(dst in word_vecs(), src in word_vecs()) {
+        let mut a = dst.clone();
+        let mut b = dst.clone();
+        prop_assert_eq!(
+            kernels::union_into(&mut a, &src),
+            kernels::union_into_scalar(&mut b, &src)
+        );
+        prop_assert_eq!(&a, &b);
+
+        let mut a = dst.clone();
+        let mut b = dst.clone();
+        prop_assert_eq!(
+            kernels::intersect_into(&mut a, &src),
+            kernels::intersect_into_scalar(&mut b, &src)
+        );
+        prop_assert_eq!(&a, &b);
+
+        let mut a = dst.clone();
+        let mut b = dst.clone();
+        prop_assert_eq!(
+            kernels::difference_into(&mut a, &src),
+            kernels::difference_into_scalar(&mut b, &src)
+        );
+        prop_assert_eq!(&a, &b);
+
+        prop_assert_eq!(
+            kernels::intersects(&dst, &src),
+            kernels::intersects_scalar(&dst, &src)
+        );
+        prop_assert_eq!(
+            kernels::is_subset(&dst, &src),
+            kernels::is_subset_scalar(&dst, &src)
+        );
+    }
+
+    /// The masked union and the two range probes match their scalar
+    /// twins on arbitrary intervals (not only boundary offsets).
+    #[test]
+    fn masked_kernels_match_scalar(
+        words in proptest::collection::vec(any::<u64>(), 1..9),
+        other in proptest::collection::vec(any::<u64>(), 1..9),
+        lo in 0u32..600,
+        hi in 0u32..600,
+    ) {
+        let n = words.len().min(other.len());
+        let (words, other) = (&words[..n], &other[..n]);
+        let len = n * 64;
+        let mut a = words.to_vec();
+        let mut b = words.to_vec();
+        prop_assert_eq!(
+            kernels::union_masked(&mut a, other, lo, hi, len),
+            kernels::union_masked_scalar(&mut b, other, lo, hi, len)
+        );
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(
+            kernels::range_intersects(words, lo, hi, len),
+            kernels::range_intersects_scalar(words, lo, hi, len)
+        );
+        prop_assert_eq!(
+            kernels::range_intersects2(words, other, lo, hi, len),
+            kernels::range_intersects2_scalar(words, other, lo, hi, len)
+        );
+    }
+}

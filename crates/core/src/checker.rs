@@ -1,22 +1,33 @@
 //! The liveness checker: Algorithms 1–3 of the paper.
 //!
-//! # The word-masked interval trick
+//! # The word-masked interval trick, fused
 //!
 //! Thanks to the §5.1 dominance-preorder numbering, the Algorithm 3
 //! candidate set `T_q ∩ sdom(def)` is the **contiguous bit interval**
-//! `[num(def)+1, maxnum(def)]` of `T_q`'s row. The query loop exploits
-//! that at the word level rather than the bit level: the row is read as
-//! `u64` words ([`BitMatrix::row_words`](fastlive_bitset::BitMatrix)),
-//! the first word is masked with `!0 << (num(def)+1 mod 64)` to clip
-//! the interval's left edge, and [`Candidates`] then walks set bits
-//! with `trailing_zeros` on a cached *cursor word* — all-zero words of
-//! wide `T_q` rows cost one load and one compare each, and subtree
-//! skipping re-masks the cursor directly at `maxnum(t)+1` instead of
-//! re-scanning from the row start. The right edge needs no mask: the
-//! first bit past `maxnum(def)` terminates the scan. The same trick
-//! gives [`LivenessChecker::has_candidates`] a query guard
-//! (`intersects_in_range`) that rejects empty candidate intervals
-//! before any use-site numbers are resolved.
+//! `[num(def)+1, maxnum(def)]` of `T_q`'s row. The hot query paths
+//! exploit that with a *fused* kernel: Algorithm 1 asks whether some
+//! candidate `t` in that interval has `use ∈ R_t`, and with the
+//! transposed reachability matrix (`rt`, whose row `num(use)` collects
+//! exactly the `t` with `use ∈ R_t`) that becomes a single masked
+//! word-parallel AND of two rows over the interval
+//! ([`BitMatrix::rows_intersect_in_range`](fastlive_bitset::BitMatrix::rows_intersect_in_range)):
+//! each interval word is loaded once, edge words are masked once, and
+//! no candidate is ever materialized. This answers over the **full**
+//! candidate set, which is exactly Algorithm 1's semantics — the §4.1
+//! subtree skipping and the Theorem 2 fast path only drop *redundant*
+//! tests, so the fused answer is identical by construction (the
+//! differential suite pins this against [`is_live_in_scalar`] and the
+//! enumeration loop).
+//!
+//! The explicit candidate walk survives as [`Candidates`]: the row is
+//! read as `u64` words, the first word is masked with
+//! `!0 << (num(def)+1 mod 64)` to clip the interval's left edge, and
+//! set bits pop off a cached *cursor word* with `trailing_zeros`;
+//! subtree skipping re-masks the cursor directly at `maxnum(t)+1`. The
+//! iterator powers the ablation benchmarks, diagnostics, and the
+//! differential tests that keep the fused kernel honest.
+//!
+//! [`is_live_in_scalar`]: LivenessChecker::is_live_in_scalar
 
 use fastlive_cfg::{DfsTree, DomTree, Reducibility};
 use fastlive_graph::{Cfg, NodeId};
@@ -35,12 +46,16 @@ use crate::precompute::Precomputation;
 /// instructions or uses never invalidates a `LivenessChecker`. Only
 /// CFG edits (new blocks or edges) require recomputation.
 ///
-/// The query loop is the bitset implementation of §5.1 (Algorithm 3):
-/// `T_q ∩ sdom(def)` is the interval `[num(def)+1, maxnum(def)]` of
-/// `T_q`'s bit row, candidates are visited in dominance-preorder
-/// order (most-dominating first), each tested candidate's entire
-/// dominance subtree is skipped, and on reducible CFGs the loop exits
-/// after the first candidate (Theorem 2).
+/// The query path is the bitset implementation of §5.1 (Algorithm 3)
+/// taken one step further: `T_q ∩ sdom(def)` is the interval
+/// `[num(def)+1, maxnum(def)]` of `T_q`'s bit row, and the whole
+/// candidate loop fuses into one masked word-parallel AND of that
+/// interval against the use's transposed-`R` row (see the module
+/// docs). The explicit loop — candidates in dominance-preorder order,
+/// §4.1 subtree skipping, the Theorem 2 single-test exit on reducible
+/// CFGs — survives as [`candidates`](Self::candidates) and
+/// [`is_live_in_scalar`](Self::is_live_in_scalar) for ablation and
+/// differential testing.
 ///
 /// # Examples
 ///
@@ -273,11 +288,16 @@ impl LivenessChecker {
     }
 
     /// `true` if a query `(def, q)` has a non-empty candidate set
-    /// `T_q ∩ sdom(def)` — one word-masked interval scan of `T_q`'s
-    /// row, with no iterator state and no use-site work. A `false`
-    /// answer proves the variable dead at `q` regardless of its uses;
-    /// the query entry points use this to reject before resolving any
-    /// use numbers.
+    /// `T_q ∩ sdom(def)`. A `false` answer proves the variable dead at
+    /// `q` regardless of its uses; the query entry points use this to
+    /// reject before resolving any use numbers.
+    ///
+    /// This is exactly the `q <= def || maxnum(def) < q` precheck of
+    /// Algorithm 3 — no row scan. Once the precheck passes the set is
+    /// *never* empty: the precomputation's global filter puts `q` into
+    /// its own `T_q`, and `num(q)` lies inside `[num(def)+1,
+    /// maxnum(def)]` by the precheck itself, so `q` is always a
+    /// candidate (the `debug_assert!` pins the invariant).
     #[inline]
     pub fn has_candidates(&self, def: NodeId, q: NodeId) -> bool {
         let (Some(defn), Some(qn)) = (self.num_of(def), self.num_of(q)) else {
@@ -287,7 +307,42 @@ impl LivenessChecker {
         if qn <= defn || max_dom < qn {
             return false;
         }
-        self.pre.t.intersects_in_range(qn, defn + 1, max_dom)
+        debug_assert!(
+            self.pre.t.intersects_in_range(qn, defn + 1, max_dom),
+            "global filter guarantees q ∈ T_q inside the interval"
+        );
+        true
+    }
+
+    /// The Algorithm 3 precheck and interval bounds of a query
+    /// `(def, q)`: `Some((num(q), num(def)+1, maxnum(def)))` when `q`
+    /// is strictly dominated by `def` (both reachable), `None`
+    /// otherwise. The fused query paths resolve this once and then run
+    /// one [`fused_use_hit`](Self::fused_use_hit) per use.
+    #[inline]
+    fn query_bounds(&self, def: NodeId, q: NodeId) -> Option<(u32, u32, u32)> {
+        let (Some(defn), Some(qn)) = (self.num_of(def), self.num_of(q)) else {
+            return None;
+        };
+        let max_dom = self.maxnum_by_num[defn as usize];
+        // `if (q <= def || max_dom < q) return false;` of Algorithm 3.
+        if qn <= defn || max_dom < qn {
+            return None;
+        }
+        Some((qn, defn + 1, max_dom))
+    }
+
+    /// The fused Algorithm 1 body for one use: does some candidate
+    /// `t ∈ T_q` with `num(t) ∈ [lo, hi]` reach the use (`use ∈ R_t`)?
+    /// One masked word-parallel pass over the interval, ANDing the
+    /// `T_q` row against the transposed-`R` row of the use — each word
+    /// touched exactly once, no per-word re-masking, no candidate
+    /// enumeration.
+    #[inline]
+    fn fused_use_hit(&self, qn: u32, lo: u32, hi: u32, un: u32) -> bool {
+        self.pre
+            .t
+            .rows_intersect_in_range(qn, &self.pre.rt, un, lo, hi)
     }
 
     /// Algorithm 1 / Algorithm 3: is a variable defined at block `def`
@@ -298,76 +353,18 @@ impl LivenessChecker {
     /// Duplicate or unreachable entries are allowed (unreachable uses
     /// can never witness liveness).
     ///
-    /// Use-site preorder numbers are resolved **once** per query into a
-    /// stack scratch buffer (no heap allocation for ≤ 8 uses), not once
-    /// per candidate as a literal reading of Algorithm 1 would do; each
-    /// candidate then tests resolved numbers directly against the words
-    /// of its `R` row.
+    /// The query is one fused kernel per use: the `T_q` row is ANDed
+    /// against the use's transposed-`R` row over the candidate
+    /// interval, so each interval word is touched exactly once and no
+    /// candidate is enumerated (see the module docs). Short-circuits on
+    /// the first witnessing use.
     pub fn is_live_in(&self, def: NodeId, uses: &[NodeId], q: NodeId) -> bool {
-        let Some(mut cands) = self.candidate_nums(def, q) else {
+        let Some((qn, lo, hi)) = self.query_bounds(def, q) else {
             return false;
         };
-        match uses {
-            [] => false,
-            // The dominant case — one use — needs no scratch at all:
-            // the use's word index and bit mask are hoisted out of the
-            // candidate loop entirely.
-            &[u] => match self.num_of(u) {
-                Some(un) => {
-                    let (wi, mask) = (un as usize / 64, 1u64 << (un % 64));
-                    for tn in cands {
-                        if self.pre.r.row_words(tn)[wi] & mask != 0 {
-                            return true;
-                        }
-                    }
-                    false
-                }
-                None => false,
-            },
-            _ => {
-                // Adaptive hoisting: the first candidate — on reducible
-                // CFGs the only one (Theorem 2) — resolves uses on the
-                // fly like the seed loop did, paying nothing up front.
-                // Only when a second candidate exists do the resolved
-                // numbers get buffered, fixing the seed's
-                // O(candidates × uses) re-resolution.
-                let Some(first) = cands.next() else {
-                    return false;
-                };
-                let row = self.pre.r.row_words(first);
-                let mut any_reachable = false;
-                for &u in uses {
-                    if let Some(un) = self.num_of(u) {
-                        any_reachable = true;
-                        if row[un as usize / 64] & (1u64 << (un % 64)) != 0 {
-                            return true;
-                        }
-                    }
-                }
-                any_reachable && self.with_use_nums(uses, |nums| self.scan_live_in(cands, nums))
-            }
-        }
-    }
-
-    /// Resolves `uses` to preorder numbers **once** and hands the list
-    /// to `f`. Unreachable blocks drop out (they can never witness
-    /// liveness).
-    #[inline]
-    fn with_use_nums<R>(&self, uses: &[NodeId], f: impl FnOnce(&[u32]) -> R) -> R {
-        with_nums(uses.len(), uses.iter().map(|&u| self.num_of(u)), f)
-    }
-
-    /// The Algorithm 1 candidate loop over already-resolved use
-    /// numbers: each candidate's `R` row is tested by direct word
-    /// indexing.
-    #[inline]
-    fn scan_live_in(&self, cands: CandidateNums<'_>, nums: &[u32]) -> bool {
-        for tn in cands {
-            if row_hits_any(self.pre.r.row_words(tn), nums) {
-                return true;
-            }
-        }
-        false
+        uses.iter()
+            .filter_map(|&u| self.num_of(u))
+            .any(|un| self.fused_use_hit(qn, lo, hi, un))
     }
 
     /// [`is_live_in`](Self::is_live_in) for a use list already resolved
@@ -375,8 +372,8 @@ impl LivenessChecker {
     /// its def-use chain exactly once per query.
     #[inline]
     pub(crate) fn is_live_in_prenums(&self, def: NodeId, q: NodeId, nums: &[u32]) -> bool {
-        match self.candidate_nums(def, q) {
-            Some(cands) => self.scan_live_in(cands, nums),
+        match self.query_bounds(def, q) {
+            Some((qn, lo, hi)) => nums.iter().any(|&un| self.fused_use_hit(qn, lo, hi, un)),
             None => false,
         }
     }
@@ -485,75 +482,49 @@ impl LivenessChecker {
             // Live-out of the defining block iff some use is elsewhere.
             return uses.iter().any(|&u| u != q);
         }
-        let Some(mut cands) = self.candidate_nums(def, q) else {
+        let Some((qn, lo, hi)) = self.query_bounds(def, q) else {
             return false;
         };
-        match uses {
-            [] => false,
-            &[u] => match self.num_of(u) {
-                Some(un) => self.scan_live_out(cands, &[un], q),
-                None => false,
-            },
-            _ => {
-                // Adaptive hoisting, as in `is_live_in`: first
-                // candidate pays no buffering, later ones reuse the
-                // resolved numbers.
-                let Some(first) = cands.next() else {
-                    return false;
-                };
-                let qn = self.num_by_node[q as usize];
-                let row = self.pre.r.row_words(first);
-                let drop_q_use = first == qn && !self.is_back_target[q as usize];
-                let mut any_reachable = false;
-                for &u in uses {
-                    if let Some(un) = self.num_of(u) {
-                        any_reachable = true;
-                        if (!drop_q_use || un != qn)
-                            && row[un as usize / 64] & (1u64 << (un % 64)) != 0
-                        {
-                            return true;
-                        }
-                    }
-                }
-                any_reachable && self.with_use_nums(uses, |nums| self.scan_live_out(cands, nums, q))
-            }
-        }
+        let back = self.is_back_target[q as usize];
+        uses.iter()
+            .filter_map(|&u| self.num_of(u))
+            .any(|un| self.fused_use_out_hit(qn, lo, hi, un, back))
     }
 
-    /// The Algorithm 2 candidate loop over resolved use numbers.
+    /// The fused Algorithm 2 body for one use. A use elsewhere than `q`
+    /// (or any use, when `q` is a back-edge target) scans the full
+    /// candidate interval like live-in. A use *at* `q` of a non-target
+    /// `q` must not count the trivial candidate `t = q` (the `U \ {q}`
+    /// of Algorithm 2, line 8) — that is the single bit `num(q)` of the
+    /// interval, so the scan splits into `[lo, qn-1]` and `[qn+1, hi]`
+    /// (the kernel treats inverted halves as empty; `qn ∈ [lo, hi]` is
+    /// guaranteed by the precheck, and `qn ≥ lo ≥ 1` keeps `qn - 1` in
+    /// range).
     #[inline]
-    fn scan_live_out(&self, cands: CandidateNums<'_>, nums: &[u32], q: NodeId) -> bool {
-        let qn = self.num_by_node[q as usize];
-        for tn in cands {
-            let row = self.pre.r.row_words(tn);
-            if tn == qn && !self.is_back_target[q as usize] {
-                // U \ {q} of Algorithm 2, line 8: the trivial candidate
-                // may not count a use at q itself.
-                for &un in nums {
-                    if un != qn && row[un as usize / 64] & (1u64 << (un % 64)) != 0 {
-                        return true;
-                    }
-                }
-            } else if row_hits_any(row, nums) {
-                return true;
-            }
+    fn fused_use_out_hit(&self, qn: u32, lo: u32, hi: u32, un: u32, back: bool) -> bool {
+        if un != qn || back {
+            self.fused_use_hit(qn, lo, hi, un)
+        } else {
+            self.fused_use_hit(qn, lo, qn - 1, un) || self.fused_use_hit(qn, qn + 1, hi, un)
         }
-        false
     }
 
     /// [`is_live_out`](Self::is_live_out) for pre-resolved use numbers
     /// (no defining-block special case — the caller handles `def == q`).
     #[inline]
     pub(crate) fn is_live_out_prenums(&self, def: NodeId, q: NodeId, nums: &[u32]) -> bool {
-        match self.candidate_nums(def, q) {
-            Some(cands) => self.scan_live_out(cands, nums, q),
-            None => false,
-        }
+        let Some((qn, lo, hi)) = self.query_bounds(def, q) else {
+            return false;
+        };
+        let back = self.is_back_target[q as usize];
+        nums.iter()
+            .any(|&un| self.fused_use_out_hit(qn, lo, hi, un, back))
     }
 
-    /// Heap bytes consumed by the two matrices — the §6.1 memory cost.
+    /// Heap bytes consumed by the three matrices (`R`, `T`, and the
+    /// derived transposed `R`) — the §6.1 memory cost.
     pub fn matrix_heap_bytes(&self) -> usize {
-        self.pre.r.heap_bytes() + self.pre.t.heap_bytes()
+        self.pre.r.heap_bytes() + self.pre.t.heap_bytes() + self.pre.rt.heap_bytes()
     }
 }
 
@@ -580,15 +551,6 @@ pub(crate) fn with_nums<R>(
         let v: Vec<u32> = nums.flatten().collect();
         f(&v)
     }
-}
-
-/// `R_t ∩ uses ≠ ∅` for an already-resolved use-number list: direct
-/// word indexing into the row, no per-use bounds checks beyond the
-/// slice's own.
-#[inline]
-fn row_hits_any(row: &[u64], nums: &[u32]) -> bool {
-    nums.iter()
-        .any(|&un| row[un as usize / 64] & (1u64 << (un % 64)) != 0)
 }
 
 /// The word-masked interval scan in preorder-number space (see the
@@ -1036,7 +998,47 @@ mod tests {
     fn matrix_memory_reporting() {
         let g = DiGraph::from_edges(3, 0, &[(0, 1), (1, 2)]);
         let live = LivenessChecker::compute(&g);
-        // 3 reachable nodes -> two 3x3 matrices of one word per row.
-        assert_eq!(live.matrix_heap_bytes(), 2 * 3 * 8);
+        // 3 reachable nodes -> three 3x3 matrices (R, T, transposed R)
+        // of one word per row (single-word rows are stored unpadded).
+        assert_eq!(live.matrix_heap_bytes(), 3 * 3 * 8);
+    }
+
+    #[test]
+    fn fused_live_out_matches_candidate_enumeration() {
+        // Reference: Algorithm 2 over the *full* candidate enumeration
+        // (skipping disabled), with the t = q special case applied
+        // per-candidate — the loop the fused kernel replaced.
+        for seed in [5u64, 23, 91] {
+            let g = random_graph(150, seed, 200);
+            let mut live = LivenessChecker::compute(&g);
+            live.set_subtree_skipping(false);
+            let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut step = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u32
+            };
+            for _ in 0..3000 {
+                let def = step() % 150;
+                let uses = [step() % 150, step() % 150, step() % 150];
+                let q = step() % 150;
+                let expect = if def == q {
+                    uses.iter().any(|&u| u != q)
+                } else {
+                    live.candidates(def, q).any(|t| {
+                        uses.iter().any(|&u| {
+                            (t != q || live.is_back_edge_target(q) || u != q)
+                                && live.reduced_reachable(t, u)
+                        })
+                    })
+                };
+                assert_eq!(
+                    live.is_live_out(def, &uses, q),
+                    expect,
+                    "seed={seed} def={def} uses={uses:?} q={q}"
+                );
+            }
+        }
     }
 }

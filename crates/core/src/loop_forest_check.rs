@@ -138,8 +138,9 @@ impl LoopForestChecker {
         })
     }
 
-    /// Heap bytes of the stored matrix — half the bitset engine's,
-    /// since no `T` matrix exists.
+    /// Heap bytes of the stored matrix — a third of the bitset
+    /// engine's, which also keeps `T` and the transposed `R` its fused
+    /// query kernel scans.
     pub fn matrix_heap_bytes(&self) -> usize {
         self.r.heap_bytes()
     }
@@ -231,10 +232,13 @@ mod tests {
     }
 
     #[test]
-    fn memory_is_half_of_the_bitset_engine() {
+    fn memory_is_a_third_of_the_bitset_engine() {
+        // The bitset engine keeps three matrices of this shape (R, T,
+        // and the transposed R its fused query kernel scans); the loop
+        // forest checker stores only R.
         let g = DiGraph::from_edges(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
         let bitset = LivenessChecker::compute(&g);
         let lf = LoopForestChecker::compute(&g).expect("reducible");
-        assert_eq!(lf.matrix_heap_bytes() * 2, bitset.matrix_heap_bytes());
+        assert_eq!(lf.matrix_heap_bytes() * 3, bitset.matrix_heap_bytes());
     }
 }

@@ -51,17 +51,35 @@ use fastlive_graph::{Cfg, NodeId};
 /// The precomputed matrices, in dominance-preorder number space:
 /// row/column `i` talks about the block `dom.node_at_num(i)`.
 ///
-/// Equality is exact and field-for-field (both matrices, bit by bit) —
-/// what the persistence codec's round-trip property tests check.
+/// Equality is exact and field-for-field (all matrices, bit by bit) —
+/// what the persistence codec's round-trip property tests check. `rt`
+/// is derived deterministically from `r`, so the codec persists only
+/// `r` and `t` and rebuilds `rt` on decode
+/// ([`from_parts`](Self::from_parts)).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Precomputation {
     /// `r.contains(num(v), num(w))` iff `w ∈ R_v`.
     pub r: BitMatrix,
     /// `t.contains(num(q), num(x))` iff `x ∈ T_q` (globally filtered).
     pub t: BitMatrix,
+    /// `r` transposed: `rt.contains(num(w), num(v))` iff `w ∈ R_v`.
+    /// Row `num(u)` is "the candidates whose `R` reaches `u`" — the
+    /// second operand of the fused query kernel, which ANDs a `T_q` row
+    /// against an `rt` row over the candidate interval instead of
+    /// walking candidates one by one.
+    pub rt: BitMatrix,
 }
 
 impl Precomputation {
+    /// Assembles a `Precomputation` from the two persisted matrices,
+    /// deriving the transposed reachability matrix. The codec calls
+    /// this on decode; [`compute`](Self::compute) produces the
+    /// identical value for the same graph, so round-trip equality is
+    /// exact.
+    pub fn from_parts(r: BitMatrix, t: BitMatrix) -> Self {
+        let rt = r.transposed();
+        Precomputation { r, t, rt }
+    }
     /// Runs the full §5.2 precomputation. Unreachable nodes get no rows
     /// (they have no dominance preorder number).
     pub fn compute<G: Cfg>(g: &G, dfs: &DfsTree, dom: &DomTree) -> Self {
@@ -135,6 +153,6 @@ impl Precomputation {
             t.set(vn, vn);
         }
 
-        Precomputation { r, t }
+        Precomputation::from_parts(r, t)
     }
 }

@@ -276,8 +276,10 @@ mod tests {
         }
         let bitset = LivenessChecker::compute(&g);
         let sorted = SortedLivenessChecker::compute(&g);
-        // Bitset: 2 matrices * 200 rows * 4 words * 8 bytes = 12800.
-        assert_eq!(bitset.matrix_heap_bytes(), 2 * 200 * 4 * 8);
+        // Bitset: 3 matrices (R, T, transposed R) * 200 rows, each row
+        // padded from ceil(200/64) = 4 words to a full 8-word cache
+        // line, plus up to 7 words of alignment slack per matrix.
+        assert_eq!(bitset.matrix_heap_bytes(), 3 * (200 * 8 + 7) * 8);
         // Sorted: R holds 200 + 199 elements, T 200 singletons — about
         // 2.4 KB against 12.8 KB for the bitsets.
         assert!(sorted.set_heap_bytes() < bitset.matrix_heap_bytes() / 4);

@@ -129,8 +129,13 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// version-1 byte format, CRC included.
 pub fn encode(shape: &CfgShape, pre: &Precomputation) -> Vec<u8> {
     let enc = shape.encoding();
+    // `to_words` strips the in-memory arena padding: the byte format
+    // stores exactly `rows * ceil(cols/64)` words per matrix, so the
+    // encoding is independent of the arena layout and FORMAT_VERSION
+    // stays at 1 across layout changes.
+    let matrix_words = |m: &fastlive_bitset::BitMatrix| m.rows() * m.cols().div_ceil(64);
     let mut out = Vec::with_capacity(
-        24 + 4 * enc.len() + 16 + 8 * (pre.r.as_words().len() + pre.t.as_words().len()),
+        24 + 4 * enc.len() + 16 + 8 * (matrix_words(&pre.r) + matrix_words(&pre.t)),
     );
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -142,7 +147,7 @@ pub fn encode(shape: &CfgShape, pre: &Precomputation) -> Vec<u8> {
     for m in [&pre.r, &pre.t] {
         out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
         out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
-        for &w in m.as_words() {
+        for w in m.to_words() {
             out.extend_from_slice(&w.to_le_bytes());
         }
     }
@@ -221,10 +226,9 @@ pub fn decode(shape: &CfgShape, bytes: &[u8]) -> Option<Precomputation> {
     if r_matrix.rows() != t_matrix.rows() || r.pos != payload_len {
         return None;
     }
-    Some(Precomputation {
-        r: r_matrix,
-        t: t_matrix,
-    })
+    // `from_parts` re-derives the transposed reachability matrix; it is
+    // deterministic in `r`, so the round-trip is still exact equality.
+    Some(Precomputation::from_parts(r_matrix, t_matrix))
 }
 
 /// One square `rows == cols ≤ max_dim` matrix; dimensions are checked
@@ -257,10 +261,20 @@ pub fn revive(shape: &CfgShape, pre: Precomputation) -> Option<FunctionLiveness>
     let dfs = DfsTree::compute(&g);
     let dom = DomTree::compute(&g, &dfs);
     let n = dom.num_reachable();
-    // Both matrices must be square over exactly the reachable blocks —
-    // `decode` guarantees this for its own output, but `revive` is a
-    // public gate and must hold for any caller-supplied value.
-    if [pre.r.rows(), pre.r.cols(), pre.t.rows(), pre.t.cols()] != [n; 4] {
+    // All matrices (the derived transpose included — the fields are
+    // public, so a caller-built value could disagree) must be square
+    // over exactly the reachable blocks — `decode` guarantees this for
+    // its own output, but `revive` is a public gate and must hold for
+    // any caller-supplied value.
+    if [
+        pre.r.rows(),
+        pre.r.cols(),
+        pre.t.rows(),
+        pre.t.cols(),
+        pre.rt.rows(),
+        pre.rt.cols(),
+    ] != [n; 6]
+    {
         return None;
     }
     Some(FunctionLiveness::from_checker(
@@ -888,20 +902,15 @@ mod tests {
         // not just `decode` output.
         assert!(revive(
             &shape,
-            Precomputation {
-                r: pre.r.clone(),
-                t: small.t.clone(),
-            }
+            Precomputation::from_parts(pre.r.clone(), small.t.clone())
         )
         .is_none());
-        assert!(revive(
-            &shape,
-            Precomputation {
-                r: small.r,
-                t: pre.t.clone(),
-            }
-        )
-        .is_none());
+        assert!(revive(&shape, Precomputation::from_parts(small.r, pre.t.clone())).is_none());
+        // A hand-built value with a wrong-shaped derived transpose is
+        // rejected too.
+        let mut skewed = pre.clone();
+        skewed.rt = small.t;
+        assert!(revive(&shape, skewed).is_none());
         assert!(revive(&shape, pre).is_some());
     }
 }

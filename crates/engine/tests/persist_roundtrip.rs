@@ -115,6 +115,76 @@ proptest! {
     }
 }
 
+/// The padded row arena never leaks into the codec (PR 8): for
+/// functions large enough that every matrix row carries cache-line
+/// padding, the encoding still holds exactly `rows × ceil(cols/64)`
+/// words per matrix — byte-length checked against the format
+/// arithmetic — `decode(encode(p)) == p` bit-for-bit, and the revived
+/// checker agrees with the iterative-dataflow oracle.
+#[test]
+fn padded_arena_never_leaks_into_the_encoding() {
+    let module = generate_module(
+        "padded",
+        ModuleParams {
+            functions: 1,
+            min_blocks: 66,
+            max_blocks: 80,
+            irreducible_per_mille: 300,
+            deep_live_per_mille: 400,
+        },
+        0x9a7d,
+    );
+    for (_, func) in module.iter() {
+        let shape = CfgShape::of(func);
+        let pre = LivenessChecker::compute(&shape.to_graph())
+            .precomputation()
+            .clone();
+        let n = pre.r.rows();
+        assert!(n > 64, "need multi-word rows for padding to exist");
+        let words_per_row = pre.r.cols().div_ceil(64);
+        // The in-memory arena is padded (rows rounded up to whole cache
+        // lines, plus alignment slack) ...
+        assert!(
+            pre.r.heap_bytes() > n * words_per_row * 8,
+            "{}: arena should carry padding",
+            func.name
+        );
+        // ... but the packed view and the byte format are not: header
+        // (magic + version + hash + shape encoding) + two matrices of
+        // exactly rows × words_per_row words + CRC.
+        assert_eq!(pre.r.to_words().len(), n * words_per_row);
+        let bytes = encode(&shape, &pre);
+        // magic(4) + version(4) + hash(8) + enc count(4) = 20 bytes.
+        let expect_len = 20 + 4 * shape.encoding().len() + 2 * (8 + 8 * n * words_per_row) + 4;
+        assert_eq!(bytes.len(), expect_len, "{}: padding leaked", func.name);
+
+        let back = decode(&shape, &bytes).expect("own encoding decodes");
+        assert_eq!(back, pre, "{}: decode(encode(p)) != p", func.name);
+
+        let revived = revive(&shape, back).expect("dimensions match");
+        for v in func.values().take(12) {
+            for b in func.blocks() {
+                assert_eq!(
+                    revived.is_live_in(func, v, b),
+                    oracle::live_in_value(func, v, b),
+                    "{}: revived live-in {} at {}",
+                    func.name,
+                    v,
+                    b
+                );
+                assert_eq!(
+                    revived.is_live_out(func, v, b),
+                    oracle::live_out_value(func, v, b),
+                    "{}: revived live-out {} at {}",
+                    func.name,
+                    v,
+                    b
+                );
+            }
+        }
+    }
+}
+
 /// The acceptance criterion: a second engine on the same `persist_dir`
 /// analyzes an identical module with **zero** in-memory hits (all
 /// shapes distinct) but one `disk_hits` per distinct fingerprint, and
