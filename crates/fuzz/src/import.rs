@@ -1,0 +1,694 @@
+//! Corpus importers: real CFG shapes, translated into
+//! [`fastlive_ir::Module`]s.
+//!
+//! Two textual formats feed the committed corpus under `corpus/`:
+//!
+//! * **Block-parameter SSA text** (`.ssa`) — the dejavu-shaped form
+//!   compiler dumps use: named variables, named blocks, φs as block
+//!   parameters (`bb1(x, y):`), `br`/`jmp`/`ret` terminators. Names
+//!   are translated to dense ids; blocks and values may be referenced
+//!   before their textual definition.
+//! * **Graphviz digraphs** (`.dot`/`.gv`) — bare CFG shapes
+//!   (`n0 -> n1;`). The importer synthesizes a strict-SSA body over
+//!   the edge structure: a fresh pre-header becomes the entry, every
+//!   node block carries one parameter threaded along every edge, and
+//!   each block computes one local value — so the graph's dominance
+//!   and liveness structure is preserved while every block defines and
+//!   uses values. Nodes with three or more successors become `brif`
+//!   dispatch chains; parallel edges are kept.
+//!
+//! Importers are **total**: any byte sequence either becomes a
+//! verified strict-SSA module or a typed [`ImportError`] with a line
+//! number — never a panic. The committed corpus files are run through
+//! the full differential suite by `crates/fuzz/tests/corpus_oracle.rs`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fastlive_ir::{BinaryOp, Module, UnaryOp};
+
+use crate::case::{module_of_cases, CaseCall, CaseFunc, CaseOp, CaseTerm};
+
+/// Why an import failed: a position and a message, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImportError {
+    /// 1-based source line (0 when not attributable to one line).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "import error: {}", self.message)
+        } else {
+            write!(f, "import error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn err(line: usize, message: impl Into<String>) -> ImportError {
+    ImportError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Dispatches on the file extension: `.fl` is the native parser,
+/// `.ssa` the block-parameter SSA importer, `.dot`/`.gv` the digraph
+/// importer.
+pub fn import_auto(filename: &str, src: &str) -> Result<Module, ImportError> {
+    let ext = filename.rsplit('.').next().unwrap_or("");
+    match ext {
+        "fl" => fastlive_ir::parse_module(src).map_err(|e| err(0, e.to_string())),
+        "ssa" => import_ssa_text(src),
+        "dot" | "gv" => import_dot(src),
+        other => Err(err(0, format!("unknown corpus extension `.{other}`"))),
+    }
+}
+
+/// Strips a `#` or `//` comment and surrounding whitespace.
+fn strip_comment(line: &str) -> &str {
+    let line = line.split('#').next().unwrap_or("");
+    let line = line.split("//").next().unwrap_or("");
+    line.trim()
+}
+
+/// Splits `bb1(x, y)` into the name and its comma-separated list.
+fn split_call(text: &str, line: usize) -> Result<(&str, Vec<&str>), ImportError> {
+    let text = text.trim();
+    match text.split_once('(') {
+        None => {
+            if text.is_empty() {
+                Err(err(line, "empty name"))
+            } else {
+                Ok((text, Vec::new()))
+            }
+        }
+        Some((name, rest)) => {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(line, format!("unclosed `(` in `{text}`")))?;
+            let args = inner
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            Ok((name.trim(), args))
+        }
+    }
+}
+
+fn binary_op(op: &str) -> Option<BinaryOp> {
+    Some(match op {
+        "add" | "iadd" => BinaryOp::Iadd,
+        "sub" | "isub" => BinaryOp::Isub,
+        "mul" | "imul" => BinaryOp::Imul,
+        "div" | "sdiv" => BinaryOp::Sdiv,
+        "rem" | "mod" | "srem" => BinaryOp::Srem,
+        "and" | "band" => BinaryOp::Band,
+        "or" | "bor" => BinaryOp::Bor,
+        "xor" | "bxor" => BinaryOp::Bxor,
+        "eq" | "icmp_eq" => BinaryOp::IcmpEq,
+        "ne" | "icmp_ne" => BinaryOp::IcmpNe,
+        "lt" | "slt" | "icmp_slt" => BinaryOp::IcmpSlt,
+        "le" | "sle" | "icmp_sle" => BinaryOp::IcmpSle,
+        _ => return None,
+    })
+}
+
+fn unary_op(op: &str) -> Option<UnaryOp> {
+    Some(match op {
+        "copy" | "mov" | "id" => UnaryOp::Copy,
+        "neg" | "ineg" => UnaryOp::Ineg,
+        "not" | "bnot" => UnaryOp::Bnot,
+        _ => return None,
+    })
+}
+
+/// Per-function translation state for the SSA importer.
+struct SsaFunc {
+    case: CaseFunc,
+    /// Variable name → value id, allocated on first mention (uses may
+    /// textually precede definitions across blocks).
+    values: HashMap<String, u32>,
+    /// Variable name → line of its definition.
+    defined: HashMap<String, usize>,
+    /// Block name → block index, allocated on first mention.
+    blocks: HashMap<String, usize>,
+    /// Block name → line of its header (a targeted-but-never-headered
+    /// block is an error at function end).
+    headers: HashMap<String, usize>,
+    current: Option<usize>,
+    terminated: bool,
+}
+
+impl SsaFunc {
+    fn new(name: &str) -> Self {
+        SsaFunc {
+            case: CaseFunc::new(name),
+            values: HashMap::new(),
+            defined: HashMap::new(),
+            blocks: HashMap::new(),
+            headers: HashMap::new(),
+            current: None,
+            terminated: true,
+        }
+    }
+
+    fn value(&mut self, name: &str) -> u32 {
+        if let Some(&v) = self.values.get(name) {
+            return v;
+        }
+        let v = self.case.fresh_value();
+        self.values.insert(name.to_string(), v);
+        v
+    }
+
+    fn define(&mut self, name: &str, line: usize) -> Result<u32, ImportError> {
+        if let Some(&first) = self.defined.get(name) {
+            return Err(err(
+                line,
+                format!("`{name}` defined twice (first at line {first})"),
+            ));
+        }
+        self.defined.insert(name.to_string(), line);
+        Ok(self.value(name))
+    }
+
+    fn block(&mut self, name: &str) -> usize {
+        if let Some(&b) = self.blocks.get(name) {
+            return b;
+        }
+        // The very first block named in the function body is the entry
+        // slot CaseFunc pre-creates; later names allocate new blocks.
+        let b = if self.blocks.is_empty() {
+            0
+        } else {
+            self.case.add_block()
+        };
+        self.blocks.insert(name.to_string(), b);
+        b
+    }
+
+    fn call(&mut self, text: &str, line: usize) -> Result<CaseCall, ImportError> {
+        let (name, args) = split_call(text, line)?;
+        let block = self.block(name);
+        Ok(CaseCall {
+            block,
+            args: args.iter().map(|a| self.value(a)).collect(),
+        })
+    }
+
+    fn finish(self, line: usize) -> Result<CaseFunc, ImportError> {
+        if !self.terminated || self.headers.is_empty() {
+            return Err(err(line, "function needs at least one terminated block"));
+        }
+        for name in self.blocks.keys() {
+            if !self.headers.contains_key(name) {
+                return Err(err(line, format!("branch to undefined block `{name}`")));
+            }
+        }
+        for name in self.values.keys() {
+            if !self.defined.contains_key(name) {
+                return Err(err(line, format!("use of undefined value `{name}`")));
+            }
+        }
+        Ok(self.case)
+    }
+}
+
+/// Imports dejavu-shaped block-parameter SSA text. See the module doc
+/// for the grammar; `corpus/*.ssa` are the living examples.
+pub fn import_ssa_text(src: &str) -> Result<Module, ImportError> {
+    let mut cases: Vec<CaseFunc> = Vec::new();
+    let mut cur: Option<SsaFunc> = None;
+
+    for (ln, raw) in src.lines().enumerate() {
+        let ln = ln + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+
+        // Function header: `func @name(a, b) {`.
+        if let Some(rest) = line
+            .strip_prefix("func ")
+            .or_else(|| line.strip_prefix("fn "))
+            .or_else(|| line.strip_prefix("function "))
+        {
+            if cur.is_some() {
+                return Err(err(ln, "nested `func` (missing `}`?)"));
+            }
+            let rest = rest
+                .trim()
+                .strip_suffix('{')
+                .ok_or_else(|| err(ln, "function header must end in `{`"))?
+                .trim();
+            let (name, params) = split_call(rest, ln)?;
+            let name = name.strip_prefix('@').unwrap_or(name);
+            if name.is_empty() {
+                return Err(err(ln, "function needs a name"));
+            }
+            let mut f = SsaFunc::new(name);
+            for p in params {
+                let v = f.define(p, ln)?;
+                f.case.blocks[0].params.push(v);
+            }
+            cur = Some(f);
+            continue;
+        }
+
+        if line == "}" {
+            let f = cur
+                .take()
+                .ok_or_else(|| err(ln, "`}` outside a function"))?;
+            cases.push(f.finish(ln)?);
+            continue;
+        }
+
+        let f = cur
+            .as_mut()
+            .ok_or_else(|| err(ln, "statement outside a function"))?;
+
+        // Block header: `bb1(x, y):`.
+        if let Some(head) = line.strip_suffix(':') {
+            if !f.terminated {
+                return Err(err(ln, "previous block has no terminator"));
+            }
+            let (bname, params) = split_call(head, ln)?;
+            if let Some(&seen) = f.headers.get(bname) {
+                return Err(err(
+                    ln,
+                    format!("block `{bname}` defined twice (first at line {seen})"),
+                ));
+            }
+            let first = f.headers.is_empty();
+            let b = f.block(bname);
+            f.headers.insert(bname.to_string(), ln);
+            if first && !params.is_empty() {
+                return Err(err(
+                    ln,
+                    "the entry block's parameters are the function parameters",
+                ));
+            }
+            for p in params {
+                let v = f.define(p, ln)?;
+                f.case.blocks[b].params.push(v);
+            }
+            f.current = Some(b);
+            f.terminated = false;
+            continue;
+        }
+
+        let b = f
+            .current
+            .ok_or_else(|| err(ln, "instruction before any block header"))?;
+        if f.terminated {
+            return Err(err(ln, "instruction after the block's terminator"));
+        }
+
+        // Terminators.
+        if let Some(rest) = line
+            .strip_prefix("jmp ")
+            .or_else(|| line.strip_prefix("jump "))
+        {
+            let dest = f.call(rest, ln)?;
+            f.case.blocks[b].term = CaseTerm::Jump(dest);
+            f.terminated = true;
+            continue;
+        }
+        if let Some(rest) = line
+            .strip_prefix("br ")
+            .or_else(|| line.strip_prefix("brif "))
+        {
+            let (cond, targets) = rest
+                .split_once(',')
+                .ok_or_else(|| err(ln, "br needs `cond, then, else`"))?;
+            let cond = f.value(cond.trim());
+            // The two targets split at the comma outside parentheses.
+            let targets = targets.trim();
+            let mut depth = 0usize;
+            let mut split_at = None;
+            for (i, c) in targets.char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        split_at = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let split_at = split_at.ok_or_else(|| err(ln, "br needs two targets"))?;
+            let then_call = f.call(&targets[..split_at], ln)?;
+            let else_call = f.call(&targets[split_at + 1..], ln)?;
+            f.case.blocks[b].term = CaseTerm::Brif(cond, then_call, else_call);
+            f.terminated = true;
+            continue;
+        }
+        if line == "ret"
+            || line == "return"
+            || line.starts_with("ret ")
+            || line.starts_with("return ")
+        {
+            let rest = line
+                .strip_prefix("return")
+                .or_else(|| line.strip_prefix("ret"))
+                .unwrap_or("")
+                .trim();
+            let args = if rest.is_empty() {
+                Vec::new()
+            } else {
+                rest.split(',').map(|a| f.value(a.trim())).collect()
+            };
+            f.case.blocks[b].term = CaseTerm::Return(args);
+            f.terminated = true;
+            continue;
+        }
+
+        // Plain instruction: `dst = op operands`.
+        let (dst, rhs) = line
+            .split_once('=')
+            .ok_or_else(|| err(ln, format!("unrecognized statement `{line}`")))?;
+        let dst = f.define(dst.trim(), ln)?;
+        let rhs = rhs.trim();
+        let (op, operands) = match rhs.split_once(char::is_whitespace) {
+            Some((op, rest)) => (op.trim(), rest.trim()),
+            None => (rhs, ""),
+        };
+        let args: Vec<&str> = operands
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let case_op = match op {
+            "const" | "iconst" => {
+                let imm: i64 = operands
+                    .parse()
+                    .map_err(|_| err(ln, format!("bad constant `{operands}`")))?;
+                CaseOp::Iconst(imm)
+            }
+            _ => {
+                if let Some(u) = unary_op(op) {
+                    if args.len() != 1 {
+                        return Err(err(ln, format!("`{op}` takes one operand")));
+                    }
+                    CaseOp::Unary(u, f.value(args[0]))
+                } else if let Some(bi) = binary_op(op) {
+                    if args.len() != 2 {
+                        return Err(err(ln, format!("`{op}` takes two operands")));
+                    }
+                    CaseOp::Binary(bi, f.value(args[0]), f.value(args[1]))
+                } else {
+                    return Err(err(ln, format!("unknown operation `{op}`")));
+                }
+            }
+        };
+        f.case.blocks[b].insts.push((dst, case_op));
+    }
+
+    if cur.is_some() {
+        return Err(err(0, "unterminated function (missing `}`)"));
+    }
+    if cases.is_empty() {
+        return Err(err(0, "no functions in input"));
+    }
+    module_of_cases(&cases).map_err(|m| err(0, format!("imported function is invalid: {m}")))
+}
+
+/// Imports a Graphviz digraph as a CFG skeleton with a synthesized
+/// strict-SSA body; see the module doc. The first node mentioned is
+/// the entry node; nodes unreachable from it are pruned.
+pub fn import_dot(src: &str) -> Result<Module, ImportError> {
+    let mut name = String::from("dot_cfg");
+    let mut order: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut succs: Vec<Vec<usize>> = Vec::new();
+    let mut saw_graph = false;
+
+    fn intern(
+        id: &str,
+        order: &mut Vec<String>,
+        index: &mut HashMap<String, usize>,
+        succs: &mut Vec<Vec<usize>>,
+    ) -> usize {
+        if let Some(&i) = index.get(id) {
+            return i;
+        }
+        let i = order.len();
+        order.push(id.to_string());
+        index.insert(id.to_string(), i);
+        succs.push(Vec::new());
+        i
+    }
+
+    for (ln, raw) in src.lines().enumerate() {
+        let ln = ln + 1;
+        let mut line = strip_comment(raw).to_string();
+        // Drop [attr=...] blocks (they may contain `;` or `->`).
+        while let Some(start) = line.find('[') {
+            match line[start..].find(']') {
+                Some(rel) => line.replace_range(start..start + rel + 1, " "),
+                None => return Err(err(ln, "unclosed `[` attribute block")),
+            }
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt
+                .trim()
+                .trim_end_matches('{')
+                .trim_start_matches('}')
+                .trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("digraph") {
+                saw_graph = true;
+                let rest = rest.trim();
+                if !rest.is_empty() {
+                    name = rest.trim_matches('"').to_string();
+                }
+                continue;
+            }
+            if stmt.starts_with("graph")
+                || stmt.starts_with("node")
+                || stmt.starts_with("edge")
+                || stmt.starts_with("subgraph")
+                || stmt.starts_with("rankdir")
+            {
+                continue;
+            }
+            if stmt.contains("->") {
+                let hops: Vec<&str> = stmt.split("->").map(str::trim).collect();
+                for pair in hops.windows(2) {
+                    let from = pair[0].trim_matches('"');
+                    let to = pair[1].trim_matches('"');
+                    if from.is_empty() || to.is_empty() {
+                        return Err(err(ln, format!("malformed edge `{stmt}`")));
+                    }
+                    let fi = intern(from, &mut order, &mut index, &mut succs);
+                    let ti = intern(to, &mut order, &mut index, &mut succs);
+                    succs[fi].push(ti);
+                }
+            } else {
+                // A bare node declaration claims its first-mention slot
+                // (it may be the entry of a single-node graph).
+                let id = stmt.trim_matches('"');
+                if !id.is_empty() && id.chars().all(|c| c.is_alphanumeric() || "_.".contains(c)) {
+                    intern(id, &mut order, &mut index, &mut succs);
+                }
+            }
+        }
+    }
+
+    if !saw_graph {
+        return Err(err(0, "not a digraph (missing `digraph` header)"));
+    }
+    if order.is_empty() {
+        return Err(err(0, "digraph has no nodes"));
+    }
+
+    // Synthesize the body. Block 0 is a fresh pre-header entry (real
+    // CFGs may loop back to their first node, and this IR dialect's
+    // entry cannot receive block arguments); node i becomes block
+    // i + 1 with one parameter, one local computation, and its edges.
+    let mut case = CaseFunc::new(&name);
+    for _ in 0..order.len() {
+        case.add_block();
+    }
+    let seed = case.fresh_value();
+    case.blocks[0].insts.push((seed, CaseOp::Iconst(1)));
+    case.blocks[0].term = CaseTerm::Jump(CaseCall {
+        block: 1,
+        args: vec![seed],
+    });
+    let mut local = Vec::with_capacity(order.len());
+    for n in 0..order.len() {
+        let b = n + 1;
+        let p = case.fresh_value();
+        case.blocks[b].params.push(p);
+        let y = case.fresh_value();
+        case.blocks[b]
+            .insts
+            .push((y, CaseOp::Binary(BinaryOp::Iadd, p, p)));
+        local.push(y);
+    }
+    for (n, &y) in local.iter().enumerate() {
+        let b = n + 1;
+        let call = |t: usize, v: u32| CaseCall {
+            block: t + 1,
+            args: vec![v],
+        };
+        let out = &succs[n];
+        case.blocks[b].term = match out.len() {
+            0 => CaseTerm::Return(vec![y]),
+            1 => CaseTerm::Jump(call(out[0], y)),
+            2 => CaseTerm::Brif(y, call(out[0], y), call(out[1], y)),
+            m => {
+                // Dispatch chain preserving all m edges:
+                //   b:    brif y, s0, d1(y)
+                //   d_i:  brif p_i, s_i, d_{i+1}(p_i)   (i = 1..m-2)
+                //   d_{m-2} ends ... s_{m-2}, s_{m-1}.
+                let ds: Vec<(usize, u32)> = (0..m - 2)
+                    .map(|_| {
+                        let d = case.add_block();
+                        let p = case.fresh_value();
+                        case.blocks[d].params.push(p);
+                        (d, p)
+                    })
+                    .collect();
+                for (i, &(d, p)) in ds.iter().enumerate() {
+                    let next = if i + 1 < ds.len() {
+                        CaseCall {
+                            block: ds[i + 1].0,
+                            args: vec![p],
+                        }
+                    } else {
+                        call(out[m - 1], p)
+                    };
+                    case.blocks[d].term = CaseTerm::Brif(p, call(out[i + 1], p), next);
+                }
+                CaseTerm::Brif(
+                    y,
+                    call(out[0], y),
+                    CaseCall {
+                        block: ds[0].0,
+                        args: vec![y],
+                    },
+                )
+            }
+        };
+    }
+    case.prune_unreachable();
+    module_of_cases(&[case]).map_err(|m| err(0, format!("synthesized CFG invalid: {m}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_ssa_imports_and_verifies() {
+        let src = "
+            # Euclid, block-parameter form.
+            func @gcd(a, b) {
+            bb0:
+              jmp bb1(a, b)
+            bb1(x, y):
+              zero = const 0
+              done = eq y, zero
+              br done, bb3(x), bb2
+            bb2:
+              r = rem x, y
+              jmp bb1(y, r)
+            bb3(g):
+              ret g
+            }";
+        let m = import_ssa_text(src).expect("gcd imports");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.func(0).name, "gcd");
+        assert_eq!(m.func(0).num_blocks(), 4);
+    }
+
+    #[test]
+    fn forward_block_and_value_references_import() {
+        // bb2 is targeted before its header; `x` is used in bb1 but
+        // defined (as a block param) in a textually later header.
+        let src = "
+            func @fwd(n) {
+            bb0:
+              br n, bb2(n), bb1
+            bb1:
+              jmp bb2(n)
+            bb2(x):
+              y = add x, n
+              ret y
+            }";
+        let m = import_ssa_text(src).expect("forward refs import");
+        assert_eq!(m.func(0).num_blocks(), 3);
+    }
+
+    #[test]
+    fn ssa_importer_is_total_on_garbage() {
+        for bad in [
+            "",
+            "func @f {",
+            "func @f {\n}",
+            "func @f {\nbb0:\n  frobnicate x\n  ret\n}",
+            "func @f {\nbb0:\n  x = add a\n  ret\n}",
+            "func @f {\nbb0:\n  jmp missing_header\n}",
+            "func @f {\nbb0:\n  x = const 1\n  x = const 2\n  ret\n}",
+            "func @f {\nbb0:\n  ret\nbb0:\n  ret\n}",
+            "func @f {\nbb0:\n  y = add a, b\n  ret y\n}",
+            "ret",
+        ] {
+            assert!(import_ssa_text(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn dot_digraph_imports_with_loops_and_wide_switches() {
+        let src = "
+            digraph loop_nest {
+              entry -> header;
+              header -> body [label=\"taken\"];
+              header -> exit;
+              body -> latch; body -> early; // comment
+              latch -> header;
+              early -> exit;
+              header -> sw;
+              sw -> a; sw -> b; sw -> c; sw -> d;
+              a -> exit; b -> exit; c -> exit; d -> exit;
+            }";
+        let m = import_dot(src).expect("digraph imports");
+        let f = m.func(0);
+        assert_eq!(f.name, "loop_nest");
+        // 11 nodes + pre-header + 2 dispatch blocks for the 4-way `sw`
+        // + 1 for the 3-way `header`.
+        assert_eq!(f.num_blocks(), 15);
+        fastlive_core::verify_strict_ssa(f).expect("synthesized body is strict");
+    }
+
+    #[test]
+    fn dot_back_edge_into_first_node_is_fine() {
+        let src = "digraph g { n0 -> n1; n1 -> n0; n1 -> n2; }";
+        let m = import_dot(src).expect("imports");
+        assert_eq!(m.func(0).num_blocks(), 4, "pre-header + three nodes");
+    }
+
+    #[test]
+    fn dot_importer_is_total_on_garbage() {
+        for bad in [
+            "",
+            "graph g { a -- b; }",
+            "digraph g { a -> ; }",
+            "digraph g { x [unclosed }",
+        ] {
+            assert!(import_dot(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+}

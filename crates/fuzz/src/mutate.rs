@@ -1,0 +1,281 @@
+//! Adversarial case generation: the shapes the paper's precomputation
+//! is most likely to get wrong, built either by mutating generated
+//! workloads or from scratch.
+//!
+//! Every product of this module is a [`CaseFunc`] whose
+//! [`to_function`](CaseFunc::to_function) round-trip re-checks strict
+//! SSA — a mutation that breaks the dominance property is *discarded
+//! and counted*, never silently run, because the differential
+//! invariant (all backends answer identically) is only promised for
+//! strict-SSA inputs.
+
+use fastlive_construct::construct_ssa;
+use fastlive_ir::Function;
+use fastlive_workload::{generate_pre, inject_gotos, GenParams, SplitMix64};
+
+use crate::case::{CaseCall, CaseFunc, CaseTerm};
+
+/// What one mutation attempt produced.
+pub enum Mutated {
+    /// The mutated case still parses and verifies.
+    Ok(CaseFunc),
+    /// The mutation broke strict SSA (or did not apply); the case was
+    /// discarded. Carries the reason for the arm's skip counter.
+    Skipped(&'static str),
+}
+
+/// Duplicates a `brif` edge: both targets of a random conditional
+/// branch point at the same block with the same arguments — the
+/// parallel-edge shape that stresses predecessor multiplicity.
+pub fn duplicate_brif_edge(case: &CaseFunc, rng: &mut SplitMix64) -> Mutated {
+    let brifs: Vec<usize> = (0..case.blocks.len())
+        .filter(|&b| matches!(case.blocks[b].term, CaseTerm::Brif(..)))
+        .collect();
+    if brifs.is_empty() {
+        return Mutated::Skipped("no brif to duplicate");
+    }
+    let b = *rng.pick(&brifs);
+    let mut next = case.clone();
+    if let CaseTerm::Brif(_, then_call, else_call) = &mut next.blocks[b].term {
+        // Collapse onto one side; the dropped side may orphan blocks.
+        if rng.chance(50) {
+            *then_call = else_call.clone();
+        } else {
+            *else_call = then_call.clone();
+        }
+    }
+    next.prune_unreachable();
+    match next.to_function() {
+        Ok(_) => Mutated::Ok(next),
+        Err(_) => Mutated::Skipped("duplicate edge broke SSA"),
+    }
+}
+
+/// Adds a self-edge: a block ending in `jump T` instead conditionally
+/// re-enters itself, passing its own parameters — a one-block loop
+/// whose header is its own latch. The condition and self-arguments are
+/// values defined *in* the block, so dominance is preserved by
+/// construction (still re-verified).
+pub fn add_self_edge(case: &CaseFunc, rng: &mut SplitMix64) -> Mutated {
+    let candidates: Vec<usize> = (0..case.blocks.len())
+        .filter(|&b| {
+            matches!(case.blocks[b].term, CaseTerm::Jump(_)) && !case.defs_of(b).is_empty()
+        })
+        .collect();
+    if candidates.is_empty() {
+        return Mutated::Skipped("no jump block with local defs");
+    }
+    let b = *rng.pick(&candidates);
+    let mut next = case.clone();
+    let local = next.defs_of(b);
+    let cond = *rng.pick(&local);
+    let self_args = next.blocks[b].params.clone();
+    if let CaseTerm::Jump(dest) = next.blocks[b].term.clone() {
+        next.blocks[b].term = CaseTerm::Brif(
+            cond,
+            dest,
+            CaseCall {
+                block: b,
+                args: self_args,
+            },
+        );
+    }
+    match next.to_function() {
+        Ok(_) => Mutated::Ok(next),
+        Err(_) => Mutated::Skipped("self edge broke SSA"),
+    }
+}
+
+/// A dominator ladder: `height` straight-line blocks, each defining one
+/// value from its predecessor's, with the earliest values used again
+/// only at the bottom — live *through* the whole chain. Worst case for
+/// anything that walks dominator chains or reduced-reachability sets.
+pub fn dominator_ladder(name: &str, height: usize, rng: &mut SplitMix64) -> CaseFunc {
+    let height = height.max(2);
+    let mut case = CaseFunc::new(name);
+    let seed_val = case.fresh_value();
+    case.blocks[0]
+        .insts
+        .push((seed_val, crate::case::CaseOp::Iconst(rng.range(97) as i64)));
+    let mut rungs = vec![seed_val];
+    let mut prev = 0usize;
+    for _ in 1..height {
+        let b = case.add_block();
+        case.blocks[prev].term = CaseTerm::Jump(CaseCall {
+            block: b,
+            args: vec![],
+        });
+        let r = case.fresh_value();
+        let from = *rungs.last().unwrap();
+        case.blocks[b].insts.push((
+            r,
+            crate::case::CaseOp::Binary(fastlive_ir::BinaryOp::Iadd, from, seed_val),
+        ));
+        rungs.push(r);
+        prev = b;
+    }
+    // The bottom folds a sample of early rungs back together: deep
+    // ranges from the top of the ladder stay live through every rung.
+    let mut acc = rungs[0];
+    for _ in 0..4usize.min(rungs.len()) {
+        let pick = rungs[rng.index(rungs.len() / 2 + 1)];
+        let r = case.fresh_value();
+        case.blocks[prev].insts.push((
+            r,
+            crate::case::CaseOp::Binary(fastlive_ir::BinaryOp::Bxor, acc, pick),
+        ));
+        acc = r;
+    }
+    case.blocks[prev].term = CaseTerm::Return(vec![acc]);
+    case
+}
+
+/// Hand-built irreducible regions: per region, a two-block loop whose
+/// blocks `a` and `b` are each entered from *outside* the loop as well
+/// (a two-stage dispatch chain branches into `a` and into `b`), so
+/// neither loop block dominates the other — the shape DFS-tree-based
+/// reducibility tests misclassify first. Loop-carried state travels as
+/// block parameters; the initial arguments are entry-defined, so
+/// strict SSA holds by construction.
+pub fn irreducible_double_entry(name: &str, rounds: usize, rng: &mut SplitMix64) -> CaseFunc {
+    let rounds = rounds.max(1);
+    let mut case = CaseFunc::new(name);
+    let c = case.fresh_value();
+    let x = case.fresh_value();
+    case.blocks[0]
+        .insts
+        .push((c, crate::case::CaseOp::Iconst(rng.range(2) as i64)));
+    case.blocks[0]
+        .insts
+        .push((x, crate::case::CaseOp::Iconst(rng.range(1000) as i64)));
+    let exit = case.add_block();
+    case.blocks[exit].term = CaseTerm::Return(vec![x]);
+    let mut dispatch = 0usize;
+    for i in 0..rounds {
+        let a = case.add_block();
+        let b = case.add_block();
+        let pa = case.fresh_value();
+        let pb = case.fresh_value();
+        case.blocks[a].params.push(pa);
+        case.blocks[b].params.push(pb);
+        // The loop proper: a ⇄ b, each with a fall-out to the exit.
+        case.blocks[a].term = CaseTerm::Brif(
+            pa,
+            CaseCall {
+                block: b,
+                args: vec![pa],
+            },
+            CaseCall {
+                block: exit,
+                args: vec![],
+            },
+        );
+        case.blocks[b].term = CaseTerm::Brif(
+            pb,
+            CaseCall {
+                block: a,
+                args: vec![pb],
+            },
+            CaseCall {
+                block: exit,
+                args: vec![],
+            },
+        );
+        // Two-stage dispatch: `dispatch → a | d2` and `d2 → b | next`,
+        // giving both loop blocks an entry edge from outside the loop.
+        let d2 = case.add_block();
+        case.blocks[dispatch].term = CaseTerm::Brif(
+            c,
+            CaseCall {
+                block: a,
+                args: vec![x],
+            },
+            CaseCall {
+                block: d2,
+                args: vec![],
+            },
+        );
+        let next = if i + 1 == rounds {
+            exit
+        } else {
+            case.add_block()
+        };
+        case.blocks[d2].term = CaseTerm::Brif(
+            c,
+            CaseCall {
+                block: b,
+                args: vec![x],
+            },
+            CaseCall {
+                block: next,
+                args: vec![],
+            },
+        );
+        dispatch = next;
+    }
+    case
+}
+
+/// A generated function pushed through heavy goto injection — the
+/// workload generator's own irreducibility path, turned up far past
+/// the SPEC-calibrated defaults. Returns the function plus how many
+/// gotos actually landed.
+pub fn pathological_irreducible(name: &str, blocks: usize, seed: u64) -> (Function, usize) {
+    let mut pre = generate_pre(
+        name,
+        GenParams {
+            target_blocks: blocks,
+            loop_percent: 35,
+            deep_live_percent: 40,
+            ..GenParams::default()
+        },
+        seed,
+    );
+    let wanted = (blocks / 3).max(4);
+    let landed = inject_gotos(&mut pre, wanted, seed ^ 0x9090);
+    let func = construct_ssa(&pre).expect("generator output stays constructible");
+    (func, landed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_cfg::{DfsTree, DomTree, Reducibility};
+
+    #[test]
+    fn ladder_is_valid_and_tall() {
+        let mut rng = SplitMix64::new(7);
+        let case = dominator_ladder("ladder", 64, &mut rng);
+        let func = case.to_function().expect("ladder is strict SSA");
+        assert_eq!(func.num_blocks(), 64);
+    }
+
+    #[test]
+    fn double_entry_is_truly_irreducible() {
+        let mut rng = SplitMix64::new(3);
+        let case = irreducible_double_entry("irr", 2, &mut rng);
+        let func = case.to_function().expect("irreducible case is strict SSA");
+        let dfs = DfsTree::compute(&func);
+        let dom = DomTree::compute(&func, &dfs);
+        let red = Reducibility::compute(&dfs, &dom);
+        assert!(
+            !red.irreducible_back_edges().is_empty(),
+            "expected an irreducible back edge"
+        );
+    }
+
+    #[test]
+    fn mutators_only_emit_verified_cases() {
+        let mut rng = SplitMix64::new(11);
+        let (func, _) = pathological_irreducible("m", 24, 5);
+        let case = CaseFunc::from_function(&func);
+        for _ in 0..16 {
+            if let Mutated::Ok(m) = duplicate_brif_edge(&case, &mut rng) {
+                m.to_function().expect("mutant verified at emission");
+            }
+            if let Mutated::Ok(m) = add_self_edge(&case, &mut rng) {
+                m.to_function().expect("mutant verified at emission");
+            }
+        }
+    }
+}

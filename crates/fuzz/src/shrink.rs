@@ -1,0 +1,340 @@
+//! The minimizing shrinker: greedy delta debugging over the case IR.
+//!
+//! Given a module that fails a predicate (a backend divergence, a
+//! panic, a round-trip mismatch — the predicate is opaque), the
+//! shrinker repeatedly tries structurally smaller candidates and keeps
+//! any that *still fail*: drop whole functions, drop blocks (edges
+//! into a dropped block are rerouted, its definitions substituted by
+//! an entry-block constant), drop edges (`brif` → `jump`), drop
+//! instructions, drop block parameters — and finally
+//! rename-canonicalize, which falls out of the case IR for free: every
+//! candidate is *printed and re-parsed*, so the survivor comes back
+//! with dense value numbering and is a self-contained `.fl`
+//! reproducer.
+//!
+//! Candidates that no longer parse or no longer satisfy strict SSA are
+//! rejected before the predicate ever runs: a reproducer for a
+//! liveness divergence must itself be a valid strict-SSA program, or
+//! it reproduces nothing.
+
+use std::collections::HashSet;
+
+use fastlive_ir::Module;
+
+use crate::case::{module_of_cases, CaseFunc, CaseOp, CaseTerm};
+use crate::diff::Divergence;
+
+/// The failure predicate: `Some(divergence)` when the module still
+/// exhibits the failure being minimized.
+pub type Predicate<'a> = &'a mut dyn FnMut(&Module) -> Option<Divergence>;
+
+/// A finished shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized module, re-parsed from its own text.
+    pub text: String,
+    /// The diverging query and answers on the *minimized* module.
+    pub divergence: Divergence,
+    /// Block count across all functions before shrinking.
+    pub blocks_before: usize,
+    /// Block count after.
+    pub blocks_after: usize,
+    /// Predicate evaluations spent.
+    pub predicate_calls: usize,
+}
+
+impl ShrinkOutcome {
+    /// The minimized module, parsed back from the emitted text (a
+    /// self-check that the reproducer is self-contained).
+    pub fn reparse(&self) -> Module {
+        fastlive_ir::parse_module(&self.text).expect("shrunk reproducer re-parses")
+    }
+}
+
+struct Shrinker<'a, 'b> {
+    predicate: &'a mut (dyn FnMut(&Module) -> Option<Divergence> + 'b),
+    calls: usize,
+    budget: usize,
+    best: Vec<CaseFunc>,
+    witness: Divergence,
+}
+
+impl Shrinker<'_, '_> {
+    /// Accepts `candidate` iff it still parses, verifies and fails.
+    fn attempt(&mut self, candidate: Vec<CaseFunc>) -> bool {
+        if self.calls >= self.budget {
+            return false;
+        }
+        let Ok(module) = module_of_cases(&candidate) else {
+            return false;
+        };
+        self.calls += 1;
+        match (self.predicate)(&module) {
+            Some(w) => {
+                self.best = candidate;
+                self.witness = w;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Shrinks `module` against `predicate`, spending at most `budget`
+/// predicate evaluations. Returns `None` when the initial module does
+/// not fail the predicate (nothing to shrink).
+pub fn shrink(module: &Module, predicate: Predicate<'_>, budget: usize) -> Option<ShrinkOutcome> {
+    let witness = predicate(module)?;
+    let blocks_before: usize = module.functions().iter().map(|f| f.num_blocks()).sum();
+    let best: Vec<CaseFunc> = module
+        .functions()
+        .iter()
+        .map(CaseFunc::from_function)
+        .collect();
+    let mut sh = Shrinker {
+        predicate,
+        calls: 1,
+        budget: budget.max(2),
+        best,
+        witness,
+    };
+
+    let mut progress = true;
+    while progress && sh.calls < sh.budget {
+        progress = false;
+        progress |= pass_drop_functions(&mut sh);
+        for pass in [
+            pass_drop_blocks,
+            pass_drop_edges,
+            pass_drop_insts,
+            pass_drop_params,
+        ] {
+            while pass(&mut sh) {
+                progress = true;
+                if sh.calls >= sh.budget {
+                    break;
+                }
+            }
+        }
+    }
+
+    let module = module_of_cases(&sh.best).expect("accepted candidate parses");
+    Some(ShrinkOutcome {
+        text: crate::diff::module_text(&module),
+        divergence: sh.witness.clone(),
+        blocks_before,
+        blocks_after: module.functions().iter().map(|f| f.num_blocks()).sum(),
+        predicate_calls: sh.calls,
+    })
+}
+
+fn pass_drop_functions(sh: &mut Shrinker<'_, '_>) -> bool {
+    let mut progress = false;
+    let mut fi = 0;
+    while sh.best.len() > 1 && fi < sh.best.len() {
+        let mut candidate = sh.best.clone();
+        candidate.remove(fi);
+        if sh.attempt(candidate) {
+            progress = true; // same index now names the next function
+        } else {
+            fi += 1;
+        }
+    }
+    progress
+}
+
+fn pass_drop_blocks(sh: &mut Shrinker<'_, '_>) -> bool {
+    for fi in 0..sh.best.len() {
+        for b in (1..sh.best[fi].blocks.len()).rev() {
+            let mut candidate = sh.best.clone();
+            drop_block(&mut candidate[fi], b);
+            if sh.attempt(candidate) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Removes block `b` (never the entry): edges into it are rerouted
+/// (`jump b` becomes `return`, `brif` collapses onto its surviving
+/// arm), outside uses of its definitions are substituted by a fresh
+/// `iconst 0` at the top of the entry block, and orphans are pruned.
+fn drop_block(case: &mut CaseFunc, b: usize) {
+    debug_assert!(b != 0);
+    let dropped: HashSet<u32> = case.defs_of(b).into_iter().collect();
+    for i in 0..case.blocks.len() {
+        if i == b {
+            continue;
+        }
+        let term = &mut case.blocks[i].term;
+        match term {
+            CaseTerm::Jump(d) if d.block == b => *term = CaseTerm::Return(Vec::new()),
+            CaseTerm::Brif(_, t, e) => match (t.block == b, e.block == b) {
+                (true, true) => *term = CaseTerm::Return(Vec::new()),
+                (true, false) => *term = CaseTerm::Jump(e.clone()),
+                (false, true) => *term = CaseTerm::Jump(t.clone()),
+                (false, false) => {}
+            },
+            _ => {}
+        }
+    }
+    substitute_uses(case, &dropped, Some(b));
+    case.blocks.remove(b);
+    for block in &mut case.blocks {
+        for call in block.term.targets_mut() {
+            if call.block > b {
+                call.block -= 1;
+            }
+        }
+    }
+    case.prune_unreachable();
+}
+
+/// Replaces every use of `dead` values (outside `skip_block`, if any)
+/// with a fresh `iconst 0` prepended to the entry — the entry
+/// dominates everything, so the substitution can never break strict
+/// SSA. The constant is only materialized if a use actually remains.
+fn substitute_uses(case: &mut CaseFunc, dead: &HashSet<u32>, skip_block: Option<usize>) {
+    let mut used = false;
+    for (i, block) in case.blocks.iter().enumerate() {
+        if Some(i) == skip_block {
+            continue;
+        }
+        for (_, op) in &block.insts {
+            match op {
+                CaseOp::Iconst(_) => {}
+                CaseOp::Unary(_, a) => used |= dead.contains(a),
+                CaseOp::Binary(_, a, b) => used |= dead.contains(a) || dead.contains(b),
+            }
+        }
+        match &block.term {
+            CaseTerm::Jump(d) => used |= d.args.iter().any(|a| dead.contains(a)),
+            CaseTerm::Brif(c, t, e) => {
+                used |= dead.contains(c)
+                    || t.args.iter().any(|a| dead.contains(a))
+                    || e.args.iter().any(|a| dead.contains(a));
+            }
+            CaseTerm::Return(args) => used |= args.iter().any(|a| dead.contains(a)),
+        }
+    }
+    if !used {
+        return;
+    }
+    let sub = case.fresh_value();
+    case.blocks[0].insts.insert(0, (sub, CaseOp::Iconst(0)));
+    case.map_uses(|v| if dead.contains(&v) { sub } else { v });
+}
+
+fn pass_drop_edges(sh: &mut Shrinker<'_, '_>) -> bool {
+    for fi in 0..sh.best.len() {
+        for b in 0..sh.best[fi].blocks.len() {
+            let CaseTerm::Brif(_, then_call, else_call) = sh.best[fi].blocks[b].term.clone() else {
+                continue;
+            };
+            for keep in [then_call, else_call] {
+                let mut candidate = sh.best.clone();
+                candidate[fi].blocks[b].term = CaseTerm::Jump(keep);
+                candidate[fi].prune_unreachable();
+                if sh.attempt(candidate) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn pass_drop_insts(sh: &mut Shrinker<'_, '_>) -> bool {
+    for fi in 0..sh.best.len() {
+        for b in 0..sh.best[fi].blocks.len() {
+            for i in (0..sh.best[fi].blocks[b].insts.len()).rev() {
+                let mut candidate = sh.best.clone();
+                let (r, _) = candidate[fi].blocks[b].insts.remove(i);
+                let dead: HashSet<u32> = [r].into_iter().collect();
+                substitute_uses(&mut candidate[fi], &dead, None);
+                if sh.attempt(candidate) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn pass_drop_params(sh: &mut Shrinker<'_, '_>) -> bool {
+    for fi in 0..sh.best.len() {
+        for b in 0..sh.best[fi].blocks.len() {
+            for j in (0..sh.best[fi].blocks[b].params.len()).rev() {
+                let mut candidate = sh.best.clone();
+                let p = candidate[fi].blocks[b].params.remove(j);
+                // Peel the matching argument off every edge into `b`.
+                for i in 0..candidate[fi].blocks.len() {
+                    for call in candidate[fi].blocks[i].term.targets_mut() {
+                        if call.block == b && j < call.args.len() {
+                            call.args.remove(j);
+                        }
+                    }
+                }
+                let dead: HashSet<u32> = [p].into_iter().collect();
+                substitute_uses(&mut candidate[fi], &dead, None);
+                if sh.attempt(candidate) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastlive_workload::{generate_module, ModuleParams};
+
+    /// An always-failing predicate is the shrinker's floor: every pass
+    /// fires, and the survivor must be the smallest representable
+    /// module — one function, one returning block.
+    #[test]
+    fn always_failing_predicate_shrinks_to_the_floor() {
+        let module = generate_module(
+            "sh",
+            ModuleParams {
+                functions: 3,
+                min_blocks: 6,
+                max_blocks: 14,
+                deep_live_per_mille: 400,
+                ..ModuleParams::default()
+            },
+            77,
+        );
+        let mut predicate = |_: &Module| {
+            Some(Divergence {
+                query: fastlive::Query::live_sets(0usize),
+                answers: vec![("structural".into(), "always fails".into())],
+            })
+        };
+        let out = shrink(&module, &mut predicate, 4_000).expect("initial module fails");
+        assert_eq!(out.reparse().len(), 1, "shrunk to a single function");
+        assert_eq!(
+            out.blocks_after, 1,
+            "expected the one-block floor, got {}:\n{}",
+            out.blocks_after, out.text
+        );
+        assert!(out.blocks_after < out.blocks_before);
+    }
+
+    #[test]
+    fn non_failing_module_is_not_shrunk() {
+        let module = generate_module(
+            "ok",
+            ModuleParams {
+                functions: 1,
+                max_blocks: 6,
+                ..ModuleParams::default()
+            },
+            5,
+        );
+        assert!(shrink(&module, &mut |_| None, 100).is_none());
+    }
+}

@@ -184,6 +184,46 @@ impl Function {
         v
     }
 
+    /// (parser support) Reserves `n` unbound value slots, so a source
+    /// with textual forward references can have every definition's
+    /// entity allocated — in textual definition order — before any use
+    /// is appended. Each slot holds a placeholder `ValueDef` until
+    /// bound by [`bind_block_param`](Self::bind_block_param) or
+    /// [`append_inst_bound`](Self::append_inst_bound); the parser binds
+    /// every slot before a function is returned to a caller.
+    pub(crate) fn reserve_values(&mut self, n: usize) {
+        for _ in 0..n {
+            self.values.push(ValueDef::Param {
+                block: Block::from_index(0),
+                index: u32::MAX,
+            });
+            self.uses.push(Vec::new());
+        }
+    }
+
+    /// (parser support) Binds reserved slot `v` as the next parameter
+    /// of `block`, the slot-reusing twin of
+    /// [`append_block_param`](Self::append_block_param).
+    pub(crate) fn bind_block_param(&mut self, block: Block, v: Value) {
+        let index = self.blocks[block].params.len() as u32;
+        self.values[v] = ValueDef::Param { block, index };
+        self.blocks[block].params.push(v);
+    }
+
+    /// (parser support) Appends `data` like
+    /// [`append_inst`](Self::append_inst), binding its result to the
+    /// reserved slot `result` instead of allocating a fresh value.
+    pub(crate) fn append_inst_bound(
+        &mut self,
+        block: Block,
+        data: InstData,
+        result: Value,
+    ) -> Inst {
+        debug_assert!(data.has_result(), "bound append requires a result op");
+        let pos = self.blocks[block].insts.len();
+        self.insert_inst_impl(block, pos, data, Some(result))
+    }
+
     /// The parameters of `block`.
     pub fn block_params(&self, block: Block) -> &[Value] {
         &self.blocks[block].params
@@ -236,6 +276,16 @@ impl Function {
     ///
     /// See above; also panics on out-of-range `pos` or unknown operands.
     pub fn insert_inst(&mut self, block: Block, pos: usize, data: InstData) -> Inst {
+        self.insert_inst_impl(block, pos, data, None)
+    }
+
+    fn insert_inst_impl(
+        &mut self,
+        block: Block,
+        pos: usize,
+        data: InstData,
+        bound_result: Option<Value>,
+    ) -> Inst {
         let n_insts = self.blocks[block].insts.len();
         assert!(pos <= n_insts, "insert position {pos} out of range");
         if data.is_terminator() {
@@ -267,11 +317,20 @@ impl Function {
         for v in used {
             self.uses[v.index()].push(inst);
         }
-        // Result value.
+        // Result value: a fresh entity, or — on the parser's
+        // forward-reference path — a pre-reserved slot bound here.
         let result = if self.insts[inst].has_result() {
-            let v = self.values.push(ValueDef::Inst(inst));
-            self.uses.push(Vec::new());
-            Some(v)
+            Some(match bound_result {
+                Some(v) => {
+                    self.values[v] = ValueDef::Inst(inst);
+                    v
+                }
+                None => {
+                    let v = self.values.push(ValueDef::Inst(inst));
+                    self.uses.push(Vec::new());
+                    v
+                }
+            })
         } else {
             None
         };

@@ -5,6 +5,7 @@
 //! ```text
 //! module    ::= function+
 //! function  ::= "function" "%" NAME [paramlist] "{" block* "}"
+//! NAME      ::= IDENT | STRING
 //! block     ::= BLOCKREF [paramlist] ":" inst*
 //! paramlist ::= "(" [VALUEREF ("," VALUEREF)*] ")"
 //! inst      ::= VALUEREF "=" op | terminator
@@ -14,12 +15,19 @@
 //! call      ::= BLOCKREF [arglist]
 //! ```
 //!
+//! Function names that are not bare identifiers are written as quoted
+//! strings (`function %"odd name!" { ... }`) with `\"`, `\\`, `\n`,
+//! `\t`, `\r` and `\u{hex}` escapes — the printer quotes exactly when
+//! needed, so `parse(display(f))` holds for every name.
+//!
 //! Source names (`v7`, `block3`) are arbitrary non-negative numbers; they
-//! are mapped to freshly numbered entities in order of first definition,
-//! independently per function. Blocks may be referenced before their
-//! definition; **values must be defined textually before use** (the
-//! printer always emits functions in creation order, where this holds for
-//! every function this workspace builds).
+//! are mapped to freshly numbered entities in order of textual
+//! definition, independently per function. Both blocks *and values* may
+//! be referenced before their definition: a pre-pass registers every
+//! definition site (block headers, block parameters, `vN =` results),
+//! so a printed function whose layout order differs from dominance
+//! order still re-parses. Using a value with no definition anywhere in
+//! the function is an error.
 //!
 //! [`parse_function`] accepts exactly one `function` unit;
 //! [`parse_module`] accepts one or more and returns a
@@ -128,6 +136,7 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Tok {
     Ident(String), // iadd, function, v3, block0, ...
+    Str(String),   // "quoted function name"
     Int(i64),      // possibly negative
     Percent,
     LBrace,
@@ -144,6 +153,7 @@ impl fmt::Display for Tok {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Str(s) => write!(f, "`\"{s}\"`"),
             Tok::Int(i) => write!(f, "`{i}`"),
             Tok::Percent => write!(f, "`%`"),
             Tok::LBrace => write!(f, "`{{`"),
@@ -238,6 +248,10 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 Tok::Eq
             }
+            '"' => {
+                self.bump();
+                self.string_literal(line, col)?
+            }
             '-' | '0'..='9' => {
                 let mut s = String::new();
                 s.push(self.bump().expect("peeked"));
@@ -276,6 +290,53 @@ impl<'a> Lexer<'a> {
         };
         Ok((tok, line, col))
     }
+
+    /// Lexes the body of a quoted string; the opening `"` is consumed.
+    /// Total over arbitrary input: an unterminated literal or a bad
+    /// escape is a [`ParseError`], never a panic or a hang.
+    fn string_literal(&mut self, line: usize, col: usize) -> Result<Tok, ParseError> {
+        let fail = |message: String| ParseError { line, col, message };
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(fail("unterminated string literal".into())),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        if self.bump() != Some('{') {
+                            return Err(fail("expected `{` after `\\u`".into()));
+                        }
+                        let mut hex = String::new();
+                        loop {
+                            match self.bump() {
+                                Some('}') => break,
+                                Some(c) if c.is_ascii_hexdigit() && hex.len() < 6 => hex.push(c),
+                                _ => return Err(fail("malformed `\\u{...}` escape".into())),
+                            }
+                        }
+                        let cp = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| fail("empty `\\u{}` escape".into()))?;
+                        s.push(
+                            char::from_u32(cp).ok_or_else(|| {
+                                fail(format!("`\\u{{{hex}}}` is not a character"))
+                            })?,
+                        );
+                    }
+                    other => {
+                        let shown = other.map_or("end of input".into(), |c| format!("`\\{c}`"));
+                        return Err(fail(format!("invalid escape {shown}")));
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        Ok(Tok::Str(s))
+    }
 }
 
 // ------------------------------------------------------------ parser
@@ -293,7 +354,10 @@ struct Parser {
     /// numbering is stable under print/parse round trips regardless of
     /// forward references.
     blocks: HashMap<u64, Block>,
-    /// Source value number -> entity (created at definition).
+    /// Source value number -> reserved entity slot. Definition sites
+    /// are pre-registered in textual order (so numbering is stable),
+    /// and each slot is bound to its block parameter or instruction
+    /// result when the body parse reaches the definition.
     values: HashMap<u64, Value>,
     func: Function,
 }
@@ -325,14 +389,20 @@ impl Parser {
         })
     }
 
-    /// Pre-pass: register every block *header* (an identifier `blockN`
-    /// followed by `:` or by `( ... ) :`) of the **current function
-    /// body** in textual order, so blocks are numbered by definition
-    /// rather than first mention. Called with the cursor just past the
-    /// function's `{`; scans up to the matching `}` without moving it.
-    fn preregister_blocks(&mut self) -> Result<(), ParseError> {
+    /// Pre-pass: register every *definition site* of the **current
+    /// function body** in textual order — block headers (an identifier
+    /// `blockN` followed by `:` or by `( ... ) :`), the value
+    /// parameters inside those headers, and `vN =` instruction results
+    /// — so blocks and values are numbered by textual definition
+    /// rather than first mention, and both kinds of forward reference
+    /// resolve. Called with the cursor just past the function's `{`;
+    /// scans up to the matching `}` without moving it. Duplicate value
+    /// definitions are reported here, with the position of the second
+    /// site.
+    fn preregister_defs(&mut self) -> Result<(), ParseError> {
         let mut depth = 0usize;
         let mut i = self.pos;
+        let mut reserved = 0usize;
         while i < self.toks.len() {
             match &self.toks[i].0 {
                 Tok::LBrace => depth += 1,
@@ -340,9 +410,25 @@ impl Parser {
                 Tok::RBrace => depth -= 1,
                 Tok::Eof => break,
                 Tok::Ident(name) if Self::entity_num(name, "block").is_some() => {
+                    // A potential block header: scan its parenthesized
+                    // parameter list (if any) without committing until
+                    // the trailing `:` confirms the shape.
                     let mut j = i + 1;
+                    let mut params: Vec<(u64, usize, usize)> = Vec::new();
+                    let mut params_clean = true;
                     if self.toks.get(j).map(|t| &t.0) == Some(&Tok::LParen) {
+                        j += 1;
                         while j < self.toks.len() && self.toks[j].0 != Tok::RParen {
+                            match &self.toks[j].0 {
+                                Tok::Ident(p) => match Self::entity_num(p, "v") {
+                                    Some(n) => params.push((n, self.toks[j].1, self.toks[j].2)),
+                                    // The body parse will reject this
+                                    // parameter list; register nothing.
+                                    None => params_clean = false,
+                                },
+                                Tok::Comma => {}
+                                _ => params_clean = false,
+                            }
                             j += 1;
                         }
                         j += 1;
@@ -350,12 +436,47 @@ impl Parser {
                     if self.toks.get(j).map(|t| &t.0) == Some(&Tok::Colon) {
                         let name = name.clone();
                         self.block_ref(&name)?;
+                        if params_clean {
+                            for (n, line, col) in params {
+                                self.register_value_def(n, line, col, &mut reserved)?;
+                            }
+                        }
                     }
+                }
+                // `vN =` is an instruction-result definition.
+                Tok::Ident(name)
+                    if Self::entity_num(name, "v").is_some()
+                        && self.toks.get(i + 1).map(|t| &t.0) == Some(&Tok::Eq) =>
+                {
+                    let n = Self::entity_num(name, "v").expect("matched by guard");
+                    let (line, col) = (self.toks[i].1, self.toks[i].2);
+                    self.register_value_def(n, line, col, &mut reserved)?;
                 }
                 _ => {}
             }
             i += 1;
         }
+        self.func.reserve_values(reserved);
+        Ok(())
+    }
+
+    /// Registers source value `n` as the `next`-th defined value of the
+    /// unit, erroring (at the definition's position) on duplicates.
+    fn register_value_def(
+        &mut self,
+        n: u64,
+        line: usize,
+        col: usize,
+        next: &mut usize,
+    ) -> Result<(), ParseError> {
+        if self.values.insert(n, Value::from_index(*next)).is_some() {
+            return Err(ParseError {
+                line,
+                col,
+                message: format!("value `v{n}` defined twice"),
+            });
+        }
+        *next += 1;
         Ok(())
     }
 
@@ -404,6 +525,20 @@ impl Parser {
         }
     }
 
+    /// A function name: a bare identifier or a quoted string.
+    fn expect_name(&mut self) -> Result<String, ParseError> {
+        match std::mem::replace(&mut self.tok, Tok::Eof) {
+            Tok::Ident(s) | Tok::Str(s) => {
+                self.advance()?;
+                Ok(s)
+            }
+            other => {
+                self.tok = other;
+                Err(self.err(format!("expected function name, found {}", self.tok)))
+            }
+        }
+    }
+
     /// Parses `v<NUM>` or `block<NUM>` identifiers.
     fn entity_num(name: &str, prefix: &str) -> Option<u64> {
         name.strip_prefix(prefix)?.parse().ok()
@@ -430,17 +565,23 @@ impl Parser {
             _ => return Err(self.err(format!("expected `function`, found {}", self.tok))),
         }
         self.expect(Tok::Percent)?;
-        self.func.name = self.expect_ident()?;
+        self.func.name = self.expect_name()?;
 
         // Optional (and ignored) parameter list echoing block0's params.
         if self.tok == Tok::LParen {
             while self.tok != Tok::RParen {
+                if self.tok == Tok::Eof {
+                    // `advance` saturates at `Eof`; erroring here (not
+                    // spinning) keeps the parser total on truncated
+                    // input like `function %f (`.
+                    return Err(self.err("unterminated function parameter list"));
+                }
                 self.advance()?;
             }
             self.advance()?;
         }
         self.expect(Tok::LBrace)?;
-        self.preregister_blocks()?;
+        self.preregister_defs()?;
 
         while self.tok != Tok::RBrace {
             self.parse_block()?;
@@ -474,20 +615,20 @@ impl Parser {
     fn value_use(&mut self, name: &str) -> Result<Value, ParseError> {
         let n = Self::entity_num(name, "v")
             .ok_or_else(|| self.err(format!("expected value reference, found `{name}`")))?;
-        self.values.get(&n).copied().ok_or_else(|| {
-            self.err(format!(
-                "use of undefined value `v{n}` (defs must precede uses textually)"
-            ))
-        })
+        self.values
+            .get(&n)
+            .copied()
+            .ok_or_else(|| self.err(format!("use of undefined value `v{n}`")))
     }
 
-    fn define_value(&mut self, name: &str, v: Value) -> Result<(), ParseError> {
+    /// The reserved slot for a definition site the pre-pass registered.
+    fn value_def_slot(&mut self, name: &str) -> Result<Value, ParseError> {
         let n = Self::entity_num(name, "v")
             .ok_or_else(|| self.err(format!("expected value name, found `{name}`")))?;
-        if self.values.insert(n, v).is_some() {
-            return Err(self.err(format!("value `v{n}` defined twice")));
-        }
-        Ok(())
+        self.values
+            .get(&n)
+            .copied()
+            .ok_or_else(|| self.err(format!("value `v{n}` has no registered definition")))
     }
 
     /// `true` iff the current token opens a block definition:
@@ -511,8 +652,8 @@ impl Parser {
             self.advance()?;
             while self.tok != Tok::RParen {
                 let pname = self.expect_ident()?;
-                let v = self.func.append_block_param(block);
-                self.define_value(&pname, v)?;
+                let v = self.value_def_slot(&pname)?;
+                self.func.bind_block_param(block, v);
                 if self.tok == Tok::Comma {
                     self.advance()?;
                 }
@@ -604,9 +745,8 @@ impl Parser {
                     .map_err(|_| self.err(format!("unknown instruction `{first}`")))?;
                 let op = self.expect_ident()?;
                 let data = self.parse_value_op(&op)?;
-                let inst = self.func.append_inst(block, data);
-                let result = self.func.inst_result(inst).expect("value op has result");
-                self.define_value(&first, result)?;
+                let result = self.value_def_slot(&first)?;
+                self.func.append_inst_bound(block, data, result);
             }
         }
         Ok(())
@@ -716,6 +856,113 @@ block0(v0):
         let e = parse_function("function %f { block0: return v3 }").unwrap_err();
         assert!(e.message.contains("undefined value"), "{e}");
         assert!(e.line >= 1);
+    }
+
+    #[test]
+    fn forward_value_references_work() {
+        // block1 textually precedes block2, which dominates it through
+        // the edge chain block0 -> block2 -> block1: the use of v1 in
+        // block1 appears before its defining header. This is exactly
+        // what printing a function whose layout order differs from
+        // dominance order produces.
+        let src = "function %f {
+            block0(v0): jump block2(v0)
+            block1: return v1
+            block2(v1): jump block1
+        }";
+        let f = parse_function(src).expect("forward value ref parses");
+        f.check_use_chains().expect("chains consistent");
+        // Fixed point: printing and re-parsing is stable.
+        let printed = f.to_string();
+        let f2 = parse_function(&printed).expect("reparses");
+        assert_eq!(printed, f2.to_string());
+        // Numbering is textual definition order: v0 = entry param,
+        // v1 = block2's param.
+        assert_eq!(f.params().len(), 1);
+        assert_eq!(
+            f.block_params(f.block("block2").unwrap()),
+            &[f.value("v1").unwrap()]
+        );
+    }
+
+    #[test]
+    fn forward_inst_result_reference_works() {
+        let src = "function %f {
+            block0: jump block2
+            block1: return v9
+            block2: v9 = iconst 3
+                jump block1
+        }";
+        let f = parse_function(src).expect("parses");
+        f.check_use_chains().expect("chains consistent");
+        let printed = f.to_string();
+        assert_eq!(printed, parse_function(&printed).unwrap().to_string());
+    }
+
+    #[test]
+    fn truncated_function_param_list_errors_instead_of_hanging() {
+        // Regression: `advance()` saturates at Eof, so this loop used
+        // to spin forever.
+        let e = parse_function("function %f (").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+        let e = parse_function("function %f (v0, v1").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn quoted_names_parse_and_round_trip() {
+        let src = "function %\"two words\" { block0: return }";
+        let f = parse_function(src).expect("parses");
+        assert_eq!(f.name, "two words");
+        let printed = f.to_string();
+        assert!(printed.starts_with("function %\"two words\""), "{printed}");
+        assert_eq!(parse_function(&printed).unwrap().name, "two words");
+
+        // Escapes cover quotes, backslashes and control characters.
+        let mut g = Function::new("a\"b\\c\nd\u{1}e");
+        let b = g.add_block();
+        g.ins(b).ret(vec![]);
+        let printed = g.to_string();
+        let g2 = parse_function(&printed).expect("escaped name reparses");
+        assert_eq!(g2.name, g.name);
+        assert_eq!(printed, g2.to_string());
+    }
+
+    #[test]
+    fn empty_and_numeric_names_are_quoted() {
+        let mut f = Function::new("");
+        let b = f.add_block();
+        f.ins(b).ret(vec![]);
+        let printed = f.to_string();
+        assert!(printed.starts_with("function %\"\""), "{printed}");
+        assert_eq!(parse_function(&printed).unwrap().name, "");
+
+        let mut f = Function::new("123");
+        let b = f.add_block();
+        f.ins(b).ret(vec![]);
+        let printed = f.to_string();
+        assert_eq!(parse_function(&printed).unwrap().name, "123");
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_function("function %\"oops { block0: return }").is_err());
+        assert!(parse_function("function %\"bad\\q\" { block0: return }").is_err());
+        assert!(parse_function("function %\"bad\\u{}\" { block0: return }").is_err());
+        assert!(parse_function("function %\"bad\\u{d800}\" { block0: return }").is_err());
+        assert!(parse_function("function %\"e\\").is_err());
+    }
+
+    #[test]
+    fn overflowing_integer_literal_is_an_error() {
+        let e = parse_function("function %f { block0: v0 = iconst 99999999999999999999\n return }")
+            .unwrap_err();
+        assert!(e.message.contains("invalid integer literal"), "{e}");
+        // An overflowing *entity* number is not a value reference.
+        assert!(parse_function(
+            "function %f { block0: v99999999999999999999999 = iconst 1\n return }"
+        )
+        .is_err());
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::instr::{BlockCall, InstData};
 
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "function %{} {{", self.name)?;
+        write!(f, "function %")?;
+        write_name(f, &self.name)?;
+        writeln!(f, " {{")?;
         for block in self.blocks() {
             write_block_header(f, self, block)?;
             for &inst in self.block_insts(block) {
@@ -33,6 +35,41 @@ impl fmt::Display for Function {
         }
         write!(f, "}}")
     }
+}
+
+/// Can `name` be printed bare after `%` and re-lexed as one identifier?
+/// Mirrors the lexer's identifier rule exactly; everything else is
+/// printed as a quoted, escaped string so names always round-trip.
+pub(crate) fn is_bare_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Writes a function name, quoting and escaping unless it is a bare
+/// identifier. The escapes are the ones the parser's string lexer
+/// understands (`\"`, `\\`, `\n`, `\t`, `\r`, `\u{hex}` for the other
+/// control characters).
+fn write_name(f: &mut fmt::Formatter<'_>, name: &str) -> fmt::Result {
+    if is_bare_name(name) {
+        return write!(f, "{name}");
+    }
+    write!(f, "\"")?;
+    for c in name.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            '\r' => write!(f, "\\r")?,
+            c if (c as u32) < 0x20 || c == '\u{7f}' => write!(f, "\\u{{{:x}}}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
 }
 
 fn write_block_header(f: &mut fmt::Formatter<'_>, func: &Function, block: Block) -> fmt::Result {

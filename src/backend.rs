@@ -170,22 +170,21 @@ impl FuncAnalysis {
     }
 
     pub(crate) fn live_in(&self, func: &Function, v: Value, b: Block) -> bool {
+        // Total over every kind: the old shape funneled the two
+        // checker variants through an `Option` + `expect`, which made
+        // adding an `AnalysisKind` a latent runtime abort.
         match &self.kind {
             AnalysisKind::Iterative(it) => it.is_live_in(v, b),
-            _ => self
-                .checker()
-                .expect("checker-backed")
-                .is_live_in(func, v, b),
+            AnalysisKind::Checker(c) => c.is_live_in(func, v, b),
+            AnalysisKind::Shared(c) => c.is_live_in(func, v, b),
         }
     }
 
     pub(crate) fn live_out(&self, func: &Function, v: Value, b: Block) -> bool {
         match &self.kind {
             AnalysisKind::Iterative(it) => it.is_live_out(v, b),
-            _ => self
-                .checker()
-                .expect("checker-backed")
-                .is_live_out(func, v, b),
+            AnalysisKind::Checker(c) => c.is_live_out(func, v, b),
+            AnalysisKind::Shared(c) => c.is_live_out(func, v, b),
         }
     }
 
@@ -203,15 +202,17 @@ impl FuncAnalysis {
     }
 
     pub(crate) fn live_sets(&self, func: &Function) -> LiveSets {
+        let from_checker = |c: &FunctionLiveness| {
+            let (live_in, live_out) = c.live_sets(func);
+            LiveSets { live_in, live_out }
+        };
         match &self.kind {
             AnalysisKind::Iterative(it) => LiveSets {
                 live_in: func.blocks().map(|b| it.live_in_set(b)).collect(),
                 live_out: func.blocks().map(|b| it.live_out_set(b)).collect(),
             },
-            _ => {
-                let (live_in, live_out) = self.checker().expect("checker-backed").live_sets(func);
-                LiveSets { live_in, live_out }
-            }
+            AnalysisKind::Checker(c) => from_checker(c),
+            AnalysisKind::Shared(c) => from_checker(c),
         }
     }
 
@@ -228,11 +229,10 @@ impl FuncAnalysis {
         a: Value,
         b: Value,
     ) -> Result<bool, PointError> {
-        if self.dom.is_none() {
+        let dom = self.dom.get_or_insert_with(|| {
             let dfs = DfsTree::compute(func);
-            self.dom = Some(DomTree::compute(func, &dfs));
-        }
-        let dom = self.dom.as_ref().expect("just computed");
+            DomTree::compute(func, &dfs)
+        });
         match &mut self.kind {
             AnalysisKind::Checker(c) => values_interfere(c.as_mut(), func, dom, a, b),
             AnalysisKind::Shared(arc) => {
@@ -352,5 +352,74 @@ impl QueryEngine for Backend<'_> {
             Backend::Session(b) => b.backend_name(),
             Backend::Oracle(b) => b.backend_name(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        fastlive_ir::parse_module(
+            "function %f { block0(v0):
+                 v1 = iconst 1
+                 brif v0, block1(v1), block2
+             block1(v2):
+                 jump block2
+             block2:
+                 return v0 }",
+        )
+        .expect("parses")
+    }
+
+    fn analyses(module: &Module) -> Vec<(&'static str, FuncAnalysis)> {
+        vec![
+            (
+                "direct",
+                DirectBackend::new().analysis_for(module, 0).unwrap(),
+            ),
+            ("oracle", OracleBackend.analysis_for(module, 0).unwrap()),
+        ]
+    }
+
+    /// The converted `expect("checker-backed")` family: every
+    /// `AnalysisKind` answers every probe kind — the matches are total
+    /// by construction, and the answers agree across kinds.
+    #[test]
+    fn every_analysis_kind_answers_every_probe() {
+        let module = sample();
+        let func = module.func(0);
+        let v0 = func.value("v0").unwrap();
+        let v1 = func.value("v1").unwrap();
+        let b1 = func.block("block1").unwrap();
+        let mut seen_live_in = Vec::new();
+        let mut seen_sets = Vec::new();
+        for (name, mut a) in analyses(&module) {
+            seen_live_in.push((name, a.live_in(func, v0, b1)));
+            assert!(!a.live_out(func, v1, b1), "{name}");
+            let sets = a.live_sets(func);
+            assert_eq!(sets.live_in.len(), func.num_blocks(), "{name}");
+            seen_sets.push(sets);
+            // The converted `expect("just computed")` path: the lazily
+            // built dominator tree is reused across interfere calls.
+            let first = a.interfere(func, v0, v1).unwrap();
+            let again = a.interfere(func, v0, v1).unwrap();
+            assert_eq!(first, again, "{name}");
+        }
+        assert!(seen_live_in.iter().all(|&(_, ans)| ans), "{seen_live_in:?}");
+        assert_eq!(seen_sets[0], seen_sets[1], "kinds disagree on live_sets");
+    }
+
+    /// The oracle kind reports no batch snapshot (its probes are O(1)
+    /// already); the checker kinds produce one. Neither path panics.
+    #[test]
+    fn batch_snapshots_match_kind() {
+        let module = sample();
+        let func = module.func(0);
+        let mut it = analyses(&module).into_iter();
+        let (_, direct) = it.next().unwrap();
+        let (_, oracle) = it.next().unwrap();
+        assert!(direct.batch(func).is_some());
+        assert!(oracle.batch(func).is_none());
     }
 }

@@ -245,8 +245,56 @@ pub(crate) fn run_planned<S: AnalysisSource>(
         );
     }
 
+    finalize(results)
+}
+
+/// Collapses the planner's slot table into per-query results. Every
+/// slot is filled by construction — grouped and answered, or failed at
+/// resolution — but a planner bookkeeping slip must stay a per-slot
+/// [`QueryError::Internal`], never a process abort for the whole batch
+/// (this replaced an `expect`).
+fn finalize(
+    results: Vec<Option<Result<Response, QueryError>>>,
+) -> Vec<Result<Response, QueryError>> {
     results
         .into_iter()
-        .map(|r| r.expect("every query either grouped or failed resolution"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(QueryError::Internal {
+                    detail: format!("query {i} was neither grouped nor failed at resolution"),
+                })
+            })
+        })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The converted `plan.rs:250` panic path: an unfilled slot is a
+    /// typed per-query error; the filled slots still answer.
+    #[test]
+    fn unfilled_slot_is_a_typed_error_not_a_panic() {
+        let filled = Some(Ok(Response::Live(true)));
+        let out = finalize(vec![filled, None]);
+        assert_eq!(out[0], Ok(Response::Live(true)));
+        match &out[1] {
+            Err(QueryError::Internal { detail }) => {
+                assert!(detail.contains("query 1"), "{detail}")
+            }
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filled_slots_pass_through_in_order() {
+        let e = QueryError::UnknownFunction(crate::FuncRef::Name("nope".into()));
+        let out = finalize(vec![
+            Some(Err(e.clone())),
+            Some(Ok(Response::Interference(false))),
+        ]);
+        assert_eq!(out, vec![Err(e), Ok(Response::Interference(false))]);
+    }
 }

@@ -332,6 +332,15 @@ pub enum QueryError {
     /// Per-function: other functions of the same session keep
     /// answering, and retrying the query retries the analysis.
     AnalysisFailed(fastlive_core::AnalysisError),
+    /// The planner accepted a query but failed to produce an answer
+    /// for its slot — a facade bookkeeping bug, surfaced as a
+    /// recoverable per-query refusal (this used to abort the whole
+    /// process via an `expect`). Seeing this variant is itself a bug
+    /// worth reporting; the session stays usable.
+    Internal {
+        /// What the planner left undone.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -357,6 +366,7 @@ impl fmt::Display for QueryError {
                 write!(f, "the defining instruction of {v} was removed")
             }
             QueryError::AnalysisFailed(e) => write!(f, "analysis failed: {e}"),
+            QueryError::Internal { detail } => write!(f, "internal planner error: {detail}"),
         }
     }
 }
