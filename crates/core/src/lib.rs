@@ -90,6 +90,7 @@ mod checker;
 mod error;
 mod function_liveness;
 mod loop_forest_check;
+mod nullness;
 mod precompute;
 mod provider;
 pub mod reference;
@@ -101,6 +102,7 @@ pub use checker::{Candidates, LivenessChecker};
 pub use error::AnalysisError;
 pub use function_liveness::FunctionLiveness;
 pub use loop_forest_check::LoopForestChecker;
+pub use nullness::{Nullness, NullnessArtifact, NullnessFacts};
 pub use precompute::Precomputation;
 pub use provider::{LivenessProvider, PointError};
 pub use sorted::SortedLivenessChecker;

@@ -42,10 +42,12 @@
 mod appel;
 mod iterative;
 mod lao;
+mod nullness;
 pub mod oracle;
 mod universe;
 
 pub use appel::AppelLiveness;
 pub use iterative::IterativeLiveness;
 pub use lao::LaoLiveness;
+pub use nullness::IterativeNullness;
 pub use universe::VarUniverse;

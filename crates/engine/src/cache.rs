@@ -1,18 +1,21 @@
-//! The bounded LRU cache of precomputations, keyed by [`CfgShape`].
+//! The bounded LRU cache of analysis artifacts, keyed by
+//! `(CfgShape, AnalysisKind)`.
 //!
 //! This is the paper's JIT story made concrete: recompiling a function
 //! whose CFG did not change (the overwhelmingly common case for
-//! instruction-level optimizations) must not pay the §5.2
-//! precomputation again. Entries are shared [`FunctionLiveness`]
-//! handles — *one* checker serves every CFG-identical function, because
-//! the precomputation never reads instructions.
+//! instruction-level optimizations) must not pay a shape-level
+//! precomputation again — for *any* analysis the engine serves.
+//! Entries are shared [`ArtifactHandle`]s — *one* artifact serves
+//! every CFG-identical function, because shape-level precomputations
+//! never read instructions.
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
-use fastlive_core::FunctionLiveness;
-
+use crate::artifact::{AnalysisKind, ArtifactHandle};
 use crate::fingerprint::CfgShape;
+
+/// The striped cache's key: one CFG fingerprint, one analysis.
+pub(crate) type ArtifactKey = (CfgShape, AnalysisKind);
 
 /// Hit/miss/eviction/dedup and disk-tier counters of the engine's
 /// fingerprint cache — the observability surface the engine exposes
@@ -127,20 +130,23 @@ impl std::fmt::Display for CacheStats {
 }
 
 struct CacheEntry {
-    live: Arc<FunctionLiveness>,
+    handle: ArtifactHandle,
     /// Logical timestamp of the last probe that returned this entry.
     last_used: u64,
 }
 
-/// A bounded least-recently-used map `CfgShape → Arc<FunctionLiveness>`.
+/// A bounded least-recently-used map
+/// `(CfgShape, AnalysisKind) → ArtifactHandle`.
 ///
 /// Capacity 0 disables caching entirely (every probe misses, inserts
 /// are dropped) — the configuration the scaling benchmarks use to
-/// measure raw precompute throughput.
+/// measure raw precompute throughput. The capacity bounds *entries*,
+/// so two analyses of one shape occupy two slots — each is its own
+/// eviction victim.
 pub(crate) struct FingerprintCache {
     capacity: usize,
     tick: u64,
-    map: HashMap<CfgShape, CacheEntry>,
+    map: HashMap<ArtifactKey, CacheEntry>,
     stats: CacheStats,
 }
 
@@ -154,19 +160,19 @@ impl FingerprintCache {
         }
     }
 
-    /// Probes for `shape`, bumping its recency (and the hit counter)
+    /// Probes for `key`, bumping its recency (and the hit counter)
     /// on a hit. A `None` result records **nothing**: the caller
     /// decides whether the probe becomes a miss
     /// ([`note_miss`](Self::note_miss) — it will compute) or a dedup
     /// hit ([`note_dedup_hit`](Self::note_dedup_hit) — it adopts
     /// another worker's in-flight computation).
-    pub(crate) fn probe(&mut self, shape: &CfgShape) -> Option<Arc<FunctionLiveness>> {
+    pub(crate) fn probe(&mut self, key: &ArtifactKey) -> Option<ArtifactHandle> {
         self.tick += 1;
-        match self.map.get_mut(shape) {
+        match self.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.stats.hits += 1;
-                Some(Arc::clone(&entry.live))
+                Some(entry.handle.clone())
             }
             None => None,
         }
@@ -204,16 +210,16 @@ impl FingerprintCache {
         self.stats.disk_errors += 1;
     }
 
-    /// Inserts a freshly computed analysis, evicting the
+    /// Inserts a freshly computed artifact, evicting the
     /// least-recently-used entry if the cache is full. Re-inserting an
-    /// existing shape (two threads raced on the same miss) just
+    /// existing key (two threads raced on the same miss) just
     /// refreshes the entry.
-    pub(crate) fn insert(&mut self, shape: CfgShape, live: Arc<FunctionLiveness>) {
+    pub(crate) fn insert(&mut self, key: ArtifactKey, handle: ArtifactHandle) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&shape) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             // O(len) victim scan: engine caches are small (hundreds of
             // shapes), and misses already paid a full precomputation.
             if let Some(victim) = self
@@ -227,9 +233,9 @@ impl FingerprintCache {
             }
         }
         self.map.insert(
-            shape,
+            key,
             CacheEntry {
-                live,
+                handle,
                 last_used: self.tick,
             },
         );
@@ -247,18 +253,23 @@ impl FingerprintCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastlive_core::FunctionLiveness;
     use fastlive_ir::parse_function;
+    use std::sync::Arc;
 
-    fn shape_and_live(src: &str) -> (CfgShape, Arc<FunctionLiveness>) {
+    fn key_and_handle(src: &str) -> (ArtifactKey, ArtifactHandle) {
         let f = parse_function(src).unwrap();
-        (CfgShape::of(&f), Arc::new(FunctionLiveness::compute(&f)))
+        (
+            (CfgShape::of(&f), AnalysisKind::Liveness),
+            ArtifactHandle::Liveness(Arc::new(FunctionLiveness::compute(&f))),
+        )
     }
 
     #[test]
     fn lru_evicts_the_coldest_shape() {
-        let (s1, l1) = shape_and_live("function %a { block0: return }");
-        let (s2, l2) = shape_and_live("function %b { block0: jump block1 block1: return }");
-        let (s3, l3) = shape_and_live(
+        let (s1, l1) = key_and_handle("function %a { block0: return }");
+        let (s2, l2) = key_and_handle("function %b { block0: jump block1 block1: return }");
+        let (s3, l3) = key_and_handle(
             "function %c { block0: jump block1 block1: jump block2 block2: return }",
         );
         let mut cache = FingerprintCache::new(2);
@@ -348,7 +359,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables_caching() {
-        let (s1, l1) = shape_and_live("function %a { block0: return }");
+        let (s1, l1) = key_and_handle("function %a { block0: return }");
         let mut cache = FingerprintCache::new(0);
         cache.insert(s1.clone(), l1);
         assert!(cache.probe(&s1).is_none());

@@ -9,12 +9,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
-use fastlive_core::{AnalysisError, FunctionLiveness, LivenessChecker};
-use fastlive_ir::{Function, Module};
+use fastlive_core::{AnalysisError, FunctionLiveness, NullnessArtifact};
+use fastlive_ir::{FuncId, Function, Module};
 use fastlive_telemetry::{EventKind, NoopRecorder, Recorder, TelemetrySnapshot, Tier};
 
+use crate::artifact::{AnalysisArtifact, AnalysisKind, ArtifactHandle};
 use crate::breaker::{BreakerConfig, DiskBreaker, HealthReport, Quarantine};
-use crate::cache::{CacheStats, FingerprintCache};
+use crate::cache::{ArtifactKey, CacheStats, FingerprintCache};
 use crate::fingerprint::CfgShape;
 use crate::persist::{GcStats, LoadOutcome, PersistStore};
 use crate::session::EngineSession;
@@ -159,8 +160,8 @@ pub struct AnalysisEngine {
     /// it open and the engine runs memory-only until a half-open probe
     /// finds the disk recovered.
     breaker: DiskBreaker,
-    /// Per-shape reject streaks: entries that keep failing validation
-    /// stop being probed.
+    /// Per-entry reject streaks, keyed by the kind-salted shape hash:
+    /// entries that keep failing validation stop being probed.
     quarantine: Quarantine,
     /// Fault-injection hook: when set, runs at the top of every §5.2
     /// precomputation (after both cache tiers missed). A panicking
@@ -183,15 +184,17 @@ pub struct AnalysisEngine {
 pub type ComputeFaultHook = Box<dyn Fn(&CfgShape) + Send + Sync>;
 
 /// One stripe: cache segment plus the in-flight table, guarded by one
-/// mutex so a probe and its in-flight registration are atomic.
+/// mutex so a probe and its in-flight registration are atomic. Both
+/// maps are keyed per `(fingerprint, analysis)`: the same shape being
+/// resolved for two analyses is two independent in-flight slots.
 struct StripeState {
     cache: FingerprintCache,
-    in_flight: HashMap<CfgShape, Arc<InFlightSlot>>,
+    in_flight: HashMap<ArtifactKey, Arc<InFlightSlot>>,
 }
 
-/// One shape currently being precomputed by some worker. Waiters block
-/// on the condvar; the computing worker publishes the result (or
-/// `Abandoned`, if it unwound) and notifies.
+/// One `(shape, analysis)` currently being precomputed by some worker.
+/// Waiters block on the condvar; the computing worker publishes the
+/// result (or `Abandoned`, if it unwound) and notifies.
 #[derive(Default)]
 struct InFlightSlot {
     state: Mutex<SlotState>,
@@ -202,7 +205,7 @@ struct InFlightSlot {
 enum SlotState {
     #[default]
     Pending,
-    Done(Arc<FunctionLiveness>),
+    Done(ArtifactHandle),
     /// The computing worker unwound without a result; waiters retry
     /// from the top (one of them becomes the new computer).
     Abandoned,
@@ -213,7 +216,7 @@ enum SlotState {
 struct ComputeGuard<'a> {
     engine: &'a AnalysisEngine,
     stripe: usize,
-    shape: CfgShape,
+    key: ArtifactKey,
     slot: Arc<InFlightSlot>,
     completed: bool,
 }
@@ -224,7 +227,7 @@ impl Drop for ComputeGuard<'_> {
             return;
         }
         let mut st = lock_recover(&self.engine.stripes[self.stripe]);
-        st.in_flight.remove(&self.shape);
+        st.in_flight.remove(&self.key);
         drop(st);
         *lock_recover(&self.slot.state) = SlotState::Abandoned;
         self.slot.cond.notify_all();
@@ -334,10 +337,13 @@ impl AnalysisEngine {
         Self::new(EngineConfig::default())
     }
 
-    /// The stripe owning `shape` — pure hash dispatch, stable for the
-    /// life of the engine.
-    fn stripe_of(&self, shape: &CfgShape) -> usize {
-        (shape.hash64() % self.stripes.len() as u64) as usize
+    /// The stripe owning `(shape, kind)` — pure hash dispatch over the
+    /// kind-salted shape hash, stable for the life of the engine. The
+    /// salt spreads a shape's analyses over (usually) different
+    /// stripes, so resolving liveness and nullness for one hot shape
+    /// does not serialize on one mutex.
+    fn stripe_of(&self, shape: &CfgShape, kind: AnalysisKind) -> usize {
+        ((shape.hash64() ^ kind.salt()) % self.stripes.len() as u64) as usize
     }
 
     /// The engine's configuration.
@@ -433,17 +439,92 @@ impl AnalysisEngine {
         self.shaped_analysis(func).map(|(_, live)| live)
     }
 
+    /// Dominance-based nullness / definite-initialization artifact for
+    /// a single function, through the same `(fingerprint, analysis)`
+    /// cache, dedup, persist and degradation tiers as liveness. The
+    /// artifact is shape-level (dominator tree + frontier matrix);
+    /// callers run the sparse per-function solve
+    /// ([`NullnessArtifact::solve`]) over it.
+    pub fn nullness_for(&self, func: &Function) -> Result<Arc<NullnessArtifact>, AnalysisError> {
+        self.shaped_artifact::<NullnessArtifact>(func)
+            .map(|(_, art)| art)
+    }
+
     /// [`analysis_for`](Self::analysis_for) that also hands back the
     /// computed fingerprint (sessions keep it for exact revalidation).
+    pub(crate) fn shaped_analysis(
+        &self,
+        func: &Function,
+    ) -> Result<(CfgShape, Arc<FunctionLiveness>), AnalysisError> {
+        self.shaped_artifact::<FunctionLiveness>(func)
+    }
+
+    /// Resolves `kind` for `func` through the cache, returning the
+    /// dynamically-typed handle — the dispatch point
+    /// [`prefetch`](Self::prefetch) and cross-analysis batch planners
+    /// use when the artifact type is only known at runtime.
+    pub fn artifact_for(
+        &self,
+        func: &Function,
+        kind: AnalysisKind,
+    ) -> Result<ArtifactHandle, AnalysisError> {
+        match kind {
+            AnalysisKind::Liveness => self
+                .shaped_artifact::<FunctionLiveness>(func)
+                .map(|(_, live)| ArtifactHandle::Liveness(live)),
+            AnalysisKind::Nullness => self
+                .shaped_artifact::<NullnessArtifact>(func)
+                .map(|(_, art)| ArtifactHandle::Nullness(art)),
+        }
+    }
+
+    /// Warms the cache for a batch of `(function, analysis)` requests
+    /// using the same self-scheduling worker pool as
+    /// [`analyze`](Self::analyze): workers claim requests off a shared
+    /// atomic cursor, so a batch that mixes analyses and function
+    /// sizes still balances. Results land in the striped cache (and
+    /// the persist tier, when configured) — the point is that later
+    /// per-function queries become memory hits. Out-of-range ids and
+    /// per-function failures are skipped: prefetching is advisory, the
+    /// query path reports its own errors.
+    pub fn prefetch(&self, module: &Module, requests: &[(FuncId, AnalysisKind)]) {
+        let n = requests.len();
+        let workers = self.worker_count(n);
+        let run = |&(id, kind): &(FuncId, AnalysisKind)| {
+            if id < module.len() {
+                let _ = self.artifact_for(module.func(id), kind);
+            }
+        };
+        if workers <= 1 {
+            requests.iter().for_each(run);
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    run(&requests[i]);
+                });
+            }
+        });
+    }
+
+    /// The generic resolution path every analysis rides: a probe by
+    /// `(CFG shape, analysis kind)`, computing and inserting on a
+    /// miss.
     ///
-    /// Cache misses are deduplicated per shape: the first prober
-    /// registers an in-flight slot in the shape's stripe and resolves
+    /// Cache misses are deduplicated per key: the first prober
+    /// registers an in-flight slot in the key's stripe and resolves
     /// the miss **outside the stripe lock** — first against the disk
     /// tier (if configured), then by computing over the shape's
-    /// canonical graph; concurrent probers of the same shape block on
+    /// canonical graph; concurrent probers of the same key block on
     /// the slot and adopt the result, counted as `dedup_hits`.
     /// Capacity 0 disables *caching* but not dedup — even then,
-    /// concurrent same-shape probes share one computation.
+    /// concurrent same-key probes share one computation.
     ///
     /// The resolution itself runs under `catch_unwind`: a panicking
     /// precomputation abandons the in-flight slot (waiters retry and
@@ -451,16 +532,23 @@ impl AnalysisEngine {
     /// surfaces as [`AnalysisError::ComputePanicked`] — it never
     /// crosses the engine boundary as an unwind, and with every lock
     /// acquisition poison-recovering, it never wedges other stripes.
-    pub(crate) fn shaped_analysis(
+    pub(crate) fn shaped_artifact<A: AnalysisArtifact>(
         &self,
         func: &Function,
-    ) -> Result<(CfgShape, Arc<FunctionLiveness>), AnalysisError> {
+    ) -> Result<(CfgShape, Arc<A>), AnalysisError> {
         enum Role {
             Wait(Arc<InFlightSlot>),
             Compute(Arc<InFlightSlot>),
         }
+        // The key's kind always matches `A`, so a cached or adopted
+        // handle downcasts infallibly — the expect documents the
+        // invariant rather than guarding a reachable state.
+        let unwrap_handle = |handle: &ArtifactHandle| {
+            Arc::clone(A::from_handle(handle).expect("cache entry kind matches its key"))
+        };
         let shape = CfgShape::of(func);
-        let si = self.stripe_of(&shape);
+        let key = (shape.clone(), A::KIND);
+        let si = self.stripe_of(&shape, A::KIND);
         let metered = self.recorder.enabled();
         loop {
             // One span per loop iteration: a retry after an abandoned
@@ -468,14 +556,14 @@ impl AnalysisEngine {
             let t0 = metered.then(Instant::now);
             let role = {
                 let mut st = lock_recover(&self.stripes[si]);
-                if let Some(live) = st.cache.probe(&shape) {
+                if let Some(handle) = st.cache.probe(&key) {
                     if let Some(t0) = t0 {
                         self.recorder
                             .tier(Tier::MemoryHit, t0.elapsed().as_nanos() as u64);
                     }
-                    return Ok((shape, live));
+                    return Ok((shape, unwrap_handle(&handle)));
                 }
-                if let Some(slot) = st.in_flight.get(&shape).map(Arc::clone) {
+                if let Some(slot) = st.in_flight.get(&key).map(Arc::clone) {
                     // The dedup hit is counted on *adoption*, not here:
                     // if the computing worker unwinds and abandons the
                     // slot, this prober retries from the top and must
@@ -484,12 +572,12 @@ impl AnalysisEngine {
                 } else {
                     st.cache.note_miss();
                     let slot = Arc::new(InFlightSlot::default());
-                    st.in_flight.insert(shape.clone(), Arc::clone(&slot));
+                    st.in_flight.insert(key.clone(), Arc::clone(&slot));
                     Role::Compute(slot)
                 }
             };
             match role {
-                // Another worker is resolving this shape: wait for its
+                // Another worker is resolving this key: wait for its
                 // result instead of duplicating the work.
                 Role::Wait(slot) => {
                     let adopted = {
@@ -502,18 +590,18 @@ impl AnalysisEngine {
                                         .wait(state)
                                         .unwrap_or_else(PoisonError::into_inner);
                                 }
-                                SlotState::Done(live) => break Some(Arc::clone(live)),
+                                SlotState::Done(handle) => break Some(handle.clone()),
                                 SlotState::Abandoned => break None, // retry from the top
                             }
                         }
                     };
-                    if let Some(live) = adopted {
+                    if let Some(handle) = adopted {
                         lock_recover(&self.stripes[si]).cache.note_dedup_hit();
                         if let Some(t0) = t0 {
                             self.recorder
                                 .tier(Tier::DedupWait, t0.elapsed().as_nanos() as u64);
                         }
-                        return Ok((shape, live));
+                        return Ok((shape, unwrap_handle(&handle)));
                     }
                 }
                 // This worker owns the miss; the guard releases waiters
@@ -522,16 +610,17 @@ impl AnalysisEngine {
                     let guard = ComputeGuard {
                         engine: self,
                         stripe: si,
-                        shape: shape.clone(),
+                        key: key.clone(),
                         slot: Arc::clone(&slot),
                         completed: false,
                     };
                     // AssertUnwindSafe: on unwind, `guard` publishes
                     // `Abandoned` and nothing partial survives — the
                     // caches only ever see completed values.
-                    let outcome =
-                        std::panic::catch_unwind(AssertUnwindSafe(|| self.load_or_compute(&shape)));
-                    let (live, disk) = match outcome {
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.load_or_compute::<A>(&shape)
+                    }));
+                    let (art, disk) = match outcome {
                         Ok(resolved) => resolved,
                         Err(payload) => {
                             // Dropping the guard abandons the slot and
@@ -545,6 +634,7 @@ impl AnalysisEngine {
                             return Err(AnalysisError::ComputePanicked { message });
                         }
                     };
+                    let handle = A::into_handle(Arc::clone(&art));
                     let mut guard = guard;
                     {
                         let mut st = lock_recover(&self.stripes[si]);
@@ -555,10 +645,10 @@ impl AnalysisEngine {
                             DiskOutcome::Reject => st.cache.note_disk_reject(),
                             DiskOutcome::Error => st.cache.note_disk_error(),
                         }
-                        st.cache.insert(shape.clone(), Arc::clone(&live));
-                        st.in_flight.remove(&shape);
+                        st.cache.insert(key.clone(), handle.clone());
+                        st.in_flight.remove(&key);
                     }
-                    *lock_recover(&slot.state) = SlotState::Done(Arc::clone(&live));
+                    *lock_recover(&slot.state) = SlotState::Done(handle);
                     slot.cond.notify_all();
                     guard.completed = true;
                     // Write-through happens *after* waiters are
@@ -571,12 +661,12 @@ impl AnalysisEngine {
                     if let (Some(store), DiskOutcome::Miss | DiskOutcome::Reject) =
                         (&self.store, &disk)
                     {
-                        match store.save(&shape, live.checker().precomputation()) {
+                        match store.save_artifact(&shape, &*art) {
                             Ok(()) => {
                                 self.disk_success();
                                 // A fresh valid entry is on disk: any
-                                // reject streak for this shape is over.
-                                self.quarantine.note_good(shape.hash64());
+                                // reject streak for this key is over.
+                                self.quarantine.note_good(shape.hash64() ^ A::KIND.salt());
                             }
                             Err(_) => {
                                 self.disk_failure();
@@ -584,19 +674,24 @@ impl AnalysisEngine {
                             }
                         }
                     }
-                    return Ok((shape, live));
+                    return Ok((shape, art));
                 }
             }
         }
     }
 
     /// Resolves one in-memory miss: probe the disk tier, falling back
-    /// to the §5.2 precomputation. Both paths build the checker over
-    /// the shape's **canonical graph** (sorted successor lists), which
-    /// pins one dominance-preorder numbering per shape — the contract
-    /// that makes serialized matrices exact for every shape-identical
-    /// function in any process (see [`persist`](crate::persist)).
-    fn load_or_compute(&self, shape: &CfgShape) -> (Arc<FunctionLiveness>, DiskOutcome) {
+    /// to the shape-level precomputation. Both paths build the
+    /// artifact over the shape's **canonical graph** (sorted successor
+    /// lists), which pins one dominance-preorder numbering per shape —
+    /// the contract that makes serialized matrices exact for every
+    /// shape-identical function in any process (see
+    /// [`persist`](crate::persist)).
+    ///
+    /// The breaker is shared across analyses (it tracks the *device*),
+    /// while quarantine entries are keyed by the kind-salted hash —
+    /// exactly the unit that keeps rejecting on disk.
+    fn load_or_compute<A: AnalysisArtifact>(&self, shape: &CfgShape) -> (Arc<A>, DiskOutcome) {
         let metered = self.recorder.enabled();
         let span = |tier: Tier, t0: Option<Instant>| {
             if let Some(t0) = t0 {
@@ -606,44 +701,37 @@ impl AnalysisEngine {
         let compute = |outcome: DiskOutcome| {
             self.fire_compute_fault(shape);
             let t0 = metered.then(Instant::now);
-            let live = FunctionLiveness::from_checker(LivenessChecker::compute(&shape.to_graph()));
+            let art = A::compute(shape);
             span(Tier::Compute, t0);
-            (Arc::new(live), outcome)
+            (Arc::new(art), outcome)
         };
         let Some(store) = &self.store else {
             return compute(DiskOutcome::Disabled);
         };
-        // Degradation gates, cheapest first: a quarantined shape (its
-        // entry kept rejecting) and a tripped breaker (the device kept
+        let salted = shape.hash64() ^ A::KIND.salt();
+        // Degradation gates, cheapest first: a quarantined entry (it
+        // kept rejecting) and a tripped breaker (the device kept
         // erroring) both skip the disk and compute memory-only. The
         // skip span is 0 ns by definition — the count is the signal.
-        if self.quarantine.is_quarantined(shape.hash64()) || !self.breaker.allow_at(Instant::now())
-        {
+        if self.quarantine.is_quarantined(salted) || !self.breaker.allow_at(Instant::now()) {
             if metered {
                 self.recorder.tier(Tier::DiskSkipped, 0);
             }
             return compute(DiskOutcome::Skipped);
         }
         let t0 = metered.then(Instant::now);
-        match store.load(shape) {
-            LoadOutcome::Hit(pre) => {
+        match store.load_artifact::<A>(shape) {
+            // The store decodes *and* revives under the entry's
+            // analysis tag: a hit is a fully validated artifact, and a
+            // dimensionally-wrong or tag-mismatched entry surfaced as
+            // `Reject` below rather than a partial value here.
+            LoadOutcome::Hit(art) => {
                 self.disk_success();
-                match crate::persist::revive(shape, pre) {
-                    Some(live) => {
-                        self.quarantine.note_good(shape.hash64());
-                        // The hit span covers read + decode + revive —
-                        // the full cost of being served from disk.
-                        span(Tier::DiskHit, t0);
-                        (Arc::new(live), DiskOutcome::Hit)
-                    }
-                    // Decoded but dimensionally wrong for the canonical
-                    // graph: same degradation as any other bad entry.
-                    None => {
-                        self.shape_reject(shape.hash64());
-                        span(Tier::DiskReject, t0);
-                        compute(DiskOutcome::Reject)
-                    }
-                }
+                self.quarantine.note_good(salted);
+                // The hit span covers read + decode + revive — the
+                // full cost of being served from disk.
+                span(Tier::DiskHit, t0);
+                (Arc::new(art), DiskOutcome::Hit)
             }
             LoadOutcome::Absent => {
                 // The disk answered (even if with "nothing there"):
@@ -654,7 +742,7 @@ impl AnalysisEngine {
             }
             LoadOutcome::Reject => {
                 self.disk_success();
-                self.shape_reject(shape.hash64());
+                self.shape_reject(salted);
                 span(Tier::DiskReject, t0);
                 compute(DiskOutcome::Reject)
             }

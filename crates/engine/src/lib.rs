@@ -93,6 +93,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod breaker;
 mod cache;
 mod driver;
@@ -102,6 +103,7 @@ pub mod persist;
 mod session;
 pub mod vfs;
 
+pub use artifact::{AnalysisArtifact, AnalysisKind, ArtifactHandle};
 pub use breaker::{BreakerConfig, BreakerState, HealthReport};
 pub use cache::CacheStats;
 pub use engine::{AnalysisEngine, EngineConfig};

@@ -1,29 +1,44 @@
 //! The on-disk tier of the engine cache: a versioned, checksummed
-//! store of [`Precomputation`]s keyed by [`CfgShape`] fingerprint.
+//! store of analysis artifacts keyed by `(fingerprint, analysis)` —
+//! [`CfgShape`] × [`AnalysisKind`].
 //!
-//! The paper's precomputation is the expensive, quadratic part of the
+//! A shape-level precomputation is the expensive part of a sparse
 //! analysis and depends on nothing but the CFG shape — so it is worth
 //! keeping not just across functions and recompilations (the in-memory
 //! fingerprint cache) but across *processes*: a build daemon, a JIT
 //! restarting, or parallel compiler invocations over one source tree
-//! all re-encounter the same shapes. [`PersistStore`] serializes the
-//! `R`/`T` matrices per shape into one small file under a shared
-//! directory; any later engine pointed at the same directory revives
-//! them for the price of a read + CRC instead of a §5.2 precomputation.
+//! all re-encounter the same shapes. [`PersistStore`] serializes one
+//! artifact body per `(shape, kind)` into one small file under a
+//! shared directory; any later engine pointed at the same directory
+//! revives them for the price of a read + CRC instead of a
+//! recomputation. The bodies are defined by the
+//! [`AnalysisArtifact`] trait: liveness
+//! persists its `R`/`T` matrices, nullness its dominance-frontier
+//! matrix.
 //!
-//! # Format (version 1, all integers little-endian)
+//! # Format (version 2, all integers little-endian)
 //!
 //! ```text
 //! offset  size            field
 //! 0       4               magic  "FLPC"
-//! 4       4               format version (u32, currently 1)
-//! 8       8               shape hash64 (matches the file name)
-//! 16      4               k = shape-encoding word count (u32)
-//! 20      4·k             shape encoding  (CfgShape::encoding, u32s)
-//! ..      4 + 4 + 8·r·w   R matrix: rows, cols, row-major words
-//! ..      4 + 4 + 8·r·w   T matrix: rows, cols, row-major words
+//! 4       4               format version (u32, currently 2)
+//! 8       4               analysis tag (u32, AnalysisKind::tag)
+//! 12      4               reserved, must be zero
+//! 16      8               shape hash64 (raw, unsalted)
+//! 24      4               k = shape-encoding word count (u32)
+//! 28      4·k             shape encoding  (CfgShape::encoding, u32s)
+//! ..      ...             per-kind body (AnalysisArtifact::encode_body)
 //! last 4  4               CRC-32 (IEEE) over all preceding bytes
 //! ```
+//!
+//! The file *name* is `{hash64 ^ kind.salt():016x}.flpc`, so each kind
+//! gets its own entry per shape; the *embedded* hash stays raw, and
+//! the embedded tag must match the probing kind — a CRC-valid entry
+//! renamed or forged across kinds is rejected, never revived as the
+//! other analysis. Liveness keeps salt 0, so files written by the
+//! version-1 (liveness-only) format sit at exactly the paths the
+//! engine still probes and degrade to `disk_rejects` through the
+//! version gate — the bump-once, no-migration policy.
 //!
 //! # Corruption policy: reject, never trust
 //!
@@ -80,6 +95,7 @@ use fastlive_bitset::BitMatrix;
 use fastlive_cfg::{DfsTree, DomTree};
 use fastlive_core::{FunctionLiveness, LivenessChecker, Precomputation};
 
+use crate::artifact::{AnalysisArtifact, AnalysisKind};
 use crate::fingerprint::CfgShape;
 use crate::vfs::{StdVfs, Vfs};
 
@@ -89,8 +105,10 @@ pub const MAGIC: [u8; 4] = *b"FLPC";
 /// The on-disk format version this build reads and writes. Bumped on
 /// **any** layout change; older or newer files are rejected wholesale
 /// (a version-crossed file degrades to one recomputation, which is
-/// always cheaper than decoding a guess).
-pub const FORMAT_VERSION: u32 = 1;
+/// always cheaper than decoding a guess). Version 2 added the
+/// per-analysis tag + reserved word after the version field; version-1
+/// files degrade to `disk_rejects` per that policy.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File extension of cache entries (`{hash64:016x}.flpc`).
 pub const FILE_EXTENSION: &str = "flpc";
@@ -125,72 +143,111 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
-/// Serializes `pre` (computed over `shape`'s canonical graph) into the
-/// version-1 byte format, CRC included.
-pub fn encode(shape: &CfgShape, pre: &Precomputation) -> Vec<u8> {
+/// Serializes any artifact (computed over `shape`'s canonical graph)
+/// into the version-2 byte format — header with the artifact's
+/// analysis tag, trait-encoded body, trailing CRC.
+pub fn encode_artifact<A: AnalysisArtifact>(shape: &CfgShape, artifact: &A) -> Vec<u8> {
     let enc = shape.encoding();
-    // `to_words` strips the in-memory arena padding: the byte format
-    // stores exactly `rows * ceil(cols/64)` words per matrix, so the
-    // encoding is independent of the arena layout and FORMAT_VERSION
-    // stays at 1 across layout changes.
-    let matrix_words = |m: &fastlive_bitset::BitMatrix| m.rows() * m.cols().div_ceil(64);
-    let mut out = Vec::with_capacity(
-        24 + 4 * enc.len() + 16 + 8 * (matrix_words(&pre.r) + matrix_words(&pre.t)),
-    );
+    let mut out = Vec::with_capacity(32 + 4 * enc.len() + A::max_body_len(shape) as usize);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&A::KIND.tag().to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
     out.extend_from_slice(&shape.hash64().to_le_bytes());
     out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
     for &w in enc {
         out.extend_from_slice(&w.to_le_bytes());
     }
-    for m in [&pre.r, &pre.t] {
-        out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
-        out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
-        for w in m.to_words() {
-            out.extend_from_slice(&w.to_le_bytes());
-        }
-    }
+    artifact.encode_body(&mut out);
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
+/// Serializes `pre` (computed over `shape`'s canonical graph) into a
+/// liveness-tagged entry — the [`encode_artifact`] body format without
+/// requiring a revived checker.
+pub fn encode(shape: &CfgShape, pre: &Precomputation) -> Vec<u8> {
+    let enc = shape.encoding();
+    let mut out = Vec::with_capacity(
+        32 + 4 * enc.len() + <FunctionLiveness as AnalysisArtifact>::max_body_len(shape) as usize,
+    );
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&AnalysisKind::Liveness.tag().to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&shape.hash64().to_le_bytes());
+    out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+    for &w in enc {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    encode_liveness_body(pre, &mut out);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Appends the liveness body — the `R` and `T` matrices — to `out`.
+/// `to_words` strips the in-memory arena padding: the byte format
+/// stores exactly `rows * ceil(cols/64)` words per matrix, so the
+/// encoding is independent of the arena layout.
+pub(crate) fn encode_liveness_body(pre: &Precomputation, out: &mut Vec<u8>) {
+    encode_matrix(&pre.r, out);
+    encode_matrix(&pre.t, out);
+}
+
+/// Appends one matrix: rows, cols, row-major unpadded words.
+pub(crate) fn encode_matrix(m: &BitMatrix, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for w in m.to_words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
 /// Bounds-checked little-endian cursor; every read can fail, no read
-/// can panic.
-struct Reader<'a> {
+/// can panic. Public so [`AnalysisArtifact::decode_body`]
+/// implementations can parse their bodies with the same discipline.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    /// The next `n` bytes, or `None` past the end.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         let slice = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(slice)
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    /// The next little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
         self.take(4)
             .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    /// The next little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
         self.take(8)
             .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
+
+    /// `true` once every byte has been consumed — decoders use this to
+    /// reject trailing garbage.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
 }
 
-/// Decodes `bytes` as a cache entry **for `shape`**. Returns `None` —
-/// never panics, never a partial result — unless every one of these
-/// holds: magic and [`FORMAT_VERSION`] match, the trailing CRC matches
-/// the payload, the embedded shape encoding equals `shape`'s exactly,
-/// both matrices are square, mutually sized, bounded by the shape's
-/// block count and structurally valid, and no trailing bytes remain.
-pub fn decode(shape: &CfgShape, bytes: &[u8]) -> Option<Precomputation> {
+/// Validates the CRC and the version-2 header of `bytes` against
+/// `(shape, kind)` and returns a [`Reader`] positioned at the body.
+/// `None` on any mismatch — including a CRC-valid entry carrying a
+/// different analysis tag, which is *someone else's* artifact.
+fn decode_header<'a>(shape: &CfgShape, kind: AnalysisKind, bytes: &'a [u8]) -> Option<Reader<'a>> {
     // CRC first: everything after this point may assume the bytes are
-    // the bytes some `encode` produced (or an astronomically lucky
+    // the bytes some encoder produced (or an astronomically lucky
     // corruption — which the structural checks below still bound).
     let payload_len = bytes.len().checked_sub(4)?;
     let stored_crc = u32::from_le_bytes(bytes[payload_len..].try_into().expect("4 bytes"));
@@ -207,6 +264,14 @@ pub fn decode(shape: &CfgShape, bytes: &[u8]) -> Option<Precomputation> {
     if r.u32()? != FORMAT_VERSION {
         return None;
     }
+    // The analysis tag gates *before* any body parsing: a tag-swapped
+    // file must never reach the other kind's decoder.
+    if AnalysisKind::from_tag(r.u32()?) != Some(kind) {
+        return None;
+    }
+    if r.u32()? != 0 {
+        return None; // reserved word
+    }
     if r.u64()? != shape.hash64() {
         return None;
     }
@@ -220,10 +285,43 @@ pub fn decode(shape: &CfgShape, bytes: &[u8]) -> Option<Precomputation> {
             return None;
         }
     }
+    Some(r)
+}
+
+/// Decodes and revives `bytes` as a `(shape, A::KIND)` entry. Returns
+/// `None` — never panics, never a partial result — unless every one of
+/// these holds: magic, [`FORMAT_VERSION`], analysis tag and reserved
+/// word match, the trailing CRC matches the payload, the embedded
+/// shape encoding equals `shape`'s exactly, the body passes the
+/// artifact's structural validation, and no trailing bytes remain.
+pub fn decode_artifact<A: AnalysisArtifact>(shape: &CfgShape, bytes: &[u8]) -> Option<A> {
+    let mut r = decode_header(shape, A::KIND, bytes)?;
+    let artifact = A::decode_body(shape, &mut r)?;
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(artifact)
+}
+
+/// Decodes `bytes` as a liveness entry **for `shape`**, yielding the
+/// raw [`Precomputation`] (see [`decode_artifact`] for the fully
+/// revived path and the exact validation contract).
+pub fn decode(shape: &CfgShape, bytes: &[u8]) -> Option<Precomputation> {
+    let mut r = decode_header(shape, AnalysisKind::Liveness, bytes)?;
+    let pre = decode_liveness_body(shape, &mut r)?;
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(pre)
+}
+
+/// The liveness body: two square, mutually sized matrices bounded by
+/// the shape's block count.
+pub(crate) fn decode_liveness_body(shape: &CfgShape, r: &mut Reader<'_>) -> Option<Precomputation> {
     let max_dim = shape.num_blocks();
-    let r_matrix = decode_matrix(&mut r, max_dim)?;
-    let t_matrix = decode_matrix(&mut r, max_dim)?;
-    if r_matrix.rows() != t_matrix.rows() || r.pos != payload_len {
+    let r_matrix = decode_matrix(r, max_dim)?;
+    let t_matrix = decode_matrix(r, max_dim)?;
+    if r_matrix.rows() != t_matrix.rows() {
         return None;
     }
     // `from_parts` re-derives the transposed reachability matrix; it is
@@ -233,7 +331,7 @@ pub fn decode(shape: &CfgShape, bytes: &[u8]) -> Option<Precomputation> {
 
 /// One square `rows == cols ≤ max_dim` matrix; dimensions are checked
 /// *before* any allocation is sized from them.
-fn decode_matrix(r: &mut Reader<'_>, max_dim: usize) -> Option<BitMatrix> {
+pub(crate) fn decode_matrix(r: &mut Reader<'_>, max_dim: usize) -> Option<BitMatrix> {
     let rows = r.u32()? as usize;
     let cols = r.u32()? as usize;
     if rows != cols || rows > max_dim {
@@ -303,9 +401,9 @@ pub struct GcStats {
 /// `disk_rejects` vs `disk_errors` in
 /// [`CacheStats`](crate::CacheStats).
 #[derive(Debug)]
-pub enum LoadOutcome {
-    /// A valid entry for exactly this shape.
-    Hit(Precomputation),
+pub enum LoadOutcome<T = Precomputation> {
+    /// A valid entry for exactly this `(shape, kind)`.
+    Hit(T),
     /// No file for this fingerprint.
     Absent,
     /// A file existed but failed validation (corrupt, truncated,
@@ -447,26 +545,54 @@ impl PersistStore {
         &self.dir
     }
 
-    /// The file a given shape persists to.
+    /// The file a given shape's **liveness** entry persists to (salt
+    /// 0 — see [`entry_path_for`](Self::entry_path_for)).
     pub fn entry_path(&self, shape: &CfgShape) -> PathBuf {
-        self.dir
-            .join(format!("{:016x}.{FILE_EXTENSION}", shape.hash64()))
+        self.entry_path_for(shape, AnalysisKind::Liveness)
     }
 
-    /// Probes the store for `shape`'s precomputation. Every failure
-    /// mode is classified (see [`LoadOutcome`]): missing file →
-    /// `Absent`, invalid bytes → `Reject`, failing I/O → `Error` —
-    /// the caller always gets an answer it can degrade on, never a
-    /// panic.
+    /// The file a given `(shape, kind)` persists to: the shape hash
+    /// XOR the kind's salt, hex, plus the common extension. Distinct
+    /// kinds of one shape are distinct files, so GC, the tmp sweep and
+    /// the entry-name pattern need no per-kind cases.
+    pub fn entry_path_for(&self, shape: &CfgShape, kind: AnalysisKind) -> PathBuf {
+        self.dir.join(format!(
+            "{:016x}.{FILE_EXTENSION}",
+            shape.hash64() ^ kind.salt()
+        ))
+    }
+
+    /// Probes the store for `shape`'s liveness precomputation (see
+    /// [`load_artifact`](Self::load_artifact) for the generic path and
+    /// the outcome classification).
     pub fn load(&self, shape: &CfgShape) -> LoadOutcome {
-        let path = self.entry_path(shape);
-        // Cheap size gate before reading: a valid entry for this shape
-        // can never exceed `max_entry_len` (matrix dims are bounded by
-        // the block count), so an absurdly large file — filesystem
-        // corruption, a zero-extended blob — is rejected on metadata
-        // alone instead of being slurped and CRC-scanned.
+        self.probe(shape, AnalysisKind::Liveness, |bytes| decode(shape, bytes))
+    }
+
+    /// Probes the store for `shape`'s `A::KIND` artifact, fully
+    /// revived. Every failure mode is classified (see
+    /// [`LoadOutcome`]): missing file → `Absent`, invalid bytes →
+    /// `Reject`, failing I/O → `Error` — the caller always gets an
+    /// answer it can degrade on, never a panic.
+    pub fn load_artifact<A: AnalysisArtifact>(&self, shape: &CfgShape) -> LoadOutcome<A> {
+        self.probe(shape, A::KIND, |bytes| decode_artifact::<A>(shape, bytes))
+    }
+
+    /// The shared probe skeleton: size gate on metadata, read, decode.
+    fn probe<T>(
+        &self,
+        shape: &CfgShape,
+        kind: AnalysisKind,
+        decode_fn: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> LoadOutcome<T> {
+        let path = self.entry_path_for(shape, kind);
+        // Cheap size gate before reading: a valid entry for this
+        // `(shape, kind)` can never exceed `max_entry_len` (body sizes
+        // are bounded by the block count), so an absurdly large file —
+        // filesystem corruption, a zero-extended blob — is rejected on
+        // metadata alone instead of being slurped and CRC-scanned.
         match self.vfs.metadata(&path) {
-            Ok(meta) if meta.len > Self::max_entry_len(shape) => return LoadOutcome::Reject,
+            Ok(meta) if meta.len > Self::max_entry_len(shape, kind) => return LoadOutcome::Reject,
             Ok(_) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
             // A failing stat is the disk's fault, not the file's:
@@ -479,35 +605,57 @@ impl PersistStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
             Err(e) => return LoadOutcome::Error(e),
         };
-        match decode(shape, &bytes) {
-            Some(pre) => LoadOutcome::Hit(pre),
+        match decode_fn(&bytes) {
+            Some(value) => LoadOutcome::Hit(value),
             None => LoadOutcome::Reject,
         }
     }
 
-    /// Upper bound on a valid entry's byte length for `shape`: header
-    /// and encoding are fixed, and each matrix is at most
-    /// `num_blocks × ⌈num_blocks/64⌉` words (the reachable count never
-    /// exceeds the block count).
-    fn max_entry_len(shape: &CfgShape) -> u64 {
-        let n = shape.num_blocks() as u64;
-        let matrix_words = n * n.div_ceil(64);
-        24 + 4 * shape.encoding().len() as u64 + 2 * (8 + 8 * matrix_words) + 4
+    /// Upper bound on a valid entry's byte length for `(shape, kind)`:
+    /// header and encoding are fixed, the body bound comes from the
+    /// artifact trait.
+    fn max_entry_len(shape: &CfgShape, kind: AnalysisKind) -> u64 {
+        let body = match kind {
+            AnalysisKind::Liveness => <FunctionLiveness as AnalysisArtifact>::max_body_len(shape),
+            AnalysisKind::Nullness => {
+                <fastlive_core::NullnessArtifact as AnalysisArtifact>::max_body_len(shape)
+            }
+        };
+        32 + 4 * shape.encoding().len() as u64 + body + 4
     }
 
-    /// Writes (or overwrites) `shape`'s entry atomically: encode to a
-    /// unique temp file, then rename into place. On any I/O failure
-    /// the temp file is removed (best-effort), no partial entry is
-    /// left behind, and the underlying error is returned — the caller
-    /// keeps its freshly computed result either way (a failed
-    /// write-through **never** invalidates a successful computation;
-    /// it only feeds disk-health accounting).
+    /// Writes (or overwrites) `shape`'s liveness entry atomically (see
+    /// [`save_artifact`](Self::save_artifact) for the contract).
     pub fn save(&self, shape: &CfgShape, pre: &Precomputation) -> Result<(), std::io::Error> {
-        let bytes = encode(shape, pre);
-        let final_path = self.entry_path(shape);
+        self.publish(shape, AnalysisKind::Liveness, encode(shape, pre))
+    }
+
+    /// Writes (or overwrites) `shape`'s `A::KIND` entry atomically:
+    /// encode to a unique temp file, then rename into place. On any
+    /// I/O failure the temp file is removed (best-effort), no partial
+    /// entry is left behind, and the underlying error is returned —
+    /// the caller keeps its freshly computed result either way (a
+    /// failed write-through **never** invalidates a successful
+    /// computation; it only feeds disk-health accounting).
+    pub fn save_artifact<A: AnalysisArtifact>(
+        &self,
+        shape: &CfgShape,
+        artifact: &A,
+    ) -> Result<(), std::io::Error> {
+        self.publish(shape, A::KIND, encode_artifact(shape, artifact))
+    }
+
+    /// The shared write-temp-then-rename skeleton.
+    fn publish(
+        &self,
+        shape: &CfgShape,
+        kind: AnalysisKind,
+        bytes: Vec<u8>,
+    ) -> Result<(), std::io::Error> {
+        let final_path = self.entry_path_for(shape, kind);
         let tmp_path = self.dir.join(format!(
             "{:016x}.tmp.{}.{}",
-            shape.hash64(),
+            shape.hash64() ^ kind.salt(),
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
@@ -890,6 +1038,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn artifact_round_trips_per_kind_with_salted_paths() {
+        use fastlive_core::NullnessArtifact;
+        let f = parse_function(LOOP_SRC).expect("parses");
+        let shape = CfgShape::of(&f);
+        let null = <NullnessArtifact as AnalysisArtifact>::compute(&shape);
+        let bytes = encode_artifact(&shape, &null);
+        let back: NullnessArtifact = decode_artifact(&shape, &bytes).expect("own encoding decodes");
+        assert_eq!(back.df(), null.df(), "frontier matrix round-trips");
+
+        // Through the store: each kind owns its salted path, and the
+        // two entries for one shape coexist in one directory.
+        let dir = std::env::temp_dir().join(format!(
+            "fastlive-persist-kinds-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = PersistStore::new(&dir);
+        let (_, pre) = shape_and_pre(LOOP_SRC);
+        assert!(store.save(&shape, &pre).is_ok());
+        assert!(store.save_artifact(&shape, &null).is_ok());
+        assert_ne!(
+            store.entry_path_for(&shape, AnalysisKind::Liveness),
+            store.entry_path_for(&shape, AnalysisKind::Nullness),
+        );
+        assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
+        match store.load_artifact::<NullnessArtifact>(&shape) {
+            LoadOutcome::Hit(got) => assert_eq!(got.df(), null.df()),
+            other => panic!("expected nullness hit, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decode_rejects_the_wrong_analysis_tag() {
+        use fastlive_core::NullnessArtifact;
+        let (shape, pre) = shape_and_pre(LOOP_SRC);
+        let null = <NullnessArtifact as AnalysisArtifact>::compute(&shape);
+        let live_bytes = encode(&shape, &pre);
+        let null_bytes = encode_artifact(&shape, &null);
+        // Each kind's decoder refuses the other kind's (CRC-valid)
+        // bytes at the tag gate — before any body parsing.
+        assert!(decode_artifact::<NullnessArtifact>(&shape, &live_bytes).is_none());
+        assert!(decode(&shape, &null_bytes).is_none());
+        assert!(decode_artifact::<FunctionLiveness>(&shape, &null_bytes).is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use fastlive_core::{AnalysisError, BatchLiveness, FunctionLiveness};
+use fastlive_core::{AnalysisError, BatchLiveness, FunctionLiveness, NullnessArtifact};
 use fastlive_ir::{Block, FuncId, Module, ProgramPoint, Value};
 
 use crate::engine::AnalysisEngine;
@@ -101,6 +101,13 @@ impl<'e> EngineSession<'e> {
     /// [`AnalysisEngine::analyze`] time).
     pub fn num_functions(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The engine this session resolves through — for batch planners
+    /// that want to [`prefetch`](AnalysisEngine::prefetch) artifacts
+    /// across functions before issuing per-function queries.
+    pub fn engine(&self) -> &'e AnalysisEngine {
+        self.engine
     }
 
     /// The recomputation epoch of `func`: 0 until its CFG first
@@ -238,6 +245,28 @@ impl<'e> EngineSession<'e> {
     /// Panics if `func` is out of range.
     pub fn batch(&mut self, module: &Module, func: FuncId) -> Result<BatchLiveness, AnalysisError> {
         Ok(self.analysis(module, func)?.batch(module.func(func)))
+    }
+
+    /// The nullness / definite-initialization artifact for `func`,
+    /// resolved through the engine's `(fingerprint, analysis)` cache.
+    ///
+    /// Always exact for the function's current state: the engine keys
+    /// by the CFG shape computed *at call time*, so a CFG edit simply
+    /// resolves a different key (usually another cache hit) — nullness
+    /// needs no epoch bookkeeping of its own. Run
+    /// [`NullnessArtifact::solve`] over the handle for per-value
+    /// facts; like liveness queries, solving reads the function's
+    /// current instructions, so instruction-level edits are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn nullness(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+    ) -> Result<Arc<NullnessArtifact>, AnalysisError> {
+        self.engine.nullness_for(module.func(func))
     }
 
     /// Exact revalidation: recomputes the function's [`CfgShape`] and,
@@ -520,6 +549,35 @@ mod tests {
                 fastlive_core::PointError::DefinitionRemoved(dv)
             ))
         );
+    }
+
+    #[test]
+    fn nullness_rides_the_same_cache_without_duplicating_liveness() {
+        let module = looped_module();
+        let engine = AnalysisEngine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 8,
+            ..EngineConfig::default()
+        });
+        let mut session = engine.analyze(&module);
+        assert_eq!(engine.cache_len(), 1, "liveness artifact cached");
+
+        // First nullness request is a second, independent cache entry
+        // under the same fingerprint; repeats are memory hits.
+        let art = session.nullness(&module, 0).unwrap();
+        assert_eq!(engine.cache_len(), 2, "one entry per (shape, analysis)");
+        let again = session.nullness(&module, 0).unwrap();
+        assert!(
+            Arc::ptr_eq(&art, &again),
+            "second request shares the handle"
+        );
+        assert_eq!(engine.cache_stats().misses, 2, "one per analysis kind");
+
+        // And the artifact answers over the function's real body.
+        let func = module.func(0);
+        let facts = art.solve(func);
+        let v1 = func.value("v1").unwrap();
+        assert_eq!(facts.of(v1), fastlive_core::Nullness::Null, "iconst 0");
     }
 
     #[test]

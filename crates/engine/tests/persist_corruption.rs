@@ -84,7 +84,9 @@ fn zero_fill_is_rejected() {
     // zeroed in place.
     assert!(decode(&shape, &vec![0u8; bytes.len()]).is_none());
     assert!(decode(&shape, &[]).is_none());
-    for (lo, hi) in [(0usize, 8usize), (8, 16), (16, 24), (24, bytes.len() - 4)] {
+    // Sections of the v2 layout: magic+version, tag+reserved, hash+k,
+    // encoding+body.
+    for (lo, hi) in [(0usize, 8usize), (8, 16), (16, 28), (28, bytes.len() - 4)] {
         let mut mutated = bytes.clone();
         mutated[lo..hi].fill(0);
         assert!(
@@ -110,17 +112,94 @@ fn version_and_magic_gates_hold_even_with_a_valid_crc() {
     mbad[0] = b'X';
     fix_crc(&mut mbad);
     assert!(decode(&shape, &mbad).is_none());
+    // Unknown analysis tag (byte 8), CRC re-stamped: the tag gate
+    // rejects before any body parsing.
+    let mut tbad = bytes.clone();
+    tbad[8] = 99;
+    fix_crc(&mut tbad);
+    assert!(decode(&shape, &tbad).is_none());
+    // Nonzero reserved word, CRC re-stamped.
+    let mut rbad = bytes.clone();
+    rbad[12] = 1;
+    fix_crc(&mut rbad);
+    assert!(decode(&shape, &rbad).is_none());
     // Wrong embedded hash, CRC re-stamped.
     let mut hbad = bytes.clone();
-    hbad[8] ^= 0xff;
+    hbad[16] ^= 0xff;
     fix_crc(&mut hbad);
     assert!(decode(&shape, &hbad).is_none());
     // A shape-encoding word changed, CRC re-stamped: the exact-identity
     // gate (not just the hash) rejects — this is the collision net.
     let mut sbad = bytes.clone();
-    sbad[20] = sbad[20].wrapping_add(1);
+    sbad[28] = sbad[28].wrapping_add(1);
     fix_crc(&mut sbad);
     assert!(decode(&shape, &sbad).is_none());
+}
+
+/// A CRC-valid forgery whose analysis tag was swapped to the *other*
+/// kind must never decode as that kind — and at the engine level it
+/// lands in `disk_rejects`, then gets overwritten by a healthy entry.
+#[test]
+fn a_tag_swapped_forgery_never_decodes_as_the_other_analysis() {
+    use fastlive_core::NullnessArtifact;
+    use fastlive_engine::persist::{decode_artifact, encode_artifact};
+    use fastlive_engine::AnalysisKind;
+
+    let f = parse_function(SMALL_SRC).expect("parses");
+    let shape = CfgShape::of(&f);
+
+    // Liveness bytes re-tagged as nullness: the tag gate refuses them
+    // even though the CRC is freshly valid. The forged body would even
+    // parse as a plausible matrix — the tag must reject first.
+    let pre = LivenessChecker::compute(&shape.to_graph())
+        .precomputation()
+        .clone();
+    let mut forged_null = encode(&shape, &pre);
+    forged_null[8..12].copy_from_slice(&AnalysisKind::Nullness.tag().to_le_bytes());
+    fix_crc(&mut forged_null);
+    assert!(decode_artifact::<NullnessArtifact>(&shape, &forged_null).is_none());
+    assert!(decode(&shape, &forged_null).is_none(), "nor as liveness");
+
+    // And the mirror image: nullness bytes re-tagged as liveness.
+    let art = NullnessArtifact::compute(&shape.to_graph());
+    let mut forged_live = encode_artifact(&shape, &art);
+    forged_live[8..12].copy_from_slice(&AnalysisKind::Liveness.tag().to_le_bytes());
+    fix_crc(&mut forged_live);
+    assert!(decode(&shape, &forged_live).is_none());
+    assert!(decode_artifact::<NullnessArtifact>(&shape, &forged_live).is_none());
+
+    // Engine level: plant each forgery at the kind's salted path and
+    // ask for that kind — one disk_rejects each, exact recomputation,
+    // healthy overwrite.
+    let module = parse_module(SMALL_SRC).expect("parses");
+    let dir = common::temp_dir("corrupt-tag-forgery");
+    let store = PersistStore::new(&dir);
+    std::fs::create_dir_all(&dir).expect("store dir");
+    std::fs::write(
+        store.entry_path_for(&shape, AnalysisKind::Nullness),
+        &forged_null,
+    )
+    .expect("plant nullness forgery");
+    std::fs::write(store.entry_path(&shape), &forged_live).expect("plant liveness forgery");
+
+    let engine = AnalysisEngine::new(EngineConfig {
+        persist_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let _ = engine.analyze(&module);
+    let art = engine.nullness_for(module.func(0)).expect("recomputes");
+    assert!(art.is_current_for(module.func(0)));
+    let stats = engine.cache_stats();
+    assert_eq!(stats.disk_rejects, 2, "{stats:?}");
+    assert_eq!(stats.disk_hits, 0, "{stats:?}");
+
+    // Both paths were overwritten with valid same-kind entries.
+    assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
+    assert!(matches!(
+        store.load_artifact::<NullnessArtifact>(&shape),
+        LoadOutcome::Hit(_)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

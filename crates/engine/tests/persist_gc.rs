@@ -96,6 +96,75 @@ fn gcd_entry_degrades_to_one_clean_disk_miss() {
 }
 
 #[test]
+fn gc_treats_mixed_analysis_kinds_as_ordinary_entries() {
+    use fastlive_core::NullnessArtifact;
+    use fastlive_engine::persist::LoadOutcome;
+    use fastlive_engine::CfgShape;
+
+    let dir = temp_dir("persist-gc-mixed");
+    let module = parse_module(
+        "function %a { block0(v0): jump block1 block1: return v0 }
+         function %b { block0(v0): brif v0, block0, block1 block1: return v0 }",
+    )
+    .expect("parses");
+
+    // Populate both kinds for both shapes: four entries in one store.
+    let engine = engine_for(&dir);
+    let _ = engine.analyze(&module);
+    for (_, func) in module.iter() {
+        engine.nullness_for(func).expect("computes");
+    }
+    let store = PersistStore::new(&dir);
+    let count = || {
+        std::fs::read_dir(&dir)
+            .map(|d| d.filter_map(Result::ok).count())
+            .unwrap_or(0)
+    };
+    assert_eq!(count(), 4, "two shapes x two kinds");
+
+    // Prune to two entries: GC ranks by age alone — an analysis kind
+    // is not a protected class, each file is just an entry.
+    let stats = engine.gc_persist(2, None).expect("persistence configured");
+    assert_eq!(
+        stats,
+        GcStats {
+            retained: 2,
+            removed: 2
+        }
+    );
+    assert_eq!(count(), 2);
+
+    // Whatever survived, a fresh engine degrades the gc'd kinds to
+    // clean misses and write-through heals the store back to four.
+    let second = engine_for(&dir);
+    let mut session = second.analyze(&module);
+    for (id, func) in module.iter() {
+        let art = second.nullness_for(func).expect("recomputes");
+        assert!(art.is_current_for(func));
+        let oracle = FunctionLiveness::compute(func);
+        for v in func.values() {
+            for b in func.blocks() {
+                assert_eq!(
+                    session.is_live_in(&module, id, v, b),
+                    Ok(oracle.is_live_in(func, v, b)),
+                );
+            }
+        }
+    }
+    assert_eq!(second.cache_stats().disk_rejects, 0);
+    assert_eq!(count(), 4, "write-through restores both kinds");
+    for (_, func) in module.iter() {
+        let shape = CfgShape::of(func);
+        assert!(matches!(store.load(&shape), LoadOutcome::Hit(_)));
+        assert!(matches!(
+            store.load_artifact::<NullnessArtifact>(&shape),
+            LoadOutcome::Hit(_)
+        ));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn age_gc_expires_everything_past_the_horizon() {
     let dir = temp_dir("persist-gc-age");
     let module = parse_module(

@@ -150,12 +150,14 @@ fn padded_arena_never_leaks_into_the_encoding() {
             func.name
         );
         // ... but the packed view and the byte format are not: header
-        // (magic + version + hash + shape encoding) + two matrices of
-        // exactly rows × words_per_row words + CRC.
+        // (magic + version + analysis tag + reserved + hash + shape
+        // encoding) + two matrices of exactly rows × words_per_row
+        // words + CRC.
         assert_eq!(pre.r.to_words().len(), n * words_per_row);
         let bytes = encode(&shape, &pre);
-        // magic(4) + version(4) + hash(8) + enc count(4) = 20 bytes.
-        let expect_len = 20 + 4 * shape.encoding().len() + 2 * (8 + 8 * n * words_per_row) + 4;
+        // magic(4) + version(4) + tag(4) + reserved(4) + hash(8) +
+        // enc count(4) = 28 bytes.
+        let expect_len = 28 + 4 * shape.encoding().len() + 2 * (8 + 8 * n * words_per_row) + 4;
         assert_eq!(bytes.len(), expect_len, "{}: padding leaked", func.name);
 
         let back = decode(&shape, &bytes).expect("own encoding decodes");

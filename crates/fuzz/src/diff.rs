@@ -77,6 +77,10 @@ pub fn module_text(module: &Module) -> String {
 /// (the error answers must agree too).
 pub fn query_mix(module: &Module, per_func: usize, seed: u64) -> Vec<Query> {
     let mut rng = SplitMix64::new(seed ^ 0x71e5_3a11);
+    // The nullness-family arms draw from their own stream so adding
+    // them did not (and future arms need not) reshuffle the liveness
+    // probes a given seed has always produced.
+    let mut nrng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut queries = Vec::new();
     for (id, func) in module.iter() {
         let nv = func.num_values();
@@ -103,6 +107,13 @@ pub fn query_mix(module: &Module, per_func: usize, seed: u64) -> Vec<Query> {
         for _ in 0..per_func.div_ceil(2) {
             queries.push(Query::interfere(id, rv(&mut rng), rv(&mut rng)));
         }
+        // Nullness-family arms: the second analysis rides the same
+        // differential invariant — facts at definitions and
+        // definite-initialization probes at random blocks.
+        for _ in 0..per_func.div_ceil(2) {
+            queries.push(Query::nullness(id, rv(&mut nrng)));
+            queries.push(Query::definitely_init(id, rv(&mut nrng), rb(&mut nrng)));
+        }
         queries.push(Query::live_sets(id));
         // Name-addressed probes: printed names are dense on any parsed
         // or generated function, so `v{i}`/`block{i}` resolve to the
@@ -117,6 +128,8 @@ pub fn query_mix(module: &Module, per_func: usize, seed: u64) -> Vec<Query> {
         // Invalid references: every backend must refuse identically.
         queries.push(Query::live_in(id, Value::from_index(nv + 7), rb(&mut rng)));
         queries.push(Query::live_out(id, rv(&mut rng), "block999999"));
+        queries.push(Query::nullness(id, Value::from_index(nv + 13)));
+        queries.push(Query::definitely_init(id, rv(&mut nrng), "block999999"));
         queries.push(Query::live_at(
             id,
             rv(&mut rng),

@@ -49,9 +49,48 @@ fn every_corpus_case_imports_and_backends_agree() {
         cases.push(fname);
     }
     assert!(
-        cases.len() >= 6,
+        cases.len() >= 8,
         "corpus unexpectedly small ({} cases): {cases:?}",
         cases.len()
+    );
+}
+
+#[test]
+fn nullness_corpus_cases_exercise_joins_and_loop_carry() {
+    // The two nullness-focused cases must stay non-trivial: the
+    // merge-point case joins disagreeing facts into Maybe (and keeps
+    // agreeing Null facts Null), and the loop case carries an
+    // initially-Null fact around a back edge until it widens.
+    use fastlive::Nullness;
+    let fl = Fastlive::builder().build().expect("default build");
+
+    let src = fs::read_to_string(corpus_dir().join("nullness_merge_join.fl")).expect("case");
+    let module = import_auto("nullness_merge_join.fl", &src).expect("imports");
+    let mut s = fl.session(&module);
+    // v3 = 0+0 stays Null; v4 = 0+7 is NonNull; their join v5 is Maybe.
+    assert_eq!(s.nullness_of(&module, 0usize, "v3"), Ok(Nullness::Null));
+    assert_eq!(s.nullness_of(&module, 0usize, "v4"), Ok(Nullness::NonNull));
+    assert_eq!(s.nullness_of(&module, 0usize, "v5"), Ok(Nullness::Maybe));
+    // v6 joins NonNull (v2) with Null (v1) into Maybe; v7 joins
+    // Null with Null and stays Null through the merge.
+    assert_eq!(s.nullness_of(&module, 0usize, "v6"), Ok(Nullness::Maybe));
+    assert_eq!(s.nullness_of(&module, 0usize, "v7"), Ok(Nullness::Null));
+
+    let src = fs::read_to_string(corpus_dir().join("nullness_loop_carry.fl")).expect("case");
+    let module = import_auto("nullness_loop_carry.fl", &src).expect("imports");
+    let mut s = fl.session(&module);
+    // The loop param starts Null (first iteration) and joins the
+    // loop-carried Maybe — the fixpoint must widen, not stay Null.
+    assert_eq!(s.nullness_of(&module, 0usize, "v2"), Ok(Nullness::Maybe));
+    // v4 is defined in the loop header, which dominates the exit;
+    // v6 is defined in the body, which does not.
+    assert_eq!(
+        s.is_definitely_init(&module, 0usize, "v4", "block3"),
+        Ok(true)
+    );
+    assert_eq!(
+        s.is_definitely_init(&module, 0usize, "v6", "block3"),
+        Ok(false)
     );
 }
 

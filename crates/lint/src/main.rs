@@ -1,0 +1,59 @@
+//! The `fastlive-lint` binary: scans the workspace sources and exits
+//! non-zero on any gate violation. Run from the workspace root (CI
+//! does `cargo run --release -p fastlive-lint`); pass `--root PATH` to
+//! scan elsewhere.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fastlive_lint::{run_workspace, RULES};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("fastlive-lint: workspace source gates\n");
+                println!("usage: fastlive-lint [--root PATH]\n\nrules:");
+                for rule in RULES {
+                    println!("  {:<22} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let violations = match run_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fastlive-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!("fastlive-lint: {} rules, 0 violations", RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!(
+        "fastlive-lint: {} violation{} across {} rules",
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" },
+        RULES.len()
+    );
+    ExitCode::FAILURE
+}

@@ -22,16 +22,22 @@ pub enum QueryClass {
     LiveSets,
     /// Value-interference test.
     Interfere,
+    /// Nullness fact probe (dominance-based sparse analysis).
+    Nullness,
+    /// Definite-initialization probe.
+    DefiniteInit,
 }
 
 impl QueryClass {
     /// Every class, in label order (snapshot vectors use this order).
-    pub const ALL: [QueryClass; 5] = [
+    pub const ALL: [QueryClass; 7] = [
         QueryClass::LiveIn,
         QueryClass::LiveOut,
         QueryClass::LiveAt,
         QueryClass::LiveSets,
         QueryClass::Interfere,
+        QueryClass::Nullness,
+        QueryClass::DefiniteInit,
     ];
 
     /// Stable snake_case label.
@@ -42,6 +48,8 @@ impl QueryClass {
             QueryClass::LiveAt => "live_at",
             QueryClass::LiveSets => "live_sets",
             QueryClass::Interfere => "interfere",
+            QueryClass::Nullness => "nullness",
+            QueryClass::DefiniteInit => "definite_init",
         }
     }
 }

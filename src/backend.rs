@@ -22,11 +22,12 @@ use std::sync::Arc;
 
 use fastlive_cfg::{DfsTree, DomTree};
 use fastlive_core::{
-    BatchLiveness, FunctionLiveness, LivenessChecker, LivenessProvider, PointError,
+    BatchLiveness, FunctionLiveness, LivenessChecker, LivenessProvider, Nullness, NullnessArtifact,
+    NullnessFacts, PointError,
 };
-use fastlive_dataflow::{IterativeLiveness, VarUniverse};
+use fastlive_dataflow::{IterativeLiveness, IterativeNullness, VarUniverse};
 use fastlive_destruct::{values_interfere, CheckerEngine};
-use fastlive_engine::EngineSession;
+use fastlive_engine::{AnalysisKind, EngineSession};
 use fastlive_ir::{Block, FuncId, Function, Module, ProgramPoint, Value};
 use fastlive_telemetry::NoopRecorder;
 
@@ -146,11 +147,14 @@ pub enum Backend<'e> {
 /// backend-specific engine plus a lazily computed dominator tree for
 /// interference tests.
 pub(crate) struct FuncAnalysis {
-    kind: AnalysisKind,
+    kind: LivenessState,
     dom: Option<DomTree>,
 }
 
-enum AnalysisKind {
+/// How one resolved function's *liveness* is served. (This used to be
+/// named `AnalysisKind`, which now names the engine's analysis-id enum
+/// — the facade state is per-backend, the engine enum is per-analysis.)
+enum LivenessState {
     /// An owned checker (direct backend). Boxed to keep the enum small
     /// — the checker embeds its matrices and tree arrays inline.
     Checker(Box<FunctionLiveness>),
@@ -160,31 +164,63 @@ enum AnalysisKind {
     Iterative(IterativeLiveness),
 }
 
+/// How one resolved function's *nullness* is served: the exact sparse
+/// path (shape-level artifact + solved per-value facts) or the dense
+/// iterative referee. Both answer identically — `tests/facade_oracle.rs`
+/// and the fuzz campaign's query mix enforce it.
+pub(crate) enum NullnessState {
+    /// Dominance artifact plus the sparse solve over the function's
+    /// current body (direct and session backends — session shares the
+    /// artifact through the engine cache).
+    Exact {
+        art: Arc<NullnessArtifact>,
+        facts: NullnessFacts,
+    },
+    /// The chaotic-iteration referee (oracle backend).
+    Oracle(IterativeNullness),
+}
+
+impl NullnessState {
+    pub(crate) fn fact(&self, v: Value) -> Nullness {
+        match self {
+            NullnessState::Exact { facts, .. } => facts.of(v),
+            NullnessState::Oracle(it) => it.fact(v),
+        }
+    }
+
+    pub(crate) fn definitely_init(&self, func: &Function, v: Value, q: Block) -> bool {
+        match self {
+            NullnessState::Exact { art, .. } => art.definitely_initialized_at_entry(func, v, q),
+            NullnessState::Oracle(it) => it.definitely_initialized_at_entry(v, q),
+        }
+    }
+}
+
 impl FuncAnalysis {
     fn checker(&self) -> Option<&FunctionLiveness> {
         match &self.kind {
-            AnalysisKind::Checker(c) => Some(c),
-            AnalysisKind::Shared(c) => Some(c),
-            AnalysisKind::Iterative(_) => None,
+            LivenessState::Checker(c) => Some(c),
+            LivenessState::Shared(c) => Some(c),
+            LivenessState::Iterative(_) => None,
         }
     }
 
     pub(crate) fn live_in(&self, func: &Function, v: Value, b: Block) -> bool {
-        // Total over every kind: the old shape funneled the two
+        // Total over every state: the old shape funneled the two
         // checker variants through an `Option` + `expect`, which made
-        // adding an `AnalysisKind` a latent runtime abort.
+        // adding a variant a latent runtime abort.
         match &self.kind {
-            AnalysisKind::Iterative(it) => it.is_live_in(v, b),
-            AnalysisKind::Checker(c) => c.is_live_in(func, v, b),
-            AnalysisKind::Shared(c) => c.is_live_in(func, v, b),
+            LivenessState::Iterative(it) => it.is_live_in(v, b),
+            LivenessState::Checker(c) => c.is_live_in(func, v, b),
+            LivenessState::Shared(c) => c.is_live_in(func, v, b),
         }
     }
 
     pub(crate) fn live_out(&self, func: &Function, v: Value, b: Block) -> bool {
         match &self.kind {
-            AnalysisKind::Iterative(it) => it.is_live_out(v, b),
-            AnalysisKind::Checker(c) => c.is_live_out(func, v, b),
-            AnalysisKind::Shared(c) => c.is_live_out(func, v, b),
+            LivenessState::Iterative(it) => it.is_live_out(v, b),
+            LivenessState::Checker(c) => c.is_live_out(func, v, b),
+            LivenessState::Shared(c) => c.is_live_out(func, v, b),
         }
     }
 
@@ -195,9 +231,9 @@ impl FuncAnalysis {
         p: ProgramPoint,
     ) -> Result<bool, PointError> {
         match &mut self.kind {
-            AnalysisKind::Iterative(it) => LivenessProvider::live_at(it, func, v, p),
-            AnalysisKind::Checker(c) => c.is_live_at(func, v, p),
-            AnalysisKind::Shared(c) => c.is_live_at(func, v, p),
+            LivenessState::Iterative(it) => LivenessProvider::live_at(it, func, v, p),
+            LivenessState::Checker(c) => c.is_live_at(func, v, p),
+            LivenessState::Shared(c) => c.is_live_at(func, v, p),
         }
     }
 
@@ -207,12 +243,12 @@ impl FuncAnalysis {
             LiveSets { live_in, live_out }
         };
         match &self.kind {
-            AnalysisKind::Iterative(it) => LiveSets {
+            LivenessState::Iterative(it) => LiveSets {
                 live_in: func.blocks().map(|b| it.live_in_set(b)).collect(),
                 live_out: func.blocks().map(|b| it.live_out_set(b)).collect(),
             },
-            AnalysisKind::Checker(c) => from_checker(c),
-            AnalysisKind::Shared(c) => from_checker(c),
+            LivenessState::Checker(c) => from_checker(c),
+            LivenessState::Shared(c) => from_checker(c),
         }
     }
 
@@ -234,12 +270,12 @@ impl FuncAnalysis {
             DomTree::compute(func, &dfs)
         });
         match &mut self.kind {
-            AnalysisKind::Checker(c) => values_interfere(c.as_mut(), func, dom, a, b),
-            AnalysisKind::Shared(arc) => {
+            LivenessState::Checker(c) => values_interfere(c.as_mut(), func, dom, a, b),
+            LivenessState::Shared(arc) => {
                 let mut engine = CheckerEngine::from_shared(Arc::clone(arc));
                 values_interfere(&mut engine, func, dom, a, b)
             }
-            AnalysisKind::Iterative(it) => values_interfere(it, func, dom, a, b),
+            LivenessState::Iterative(it) => values_interfere(it, func, dom, a, b),
         }
     }
 }
@@ -251,6 +287,19 @@ impl FuncAnalysis {
 /// per-query [`QueryError::AnalysisFailed`], never a crash.
 pub(crate) trait AnalysisSource {
     fn analysis_for(&mut self, module: &Module, id: FuncId) -> Result<FuncAnalysis, QueryError>;
+
+    /// The nullness state for one resolved function — only called for
+    /// groups that actually carry nullness queries, so liveness-only
+    /// batches never pay for the second analysis.
+    fn nullness_for(&mut self, module: &Module, id: FuncId) -> Result<NullnessState, QueryError>;
+
+    /// Advisory cache warm-up for a cross-function batch: resolve the
+    /// given `(function, analysis)` pairs through whatever parallelism
+    /// the backend owns before the planner's sequential group loop.
+    /// Default: nothing (the stateless backends compute per group
+    /// anyway); the session backend threads the batch through the
+    /// engine's worker pool.
+    fn prefetch(&mut self, _module: &Module, _requests: &[(FuncId, AnalysisKind)]) {}
 }
 
 impl AnalysisSource for DirectBackend {
@@ -259,18 +308,38 @@ impl AnalysisSource for DirectBackend {
         let mut checker = LivenessChecker::compute(func);
         checker.set_subtree_skipping(self.subtree_skipping);
         Ok(FuncAnalysis {
-            kind: AnalysisKind::Checker(Box::new(FunctionLiveness::from_checker(checker))),
+            kind: LivenessState::Checker(Box::new(FunctionLiveness::from_checker(checker))),
             dom: None,
         })
+    }
+
+    fn nullness_for(&mut self, module: &Module, id: FuncId) -> Result<NullnessState, QueryError> {
+        // Computed over the function directly; dominance and frontiers
+        // are successor-order independent, so this agrees bit-for-bit
+        // with the session backend's canonical-graph artifact.
+        let func = module.func(id);
+        let art = Arc::new(NullnessArtifact::compute(func));
+        let facts = art.solve(func);
+        Ok(NullnessState::Exact { art, facts })
     }
 }
 
 impl AnalysisSource for SessionBackend<'_> {
     fn analysis_for(&mut self, module: &Module, id: FuncId) -> Result<FuncAnalysis, QueryError> {
         Ok(FuncAnalysis {
-            kind: AnalysisKind::Shared(self.session.analysis(module, id)?),
+            kind: LivenessState::Shared(self.session.analysis(module, id)?),
             dom: None,
         })
+    }
+
+    fn nullness_for(&mut self, module: &Module, id: FuncId) -> Result<NullnessState, QueryError> {
+        let art = self.session.nullness(module, id)?;
+        let facts = art.solve(module.func(id));
+        Ok(NullnessState::Exact { art, facts })
+    }
+
+    fn prefetch(&mut self, module: &Module, requests: &[(FuncId, AnalysisKind)]) {
+        self.session.engine().prefetch(module, requests);
     }
 }
 
@@ -278,12 +347,18 @@ impl AnalysisSource for OracleBackend {
     fn analysis_for(&mut self, module: &Module, id: FuncId) -> Result<FuncAnalysis, QueryError> {
         let func = module.func(id);
         Ok(FuncAnalysis {
-            kind: AnalysisKind::Iterative(IterativeLiveness::compute(
+            kind: LivenessState::Iterative(IterativeLiveness::compute(
                 func,
                 &VarUniverse::all(func),
             )),
             dom: None,
         })
+    }
+
+    fn nullness_for(&mut self, module: &Module, id: FuncId) -> Result<NullnessState, QueryError> {
+        Ok(NullnessState::Oracle(IterativeNullness::compute(
+            module.func(id),
+        )))
     }
 }
 
@@ -293,6 +368,22 @@ impl AnalysisSource for Backend<'_> {
             Backend::Direct(b) => b.analysis_for(module, id),
             Backend::Session(b) => b.analysis_for(module, id),
             Backend::Oracle(b) => b.analysis_for(module, id),
+        }
+    }
+
+    fn nullness_for(&mut self, module: &Module, id: FuncId) -> Result<NullnessState, QueryError> {
+        match self {
+            Backend::Direct(b) => b.nullness_for(module, id),
+            Backend::Session(b) => b.nullness_for(module, id),
+            Backend::Oracle(b) => b.nullness_for(module, id),
+        }
+    }
+
+    fn prefetch(&mut self, module: &Module, requests: &[(FuncId, AnalysisKind)]) {
+        match self {
+            Backend::Direct(b) => b.prefetch(module, requests),
+            Backend::Session(b) => b.prefetch(module, requests),
+            Backend::Oracle(b) => b.prefetch(module, requests),
         }
     }
 }

@@ -29,6 +29,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fastlive_core::Nullness;
 use fastlive_engine::persist::GcStats;
 use fastlive_engine::vfs::Vfs;
 use fastlive_engine::{AnalysisEngine, BreakerConfig, EngineConfig, EngineSession, HealthReport};
@@ -544,6 +545,35 @@ impl<'fl> FastliveSession<'fl> {
         match self.query(module, &Query::live_sets(func))? {
             Response::Sets(sets) => Ok(sets),
             _ => unreachable!("LiveSets answers Sets"),
+        }
+    }
+
+    /// [`Query::Nullness`], unwrapped: the nullness fact for `value`
+    /// at its definition.
+    pub fn nullness_of(
+        &mut self,
+        module: &Module,
+        func: impl Into<FuncRef>,
+        value: impl Into<ValueRef>,
+    ) -> Result<Nullness, QueryError> {
+        match self.query(module, &Query::nullness(func, value))? {
+            Response::Nullness(fact) => Ok(fact),
+            _ => unreachable!("Nullness answers Nullness"),
+        }
+    }
+
+    /// [`Query::DefiniteInit`], unwrapped: is `value` definitely
+    /// initialized on every path reaching the entry of `block`?
+    pub fn is_definitely_init(
+        &mut self,
+        module: &Module,
+        func: impl Into<FuncRef>,
+        value: impl Into<ValueRef>,
+        block: impl Into<BlockRef>,
+    ) -> Result<bool, QueryError> {
+        match self.query(module, &Query::definitely_init(func, value, block))? {
+            Response::Init(b) => Ok(b),
+            _ => unreachable!("DefiniteInit answers Init"),
         }
     }
 

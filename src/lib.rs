@@ -117,15 +117,15 @@ pub use fastlive_workload as workload;
 // `fastlive::` without naming the member crates.
 pub use fastlive_core::{
     AnalysisError, BatchError, BatchLiveness, FunctionLiveness, LivenessChecker, LivenessProvider,
-    PointError, Precomputation,
+    Nullness, NullnessArtifact, NullnessFacts, PointError, Precomputation,
 };
-pub use fastlive_dataflow::{IterativeLiveness, VarUniverse};
+pub use fastlive_dataflow::{IterativeLiveness, IterativeNullness, VarUniverse};
 pub use fastlive_destruct::values_interfere;
 pub use fastlive_engine::{
     persist::GcStats,
     vfs::{Fault, FaultRule, FaultVfs, OpKind, StdVfs, Vfs},
-    AnalysisEngine, BreakerConfig, BreakerState, CacheStats, CfgShape, EngineConfig, EngineSession,
-    HealthReport, PersistStore,
+    AnalysisEngine, AnalysisKind, BreakerConfig, BreakerState, CacheStats, CfgShape, EngineConfig,
+    EngineSession, HealthReport, PersistStore,
 };
 pub use fastlive_ir::{
     parse_function, parse_module, Block, FuncId, Function, Inst, Module, ProgramPoint, Value,

@@ -23,6 +23,7 @@
 
 use std::fmt;
 
+use fastlive_core::Nullness;
 use fastlive_ir::{Block, FuncId, Function, Module, ProgramPoint, Value};
 
 /// A function addressed by dense id or by (printed) name.
@@ -179,6 +180,25 @@ pub enum Query {
         /// Second value.
         b: ValueRef,
     },
+    /// What nullness fact holds for the value (the second analysis on
+    /// the sparse platform: dominance-based forward propagation over
+    /// def-use chains)?
+    Nullness {
+        /// The queried function.
+        func: FuncRef,
+        /// The queried value.
+        value: ValueRef,
+    },
+    /// Is the value definitely initialized (its definition executed)
+    /// whenever control reaches the entry of the block?
+    DefiniteInit {
+        /// The queried function.
+        func: FuncRef,
+        /// The queried value.
+        value: ValueRef,
+        /// The block whose entry is probed.
+        block: BlockRef,
+    },
 }
 
 impl Query {
@@ -235,6 +255,27 @@ impl Query {
         }
     }
 
+    /// A [`Query::Nullness`] from anything convertible to the refs.
+    pub fn nullness(func: impl Into<FuncRef>, value: impl Into<ValueRef>) -> Self {
+        Query::Nullness {
+            func: func.into(),
+            value: value.into(),
+        }
+    }
+
+    /// A [`Query::DefiniteInit`] from anything convertible to the refs.
+    pub fn definitely_init(
+        func: impl Into<FuncRef>,
+        value: impl Into<ValueRef>,
+        block: impl Into<BlockRef>,
+    ) -> Self {
+        Query::DefiniteInit {
+            func: func.into(),
+            value: value.into(),
+            block: block.into(),
+        }
+    }
+
     /// The function the query addresses.
     pub fn func(&self) -> &FuncRef {
         match self {
@@ -242,7 +283,9 @@ impl Query {
             | Query::LiveOut { func, .. }
             | Query::LiveAt { func, .. }
             | Query::LiveSets { func }
-            | Query::Interfere { func, .. } => func,
+            | Query::Interfere { func, .. }
+            | Query::Nullness { func, .. }
+            | Query::DefiniteInit { func, .. } => func,
         }
     }
 }
@@ -268,14 +311,19 @@ pub enum Response {
     Interference(bool),
     /// The answer to a `LiveSets` query.
     Sets(LiveSets),
+    /// The answer to a `Nullness` query.
+    Nullness(Nullness),
+    /// The answer to a `DefiniteInit` query.
+    Init(bool),
 }
 
 impl Response {
-    /// The boolean payload of a `Live` or `Interference` response.
+    /// The boolean payload of a `Live`, `Interference` or `Init`
+    /// response.
     pub fn as_bool(&self) -> Option<bool> {
         match *self {
-            Response::Live(b) | Response::Interference(b) => Some(b),
-            Response::Sets(_) => None,
+            Response::Live(b) | Response::Interference(b) | Response::Init(b) => Some(b),
+            Response::Sets(_) | Response::Nullness(_) => None,
         }
     }
 
@@ -283,6 +331,14 @@ impl Response {
     pub fn as_sets(&self) -> Option<&LiveSets> {
         match self {
             Response::Sets(sets) => Some(sets),
+            _ => None,
+        }
+    }
+
+    /// The fact payload of a `Nullness` response.
+    pub fn as_nullness(&self) -> Option<Nullness> {
+        match *self {
+            Response::Nullness(n) => Some(n),
             _ => None,
         }
     }

@@ -43,6 +43,25 @@ fn mixed_queries(module: &Module) -> Vec<Query> {
                     queries.push(Query::live_out(id, format!("v{vi}"), format!("block{bi}")));
                 }
             }
+            // Nullness-family probes: the fact at the definition, and
+            // definite-initialization against a rotating block sample
+            // (alternating addressing like the liveness probes above).
+            if vi % 2 == 0 {
+                queries.push(Query::nullness(id, v));
+            } else {
+                queries.push(Query::nullness(name.as_str(), format!("v{vi}")));
+            }
+            for (bi, &b) in blocks.iter().enumerate().step_by(2) {
+                if (vi + bi) % 2 == 0 {
+                    queries.push(Query::definitely_init(id, v, b));
+                } else {
+                    queries.push(Query::definitely_init(
+                        name.as_str(),
+                        format!("v{vi}"),
+                        format!("block{bi}"),
+                    ));
+                }
+            }
             // Point queries: block entries plus a sweep of one block's
             // interior positions.
             let b = blocks[vi % blocks.len()];

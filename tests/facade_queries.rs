@@ -255,6 +255,64 @@ fn builder_gc_flag_prunes_the_store_and_degrades_cleanly() {
 }
 
 #[test]
+fn nullness_queries_answer_and_fail_like_liveness_ones() {
+    let module = parse_module(SRC).unwrap();
+    let f = fl();
+    for kind in [
+        BackendKind::Direct,
+        BackendKind::Session,
+        BackendKind::Oracle,
+    ] {
+        let mut s = f.session_with(&module, kind);
+        // v1 = iconst 0 is definitely null; v3 = iconst 1 non-null;
+        // v4 = v2 + v3 joins Null/NonNull facts over the loop header.
+        assert_eq!(
+            s.nullness_of(&module, "count", "v1").unwrap(),
+            fastlive::Nullness::Null,
+            "{kind:?}"
+        );
+        assert_eq!(
+            s.nullness_of(&module, "count", "v3").unwrap(),
+            fastlive::Nullness::NonNull,
+            "{kind:?}"
+        );
+        // v2 (block1's param) is defined at the loop header, so it is
+        // definitely initialized at block2 but not at block0.
+        assert!(s
+            .is_definitely_init(&module, "count", "v2", "block2")
+            .unwrap());
+        assert!(!s
+            .is_definitely_init(&module, "count", "v2", "block0")
+            .unwrap());
+
+        // The error surface matches the liveness family.
+        let err = s
+            .query(&module, &Query::nullness("nope", "v0"))
+            .expect_err("unknown function");
+        assert_eq!(err, QueryError::UnknownFunction("nope".into()));
+        let err = s
+            .query(&module, &Query::nullness("count", "v99"))
+            .expect_err("unknown value");
+        assert!(matches!(err, QueryError::UnknownValue { .. }), "{err:?}");
+        let err = s
+            .query(&module, &Query::definitely_init("count", "v0", "block9"))
+            .expect_err("unknown block");
+        assert!(matches!(err, QueryError::UnknownBlock { .. }), "{err:?}");
+    }
+
+    // Response accessors on the new variants.
+    let mut s = f.session(&module);
+    let fact = s.query(&module, &Query::nullness("count", "v1")).unwrap();
+    assert_eq!(fact.as_nullness(), Some(fastlive::Nullness::Null));
+    assert!(fact.as_bool().is_none());
+    let init = s
+        .query(&module, &Query::definitely_init("count", "v1", "block2"))
+        .unwrap();
+    assert_eq!(init.as_bool(), Some(true));
+    assert!(init.as_nullness().is_none());
+}
+
+#[test]
 fn name_and_id_addressing_are_interchangeable() {
     let module = parse_module(SRC).unwrap();
     let count = module.by_name("count").unwrap();
